@@ -1,0 +1,67 @@
+//! Criterion bench for the Figure 3 model kernels: the Appendix A analytic
+//! expectation and the stochastic SR/EC samplers. Also prints the Figure 3c
+//! slowdown rows so `cargo bench` output contains the reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sdr_bench::{fmt, logspace, paper_channel};
+use sdr_model::{ec_sample, sr_mean_analytic, sr_sample, EcConfig, SrConfig};
+use std::hint::black_box;
+
+fn print_fig3c_rows() {
+    println!("\n[fig03] mean slowdown, 128 MiB @ 400G/25ms (SR RTO 3RTT vs MDS EC(32,8)):");
+    for p in logspace(1e-6, 1e-2, 5) {
+        let ch = paper_channel(p);
+        let ideal = ch.ideal_time(128 << 20);
+        let sr = sr_mean_analytic(&ch, 128 << 20, &SrConfig::rto_multiple(&ch, 3.0)) / ideal;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ec_cfg = EcConfig::mds(32, 8);
+        let sr_cfg = SrConfig::rto_multiple(&ch, 3.0);
+        let ec: f64 = (0..800)
+            .map(|_| ec_sample(&ch, 128 << 20, &ec_cfg, &sr_cfg, &mut rng))
+            .sum::<f64>()
+            / 800.0
+            / ideal;
+        println!("  P={p:.0e}: SR {} EC {}", fmt(sr), fmt(ec));
+    }
+}
+
+fn bench_model(c: &mut Criterion) {
+    print_fig3c_rows();
+    let ch = paper_channel(1e-5);
+    let sr_cfg = SrConfig::rto_multiple(&ch, 3.0);
+    let ec_cfg = EcConfig::mds(32, 8);
+
+    c.bench_function("sr_mean_analytic_128MiB", |b| {
+        b.iter(|| black_box(sr_mean_analytic(&ch, black_box(128 << 20), &sr_cfg)))
+    });
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    c.bench_function("sr_sample_128MiB", |b| {
+        b.iter(|| black_box(sr_sample(&ch, black_box(128 << 20), &sr_cfg, &mut rng)))
+    });
+
+    c.bench_function("ec_sample_128MiB", |b| {
+        b.iter(|| {
+            black_box(ec_sample(
+                &ch,
+                black_box(128 << 20),
+                &ec_cfg,
+                &sr_cfg,
+                &mut rng,
+            ))
+        })
+    });
+
+    c.bench_function("sr_sample_8GiB", |b| {
+        b.iter(|| black_box(sr_sample(&ch, black_box(8 << 30), &sr_cfg, &mut rng)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_model
+}
+criterion_main!(benches);

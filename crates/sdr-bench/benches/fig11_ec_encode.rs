@@ -1,0 +1,69 @@
+//! Criterion bench for the Figure 11 encode kernels: XOR vs Reed–Solomon
+//! with the paper's (32, 8) split on 64 KiB chunks, serial and parallel,
+//! plus the MDS decode path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdr_erasure::{encode_parallel, ErasureCode, ReedSolomon, XorCode};
+use std::hint::black_box;
+
+const CHUNK: usize = 64 * 1024;
+const K: usize = 32;
+const M: usize = 8;
+
+fn data() -> Vec<Vec<u8>> {
+    (0..K)
+        .map(|i| (0..CHUNK).map(|j| ((i * 131 + j * 7) % 251) as u8).collect())
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let data = data();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let xor = XorCode::new(K, M);
+    let rs = ReedSolomon::new(K, M);
+    let submsg_bytes = (K * CHUNK) as u64;
+
+    let mut g = c.benchmark_group("ec_encode_2MiB_submessage");
+    g.throughput(Throughput::Bytes(submsg_bytes));
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    g.bench_function("xor_serial", |b| {
+        b.iter(|| black_box(xor.encode(black_box(&refs))))
+    });
+    g.bench_function("mds_serial", |b| {
+        b.iter(|| black_box(rs.encode(black_box(&refs))))
+    });
+    g.bench_function("xor_2threads", |b| {
+        b.iter(|| black_box(encode_parallel(&xor, black_box(&refs), 2)))
+    });
+    g.bench_function("mds_2threads", |b| {
+        b.iter(|| black_box(encode_parallel(&rs, black_box(&refs), 2)))
+    });
+    g.finish();
+
+    // Decode path: reconstruct 8 erased shards from the remaining 32.
+    let parity = rs.encode(&refs);
+    c.bench_function("mds_decode_8_erasures", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parity.iter().cloned().map(Some))
+                .collect();
+            for e in [0usize, 4, 9, 13, 20, 27, 31, 35] {
+                shards[e] = None;
+            }
+            rs.reconstruct(&mut shards).expect("recoverable");
+            black_box(shards)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_encode
+}
+criterion_main!(benches);

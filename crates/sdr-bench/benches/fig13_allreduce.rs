@@ -1,0 +1,51 @@
+//! Criterion bench for the Figure 13 kernel: one ring-Allreduce completion
+//! sample under SR and EC protection, plus a printed speedup row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sdr_bench::paper_channel;
+use sdr_collectives::{allreduce_sample, allreduce_summary, AllreduceParams, StepProtocol};
+use std::hint::black_box;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let params = AllreduceParams {
+        n_dc: 4,
+        buffer_bytes: 128 << 20,
+        channel: paper_channel(1e-4),
+    };
+    // Print the Figure 13 headline row into the bench log.
+    let sr = allreduce_summary(&params, StepProtocol::SrRto { mult: 3.0 }, 6000, 1);
+    let ec = allreduce_summary(&params, StepProtocol::EcMds { k: 32, m: 8 }, 6000, 2);
+    println!(
+        "\n[fig13] 4 DCs, 128 MiB, P=1e-4: p999 speedup EC over SR = {:.2}",
+        sr.p999 / ec.p999
+    );
+
+    let mut rng = SmallRng::seed_from_u64(3);
+    c.bench_function("allreduce_sample_sr_4dc", |b| {
+        b.iter(|| {
+            black_box(allreduce_sample(
+                &params,
+                StepProtocol::SrRto { mult: 3.0 },
+                &mut rng,
+            ))
+        })
+    });
+    c.bench_function("allreduce_sample_ec_4dc", |b| {
+        b.iter(|| {
+            black_box(allreduce_sample(
+                &params,
+                StepProtocol::EcMds { k: 32, m: 8 },
+                &mut rng,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_allreduce
+}
+criterion_main!(benches);

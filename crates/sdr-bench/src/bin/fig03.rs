@@ -1,0 +1,93 @@
+//! Figure 3 — impact of reliability on message completion time at
+//! 400 Gbit/s: (a) Write-size sweep, (b) distance sweep, (c) drop-rate
+//! sweep. Compares `MDS EC(32,8)` against `SR RTO(3 RTT)`; slowdowns are
+//! relative to the lossless channel (injection + RTT).
+
+use sdr_bench::{bytes_label, fmt, logspace, paper_channel, table_header, table_row};
+use sdr_model::{ec_summary, sr_mean_analytic, Channel, EcConfig, SrConfig};
+
+const TRIALS: usize = 1500;
+
+fn slowdowns(ch: &Channel, bytes: u64) -> (f64, f64) {
+    let ideal = ch.ideal_time(bytes);
+    let sr = sr_mean_analytic(ch, bytes, &SrConfig::rto_multiple(ch, 3.0)) / ideal;
+    let ec = ec_summary(
+        ch,
+        bytes,
+        &EcConfig::mds(32, 8),
+        &SrConfig::rto_multiple(ch, 3.0),
+        TRIALS,
+        42,
+    )
+    .mean
+        / ideal;
+    (sr, ec)
+}
+
+fn main() {
+    println!("# Figure 3 — reliability impact at 400 Gbit/s");
+
+    // (a) Write size sweep: 128 KiB .. 2 TiB at 25 ms RTT, P = 1e-5.
+    table_header(
+        "(a) Mean slowdown vs Write size (3750 km = 25 ms RTT, P_drop = 1e-5)",
+        &["write size", "SR RTO(3 RTT)", "MDS EC(32,8)"],
+    );
+    let ch = paper_channel(1e-5);
+    for shift in [17u32, 20, 23, 26, 29, 32, 35, 38, 41] {
+        let bytes = 1u64 << shift;
+        let (sr, ec) = slowdowns(&ch, bytes);
+        table_row(&[bytes_label(bytes), fmt(sr), fmt(ec)]);
+    }
+    println!(
+        "Expected shape: SR peaks near the critical size 1/P then decays to 1\n\
+         above ~32 GiB (injection-dominated); EC stays near its 1.25x parity\n\
+         floor then wins nothing once injection dominates."
+    );
+
+    // (b) Distance sweep: 8 GiB message, P = 1e-5.
+    table_header(
+        "(b) Mean slowdown vs one-way distance (8 GiB, P_drop = 1e-5)",
+        &["distance [km]", "RTT [ms]", "SR RTO(3 RTT)", "MDS EC(32,8)"],
+    );
+    for km in [75.0f64, 1500.0, 3000.0, 4500.0, 6000.0] {
+        let ch = Channel::from_km(km, 400e9, 1e-5);
+        let (sr, ec) = slowdowns(&ch, 8 << 30);
+        table_row(&[
+            format!("{km:.0}"),
+            format!("{:.1}", ch.rtt_s * 1e3),
+            fmt(sr),
+            fmt(ec),
+        ]);
+    }
+    println!(
+        "Expected shape: at short distances the 8 GiB message is 'large'\n\
+         (SR hides retransmissions, EC pays parity); growing RTT flips the\n\
+         trend as the BDP overtakes the message."
+    );
+
+    // (c) Drop-rate sweep: 128 MiB at 25 ms.
+    table_header(
+        "(c) Mean slowdown vs drop rate (128 MiB, 3750 km)",
+        &["P_drop (packet)", "SR RTO(3 RTT)", "MDS EC(32,8)", "+k RTO reference"],
+    );
+    let refs = |ch: &Channel, k: f64| {
+        let ideal = ch.ideal_time(128 << 20);
+        (ideal + k * 3.0 * ch.rtt_s) / ideal
+    };
+    for p in logspace(1e-6, 1e-2, 9) {
+        let ch = paper_channel(p);
+        let (sr, ec) = slowdowns(&ch, 128 << 20);
+        let k = ((sr - 1.0) * ch.ideal_time(128 << 20) / (3.0 * ch.rtt_s)).round();
+        table_row(&[
+            fmt(p),
+            fmt(sr),
+            fmt(ec),
+            format!("+{k:.0} RTO = {}", fmt(refs(&ch, k))),
+        ]);
+    }
+    println!(
+        "Expected shape: SR climbs in ~whole-RTO steps (1, 5, 10, 14x in the\n\
+         paper) as drops need multiple retransmission rounds; EC stays flat\n\
+         until parity is overwhelmed above ~1e-2."
+    );
+}

@@ -1,0 +1,99 @@
+//! Figure 10 — deep dive at 400 Gbit/s / 25 ms RTT: (a) size sweep at
+//! P = 1e-5 with mean and 99.9th percentile; (b) mean and (c) p99.9 for a
+//! 128 MiB Write across drop rates; (d) MDS data/parity splits.
+
+use sdr_bench::{bytes_label, fmt, logspace, paper_channel, table_header, table_row};
+use sdr_model::{ec_summary, sr_summary, EcConfig, SrConfig, Summary};
+
+const TRIALS: usize = 12_000; // p99.9 needs ≥ 10k samples
+
+fn three_schemes(ch: &sdr_model::Channel, bytes: u64) -> (Summary, Summary, Summary) {
+    let sr_rto = sr_summary(ch, bytes, &SrConfig::rto_multiple(ch, 3.0), TRIALS, 1);
+    let sr_nack = sr_summary(ch, bytes, &SrConfig::nack(ch), TRIALS, 2);
+    let ec = ec_summary(
+        ch,
+        bytes,
+        &EcConfig::mds(32, 8),
+        &SrConfig::rto_multiple(ch, 3.0),
+        TRIALS,
+        3,
+    );
+    (sr_rto, sr_nack, ec)
+}
+
+fn main() {
+    println!("# Figure 10 — 128 MiB Write under three reliability schemes");
+
+    table_header(
+        "(a) slowdown vs Write size at P_drop = 1e-5 (mean / p99.9)",
+        &["size", "SR RTO", "SR NACK", "MDS EC(32,8)"],
+    );
+    let ch = paper_channel(1e-5);
+    for shift in [20u32, 23, 26, 27, 29, 31, 33] {
+        let bytes = 1u64 << shift;
+        let ideal = ch.ideal_time(bytes);
+        let (rto, nack, ec) = three_schemes(&ch, bytes);
+        table_row(&[
+            bytes_label(bytes),
+            format!("{} / {}", fmt(rto.mean / ideal), fmt(rto.p999 / ideal)),
+            format!("{} / {}", fmt(nack.mean / ideal), fmt(nack.p999 / ideal)),
+            format!("{} / {}", fmt(ec.mean / ideal), fmt(ec.p999 / ideal)),
+        ]);
+    }
+    println!(
+        "Expected: SR RTO up to ~6.5x mean / ~12x p99.9 near the critical\n\
+         size; NACK improves both ~4x; EC near its parity floor."
+    );
+
+    table_header(
+        "(b,c) 128 MiB: mean and p99.9 slowdown vs drop rate",
+        &["P_drop", "SR RTO mean", "SR NACK mean", "EC mean", "SR RTO p999", "SR NACK p999", "EC p999"],
+    );
+    for p in logspace(1e-6, 1e-2, 7) {
+        let ch = paper_channel(p);
+        let ideal = ch.ideal_time(128 << 20);
+        let (rto, nack, ec) = three_schemes(&ch, 128 << 20);
+        table_row(&[
+            format!("{p:.0e}"),
+            fmt(rto.mean / ideal),
+            fmt(nack.mean / ideal),
+            fmt(ec.mean / ideal),
+            fmt(rto.p999 / ideal),
+            fmt(nack.p999 / ideal),
+            fmt(ec.p999 / ideal),
+        ]);
+    }
+    println!(
+        "Expected: completion grows 3x→10x for SR as single packets need\n\
+         multiple retransmission rounds; the RTT-scale penalty per drop is\n\
+         fundamental to ARQ (c); EC recovers in place until ~1e-2 where\n\
+         parity is overwhelmed and it falls back (b)."
+    );
+
+    table_header(
+        "(d) MDS splits, 128 MiB mean slowdown vs drop rate",
+        &["P_drop", "EC(32,8)", "EC(32,4)", "EC(16,8)", "EC(8,8)"],
+    );
+    for p in logspace(1e-5, 3e-2, 6) {
+        let ch = paper_channel(p);
+        let ideal = ch.ideal_time(128 << 20);
+        let mut cells = vec![format!("{p:.1e}")];
+        for (k, m) in [(32u32, 8u32), (32, 4), (16, 8), (8, 8)] {
+            let s = ec_summary(
+                &ch,
+                128 << 20,
+                &EcConfig::mds(k, m),
+                &SrConfig::rto_multiple(&ch, 3.0),
+                4000,
+                7,
+            );
+            cells.push(fmt(s.mean / ideal));
+        }
+        table_row(&cells);
+    }
+    println!(
+        "Expected: lower data-to-parity ratios tolerate higher drop rates at\n\
+         more bandwidth; (32,8) is the paper's balanced pick — >1e-2 drop\n\
+         tolerance for ≤20-25% inflation."
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 13 — 99.9th-percentile completion-time speedup of ring Allreduce
+//! with `MDS EC(32,8)` over `SR RTO(3 RTT)` across inter-datacenter rings.
+//! Left: 128 MiB buffer, varying datacenter count. Right: 4 datacenters,
+//! varying buffer size. Series: drop rates.
+
+use sdr_bench::{bytes_label, fmt, paper_channel, table_header, table_row};
+use sdr_collectives::{allreduce_summary, AllreduceParams, StepProtocol};
+
+const TRIALS: usize = 12_000;
+
+fn speedup(n: usize, buffer: u64, p: f64) -> f64 {
+    let params = AllreduceParams {
+        n_dc: n,
+        buffer_bytes: buffer,
+        channel: paper_channel(p),
+    };
+    let sr = allreduce_summary(&params, StepProtocol::SrRto { mult: 3.0 }, TRIALS, 5);
+    let ec = allreduce_summary(&params, StepProtocol::EcMds { k: 32, m: 8 }, TRIALS, 6);
+    sr.p999 / ec.p999
+}
+
+fn main() {
+    println!("# Figure 13 — ring Allreduce p99.9 speedup (MDS EC over SR RTO)");
+
+    table_header(
+        "Left: 128 MiB buffer, speedup vs datacenter count",
+        &["datacenters", "P=1e-5", "P=1e-4", "P=1e-3"],
+    );
+    for n in [2usize, 4, 8] {
+        table_row(&[
+            n.to_string(),
+            fmt(speedup(n, 128 << 20, 1e-5)),
+            fmt(speedup(n, 128 << 20, 1e-4)),
+            fmt(speedup(n, 128 << 20, 1e-3)),
+        ]);
+    }
+
+    table_header(
+        "Right: 4 datacenters, speedup vs buffer size",
+        &["buffer", "P=1e-5", "P=1e-4", "P=1e-3"],
+    );
+    for shift in [25u32, 27, 29, 31] {
+        let buffer = 1u64 << shift;
+        table_row(&[
+            bytes_label(buffer),
+            fmt(speedup(4, buffer, 1e-5)),
+            fmt(speedup(4, buffer, 1e-4)),
+            fmt(speedup(4, buffer, 1e-3)),
+        ]);
+    }
+    println!(
+        "\nExpected shape: EC's per-step advantage compounds over the 2N-2\n\
+         interdependent stages; speedups grow with drop rate from ~3x to >6x\n\
+         (per-stage message size shrinks as N grows, keeping messages in the\n\
+         size band where SR suffers)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 15 — impact of the SDR bitmap chunk size on packet-processing
+//! rate and on the theoretical chunk drop probability.
+//!
+//! Methodology from §5.4.2: 64-byte transport Writes maximize packet-rate
+//! load while the per-packet DPA work stays constant (workers process
+//! completions, not payloads). Larger chunks raise the chance that a chunk
+//! observes a drop (P_chunk = 1 − (1−p)^N) but reduce host bitmap traffic.
+
+use sdr_bench::{fmt, table_header, table_row};
+use sdr_core::ImmLayout;
+use sdr_dpa::{run_loopback, DpaConfig, LoopbackConfig};
+use sdr_model::chunk_drop_probability;
+
+fn main() {
+    println!("# Figure 15 — bitmap chunk size vs packet rate (64 B writes)");
+    table_header(
+        "2 receive workers; P_drop = 1e-5 for the probability column",
+        &[
+            "chunk [MTUs]",
+            "pkts/s [M]",
+            "chunk completions/s [M]",
+            "P_chunk_drop",
+        ],
+    );
+    for chunk_pkts in [1u64, 2, 4, 8, 16, 32, 64] {
+        let cfg = LoopbackConfig {
+            dpa: DpaConfig {
+                workers: 2,
+                msg_slots: 64,
+                ring_capacity: 8192,
+                layout: ImmLayout::default(),
+            },
+            // 16 Ki packets per message keeps the repost path off the
+            // critical path regardless of chunk size.
+            msg_bytes: 64 * 16384,
+            mtu_bytes: 64,
+            chunk_bytes: 64 * chunk_pkts,
+            inflight: 16,
+            messages: 512,
+            drop_rate: 0.0,
+            seed: 2,
+        };
+        let r = run_loopback(cfg);
+        table_row(&[
+            chunk_pkts.to_string(),
+            fmt(r.pkts_per_sec / 1e6),
+            fmt(r.stats.chunks as f64 / r.elapsed.as_secs_f64() / 1e6),
+            format!("{:.1e}", chunk_drop_probability(1e-5, chunk_pkts)),
+        ]);
+    }
+    println!(
+        "\nExpected shape: packet rate roughly flat in chunk size (per-packet\n\
+         worker cost is constant; only the chunk-publication rate falls with\n\
+         larger chunks — the paper's 15→24.5 Mpps spread comes from reduced\n\
+         PCIe traffic, which the host model has no equivalent of), while the\n\
+         theoretical chunk drop probability doubles per doubling:\n\
+         1e-5, 2e-5, 4e-5, 8e-5, 1.6e-4, 3.2e-4, 6.4e-4 (paper's annotations)."
+    );
+}

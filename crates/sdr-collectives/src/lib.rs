@@ -1,0 +1,28 @@
+//! # sdr-collectives — inter-datacenter collectives over lossy links
+//!
+//! Section 5.3 of the paper: collective algorithms built from the reliable
+//! Write primitive, where per-step reliability delays *accumulate* across
+//! the `2N − 2` interdependent stages of a ring Allreduce (Appendix C's
+//! lower bound `(2N−2)·(C + µX)`).
+//!
+//! * [`schedule`] — the stage-dependency engine: the `T(i, r)` recurrence
+//!   for rings plus a binomial-tree broadcast variant.
+//! * [`ring`] — model-driven Allreduce statistics (Figure 13): per-step
+//!   completion times sampled from `sdr-model` under SR or EC protection.
+//! * [`des_ring`] — a data-correct ring Allreduce executed on the full
+//!   discrete-event SDR + Selective Repeat stack, asserting exact f32 sums
+//!   on every node even under packet loss.
+
+#![warn(missing_docs)]
+
+pub mod des_ring;
+pub mod ring;
+pub mod schedule;
+pub mod tree;
+
+pub use des_ring::{des_ring_allreduce, DesAllreduceOutcome};
+pub use ring::{
+    allreduce_lower_bound, allreduce_sample, allreduce_summary, AllreduceParams, StepProtocol,
+};
+pub use schedule::{binomial_broadcast_time, ring_completion_time};
+pub use tree::{tree_allreduce_sample, tree_allreduce_summary};

@@ -1,0 +1,191 @@
+//! Model-driven inter-datacenter ring Allreduce (§5.3, Figure 13).
+//!
+//! Each of the `2N − 2` schedule steps transfers `buffer / N` bytes over the
+//! long-haul channel under a chosen reliability scheme; per-step completion
+//! times are drawn from the `sdr-model` samplers and propagated through the
+//! Appendix C recurrence. The paper's observation: slowdowns from an
+//! inefficient reliability scheme *accumulate* across the schedule, so EC's
+//! per-step advantage compounds to 3–6× at the 99.9th percentile.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use sdr_model::{ec_sample, sr_sample, Channel, EcConfig, SrConfig, Summary};
+
+use crate::schedule::ring_completion_time;
+
+/// Reliability scheme protecting each point-to-point step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StepProtocol {
+    /// Lossless reference (ideal channel).
+    Lossless,
+    /// Selective Repeat with `RTO = mult · RTT`.
+    SrRto {
+        /// RTO multiplier (the paper uses 3).
+        mult: f64,
+    },
+    /// Selective Repeat with the NACK approximation (RTO = 1 RTT).
+    SrNack,
+    /// MDS erasure coding.
+    EcMds {
+        /// Data chunks per submessage.
+        k: u32,
+        /// Parity chunks per submessage.
+        m: u32,
+    },
+    /// XOR erasure coding.
+    EcXor {
+        /// Data chunks per submessage.
+        k: u32,
+        /// Parity chunks per submessage.
+        m: u32,
+    },
+}
+
+/// Ring Allreduce workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AllreduceParams {
+    /// Number of datacenters in the ring.
+    pub n_dc: usize,
+    /// Allreduce buffer size in bytes (each step moves `buffer / n`).
+    pub buffer_bytes: u64,
+    /// The inter-datacenter channel.
+    pub channel: Channel,
+}
+
+impl AllreduceParams {
+    /// Message size of one schedule step.
+    pub fn step_bytes(&self) -> u64 {
+        (self.buffer_bytes / self.n_dc as u64).max(1)
+    }
+}
+
+pub(crate) fn sample_step_time(ch: &Channel, bytes: u64, proto: StepProtocol, rng: &mut SmallRng) -> f64 {
+    match proto {
+        StepProtocol::Lossless => ch.ideal_time(bytes),
+        StepProtocol::SrRto { mult } => {
+            sr_sample(ch, bytes, &SrConfig::rto_multiple(ch, mult), rng)
+        }
+        StepProtocol::SrNack => sr_sample(ch, bytes, &SrConfig::nack(ch), rng),
+        StepProtocol::EcMds { k, m } => ec_sample(
+            ch,
+            bytes,
+            &EcConfig::mds(k, m),
+            &SrConfig::rto_multiple(ch, 3.0),
+            rng,
+        ),
+        StepProtocol::EcXor { k, m } => ec_sample(
+            ch,
+            bytes,
+            &EcConfig::xor(k, m),
+            &SrConfig::rto_multiple(ch, 3.0),
+            rng,
+        ),
+    }
+}
+
+/// Draws one Allreduce completion-time sample.
+pub fn allreduce_sample(params: &AllreduceParams, proto: StepProtocol, rng: &mut SmallRng) -> f64 {
+    let bytes = params.step_bytes();
+    ring_completion_time(params.n_dc, |_, _| {
+        sample_step_time(&params.channel, bytes, proto, rng)
+    })
+}
+
+/// Runs `trials` Allreduce samples and summarizes.
+pub fn allreduce_summary(
+    params: &AllreduceParams,
+    proto: StepProtocol,
+    trials: usize,
+    seed: u64,
+) -> Summary {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let samples: Vec<f64> = (0..trials)
+        .map(|_| allreduce_sample(params, proto, &mut rng))
+        .collect();
+    Summary::from_samples(samples)
+}
+
+/// Appendix C lower bound: `(2N − 2)·(C + µX)` where `C` is the lossless
+/// per-step time and `µX` the mean extra reliability delay per step,
+/// estimated from `trials` step samples.
+pub fn allreduce_lower_bound(
+    params: &AllreduceParams,
+    proto: StepProtocol,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let bytes = params.step_bytes();
+    let c = params.channel.ideal_time(bytes);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mean_step: f64 = (0..trials)
+        .map(|_| sample_step_time(&params.channel, bytes, proto, &mut rng))
+        .sum::<f64>()
+        / trials as f64;
+    let mu_x = (mean_step - c).max(0.0);
+    (2 * params.n_dc - 2) as f64 * (c + mu_x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig13_params(n: usize, buffer: u64, p: f64) -> AllreduceParams {
+        AllreduceParams {
+            n_dc: n,
+            buffer_bytes: buffer,
+            channel: Channel::new(400e9, 0.025, p),
+        }
+    }
+
+    #[test]
+    fn lossless_allreduce_is_deterministic() {
+        let params = fig13_params(4, 128 << 20, 0.0);
+        let s = allreduce_summary(&params, StepProtocol::Lossless, 50, 1);
+        assert!((s.max - s.min).abs() < 1e-12);
+        let per_step = params.channel.ideal_time(params.step_bytes());
+        assert!((s.mean - 6.0 * per_step).abs() < 1e-9, "2N-2 = 6 steps");
+    }
+
+    #[test]
+    fn ec_speedup_over_sr_grows_with_drop_rate() {
+        // Figure 13's headline: p99.9 speedup of MDS EC over SR RTO grows
+        // with the drop rate (3× → 6× in the paper's range).
+        let mut prev_speedup = 0.0;
+        for p in [1e-5, 1e-4] {
+            let params = fig13_params(4, 128 << 20, p);
+            let sr = allreduce_summary(&params, StepProtocol::SrRto { mult: 3.0 }, 3000, 2);
+            let ec = allreduce_summary(&params, StepProtocol::EcMds { k: 32, m: 8 }, 3000, 3);
+            let speedup = sr.p999 / ec.p999;
+            assert!(
+                speedup > 1.5,
+                "EC should clearly win at p={p}: speedup {speedup:.2}"
+            );
+            assert!(speedup > prev_speedup, "speedup should grow with p");
+            prev_speedup = speedup;
+        }
+        assert!(prev_speedup > 2.5, "final speedup {prev_speedup:.2}");
+    }
+
+    #[test]
+    fn reliability_cost_accumulates_with_ring_size() {
+        // Appendix C: expected total ≥ (2N−2)(C + µX); the slowdown from a
+        // fixed per-step cost grows linearly in the stage count.
+        let proto = StepProtocol::SrRto { mult: 3.0 };
+        for n in [2usize, 4, 8] {
+            let params = fig13_params(n, 128 << 20, 1e-5);
+            let mean = allreduce_summary(&params, proto, 1500, 4).mean;
+            let bound = allreduce_lower_bound(&params, proto, 4000, 5);
+            assert!(
+                mean >= bound * 0.97,
+                "n={n}: mean {mean} below bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_datacenters_shrink_per_step_messages() {
+        let p = fig13_params(8, 128 << 20, 0.0);
+        assert_eq!(p.step_bytes(), (128 << 20) / 8);
+    }
+}

@@ -1,0 +1,112 @@
+//! Stage-based collective schedules (Appendix C).
+//!
+//! The ring Allreduce over `N` datacenters runs `2N − 2` interdependent
+//! point-to-point rounds; the finish-time recurrence is
+//!
+//! ```text
+//! T(i, r) = max(T(i−1, r−1), T(i, r−1)) + t(i, r−1)
+//! ```
+//!
+//! so per-step reliability delays accumulate across the schedule
+//! (lower bound `(2N−2)·(C + µX)`, Appendix C, eq. 5). The same engine
+//! evaluates tree-structured schedules.
+
+/// Completion time of a ring schedule over `n` participants with
+/// `2n − 2` rounds. `step_time(i, r)` returns the duration of the
+/// communication step finishing round `r + 1` at node `i` (seconds).
+///
+/// Returns the finish time of the slowest node after the last round.
+pub fn ring_completion_time(n: usize, mut step_time: impl FnMut(usize, usize) -> f64) -> f64 {
+    assert!(n >= 2, "a ring needs at least two participants");
+    let rounds = 2 * n - 2;
+    let mut finish = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+    for r in 0..rounds {
+        for i in 0..n {
+            let pred = (i + n - 1) % n;
+            let ready = finish[pred].max(finish[i]);
+            next[i] = ready + step_time(i, r);
+        }
+        std::mem::swap(&mut finish, &mut next);
+    }
+    finish.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Completion time of a binomial-tree broadcast over `n` participants:
+/// in round `r`, every rank `< 2^r` sends to rank `+ 2^r`.
+/// `step_time(src, r)` is the duration of that transfer.
+pub fn binomial_broadcast_time(n: usize, mut step_time: impl FnMut(usize, usize) -> f64) -> f64 {
+    assert!(n >= 1);
+    let mut reached = vec![f64::INFINITY; n];
+    let mut busy = vec![0.0f64; n]; // when each node's NIC frees up
+    reached[0] = 0.0;
+    let mut r = 0usize;
+    while (1usize << r) < n {
+        let stride = 1usize << r;
+        for src in 0..stride.min(n) {
+            let dst = src + stride;
+            if dst < n && reached[src].is_finite() {
+                // A node's sends are sequential: the round-r transfer can
+                // only start once the node has the data AND finished its
+                // previous send.
+                let start = reached[src].max(busy[src]);
+                let finish = start + step_time(src, r);
+                busy[src] = finish;
+                if finish < reached[dst] {
+                    reached[dst] = finish;
+                    busy[dst] = busy[dst].max(finish);
+                }
+            }
+        }
+        r += 1;
+    }
+    reached.iter().cloned().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_steps_give_linear_ring_time() {
+        // With deterministic step duration c, T = (2N−2)·c exactly.
+        for n in [2usize, 4, 8] {
+            let t = ring_completion_time(n, |_, _| 1.5);
+            assert!((t - (2 * n - 2) as f64 * 1.5).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn one_slow_node_delays_everyone() {
+        // A single slow step in round 0 propagates around the ring.
+        let n = 4;
+        let t = ring_completion_time(n, |i, r| if i == 0 && r == 0 { 10.0 } else { 1.0 });
+        // Node 0's delay reaches the last dependent step.
+        assert!(t > 10.0 + 1.0, "delay must propagate: {t}");
+        // But not more than delay + full schedule.
+        assert!(t <= 10.0 + (2 * n - 2) as f64);
+    }
+
+    #[test]
+    fn ring_time_is_monotone_in_step_times() {
+        let fast = ring_completion_time(5, |_, _| 1.0);
+        let slow = ring_completion_time(5, |_, _| 2.0);
+        assert!(slow > fast);
+        assert!((slow - 2.0 * fast).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_broadcast_depth() {
+        // Constant unit steps: completion = ceil(log2 n).
+        assert_eq!(binomial_broadcast_time(1, |_, _| 1.0), 0.0);
+        assert_eq!(binomial_broadcast_time(2, |_, _| 1.0), 1.0);
+        assert_eq!(binomial_broadcast_time(8, |_, _| 1.0), 3.0);
+        assert_eq!(binomial_broadcast_time(5, |_, _| 1.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn ring_needs_two_nodes() {
+        ring_completion_time(1, |_, _| 1.0);
+    }
+}

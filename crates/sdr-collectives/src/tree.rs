@@ -1,0 +1,142 @@
+//! Tree-structured collectives over lossy inter-DC links.
+//!
+//! §5.3 notes that the Appendix C accumulation analysis "generalizes to
+//! other stage-based collective algorithms with schedule dependencies, such
+//! as tree algorithms". This module provides the tree counterpart to
+//! [`crate::ring`]: a binomial-tree Allreduce (reduce to root + broadcast,
+//! `2·⌈log2 N⌉` dependent stages) evaluated with the same per-step
+//! reliability samplers, so ring-vs-tree trade-offs can be explored per
+//! deployment.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use sdr_model::Summary;
+
+use crate::ring::{AllreduceParams, StepProtocol};
+use crate::schedule::binomial_broadcast_time;
+
+/// Draws one completion-time sample for a binomial-tree Allreduce:
+/// a reduce phase (mirror-image of the broadcast tree) followed by a
+/// broadcast phase. Every step moves the **full** buffer (trees do not
+/// scatter), which is the classic latency-vs-bandwidth trade against rings.
+pub fn tree_allreduce_sample(
+    params: &AllreduceParams,
+    proto: StepProtocol,
+    rng: &mut SmallRng,
+) -> f64 {
+    let bytes = params.buffer_bytes.max(1);
+    let mut step = |_src: usize, _round: usize| -> f64 {
+        crate::ring::sample_step_time(&params.channel, bytes, proto, rng)
+    };
+    // Reduce = reverse broadcast: same dependency depth and step count.
+    let reduce = binomial_broadcast_time(params.n_dc, &mut step);
+    let bcast = binomial_broadcast_time(params.n_dc, &mut step);
+    reduce + bcast
+}
+
+/// Runs `trials` samples of the tree Allreduce and summarizes.
+pub fn tree_allreduce_summary(
+    params: &AllreduceParams,
+    proto: StepProtocol,
+    trials: usize,
+    seed: u64,
+) -> Summary {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let samples: Vec<f64> = (0..trials)
+        .map(|_| tree_allreduce_sample(params, proto, &mut rng))
+        .collect();
+    Summary::from_samples(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::allreduce_summary;
+    use sdr_model::Channel;
+
+    fn params(n: usize, buffer: u64) -> AllreduceParams {
+        AllreduceParams {
+            n_dc: n,
+            buffer_bytes: buffer,
+            channel: Channel::new(400e9, 0.025, 1e-5),
+        }
+    }
+
+    #[test]
+    fn lossless_tree_time_is_two_phases() {
+        let p = AllreduceParams {
+            channel: Channel::new(400e9, 0.025, 0.0),
+            ..params(8, 128 << 20)
+        };
+        let s = tree_allreduce_summary(&p, StepProtocol::Lossless, 20, 1);
+        // Depth log2(8) = 3 per phase; root's sequential sends make the
+        // critical path ≥ 2 × 3 steps of full-buffer transfers.
+        let per_step = p.channel.ideal_time(p.buffer_bytes);
+        assert!(s.mean >= 6.0 * per_step * 0.999);
+        assert!((s.max - s.min).abs() < 1e-12, "deterministic when lossless");
+    }
+
+    #[test]
+    fn ring_beats_tree_for_bandwidth_bound_buffers() {
+        // Classic result the framework must reproduce: rings move B/N per
+        // step (bandwidth-optimal), trees move the full buffer. The ring
+        // wins once per-step injection (B/N) dominates the RTT — at 25 ms
+        // and 400 Gbit/s that means B/N ≫ 1.25 GB, so use 32 GiB × 8 DCs.
+        let p = AllreduceParams {
+            channel: Channel::new(400e9, 0.025, 0.0),
+            ..params(8, 32 << 30)
+        };
+        let ring = allreduce_summary(&p, StepProtocol::Lossless, 5, 2);
+        let tree = tree_allreduce_summary(&p, StepProtocol::Lossless, 5, 3);
+        assert!(
+            ring.mean < tree.mean,
+            "ring {} should beat tree {} at 32 GiB",
+            ring.mean,
+            tree.mean
+        );
+        // And the converse regime (RTT-dominated stages) favours the tree:
+        // fewer dependent stages beat smaller per-stage messages.
+        let p = params(8, 512 << 20);
+        let ring = allreduce_summary(&p, StepProtocol::SrRto { mult: 3.0 }, 400, 4);
+        let tree = tree_allreduce_summary(&p, StepProtocol::SrRto { mult: 3.0 }, 400, 5);
+        assert!(
+            tree.mean < ring.mean,
+            "tree {} should beat ring {} when stages are RTT-bound",
+            tree.mean,
+            ring.mean
+        );
+    }
+
+    #[test]
+    fn tree_competitive_for_tiny_buffers() {
+        // For latency-bound (tiny) buffers the tree's 2·log2(N) stages beat
+        // the ring's 2(N−1) RTT-dominated stages.
+        let p = params(16, 64 * 1024);
+        let ring = allreduce_summary(&p, StepProtocol::Lossless, 10, 4);
+        let tree = tree_allreduce_summary(&p, StepProtocol::Lossless, 10, 5);
+        assert!(
+            tree.mean < ring.mean,
+            "tree {} should beat ring {} at 64 KiB × 16 DCs",
+            tree.mean,
+            ring.mean
+        );
+    }
+
+    #[test]
+    fn ec_advantage_persists_on_trees() {
+        // Appendix C's accumulation argument generalizes: EC's per-step win
+        // compounds on tree schedules too.
+        let p = AllreduceParams {
+            channel: Channel::new(400e9, 0.025, 1e-4),
+            ..params(8, 128 << 20)
+        };
+        let sr = tree_allreduce_summary(&p, StepProtocol::SrRto { mult: 3.0 }, 3000, 6);
+        let ec = tree_allreduce_summary(&p, StepProtocol::EcMds { k: 32, m: 8 }, 3000, 7);
+        assert!(
+            sr.p999 / ec.p999 > 1.5,
+            "EC should win on trees too: {:.2}",
+            sr.p999 / ec.p999
+        );
+    }
+}

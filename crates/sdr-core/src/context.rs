@@ -1,0 +1,81 @@
+//! The SDR context (`context_create` in Table 1): per-node resources shared
+//! by queue pairs, plus buffer-management helpers.
+
+use sdr_sim::{Engine, Fabric, MkeyId, NodeId, QpAddr};
+
+use crate::config::SdrConfig;
+use crate::handles::SdrError;
+use crate::qp::SdrQp;
+
+/// Per-node SDR resources. On hardware this owns CQs and DPA threads; in
+/// the simulator it binds a [`Fabric`] node and hands out queue pairs and
+/// registered buffers.
+#[derive(Clone)]
+pub struct SdrContext {
+    fabric: Fabric,
+    node: NodeId,
+}
+
+impl SdrContext {
+    /// Opens a context on `node` (the paper's `context_create`).
+    pub fn new(fabric: &Fabric, node: NodeId) -> Self {
+        SdrContext {
+            fabric: fabric.clone(),
+            node,
+        }
+    }
+
+    /// Creates an SDR queue pair within this context (`qp_create`).
+    pub fn qp_create(&self, cfg: SdrConfig) -> Result<SdrQp, SdrError> {
+        SdrQp::create(&self.fabric, self.node, cfg)
+    }
+
+    /// Allocates `len` bytes of node memory and returns the base address.
+    /// Application buffers (send sources, receive targets) come from here.
+    pub fn alloc_buffer(&self, len: u64) -> u64 {
+        self.fabric.node_mut(self.node, |n| n.mem_mut().alloc(len))
+    }
+
+    /// Registers an address range for remote access (`mr_reg`).
+    pub fn mr_reg(&self, addr: u64, len: u64) -> MkeyId {
+        self.fabric.node_mut(self.node, |n| n.reg_mr(addr, len))
+    }
+
+    /// Copies `data` into node memory at `addr` (test/workload staging).
+    pub fn write_buffer(&self, addr: u64, data: &[u8]) {
+        self.fabric
+            .node_mut(self.node, |n| n.mem_mut().write(addr, data));
+    }
+
+    /// Reads `len` bytes of node memory at `addr`.
+    pub fn read_buffer(&self, addr: u64, len: usize) -> Vec<u8> {
+        self.fabric.node(self.node, |n| n.mem().read(addr, len).to_vec())
+    }
+
+    /// The node this context is bound to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The underlying fabric handle.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Sends a raw control datagram from a QP's control endpoint — reserved
+    /// for reliability layers that bring their own control-path protocol
+    /// (§4.1: "the SDR middleware API leaves the control path wireup logic
+    /// to the application").
+    pub fn control_send(
+        &self,
+        eng: &mut Engine,
+        from: QpAddr,
+        to: QpAddr,
+        payload: bytes::Bytes,
+        imm: Option<u32>,
+    ) -> Result<(), SdrError> {
+        self.fabric
+            .post_ud_send(eng, from, to, payload, imm)
+            .map_err(SdrError::from)
+    }
+}

@@ -1,0 +1,228 @@
+//! The 32-bit transport immediate codec (§3.2.4).
+//!
+//! Every SDR packet is an unreliable Write-with-immediate; the immediate is
+//! split into three fields:
+//!
+//! * **message ID** (default 10 bits) — locates the message descriptor,
+//!   up to 1024 in-flight messages per QP;
+//! * **packet offset** (default 18 bits) — the packet's MTU index within
+//!   the message, up to 1 GiB messages at 4 KiB MTU;
+//! * **user immediate fragment** (default 4 bits) — for messages carrying a
+//!   user immediate, the sender samples 4-bit fragments of the 32-bit value
+//!   across packets; the receiver reassembles them.
+//!
+//! Alternative splits such as 8 + 22 + 2 support larger messages (§3.2.4).
+
+/// Field widths of the transport immediate. Widths must sum to 32.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImmLayout {
+    /// Bits for the message ID.
+    pub msg_id_bits: u32,
+    /// Bits for the packet offset.
+    pub offset_bits: u32,
+    /// Bits for the user-immediate fragment.
+    pub user_bits: u32,
+}
+
+impl Default for ImmLayout {
+    /// The paper's 10 + 18 + 4 split.
+    fn default() -> Self {
+        ImmLayout {
+            msg_id_bits: 10,
+            offset_bits: 18,
+            user_bits: 4,
+        }
+    }
+}
+
+impl ImmLayout {
+    /// Builds a custom split.
+    pub fn new(msg_id_bits: u32, offset_bits: u32, user_bits: u32) -> Self {
+        ImmLayout {
+            msg_id_bits,
+            offset_bits,
+            user_bits,
+        }
+    }
+
+    /// Checks the widths sum to 32 and each field is non-degenerate.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.msg_id_bits + self.offset_bits + self.user_bits != 32 {
+            return Err(format!(
+                "immediate fields must sum to 32 bits, got {}",
+                self.msg_id_bits + self.offset_bits + self.user_bits
+            ));
+        }
+        if self.msg_id_bits == 0 || self.offset_bits == 0 {
+            return Err("msg_id and offset fields must be non-empty".into());
+        }
+        Ok(())
+    }
+
+    /// Number of distinct message IDs.
+    pub fn max_msg_ids(&self) -> usize {
+        1usize << self.msg_id_bits
+    }
+
+    /// Largest encodable packet offset.
+    pub fn max_packet_offset(&self) -> u32 {
+        (1u32 << self.offset_bits) - 1
+    }
+
+    /// Number of user-immediate fragments needed to reassemble 32 bits
+    /// (0 when the layout carries no user bits).
+    pub fn user_fragments(&self) -> u32 {
+        if self.user_bits == 0 {
+            0
+        } else {
+            32u32.div_ceil(self.user_bits)
+        }
+    }
+
+    /// Encodes `(msg_id, pkt_offset, user_frag)` into the wire immediate.
+    /// Field order (MSB→LSB): msg_id | offset | user.
+    #[inline]
+    pub fn encode(&self, msg_id: u32, pkt_offset: u32, user_frag: u32) -> u32 {
+        debug_assert!(msg_id < (1 << self.msg_id_bits));
+        debug_assert!(pkt_offset <= self.max_packet_offset());
+        debug_assert!(self.user_bits == 32 || user_frag < (1 << self.user_bits));
+        (msg_id << (self.offset_bits + self.user_bits))
+            | (pkt_offset << self.user_bits)
+            | user_frag
+    }
+
+    /// Decodes a wire immediate into `(msg_id, pkt_offset, user_frag)`.
+    #[inline]
+    pub fn decode(&self, imm: u32) -> (u32, u32, u32) {
+        let user = imm & ((1u32 << self.user_bits) - 1).max(0);
+        let offset = (imm >> self.user_bits) & ((1u32 << self.offset_bits) - 1);
+        let msg_id = imm >> (self.offset_bits + self.user_bits);
+        (msg_id, offset, user)
+    }
+
+    /// The user-immediate fragment the sender embeds in the packet at
+    /// `pkt_offset`: fragment index cycles over the packet offsets.
+    #[inline]
+    pub fn user_fragment_for(&self, user_imm: u32, pkt_offset: u32) -> u32 {
+        if self.user_bits == 0 {
+            return 0;
+        }
+        let idx = pkt_offset % self.user_fragments();
+        (user_imm >> (idx * self.user_bits)) & ((1u32 << self.user_bits) - 1)
+    }
+}
+
+/// Receiver-side accumulator reassembling the 32-bit user immediate from
+/// per-packet fragments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UserImmAccumulator {
+    value: u32,
+    seen_mask: u32, // bit i set = fragment i observed
+}
+
+impl UserImmAccumulator {
+    /// Fresh accumulator (also used to reset a recycled message slot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the fragment carried by the packet at `pkt_offset`.
+    pub fn absorb(&mut self, layout: &ImmLayout, pkt_offset: u32, user_frag: u32) {
+        if layout.user_bits == 0 {
+            return;
+        }
+        let idx = pkt_offset % layout.user_fragments();
+        let shift = idx * layout.user_bits;
+        let mask = ((1u32 << layout.user_bits) - 1) << shift;
+        self.value = (self.value & !mask) | (user_frag << shift);
+        self.seen_mask |= 1 << idx;
+    }
+
+    /// The reassembled immediate, once **all** fragments have been observed.
+    /// Messages with fewer packets than fragments can never fully
+    /// reconstruct a 32-bit immediate — a documented constraint of the
+    /// 4-bit sampling scheme.
+    pub fn get(&self, layout: &ImmLayout) -> Option<u32> {
+        let frags = layout.user_fragments();
+        if frags == 0 {
+            return None;
+        }
+        let all = (1u32 << frags) - 1;
+        (self.seen_mask & all == all).then_some(self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_split_is_10_18_4() {
+        let l = ImmLayout::default();
+        l.validate().unwrap();
+        assert_eq!(l.max_msg_ids(), 1024);
+        assert_eq!(l.max_packet_offset(), (1 << 18) - 1);
+        // 1 GiB at 4 KiB MTU needs 262144 offsets — exactly 2^18 (§3.2.4).
+        assert_eq!(l.max_packet_offset() as u64 + 1, (1u64 << 30) / 4096);
+        assert_eq!(l.user_fragments(), 8);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let l = ImmLayout::default();
+        for (id, off, frag) in [(0u32, 0u32, 0u32), (1023, 262143, 15), (512, 77, 9)] {
+            assert_eq!(l.decode(l.encode(id, off, frag)), (id, off, frag));
+        }
+    }
+
+    #[test]
+    fn alternative_split_roundtrip() {
+        let l = ImmLayout::new(8, 22, 2);
+        l.validate().unwrap();
+        assert_eq!(l.max_msg_ids(), 256);
+        for (id, off, frag) in [(255u32, (1 << 22) - 1, 3u32), (0, 1, 0)] {
+            assert_eq!(l.decode(l.encode(id, off, frag)), (id, off, frag));
+        }
+    }
+
+    #[test]
+    fn invalid_layouts_are_rejected() {
+        assert!(ImmLayout::new(10, 18, 3).validate().is_err());
+        assert!(ImmLayout::new(0, 28, 4).validate().is_err());
+    }
+
+    #[test]
+    fn user_imm_reassembles_from_8_fragments() {
+        let l = ImmLayout::default();
+        let user = 0xDEADBEEFu32;
+        let mut acc = UserImmAccumulator::new();
+        // Any 8 packets with distinct offsets mod 8 suffice, in any order.
+        for off in [8u32, 1, 10, 3, 12, 5, 14, 7] {
+            assert_eq!(acc.get(&l), None, "not ready before all fragments");
+            acc.absorb(&l, off, l.user_fragment_for(user, off));
+        }
+        assert_eq!(acc.get(&l), Some(user));
+    }
+
+    #[test]
+    fn duplicate_fragments_do_not_complete_early() {
+        let l = ImmLayout::default();
+        let user = 0x12345678u32;
+        let mut acc = UserImmAccumulator::new();
+        for _ in 0..20 {
+            acc.absorb(&l, 5, l.user_fragment_for(user, 5));
+        }
+        assert_eq!(acc.get(&l), None, "one fragment repeated is not enough");
+    }
+
+    #[test]
+    fn short_messages_cannot_reconstruct() {
+        // A 3-packet message covers only 3 of the 8 fragments.
+        let l = ImmLayout::default();
+        let mut acc = UserImmAccumulator::new();
+        for off in 0..3u32 {
+            acc.absorb(&l, off, l.user_fragment_for(0xFFFF_FFFF, off));
+        }
+        assert_eq!(acc.get(&l), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests on the SDR SDK's core data structures.
+
+use proptest::prelude::*;
+use sdr_core::bitmap::TwoLevelBitmap;
+use sdr_core::imm::{ImmLayout, UserImmAccumulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Immediate encode/decode is a bijection for every legal layout and
+    /// field value.
+    #[test]
+    fn imm_roundtrip_any_layout(
+        msg_bits in 4u32..16,
+        user_bits in 0u32..8,
+        msg_id: u32,
+        offset: u32,
+        frag: u32,
+    ) {
+        let offset_bits = 32 - msg_bits - user_bits;
+        let layout = ImmLayout::new(msg_bits, offset_bits, user_bits);
+        prop_assume!(layout.validate().is_ok());
+        let msg_id = msg_id % (1 << msg_bits);
+        let offset = offset % (1 << offset_bits);
+        let frag = if user_bits == 0 { 0 } else { frag % (1 << user_bits) };
+        let enc = layout.encode(msg_id, offset, frag);
+        prop_assert_eq!(layout.decode(enc), (msg_id, offset, frag));
+    }
+
+    /// The user immediate reassembles from any packet-offset multiset that
+    /// covers all fragment residues, regardless of arrival order.
+    #[test]
+    fn user_imm_reassembly(
+        user_imm: u32,
+        mut extra_offsets in proptest::collection::vec(0u32..10_000, 0..30),
+        base in 0u32..1000,
+    ) {
+        let layout = ImmLayout::default();
+        // Guarantee coverage: 8 offsets with distinct residues...
+        let mut offsets: Vec<u32> = (0..8).map(|i| base * 8 + i).collect();
+        // ...plus arbitrary duplicates in arbitrary order.
+        offsets.append(&mut extra_offsets);
+        let mut acc = UserImmAccumulator::new();
+        for off in offsets {
+            acc.absorb(&layout, off, layout.user_fragment_for(user_imm, off));
+        }
+        prop_assert_eq!(acc.get(&layout), Some(user_imm));
+    }
+
+    /// Two-level bitmap invariants under arbitrary arrival orders with
+    /// duplicates: a chunk bit is set iff all its packets arrived, each
+    /// completion fires exactly once, and missing packets are reported
+    /// exactly.
+    #[test]
+    fn bitmap_invariants_any_arrival_order(
+        total_packets in 1usize..200,
+        pkts_per_chunk in 1u32..20,
+        arrivals in proptest::collection::vec(0usize..200, 0..500),
+    ) {
+        let bm = TwoLevelBitmap::new(total_packets, pkts_per_chunk);
+        let mut seen = vec![false; total_packets];
+        let mut completions = 0usize;
+        for a in arrivals {
+            let pkt = a % total_packets;
+            let fired = bm.record_packet(pkt).is_some();
+            if fired {
+                completions += 1;
+            }
+            seen[pkt] = true;
+        }
+        // Reference computation.
+        let chunks = total_packets.div_ceil(pkts_per_chunk as usize);
+        let mut expect_complete = 0usize;
+        for c in 0..chunks {
+            let lo = c * pkts_per_chunk as usize;
+            let hi = ((c + 1) * pkts_per_chunk as usize).min(total_packets);
+            let full = (lo..hi).all(|p| seen[p]);
+            prop_assert_eq!(bm.chunks().get(c), full, "chunk {}", c);
+            if full {
+                expect_complete += 1;
+            }
+        }
+        prop_assert_eq!(completions, expect_complete);
+        let missing: Vec<usize> =
+            (0..total_packets).filter(|&p| !seen[p]).collect();
+        prop_assert_eq!(bm.packets().missing_in_first_n(total_packets), missing);
+        prop_assert_eq!(bm.is_complete(), expect_complete == chunks);
+    }
+
+    /// `cumulative_prefix` equals the index of the first unseen packet.
+    #[test]
+    fn cumulative_prefix_matches_reference(
+        n in 1usize..300,
+        holes in proptest::collection::vec(0usize..300, 0..10),
+    ) {
+        let bm = TwoLevelBitmap::new(n, 4);
+        let holes: Vec<usize> = holes.into_iter().map(|h| h % n).collect();
+        for p in 0..n {
+            if !holes.contains(&p) {
+                bm.record_packet(p);
+            }
+        }
+        let expect = (0..n).find(|p| holes.contains(p)).unwrap_or(n);
+        prop_assert_eq!(bm.packets().cumulative_prefix(n), expect);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sdr-dpa — the simulated Data Path Accelerator
+//!
+//! The paper offloads SDR's receive backend to the BlueField-3 **DPA**
+//! (§3.4): 256 hardware threads process packet Write completions in
+//! parallel, each validating the packet's generation, updating a per-packet
+//! bitmap in DPA memory, and publishing chunk bits to host memory over PCIe.
+//!
+//! This crate is the hardware substitution for Figures 14–16: the same
+//! datapath executed by host worker threads.
+//!
+//! * [`CqeRing`] — per-worker lock-free completion rings (one per channel
+//!   group, §3.4.1).
+//! * [`DpaMsgTable`] — the shared receive state: slot generations, activity
+//!   flags, and the two-level bitmaps from `sdr-core`.
+//! * [`DpaEngine`] — spawns the workers and stripes completions round-robin.
+//! * [`run_loopback`] — the `ib_write_bw`-style client/server stress loop
+//!   used to regenerate Figure 14 (throughput vs message size, thread
+//!   scaling), Figure 15 (bitmap chunk size) and Figure 16 (packet-rate
+//!   scaling toward Tbit/s links).
+//!
+//! What is measured is the *packet-completion processing rate* — table
+//! lookup, generation filter, atomic bitmap updates, chunk publication —
+//! which is the work the DPA performs; payload movement is the NIC DMA
+//! engine's job in both the paper and this model and is therefore excluded
+//! on purpose.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod loopback;
+pub mod ring;
+pub mod table;
+
+pub use engine::{DpaConfig, DpaEngine};
+pub use loopback::{run_loopback, LoopbackConfig, ThroughputReport};
+pub use ring::{CqeRing, DpaCqe};
+pub use table::{DpaMsgTable, ProcessStats};

@@ -1,0 +1,143 @@
+//! Per-worker completion rings.
+//!
+//! The multi-channel design (§3.4.1) maps each transport channel to its own
+//! completion queue, polled by a dedicated DPA worker thread. Here each
+//! worker owns one lock-free ring; the sender side pushes packet-completion
+//! records round-robin across rings, exactly like packets striped across
+//! channel QPs land in separate CQs.
+
+use crossbeam::queue::ArrayQueue;
+use std::sync::Arc;
+
+/// A packet-completion record as seen by a DPA worker: the 32-bit transport
+/// immediate plus the generation of the delivering QP and the NULL-key flag
+/// (what a CQE-plus-QP-context gives the worker on hardware).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DpaCqe {
+    /// Transport immediate (msg id | packet offset | user fragment).
+    pub imm: u32,
+    /// Generation of the QP that delivered the packet.
+    pub generation: u32,
+    /// Payload was discarded by the NULL memory key (late packet).
+    pub null_write: bool,
+}
+
+/// A bounded MPSC completion ring (one consumer: the owning worker).
+pub struct CqeRing {
+    queue: ArrayQueue<DpaCqe>,
+}
+
+impl CqeRing {
+    /// Creates a ring holding up to `capacity` completions.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(CqeRing {
+            queue: ArrayQueue::new(capacity),
+        })
+    }
+
+    /// Pushes a completion, spinning (with yields) on backpressure —
+    /// the NIC-side equivalent of CQ flow control.
+    pub fn push_blocking(&self, cqe: DpaCqe) {
+        let mut backoff = 0u32;
+        while self.queue.push(cqe).is_err() {
+            backoff += 1;
+            if backoff > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Attempts to push without blocking.
+    pub fn try_push(&self, cqe: DpaCqe) -> bool {
+        self.queue.push(cqe).is_ok()
+    }
+
+    /// Pops the next completion, if any.
+    pub fn pop(&self) -> Option<DpaCqe> {
+        self.queue.pop()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no completions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_consumer() {
+        let ring = CqeRing::new(16);
+        for i in 0..10u32 {
+            assert!(ring.try_push(DpaCqe {
+                imm: i,
+                generation: 0,
+                null_write: false
+            }));
+        }
+        for i in 0..10u32 {
+            assert_eq!(ring.pop().unwrap().imm, i);
+        }
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn bounded_capacity() {
+        let ring = CqeRing::new(4);
+        for i in 0..4u32 {
+            assert!(ring.try_push(DpaCqe {
+                imm: i,
+                generation: 0,
+                null_write: false
+            }));
+        }
+        assert!(!ring.try_push(DpaCqe {
+            imm: 99,
+            generation: 0,
+            null_write: false
+        }));
+        ring.pop();
+        assert!(ring.try_push(DpaCqe {
+            imm: 99,
+            generation: 0,
+            null_write: false
+        }));
+    }
+
+    #[test]
+    fn push_blocking_unblocks_concurrently() {
+        let ring = CqeRing::new(2);
+        ring.try_push(DpaCqe {
+            imm: 0,
+            generation: 0,
+            null_write: false,
+        });
+        ring.try_push(DpaCqe {
+            imm: 1,
+            generation: 0,
+            null_write: false,
+        });
+        let r2 = ring.clone();
+        let producer = std::thread::spawn(move || {
+            r2.push_blocking(DpaCqe {
+                imm: 2,
+                generation: 0,
+                null_write: false,
+            });
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(ring.pop().unwrap().imm, 0);
+        producer.join().unwrap();
+        assert_eq!(ring.pop().unwrap().imm, 1);
+        assert_eq!(ring.pop().unwrap().imm, 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! Shared message table: the receive-side state DPA workers operate on.
+//!
+//! Mirrors the hardware layout of §3.2.2/§3.4.2: per-message-slot
+//! generation + activity state, the per-packet bitmap "in DPA memory" and
+//! the chunk bitmap "in host memory" (the [`TwoLevelBitmap`]). All datapath
+//! accesses are atomic; only repost (the host frontend) takes the slot's
+//! write lock to swap in a fresh bitmap.
+
+use parking_lot::RwLock;
+use sdr_core::bitmap::TwoLevelBitmap;
+use sdr_core::imm::ImmLayout;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// One message-ID slot.
+pub struct DpaSlot {
+    generation: AtomicU32,
+    active: AtomicBool,
+    bitmap: RwLock<Arc<TwoLevelBitmap>>,
+}
+
+/// Per-worker processing counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Packets whose bitmap bit was set.
+    pub packets: u64,
+    /// Duplicate packet completions.
+    pub duplicates: u64,
+    /// Chunks completed (host chunk-bitmap publications).
+    pub chunks: u64,
+    /// Completions filtered by the NULL-key flag (stage 1).
+    pub null_filtered: u64,
+    /// Completions filtered by the generation check (stage 2).
+    pub generation_filtered: u64,
+    /// Completions for inactive slots.
+    pub inactive: u64,
+    /// Out-of-range packet offsets.
+    pub bad_offset: u64,
+}
+
+impl ProcessStats {
+    /// Element-wise sum of two stats records.
+    pub fn merge(&self, other: &ProcessStats) -> ProcessStats {
+        ProcessStats {
+            packets: self.packets + other.packets,
+            duplicates: self.duplicates + other.duplicates,
+            chunks: self.chunks + other.chunks,
+            null_filtered: self.null_filtered + other.null_filtered,
+            generation_filtered: self.generation_filtered + other.generation_filtered,
+            inactive: self.inactive + other.inactive,
+            bad_offset: self.bad_offset + other.bad_offset,
+        }
+    }
+}
+
+/// The shared receive message table.
+pub struct DpaMsgTable {
+    slots: Vec<DpaSlot>,
+    layout: ImmLayout,
+}
+
+impl DpaMsgTable {
+    /// Creates a table with `slots` inactive message slots.
+    pub fn new(slots: usize, layout: ImmLayout) -> Arc<Self> {
+        Arc::new(DpaMsgTable {
+            slots: (0..slots)
+                .map(|_| DpaSlot {
+                    generation: AtomicU32::new(0),
+                    active: AtomicBool::new(false),
+                    // Placeholder bitmap; replaced on first post.
+                    bitmap: RwLock::new(Arc::new(TwoLevelBitmap::new(1, 1))),
+                })
+                .collect(),
+            layout,
+        })
+    }
+
+    /// Number of message slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The immediate layout workers decode with.
+    pub fn layout(&self) -> ImmLayout {
+        self.layout
+    }
+
+    /// Posts a message into `slot` at `generation` with a fresh bitmap —
+    /// the repost work whose cost dominates small-message throughput
+    /// (§5.4.1: slot reallocation, key-table update, bitmap cleanup).
+    pub fn post(&self, slot: usize, generation: u32, total_packets: usize, pkts_per_chunk: u32) {
+        let s = &self.slots[slot];
+        assert!(
+            !s.active.load(Ordering::Acquire),
+            "slot {slot} still active"
+        );
+        *s.bitmap.write() = Arc::new(TwoLevelBitmap::new(total_packets, pkts_per_chunk));
+        s.generation.store(generation, Ordering::Release);
+        s.active.store(true, Ordering::Release);
+    }
+
+    /// Marks `slot` complete/inactive (host called `recv_complete`).
+    pub fn complete(&self, slot: usize) {
+        self.slots[slot].active.store(false, Ordering::Release);
+    }
+
+    /// True when every chunk of the slot's message has arrived.
+    pub fn is_complete(&self, slot: usize) -> bool {
+        let s = &self.slots[slot];
+        s.active.load(Ordering::Acquire) && s.bitmap.read().is_complete()
+    }
+
+    /// Packet indices still missing in the slot's message.
+    pub fn missing_packets(&self, slot: usize) -> Vec<usize> {
+        let s = &self.slots[slot];
+        let bm = s.bitmap.read();
+        let n = bm.total_packets();
+        bm.packets().missing_in_first_n(n)
+    }
+
+    /// The worker datapath (§3.4.2): validate generation, locate the
+    /// message descriptor, update the per-packet bitmap, and publish the
+    /// chunk bit when this packet completes its chunk.
+    #[inline]
+    pub fn process(&self, cqe: crate::ring::DpaCqe, stats: &mut ProcessStats) {
+        if cqe.null_write {
+            stats.null_filtered += 1;
+            return;
+        }
+        let (msg_id, pkt_offset, _frag) = self.layout.decode(cqe.imm);
+        let Some(slot) = self.slots.get(msg_id as usize) else {
+            stats.bad_offset += 1;
+            return;
+        };
+        if !slot.active.load(Ordering::Acquire) {
+            stats.inactive += 1;
+            return;
+        }
+        if slot.generation.load(Ordering::Acquire) != cqe.generation {
+            stats.generation_filtered += 1;
+            return;
+        }
+        let bm = slot.bitmap.read();
+        let pkt = pkt_offset as usize;
+        if pkt >= bm.total_packets() {
+            stats.bad_offset += 1;
+            return;
+        }
+        if bm.packets().get(pkt) {
+            stats.duplicates += 1;
+            return;
+        }
+        stats.packets += 1;
+        if bm.record_packet(pkt).is_some() {
+            stats.chunks += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::DpaCqe;
+
+    fn table() -> Arc<DpaMsgTable> {
+        DpaMsgTable::new(4, ImmLayout::default())
+    }
+
+    fn cqe(layout: &ImmLayout, msg: u32, pkt: u32, generation: u32) -> DpaCqe {
+        DpaCqe {
+            imm: layout.encode(msg, pkt, 0),
+            generation,
+            null_write: false,
+        }
+    }
+
+    #[test]
+    fn packets_complete_chunks_and_messages() {
+        let t = table();
+        let l = t.layout();
+        t.post(0, 0, 32, 16);
+        let mut st = ProcessStats::default();
+        for pkt in 0..32 {
+            t.process(cqe(&l, 0, pkt, 0), &mut st);
+        }
+        assert_eq!(st.packets, 32);
+        assert_eq!(st.chunks, 2);
+        assert!(t.is_complete(0));
+    }
+
+    #[test]
+    fn generation_mismatch_is_filtered() {
+        let t = table();
+        let l = t.layout();
+        t.post(1, 3, 8, 4);
+        let mut st = ProcessStats::default();
+        t.process(cqe(&l, 1, 0, 2), &mut st); // stale generation
+        assert_eq!(st.generation_filtered, 1);
+        assert_eq!(st.packets, 0);
+        t.process(cqe(&l, 1, 0, 3), &mut st);
+        assert_eq!(st.packets, 1);
+    }
+
+    #[test]
+    fn null_and_inactive_are_filtered() {
+        let t = table();
+        let l = t.layout();
+        let mut st = ProcessStats::default();
+        t.process(
+            DpaCqe {
+                imm: l.encode(2, 0, 0),
+                generation: 0,
+                null_write: true,
+            },
+            &mut st,
+        );
+        assert_eq!(st.null_filtered, 1);
+        t.process(cqe(&l, 2, 0, 0), &mut st); // slot never posted
+        assert_eq!(st.inactive, 1);
+    }
+
+    #[test]
+    fn duplicates_and_bad_offsets_counted() {
+        let t = table();
+        let l = t.layout();
+        t.post(0, 0, 4, 2);
+        let mut st = ProcessStats::default();
+        t.process(cqe(&l, 0, 1, 0), &mut st);
+        t.process(cqe(&l, 0, 1, 0), &mut st);
+        assert_eq!(st.duplicates, 1);
+        t.process(cqe(&l, 0, 9, 0), &mut st); // beyond the 4-packet message
+        assert_eq!(st.bad_offset, 1);
+    }
+
+    #[test]
+    fn repost_resets_state() {
+        let t = table();
+        let l = t.layout();
+        t.post(0, 0, 4, 2);
+        let mut st = ProcessStats::default();
+        for pkt in 0..4 {
+            t.process(cqe(&l, 0, pkt, 0), &mut st);
+        }
+        assert!(t.is_complete(0));
+        t.complete(0);
+        assert!(!t.is_complete(0));
+        t.post(0, 1, 4, 2);
+        assert_eq!(t.missing_packets(0).len(), 4);
+        // Old-generation completions for the reposted slot are filtered.
+        t.process(cqe(&l, 0, 0, 0), &mut st);
+        assert_eq!(st.generation_filtered, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "still active")]
+    fn double_post_panics() {
+        let t = table();
+        t.post(0, 0, 4, 2);
+        t.post(0, 1, 4, 2);
+    }
+}

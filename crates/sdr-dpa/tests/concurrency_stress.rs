@@ -1,0 +1,106 @@
+//! Concurrency stress for the DPA engine: random interleavings across
+//! workers with losses, duplicates and stale generations must never corrupt
+//! the bitmaps — the final missing set always matches a single-threaded
+//! reference.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sdr_core::imm::ImmLayout;
+use sdr_dpa::{DpaCqe, DpaConfig, DpaEngine};
+
+#[test]
+fn random_interleavings_with_drops_and_duplicates() {
+    for seed in 0..6u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let eng = DpaEngine::start(DpaConfig {
+            workers: 4,
+            msg_slots: 8,
+            ring_capacity: 8192,
+            layout: ImmLayout::default(),
+        });
+        let l = eng.table().layout();
+        let total = 2048usize;
+        eng.table().post(2, 7, total, 16);
+
+        // Build the stream: each packet 0–2 times (drop/dup), plus stale
+        // generation noise, then shuffle.
+        let mut stream: Vec<DpaCqe> = Vec::new();
+        let mut expect_missing: Vec<usize> = Vec::new();
+        for pkt in 0..total {
+            let copies = match rng.random_range(0..10) {
+                0 => 0, // dropped
+                1..=7 => 1,
+                _ => 2, // duplicated (retransmission overlap)
+            };
+            if copies == 0 {
+                expect_missing.push(pkt);
+            }
+            for _ in 0..copies {
+                stream.push(DpaCqe {
+                    imm: l.encode(2, pkt as u32, 0),
+                    generation: 7,
+                    null_write: false,
+                });
+            }
+            if rng.random_range(0..20) == 0 {
+                stream.push(DpaCqe {
+                    imm: l.encode(2, pkt as u32, 0),
+                    generation: 6, // stale
+                    null_write: false,
+                });
+            }
+        }
+        stream.shuffle(&mut rng);
+        for cqe in stream {
+            eng.dispatch(cqe);
+        }
+        // Drain.
+        while eng.backlog() > 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let missing = eng.table().missing_packets(2);
+        let st = eng.shutdown();
+        assert_eq!(missing, expect_missing, "seed {seed}");
+        assert_eq!(
+            st.packets as usize,
+            total - expect_missing.len(),
+            "seed {seed}: each surviving packet counted once"
+        );
+        assert_eq!(st.bad_offset, 0);
+    }
+}
+
+#[test]
+fn parallel_messages_do_not_interfere() {
+    let eng = DpaEngine::start(DpaConfig {
+        workers: 3,
+        msg_slots: 16,
+        ring_capacity: 8192,
+        layout: ImmLayout::default(),
+    });
+    let l = eng.table().layout();
+    // 16 concurrent messages, interleaved packet streams.
+    for slot in 0..16 {
+        eng.table().post(slot, 1, 256, 8);
+    }
+    for pkt in 0..256u32 {
+        for slot in 0..16u32 {
+            eng.dispatch(DpaCqe {
+                imm: l.encode(slot, pkt, 0),
+                generation: 1,
+                null_write: false,
+            });
+        }
+    }
+    for slot in 0..16 {
+        while !eng.table().is_complete(slot) {
+            std::thread::yield_now();
+        }
+    }
+    let st = eng.shutdown();
+    assert_eq!(st.packets, 16 * 256);
+    assert_eq!(st.chunks, 16 * 32);
+    assert_eq!(st.duplicates, 0);
+}

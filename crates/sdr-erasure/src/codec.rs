@@ -1,0 +1,83 @@
+//! The erasure-code interface shared by the MDS (Reed–Solomon) and XOR
+//! schemes of the paper's Section 5.1.
+
+/// Errors surfaced by decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EcError {
+    /// Not enough shards survive to reconstruct the data.
+    Unrecoverable,
+    /// Shards have inconsistent lengths or the wrong count.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for EcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcError::Unrecoverable => write!(f, "too many erasures to reconstruct"),
+            EcError::ShapeMismatch => write!(f, "shard shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for EcError {}
+
+/// A systematic erasure code over `k` data shards producing `m` parity
+/// shards. Shard order everywhere is `[data_0 … data_{k-1}, parity_0 …
+/// parity_{m-1}]`.
+pub trait ErasureCode: Send + Sync {
+    /// Number of data shards (`k` in the paper).
+    fn data_shards(&self) -> usize;
+
+    /// Number of parity shards (`m` in the paper).
+    fn parity_shards(&self) -> usize;
+
+    /// Total shards `k + m`.
+    fn total_shards(&self) -> usize {
+        self.data_shards() + self.parity_shards()
+    }
+
+    /// Computes parity into caller-provided buffers (the hot path —
+    /// no allocation).
+    ///
+    /// # Panics
+    /// Panics when shard counts or lengths are inconsistent.
+    fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]);
+
+    /// Computes and returns freshly allocated parity shards.
+    fn encode(&self, data: &[&[u8]]) -> Vec<Vec<u8>> {
+        assert_eq!(data.len(), self.data_shards());
+        let len = data.first().map_or(0, |d| d.len());
+        let mut parity = vec![vec![0u8; len]; self.parity_shards()];
+        {
+            let mut views: Vec<&mut [u8]> =
+                parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+            self.encode_into(data, &mut views);
+        }
+        parity
+    }
+
+    /// Whether the erasure pattern `present` (length `k + m`, `true` =
+    /// shard arrived) allows full data recovery.
+    fn can_recover(&self, present: &[bool]) -> bool;
+
+    /// Reconstructs all missing **data** shards in place (`None` entries are
+    /// erasures). Missing parity shards are also refilled when possible.
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError>;
+}
+
+/// Validates a shard array shape: length `k+m`, all present shards the same
+/// length. Returns that length.
+pub(crate) fn shard_len(shards: &[Option<Vec<u8>>], total: usize) -> Result<usize, EcError> {
+    if shards.len() != total {
+        return Err(EcError::ShapeMismatch);
+    }
+    let mut len = None;
+    for s in shards.iter().flatten() {
+        match len {
+            None => len = Some(s.len()),
+            Some(l) if l != s.len() => return Err(EcError::ShapeMismatch),
+            _ => {}
+        }
+    }
+    len.ok_or(EcError::Unrecoverable)
+}

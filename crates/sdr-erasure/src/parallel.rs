@@ -1,0 +1,133 @@
+//! Multi-threaded erasure encoding.
+//!
+//! The paper hides EC encoding behind data injection by running it on spare
+//! CPU cores (Section 4.1.2, Figure 11: XOR saturates 400 Gbit/s with 4
+//! cores, MDS needs ~8). Erasure codes are column-wise independent, so we
+//! split the shard length into per-thread stripes and encode each stripe
+//! concurrently with `std::thread::scope` — no locks, no shared mutable
+//! state.
+
+use crate::codec::ErasureCode;
+
+/// Stripe alignment: keep per-thread slices cache-line aligned.
+const STRIPE_ALIGN: usize = 64;
+
+/// Splits every mutable slice in `views` at `at`, returning the heads and
+/// keeping the tails in `views`.
+fn split_all<'a>(views: &mut Vec<&'a mut [u8]>, at: usize) -> Vec<&'a mut [u8]> {
+    let mut heads = Vec::with_capacity(views.len());
+    for v in views.iter_mut() {
+        let taken = std::mem::take(v);
+        let (head, tail) = taken.split_at_mut(at);
+        heads.push(head);
+        *v = tail;
+    }
+    heads
+}
+
+/// Encodes `data` with `code` using up to `threads` worker threads,
+/// returning the parity shards.
+///
+/// Equivalent to [`ErasureCode::encode`] but with the shard length divided
+/// into independent column stripes. Falls back to single-threaded encoding
+/// for small shards (< one stripe per thread).
+pub fn encode_parallel(code: &dyn ErasureCode, data: &[&[u8]], threads: usize) -> Vec<Vec<u8>> {
+    assert_eq!(data.len(), code.data_shards());
+    let len = data.first().map_or(0, |d| d.len());
+    assert!(data.iter().all(|d| d.len() == len), "ragged data shards");
+    let threads = threads.max(1);
+
+    let mut parity = vec![vec![0u8; len]; code.parity_shards()];
+    if threads == 1 || len < threads * STRIPE_ALIGN {
+        let mut views: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+        code.encode_into(data, &mut views);
+        return parity;
+    }
+
+    // Carve [0, len) into `threads` stripes aligned to STRIPE_ALIGN.
+    let base = len / threads / STRIPE_ALIGN * STRIPE_ALIGN;
+    let mut bounds = Vec::with_capacity(threads);
+    let mut used = 0;
+    for i in 0..threads {
+        let size = if i == threads - 1 { len - used } else { base };
+        bounds.push(size);
+        used += size;
+    }
+
+    let mut parity_tails: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+    std::thread::scope(|scope| {
+        let mut offset = 0usize;
+        for &size in &bounds {
+            if size == 0 {
+                continue;
+            }
+            let parity_stripe = split_all(&mut parity_tails, size);
+            let data_stripe: Vec<&[u8]> =
+                data.iter().map(|d| &d[offset..offset + size]).collect();
+            offset += size;
+            scope.spawn(move || {
+                let mut views = parity_stripe;
+                code.encode_into(&data_stripe, &mut views);
+            });
+        }
+    });
+    parity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rs::ReedSolomon;
+    use crate::xor::XorCode;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        let mut rng = SmallRng::seed_from_u64(123);
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.random()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_rs_matches_serial() {
+        let code = ReedSolomon::new(8, 3);
+        let data = random_data(8, 64 * 1024 + 13);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = code.encode(&refs);
+        for threads in [1, 2, 3, 4, 8] {
+            assert_eq!(
+                encode_parallel(&code, &refs, threads),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_xor_matches_serial() {
+        let code = XorCode::new(32, 8);
+        let data = random_data(32, 17 * 1024);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = code.encode(&refs);
+        assert_eq!(encode_parallel(&code, &refs, 4), serial);
+    }
+
+    #[test]
+    fn tiny_shards_fall_back_to_serial() {
+        let code = ReedSolomon::new(4, 2);
+        let data = random_data(4, 16);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = code.encode(&refs);
+        assert_eq!(encode_parallel(&code, &refs, 8), serial);
+    }
+
+    #[test]
+    fn zero_length_is_fine() {
+        let code = XorCode::new(2, 1);
+        let data = vec![vec![], vec![]];
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let p = encode_parallel(&code, &refs, 4);
+        assert_eq!(p, vec![Vec::<u8>::new()]);
+    }
+}

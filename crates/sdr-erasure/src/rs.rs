@@ -1,0 +1,232 @@
+//! Systematic Reed–Solomon coding — the paper's MDS scheme.
+//!
+//! An `RS(k, m)` code recovers the `k` data shards from **any** `k` of the
+//! `k + m` transmitted shards (Maximum Distance Separable). The encode
+//! matrix is derived from a Vandermonde matrix normalized so its top `k`
+//! rows are the identity (systematic form), the standard construction used
+//! by ISA-L and other storage codecs.
+
+use crate::codec::{shard_len, EcError, ErasureCode};
+use crate::gf256;
+use crate::matrix::Matrix;
+
+/// A systematic `RS(k, m)` Reed–Solomon code over GF(2^8).
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// Full `(k+m) × k` systematic encode matrix (top `k` rows identity).
+    matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Builds an `RS(k, m)` code.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 1`, `m ≥ 1` and `k + m ≤ 256` (the GF(256) field
+    /// size bounds the number of distinct shards).
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(k >= 1 && m >= 1, "need at least one data and parity shard");
+        assert!(k + m <= 256, "GF(256) supports at most 256 shards");
+        let v = Matrix::vandermonde(k + m, k);
+        let top_inv = v
+            .select_rows(&(0..k).collect::<Vec<_>>())
+            .inverse()
+            .expect("leading Vandermonde square is invertible");
+        let matrix = v.mul(&top_inv);
+        // Sanity: systematic form.
+        debug_assert!((0..k).all(|i| (0..k).all(|j| matrix[(i, j)] == u8::from(i == j))));
+        ReedSolomon { k, m, matrix }
+    }
+
+    /// The parity row for parity shard `i` (coefficients over data shards).
+    fn parity_row(&self, i: usize) -> &[u8] {
+        self.matrix.row(self.k + i)
+    }
+}
+
+impl ErasureCode for ReedSolomon {
+    fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    fn parity_shards(&self) -> usize {
+        self.m
+    }
+
+    fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) {
+        assert_eq!(data.len(), self.k, "expected {} data shards", self.k);
+        assert_eq!(parity.len(), self.m, "expected {} parity shards", self.m);
+        let len = data[0].len();
+        assert!(data.iter().all(|d| d.len() == len), "ragged data shards");
+        for (i, p) in parity.iter_mut().enumerate() {
+            assert_eq!(p.len(), len, "ragged parity shard {i}");
+            p.fill(0);
+            let row = self.parity_row(i);
+            for (j, d) in data.iter().enumerate() {
+                gf256::mul_add_slice(p, d, row[j]);
+            }
+        }
+    }
+
+    fn can_recover(&self, present: &[bool]) -> bool {
+        present.len() == self.k + self.m
+            && present.iter().filter(|&&p| p).count() >= self.k
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        let len = shard_len(shards, self.k + self.m)?;
+        if shards.iter().all(|s| s.is_some()) {
+            return Ok(());
+        }
+        let present_idx: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect();
+        if present_idx.len() < self.k {
+            return Err(EcError::Unrecoverable);
+        }
+        let use_idx = &present_idx[..self.k];
+
+        // Invert the k×k submatrix of encode rows for the shards we hold:
+        // data = inv(rows) × held_shards.
+        let sub = self.matrix.select_rows(use_idx);
+        let inv = sub.inverse().ok_or(EcError::Unrecoverable)?;
+
+        let missing_data: Vec<usize> =
+            (0..self.k).filter(|&i| shards[i].is_none()).collect();
+        let mut recovered: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing_data.len());
+        for &d in &missing_data {
+            let mut out = vec![0u8; len];
+            for (col, &src) in use_idx.iter().enumerate() {
+                let c = inv[(d, col)];
+                let shard = shards[src].as_ref().expect("present by construction");
+                gf256::mul_add_slice(&mut out, shard, c);
+            }
+            recovered.push((d, out));
+        }
+        for (d, buf) in recovered {
+            shards[d] = Some(buf);
+        }
+
+        // Refill missing parity from the (now complete) data shards.
+        for p in 0..self.m {
+            if shards[self.k + p].is_none() {
+                let mut out = vec![0u8; len];
+                let row = self.parity_row(p);
+                for j in 0..self.k {
+                    let d = shards[j].as_ref().expect("data complete");
+                    gf256::mul_add_slice(&mut out, d, row[j]);
+                }
+                shards[self.k + p] = Some(out);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_shards(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.random()).collect())
+            .collect()
+    }
+
+    fn roundtrip(k: usize, m: usize, erase: &[usize]) {
+        let code = ReedSolomon::new(k, m);
+        let data = random_shards(k, 257, 99);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs);
+
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.iter().cloned().map(Some))
+            .collect();
+        for &e in erase {
+            shards[e] = None;
+        }
+        code.reconstruct(&mut shards).expect("recoverable");
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(shards[i].as_ref().unwrap(), d, "data shard {i}");
+        }
+        for (i, p) in parity.iter().enumerate() {
+            assert_eq!(shards[k + i].as_ref().unwrap(), p, "parity shard {i}");
+        }
+    }
+
+    #[test]
+    fn recovers_any_m_erasures() {
+        roundtrip(4, 2, &[0, 1]); // two data
+        roundtrip(4, 2, &[4, 5]); // two parity
+        roundtrip(4, 2, &[1, 5]); // mixed
+        roundtrip(8, 3, &[0, 4, 7]);
+        roundtrip(32, 8, &[0, 5, 9, 13, 20, 31, 33, 39]); // the paper's split
+    }
+
+    #[test]
+    fn fails_beyond_m_erasures() {
+        let code = ReedSolomon::new(4, 2);
+        let data = random_shards(4, 64, 7);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .into_iter()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert_eq!(code.reconstruct(&mut shards), Err(EcError::Unrecoverable));
+    }
+
+    #[test]
+    fn can_recover_counts_survivors() {
+        let code = ReedSolomon::new(3, 2);
+        assert!(code.can_recover(&[true, true, true, false, false]));
+        assert!(code.can_recover(&[false, false, true, true, true]));
+        assert!(!code.can_recover(&[false, false, true, true, false]));
+        assert!(!code.can_recover(&[true, true])); // wrong length
+    }
+
+    #[test]
+    fn parity_is_deterministic_and_nontrivial() {
+        let code = ReedSolomon::new(3, 2);
+        let data = random_shards(3, 128, 5);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let p1 = code.encode(&refs);
+        let p2 = code.encode(&refs);
+        assert_eq!(p1, p2);
+        assert_ne!(p1[0], p1[1], "distinct parity rows");
+        assert!(p1[0].iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn zero_length_shards_are_rejected_by_reconstruct() {
+        let code = ReedSolomon::new(2, 1);
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None, None, None];
+        assert_eq!(code.reconstruct(&mut shards), Err(EcError::Unrecoverable));
+    }
+
+    #[test]
+    fn ragged_shards_are_rejected() {
+        let code = ReedSolomon::new(2, 1);
+        let mut shards = vec![Some(vec![0u8; 4]), Some(vec![0u8; 5]), None];
+        assert_eq!(code.reconstruct(&mut shards), Err(EcError::ShapeMismatch));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256 shards")]
+    fn field_size_limit() {
+        ReedSolomon::new(250, 10);
+    }
+}

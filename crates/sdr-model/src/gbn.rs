@@ -1,0 +1,131 @@
+//! Go-Back-N completion-time model — the commodity-NIC baseline.
+//!
+//! The paper restricts its analysis to Selective Repeat because SR's
+//! efficiency provably dominates Go-Back-N (§4, citing Bertsekas & Gallager).
+//! We include a GBN model anyway so experiments can show the gap: on a drop,
+//! GBN stalls for the RTO *and* re-injects every outstanding chunk from the
+//! hole onward, so each drop costs `RTO + min(W, M − i)·T_INJ` instead of
+//! SR's `RTO + T_INJ`.
+
+use rand::rngs::SmallRng;
+
+use crate::dist::{sample_binomial, sample_distinct_positions, sample_geometric_trials};
+use crate::params::Channel;
+use crate::stats::Summary;
+
+/// Go-Back-N tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GbnConfig {
+    /// Retransmission timeout in seconds.
+    pub rto_s: f64,
+    /// Send window in chunks (how much is re-injected per rewind).
+    pub window_chunks: u64,
+}
+
+impl GbnConfig {
+    /// Window sized to the bandwidth–delay product (a well-tuned NIC).
+    pub fn bdp_window(ch: &Channel, rto_mult: f64) -> Self {
+        let window = (ch.bdp_bytes() / ch.chunk_bytes as f64).ceil() as u64;
+        GbnConfig {
+            rto_s: rto_mult * ch.rtt_s,
+            window_chunks: window.max(1),
+        }
+    }
+}
+
+/// Draws one GBN completion-time sample for a message of `message_bytes`.
+///
+/// Every dropped chunk independently costs `Y−1` rounds of
+/// `RTO + min(W, M−i)·T_INJ` re-injection (Y geometric), serialized on top
+/// of the base injection time — GBN cannot overlap recovery with new data.
+pub fn gbn_sample(ch: &Channel, message_bytes: u64, cfg: &GbnConfig, rng: &mut SmallRng) -> f64 {
+    let m = ch.chunks_for(message_bytes);
+    let t_inj = ch.t_inj();
+    let p = ch.p_drop_chunk();
+    let base = m as f64 * t_inj + ch.rtt_s;
+    if p <= 0.0 {
+        return base;
+    }
+    let dropped = sample_binomial(rng, m, p);
+    if dropped == 0 {
+        return base;
+    }
+    let mut extra = 0.0;
+    for pos in sample_distinct_positions(rng, m, dropped) {
+        let rounds = sample_geometric_trials(rng, p);
+        let rewind = cfg.window_chunks.min(m - pos) as f64 * t_inj;
+        extra += rounds as f64 * (cfg.rto_s + rewind);
+    }
+    base + extra
+}
+
+/// Runs `trials` stochastic samples and summarizes them.
+pub fn gbn_summary(
+    ch: &Channel,
+    message_bytes: u64,
+    cfg: &GbnConfig,
+    trials: usize,
+    seed: u64,
+) -> Summary {
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let samples: Vec<f64> = (0..trials)
+        .map(|_| gbn_sample(ch, message_bytes, cfg, &mut rng))
+        .collect();
+    Summary::from_samples(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sr::{sr_summary, SrConfig};
+
+    #[test]
+    fn lossless_gbn_is_ideal() {
+        let ch = Channel::new(400e9, 0.025, 0.0);
+        let cfg = GbnConfig::bdp_window(&ch, 3.0);
+        let s = gbn_summary(&ch, 128 << 20, &cfg, 100, 1);
+        assert!((s.mean - ch.ideal_time(128 << 20)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sr_is_at_least_as_efficient_as_gbn() {
+        // The Bertsekas–Gallager ordering the paper invokes to justify
+        // studying SR as the ARQ representative.
+        let ch = Channel::new(400e9, 0.025, 1e-4);
+        let sr = sr_summary(&ch, 128 << 20, &SrConfig::rto_multiple(&ch, 3.0), 3000, 2);
+        let gbn = gbn_summary(&ch, 128 << 20, &GbnConfig::bdp_window(&ch, 3.0), 3000, 2);
+        assert!(
+            sr.mean <= gbn.mean,
+            "SR {} should not exceed GBN {}",
+            sr.mean,
+            gbn.mean
+        );
+    }
+
+    #[test]
+    fn gbn_cost_grows_with_window() {
+        let ch = Channel::new(400e9, 0.025, 1e-4);
+        let small = gbn_summary(
+            &ch,
+            128 << 20,
+            &GbnConfig {
+                rto_s: 0.075,
+                window_chunks: 16,
+            },
+            2000,
+            3,
+        );
+        let large = gbn_summary(
+            &ch,
+            128 << 20,
+            &GbnConfig {
+                rto_s: 0.075,
+                window_chunks: 4096,
+            },
+            2000,
+            3,
+        );
+        assert!(large.mean > small.mean);
+    }
+}

@@ -1,0 +1,184 @@
+//! Channel and workload parameters (paper §4.2.1 notation).
+//!
+//! The model works in **seconds** (`f64`) and in **chunks** of the receive
+//! bitmap: `M` is the message size in chunks, `T_INJ` the chunk injection
+//! time, and `P_drop` the per-chunk drop probability (derived from the
+//! per-packet rate and the chunk size, Figure 15's
+//! `P_chunk = 1 − (1 − P_drop)^N`).
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light used for distance → delay conversion (paper convention:
+/// 3750 km one-way ⇒ 25 ms RTT, i.e. c = 3·10⁸ m/s).
+pub const C_LIGHT_M_PER_S: f64 = 3.0e8;
+
+/// A long-haul channel as seen by the reliability layer.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Line rate in bits per second.
+    pub bandwidth_bps: f64,
+    /// Round-trip time in seconds.
+    pub rtt_s: f64,
+    /// Drop probability of a single MTU-sized packet (i.i.d.).
+    pub p_drop_packet: f64,
+    /// Packet (MTU) size in bytes.
+    pub mtu_bytes: u64,
+    /// Bitmap chunk size in bytes (a multiple of the MTU).
+    pub chunk_bytes: u64,
+}
+
+impl Channel {
+    /// The paper's default workhorse: 400 Gbit/s, 4 KiB MTU, 64 KiB chunks.
+    pub fn new(bandwidth_bps: f64, rtt_s: f64, p_drop_packet: f64) -> Self {
+        Channel {
+            bandwidth_bps,
+            rtt_s,
+            p_drop_packet,
+            mtu_bytes: 4096,
+            chunk_bytes: 64 * 1024,
+        }
+    }
+
+    /// Builds a channel from a one-way distance in kilometres.
+    pub fn from_km(km: f64, bandwidth_bps: f64, p_drop_packet: f64) -> Self {
+        Self::new(bandwidth_bps, rtt_from_km(km), p_drop_packet)
+    }
+
+    /// Overrides the bitmap chunk size (builder style).
+    pub fn with_chunk_bytes(mut self, chunk_bytes: u64) -> Self {
+        assert!(
+            chunk_bytes % self.mtu_bytes == 0,
+            "chunk must be a multiple of the MTU"
+        );
+        self.chunk_bytes = chunk_bytes;
+        self
+    }
+
+    /// Overrides the MTU (builder style).
+    pub fn with_mtu_bytes(mut self, mtu_bytes: u64) -> Self {
+        self.mtu_bytes = mtu_bytes;
+        self
+    }
+
+    /// Packets per bitmap chunk.
+    pub fn packets_per_chunk(&self) -> u64 {
+        self.chunk_bytes / self.mtu_bytes
+    }
+
+    /// `T_INJ`: time to inject one chunk (chunk size over bandwidth).
+    pub fn t_inj(&self) -> f64 {
+        self.chunk_bytes as f64 * 8.0 / self.bandwidth_bps
+    }
+
+    /// Per-chunk drop probability: a chunk is lost when **any** of its
+    /// packets is lost (Figure 15): `1 − (1 − p)^N`.
+    pub fn p_drop_chunk(&self) -> f64 {
+        chunk_drop_probability(self.p_drop_packet, self.packets_per_chunk())
+    }
+
+    /// Message size in chunks (`M`), rounding the last partial chunk up.
+    pub fn chunks_for(&self, message_bytes: u64) -> u64 {
+        message_bytes.div_ceil(self.chunk_bytes).max(1)
+    }
+
+    /// Bandwidth–delay product in bytes.
+    pub fn bdp_bytes(&self) -> f64 {
+        self.bandwidth_bps * self.rtt_s / 8.0
+    }
+
+    /// Lossless-channel completion time for a message: injection plus one
+    /// RTT for the final acknowledgment. Slowdowns are reported against
+    /// this baseline.
+    pub fn ideal_time(&self, message_bytes: u64) -> f64 {
+        self.chunks_for(message_bytes) as f64 * self.t_inj() + self.rtt_s
+    }
+}
+
+/// Round-trip time for a one-way distance of `km` kilometres.
+pub fn rtt_from_km(km: f64) -> f64 {
+    2.0 * km * 1_000.0 / C_LIGHT_M_PER_S
+}
+
+/// Probability that a chunk of `packets` MTUs loses at least one packet
+/// when each packet drops i.i.d. with probability `p_packet`.
+pub fn chunk_drop_probability(p_packet: f64, packets: u64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p_packet));
+    if p_packet <= 0.0 {
+        return 0.0;
+    }
+    // Stable for tiny p: 1 - exp(N · ln(1-p)) via ln_1p.
+    -f64::exp_m1(packets as f64 * f64::ln_1p(-p_packet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rtt_convention() {
+        assert!((rtt_from_km(3750.0) - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_inj_matches_hand_calculation() {
+        let ch = Channel::new(400e9, 0.025, 1e-5);
+        // 64 KiB at 400 Gbit/s = 65536*8/400e9 ≈ 1.31 µs.
+        assert!((ch.t_inj() - 1.31072e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunk_drop_probability_matches_figure15_row() {
+        // Figure 15: at P_drop = 1e-5, chunk sizes 1..64 MTUs give
+        // 1.0e-5, 2.0e-5, 4.0e-5, 8.0e-5, 1.6e-4, 3.2e-4, 6.4e-4.
+        let expect = [
+            (1u64, 1.0e-5),
+            (2, 2.0e-5),
+            (4, 4.0e-5),
+            (8, 8.0e-5),
+            (16, 1.6e-4),
+            (32, 3.2e-4),
+            (64, 6.4e-4),
+        ];
+        for (n, e) in expect {
+            let p = chunk_drop_probability(1e-5, n);
+            assert!((p - e).abs() / e < 1e-2, "N={n}: {p} vs {e}");
+        }
+    }
+
+    #[test]
+    fn chunk_drop_probability_edge_cases() {
+        assert_eq!(chunk_drop_probability(0.0, 16), 0.0);
+        assert!((chunk_drop_probability(1.0, 3) - 1.0).abs() < 1e-12);
+        // Monotone in both arguments.
+        assert!(chunk_drop_probability(1e-3, 8) > chunk_drop_probability(1e-4, 8));
+        assert!(chunk_drop_probability(1e-3, 16) > chunk_drop_probability(1e-3, 8));
+    }
+
+    #[test]
+    fn chunks_for_rounds_up() {
+        let ch = Channel::new(400e9, 0.025, 0.0);
+        assert_eq!(ch.chunks_for(1), 1);
+        assert_eq!(ch.chunks_for(64 * 1024), 1);
+        assert_eq!(ch.chunks_for(64 * 1024 + 1), 2);
+        assert_eq!(ch.chunks_for(128 << 20), 2048); // 128 MiB / 64 KiB
+    }
+
+    #[test]
+    fn bdp_at_400g_25ms_is_1_25_gb() {
+        let ch = Channel::new(400e9, 0.025, 0.0);
+        assert!((ch.bdp_bytes() - 1.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn ideal_time_is_injection_plus_rtt() {
+        let ch = Channel::new(400e9, 0.025, 0.0);
+        let t = ch.ideal_time(128 << 20);
+        assert!((t - (2048.0 * ch.t_inj() + 0.025)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the MTU")]
+    fn chunk_must_align_to_mtu() {
+        let _ = Channel::new(1e9, 0.01, 0.0).with_chunk_bytes(5000);
+    }
+}

@@ -1,0 +1,188 @@
+//! Analytic tail probabilities and quantiles for Selective Repeat.
+//!
+//! Appendix A gives the exact tail `P(max_i X_i ≥ q)`; beyond the expected
+//! value (the paper's use), the same formula yields any percentile by
+//! inverting the CDF — so the 99.9th-percentile slowdowns of Figure 10 can
+//! be computed *without* Monte-Carlo sampling. This module extends the
+//! paper's framework with that inversion and cross-validates it against the
+//! stochastic sampler.
+
+use crate::params::Channel;
+use crate::sr::SrConfig;
+
+/// Exact tail probability `P(T_SR(M) > t)` for completion time `t` seconds
+/// (including the final-ACK RTT): the Appendix A product form.
+pub fn sr_tail_probability(
+    m_chunks: u64,
+    t_inj: f64,
+    p_drop: f64,
+    rto_s: f64,
+    rtt_s: f64,
+    t: f64,
+) -> f64 {
+    if m_chunks == 0 {
+        return 0.0;
+    }
+    let q = t - rtt_s; // work in max(X_i) space
+    let base = m_chunks as f64 * t_inj;
+    if q < base {
+        return 1.0; // X_M ≥ t_start(M) surely
+    }
+    if p_drop <= 0.0 {
+        return 0.0;
+    }
+    let overhead = rto_s + t_inj;
+    // ln Π_i (1 − p^{k_i}) with k_i = ceil((q − i·T_INJ)/O), grouped by k.
+    let count_ge = |k: u32| -> f64 {
+        let bound = (q - (k as f64 - 1.0) * overhead) / t_inj;
+        if bound <= 1.0 {
+            0.0
+        } else {
+            (bound.ceil() - 1.0).min(m_chunks as f64)
+        }
+    };
+    let k_max = ((1e-18f64.ln() / p_drop.ln()).ceil() as u32).clamp(1, 512);
+    let mut ln_prod = 0.0;
+    let mut prev = count_ge(1);
+    for k in 1..=k_max {
+        if prev <= 0.0 {
+            break;
+        }
+        let next = count_ge(k + 1);
+        let exactly = prev - next;
+        if exactly > 0.0 {
+            ln_prod += exactly * f64::ln_1p(-p_drop.powi(k as i32));
+        }
+        prev = next;
+    }
+    -f64::exp_m1(ln_prod)
+}
+
+/// Analytic quantile: the smallest completion time `t` with
+/// `P(T_SR ≤ t) ≥ prob`, found by bisection on the exact tail.
+///
+/// `prob` in `(0, 1)`; `prob = 0.999` gives the paper's tail metric.
+pub fn sr_quantile_analytic(ch: &Channel, message_bytes: u64, cfg: &SrConfig, prob: f64) -> f64 {
+    assert!((0.0..1.0).contains(&prob) && prob > 0.0);
+    let m = ch.chunks_for(message_bytes);
+    let t_inj = ch.t_inj();
+    let p = ch.p_drop_chunk();
+    let rtt = ch.rtt_s;
+    let base = m as f64 * t_inj + rtt;
+    if p <= 0.0 {
+        return base;
+    }
+    let overhead = cfg.rto_s + t_inj;
+    let tail_target = 1.0 - prob;
+
+    // Bracket: the tail at base+ is ≤ 1; grow the upper bound in overhead
+    // steps until the tail falls below the target.
+    let mut hi = base + overhead;
+    let mut guard = 0;
+    while sr_tail_probability(m, t_inj, p, cfg.rto_s, rtt, hi) > tail_target {
+        hi += overhead;
+        guard += 1;
+        assert!(guard < 10_000, "quantile bracket runaway");
+    }
+    let mut lo = (hi - overhead).max(base);
+    // Bisection to sub-T_INJ resolution.
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if sr_tail_probability(m, t_inj, p, cfg.rto_s, rtt, mid) > tail_target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < t_inj * 0.25 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sr::sr_sample;
+    use crate::stats::Summary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ch() -> Channel {
+        Channel::new(400e9, 0.025, 1e-4)
+    }
+
+    #[test]
+    fn tail_is_a_valid_survival_function() {
+        let c = ch();
+        let cfg = SrConfig::rto_multiple(&c, 3.0);
+        let m = c.chunks_for(128 << 20);
+        let (t_inj, p, rtt) = (c.t_inj(), c.p_drop_chunk(), c.rtt_s);
+        let base = m as f64 * t_inj + rtt;
+        // 1 below base, decreasing, → 0 far out.
+        assert_eq!(
+            sr_tail_probability(m, t_inj, p, cfg.rto_s, rtt, base * 0.5),
+            1.0
+        );
+        let mut prev = 1.0;
+        for i in 0..20 {
+            let t = base + i as f64 * 0.02;
+            let tail = sr_tail_probability(m, t_inj, p, cfg.rto_s, rtt, t);
+            assert!(tail <= prev + 1e-12, "tail must be non-increasing");
+            assert!((0.0..=1.0).contains(&tail));
+            prev = tail;
+        }
+        assert!(prev < 1e-6, "tail must vanish: {prev}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_prob() {
+        let c = ch();
+        let cfg = SrConfig::rto_multiple(&c, 3.0);
+        let q50 = sr_quantile_analytic(&c, 128 << 20, &cfg, 0.50);
+        let q99 = sr_quantile_analytic(&c, 128 << 20, &cfg, 0.99);
+        let q999 = sr_quantile_analytic(&c, 128 << 20, &cfg, 0.999);
+        assert!(q50 <= q99 && q99 <= q999, "{q50} {q99} {q999}");
+        assert!(q50 >= c.ideal_time(128 << 20));
+    }
+
+    #[test]
+    fn analytic_quantiles_match_stochastic_sampler() {
+        // The new inversion must agree with Monte-Carlo from the paper's
+        // stochastic model — p50/p99 within a few percent at 30k samples
+        // (p99.9 needs more samples than a unit test should spend).
+        let c = ch();
+        let cfg = SrConfig::rto_multiple(&c, 3.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..30_000)
+            .map(|_| sr_sample(&c, 128 << 20, &cfg, &mut rng))
+            .collect();
+        let s = Summary::from_samples(samples);
+        for (prob, observed) in [(0.50, s.p50), (0.99, s.p99)] {
+            let analytic = sr_quantile_analytic(&c, 128 << 20, &cfg, prob);
+            let rel = (analytic - observed).abs() / observed;
+            assert!(
+                rel < 0.05,
+                "q{prob}: analytic {analytic} vs stochastic {observed} ({rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn lossless_quantile_is_ideal_time() {
+        let c = Channel::new(400e9, 0.025, 0.0);
+        let cfg = SrConfig::rto_multiple(&c, 3.0);
+        let q = sr_quantile_analytic(&c, 1 << 30, &cfg, 0.999);
+        assert!((q - c.ideal_time(1 << 30)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p999_reproduces_figure10_tail_ordering() {
+        // NACK's tail must beat RTO's tail analytically, by roughly the
+        // RTO ratio at the drop-dominated point.
+        let c = ch();
+        let rto = sr_quantile_analytic(&c, 128 << 20, &SrConfig::rto_multiple(&c, 3.0), 0.999);
+        let nack = sr_quantile_analytic(&c, 128 << 20, &SrConfig::nack(&c), 0.999);
+        assert!(rto / nack > 1.5, "rto {rto} nack {nack}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Order-statistics summaries for completion-time samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample set (times in seconds).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile — the paper's tail metric.
+    pub p999: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Builds a summary from raw samples (consumed: sorted in place).
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn from_samples(mut samples: Vec<f64>) -> Summary {
+        assert!(!samples.is_empty(), "no samples");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        Summary {
+            n,
+            mean,
+            min: samples[0],
+            p50: percentile_sorted(&samples, 0.50),
+            p99: percentile_sorted(&samples, 0.99),
+            p999: percentile_sorted(&samples, 0.999),
+            max: samples[n - 1],
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice,
+/// `q` in `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_uniform_ramp() {
+        let samples: Vec<f64> = (0..=1000).map(|i| i as f64).collect();
+        let s = Summary::from_samples(samples);
+        assert_eq!(s.n, 1001);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 1000.0);
+        assert!((s.mean - 500.0).abs() < 1e-9);
+        assert!((s.p50 - 500.0).abs() < 1e-9);
+        assert!((s.p99 - 990.0).abs() < 1e-9);
+        assert!((s.p999 - 999.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert!((percentile_sorted(&v, 0.25) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&v, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 10.0);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::from_samples(vec![3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.p999, 3.5);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = Summary::from_samples(vec![5.0, 1.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_sample_set_panics() {
+        Summary::from_samples(vec![]);
+    }
+}

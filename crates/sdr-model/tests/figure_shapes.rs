@@ -1,0 +1,145 @@
+//! Figure-shape regression tests: the paper's qualitative evaluation claims
+//! pinned as assertions, so a model change that breaks a reproduced shape
+//! fails CI rather than silently drifting.
+
+use sdr_model::{
+    ec_summary, sr_mean_analytic, sr_quantile_analytic, sr_summary, Channel, EcConfig, SrConfig,
+};
+
+fn ch(p: f64) -> Channel {
+    Channel::new(400e9, 0.025, p)
+}
+
+/// Figure 3a: SR's mean slowdown is unimodal-ish in message size — small
+/// messages near 1, a peak between the critical size and the BDP, decay
+/// back toward 1 for injection-dominated messages.
+#[test]
+fn fig3a_sr_peak_location() {
+    let c = ch(1e-5);
+    let cfg = SrConfig::rto_multiple(&c, 3.0);
+    let slow = |bytes: u64| sr_mean_analytic(&c, bytes, &cfg) / c.ideal_time(bytes);
+    let small = slow(128 << 10);
+    let peak = slow(512 << 20);
+    let large = slow(64u64 << 30);
+    assert!(small < 1.05, "128 KiB ≈ ideal: {small}");
+    assert!(peak > 2.0, "512 MiB is in the pain zone: {peak}");
+    assert!(large < 1.1, "64 GiB injection-dominated: {large}");
+    assert!(peak > small && peak > large, "unimodal shape");
+}
+
+/// Figure 3b: the 8 GiB SR-vs-EC crossover sits between 1500 and 3000 km.
+#[test]
+fn fig3b_distance_crossover() {
+    let slow = |km: f64, ec: bool| {
+        let c = Channel::from_km(km, 400e9, 1e-5);
+        let ideal = c.ideal_time(8 << 30);
+        if ec {
+            ec_summary(
+                &c,
+                8 << 30,
+                &EcConfig::mds(32, 8),
+                &SrConfig::rto_multiple(&c, 3.0),
+                400,
+                1,
+            )
+            .mean
+                / ideal
+        } else {
+            sr_mean_analytic(&c, 8 << 30, &SrConfig::rto_multiple(&c, 3.0)) / ideal
+        }
+    };
+    assert!(slow(75.0, false) < slow(75.0, true), "short: SR wins");
+    assert!(slow(6000.0, false) > slow(6000.0, true), "long: EC wins");
+}
+
+/// Figure 9: the red region exists — EC beats SR by ≥ 2× somewhere in the
+/// 128 KiB–1 GiB × 1e-6–1e-2 block, and by ≤ ~1× outside it.
+#[test]
+fn fig9_red_region() {
+    let speedup = |bytes: u64, p: f64| {
+        let c = ch(p);
+        let sr = sr_mean_analytic(&c, bytes, &SrConfig::rto_multiple(&c, 3.0));
+        let ec = ec_summary(
+            &c,
+            bytes,
+            &EcConfig::mds(32, 8),
+            &SrConfig::rto_multiple(&c, 3.0),
+            600,
+            2,
+        )
+        .mean;
+        sr / ec
+    };
+    assert!(speedup(128 << 20, 1e-4) > 2.0, "inside the red region");
+    assert!(speedup(512 << 20, 1e-3) > 2.0, "inside the red region");
+    assert!(speedup(128 << 10, 1e-5) < 1.2, "tiny messages: parity");
+    assert!(speedup(8 << 30, 1e-6) < 1.05, "huge messages at low drop: SR");
+}
+
+/// Figure 10: NACK improves SR by roughly the RTO ratio at the pain point,
+/// for both mean and tail.
+#[test]
+fn fig10_nack_improvement() {
+    let c = ch(1e-4);
+    let bytes = 128u64 << 20;
+    let rto = sr_summary(&c, bytes, &SrConfig::rto_multiple(&c, 3.0), 6000, 3);
+    let nack = sr_summary(&c, bytes, &SrConfig::nack(&c), 6000, 4);
+    assert!(rto.mean / nack.mean > 1.5);
+    assert!(rto.p999 / nack.p999 > 1.5);
+    // And the analytic tail agrees with the sampled tail. 6000 samples put
+    // only ~6 points past p99.9, so allow the order-statistic noise.
+    let analytic = sr_quantile_analytic(&c, bytes, &SrConfig::rto_multiple(&c, 3.0), 0.999);
+    let rel = (analytic - rto.p999).abs() / rto.p999;
+    assert!(rel < 0.15, "analytic {analytic} vs sampled {}", rto.p999);
+}
+
+/// Figure 12: at fixed distance, raising bandwidth exposes SR (BDP grows)
+/// while EC approaches ideal.
+#[test]
+fn fig12_bandwidth_exposure() {
+    let bytes = 128u64 << 20;
+    let sr_slow = |bw: f64| {
+        let c = Channel::from_km(3000.0, bw, 1e-5);
+        sr_mean_analytic(&c, bytes, &SrConfig::rto_multiple(&c, 3.0)) / c.ideal_time(bytes)
+    };
+    assert!(
+        sr_slow(3200e9) > sr_slow(400e9) && sr_slow(400e9) > sr_slow(100e9),
+        "SR slowdown grows with bandwidth at fixed distance"
+    );
+}
+
+/// Figure 15's annotation row: the closed-form chunk drop probabilities.
+#[test]
+fn fig15_chunk_probability_annotations() {
+    use sdr_model::chunk_drop_probability;
+    let expect = [1.0e-5, 2.0e-5, 4.0e-5, 8.0e-5, 1.6e-4, 3.2e-4, 6.4e-4];
+    for (i, n) in [1u64, 2, 4, 8, 16, 32, 64].iter().enumerate() {
+        let p = chunk_drop_probability(1e-5, *n);
+        assert!((p - expect[i]).abs() / expect[i] < 0.02, "N={n}: {p}");
+    }
+}
+
+/// §5.2.2: with higher RTT or more bandwidth, EC eventually overtakes SR
+/// even at 8 GiB (the message "shrinks" relative to the BDP).
+#[test]
+fn sec522_ec_overtakes_sr_at_8gib_with_more_bdp() {
+    let bytes = 8u64 << 30;
+    let eval = |bw: f64, km: f64| {
+        let c = Channel::from_km(km, bw, 1e-5);
+        let sr = sr_mean_analytic(&c, bytes, &SrConfig::rto_multiple(&c, 3.0));
+        let ec = ec_summary(
+            &c,
+            bytes,
+            &EcConfig::mds(32, 8),
+            &SrConfig::rto_multiple(&c, 3.0),
+            400,
+            5,
+        )
+        .mean;
+        sr / ec
+    };
+    let baseline = eval(400e9, 3750.0);
+    let more_bdp = eval(3200e9, 6000.0);
+    assert!(more_bdp > baseline, "{more_bdp} vs {baseline}");
+    assert!(more_bdp > 1.0, "EC must eventually win at 8 GiB");
+}

@@ -1,0 +1,264 @@
+//! Control-path wire formats for the example reliability layers (§4.1).
+//!
+//! The SR ACK compactly encodes the receiver's chunk bitmap in two parts
+//! (§4.1.1): a **cumulative ACK** (highest chunk for which all previous
+//! chunks arrived) and a **selective ACK** window (as much bitmap as fits in
+//! the ACK payload). The NACK variant additionally lists the holes so the
+//! sender can retransmit after one RTT instead of an RTO. The EC layer uses
+//! a positive ACK once all submessages are recoverable and a NACK listing
+//! the failed data submessages (§4.1.2).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum selective-ACK window carried per ACK (bits). Chosen so the whole
+/// message fits comfortably in one 4 KiB control datagram.
+pub const MAX_SACK_BITS: usize = 1024;
+/// Maximum explicit NACK entries per ACK.
+pub const MAX_NACKS: usize = 128;
+
+/// A control-path message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Selective Repeat acknowledgment.
+    SrAck {
+        /// All chunks `< cumulative` have been received.
+        cumulative: u32,
+        /// First chunk index covered by `sack_bits`.
+        window_start: u32,
+        /// Selective window: bit `i` = chunk `window_start + i` received.
+        sack_bits: Vec<u64>,
+        /// Number of valid bits in `sack_bits`.
+        sack_len: u32,
+        /// Explicit holes (NACK optimization; empty in plain RTO mode).
+        nacks: Vec<u32>,
+    },
+    /// EC receiver: all data submessages recovered — release the message.
+    EcAck,
+    /// EC receiver: these data submessages are unrecoverable; selective
+    /// repeat them (§4.1.2 fallback).
+    EcNack {
+        /// Indices of failed data submessages.
+        failed: Vec<u32>,
+    },
+}
+
+const TAG_SR_ACK: u8 = 1;
+const TAG_EC_ACK: u8 = 2;
+const TAG_EC_NACK: u8 = 3;
+
+impl CtrlMsg {
+    /// Serializes to a control datagram.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64);
+        match self {
+            CtrlMsg::SrAck {
+                cumulative,
+                window_start,
+                sack_bits,
+                sack_len,
+                nacks,
+            } => {
+                assert!(*sack_len as usize <= MAX_SACK_BITS);
+                assert!(nacks.len() <= MAX_NACKS);
+                b.put_u8(TAG_SR_ACK);
+                b.put_u32_le(*cumulative);
+                b.put_u32_le(*window_start);
+                b.put_u32_le(*sack_len);
+                b.put_u16_le(sack_bits.len() as u16);
+                b.put_u16_le(nacks.len() as u16);
+                for w in sack_bits {
+                    b.put_u64_le(*w);
+                }
+                for n in nacks {
+                    b.put_u32_le(*n);
+                }
+            }
+            CtrlMsg::EcAck => b.put_u8(TAG_EC_ACK),
+            CtrlMsg::EcNack { failed } => {
+                b.put_u8(TAG_EC_NACK);
+                b.put_u16_le(failed.len() as u16);
+                for f in failed {
+                    b.put_u32_le(*f);
+                }
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parses a control datagram; `None` on malformed input (corrupt or
+    /// truncated datagrams are simply dropped, like any unreliable packet).
+    pub fn decode(mut buf: Bytes) -> Option<CtrlMsg> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            TAG_SR_ACK => {
+                if buf.remaining() < 4 + 4 + 4 + 2 + 2 {
+                    return None;
+                }
+                let cumulative = buf.get_u32_le();
+                let window_start = buf.get_u32_le();
+                let sack_len = buf.get_u32_le();
+                let n_words = buf.get_u16_le() as usize;
+                let n_nacks = buf.get_u16_le() as usize;
+                if buf.remaining() < n_words * 8 + n_nacks * 4 {
+                    return None;
+                }
+                let sack_bits = (0..n_words).map(|_| buf.get_u64_le()).collect();
+                let nacks = (0..n_nacks).map(|_| buf.get_u32_le()).collect();
+                Some(CtrlMsg::SrAck {
+                    cumulative,
+                    window_start,
+                    sack_bits,
+                    sack_len,
+                    nacks,
+                })
+            }
+            TAG_EC_ACK => Some(CtrlMsg::EcAck),
+            TAG_EC_NACK => {
+                if buf.remaining() < 2 {
+                    return None;
+                }
+                let n = buf.get_u16_le() as usize;
+                if buf.remaining() < n * 4 {
+                    return None;
+                }
+                Some(CtrlMsg::EcNack {
+                    failed: (0..n).map(|_| buf.get_u32_le()).collect(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Builds the SR ACK for the receiver's current chunk bitmap state:
+/// cumulative prefix, a selective window starting at the cumulative point,
+/// and (if `with_nacks`) the missing chunks below the high-water mark.
+pub fn build_sr_ack(
+    chunks: &sdr_core::AtomicBitmap,
+    total_chunks: usize,
+    with_nacks: bool,
+) -> CtrlMsg {
+    let cumulative = chunks.cumulative_prefix(total_chunks) as u32;
+    let window_start = cumulative;
+    let window_len = ((total_chunks as u32).saturating_sub(window_start) as usize).min(MAX_SACK_BITS);
+    let mut sack_bits = vec![0u64; window_len.div_ceil(64)];
+    let mut nacks = Vec::new();
+    let mut high_water = None;
+    for i in 0..window_len {
+        let idx = window_start as usize + i;
+        if chunks.get(idx) {
+            sack_bits[i / 64] |= 1 << (i % 64);
+            high_water = Some(idx);
+        }
+    }
+    if with_nacks {
+        if let Some(hw) = high_water {
+            for i in 0..window_len {
+                let idx = window_start as usize + i;
+                if idx >= hw {
+                    break;
+                }
+                if !chunks.get(idx) && nacks.len() < MAX_NACKS {
+                    nacks.push(idx as u32);
+                }
+            }
+        }
+    }
+    CtrlMsg::SrAck {
+        cumulative,
+        window_start,
+        sack_bits,
+        sack_len: window_len as u32,
+        nacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_core::AtomicBitmap;
+
+    #[test]
+    fn sr_ack_roundtrip() {
+        let msg = CtrlMsg::SrAck {
+            cumulative: 17,
+            window_start: 17,
+            sack_bits: vec![0b1011, u64::MAX],
+            sack_len: 100,
+            nacks: vec![18, 21],
+        };
+        assert_eq!(CtrlMsg::decode(msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn ec_messages_roundtrip() {
+        assert_eq!(CtrlMsg::decode(CtrlMsg::EcAck.encode()), Some(CtrlMsg::EcAck));
+        let nack = CtrlMsg::EcNack {
+            failed: vec![0, 5, 63],
+        };
+        assert_eq!(CtrlMsg::decode(nack.encode()), Some(nack));
+    }
+
+    #[test]
+    fn malformed_datagrams_are_dropped() {
+        assert_eq!(CtrlMsg::decode(Bytes::new()), None);
+        assert_eq!(CtrlMsg::decode(Bytes::from_static(&[99])), None);
+        // Truncated SR ACK.
+        let mut enc = CtrlMsg::SrAck {
+            cumulative: 1,
+            window_start: 1,
+            sack_bits: vec![7],
+            sack_len: 10,
+            nacks: vec![],
+        }
+        .encode()
+        .to_vec();
+        enc.truncate(6);
+        assert_eq!(CtrlMsg::decode(Bytes::from(enc)), None);
+    }
+
+    #[test]
+    fn build_sr_ack_encodes_bitmap_state() {
+        let bm = AtomicBitmap::new(40);
+        for i in 0..40 {
+            if i != 5 && i != 20 {
+                bm.set(i);
+            }
+        }
+        let CtrlMsg::SrAck {
+            cumulative,
+            window_start,
+            sack_bits,
+            sack_len,
+            nacks,
+        } = build_sr_ack(&bm, 40, true)
+        else {
+            panic!()
+        };
+        assert_eq!(cumulative, 5);
+        assert_eq!(window_start, 5);
+        assert_eq!(sack_len, 35);
+        // Bit 0 of the window is chunk 5 (missing); bit 15 is chunk 20.
+        assert_eq!(sack_bits[0] & 1, 0);
+        assert_eq!(sack_bits[0] >> 15 & 1, 0);
+        assert_eq!(sack_bits[0] >> 1 & 1, 1);
+        assert_eq!(nacks, vec![5, 20]);
+    }
+
+    #[test]
+    fn complete_bitmap_acks_everything() {
+        let bm = AtomicBitmap::new(16);
+        for i in 0..16 {
+            bm.set(i);
+        }
+        let CtrlMsg::SrAck { cumulative, sack_len, nacks, .. } = build_sr_ack(&bm, 16, true)
+        else {
+            panic!()
+        };
+        assert_eq!(cumulative, 16);
+        assert_eq!(sack_len, 0);
+        assert!(nacks.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Model-guided protocol selection.
+//!
+//! The paper's thesis is that *no single reliability scheme wins everywhere*
+//! (§2.1) and that SDR's value is letting deployments pick and tune per
+//! connection (§5.2). This module operationalizes that: given channel
+//! parameters and a message size, it evaluates the candidate schemes with
+//! the `sdr-model` framework and recommends the best one.
+//!
+//! Tie-breaking follows §5.2.2: when EC's advantage is marginal, prefer SR —
+//! erasure coding pays a real CPU cost for encoding (and decoding under
+//! drops, Figure 11) that the latency model does not see.
+
+use sdr_model::{ec_summary, sr_summary, Channel, EcConfig, SrConfig, Summary};
+
+/// A candidate reliability scheme.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scheme {
+    /// Selective Repeat with `RTO = rto_rtts · RTT`.
+    SrRto {
+        /// Timeout multiplier (3 in the paper's `SR RTO`).
+        rto_rtts: f64,
+    },
+    /// Selective Repeat with the NACK optimization (1-RTT repair).
+    SrNack,
+    /// MDS erasure coding with the given data/parity split.
+    EcMds {
+        /// Data chunks per submessage.
+        k: u32,
+        /// Parity chunks per submessage.
+        m: u32,
+    },
+    /// XOR erasure coding with the given split.
+    EcXor {
+        /// Data chunks per submessage.
+        k: u32,
+        /// Parity chunks per submessage.
+        m: u32,
+    },
+}
+
+impl Scheme {
+    /// True for ARQ (retransmission-based) schemes.
+    pub fn is_sr(&self) -> bool {
+        matches!(self, Scheme::SrRto { .. } | Scheme::SrNack)
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheme::SrRto { rto_rtts } => write!(f, "SR RTO({rto_rtts} RTT)"),
+            Scheme::SrNack => write!(f, "SR NACK"),
+            Scheme::EcMds { k, m } => write!(f, "MDS EC({k},{m})"),
+            Scheme::EcXor { k, m } => write!(f, "XOR EC({k},{m})"),
+        }
+    }
+}
+
+/// An evaluated candidate.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// The scheme evaluated.
+    pub scheme: Scheme,
+    /// Predicted completion-time statistics.
+    pub summary: Summary,
+}
+
+/// The advisor's output.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// The chosen scheme.
+    pub scheme: Scheme,
+    /// Predicted statistics of the chosen scheme.
+    pub summary: Summary,
+    /// All evaluated candidates, sorted by mean completion time.
+    pub candidates: Vec<Candidate>,
+}
+
+/// If EC's mean advantage over the best SR variant is below this factor,
+/// recommend SR anyway (encode/decode CPU cost, §5.2.2).
+const EC_ADVANTAGE_THRESHOLD: f64 = 1.05;
+
+/// Evaluates the standard candidate set and recommends a scheme for
+/// `message_bytes` on `ch`. `trials` stochastic samples per candidate
+/// (≥ 2000 recommended for stable tails).
+pub fn recommend(ch: &Channel, message_bytes: u64, trials: usize, seed: u64) -> Recommendation {
+    let sr_rto = SrConfig::rto_multiple(ch, 3.0);
+    let sr_nack = SrConfig::nack(ch);
+    let mut candidates = vec![
+        Candidate {
+            scheme: Scheme::SrRto { rto_rtts: 3.0 },
+            summary: sr_summary(ch, message_bytes, &sr_rto, trials, seed),
+        },
+        Candidate {
+            scheme: Scheme::SrNack,
+            summary: sr_summary(ch, message_bytes, &sr_nack, trials, seed ^ 1),
+        },
+    ];
+    // The paper's MDS splits (Figure 10d) plus the XOR alternative.
+    for (k, m) in [(32u32, 8u32), (32, 4), (16, 8), (8, 8)] {
+        let cfg = EcConfig::mds(k, m);
+        candidates.push(Candidate {
+            scheme: Scheme::EcMds { k, m },
+            summary: ec_summary(ch, message_bytes, &cfg, &sr_rto, trials, seed ^ 2),
+        });
+    }
+    let xor = EcConfig::xor(32, 8);
+    candidates.push(Candidate {
+        scheme: Scheme::EcXor { k: 32, m: 8 },
+        summary: ec_summary(ch, message_bytes, &xor, &sr_rto, trials, seed ^ 3),
+    });
+
+    candidates.sort_by(|a, b| a.summary.mean.total_cmp(&b.summary.mean));
+    let best = candidates[0];
+    let best_sr = candidates
+        .iter()
+        .find(|c| c.scheme.is_sr())
+        .expect("SR candidates always present");
+
+    let chosen = if best.scheme.is_sr() {
+        best
+    } else if best_sr.summary.mean <= best.summary.mean * EC_ADVANTAGE_THRESHOLD {
+        // EC wins only marginally: the encode cost makes SR preferable.
+        *best_sr
+    } else {
+        best
+    };
+
+    Recommendation {
+        scheme: chosen.scheme,
+        summary: chosen.summary,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn red_zone_recommends_ec() {
+        // Figure 9's red area: 128 MiB at 1e-4 packet drop, 400 G / 25 ms —
+        // EC beats SR by multiples.
+        let ch = Channel::new(400e9, 0.025, 1e-4);
+        let rec = recommend(&ch, 128 << 20, 2000, 1);
+        assert!(
+            matches!(rec.scheme, Scheme::EcMds { .. }),
+            "expected MDS EC, got {}",
+            rec.scheme
+        );
+    }
+
+    #[test]
+    fn large_message_low_loss_recommends_sr() {
+        // §5.2.2: 8 GiB at 1e-6 — injection-bound, retransmissions hide in
+        // the pipeline, EC's 25% parity overhead loses.
+        let ch = Channel::new(400e9, 0.025, 1e-6);
+        let rec = recommend(&ch, 8 << 30, 1200, 2);
+        assert!(rec.scheme.is_sr(), "expected SR, got {}", rec.scheme);
+    }
+
+    #[test]
+    fn tiny_messages_prefer_sr_via_tiebreak() {
+        // Small messages: SR and EC complete in ~1 RTT either way; the CPU
+        // tie-break must choose SR.
+        let ch = Channel::new(400e9, 0.025, 1e-5);
+        let rec = recommend(&ch, 64 * 1024, 1500, 3);
+        assert!(rec.scheme.is_sr(), "expected SR, got {}", rec.scheme);
+    }
+
+    #[test]
+    fn candidates_are_sorted_by_mean() {
+        let ch = Channel::new(400e9, 0.025, 1e-4);
+        let rec = recommend(&ch, 128 << 20, 800, 4);
+        for w in rec.candidates.windows(2) {
+            assert!(w[0].summary.mean <= w[1].summary.mean);
+        }
+        assert_eq!(rec.candidates.len(), 7);
+    }
+}

@@ -1,0 +1,206 @@
+//! Reliability-layer control path.
+//!
+//! The example protocols use the two-connection design of §4.1: the
+//! data-path SDR QP for zero-copy transfer plus a low-overhead UD QP for
+//! protocol acknowledgments. SDR deliberately leaves control-path wireup to
+//! the application; this endpoint is that application-side piece.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use sdr_sim::{CqId, Engine, Fabric, NodeId, QpAddr, QpNum, QpType, RecvWqe, Waker};
+
+use crate::ack::CtrlMsg;
+
+/// Receive-buffer count and size for control datagrams.
+const CTRL_DEPTH: usize = 128;
+const CTRL_BUF_BYTES: u64 = 2048;
+
+/// Handler invoked per received control message: `(engine, src, message)`.
+pub type CtrlHandler = Box<dyn FnMut(&mut Engine, QpAddr, CtrlMsg)>;
+
+/// A UD endpoint carrying [`CtrlMsg`] datagrams for a reliability protocol.
+pub struct ControlEndpoint {
+    fabric: Fabric,
+    node: NodeId,
+    qp: QpNum,
+    #[allow(dead_code)]
+    cq: CqId,
+    handler: Rc<RefCell<Option<CtrlHandler>>>,
+    /// ACK datagrams sent (diagnostics).
+    sent: Rc<RefCell<u64>>,
+}
+
+impl ControlEndpoint {
+    /// Creates the endpoint on `node`, pre-posting its receive buffers and
+    /// hooking a completion waker that dispatches to the handler.
+    pub fn new(fabric: &Fabric, node: NodeId) -> Self {
+        let handler: Rc<RefCell<Option<CtrlHandler>>> = Rc::new(RefCell::new(None));
+        let (qp, cq) = fabric.node_mut(node, |n| {
+            let cq = n.create_cq();
+            let qp = n.create_qp(QpType::Ud, cq, cq);
+            let base = n.mem_mut().alloc(CTRL_DEPTH as u64 * CTRL_BUF_BYTES);
+            for i in 0..CTRL_DEPTH {
+                let addr = base + i as u64 * CTRL_BUF_BYTES;
+                n.post_recv(
+                    qp,
+                    RecvWqe {
+                        wr_id: addr,
+                        addr,
+                        len: CTRL_BUF_BYTES,
+                    },
+                );
+            }
+            (qp, cq)
+        });
+        let fab = fabric.clone();
+        let h = handler.clone();
+        fabric.node_mut(node, |n| {
+            n.set_cq_waker(
+                cq,
+                Waker::new(move |eng| {
+                    loop {
+                        let Some(cqe) = fab.node_mut(node, |n| n.poll_cq(cq)) else {
+                            break;
+                        };
+                        if cqe.op != sdr_sim::CqeOp::RecvSend {
+                            continue;
+                        }
+                        let addr = cqe.wr_id;
+                        let payload = fab.node_mut(node, |n| {
+                            let data =
+                                Bytes::copy_from_slice(n.mem().read(addr, cqe.byte_len as usize));
+                            // Recycle the buffer immediately.
+                            n.post_recv(
+                                qp,
+                                RecvWqe {
+                                    wr_id: addr,
+                                    addr,
+                                    len: CTRL_BUF_BYTES,
+                                },
+                            );
+                            data
+                        });
+                        let Some(msg) = CtrlMsg::decode(payload) else {
+                            continue;
+                        };
+                        let src = cqe.src.expect("UD receive has a source");
+                        // Take the handler out while calling so the handler
+                        // itself may send control messages re-entrantly.
+                        let taken = h.borrow_mut().take();
+                        if let Some(mut f) = taken {
+                            f(eng, src, msg);
+                            let mut slot = h.borrow_mut();
+                            if slot.is_none() {
+                                *slot = Some(f);
+                            }
+                        }
+                    }
+                }),
+            );
+        });
+        ControlEndpoint {
+            fabric: fabric.clone(),
+            node,
+            qp,
+            cq,
+            handler,
+            sent: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    /// This endpoint's address (exchange out-of-band with the peer).
+    pub fn addr(&self) -> QpAddr {
+        QpAddr {
+            node: self.node,
+            qp: self.qp,
+        }
+    }
+
+    /// Installs the receive handler.
+    pub fn set_handler(&self, f: impl FnMut(&mut Engine, QpAddr, CtrlMsg) + 'static) {
+        *self.handler.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Sends a control message to `dst`. Control datagrams ride the same
+    /// lossy links as data — they can drop, and the protocols must tolerate
+    /// that.
+    pub fn send(&self, eng: &mut Engine, dst: QpAddr, msg: &CtrlMsg) {
+        *self.sent.borrow_mut() += 1;
+        // Drop errors deliberately: an unroutable ACK behaves like a lost one.
+        let _ = self
+            .fabric
+            .post_ud_send(eng, self.addr(), dst, msg.encode(), None);
+    }
+
+    /// Control datagrams sent so far.
+    pub fn sent_count(&self) -> u64 {
+        *self.sent.borrow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_sim::LinkConfig;
+
+    #[test]
+    fn control_roundtrip_and_handler_dispatch() {
+        let mut eng = Engine::new();
+        let fabric = Fabric::new();
+        let a = fabric.add_node(1 << 20);
+        let b = fabric.add_node(1 << 20);
+        fabric.link_duplex(a, b, LinkConfig::intra_dc(8e9));
+        let ep_a = ControlEndpoint::new(&fabric, a);
+        let ep_b = ControlEndpoint::new(&fabric, b);
+
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        ep_b.set_handler(move |_eng, src, msg| {
+            g.borrow_mut().push((src, msg));
+        });
+
+        ep_a.send(&mut eng, ep_b.addr(), &CtrlMsg::EcAck);
+        ep_a.send(
+            &mut eng,
+            ep_b.addr(),
+            &CtrlMsg::EcNack { failed: vec![3, 9] },
+        );
+        eng.run();
+
+        let got = got.borrow();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, ep_a.addr());
+        assert_eq!(got[0].1, CtrlMsg::EcAck);
+        assert_eq!(got[1].1, CtrlMsg::EcNack { failed: vec![3, 9] });
+        assert_eq!(ep_a.sent_count(), 2);
+    }
+
+    #[test]
+    fn handler_can_reply_reentrantly() {
+        let mut eng = Engine::new();
+        let fabric = Fabric::new();
+        let a = fabric.add_node(1 << 20);
+        let b = fabric.add_node(1 << 20);
+        fabric.link_duplex(a, b, LinkConfig::intra_dc(8e9));
+        let ep_a = Rc::new(ControlEndpoint::new(&fabric, a));
+        let ep_b = Rc::new(ControlEndpoint::new(&fabric, b));
+
+        // B echoes every EcNack back as EcAck.
+        let ep_b2 = ep_b.clone();
+        ep_b.set_handler(move |eng, src, _msg| {
+            ep_b2.send(eng, src, &CtrlMsg::EcAck);
+        });
+        let acked = Rc::new(RefCell::new(0));
+        let acked2 = acked.clone();
+        ep_a.set_handler(move |_eng, _src, msg| {
+            if msg == CtrlMsg::EcAck {
+                *acked2.borrow_mut() += 1;
+            }
+        });
+        ep_a.send(&mut eng, ep_b.addr(), &CtrlMsg::EcNack { failed: vec![] });
+        eng.run();
+        assert_eq!(*acked.borrow(), 1);
+    }
+}

@@ -1,0 +1,612 @@
+//! Erasure-coding reliability over SDR (§4.1.2).
+//!
+//! The sender splits the message into `L = M/k` data submessages of `k`
+//! bitmap chunks each, erasure-codes each into a parity submessage of `m`
+//! chunks, and transmits all `2L` as SDR messages (data as streaming sends —
+//! so failed submessages can be selective-repeated — parity as one-shots).
+//! Encoding uses the `sdr-erasure` MDS (Reed–Solomon) or XOR codes.
+//!
+//! The receiver polls all bitmaps. A data submessage is *resolved* when its
+//! chunks are all present or when enough data+parity chunks allow in-place
+//! decoding. On the first observed chunk it arms the fallback timeout
+//! `FTO = (M + ⌈M/R⌉)·T_INJ + β·RTT`; expiry NACKs the unresolved
+//! submessages, switching them to Selective Repeat (the paper's fallback
+//! scheme). A positive ACK releases the sender.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sdr_core::{RecvHandle, SdrContext, SdrQp, SendHandle};
+use sdr_erasure::{ErasureCode, ReedSolomon, XorCode};
+use sdr_sim::{Engine, QpAddr, SimTime};
+
+use crate::ack::CtrlMsg;
+use crate::control::ControlEndpoint;
+
+/// Which erasure code protects the submessages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EcCodeChoice {
+    /// Reed–Solomon MDS: any ≤ m chunk drops per submessage recoverable.
+    Mds,
+    /// XOR modulo-group code: one drop per group recoverable.
+    Xor,
+}
+
+/// EC protocol tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct EcProtoConfig {
+    /// Data chunks per submessage (`k`).
+    pub k: usize,
+    /// Parity chunks per submessage (`m`).
+    pub m: usize,
+    /// Code family.
+    pub code: EcCodeChoice,
+    /// Receiver bitmap-poll cadence.
+    pub poll_interval: SimTime,
+    /// Fallback timeout armed at first chunk arrival.
+    pub fto: SimTime,
+    /// Final-ACK repeats before releasing buffers.
+    pub linger_acks: u32,
+}
+
+impl EcProtoConfig {
+    /// Builds a config with the paper's FTO formula
+    /// `(M + ⌈M/R⌉)·T_INJ + β·RTT` (β = 0.5) for a given deployment.
+    pub fn for_channel(
+        k: usize,
+        m: usize,
+        code: EcCodeChoice,
+        ch: &sdr_model::Channel,
+        msg_bytes: u64,
+        rtt: SimTime,
+    ) -> Self {
+        let m_chunks = ch.chunks_for(msg_bytes);
+        let parity = m_chunks.div_ceil(k as u64) * m as u64;
+        let fto_s = (m_chunks + parity) as f64 * ch.t_inj() + 0.5 * ch.rtt_s;
+        EcProtoConfig {
+            k,
+            m,
+            code,
+            poll_interval: rtt / 8,
+            fto: SimTime::from_secs_f64(fto_s),
+            linger_acks: 25,
+        }
+    }
+}
+
+/// Geometry of one submessage.
+#[derive(Clone, Copy, Debug)]
+struct SubGeom {
+    /// First data chunk (message-global index).
+    chunk_start: u64,
+    /// Data chunks in this submessage (`k`, shorter for the tail).
+    k_eff: usize,
+    /// Parity chunks (`m`, clamped for XOR tails).
+    m_eff: usize,
+}
+
+fn geometry(total_chunks: u64, k: usize, m: usize, code: EcCodeChoice) -> Vec<SubGeom> {
+    let l = total_chunks.div_ceil(k as u64);
+    (0..l)
+        .map(|i| {
+            let chunk_start = i * k as u64;
+            let k_eff = (total_chunks - chunk_start).min(k as u64) as usize;
+            let m_eff = match code {
+                EcCodeChoice::Mds => m,
+                EcCodeChoice::Xor => m.min(k_eff),
+            };
+            SubGeom {
+                chunk_start,
+                k_eff,
+                m_eff,
+            }
+        })
+        .collect()
+}
+
+fn make_code(choice: EcCodeChoice, k_eff: usize, m_eff: usize) -> Box<dyn ErasureCode> {
+    match choice {
+        EcCodeChoice::Mds => Box::new(ReedSolomon::new(k_eff, m_eff)),
+        EcCodeChoice::Xor => Box::new(XorCode::new(k_eff, m_eff)),
+    }
+}
+
+/// Sender-side transfer outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct EcReport {
+    /// First injection to positive-ACK reception.
+    pub duration: SimTime,
+    /// Fallback NACK rounds served.
+    pub fallback_rounds: u64,
+}
+
+struct EcSenderInner {
+    qp: SdrQp,
+    ctx: SdrContext,
+    ctrl: Rc<ControlEndpoint>,
+    /// Kept for diagnostics; all geometry is precomputed into `geoms`.
+    #[allow(dead_code)]
+    cfg: EcProtoConfig,
+    local_addr: u64,
+    chunk_bytes: u64,
+    geoms: Vec<SubGeom>,
+    parity_addr: u64,
+    parity_offsets: Vec<u64>,
+    data_hdls: Vec<Option<SendHandle>>,
+    parity_sent: Vec<bool>,
+    next_send_seq: u64,
+    start_time: Option<SimTime>,
+    fallback_rounds: u64,
+    done: bool,
+    done_cb: Option<Box<dyn FnOnce(&mut Engine, EcReport)>>,
+}
+
+/// The EC sender protocol object.
+pub struct EcSender {
+    inner: Rc<RefCell<EcSenderInner>>,
+}
+
+impl EcSender {
+    /// Starts an EC-protected transfer. `msg_bytes` must be a multiple of
+    /// the QP's bitmap chunk size (chunk-granular shards). The receiver
+    /// must run [`EcReceiver`] with the same configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctx: &SdrContext,
+        ctrl: Rc<ControlEndpoint>,
+        _peer_ctrl: QpAddr,
+        local_addr: u64,
+        msg_bytes: u64,
+        cfg: EcProtoConfig,
+        done: impl FnOnce(&mut Engine, EcReport) + 'static,
+    ) -> EcSender {
+        let chunk_bytes = qp.config().chunk_bytes;
+        assert!(
+            msg_bytes % chunk_bytes == 0,
+            "EC layer requires chunk-aligned messages"
+        );
+        let total_chunks = msg_bytes / chunk_bytes;
+        let geoms = geometry(total_chunks, cfg.k, cfg.m, cfg.code);
+        assert!(
+            geoms.len() * 2 <= qp.config().msg_slots,
+            "need 2L ≤ msg_slots in-flight descriptors"
+        );
+
+        // Stage parity in local memory: encode every submessage up front
+        // (on hardware this overlaps injection on spare cores, Fig 11).
+        let total_parity_chunks: u64 = geoms.iter().map(|g| g.m_eff as u64).sum();
+        let parity_addr = ctx.alloc_buffer(total_parity_chunks * chunk_bytes);
+        let mut parity_offsets = Vec::with_capacity(geoms.len());
+        let mut off = 0u64;
+        for g in &geoms {
+            parity_offsets.push(off);
+            let code = make_code(cfg.code, g.k_eff, g.m_eff);
+            let data: Vec<Vec<u8>> = (0..g.k_eff)
+                .map(|j| {
+                    ctx.read_buffer(
+                        local_addr + (g.chunk_start + j as u64) * chunk_bytes,
+                        chunk_bytes as usize,
+                    )
+                })
+                .collect();
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parity = code.encode(&refs);
+            for (p, shard) in parity.iter().enumerate() {
+                ctx.write_buffer(parity_addr + off + p as u64 * chunk_bytes, shard);
+            }
+            off += g.m_eff as u64 * chunk_bytes;
+        }
+
+        let l = geoms.len();
+        let inner = Rc::new(RefCell::new(EcSenderInner {
+            qp: qp.clone(),
+            ctx: ctx.clone(),
+            ctrl,
+            cfg,
+            local_addr,
+            chunk_bytes,
+            geoms,
+            parity_addr,
+            parity_offsets,
+            data_hdls: vec![None; l],
+            parity_sent: vec![false; l],
+            next_send_seq: qp.next_send_seq(),
+            start_time: None,
+            fallback_rounds: 0,
+            done: false,
+            done_cb: Some(Box::new(done)),
+        }));
+
+        // Control handler: positive ACK finishes; NACK selective-repeats.
+        {
+            let me = inner.clone();
+            let ep = inner.borrow().ctrl.clone();
+            ep.set_handler(move |eng, _src, msg| match msg {
+                CtrlMsg::EcAck => Self::on_ack(&me, eng),
+                CtrlMsg::EcNack { failed } => Self::on_nack(&me, eng, &failed),
+                CtrlMsg::SrAck { .. } => {}
+            });
+        }
+        // CTS pump: create sends strictly in sequence order as credits land.
+        {
+            let me = inner.clone();
+            qp.set_cts_callback(move |eng, _seq, _len| {
+                Self::pump_sends(&me, eng);
+            });
+        }
+        let s = EcSender { inner };
+        Self::pump_sends(&s.inner, eng); // credits may already be here
+        s
+    }
+
+    /// True once the positive ACK has been processed.
+    pub fn is_done(&self) -> bool {
+        self.inner.borrow().done
+    }
+
+    fn pump_sends(inner: &Rc<RefCell<EcSenderInner>>, eng: &mut Engine) {
+        let mut i = inner.borrow_mut();
+        if i.done {
+            return;
+        }
+        let l = i.geoms.len();
+        let base_seq = i.next_send_seq + (i.data_hdls.iter().filter(|h| h.is_some()).count()
+            + i.parity_sent.iter().filter(|&&s| s).count()) as u64;
+        let mut seq = base_seq;
+        loop {
+            let idx = (seq - i.next_send_seq) as usize;
+            if idx >= 2 * l || !i.qp.has_cts(seq) {
+                break;
+            }
+            if idx < l {
+                // Data submessage idx as a streaming send.
+                let g = i.geoms[idx];
+                let addr = i.local_addr + g.chunk_start * i.chunk_bytes;
+                let len = g.k_eff as u64 * i.chunk_bytes;
+                let hdl = i
+                    .qp
+                    .send_stream_start(eng, addr, len, None)
+                    .expect("CTS checked");
+                i.qp
+                    .send_stream_continue(eng, &hdl, 0, len)
+                    .expect("initial injection");
+                i.data_hdls[idx] = Some(hdl);
+                if i.start_time.is_none() {
+                    i.start_time = Some(eng.now());
+                }
+            } else {
+                // Parity submessage as a one-shot send.
+                let p = idx - l;
+                let g = i.geoms[p];
+                let addr = i.parity_addr + i.parity_offsets[p];
+                let len = g.m_eff as u64 * i.chunk_bytes;
+                i.qp
+                    .send_post(eng, addr, len, None)
+                    .expect("CTS checked");
+                i.parity_sent[p] = true;
+            }
+            seq += 1;
+        }
+    }
+
+    fn on_nack(inner: &Rc<RefCell<EcSenderInner>>, eng: &mut Engine, failed: &[u32]) {
+        let mut i = inner.borrow_mut();
+        if i.done {
+            return;
+        }
+        i.fallback_rounds += 1;
+        for &f in failed {
+            let f = f as usize;
+            if f >= i.geoms.len() {
+                continue;
+            }
+            if let Some(hdl) = i.data_hdls[f] {
+                let g = i.geoms[f];
+                let len = g.k_eff as u64 * i.chunk_bytes;
+                i.qp
+                    .send_stream_continue(eng, &hdl, 0, len)
+                    .expect("fallback retransmission");
+            }
+        }
+    }
+
+    fn on_ack(inner: &Rc<RefCell<EcSenderInner>>, eng: &mut Engine) {
+        let mut i = inner.borrow_mut();
+        if i.done {
+            return;
+        }
+        i.done = true;
+        for hdl in i.data_hdls.iter().flatten() {
+            let _ = i.qp.send_stream_end(hdl);
+        }
+        let report = EcReport {
+            duration: eng
+                .now()
+                .saturating_sub(i.start_time.unwrap_or(eng.now())),
+            fallback_rounds: i.fallback_rounds,
+        };
+        let _ = &i.ctx; // staging buffer lives for the simulation's duration
+        if let Some(cb) = i.done_cb.take() {
+            drop(i);
+            cb(eng, report);
+        }
+    }
+}
+
+/// Receiver-side statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EcRecvStats {
+    /// Submessages completed without decoding (all data chunks arrived).
+    pub complete_submessages: u64,
+    /// Submessages recovered by erasure decoding.
+    pub decoded_submessages: u64,
+    /// Fallback NACK rounds sent.
+    pub fallback_nacks: u64,
+}
+
+struct EcReceiverInner {
+    qp: SdrQp,
+    ctx: SdrContext,
+    ctrl: Rc<ControlEndpoint>,
+    peer_ctrl: QpAddr,
+    cfg: EcProtoConfig,
+    buf_addr: u64,
+    chunk_bytes: u64,
+    geoms: Vec<SubGeom>,
+    data_hdls: Vec<RecvHandle>,
+    parity_hdls: Vec<RecvHandle>,
+    parity_addrs: Vec<u64>,
+    resolved: Vec<bool>,
+    fto_deadline: Option<SimTime>,
+    stats: EcRecvStats,
+    completed_at: Option<SimTime>,
+    lingers_left: u32,
+    released: bool,
+    done_cb: Option<Box<dyn FnOnce(&mut Engine, SimTime, EcRecvStats)>>,
+}
+
+/// The EC receiver protocol object.
+pub struct EcReceiver {
+    inner: Rc<RefCell<EcReceiverInner>>,
+}
+
+impl EcReceiver {
+    /// Posts all data and parity buffers and starts the poll loop. `done`
+    /// fires when every data submessage is present or decoded.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctx: &SdrContext,
+        ctrl: Rc<ControlEndpoint>,
+        peer_ctrl: QpAddr,
+        buf_addr: u64,
+        msg_bytes: u64,
+        cfg: EcProtoConfig,
+        done: impl FnOnce(&mut Engine, SimTime, EcRecvStats) + 'static,
+    ) -> EcReceiver {
+        let chunk_bytes = qp.config().chunk_bytes;
+        assert!(msg_bytes % chunk_bytes == 0);
+        let total_chunks = msg_bytes / chunk_bytes;
+        let geoms = geometry(total_chunks, cfg.k, cfg.m, cfg.code);
+
+        // Post data buffers (slices of the user buffer), then parity
+        // scratch buffers — the same order the sender issues sends.
+        let mut data_hdls = Vec::with_capacity(geoms.len());
+        for g in &geoms {
+            let addr = buf_addr + g.chunk_start * chunk_bytes;
+            let len = g.k_eff as u64 * chunk_bytes;
+            data_hdls.push(qp.recv_post(eng, addr, len).expect("data post"));
+        }
+        let mut parity_hdls = Vec::with_capacity(geoms.len());
+        let mut parity_addrs = Vec::with_capacity(geoms.len());
+        for g in &geoms {
+            let len = g.m_eff as u64 * chunk_bytes;
+            let addr = ctx.alloc_buffer(len);
+            parity_addrs.push(addr);
+            parity_hdls.push(qp.recv_post(eng, addr, len).expect("parity post"));
+        }
+
+        let l = geoms.len();
+        let inner = Rc::new(RefCell::new(EcReceiverInner {
+            qp: qp.clone(),
+            ctx: ctx.clone(),
+            ctrl,
+            peer_ctrl,
+            cfg,
+            buf_addr,
+            chunk_bytes,
+            geoms,
+            data_hdls,
+            parity_hdls,
+            parity_addrs,
+            resolved: vec![false; l],
+            fto_deadline: None,
+            stats: EcRecvStats::default(),
+            completed_at: None,
+            lingers_left: cfg.linger_acks,
+            released: false,
+            done_cb: Some(Box::new(done)),
+        }));
+        let rx = EcReceiver { inner };
+        rx.schedule_tick(eng);
+        rx
+    }
+
+    /// True once every data submessage is present or decoded.
+    pub fn is_complete(&self) -> bool {
+        self.inner.borrow().completed_at.is_some()
+    }
+
+    /// Receiver statistics so far.
+    pub fn stats(&self) -> EcRecvStats {
+        self.inner.borrow().stats
+    }
+
+    fn schedule_tick(&self, eng: &mut Engine) {
+        let me = self.inner.clone();
+        let dt = self.inner.borrow().cfg.poll_interval;
+        eng.schedule_in(dt, move |eng| {
+            let rx = EcReceiver { inner: me };
+            rx.tick(eng);
+        });
+    }
+
+    fn tick(&self, eng: &mut Engine) {
+        let reschedule = {
+            let mut i = self.inner.borrow_mut();
+            if i.released {
+                false
+            } else {
+                Self::poll_once(&mut i, eng);
+                if i.resolved.iter().all(|&r| r) {
+                    if i.completed_at.is_none() {
+                        i.completed_at = Some(eng.now());
+                        let (now, stats) = (eng.now(), i.stats);
+                        if let Some(cb) = i.done_cb.take() {
+                            drop(i);
+                            cb(eng, now, stats);
+                            i = self.inner.borrow_mut();
+                        }
+                    }
+                    let (peer, msg) = (i.peer_ctrl, CtrlMsg::EcAck);
+                    i.ctrl.send(eng, peer, &msg);
+                    if i.lingers_left == 0 {
+                        let hdls: Vec<RecvHandle> = i
+                            .data_hdls
+                            .iter()
+                            .chain(i.parity_hdls.iter())
+                            .copied()
+                            .collect();
+                        for h in hdls {
+                            let _ = i.qp.recv_complete(eng, &h);
+                        }
+                        i.released = true;
+                        false
+                    } else {
+                        i.lingers_left -= 1;
+                        true
+                    }
+                } else {
+                    // Fallback timeout handling.
+                    match i.fto_deadline {
+                        Some(d) if eng.now() >= d => {
+                            let failed: Vec<u32> = i
+                                .resolved
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &r)| !r)
+                                .map(|(idx, _)| idx as u32)
+                                .collect();
+                            i.stats.fallback_nacks += 1;
+                            let (peer, msg) =
+                                (i.peer_ctrl, CtrlMsg::EcNack { failed });
+                            i.ctrl.send(eng, peer, &msg);
+                            i.fto_deadline = Some(eng.now() + i.cfg.fto);
+                        }
+                        _ => {}
+                    }
+                    true
+                }
+            }
+        };
+        if reschedule {
+            self.schedule_tick(eng);
+        }
+    }
+
+    fn poll_once(i: &mut EcReceiverInner, eng: &mut Engine) {
+        let mut any_chunk = false;
+        for s in 0..i.geoms.len() {
+            if i.resolved[s] {
+                continue;
+            }
+            let g = i.geoms[s];
+            let data_bm = i.qp.recv_bitmap(&i.data_hdls[s]).expect("live");
+            let parity_bm = i.qp.recv_bitmap(&i.parity_hdls[s]).expect("live");
+            if data_bm.packets().count_set() == 0 {
+                // Possible lost CTS for this submessage — heal it.
+                let _ = i.qp.resend_cts(eng, &i.data_hdls[s]);
+            }
+            if parity_bm.packets().count_set() == 0 {
+                let _ = i.qp.resend_cts(eng, &i.parity_hdls[s]);
+            }
+            let data_present: Vec<bool> =
+                (0..g.k_eff).map(|c| data_bm.chunks().get(c)).collect();
+            let parity_present: Vec<bool> =
+                (0..g.m_eff).map(|c| parity_bm.chunks().get(c)).collect();
+            if data_present.iter().any(|&b| b) || parity_present.iter().any(|&b| b) {
+                any_chunk = true;
+            }
+            if data_present.iter().all(|&b| b) {
+                i.resolved[s] = true;
+                i.stats.complete_submessages += 1;
+                continue;
+            }
+            // Try in-place decoding from data + parity chunks.
+            let present: Vec<bool> = data_present
+                .iter()
+                .chain(parity_present.iter())
+                .copied()
+                .collect();
+            let code = make_code(i.cfg.code, g.k_eff, g.m_eff);
+            if !code.can_recover(&present) {
+                continue;
+            }
+            let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(g.k_eff + g.m_eff);
+            for (c, &ok) in data_present.iter().enumerate() {
+                shards.push(ok.then(|| {
+                    i.ctx.read_buffer(
+                        i.buf_addr + (g.chunk_start + c as u64) * i.chunk_bytes,
+                        i.chunk_bytes as usize,
+                    )
+                }));
+            }
+            for (c, &ok) in parity_present.iter().enumerate() {
+                shards.push(ok.then(|| {
+                    i.ctx.read_buffer(
+                        i.parity_addrs[s] + c as u64 * i.chunk_bytes,
+                        i.chunk_bytes as usize,
+                    )
+                }));
+            }
+            code.reconstruct(&mut shards).expect("can_recover checked");
+            // Write recovered data chunks back into the user buffer.
+            for (c, &ok) in data_present.iter().enumerate() {
+                if !ok {
+                    let shard = shards[c].as_ref().expect("reconstructed");
+                    i.ctx.write_buffer(
+                        i.buf_addr + (g.chunk_start + c as u64) * i.chunk_bytes,
+                        shard,
+                    );
+                }
+            }
+            i.resolved[s] = true;
+            i.stats.decoded_submessages += 1;
+        }
+        // Arm the FTO at the first observed chunk (§4.1.2).
+        if any_chunk && i.fto_deadline.is_none() {
+            i.fto_deadline = Some(eng.now() + i.cfg.fto);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_handles_tails() {
+        // 10 chunks, k = 4, m = 2 → submessages of 4, 4, 2.
+        let g = geometry(10, 4, 2, EcCodeChoice::Mds);
+        assert_eq!(g.len(), 3);
+        assert_eq!((g[0].k_eff, g[0].m_eff, g[0].chunk_start), (4, 2, 0));
+        assert_eq!((g[2].k_eff, g[2].m_eff, g[2].chunk_start), (2, 2, 8));
+        // XOR clamps parity to the tail size.
+        let g = geometry(9, 4, 2, EcCodeChoice::Xor);
+        assert_eq!(g[2].k_eff, 1);
+        assert_eq!(g[2].m_eff, 1);
+    }
+}

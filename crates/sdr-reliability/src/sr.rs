@@ -1,0 +1,417 @@
+//! Selective Repeat reliability over SDR (§4.1.1).
+//!
+//! Sender: streaming SDR sends inject message chunks; each unacknowledged
+//! chunk carries a retransmission timeout (`RTO = RTT + α·RTT`); expiry
+//! retransmits the chunk via `send_stream_continue`. ACKs remove
+//! acknowledged ranges from the retransmission scan.
+//!
+//! Receiver: periodically polls the SDR chunk bitmap and returns ACKs
+//! encoding a cumulative point plus a selective window; in NACK mode it also
+//! lists holes below the high-water mark so the sender can repair after one
+//! RTT instead of an RTO (§5.2.1).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sdr_core::{SdrQp, SendHandle};
+use sdr_sim::{Engine, QpAddr, SimTime};
+
+use crate::ack::{build_sr_ack, CtrlMsg};
+use crate::control::ControlEndpoint;
+
+/// Selective Repeat protocol tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct SrProtoConfig {
+    /// Chunk retransmission timeout.
+    pub rto: SimTime,
+    /// Receiver bitmap-poll / ACK cadence.
+    pub ack_interval: SimTime,
+    /// Sender retransmission-scan cadence.
+    pub tick: SimTime,
+    /// Enable the NACK optimization (receiver reports holes; sender
+    /// retransmits without waiting for the RTO).
+    pub nack: bool,
+    /// How many extra final ACKs the receiver repeats before releasing the
+    /// buffer (tolerates ACK loss on the control path).
+    pub linger_acks: u32,
+}
+
+impl SrProtoConfig {
+    /// The paper's `SR RTO` scenario: `RTO = 3 RTT`.
+    pub fn rto_3rtt(rtt: SimTime) -> Self {
+        SrProtoConfig {
+            rto: rtt * 3,
+            ack_interval: rtt / 4,
+            tick: rtt / 4,
+            nack: false,
+            linger_acks: 25,
+        }
+    }
+
+    /// The paper's `SR NACK` scenario: hole reports enable 1-RTT repair.
+    pub fn nack(rtt: SimTime) -> Self {
+        SrProtoConfig {
+            rto: rtt * 3, // RTO stays as a safety net; NACKs do the work
+            ack_interval: rtt / 4,
+            tick: rtt / 4,
+            nack: true,
+            linger_acks: 25,
+        }
+    }
+}
+
+/// Sender-side transfer outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct SrReport {
+    /// Write completion time: first injection to final-ACK reception
+    /// (§4.2.1's `T_protocol`).
+    pub duration: SimTime,
+    /// Chunks retransmitted.
+    pub retransmitted: u64,
+    /// ACK datagrams processed.
+    pub acks: u64,
+}
+
+struct SenderInner {
+    qp: SdrQp,
+    ctrl: Rc<ControlEndpoint>,
+    /// Kept for symmetry/diagnostics; ACKs arrive via the ctrl handler.
+    #[allow(dead_code)]
+    peer_ctrl: QpAddr,
+    cfg: SrProtoConfig,
+    local_addr: u64,
+    msg_bytes: u64,
+    chunk_bytes: u64,
+    total_chunks: usize,
+    hdl: Option<SendHandle>,
+    acked: Vec<bool>,
+    acked_count: usize,
+    last_sent: Vec<SimTime>,
+    start_time: SimTime,
+    retransmitted: u64,
+    acks: u64,
+    done: bool,
+    done_cb: Option<Box<dyn FnOnce(&mut Engine, SrReport)>>,
+}
+
+/// The SR sender protocol object.
+pub struct SrSender {
+    inner: Rc<RefCell<SenderInner>>,
+}
+
+impl SrSender {
+    /// Starts an SR-protected transfer of `[local_addr, local_addr +
+    /// msg_bytes)` to the connected peer. `done` fires at completion with
+    /// the sender-side report. The receiver must run [`SrReceiver`].
+    pub fn start(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctrl: Rc<ControlEndpoint>,
+        peer_ctrl: QpAddr,
+        local_addr: u64,
+        msg_bytes: u64,
+        cfg: SrProtoConfig,
+        done: impl FnOnce(&mut Engine, SrReport) + 'static,
+    ) -> SrSender {
+        let chunk_bytes = qp.config().chunk_bytes;
+        let total_chunks = qp.config().chunks_for(msg_bytes) as usize;
+        let inner = Rc::new(RefCell::new(SenderInner {
+            qp: qp.clone(),
+            ctrl,
+            peer_ctrl: peer_ctrl,
+            cfg,
+            local_addr,
+            msg_bytes,
+            chunk_bytes,
+            total_chunks,
+            hdl: None,
+            acked: vec![false; total_chunks],
+            acked_count: 0,
+            last_sent: vec![SimTime::ZERO; total_chunks],
+            start_time: SimTime::ZERO,
+            retransmitted: 0,
+            acks: 0,
+            done: false,
+            done_cb: Some(Box::new(done)),
+        }));
+
+        // Control-path handler: apply ACKs.
+        {
+            let me = inner.clone();
+            let ep = inner.borrow().ctrl.clone();
+            ep.set_handler(move |eng, _src, msg| {
+                if let CtrlMsg::SrAck {
+                    cumulative,
+                    window_start,
+                    sack_bits,
+                    sack_len,
+                    nacks,
+                } = msg
+                {
+                    Self::on_ack(&me, eng, cumulative, window_start, &sack_bits, sack_len, &nacks);
+                }
+            });
+        }
+
+        let sender = SrSender { inner };
+        // Begin now if the CTS credit is already here; otherwise hook it.
+        if !sender.try_begin(eng) {
+            let me = sender.inner.clone();
+            qp.set_cts_callback(move |eng, _seq, _len| {
+                let s = SrSender { inner: me.clone() };
+                s.try_begin(eng);
+            });
+        }
+        sender
+    }
+
+    /// Sender-side report once finished (None while running).
+    pub fn is_done(&self) -> bool {
+        self.inner.borrow().done
+    }
+
+    fn try_begin(&self, eng: &mut Engine) -> bool {
+        let mut i = self.inner.borrow_mut();
+        if i.hdl.is_some() {
+            return true;
+        }
+        let res = i
+            .qp
+            .send_stream_start(eng, i.local_addr, i.msg_bytes, None);
+        match res {
+            Ok(hdl) => {
+                i.hdl = Some(hdl);
+                i.start_time = eng.now();
+                let now = eng.now();
+                for t in i.last_sent.iter_mut() {
+                    *t = now;
+                }
+                let (addr_len, hdl2) = (i.msg_bytes, hdl);
+                i.qp
+                    .send_stream_continue(eng, &hdl2, 0, addr_len)
+                    .expect("initial injection");
+                drop(i);
+                self.schedule_tick(eng);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn schedule_tick(&self, eng: &mut Engine) {
+        let me = self.inner.clone();
+        let tick = self.inner.borrow().cfg.tick;
+        eng.schedule_in(tick, move |eng| {
+            let s = SrSender { inner: me };
+            s.tick(eng);
+        });
+    }
+
+    fn tick(&self, eng: &mut Engine) {
+        {
+            let mut i = self.inner.borrow_mut();
+            if i.done {
+                return;
+            }
+            let now = eng.now();
+            let rto = i.cfg.rto;
+            let hdl = i.hdl.expect("tick only runs after begin");
+            let (chunk_bytes, msg_bytes) = (i.chunk_bytes, i.msg_bytes);
+            let mut to_resend = Vec::new();
+            for c in 0..i.total_chunks {
+                if !i.acked[c] && now.saturating_sub(i.last_sent[c]) >= rto {
+                    to_resend.push(c);
+                }
+            }
+            for c in to_resend {
+                let off = c as u64 * chunk_bytes;
+                let len = chunk_bytes.min(msg_bytes - off);
+                i.qp
+                    .send_stream_continue(eng, &hdl, off, len)
+                    .expect("retransmission");
+                i.last_sent[c] = now;
+                i.retransmitted += 1;
+            }
+        }
+        self.schedule_tick(eng);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_ack(
+        inner: &Rc<RefCell<SenderInner>>,
+        eng: &mut Engine,
+        cumulative: u32,
+        window_start: u32,
+        sack_bits: &[u64],
+        sack_len: u32,
+        nacks: &[u32],
+    ) {
+        let mut i = inner.borrow_mut();
+        if i.done {
+            return;
+        }
+        i.acks += 1;
+        let total = i.total_chunks;
+        let mark = |i: &mut SenderInner, c: usize| {
+            if c < total && !i.acked[c] {
+                i.acked[c] = true;
+                i.acked_count += 1;
+            }
+        };
+        for c in 0..(cumulative as usize).min(total) {
+            mark(&mut i, c);
+        }
+        for b in 0..(sack_len as usize) {
+            if sack_bits[b / 64] >> (b % 64) & 1 == 1 {
+                mark(&mut i, window_start as usize + b);
+            }
+        }
+        // NACK fast path: retransmit reported holes immediately, guarded so
+        // duplicate NACKs within a tick don't double-send.
+        if i.cfg.nack && i.hdl.is_some() {
+            let now = eng.now();
+            let guard = i.cfg.tick;
+            let hdl = i.hdl.expect("checked");
+            let (chunk_bytes, msg_bytes) = (i.chunk_bytes, i.msg_bytes);
+            for &c in nacks {
+                let c = c as usize;
+                if c < total && !i.acked[c] && now.saturating_sub(i.last_sent[c]) >= guard {
+                    let off = c as u64 * chunk_bytes;
+                    let len = chunk_bytes.min(msg_bytes - off);
+                    i.qp
+                        .send_stream_continue(eng, &hdl, off, len)
+                        .expect("nack retransmission");
+                    i.last_sent[c] = now;
+                    i.retransmitted += 1;
+                }
+            }
+        }
+        if i.acked_count == total {
+            i.done = true;
+            if let Some(hdl) = i.hdl {
+                let _ = i.qp.send_stream_end(&hdl);
+            }
+            let report = SrReport {
+                duration: eng.now().saturating_sub(i.start_time),
+                retransmitted: i.retransmitted,
+                acks: i.acks,
+            };
+            if let Some(cb) = i.done_cb.take() {
+                drop(i);
+                cb(eng, report);
+            }
+        }
+    }
+}
+
+struct ReceiverInner {
+    qp: SdrQp,
+    ctrl: Rc<ControlEndpoint>,
+    peer_ctrl: QpAddr,
+    cfg: SrProtoConfig,
+    hdl: sdr_core::RecvHandle,
+    total_chunks: usize,
+    completed_at: Option<SimTime>,
+    lingers_left: u32,
+    released: bool,
+    done_cb: Option<Box<dyn FnOnce(&mut Engine, SimTime)>>,
+}
+
+/// The SR receiver protocol object.
+pub struct SrReceiver {
+    inner: Rc<RefCell<ReceiverInner>>,
+}
+
+impl SrReceiver {
+    /// Posts the receive buffer and starts the poll/ACK loop. `done` fires
+    /// when all chunks have arrived (receiver-side completion instant).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctrl: Rc<ControlEndpoint>,
+        peer_ctrl: QpAddr,
+        buf_addr: u64,
+        msg_bytes: u64,
+        cfg: SrProtoConfig,
+        done: impl FnOnce(&mut Engine, SimTime) + 'static,
+    ) -> SrReceiver {
+        let hdl = qp
+            .recv_post(eng, buf_addr, msg_bytes)
+            .expect("receive post");
+        let total_chunks = qp.config().chunks_for(msg_bytes) as usize;
+        let inner = Rc::new(RefCell::new(ReceiverInner {
+            qp: qp.clone(),
+            ctrl,
+            peer_ctrl,
+            cfg,
+            hdl,
+            total_chunks,
+            completed_at: None,
+            lingers_left: cfg.linger_acks,
+            released: false,
+            done_cb: Some(Box::new(done)),
+        }));
+        let rx = SrReceiver { inner };
+        rx.schedule_tick(eng);
+        rx
+    }
+
+    /// True once every chunk has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.inner.borrow().completed_at.is_some()
+    }
+
+    fn schedule_tick(&self, eng: &mut Engine) {
+        let me = self.inner.clone();
+        let dt = self.inner.borrow().cfg.ack_interval;
+        eng.schedule_in(dt, move |eng| {
+            let rx = SrReceiver { inner: me };
+            rx.tick(eng);
+        });
+    }
+
+    fn tick(&self, eng: &mut Engine) {
+        let reschedule = {
+            let mut i = self.inner.borrow_mut();
+            if i.released {
+                false
+            } else {
+                let bitmap = i.qp.recv_bitmap(&i.hdl).expect("live handle");
+                // Nothing arrived yet? The CTS may have been lost on the
+                // unreliable control path — re-issue it.
+                if bitmap.packets().count_set() == 0 {
+                    let _ = i.qp.resend_cts(eng, &i.hdl);
+                }
+                let ack = build_sr_ack(bitmap.chunks(), i.total_chunks, i.cfg.nack);
+                i.ctrl.send(eng, i.peer_ctrl, &ack);
+                if bitmap.is_complete() {
+                    if i.completed_at.is_none() {
+                        i.completed_at = Some(eng.now());
+                        if let Some(cb) = i.done_cb.take() {
+                            let now = eng.now();
+                            drop(i);
+                            cb(eng, now);
+                            i = self.inner.borrow_mut();
+                        }
+                    }
+                    // Keep re-ACKing for a while (the final ACK can drop),
+                    // then release the buffer.
+                    if i.lingers_left == 0 {
+                        i.qp.recv_complete(eng, &i.hdl).expect("release");
+                        i.released = true;
+                        false
+                    } else {
+                        i.lingers_left -= 1;
+                        true
+                    }
+                } else {
+                    true
+                }
+            }
+        };
+        if reschedule {
+            self.schedule_tick(eng);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Discrete-event engine.
+//!
+//! A minimal, deterministic event executor: events are closures scheduled at
+//! absolute simulation times and executed in `(time, insertion order)` order,
+//! so two events at the same instant always run in the order they were
+//! scheduled. Components live behind `Rc<RefCell<_>>` handles captured by the
+//! event closures; the engine itself owns nothing but the queue.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// An event body: runs at its scheduled time with access to the engine so it
+/// can schedule follow-up events.
+pub type Action = Box<dyn FnOnce(&mut Engine)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties deterministically (FIFO at equal times).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic single-threaded discrete-event executor.
+///
+/// # Example
+///
+/// ```
+/// use sdr_sim::{Engine, SimTime};
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// let mut eng = Engine::new();
+/// let hits = Rc::new(RefCell::new(Vec::new()));
+/// let h = hits.clone();
+/// eng.schedule_in(SimTime::from_nanos(10), move |eng| {
+///     h.borrow_mut().push(eng.now());
+/// });
+/// eng.run();
+/// assert_eq!(*hits.borrow(), vec![SimTime::from_nanos(10)]);
+/// ```
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    executed: u64,
+    /// Hard cap on executed events; guards against runaway protocol loops in
+    /// tests. `u64::MAX` by default.
+    event_limit: u64,
+    stopped: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+            event_limit: u64::MAX,
+            stopped: false,
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Caps the total number of events `run*` will execute (safety valve for
+    /// tests that could otherwise loop forever on a protocol bug).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Requests that the run loop stop after the current event.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Schedules `action` at absolute time `at`. Scheduling in the past is a
+    /// logic error and panics in debug builds; in release it clamps to `now`.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Engine) + 'static) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` to run `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, action: impl FnOnce(&mut Engine) + 'static) {
+        self.schedule_at(self.now.saturating_add(delay), action);
+    }
+
+    /// Executes a single event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains, `stop()` is called, or the event limit is
+    /// reached. Returns the final simulation time.
+    pub fn run(&mut self) -> SimTime {
+        self.stopped = false;
+        while !self.stopped && self.executed < self.event_limit && self.step() {}
+        self.now
+    }
+
+    /// Runs events with timestamps `<= deadline` (events scheduled later stay
+    /// queued). Advances `now` to `deadline` if the queue drains earlier.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.stopped = false;
+        while !self.stopped && self.executed < self.event_limit {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.now
+    }
+}
+
+/// Convenience alias for shared simulation components.
+pub type Shared<T> = Rc<RefCell<T>>;
+
+/// Wraps a component in the `Rc<RefCell<_>>` handle used throughout the
+/// simulator.
+pub fn shared<T>(value: T) -> Shared<T> {
+    Rc::new(RefCell::new(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng = Engine::new();
+        let log = shared(Vec::<u32>::new());
+        for (t, tag) in [(30u64, 3u32), (10, 1), (20, 2)] {
+            let log = log.clone();
+            eng.schedule_at(SimTime::from_nanos(t), move |_| log.borrow_mut().push(tag));
+        }
+        eng.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_events_run_fifo() {
+        let mut eng = Engine::new();
+        let log = shared(Vec::<u32>::new());
+        for tag in 0..100u32 {
+            let log = log.clone();
+            eng.schedule_at(SimTime::from_nanos(5), move |_| log.borrow_mut().push(tag));
+        }
+        eng.run();
+        assert_eq!(*log.borrow(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng = Engine::new();
+        let log = shared(Vec::<SimTime>::new());
+        let log2 = log.clone();
+        eng.schedule_in(SimTime::from_nanos(1), move |eng| {
+            let log3 = log2.clone();
+            eng.schedule_in(SimTime::from_nanos(2), move |eng| {
+                log3.borrow_mut().push(eng.now());
+            });
+        });
+        let end = eng.run();
+        assert_eq!(end, SimTime::from_nanos(3));
+        assert_eq!(*log.borrow(), vec![SimTime::from_nanos(3)]);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_queued() {
+        let mut eng = Engine::new();
+        let log = shared(Vec::<u32>::new());
+        for t in [10u64, 20, 30] {
+            let log = log.clone();
+            eng.schedule_at(SimTime::from_nanos(t), move |_| {
+                log.borrow_mut().push(t as u32)
+            });
+        }
+        eng.run_until(SimTime::from_nanos(20));
+        assert_eq!(*log.borrow(), vec![10, 20]);
+        assert_eq!(eng.pending_events(), 1);
+        assert_eq!(eng.now(), SimTime::from_nanos(20));
+        eng.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn run_until_advances_time_when_idle() {
+        let mut eng = Engine::new();
+        eng.run_until(SimTime::from_millis(5));
+        assert_eq!(eng.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn stop_halts_run() {
+        let mut eng = Engine::new();
+        let log = shared(0u32);
+        let l1 = log.clone();
+        eng.schedule_at(SimTime::from_nanos(1), move |eng| {
+            *l1.borrow_mut() += 1;
+            eng.stop();
+        });
+        let l2 = log.clone();
+        eng.schedule_at(SimTime::from_nanos(2), move |_| *l2.borrow_mut() += 1);
+        eng.run();
+        assert_eq!(*log.borrow(), 1);
+        eng.run();
+        assert_eq!(*log.borrow(), 2);
+    }
+
+    #[test]
+    fn event_limit_caps_execution() {
+        let mut eng = Engine::new();
+        eng.set_event_limit(3);
+        // A self-perpetuating event chain.
+        fn tick(eng: &mut Engine) {
+            eng.schedule_in(SimTime::from_nanos(1), tick);
+        }
+        eng.schedule_in(SimTime::from_nanos(1), tick);
+        eng.run();
+        assert_eq!(eng.executed_events(), 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! # sdr-sim — discrete-event network substrate for SDR-RDMA
+//!
+//! This crate replaces the hardware the paper runs on (ConnectX/BlueField
+//! NICs and long-haul optical links) with a deterministic discrete-event
+//! simulator. It models exactly the observables the SDR stack and its
+//! reliability layers interact with:
+//!
+//! * [`Engine`] — a deterministic event executor with picosecond time.
+//! * [`Link`]/[`LinkConfig`] — serialization at line rate, propagation delay
+//!   from distance (paper convention: 3750 km ⇒ 25 ms RTT), i.i.d. or
+//!   Gilbert–Elliott loss, and optional reorder jitter.
+//! * [`BottleneckQueue`]/[`OnOffSource`] — the congestion mechanism behind
+//!   the paper's Figure 2 drop-rate measurements.
+//! * [`Node`] — an endpoint with memory, memory-key translation (direct,
+//!   NULL and indirect/root keys per Figure 5), completion queues with
+//!   wakers, and UC/UD/RC queue pairs with faithful ePSN semantics.
+//! * [`Fabric`] — ties nodes and links together and implements the
+//!   send-side datapath (fragmentation, write-with-immediate, UD sends).
+//! * [`RcEndpoint`] — a go-back-N reliable connection, the commodity-NIC
+//!   baseline the paper argues is insufficient for planetary-scale RDMA.
+//!
+//! Everything is seeded and single-threaded: a simulation with the same
+//! inputs produces bit-identical outputs.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fabric;
+pub mod link;
+pub mod loss;
+pub mod memory;
+pub mod nic;
+pub mod packet;
+pub mod queue;
+pub mod rc;
+pub mod time;
+
+pub use engine::{shared, Engine, Shared};
+pub use fabric::{Fabric, PostError, WriteWr};
+pub use link::{Link, LinkConfig, LinkStats, TxOutcome, DEFAULT_HEADER_BYTES};
+pub use loss::{LossModel, LossProcess};
+pub use memory::{AccessError, Memory, MkeyTable, MkeyTarget, Resolved};
+pub use nic::{Cq, Cqe, CqeOp, Mr, Node, NodeStats, QpType, RecvWqe, Waker};
+pub use packet::{CqId, MkeyId, NodeId, Packet, PacketKind, QpAddr, QpNum, WriteSeg};
+pub use queue::{BottleneckQueue, OnOffConfig, OnOffSource, QueueStats};
+pub use rc::{RcConfig, RcEndpoint, RcStats};
+pub use time::{
+    propagation_delay_km, rtt_from_km, tx_time, SimTime, C_LIGHT_M_PER_S, PS_PER_MS, PS_PER_NS,
+    PS_PER_S, PS_PER_US,
+};

@@ -1,0 +1,376 @@
+//! Point-to-point link model.
+//!
+//! A link serializes packets at a configured bandwidth, applies a loss
+//! process, optional reorder jitter, and delivers after the propagation
+//! delay. Serialization is modelled with a `next_free` cursor so back-to-back
+//! transmissions queue behind each other exactly as on a real wire.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::Engine;
+use crate::loss::{LossModel, LossProcess};
+use crate::time::{propagation_delay_km, tx_time, SimTime};
+
+/// Per-packet wire overhead of RoCEv2 over Ethernet: preamble-less
+/// Eth(18) + IPv4(20) + UDP(8) + BTH(12) + RETH(16) + ICRC(4) ≈ 78 bytes.
+pub const DEFAULT_HEADER_BYTES: usize = 78;
+
+/// Static description of a unidirectional link.
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// Line rate in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub one_way_delay: SimTime,
+    /// Loss model applied per packet.
+    pub loss: LossModel,
+    /// Maximum transfer unit (payload bytes per packet).
+    pub mtu: usize,
+    /// Per-packet header bytes counted against serialization time.
+    pub header_bytes: usize,
+    /// If set, adds uniform random extra delay in `[0, jitter]` to each
+    /// delivery, which can reorder packets in flight.
+    pub reorder_jitter: Option<SimTime>,
+    /// Number of parallel equal-cost paths (ECMP / multi-plane fabrics,
+    /// §3.4.1). Each path serializes independently at `bandwidth_bps /
+    /// paths`; packets take the earliest-available path, which naturally
+    /// reorders bursts across paths.
+    pub paths: usize,
+    /// Seed for the link's private randomness (loss + jitter).
+    pub seed: u64,
+}
+
+impl LinkConfig {
+    /// An ideal intra-datacenter link: lossless, short delay.
+    pub fn intra_dc(bandwidth_bps: f64) -> Self {
+        LinkConfig {
+            bandwidth_bps,
+            one_way_delay: SimTime::from_micros(2),
+            loss: LossModel::Perfect,
+            mtu: 4096,
+            header_bytes: DEFAULT_HEADER_BYTES,
+            reorder_jitter: None,
+            paths: 1,
+            seed: 0,
+        }
+    }
+
+    /// A long-haul inter-datacenter link with the paper's distance → delay
+    /// convention and i.i.d. loss.
+    pub fn wan(km: f64, bandwidth_bps: f64, p_drop: f64) -> Self {
+        LinkConfig {
+            bandwidth_bps,
+            one_way_delay: propagation_delay_km(km),
+            loss: LossModel::Iid { p: p_drop },
+            mtu: 4096,
+            header_bytes: DEFAULT_HEADER_BYTES,
+            reorder_jitter: None,
+            paths: 1,
+            seed: 0,
+        }
+    }
+
+    /// Splits the link into `paths` equal-cost parallel paths
+    /// (builder style).
+    pub fn with_paths(mut self, paths: usize) -> Self {
+        assert!(paths >= 1);
+        self.paths = paths;
+        self
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the loss model (builder style).
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Enables reorder jitter (builder style).
+    pub fn with_reorder_jitter(mut self, jitter: SimTime) -> Self {
+        self.reorder_jitter = Some(jitter);
+        self
+    }
+
+    /// Round-trip propagation time of a symmetric pair of such links.
+    pub fn rtt(&self) -> SimTime {
+        self.one_way_delay * 2
+    }
+}
+
+/// Counters exported by a link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets accepted for transmission.
+    pub sent: u64,
+    /// Packets dropped by the loss process.
+    pub dropped: u64,
+    /// Packets delivered to the far end.
+    pub delivered: u64,
+    /// Total payload+header bytes serialized.
+    pub bytes: u64,
+}
+
+/// Outcome of handing one packet to [`Link::transmit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// The packet will arrive at the given absolute time.
+    Delivered {
+        /// Arrival instant at the receiver.
+        at: SimTime,
+    },
+    /// The loss process consumed the packet; no delivery will happen.
+    Dropped,
+}
+
+/// A unidirectional lossy link (possibly striped over parallel paths).
+pub struct Link {
+    cfg: LinkConfig,
+    loss: LossProcess,
+    rng: SmallRng,
+    /// Per-path wire-busy cursors.
+    next_free: Vec<SimTime>,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Builds a link from its configuration.
+    pub fn new(cfg: LinkConfig) -> Self {
+        assert!(cfg.paths >= 1, "a link needs at least one path");
+        let loss = LossProcess::new(cfg.loss.clone(), cfg.seed.wrapping_mul(0x9E37_79B9));
+        let rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0xA5A5_5A5A));
+        let next_free = vec![SimTime::ZERO; cfg.paths];
+        Link {
+            cfg,
+            loss,
+            rng,
+            next_free,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Time at which some path of the wire becomes idle again.
+    pub fn next_free(&self) -> SimTime {
+        *self.next_free.iter().min().expect("paths >= 1")
+    }
+
+    /// Time at which *all* paths are idle (last serialization ends).
+    pub fn all_paths_free(&self) -> SimTime {
+        *self.next_free.iter().max().expect("paths >= 1")
+    }
+
+    /// Serializes a packet of `payload_bytes` onto the wire. If the loss
+    /// process spares it, `deliver` is scheduled at the arrival instant.
+    ///
+    /// The drop decision is made *after* serialization: a dropped packet
+    /// still occupies the wire (it is lost in transit, not at the sender).
+    pub fn transmit(
+        &mut self,
+        eng: &mut Engine,
+        payload_bytes: usize,
+        deliver: impl FnOnce(&mut Engine) + 'static,
+    ) -> TxOutcome {
+        let wire_bytes = (payload_bytes + self.cfg.header_bytes) as u64;
+        // ECMP-style path choice: the earliest-available path wins.
+        let path = (0..self.next_free.len())
+            .min_by_key(|&i| self.next_free[i])
+            .expect("paths >= 1");
+        let start = self.next_free[path].max(eng.now());
+        let per_path_bw = self.cfg.bandwidth_bps / self.cfg.paths as f64;
+        let serialize = tx_time(wire_bytes, per_path_bw);
+        self.next_free[path] = start + serialize;
+        self.stats.sent += 1;
+        self.stats.bytes += wire_bytes;
+
+        if self.loss.drops_next() {
+            self.stats.dropped += 1;
+            return TxOutcome::Dropped;
+        }
+
+        let mut arrival = self.next_free[path] + self.cfg.one_way_delay;
+        if let Some(jitter) = self.cfg.reorder_jitter {
+            if jitter > SimTime::ZERO {
+                arrival += SimTime(self.rng.random_range(0..=jitter.as_picos()));
+            }
+        }
+        self.stats.delivered += 1;
+        eng.schedule_at(arrival, deliver);
+        TxOutcome::Delivered { at: arrival }
+    }
+
+    /// Empirical drop rate observed by the loss process.
+    pub fn observed_drop_rate(&self) -> f64 {
+        self.loss.observed_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::shared;
+
+    fn test_link(bw: f64) -> Link {
+        let mut cfg = LinkConfig::intra_dc(bw);
+        cfg.one_way_delay = SimTime::from_micros(5);
+        cfg.header_bytes = 0;
+        Link::new(cfg)
+    }
+
+    #[test]
+    fn delivery_time_is_serialization_plus_propagation() {
+        let mut eng = Engine::new();
+        let mut link = test_link(8e9); // 1 byte per ns
+        let got = shared(None);
+        let g = got.clone();
+        let out = link.transmit(&mut eng, 1000, move |eng| {
+            *g.borrow_mut() = Some(eng.now());
+        });
+        // 1000 bytes at 1 B/ns = 1 us serialize + 5 us propagation.
+        let expect = SimTime::from_micros(6);
+        assert_eq!(out, TxOutcome::Delivered { at: expect });
+        eng.run();
+        assert_eq!(*got.borrow(), Some(expect));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_on_the_wire() {
+        let mut eng = Engine::new();
+        let mut link = test_link(8e9);
+        let times = shared(Vec::new());
+        for _ in 0..3 {
+            let t = times.clone();
+            link.transmit(&mut eng, 1000, move |eng| t.borrow_mut().push(eng.now()));
+        }
+        eng.run();
+        // Serializations at 1,2,3 us; arrivals at 6,7,8 us.
+        assert_eq!(
+            *times.borrow(),
+            vec![
+                SimTime::from_micros(6),
+                SimTime::from_micros(7),
+                SimTime::from_micros(8)
+            ]
+        );
+    }
+
+    #[test]
+    fn dropped_packets_still_consume_wire_time() {
+        let mut eng = Engine::new();
+        let mut cfg = LinkConfig::intra_dc(8e9);
+        cfg.header_bytes = 0;
+        cfg.loss = LossModel::Iid { p: 1.0 };
+        let mut link = Link::new(cfg);
+        let out = link.transmit(&mut eng, 1000, |_| panic!("must not deliver"));
+        assert_eq!(out, TxOutcome::Dropped);
+        assert_eq!(link.next_free(), SimTime::from_micros(1));
+        assert_eq!(link.stats().dropped, 1);
+        eng.run();
+    }
+
+    #[test]
+    fn header_bytes_count_against_bandwidth() {
+        let mut eng = Engine::new();
+        let mut cfg = LinkConfig::intra_dc(8e9);
+        cfg.header_bytes = 100;
+        cfg.one_way_delay = SimTime::ZERO;
+        let mut link = Link::new(cfg);
+        match link.transmit(&mut eng, 900, |_| {}) {
+            TxOutcome::Delivered { at } => assert_eq!(at, SimTime::from_micros(1)),
+            TxOutcome::Dropped => panic!(),
+        }
+    }
+
+    #[test]
+    fn jitter_can_reorder_deliveries() {
+        let mut eng = Engine::new();
+        let cfg = LinkConfig::intra_dc(8e12)
+            .with_reorder_jitter(SimTime::from_micros(50))
+            .with_seed(9);
+        let mut link = Link::new(cfg);
+        let order = shared(Vec::new());
+        for tag in 0..32u32 {
+            let o = order.clone();
+            link.transmit(&mut eng, 64, move |_| o.borrow_mut().push(tag));
+        }
+        eng.run();
+        let got = order.borrow().clone();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(got, sorted, "jitter of 50us over 32 tiny packets must reorder");
+    }
+
+    #[test]
+    fn multipath_striping_parallelizes_serialization() {
+        // 4 paths at aggregate 8 Gbit/s: four packets serialize
+        // concurrently at 2 Gbit/s each instead of queueing.
+        let mut eng = Engine::new();
+        let mut cfg = LinkConfig::intra_dc(8e9).with_paths(4);
+        cfg.header_bytes = 0;
+        cfg.one_way_delay = SimTime::ZERO;
+        let mut link = Link::new(cfg);
+        let mut arrivals = Vec::new();
+        for _ in 0..4 {
+            match link.transmit(&mut eng, 1000, |_| {}) {
+                TxOutcome::Delivered { at } => arrivals.push(at),
+                TxOutcome::Dropped => panic!(),
+            }
+        }
+        // Each serializes in 1000*8/2e9 = 4 us, all in parallel.
+        assert!(arrivals.iter().all(|&a| a == SimTime::from_micros(4)));
+        // A 5th packet queues behind the earliest path.
+        match link.transmit(&mut eng, 1000, |_| {}) {
+            TxOutcome::Delivered { at } => assert_eq!(at, SimTime::from_micros(8)),
+            TxOutcome::Dropped => panic!(),
+        }
+        eng.run();
+    }
+
+    #[test]
+    fn multipath_reorders_mixed_sizes() {
+        // A large packet on path A lets later small packets on path B
+        // overtake it — the ECMP reordering SDR must tolerate (§3.4.1).
+        let mut eng = Engine::new();
+        let mut cfg = LinkConfig::intra_dc(8e9).with_paths(2);
+        cfg.header_bytes = 0;
+        cfg.one_way_delay = SimTime::ZERO;
+        let mut link = Link::new(cfg);
+        let order = shared(Vec::new());
+        let o = order.clone();
+        link.transmit(&mut eng, 100_000, move |_| o.borrow_mut().push("big"));
+        let o = order.clone();
+        link.transmit(&mut eng, 100, move |_| o.borrow_mut().push("small"));
+        eng.run();
+        assert_eq!(*order.borrow(), vec!["small", "big"]);
+    }
+
+    #[test]
+    fn stats_track_sent_dropped_delivered() {
+        let mut eng = Engine::new();
+        let cfg = LinkConfig::wan(100.0, 8e9, 0.5).with_seed(77);
+        let mut link = Link::new(cfg);
+        for _ in 0..1000 {
+            link.transmit(&mut eng, 100, |_| {});
+        }
+        let s = link.stats();
+        assert_eq!(s.sent, 1000);
+        assert_eq!(s.dropped + s.delivered, 1000);
+        assert!(s.dropped > 300 && s.dropped < 700, "dropped {}", s.dropped);
+        eng.run();
+    }
+}

@@ -1,0 +1,253 @@
+//! Packet loss models for long-haul channels.
+//!
+//! The paper assumes i.i.d. per-chunk drops in its analysis (Section 4.2.1)
+//! but motivates the work with measurements showing three orders of magnitude
+//! drop-rate variation driven by ISP switch congestion (Figure 2). We provide
+//! both: a Bernoulli model for analysis-faithful experiments and a
+//! Gilbert–Elliott two-state model for bursty channels.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a loss process.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LossModel {
+    /// No losses: an ideal (or intra-DC lossless) channel.
+    Perfect,
+    /// Independent, identically distributed drops with probability `p` per
+    /// packet — the paper's modelling assumption.
+    Iid {
+        /// Per-packet drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Gilbert–Elliott bursty loss: a two-state Markov chain alternating
+    /// between a good state (loss `loss_good`) and a bad state
+    /// (loss `loss_bad`), capturing congestion episodes on ISP links.
+    GilbertElliott {
+        /// Probability of moving good → bad, evaluated per packet.
+        p_good_to_bad: f64,
+        /// Probability of moving bad → good, evaluated per packet.
+        p_bad_to_good: f64,
+        /// Drop probability while in the good state.
+        loss_good: f64,
+        /// Drop probability while in the bad state.
+        loss_bad: f64,
+    },
+}
+
+impl LossModel {
+    /// The long-run average drop probability of the model.
+    pub fn mean_drop_rate(&self) -> f64 {
+        match *self {
+            LossModel::Perfect => 0.0,
+            LossModel::Iid { p } => p,
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                // Stationary distribution of the two-state chain.
+                let denom = p_good_to_bad + p_bad_to_good;
+                if denom == 0.0 {
+                    return loss_good;
+                }
+                let pi_bad = p_good_to_bad / denom;
+                (1.0 - pi_bad) * loss_good + pi_bad * loss_bad
+            }
+        }
+    }
+
+    /// Validates the probabilities are within `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |name: &str, v: f64| {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} = {v} is not a probability"))
+            }
+        };
+        match *self {
+            LossModel::Perfect => Ok(()),
+            LossModel::Iid { p } => check("p", p),
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                check("p_good_to_bad", p_good_to_bad)?;
+                check("p_bad_to_good", p_bad_to_good)?;
+                check("loss_good", loss_good)?;
+                check("loss_bad", loss_bad)
+            }
+        }
+    }
+}
+
+/// A stateful, seeded loss process derived from a [`LossModel`].
+#[derive(Clone, Debug)]
+pub struct LossProcess {
+    model: LossModel,
+    rng: SmallRng,
+    in_bad_state: bool,
+    offered: u64,
+    dropped: u64,
+}
+
+impl LossProcess {
+    /// Creates a process with its own deterministic RNG stream.
+    pub fn new(model: LossModel, seed: u64) -> Self {
+        debug_assert!(model.validate().is_ok());
+        LossProcess {
+            model,
+            rng: SmallRng::seed_from_u64(seed),
+            in_bad_state: false,
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Decides the fate of the next packet: `true` means *dropped*.
+    pub fn drops_next(&mut self) -> bool {
+        self.offered += 1;
+        let dropped = match self.model {
+            LossModel::Perfect => false,
+            LossModel::Iid { p } => p > 0.0 && self.rng.random::<f64>() < p,
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                // Transition first, then sample loss in the new state.
+                if self.in_bad_state {
+                    if self.rng.random::<f64>() < p_bad_to_good {
+                        self.in_bad_state = false;
+                    }
+                } else if self.rng.random::<f64>() < p_good_to_bad {
+                    self.in_bad_state = true;
+                }
+                let p = if self.in_bad_state { loss_bad } else { loss_good };
+                p > 0.0 && self.rng.random::<f64>() < p
+            }
+        };
+        if dropped {
+            self.dropped += 1;
+        }
+        dropped
+    }
+
+    /// Packets offered to the process so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Empirical drop rate observed so far (0 if nothing offered).
+    pub fn observed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+
+    /// The model this process draws from.
+    pub fn model(&self) -> &LossModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_never_drops() {
+        let mut p = LossProcess::new(LossModel::Perfect, 1);
+        assert!((0..10_000).all(|_| !p.drops_next()));
+        assert_eq!(p.dropped(), 0);
+    }
+
+    #[test]
+    fn iid_rate_converges() {
+        let mut p = LossProcess::new(LossModel::Iid { p: 0.05 }, 42);
+        for _ in 0..200_000 {
+            p.drops_next();
+        }
+        let rate = p.observed_rate();
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn iid_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = LossProcess::new(LossModel::Iid { p: 0.5 }, seed);
+            (0..64).map(|_| p.drops_next()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_rate() {
+        let model = LossModel::GilbertElliott {
+            p_good_to_bad: 0.01,
+            p_bad_to_good: 0.09,
+            loss_good: 1e-4,
+            loss_bad: 0.2,
+        };
+        // pi_bad = 0.01/0.10 = 0.1 → mean = 0.9*1e-4 + 0.1*0.2 ≈ 0.02009.
+        let expect = model.mean_drop_rate();
+        assert!((expect - 0.02009).abs() < 1e-5);
+        let mut p = LossProcess::new(model, 3);
+        for _ in 0..500_000 {
+            p.drops_next();
+        }
+        assert!((p.observed_rate() - expect).abs() < 0.15 * expect);
+    }
+
+    #[test]
+    fn gilbert_elliott_is_bursty() {
+        // Compare the longest drop run against an i.i.d. process of the same
+        // mean rate: the GE process should produce much longer bursts.
+        let ge = LossModel::GilbertElliott {
+            p_good_to_bad: 0.001,
+            p_bad_to_good: 0.05,
+            loss_good: 0.0,
+            loss_bad: 0.9,
+        };
+        let mean = ge.mean_drop_rate();
+        let longest_run = |model: LossModel, seed| {
+            let mut p = LossProcess::new(model, seed);
+            let (mut cur, mut best) = (0u32, 0u32);
+            for _ in 0..300_000 {
+                if p.drops_next() {
+                    cur += 1;
+                    best = best.max(cur);
+                } else {
+                    cur = 0;
+                }
+            }
+            best
+        };
+        let ge_run = longest_run(ge, 11);
+        let iid_run = longest_run(LossModel::Iid { p: mean }, 11);
+        assert!(
+            ge_run >= 3 * iid_run.max(1),
+            "GE burst {ge_run} vs iid burst {iid_run}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        assert!(LossModel::Iid { p: 1.5 }.validate().is_err());
+        assert!(LossModel::Iid { p: -0.1 }.validate().is_err());
+        assert!(LossModel::Iid { p: 0.3 }.validate().is_ok());
+    }
+}

@@ -1,0 +1,323 @@
+//! Node memory, memory regions and memory-key translation.
+//!
+//! The SDR receive path relies on three Verbs memory features the simulator
+//! must model faithfully (paper §3.2.2–§3.3):
+//!
+//! * **Direct keys** — plain registered regions backing user buffers.
+//! * **A zero-based indirect "root" key** whose slot table maps message `i`
+//!   to offset range `[i·M, i·M + M)` (Figure 5). Posting a receive installs
+//!   the user buffer's key into a slot; completing it swaps the slot to…
+//! * **The NULL key** (`ibv_alloc_null_mr`) — writes targeting it are
+//!   *discarded but still produce completions*, which is the first stage of
+//!   the paper's late-packet protection.
+
+use std::collections::HashMap;
+
+use crate::packet::MkeyId;
+
+/// Byte-addressable memory of one node, with a bump allocator for regions.
+pub struct Memory {
+    buf: Vec<u8>,
+    next: u64,
+}
+
+impl Memory {
+    /// Creates a memory of `capacity` bytes, zero-initialised.
+    pub fn new(capacity: usize) -> Self {
+        Memory {
+            buf: vec![0; capacity],
+            next: 0,
+        }
+    }
+
+    /// Allocates a region of `len` bytes; returns its base address.
+    ///
+    /// # Panics
+    /// Panics when the memory is exhausted — simulation configs size node
+    /// memory up front.
+    pub fn alloc(&mut self, len: u64) -> u64 {
+        let base = self.next;
+        assert!(
+            base + len <= self.buf.len() as u64,
+            "node memory exhausted: want {len} at {base}, capacity {}",
+            self.buf.len()
+        );
+        self.next += len;
+        base
+    }
+
+    /// Copies `data` to `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let a = addr as usize;
+        self.buf[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes at `addr`.
+    pub fn read(&self, addr: u64, len: usize) -> &[u8] {
+        let a = addr as usize;
+        &self.buf[a..a + len]
+    }
+
+    /// Fills a region with a byte value (used to model repost cleanup).
+    pub fn fill(&mut self, addr: u64, len: usize, value: u8) {
+        let a = addr as usize;
+        self.buf[a..a + len].fill(value);
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// What a memory key resolves to.
+#[derive(Clone, Debug)]
+pub enum MkeyTarget {
+    /// Discard writes, but still complete them (late-packet stage 1).
+    Null,
+    /// A plain registered region.
+    Direct {
+        /// Base address within node memory.
+        base: u64,
+        /// Region length in bytes.
+        len: u64,
+    },
+    /// A zero-based table of slots of fixed size; slot `i` covers offsets
+    /// `[i*slot_size, (i+1)*slot_size)` and forwards into another key.
+    Indirect {
+        /// Size of each slot in bytes (the QP's max message size `M`).
+        slot_size: u64,
+        /// Per-slot inner keys; `None` behaves like an invalid access.
+        slots: Vec<Option<MkeyId>>,
+    },
+}
+
+/// Result of resolving `(mkey, offset, len)` against a node's key table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolved {
+    /// Write lands at this absolute address in node memory.
+    Addr(u64),
+    /// Write is discarded (NULL key) but must still raise a completion.
+    Null,
+}
+
+/// Errors surfaced by translation. On a real NIC these would be access
+/// faults; the simulator counts them and drops the packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessError {
+    /// Key not present in the table.
+    UnknownKey(MkeyId),
+    /// Offset/length outside the key's range.
+    OutOfBounds,
+    /// Indirect slot not populated.
+    EmptySlot,
+    /// Indirection chain too deep (guards against cycles).
+    TooDeep,
+}
+
+/// Per-node memory key table.
+#[derive(Default)]
+pub struct MkeyTable {
+    map: HashMap<u32, MkeyTarget>,
+    next: u32,
+}
+
+/// Maximum depth of indirect-key chains; the SDR layout needs two levels
+/// (root → buffer), four leaves margin for experiments.
+const MAX_DEPTH: u32 = 4;
+
+impl MkeyTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a target and returns its new key id.
+    pub fn insert(&mut self, target: MkeyTarget) -> MkeyId {
+        let id = self.next;
+        self.next += 1;
+        self.map.insert(id, target);
+        MkeyId(id)
+    }
+
+    /// Registers a direct region.
+    pub fn insert_direct(&mut self, base: u64, len: u64) -> MkeyId {
+        self.insert(MkeyTarget::Direct { base, len })
+    }
+
+    /// Allocates a NULL key (the simulator's `ibv_alloc_null_mr`).
+    pub fn insert_null(&mut self) -> MkeyId {
+        self.insert(MkeyTarget::Null)
+    }
+
+    /// Allocates an indirect root key with `slots` empty slots of
+    /// `slot_size` bytes each.
+    pub fn insert_indirect(&mut self, slot_size: u64, slots: usize) -> MkeyId {
+        self.insert(MkeyTarget::Indirect {
+            slot_size,
+            slots: vec![None; slots],
+        })
+    }
+
+    /// Points `slot` of the indirect key `root` at `inner`
+    /// (or clears it with `None`).
+    ///
+    /// # Panics
+    /// Panics if `root` is not an indirect key or `slot` is out of range —
+    /// these are programming errors in the layer above, not wire events.
+    pub fn set_indirect_slot(&mut self, root: MkeyId, slot: usize, inner: Option<MkeyId>) {
+        match self.map.get_mut(&root.0) {
+            Some(MkeyTarget::Indirect { slots, .. }) => {
+                slots[slot] = inner;
+            }
+            _ => panic!("mkey {root:?} is not an indirect key"),
+        }
+    }
+
+    /// Translates `(mkey, offset)` for a write of `len` bytes.
+    pub fn resolve(&self, mkey: MkeyId, offset: u64, len: u64) -> Result<Resolved, AccessError> {
+        self.resolve_depth(mkey, offset, len, 0)
+    }
+
+    fn resolve_depth(
+        &self,
+        mkey: MkeyId,
+        offset: u64,
+        len: u64,
+        depth: u32,
+    ) -> Result<Resolved, AccessError> {
+        if depth >= MAX_DEPTH {
+            return Err(AccessError::TooDeep);
+        }
+        match self.map.get(&mkey.0) {
+            None => Err(AccessError::UnknownKey(mkey)),
+            Some(MkeyTarget::Null) => Ok(Resolved::Null),
+            Some(MkeyTarget::Direct { base, len: rlen }) => {
+                if offset + len <= *rlen {
+                    Ok(Resolved::Addr(base + offset))
+                } else {
+                    Err(AccessError::OutOfBounds)
+                }
+            }
+            Some(MkeyTarget::Indirect { slot_size, slots }) => {
+                let slot = (offset / slot_size) as usize;
+                let inner_off = offset % slot_size;
+                if slot >= slots.len() {
+                    return Err(AccessError::OutOfBounds);
+                }
+                // A write must not straddle a slot boundary; SDR packets are
+                // MTU-sized and slots are MTU-aligned so this never happens
+                // in correct operation.
+                if inner_off + len > *slot_size {
+                    return Err(AccessError::OutOfBounds);
+                }
+                match slots[slot] {
+                    None => Err(AccessError::EmptySlot),
+                    Some(inner) => self.resolve_depth(inner, inner_off, len, depth + 1),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_key_translates_with_bounds_check() {
+        let mut t = MkeyTable::new();
+        let k = t.insert_direct(1000, 64);
+        assert_eq!(t.resolve(k, 0, 64), Ok(Resolved::Addr(1000)));
+        assert_eq!(t.resolve(k, 10, 4), Ok(Resolved::Addr(1010)));
+        assert_eq!(t.resolve(k, 61, 4), Err(AccessError::OutOfBounds));
+    }
+
+    #[test]
+    fn null_key_discards() {
+        let mut t = MkeyTable::new();
+        let k = t.insert_null();
+        assert_eq!(t.resolve(k, 12345, 4096), Ok(Resolved::Null));
+    }
+
+    #[test]
+    fn unknown_key_faults() {
+        let t = MkeyTable::new();
+        assert_eq!(
+            t.resolve(MkeyId(99), 0, 1),
+            Err(AccessError::UnknownKey(MkeyId(99)))
+        );
+    }
+
+    #[test]
+    fn indirect_key_implements_figure5_layout() {
+        // Root key with M = 1024-byte slots; message i lands in slot i.
+        let mut t = MkeyTable::new();
+        let buf0 = t.insert_direct(0, 1024);
+        let buf1 = t.insert_direct(4096, 1024);
+        let root = t.insert_indirect(1024, 4);
+        t.set_indirect_slot(root, 0, Some(buf0));
+        t.set_indirect_slot(root, 1, Some(buf1));
+
+        // Offset 100 → slot 0 at inner offset 100.
+        assert_eq!(t.resolve(root, 100, 4), Ok(Resolved::Addr(100)));
+        // Offset 1024+8 → slot 1 at inner offset 8 → 4096+8.
+        assert_eq!(t.resolve(root, 1032, 4), Ok(Resolved::Addr(4104)));
+        // Slot 2 is empty.
+        assert_eq!(t.resolve(root, 2048, 4), Err(AccessError::EmptySlot));
+        // Slot out of range.
+        assert_eq!(t.resolve(root, 4096, 4), Err(AccessError::OutOfBounds));
+    }
+
+    #[test]
+    fn completed_message_slot_redirects_to_null() {
+        // The late-packet protection flips a slot from the buffer key to the
+        // NULL key; subsequent writes resolve to Null (and will still CQE).
+        let mut t = MkeyTable::new();
+        let buf = t.insert_direct(0, 1024);
+        let null = t.insert_null();
+        let root = t.insert_indirect(1024, 2);
+        t.set_indirect_slot(root, 0, Some(buf));
+        assert_eq!(t.resolve(root, 0, 8), Ok(Resolved::Addr(0)));
+        t.set_indirect_slot(root, 0, Some(null));
+        assert_eq!(t.resolve(root, 0, 8), Ok(Resolved::Null));
+    }
+
+    #[test]
+    fn straddling_writes_fault() {
+        let mut t = MkeyTable::new();
+        let buf = t.insert_direct(0, 4096);
+        let root = t.insert_indirect(1024, 4);
+        t.set_indirect_slot(root, 0, Some(buf));
+        t.set_indirect_slot(root, 1, Some(buf));
+        assert_eq!(t.resolve(root, 1000, 100), Err(AccessError::OutOfBounds));
+    }
+
+    #[test]
+    fn indirection_depth_is_bounded() {
+        let mut t = MkeyTable::new();
+        // Create a self-referential chain root -> root.
+        let root = t.insert_indirect(1024, 1);
+        t.set_indirect_slot(root, 0, Some(root));
+        assert_eq!(t.resolve(root, 0, 4), Err(AccessError::TooDeep));
+    }
+
+    #[test]
+    fn memory_alloc_write_read_roundtrip() {
+        let mut m = Memory::new(4096);
+        let a = m.alloc(128);
+        let b = m.alloc(128);
+        assert_ne!(a, b);
+        m.write(b, &[1, 2, 3]);
+        assert_eq!(m.read(b, 3), &[1, 2, 3]);
+        m.fill(b, 3, 0);
+        assert_eq!(m.read(b, 3), &[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node memory exhausted")]
+    fn memory_exhaustion_panics() {
+        let mut m = Memory::new(100);
+        m.alloc(101);
+    }
+}

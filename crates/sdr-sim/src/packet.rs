@@ -1,0 +1,125 @@
+//! Wire-level packet representation and endpoint addressing.
+
+use bytes::Bytes;
+
+/// Identifies a node (an endpoint host/NIC pair) in the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A queue pair number, unique within its node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QpNum(pub u32);
+
+/// A completion queue id, unique within its node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CqId(pub u32);
+
+/// A memory key id, unique within its node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MkeyId(pub u32);
+
+/// Fully-qualified queue pair address: node + QP number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QpAddr {
+    /// The node hosting the QP.
+    pub node: NodeId,
+    /// The QP number on that node.
+    pub qp: QpNum,
+}
+
+/// Position of a packet within a multi-packet RDMA Write message.
+///
+/// SDR issues one Write-with-immediate *per packet* (`Only`), precisely to
+/// avoid the UC expected-PSN behaviour that discards whole multi-packet
+/// messages on reordering or loss (paper §3.2.1). `First/Middle/Last` exist
+/// so the simulator can also model that conventional behaviour, both for the
+/// RC baseline and for the ablation experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteSeg {
+    /// A single-packet message.
+    Only,
+    /// First packet of a multi-packet message (carries mkey + offset).
+    First,
+    /// Middle packet.
+    Middle,
+    /// Last packet (carries the immediate, if any).
+    Last,
+}
+
+/// What a packet asks the receiving NIC to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PacketKind {
+    /// One-sided RDMA Write (optionally with immediate data).
+    Write {
+        /// Segment position within the message.
+        seg: WriteSeg,
+        /// Remote memory key; meaningful on `Only`/`First` segments.
+        mkey: MkeyId,
+        /// Byte offset within the mkey's address range.
+        offset: u64,
+        /// Immediate data, delivered as a receive CQE on `Only`/`Last`.
+        imm: Option<u32>,
+    },
+    /// Two-sided send (UD datagram or connected send).
+    Send {
+        /// Immediate data, if any.
+        imm: Option<u32>,
+    },
+    /// Transport-level acknowledgment (used by the RC baseline).
+    Ack {
+        /// Cumulative acknowledgment: all PSNs `< psn` received.
+        psn: u32,
+        /// `true` if this is a negative acknowledgment requesting a
+        /// go-back-N rewind to `psn`.
+        nak: bool,
+    },
+}
+
+/// A packet in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Originating QP.
+    pub src: QpAddr,
+    /// Destination QP.
+    pub dst: QpAddr,
+    /// Packet sequence number within the sender's QP.
+    pub psn: u32,
+    /// Operation requested.
+    pub kind: PacketKind,
+    /// Payload bytes (cheaply cloneable slice).
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_is_cheap_to_clone() {
+        let payload = Bytes::from(vec![7u8; 1 << 20]);
+        let p = Packet {
+            src: QpAddr {
+                node: NodeId(0),
+                qp: QpNum(1),
+            },
+            dst: QpAddr {
+                node: NodeId(1),
+                qp: QpNum(2),
+            },
+            psn: 9,
+            kind: PacketKind::Send { imm: Some(4) },
+            payload,
+        };
+        let q = p.clone();
+        // Bytes clones share the same backing allocation.
+        assert_eq!(p.payload.as_ptr(), q.payload.as_ptr());
+        assert_eq!(q.payload_len(), 1 << 20);
+    }
+}

@@ -1,0 +1,276 @@
+//! Bottleneck queue and cross-traffic sources.
+//!
+//! Figure 2 of the paper measures UDP drop rates between two CSCS
+//! datacenters over an ISP-provided optical link and observes (a) up to three
+//! orders of magnitude drop-rate variation across trials and (b) drop rates
+//! that grow with payload size — both attributed to switch buffer congestion
+//! on the ISP side. We reproduce that mechanism with a fluid tail-drop FIFO
+//! queue shared between the measured flows and a bursty on/off cross-traffic
+//! source: larger packets are more likely to find insufficient residual
+//! buffer space, and congestion episodes make trials wildly different.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::{Engine, Shared};
+use crate::time::{tx_time, SimTime};
+
+/// A fluid-model FIFO queue in front of a fixed-rate drain (the ISP trunk).
+///
+/// The queue tracks its backlog in bytes, draining continuously at
+/// `drain_bps`. An arriving packet is tail-dropped when the backlog plus the
+/// packet exceeds `capacity_bytes`.
+pub struct BottleneckQueue {
+    drain_bps: f64,
+    capacity_bytes: u64,
+    backlog_bytes: f64,
+    last_update: SimTime,
+    /// Packets offered / dropped, split by whether they came from the
+    /// measured flows (`probe`) or from cross traffic.
+    stats: QueueStats,
+}
+
+/// Counters exported by the bottleneck queue.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueStats {
+    /// Probe packets offered.
+    pub probe_offered: u64,
+    /// Probe packets tail-dropped.
+    pub probe_dropped: u64,
+    /// Cross-traffic packets offered.
+    pub cross_offered: u64,
+    /// Cross-traffic packets tail-dropped.
+    pub cross_dropped: u64,
+}
+
+impl QueueStats {
+    /// Drop rate seen by the measured (probe) flows.
+    pub fn probe_drop_rate(&self) -> f64 {
+        if self.probe_offered == 0 {
+            0.0
+        } else {
+            self.probe_dropped as f64 / self.probe_offered as f64
+        }
+    }
+}
+
+impl BottleneckQueue {
+    /// Creates a queue that drains at `drain_bps` with `capacity_bytes` of
+    /// buffer.
+    pub fn new(drain_bps: f64, capacity_bytes: u64) -> Self {
+        assert!(drain_bps > 0.0);
+        BottleneckQueue {
+            drain_bps,
+            capacity_bytes,
+            backlog_bytes: 0.0,
+            last_update: SimTime::ZERO,
+            stats: QueueStats::default(),
+        }
+    }
+
+    fn drain_to(&mut self, now: SimTime) {
+        if now > self.last_update {
+            let dt = (now - self.last_update).as_secs_f64();
+            self.backlog_bytes = (self.backlog_bytes - dt * self.drain_bps / 8.0).max(0.0);
+            self.last_update = now;
+        }
+    }
+
+    /// Offers a packet at time `now`; returns `true` if it was accepted
+    /// (queued) and `false` if tail-dropped.
+    pub fn offer(&mut self, now: SimTime, bytes: u64, probe: bool) -> bool {
+        self.drain_to(now);
+        let accepted = self.backlog_bytes + bytes as f64 <= self.capacity_bytes as f64;
+        if probe {
+            self.stats.probe_offered += 1;
+            if !accepted {
+                self.stats.probe_dropped += 1;
+            }
+        } else {
+            self.stats.cross_offered += 1;
+            if !accepted {
+                self.stats.cross_dropped += 1;
+            }
+        }
+        if accepted {
+            self.backlog_bytes += bytes as f64;
+        }
+        accepted
+    }
+
+    /// Current backlog in bytes (after draining to `now`).
+    pub fn backlog(&mut self, now: SimTime) -> f64 {
+        self.drain_to(now);
+        self.backlog_bytes
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+/// Configuration of a bursty on/off cross-traffic source.
+#[derive(Clone, Debug)]
+pub struct OnOffConfig {
+    /// Sending rate while ON, bits per second.
+    pub on_rate_bps: f64,
+    /// Packet size in bytes.
+    pub packet_bytes: u64,
+    /// Mean duration of an ON burst (exponential).
+    pub mean_on: SimTime,
+    /// Mean duration of an OFF gap (exponential).
+    pub mean_off: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Drives an on/off packet source into a [`BottleneckQueue`].
+///
+/// The source alternates between exponentially distributed ON bursts, during
+/// which it offers packets at `on_rate_bps`, and OFF gaps. Scheduling is done
+/// through the discrete-event engine; call [`start`](OnOffSource::start)
+/// once and the source perpetuates itself until `stop_at`.
+pub struct OnOffSource {
+    cfg: OnOffConfig,
+    rng: SmallRng,
+    queue: Shared<BottleneckQueue>,
+    stop_at: SimTime,
+}
+
+impl OnOffSource {
+    /// Creates a source feeding `queue` until `stop_at`.
+    pub fn new(cfg: OnOffConfig, queue: Shared<BottleneckQueue>, stop_at: SimTime) -> Shared<Self> {
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        crate::engine::shared(OnOffSource {
+            cfg,
+            rng,
+            queue,
+            stop_at,
+        })
+    }
+
+    fn exp_sample(rng: &mut SmallRng, mean: SimTime) -> SimTime {
+        // Inverse-CDF exponential; guard the log argument away from 0.
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        SimTime::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+
+    /// Schedules the first burst. The source then re-schedules itself.
+    pub fn start(this: &Shared<Self>, eng: &mut Engine) {
+        let me = this.clone();
+        let off = {
+            let mut s = this.borrow_mut();
+            let mean_off = s.cfg.mean_off;
+            Self::exp_sample(&mut s.rng, mean_off)
+        };
+        eng.schedule_in(off, move |eng| Self::burst(&me, eng));
+    }
+
+    fn burst(this: &Shared<Self>, eng: &mut Engine) {
+        let (on_len, gap, stop_at) = {
+            let mut s = this.borrow_mut();
+            let (mean_on, mean_off) = (s.cfg.mean_on, s.cfg.mean_off);
+            (
+                Self::exp_sample(&mut s.rng, mean_on),
+                Self::exp_sample(&mut s.rng, mean_off),
+                s.stop_at,
+            )
+        };
+        if eng.now() >= stop_at {
+            return;
+        }
+        // Offer the whole burst packet by packet at the ON rate.
+        let (pkt_bytes, inter) = {
+            let s = this.borrow();
+            let inter = tx_time(s.cfg.packet_bytes, s.cfg.on_rate_bps);
+            (s.cfg.packet_bytes, inter)
+        };
+        let n_pkts = (on_len.as_picos() / inter.as_picos().max(1)).max(1);
+        for i in 0..n_pkts {
+            let me = this.clone();
+            eng.schedule_in(inter * i, move |eng| {
+                let s = me.borrow();
+                s.queue.borrow_mut().offer(eng.now(), pkt_bytes, false);
+            });
+        }
+        // Schedule the next burst after this one plus an OFF gap.
+        let me = this.clone();
+        eng.schedule_in(on_len + gap, move |eng| Self::burst(&me, eng));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::shared;
+
+    #[test]
+    fn queue_drains_at_configured_rate() {
+        let mut q = BottleneckQueue::new(8e6, 1_000_000); // 1 MB/s drain
+        assert!(q.offer(SimTime::ZERO, 500_000, true));
+        // After 0.25 s, 250 kB drained.
+        let b = q.backlog(SimTime::from_millis(250));
+        assert!((b - 250_000.0).abs() < 1.0, "backlog {b}");
+        // After another second it is empty.
+        assert_eq!(q.backlog(SimTime::from_millis(1500)), 0.0);
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut q = BottleneckQueue::new(8e6, 1000);
+        assert!(q.offer(SimTime::ZERO, 800, true));
+        assert!(!q.offer(SimTime::ZERO, 300, true), "would exceed capacity");
+        assert!(q.offer(SimTime::ZERO, 200, true), "exactly fits");
+        let s = q.stats();
+        assert_eq!(s.probe_offered, 3);
+        assert_eq!(s.probe_dropped, 1);
+    }
+
+    #[test]
+    fn larger_packets_see_higher_drop_rates() {
+        // The Figure 2 mechanism: with the queue hovering near full, a larger
+        // packet is more likely not to fit.
+        let drop_rate_for = |pkt: u64| {
+            let mut q = BottleneckQueue::new(8e9, 64 * 1024); // 1 GB/s, 64 KiB buf
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut t = SimTime::ZERO;
+            // Cross traffic keeps the queue ~80% full on average.
+            for _ in 0..200_000 {
+                t += SimTime::from_nanos(rng.random_range(400..1200));
+                q.offer(t, 1500, false);
+                if rng.random::<f64>() < 0.1 {
+                    q.offer(t, pkt, true);
+                }
+            }
+            q.stats().probe_drop_rate()
+        };
+        let small = drop_rate_for(1024);
+        let large = drop_rate_for(8192);
+        assert!(
+            large > small,
+            "large packets must drop more: {large} vs {small}"
+        );
+    }
+
+    #[test]
+    fn onoff_source_offers_packets() {
+        let mut eng = Engine::new();
+        let q = shared(BottleneckQueue::new(8e9, 1 << 20));
+        let src = OnOffSource::new(
+            OnOffConfig {
+                on_rate_bps: 1e9,
+                packet_bytes: 1500,
+                mean_on: SimTime::from_micros(100),
+                mean_off: SimTime::from_micros(100),
+                seed: 21,
+            },
+            q.clone(),
+            SimTime::from_millis(10),
+        );
+        OnOffSource::start(&src, &mut eng);
+        eng.run_until(SimTime::from_millis(10));
+        let offered = q.borrow().stats().cross_offered;
+        assert!(offered > 100, "source generated only {offered} packets");
+    }
+}

@@ -1,0 +1,73 @@
+//! The substrate's reproducibility contract: identical seeds give
+//! bit-identical simulations; different seeds give different drop patterns.
+//! Every experiment in the repository leans on this.
+
+use bytes::Bytes;
+use sdr_sim::{
+    Engine, Fabric, LinkConfig, LossModel, NodeStats, QpAddr, QpType, WriteWr,
+};
+
+fn run_once(seed: u64) -> (NodeStats, u64) {
+    let mut eng = Engine::new();
+    let fab = Fabric::new();
+    let a = fab.add_node(1 << 22);
+    let b = fab.add_node(1 << 22);
+    let cfg = LinkConfig::intra_dc(8e9)
+        .with_loss(LossModel::Iid { p: 0.1 })
+        .with_seed(seed);
+    fab.link_duplex(a, b, cfg);
+    let qa = fab.node_mut(a, |n| {
+        let cq = n.create_cq();
+        n.create_qp(QpType::Uc, cq, cq)
+    });
+    let qb = fab.node_mut(b, |n| {
+        let cq = n.create_cq();
+        n.create_qp(QpType::Uc, cq, cq)
+    });
+    fab.node_mut(a, |n| n.connect_qp(qa, QpAddr { node: b, qp: qb }));
+    fab.node_mut(b, |n| n.connect_qp(qb, QpAddr { node: a, qp: qa }));
+    let mr = fab.node_mut(b, |n| n.alloc_mr(1 << 21));
+    for i in 0..50u64 {
+        fab.post_uc_write_per_packet(
+            &mut eng,
+            QpAddr { node: a, qp: qa },
+            WriteWr {
+                remote_mkey: mr.mkey,
+                remote_offset: 0,
+                data: Bytes::from(vec![i as u8; 32 * 1024]),
+                imm: None,
+                wr_id: i,
+                signaled: false,
+            },
+        )
+        .unwrap();
+    }
+    eng.run();
+    (fab.node(b, |n| n.stats()), eng.executed_events())
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let (s1, e1) = run_once(1234);
+    let (s2, e2) = run_once(1234);
+    assert_eq!(s1.writes_landed, s2.writes_landed);
+    assert_eq!(s1.cqes, s2.cqes);
+    assert_eq!(e1, e2, "event counts must match exactly");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (s1, _) = run_once(1);
+    let (s2, _) = run_once(2);
+    // 400 packets at 10% loss: landing counts colliding across seeds is
+    // possible but (with these two seeds) does not happen.
+    assert_ne!(s1.writes_landed, s2.writes_landed);
+}
+
+#[test]
+fn loss_rate_is_respected_in_aggregate() {
+    let (s, _) = run_once(99);
+    // 50 messages × 8 packets = 400 offered, ~10% dropped.
+    let landed = s.writes_landed as f64;
+    assert!(landed > 400.0 * 0.8 && landed < 400.0 * 0.98, "landed {landed}");
+}
