@@ -89,7 +89,13 @@ fn main() {
 
     table_header(
         "2. Message-ID wraparound safety (§3.3.2)",
-        &["link rate", "msg size", "slots", "wraparound time [ms]", "safe RTT budget"],
+        &[
+            "link rate",
+            "msg size",
+            "slots",
+            "wraparound time [ms]",
+            "safe RTT budget",
+        ],
     );
     // Wraparound time = slots × msg_size / bandwidth; generations multiply it.
     for (bw, label) in [(400e9f64, "400 Gbit/s"), (800e9, "800 Gbit/s")] {

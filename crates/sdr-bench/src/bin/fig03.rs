@@ -68,7 +68,12 @@ fn main() {
     // (c) Drop-rate sweep: 128 MiB at 25 ms.
     table_header(
         "(c) Mean slowdown vs drop rate (128 MiB, 3750 km)",
-        &["P_drop (packet)", "SR RTO(3 RTT)", "MDS EC(32,8)", "+k RTO reference"],
+        &[
+            "P_drop (packet)",
+            "SR RTO(3 RTT)",
+            "MDS EC(32,8)",
+            "+k RTO reference",
+        ],
     );
     let refs = |ch: &Channel, k: f64| {
         let ideal = ch.ideal_time(128 << 20);

@@ -47,7 +47,15 @@ fn main() {
 
     table_header(
         "(b,c) 128 MiB: mean and p99.9 slowdown vs drop rate",
-        &["P_drop", "SR RTO mean", "SR NACK mean", "EC mean", "SR RTO p999", "SR NACK p999", "EC p999"],
+        &[
+            "P_drop",
+            "SR RTO mean",
+            "SR NACK mean",
+            "EC mean",
+            "SR RTO p999",
+            "SR NACK p999",
+            "EC p999",
+        ],
     );
     for p in logspace(1e-6, 1e-2, 7) {
         let ch = paper_channel(p);

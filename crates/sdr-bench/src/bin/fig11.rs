@@ -20,7 +20,11 @@ const M: usize = 8;
 fn encode_throughput(code: &dyn ErasureCode, threads: usize, submessages: usize) -> f64 {
     // One submessage = 32 × 64 KiB = 2 MiB of data.
     let data: Vec<Vec<u8>> = (0..K)
-        .map(|i| (0..CHUNK).map(|j| ((i * 131 + j * 7) % 251) as u8).collect())
+        .map(|i| {
+            (0..CHUNK)
+                .map(|j| ((i * 131 + j * 7) % 251) as u8)
+                .collect()
+        })
         .collect();
     let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
     // Warm up once.
@@ -36,7 +40,26 @@ fn encode_throughput(code: &dyn ErasureCode, threads: usize, submessages: usize)
 
 fn main() {
     println!("# Figure 11 — MDS vs XOR EC: encode cost and resilience");
-    let submessages = 64; // 128 MiB total data per measurement
+    println!(
+        "GF(256) kernel: {} (available: {})",
+        sdr_erasure::Kernel::active().name(),
+        sdr_erasure::Kernel::all()
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    // CI pins tiers via SDR_GF256_KERNEL; a pin the host can't honor must
+    // fail the run loudly, not silently re-measure the fallback tier.
+    if let Ok(want) = std::env::var("SDR_GF256_KERNEL") {
+        assert_eq!(
+            sdr_erasure::Kernel::active().name(),
+            want,
+            "pinned GF(256) kernel unavailable on this host"
+        );
+    }
+    let smoke = std::env::var_os("SDR_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty());
+    let submessages = if smoke { 2 } else { 64 }; // 128 MiB total data per measurement
 
     table_header(
         "Encode throughput vs threads (128 MiB buffer, 64 KiB chunks, k=32 m=8)",
@@ -47,12 +70,7 @@ fn main() {
     for threads in [1usize, 2, 4, 8] {
         let tx = encode_throughput(&xor, threads, submessages) / 1e9;
         let tm = encode_throughput(&rs, threads, submessages) / 1e9;
-        table_row(&[
-            threads.to_string(),
-            fmt(tx),
-            fmt(tm),
-            fmt(tx / tm),
-        ]);
+        table_row(&[threads.to_string(), fmt(tx), fmt(tm), fmt(tx / tm)]);
     }
     println!(
         "Expected shape: XOR ≈ 2x MDS throughput per core (paper: XOR hides\n\

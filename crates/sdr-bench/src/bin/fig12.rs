@@ -10,7 +10,13 @@ fn main() {
     let bytes = 128u64 << 20;
     table_header(
         "normalized completion time: SR / EC (winner marked)",
-        &["distance [km]", "100 Gbit/s", "400 Gbit/s", "1.6 Tbit/s", "3.2 Tbit/s"],
+        &[
+            "distance [km]",
+            "100 Gbit/s",
+            "400 Gbit/s",
+            "1.6 Tbit/s",
+            "3.2 Tbit/s",
+        ],
     );
     for km in [75.0f64, 750.0, 1500.0, 3000.0, 4500.0, 6000.0] {
         let mut cells = vec![format!("{km:.0}")];

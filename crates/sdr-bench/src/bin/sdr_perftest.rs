@@ -16,9 +16,7 @@ use std::collections::HashMap;
 
 use sdr_core::ImmLayout;
 use sdr_dpa::{run_loopback, DpaConfig, LoopbackConfig};
-use sdr_model::{
-    ec_summary, sr_quantile_analytic, sr_summary, Channel, EcConfig, SrConfig,
-};
+use sdr_model::{ec_summary, sr_quantile_analytic, sr_summary, Channel, EcConfig, SrConfig};
 
 fn parse_args(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -38,9 +36,7 @@ fn parse_args(args: &[String]) -> HashMap<String, String> {
 }
 
 fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str, default: T) -> T {
-    map.get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    map.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 fn usage() -> ! {
@@ -98,7 +94,10 @@ fn run_wan_mode(opts: &HashMap<String, String>) {
         gbps,
         p
     );
-    println!("  ideal (lossless)       : {:.3} ms", ch.ideal_time(msg) * 1e3);
+    println!(
+        "  ideal (lossless)       : {:.3} ms",
+        ch.ideal_time(msg) * 1e3
+    );
     let sr_rto = SrConfig::rto_multiple(&ch, 3.0);
     let schemes: [(&str, Box<dyn Fn() -> sdr_model::Summary>); 3] = [
         (

@@ -63,7 +63,10 @@ pub fn bytes_label(bytes: u64) -> String {
 pub fn table_header(title: &str, cols: &[&str]) {
     println!("\n### {title}");
     println!("| {} |", cols.join(" | "));
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Prints one table row.

@@ -41,7 +41,7 @@ pub fn des_ring_allreduce(
     p_drop: f64,
     seed: u64,
 ) -> DesAllreduceOutcome {
-    assert!(n >= 2 && elems % n == 0);
+    assert!(n >= 2 && elems.is_multiple_of(n));
     let seg_elems = elems / n;
     let seg_bytes = (seg_elems * 4) as u64;
 
@@ -68,7 +68,10 @@ pub fn des_ring_allreduce(
     let mut proto = SrProtoConfig::rto_3rtt(rtt);
     proto.linger_acks = 6;
 
-    let ctxs: Vec<_> = nodes.iter().map(|&nd| SdrContext::new(&fabric, nd)).collect();
+    let ctxs: Vec<_> = nodes
+        .iter()
+        .map(|&nd| SdrContext::new(&fabric, nd))
+        .collect();
     // One directed SDR QP pair per ring edge i → i+1.
     let mut qp_out: Vec<SdrQp> = Vec::with_capacity(n);
     let mut qp_in: Vec<Option<SdrQp>> = (0..n).map(|_| None).collect();
@@ -93,7 +96,10 @@ pub fn des_ring_allreduce(
         .collect();
 
     // Buffers: the data vector plus a staging segment for incoming data.
-    let data_addr: Vec<u64> = ctxs.iter().map(|c| c.alloc_buffer(elems as u64 * 4)).collect();
+    let data_addr: Vec<u64> = ctxs
+        .iter()
+        .map(|c| c.alloc_buffer(elems as u64 * 4))
+        .collect();
     let stage_addr: Vec<u64> = ctxs.iter().map(|c| c.alloc_buffer(seg_bytes)).collect();
 
     // Initial vectors: small integers keep f32 sums exact.

@@ -60,7 +60,12 @@ impl AllreduceParams {
     }
 }
 
-pub(crate) fn sample_step_time(ch: &Channel, bytes: u64, proto: StepProtocol, rng: &mut SmallRng) -> f64 {
+pub(crate) fn sample_step_time(
+    ch: &Channel,
+    bytes: u64,
+    proto: StepProtocol,
+    rng: &mut SmallRng,
+) -> f64 {
     match proto {
         StepProtocol::Lossless => ch.ideal_time(bytes),
         StepProtocol::SrRto { mult } => {

@@ -87,10 +87,14 @@ impl AtomicBitmap {
         self.words[full_words].load(Ordering::Acquire) & mask == mask
     }
 
-    /// Indices of clear bits among the first `n` (the drops a reliability
-    /// layer must repair).
-    pub fn missing_in_first_n(&self, n: usize) -> Vec<usize> {
-        let mut out = Vec::new();
+    /// Calls `f` with the index of every clear bit among the first `n`
+    /// (the drops a reliability layer must repair), in ascending order.
+    ///
+    /// This is the allocation-free workhorse behind
+    /// [`missing_in_first_n`](Self::missing_in_first_n): reliability
+    /// layers poll bitmaps every fraction of an RTT, and building a fresh
+    /// `Vec` per poll turns a read-only scan into steady-state garbage.
+    pub fn for_each_missing_in_first_n(&self, n: usize, mut f: impl FnMut(usize)) {
         for (wi, w) in self.words.iter().enumerate() {
             let base = wi * 64;
             if base >= n {
@@ -104,10 +108,18 @@ impl AtomicBitmap {
                 if b >= upto {
                     break;
                 }
-                out.push(base + b);
+                f(base + b);
                 missing &= missing - 1;
             }
         }
+    }
+
+    /// Indices of clear bits among the first `n`, collected into a `Vec`.
+    /// Prefer [`for_each_missing_in_first_n`](Self::for_each_missing_in_first_n)
+    /// on hot paths.
+    pub fn missing_in_first_n(&self, n: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_missing_in_first_n(n, |i| out.push(i));
         out
     }
 
@@ -286,6 +298,40 @@ mod tests {
         assert_eq!(b.cumulative_prefix(100), 70);
         b.set(70);
         assert_eq!(b.cumulative_prefix(100), 100);
+    }
+
+    #[test]
+    fn missing_scan_variants_agree() {
+        // Holes straddling word boundaries, at 0, and at the very end.
+        let b = AtomicBitmap::new(200);
+        let holes = [0usize, 63, 64, 65, 127, 128, 199];
+        for i in 0..200 {
+            if !holes.contains(&i) {
+                b.set(i);
+            }
+        }
+        for n in [1usize, 63, 64, 65, 100, 128, 199, 200] {
+            let collected = b.missing_in_first_n(n);
+            let mut via_closure = Vec::new();
+            b.for_each_missing_in_first_n(n, |i| via_closure.push(i));
+            let expect: Vec<usize> = holes.iter().copied().filter(|&h| h < n).collect();
+            assert_eq!(collected, expect, "n={n}");
+            assert_eq!(via_closure, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn missing_scan_on_empty_and_full() {
+        let b = AtomicBitmap::new(130);
+        let mut all = 0;
+        b.for_each_missing_in_first_n(130, |_| all += 1);
+        assert_eq!(all, 130, "all clear → all missing");
+        for i in 0..130 {
+            b.set(i);
+        }
+        let mut calls = 0;
+        b.for_each_missing_in_first_n(130, |_| calls += 1);
+        assert_eq!(calls, 0);
     }
 
     #[test]

@@ -49,13 +49,13 @@ impl SdrConfig {
         if self.mtu_bytes == 0 {
             return Err("mtu_bytes must be positive".into());
         }
-        if self.chunk_bytes == 0 || self.chunk_bytes % self.mtu_bytes != 0 {
+        if self.chunk_bytes == 0 || !self.chunk_bytes.is_multiple_of(self.mtu_bytes) {
             return Err(format!(
                 "chunk_bytes ({}) must be a positive multiple of mtu_bytes ({})",
                 self.chunk_bytes, self.mtu_bytes
             ));
         }
-        if self.max_msg_bytes == 0 || self.max_msg_bytes % self.chunk_bytes != 0 {
+        if self.max_msg_bytes == 0 || !self.max_msg_bytes.is_multiple_of(self.chunk_bytes) {
             return Err(format!(
                 "max_msg_bytes ({}) must be a positive multiple of chunk_bytes ({})",
                 self.max_msg_bytes, self.chunk_bytes

@@ -49,7 +49,18 @@ impl SdrContext {
 
     /// Reads `len` bytes of node memory at `addr`.
     pub fn read_buffer(&self, addr: u64, len: usize) -> Vec<u8> {
-        self.fabric.node(self.node, |n| n.mem().read(addr, len).to_vec())
+        self.fabric
+            .node(self.node, |n| n.mem().read(addr, len).to_vec())
+    }
+
+    /// Reads `dst.len()` bytes of node memory at `addr` into a
+    /// caller-owned buffer — the allocation-free variant of
+    /// [`read_buffer`](Self::read_buffer) used by reliability-layer hot
+    /// paths (EC decode scratch pools).
+    pub fn read_buffer_into(&self, addr: u64, dst: &mut [u8]) {
+        self.fabric.node(self.node, |n| {
+            dst.copy_from_slice(n.mem().read(addr, dst.len()))
+        });
     }
 
     /// The node this context is bound to.

@@ -66,7 +66,7 @@ impl ImmLayout {
 
     /// Largest encodable packet offset.
     pub fn max_packet_offset(&self) -> u32 {
-        (1u32 << self.offset_bits) - 1
+        Self::field_mask(self.offset_bits)
     }
 
     /// Number of user-immediate fragments needed to reassemble 32 bits
@@ -79,24 +79,35 @@ impl ImmLayout {
         }
     }
 
+    /// `bits`-wide low mask, total for `bits` up to (and past) 32 —
+    /// keeps degenerate all-in-one-field layouts from overflowing shifts.
+    #[inline]
+    fn field_mask(bits: u32) -> u32 {
+        if bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        }
+    }
+
     /// Encodes `(msg_id, pkt_offset, user_frag)` into the wire immediate.
     /// Field order (MSB→LSB): msg_id | offset | user.
     #[inline]
     pub fn encode(&self, msg_id: u32, pkt_offset: u32, user_frag: u32) -> u32 {
-        debug_assert!(msg_id < (1 << self.msg_id_bits));
+        debug_assert!(self.msg_id_bits == 32 || msg_id < (1 << self.msg_id_bits));
         debug_assert!(pkt_offset <= self.max_packet_offset());
         debug_assert!(self.user_bits == 32 || user_frag < (1 << self.user_bits));
-        (msg_id << (self.offset_bits + self.user_bits))
-            | (pkt_offset << self.user_bits)
+        msg_id.unbounded_shl(self.offset_bits + self.user_bits)
+            | pkt_offset.unbounded_shl(self.user_bits)
             | user_frag
     }
 
     /// Decodes a wire immediate into `(msg_id, pkt_offset, user_frag)`.
     #[inline]
     pub fn decode(&self, imm: u32) -> (u32, u32, u32) {
-        let user = imm & ((1u32 << self.user_bits) - 1).max(0);
-        let offset = (imm >> self.user_bits) & ((1u32 << self.offset_bits) - 1);
-        let msg_id = imm >> (self.offset_bits + self.user_bits);
+        let user = imm & Self::field_mask(self.user_bits);
+        let offset = imm.unbounded_shr(self.user_bits) & Self::field_mask(self.offset_bits);
+        let msg_id = imm.unbounded_shr(self.offset_bits + self.user_bits);
         (msg_id, offset, user)
     }
 
@@ -155,6 +166,25 @@ impl UserImmAccumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degenerate_full_width_fields_roundtrip() {
+        // Layouts with a 32-bit field fail validate() but must not
+        // overflow shifts in encode/decode (debug builds would panic).
+        for l in [
+            ImmLayout::new(0, 0, 32),
+            ImmLayout::new(0, 32, 0),
+            ImmLayout::new(32, 0, 0),
+        ] {
+            assert!(l.validate().is_err());
+            let (msg, off, user) = l.decode(l.encode(
+                if l.msg_id_bits == 32 { 0xDEAD_BEEF } else { 0 },
+                if l.offset_bits == 32 { 0xDEAD_BEEF } else { 0 },
+                if l.user_bits == 32 { 0xDEAD_BEEF } else { 0 },
+            ));
+            assert_eq!(msg | off | user, 0xDEAD_BEEF);
+        }
+    }
 
     #[test]
     fn default_split_is_10_18_4() {

@@ -85,7 +85,10 @@ mod tests {
         let dst = p.ctx_b.alloc_buffer(1 << 20);
         p.ctx_a.write_buffer(src, &data);
 
-        let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
+        let rh = p
+            .qp_b
+            .recv_post(&mut p.eng, dst, data.len() as u64)
+            .unwrap();
         let sh = p
             .qp_a
             .send_post(&mut p.eng, src, data.len() as u64, Some(0xABCD_1234))
@@ -118,7 +121,10 @@ mod tests {
         p.eng.run();
         assert!(!p.qp_a.send_poll(&sh).unwrap(), "no CTS yet, nothing sent");
 
-        let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
+        let rh = p
+            .qp_b
+            .recv_post(&mut p.eng, dst, data.len() as u64)
+            .unwrap();
         p.eng.run();
         assert!(p.qp_a.send_poll(&sh).unwrap());
         assert!(p.qp_b.recv_is_complete(&rh).unwrap());
@@ -139,7 +145,9 @@ mod tests {
 
         let r1 = p.qp_b.recv_post(&mut p.eng, dst1, d1.len() as u64).unwrap();
         let r2 = p.qp_b.recv_post(&mut p.eng, dst2, d2.len() as u64).unwrap();
-        p.qp_a.send_post(&mut p.eng, src, d1.len() as u64, None).unwrap();
+        p.qp_a
+            .send_post(&mut p.eng, src, d1.len() as u64, None)
+            .unwrap();
         p.qp_a
             .send_post(&mut p.eng, src + (1 << 20), d2.len() as u64, None)
             .unwrap();
@@ -164,7 +172,10 @@ mod tests {
         let dst = p.ctx_b.alloc_buffer(1 << 20);
         p.ctx_a.write_buffer(src, &data);
 
-        let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
+        let rh = p
+            .qp_b
+            .recv_post(&mut p.eng, dst, data.len() as u64)
+            .unwrap();
         p.eng.run(); // deliver CTS
         let sh = p
             .qp_a
@@ -190,7 +201,9 @@ mod tests {
             for c in missing {
                 let off = c as u64 * p.qp_a.config().chunk_bytes;
                 let len = p.qp_a.config().chunk_bytes.min(data.len() as u64 - off);
-                p.qp_a.send_stream_continue(&mut p.eng, &sh, off, len).unwrap();
+                p.qp_a
+                    .send_stream_continue(&mut p.eng, &sh, off, len)
+                    .unwrap();
             }
             p.eng.run();
         }
@@ -212,9 +225,14 @@ mod tests {
         let dst = p.ctx_b.alloc_buffer(1 << 20);
         p.ctx_a.write_buffer(src, &data);
 
-        let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
+        let rh = p
+            .qp_b
+            .recv_post(&mut p.eng, dst, data.len() as u64)
+            .unwrap();
         p.eng.run_until(SimTime::from_millis(11)); // CTS there
-        p.qp_a.send_post(&mut p.eng, src, data.len() as u64, None).unwrap();
+        p.qp_a
+            .send_post(&mut p.eng, src, data.len() as u64, None)
+            .unwrap();
         // Packets (123 × ~4.2 µs serialization) arrive from ~16.0 ms to
         // ~16.5 ms; stop mid-window so some are still in flight.
         p.eng.run_until(SimTime::from_micros(16_200));
@@ -228,7 +246,10 @@ mod tests {
             st.late_null_discarded > 0,
             "in-flight packets must hit the NULL key: {st:?}"
         );
-        assert_eq!(st.packets_received, received_before, "no landing after complete");
+        assert_eq!(
+            st.packets_received, received_before,
+            "no landing after complete"
+        );
         // The handle is now stale.
         assert_eq!(p.qp_b.recv_bitmap(&rh).unwrap_err(), SdrError::BadHandle);
     }
@@ -251,8 +272,13 @@ mod tests {
         // Three sequential messages through the single slot: generations
         // 0, 1, 0.
         for round in 0..3 {
-            let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
-            p.qp_a.send_post(&mut p.eng, src, data.len() as u64, None).unwrap();
+            let rh = p
+                .qp_b
+                .recv_post(&mut p.eng, dst, data.len() as u64)
+                .unwrap();
+            p.qp_a
+                .send_post(&mut p.eng, src, data.len() as u64, None)
+                .unwrap();
             p.eng.run();
             assert!(
                 p.qp_b.recv_is_complete(&rh).unwrap(),
@@ -313,7 +339,9 @@ mod tests {
         assert_eq!(err, SdrError::TooLarge);
         // Over-max sizes rejected outright.
         assert_eq!(
-            p.qp_a.send_post(&mut p.eng, src, 2 << 20, None).unwrap_err(),
+            p.qp_a
+                .send_post(&mut p.eng, src, 2 << 20, None)
+                .unwrap_err(),
             SdrError::TooLarge
         );
         assert_eq!(
@@ -355,8 +383,13 @@ mod tests {
         let src = p.ctx_a.alloc_buffer(2 << 20);
         let dst = p.ctx_b.alloc_buffer(2 << 20);
         p.ctx_a.write_buffer(src, &data);
-        let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
-        p.qp_a.send_post(&mut p.eng, src, data.len() as u64, None).unwrap();
+        let rh = p
+            .qp_b
+            .recv_post(&mut p.eng, dst, data.len() as u64)
+            .unwrap();
+        p.qp_a
+            .send_post(&mut p.eng, src, data.len() as u64, None)
+            .unwrap();
         p.eng.run();
         assert!(p.qp_b.recv_is_complete(&rh).unwrap());
         assert_eq!(p.qp_b.stats().packets_received, 256);
@@ -370,8 +403,13 @@ mod tests {
         let src = p.ctx_a.alloc_buffer(1 << 20);
         let dst = p.ctx_b.alloc_buffer(1 << 20);
         p.ctx_a.write_buffer(src, &data);
-        let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
-        p.qp_a.send_post(&mut p.eng, src, data.len() as u64, None).unwrap();
+        let rh = p
+            .qp_b
+            .recv_post(&mut p.eng, dst, data.len() as u64)
+            .unwrap();
+        p.qp_a
+            .send_post(&mut p.eng, src, data.len() as u64, None)
+            .unwrap();
         p.eng.run();
         assert!(p.qp_b.recv_is_complete(&rh).unwrap());
         assert_eq!(p.ctx_b.read_buffer(dst, data.len()), data);
@@ -389,7 +427,10 @@ mod tests {
         let src = p.ctx_a.alloc_buffer(1 << 20);
         let dst = p.ctx_b.alloc_buffer(1 << 20);
         p.ctx_a.write_buffer(src, &data);
-        let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
+        let rh = p
+            .qp_b
+            .recv_post(&mut p.eng, dst, data.len() as u64)
+            .unwrap();
         let sh = p
             .qp_a
             .send_post(&mut p.eng, src, data.len() as u64, None)
@@ -413,8 +454,13 @@ mod tests {
         let src = p.ctx_a.alloc_buffer(1 << 20);
         let dst = p.ctx_b.alloc_buffer(1 << 20);
         p.ctx_a.write_buffer(src, &data);
-        let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
-        p.qp_a.send_post(&mut p.eng, src, data.len() as u64, None).unwrap();
+        let rh = p
+            .qp_b
+            .recv_post(&mut p.eng, dst, data.len() as u64)
+            .unwrap();
+        p.qp_a
+            .send_post(&mut p.eng, src, data.len() as u64, None)
+            .unwrap();
         p.eng.run();
         assert!(
             p.qp_b.recv_is_complete(&rh).unwrap(),

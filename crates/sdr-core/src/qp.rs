@@ -20,9 +20,7 @@ use std::rc::{Rc, Weak};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use sdr_sim::{
-    CqId, Engine, Fabric, MkeyId, NodeId, QpAddr, QpNum, QpType, RecvWqe, Waker,
-};
+use sdr_sim::{CqId, Engine, Fabric, MkeyId, NodeId, QpAddr, QpNum, QpType, RecvWqe, Waker};
 
 use crate::bitmap::TwoLevelBitmap;
 use crate::config::SdrConfig;
@@ -549,7 +547,7 @@ impl SdrQp {
             if !st.stream_open {
                 return Err(SdrError::StreamEnded);
             }
-            if offset % i.cfg.mtu_bytes != 0 || offset + len > st.total_len {
+            if !offset.is_multiple_of(i.cfg.mtu_bytes) || offset + len > st.total_len {
                 return Err(SdrError::TooLarge);
             }
         }
@@ -572,10 +570,7 @@ impl SdrQp {
     pub fn send_poll(&self, hdl: &SendHandle) -> Result<bool, SdrError> {
         let i = self.inner.borrow();
         let st = i.sends.get(&hdl.id).ok_or(SdrError::BadHandle)?;
-        Ok(st.injected_any
-            && !st.stream_open
-            && !st.deferred_oneshot
-            && st.outstanding_sig == 0)
+        Ok(st.injected_any && !st.stream_open && !st.deferred_oneshot && st.outstanding_sig == 0)
     }
 
     /// Releases a completed send handle.
@@ -602,7 +597,7 @@ impl SdrQp {
         } else {
             (offset + len).min(st.total_len)
         };
-        debug_assert!(offset % mtu == 0);
+        debug_assert!(offset.is_multiple_of(mtu));
         let first_pkt = offset / mtu;
         let last_pkt = end.div_ceil(mtu); // exclusive
         if first_pkt >= last_pkt {
@@ -663,10 +658,7 @@ impl SdrQp {
         eng: &mut Engine,
     ) {
         let Some(inner) = weak.upgrade() else { return };
-        loop {
-            let Some(cqe) = fabric.node_mut(node, |n| n.poll_cq(cq)) else {
-                break;
-            };
+        while let Some(cqe) = fabric.node_mut(node, |n| n.poll_cq(cq)) {
             // Handle the CQE while holding the borrow, collecting any user
             // callback to run unborrowed.
             let cb: Option<(u64, u64)> = {
@@ -725,10 +717,7 @@ impl SdrQp {
     ) {
         let _ = eng;
         let Some(inner) = weak.upgrade() else { return };
-        loop {
-            let Some(cqe) = fabric.node_mut(node, |n| n.poll_cq(cq)) else {
-                break;
-            };
+        while let Some(cqe) = fabric.node_mut(node, |n| n.poll_cq(cq)) {
             if cqe.op == sdr_sim::CqeOp::SendComplete {
                 let mut i = inner.borrow_mut();
                 if let Some(st) = i.sends.get_mut(&cqe.wr_id) {
@@ -804,7 +793,8 @@ impl QpInner {
             self.stats.inactive_slot_drops += 1;
             return;
         }
-        let slot_gen = ((slot.seq / self.cfg.msg_slots as u64) % self.cfg.generations as u64) as u32;
+        let slot_gen =
+            ((slot.seq / self.cfg.msg_slots as u64) % self.cfg.generations as u64) as u32;
         if cqe_gen != slot_gen {
             self.stats.generation_filtered += 1;
             return;

@@ -75,7 +75,7 @@ pub struct ThroughputReport {
 /// Runs the loopback benchmark to completion.
 pub fn run_loopback(cfg: LoopbackConfig) -> ThroughputReport {
     assert!(cfg.inflight >= 1 && cfg.inflight <= cfg.dpa.msg_slots);
-    assert!(cfg.chunk_bytes % cfg.mtu_bytes == 0);
+    assert!(cfg.chunk_bytes.is_multiple_of(cfg.mtu_bytes));
     let pkts_per_msg = cfg.msg_bytes.div_ceil(cfg.mtu_bytes).max(1) as usize;
     let pkts_per_chunk = (cfg.chunk_bytes / cfg.mtu_bytes) as u32;
     let layout = cfg.dpa.layout;

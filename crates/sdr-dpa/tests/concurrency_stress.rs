@@ -7,7 +7,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use sdr_core::imm::ImmLayout;
-use sdr_dpa::{DpaCqe, DpaConfig, DpaEngine};
+use sdr_dpa::{DpaConfig, DpaCqe, DpaEngine};
 
 #[test]
 fn random_interleavings_with_drops_and_duplicates() {

@@ -49,8 +49,7 @@ pub trait ErasureCode: Send + Sync {
         let len = data.first().map_or(0, |d| d.len());
         let mut parity = vec![vec![0u8; len]; self.parity_shards()];
         {
-            let mut views: Vec<&mut [u8]> =
-                parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+            let mut views: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
             self.encode_into(data, &mut views);
         }
         parity

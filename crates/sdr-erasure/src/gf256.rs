@@ -103,54 +103,27 @@ pub fn pow(a: u8, n: u32) -> u8 {
     EXP[l as usize]
 }
 
-/// `dst ^= src`, vectorized over u64 lanes.
+/// `dst ^= src`, dispatched to the widest SIMD tier the host supports
+/// (see [`crate::kernel::Kernel`]).
 #[inline]
 pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len());
-    let mut d = dst.chunks_exact_mut(8);
-    let mut s = src.chunks_exact(8);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        let x = u64::from_ne_bytes(dc.try_into().unwrap());
-        let y = u64::from_ne_bytes(sc.try_into().unwrap());
-        dc.copy_from_slice(&(x ^ y).to_ne_bytes());
-    }
-    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *db ^= *sb;
-    }
+    crate::kernel::Kernel::active().xor_slice(dst, src);
 }
 
-/// `dst[i] ^= c · src[i]` — the Reed–Solomon encode/decode kernel.
+/// `dst[i] ^= c · src[i]` — the Reed–Solomon encode/decode kernel,
+/// dispatched to the widest SIMD tier the host supports.
 ///
 /// `c == 0` is a no-op and `c == 1` degrades to [`xor_slice`].
 #[inline]
 pub fn mul_add_slice(dst: &mut [u8], src: &[u8], c: u8) {
-    assert_eq!(dst.len(), src.len());
-    match c {
-        0 => {}
-        1 => xor_slice(dst, src),
-        _ => {
-            let row = &MUL[c as usize];
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= row[*s as usize];
-            }
-        }
-    }
+    crate::kernel::Kernel::active().mul_add_slice(dst, src, c);
 }
 
-/// `dst[i] = c · src[i]`.
+/// `dst[i] = c · src[i]`, dispatched to the widest SIMD tier the host
+/// supports.
 #[inline]
 pub fn mul_slice(dst: &mut [u8], src: &[u8], c: u8) {
-    assert_eq!(dst.len(), src.len());
-    match c {
-        0 => dst.fill(0),
-        1 => dst.copy_from_slice(src),
-        _ => {
-            let row = &MUL[c as usize];
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d = row[*s as usize];
-            }
-        }
-    }
+    crate::kernel::Kernel::active().mul_slice(dst, src, c);
 }
 
 #[cfg(test)]
@@ -231,11 +204,7 @@ mod tests {
         let src: Vec<u8> = (0..1003).map(|i| (i * 31 % 256) as u8).collect();
         for c in [0u8, 1, 2, 133] {
             let mut dst: Vec<u8> = (0..1003).map(|i| (i * 7 % 256) as u8).collect();
-            let expect: Vec<u8> = dst
-                .iter()
-                .zip(&src)
-                .map(|(&d, &s)| d ^ mul(c, s))
-                .collect();
+            let expect: Vec<u8> = dst.iter().zip(&src).map(|(&d, &s)| d ^ mul(c, s)).collect();
             mul_add_slice(&mut dst, &src, c);
             assert_eq!(dst, expect, "c={c}");
         }

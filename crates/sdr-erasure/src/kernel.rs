@@ -1,0 +1,978 @@
+//! Runtime-dispatched SIMD kernels for GF(2^8) slice arithmetic.
+//!
+//! The erasure hot path is `dst[i] ^= c·src[i]` over 64 KiB chunks. The
+//! classic scalar form walks a 256-byte product-table row one byte at a
+//! time; production RS codecs (ISA-L, reed-solomon-erasure) instead split
+//! every source byte into low/high nibbles and use a byte-shuffle
+//! instruction as a 16-entry parallel table lookup:
+//!
+//! ```text
+//! c·x = LO[c][x & 0xF] ^ HI[c][x >> 4]      (linearity of GF multiply)
+//! ```
+//!
+//! `PSHUFB`/`VPSHUFB` (x86) and `TBL` (NEON) evaluate 16/32 such lookups
+//! per instruction. This module provides that kernel at three tiers —
+//! SIMD (SSSE3/AVX2 on x86_64, NEON on aarch64), a portable u64 SWAR
+//! fallback, and the scalar reference — selected **once** at startup into
+//! a [`Kernel`] vtable that `gf256`, `rs` and `xor` call through.
+//!
+//! Besides the single-source forms, the vtable carries *fused* kernels
+//! ([`Kernel::mul_add_multi`], [`Kernel::xor_multi`]) that accumulate `k`
+//! sources into one destination per memory pass: the destination strip is
+//! loaded and stored once instead of `k` times, which matters exactly when
+//! the encode is memory-bound (Figure 11's regime).
+//!
+//! Dispatch can be pinned for testing/benchmarks with the
+//! `SDR_GF256_KERNEL` environment variable (`scalar`, `swar`, or a SIMD
+//! kernel name from [`Kernel::all`]).
+
+use std::sync::OnceLock;
+
+/// Cache-block width for multi-destination walks (encode): strips of this
+/// size keep one parity strip plus the streaming source window inside
+/// L1/L2 while the encode matrix is applied row by row.
+pub const STRIP_BYTES: usize = 32 * 1024;
+
+// ---------------------------------------------------------------------------
+// Compile-time nibble tables.
+// ---------------------------------------------------------------------------
+
+/// Carry-less multiply in GF(2^8) mod 0x11D, usable in const context.
+const fn gf_mul_const(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= 0x1D;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+const fn build_nibble_tables() -> ([[u8; 16]; 256], [[u8; 16]; 256]) {
+    let mut lo = [[0u8; 16]; 256];
+    let mut hi = [[0u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            lo[c][x] = gf_mul_const(c as u8, x as u8);
+            hi[c][x] = gf_mul_const(c as u8, (x << 4) as u8);
+            x += 1;
+        }
+        c += 1;
+    }
+    (lo, hi)
+}
+
+const NIBBLE_TABLES: ([[u8; 16]; 256], [[u8; 16]; 256]) = build_nibble_tables();
+/// `NIB_LO[c][x] = c·x` for `x < 16`.
+static NIB_LO: [[u8; 16]; 256] = NIBBLE_TABLES.0;
+/// `NIB_HI[c][x] = c·(x << 4)` for `x < 16`.
+static NIB_HI: [[u8; 16]; 256] = NIBBLE_TABLES.1;
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (256-byte product-table row walk).
+// ---------------------------------------------------------------------------
+
+fn xor_scalar(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}
+
+fn mul_add_scalar(dst: &mut [u8], src: &[u8], c: u8) {
+    match c {
+        0 => {}
+        1 => xor_scalar(dst, src),
+        _ => {
+            let row = &crate::gf256::MUL[c as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= row[*s as usize];
+            }
+        }
+    }
+}
+
+fn mul_scalar(dst: &mut [u8], src: &[u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            let row = &crate::gf256::MUL[c as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = row[*s as usize];
+            }
+        }
+    }
+}
+
+fn mul_add_multi_scalar(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+    for (src, &c) in srcs.iter().zip(coeffs) {
+        mul_add_scalar(dst, src, c);
+    }
+}
+
+fn xor_multi_scalar(dst: &mut [u8], srcs: &[&[u8]]) {
+    for src in srcs {
+        xor_scalar(dst, src);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SWAR kernels: 8 byte-lanes per u64, double-and-add over the bits of c.
+// ---------------------------------------------------------------------------
+
+/// Multiplies every byte lane of `v` by the generator `x = 2` with the
+/// 0x1D reduction applied lane-wise.
+#[inline(always)]
+fn swar_x2(v: u64) -> u64 {
+    let hi = v & 0x8080_8080_8080_8080;
+    // `hi >> 7` leaves 0x00/0x01 per lane; multiplying by 0x1D broadcasts
+    // the reduction constant into exactly the overflowing lanes.
+    ((v & 0x7F7F_7F7F_7F7F_7F7F) << 1) ^ ((hi >> 7).wrapping_mul(0x1D))
+}
+
+/// `c · v` lane-wise: binary expansion of `c`, doubling `v` per bit.
+#[inline(always)]
+fn swar_mul_word(v: u64, mut c: u8) -> u64 {
+    let mut acc = 0u64;
+    let mut cur = v;
+    while c != 0 {
+        if c & 1 != 0 {
+            acc ^= cur;
+        }
+        cur = swar_x2(cur);
+        c >>= 1;
+    }
+    acc
+}
+
+fn xor_swar(dst: &mut [u8], src: &[u8]) {
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        let x = u64::from_ne_bytes(dc.try_into().unwrap());
+        let y = u64::from_ne_bytes(sc.try_into().unwrap());
+        dc.copy_from_slice(&(x ^ y).to_ne_bytes());
+    }
+    xor_scalar(d.into_remainder(), s.remainder());
+}
+
+fn mul_add_swar(dst: &mut [u8], src: &[u8], c: u8) {
+    match c {
+        0 => {}
+        1 => xor_swar(dst, src),
+        _ => {
+            let mut d = dst.chunks_exact_mut(8);
+            let mut s = src.chunks_exact(8);
+            for (dc, sc) in (&mut d).zip(&mut s) {
+                let x = u64::from_ne_bytes(dc.try_into().unwrap());
+                let y = u64::from_ne_bytes(sc.try_into().unwrap());
+                dc.copy_from_slice(&(x ^ swar_mul_word(y, c)).to_ne_bytes());
+            }
+            mul_add_scalar(d.into_remainder(), s.remainder(), c);
+        }
+    }
+}
+
+fn mul_swar(dst: &mut [u8], src: &[u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            let mut d = dst.chunks_exact_mut(8);
+            let mut s = src.chunks_exact(8);
+            for (dc, sc) in (&mut d).zip(&mut s) {
+                let y = u64::from_ne_bytes(sc.try_into().unwrap());
+                dc.copy_from_slice(&swar_mul_word(y, c).to_ne_bytes());
+            }
+            mul_scalar(d.into_remainder(), s.remainder(), c);
+        }
+    }
+}
+
+fn mul_add_multi_swar(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+    let len = dst.len();
+    let words = len / 8;
+    // Fused pass: load/store each destination word once for all k sources.
+    for w in 0..words {
+        let o = w * 8;
+        let mut acc = u64::from_ne_bytes(dst[o..o + 8].try_into().unwrap());
+        for (src, &c) in srcs.iter().zip(coeffs) {
+            if c == 0 {
+                continue;
+            }
+            let y = u64::from_ne_bytes(src[o..o + 8].try_into().unwrap());
+            acc ^= if c == 1 { y } else { swar_mul_word(y, c) };
+        }
+        dst[o..o + 8].copy_from_slice(&acc.to_ne_bytes());
+    }
+    let tail = words * 8;
+    for (src, &c) in srcs.iter().zip(coeffs) {
+        mul_add_scalar(&mut dst[tail..], &src[tail..], c);
+    }
+}
+
+fn xor_multi_swar(dst: &mut [u8], srcs: &[&[u8]]) {
+    let len = dst.len();
+    let words = len / 8;
+    for w in 0..words {
+        let o = w * 8;
+        let mut acc = u64::from_ne_bytes(dst[o..o + 8].try_into().unwrap());
+        for src in srcs {
+            acc ^= u64::from_ne_bytes(src[o..o + 8].try_into().unwrap());
+        }
+        dst[o..o + 8].copy_from_slice(&acc.to_ne_bytes());
+    }
+    let tail = words * 8;
+    for src in srcs {
+        xor_scalar(&mut dst[tail..], &src[tail..]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86_64 SIMD kernels (SSSE3 PSHUFB, AVX2 VPSHUFB).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure SSSE3 is available.
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn mul_add_ssse3(dst: &mut [u8], src: &[u8], c: u8) {
+        if c == 0 {
+            return;
+        }
+        let lo_t = _mm_loadu_si128(NIB_LO[c as usize].as_ptr() as *const __m128i);
+        let hi_t = _mm_loadu_si128(NIB_HI[c as usize].as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0F);
+        let n = dst.len() & !15;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm_loadu_si128(sp.add(i) as *const __m128i);
+            let d = _mm_loadu_si128(dp.add(i) as *const __m128i);
+            let lo = _mm_shuffle_epi8(lo_t, _mm_and_si128(s, mask));
+            let hi = _mm_shuffle_epi8(hi_t, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+            let p = _mm_xor_si128(lo, hi);
+            _mm_storeu_si128(dp.add(i) as *mut __m128i, _mm_xor_si128(d, p));
+            i += 16;
+        }
+        mul_add_scalar(&mut dst[n..], &src[n..], c);
+    }
+
+    /// # Safety
+    /// Caller must ensure SSSE3 is available.
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn mul_ssse3(dst: &mut [u8], src: &[u8], c: u8) {
+        if c == 0 {
+            dst.fill(0);
+            return;
+        }
+        let lo_t = _mm_loadu_si128(NIB_LO[c as usize].as_ptr() as *const __m128i);
+        let hi_t = _mm_loadu_si128(NIB_HI[c as usize].as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0F);
+        let n = dst.len() & !15;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm_loadu_si128(sp.add(i) as *const __m128i);
+            let lo = _mm_shuffle_epi8(lo_t, _mm_and_si128(s, mask));
+            let hi = _mm_shuffle_epi8(hi_t, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+            _mm_storeu_si128(dp.add(i) as *mut __m128i, _mm_xor_si128(lo, hi));
+            i += 16;
+        }
+        mul_scalar(&mut dst[n..], &src[n..], c);
+    }
+
+    /// # Safety
+    /// Caller must ensure SSSE3 is available.
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn xor_ssse3(dst: &mut [u8], src: &[u8]) {
+        let n = dst.len() & !15;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm_loadu_si128(sp.add(i) as *const __m128i);
+            let d = _mm_loadu_si128(dp.add(i) as *const __m128i);
+            _mm_storeu_si128(dp.add(i) as *mut __m128i, _mm_xor_si128(d, s));
+            i += 16;
+        }
+        xor_scalar(&mut dst[n..], &src[n..]);
+    }
+
+    /// # Safety
+    /// Caller must ensure SSSE3 is available. Every `srcs[j]` must be at
+    /// least `dst.len()` long (checked by the safe wrapper).
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn mul_add_multi_ssse3(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+        let mask = _mm_set1_epi8(0x0F);
+        let n = dst.len() & !15;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let mut acc = _mm_loadu_si128(dp.add(i) as *const __m128i);
+            for (src, &c) in srcs.iter().zip(coeffs) {
+                if c == 0 {
+                    continue;
+                }
+                let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+                if c == 1 {
+                    acc = _mm_xor_si128(acc, s);
+                    continue;
+                }
+                let lo_t = _mm_loadu_si128(NIB_LO[c as usize].as_ptr() as *const __m128i);
+                let hi_t = _mm_loadu_si128(NIB_HI[c as usize].as_ptr() as *const __m128i);
+                let lo = _mm_shuffle_epi8(lo_t, _mm_and_si128(s, mask));
+                let hi = _mm_shuffle_epi8(hi_t, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+                acc = _mm_xor_si128(acc, _mm_xor_si128(lo, hi));
+            }
+            _mm_storeu_si128(dp.add(i) as *mut __m128i, acc);
+            i += 16;
+        }
+        for (src, &c) in srcs.iter().zip(coeffs) {
+            mul_add_scalar(&mut dst[n..], &src[n..], c);
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_add_avx2(dst: &mut [u8], src: &[u8], c: u8) {
+        if c == 0 {
+            return;
+        }
+        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            NIB_LO[c as usize].as_ptr() as *const __m128i
+        ));
+        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            NIB_HI[c as usize].as_ptr() as *const __m128i
+        ));
+        let mask = _mm256_set1_epi8(0x0F);
+        let n = dst.len() & !31;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm256_loadu_si256(sp.add(i) as *const __m256i);
+            let d = _mm256_loadu_si256(dp.add(i) as *const __m256i);
+            let lo = _mm256_shuffle_epi8(lo_t, _mm256_and_si256(s, mask));
+            let hi = _mm256_shuffle_epi8(hi_t, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+            let p = _mm256_xor_si256(lo, hi);
+            _mm256_storeu_si256(dp.add(i) as *mut __m256i, _mm256_xor_si256(d, p));
+            i += 32;
+        }
+        mul_add_scalar(&mut dst[n..], &src[n..], c);
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_avx2(dst: &mut [u8], src: &[u8], c: u8) {
+        if c == 0 {
+            dst.fill(0);
+            return;
+        }
+        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            NIB_LO[c as usize].as_ptr() as *const __m128i
+        ));
+        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            NIB_HI[c as usize].as_ptr() as *const __m128i
+        ));
+        let mask = _mm256_set1_epi8(0x0F);
+        let n = dst.len() & !31;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm256_loadu_si256(sp.add(i) as *const __m256i);
+            let lo = _mm256_shuffle_epi8(lo_t, _mm256_and_si256(s, mask));
+            let hi = _mm256_shuffle_epi8(hi_t, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+            _mm256_storeu_si256(dp.add(i) as *mut __m256i, _mm256_xor_si256(lo, hi));
+            i += 32;
+        }
+        mul_scalar(&mut dst[n..], &src[n..], c);
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xor_avx2(dst: &mut [u8], src: &[u8]) {
+        let n = dst.len() & !31;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm256_loadu_si256(sp.add(i) as *const __m256i);
+            let d = _mm256_loadu_si256(dp.add(i) as *const __m256i);
+            _mm256_storeu_si256(dp.add(i) as *mut __m256i, _mm256_xor_si256(d, s));
+            i += 32;
+        }
+        xor_scalar(&mut dst[n..], &src[n..]);
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available. Every `srcs[j]` must be at
+    /// least `dst.len()` long (checked by the safe wrapper).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_add_multi_avx2(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+        // Note: re-broadcasting the nibble tables per (block, source) looks
+        // like loop-invariant waste, but hoisting all k pairs into a stack
+        // array measured performance-neutral to slightly slower on AVX2
+        // hosts (the table loads hit L1 and the staging init is pure
+        // overhead), so the simpler form stays.
+        let mask = _mm256_set1_epi8(0x0F);
+        let n = dst.len() & !31;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let mut acc = _mm256_loadu_si256(dp.add(i) as *const __m256i);
+            for (src, &c) in srcs.iter().zip(coeffs) {
+                if c == 0 {
+                    continue;
+                }
+                let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+                if c == 1 {
+                    acc = _mm256_xor_si256(acc, s);
+                    continue;
+                }
+                let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                    NIB_LO[c as usize].as_ptr() as *const __m128i,
+                ));
+                let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                    NIB_HI[c as usize].as_ptr() as *const __m128i,
+                ));
+                let lo = _mm256_shuffle_epi8(lo_t, _mm256_and_si256(s, mask));
+                let hi = _mm256_shuffle_epi8(hi_t, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+                acc = _mm256_xor_si256(acc, _mm256_xor_si256(lo, hi));
+            }
+            _mm256_storeu_si256(dp.add(i) as *mut __m256i, acc);
+            i += 32;
+        }
+        for (src, &c) in srcs.iter().zip(coeffs) {
+            mul_add_scalar(&mut dst[n..], &src[n..], c);
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available. Every `srcs[j]` must be at
+    /// least `dst.len()` long (checked by the safe wrapper).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xor_multi_avx2(dst: &mut [u8], srcs: &[&[u8]]) {
+        let n = dst.len() & !31;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let mut acc = _mm256_loadu_si256(dp.add(i) as *const __m256i);
+            for src in srcs {
+                acc = _mm256_xor_si256(
+                    acc,
+                    _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i),
+                );
+            }
+            _mm256_storeu_si256(dp.add(i) as *mut __m256i, acc);
+            i += 32;
+        }
+        for src in srcs {
+            xor_scalar(&mut dst[n..], &src[n..]);
+        }
+    }
+}
+
+// Safe wrappers: only ever installed in the vtable after feature detection.
+#[cfg(target_arch = "x86_64")]
+mod x86_entry {
+    use super::*;
+
+    pub fn mul_add_ssse3(dst: &mut [u8], src: &[u8], c: u8) {
+        unsafe { x86::mul_add_ssse3(dst, src, c) }
+    }
+    pub fn mul_ssse3(dst: &mut [u8], src: &[u8], c: u8) {
+        unsafe { x86::mul_ssse3(dst, src, c) }
+    }
+    pub fn xor_ssse3(dst: &mut [u8], src: &[u8]) {
+        unsafe { x86::xor_ssse3(dst, src) }
+    }
+    pub fn mul_add_multi_ssse3(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+        unsafe { x86::mul_add_multi_ssse3(dst, srcs, coeffs) }
+    }
+    pub fn xor_multi_ssse3(dst: &mut [u8], srcs: &[&[u8]]) {
+        // 128-bit XOR gains little over SWAR; reuse the fused SWAR form.
+        xor_multi_swar(dst, srcs)
+    }
+
+    pub fn mul_add_avx2(dst: &mut [u8], src: &[u8], c: u8) {
+        unsafe { x86::mul_add_avx2(dst, src, c) }
+    }
+    pub fn mul_avx2(dst: &mut [u8], src: &[u8], c: u8) {
+        unsafe { x86::mul_avx2(dst, src, c) }
+    }
+    pub fn xor_avx2(dst: &mut [u8], src: &[u8]) {
+        unsafe { x86::xor_avx2(dst, src) }
+    }
+    pub fn mul_add_multi_avx2(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+        unsafe { x86::mul_add_multi_avx2(dst, srcs, coeffs) }
+    }
+    pub fn xor_multi_avx2(dst: &mut [u8], srcs: &[&[u8]]) {
+        unsafe { x86::xor_multi_avx2(dst, srcs) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64 NEON kernels (vqtbl1q_u8 is the 16-entry shuffle).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::*;
+    use core::arch::aarch64::*;
+
+    /// # Safety
+    /// NEON is mandatory on aarch64; unsafe only for the intrinsics.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn mul_add_neon(dst: &mut [u8], src: &[u8], c: u8) {
+        if c == 0 {
+            return;
+        }
+        let lo_t = vld1q_u8(NIB_LO[c as usize].as_ptr());
+        let hi_t = vld1q_u8(NIB_HI[c as usize].as_ptr());
+        let mask = vdupq_n_u8(0x0F);
+        let n = dst.len() & !15;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = vld1q_u8(sp.add(i));
+            let d = vld1q_u8(dp.add(i));
+            let lo = vqtbl1q_u8(lo_t, vandq_u8(s, mask));
+            let hi = vqtbl1q_u8(hi_t, vshrq_n_u8(s, 4));
+            let p = veorq_u8(lo, hi);
+            vst1q_u8(dp.add(i), veorq_u8(d, p));
+            i += 16;
+        }
+        mul_add_scalar(&mut dst[n..], &src[n..], c);
+    }
+
+    /// # Safety
+    /// NEON is mandatory on aarch64; unsafe only for the intrinsics.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn mul_neon(dst: &mut [u8], src: &[u8], c: u8) {
+        if c == 0 {
+            dst.fill(0);
+            return;
+        }
+        let lo_t = vld1q_u8(NIB_LO[c as usize].as_ptr());
+        let hi_t = vld1q_u8(NIB_HI[c as usize].as_ptr());
+        let mask = vdupq_n_u8(0x0F);
+        let n = dst.len() & !15;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = vld1q_u8(sp.add(i));
+            let lo = vqtbl1q_u8(lo_t, vandq_u8(s, mask));
+            let hi = vqtbl1q_u8(hi_t, vshrq_n_u8(s, 4));
+            vst1q_u8(dp.add(i), veorq_u8(lo, hi));
+            i += 16;
+        }
+        mul_scalar(&mut dst[n..], &src[n..], c);
+    }
+
+    /// # Safety
+    /// NEON is mandatory on aarch64; unsafe only for the intrinsics.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn xor_neon(dst: &mut [u8], src: &[u8]) {
+        let n = dst.len() & !15;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            vst1q_u8(
+                dp.add(i),
+                veorq_u8(vld1q_u8(dp.add(i)), vld1q_u8(sp.add(i))),
+            );
+            i += 16;
+        }
+        xor_scalar(&mut dst[n..], &src[n..]);
+    }
+
+    /// # Safety
+    /// NEON is mandatory on aarch64; unsafe only for the intrinsics.
+    /// Every `srcs[j]` must be at least `dst.len()` long.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn mul_add_multi_neon(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+        let mask = vdupq_n_u8(0x0F);
+        let n = dst.len() & !15;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let mut acc = vld1q_u8(dp.add(i));
+            for (src, &c) in srcs.iter().zip(coeffs) {
+                if c == 0 {
+                    continue;
+                }
+                let s = vld1q_u8(src.as_ptr().add(i));
+                if c == 1 {
+                    acc = veorq_u8(acc, s);
+                    continue;
+                }
+                let lo_t = vld1q_u8(NIB_LO[c as usize].as_ptr());
+                let hi_t = vld1q_u8(NIB_HI[c as usize].as_ptr());
+                let lo = vqtbl1q_u8(lo_t, vandq_u8(s, mask));
+                let hi = vqtbl1q_u8(hi_t, vshrq_n_u8(s, 4));
+                acc = veorq_u8(acc, veorq_u8(lo, hi));
+            }
+            vst1q_u8(dp.add(i), acc);
+            i += 16;
+        }
+        for (src, &c) in srcs.iter().zip(coeffs) {
+            mul_add_scalar(&mut dst[n..], &src[n..], c);
+        }
+    }
+
+    /// # Safety
+    /// NEON is mandatory on aarch64; unsafe only for the intrinsics.
+    /// Every `srcs[j]` must be at least `dst.len()` long.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn xor_multi_neon(dst: &mut [u8], srcs: &[&[u8]]) {
+        let n = dst.len() & !15;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let mut acc = vld1q_u8(dp.add(i));
+            for src in srcs {
+                acc = veorq_u8(acc, vld1q_u8(src.as_ptr().add(i)));
+            }
+            vst1q_u8(dp.add(i), acc);
+            i += 16;
+        }
+        for src in srcs {
+            xor_scalar(&mut dst[n..], &src[n..]);
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon_entry {
+    use super::*;
+
+    pub fn mul_add_neon(dst: &mut [u8], src: &[u8], c: u8) {
+        unsafe { neon::mul_add_neon(dst, src, c) }
+    }
+    pub fn mul_neon(dst: &mut [u8], src: &[u8], c: u8) {
+        unsafe { neon::mul_neon(dst, src, c) }
+    }
+    pub fn xor_neon(dst: &mut [u8], src: &[u8]) {
+        unsafe { neon::xor_neon(dst, src) }
+    }
+    pub fn mul_add_multi_neon(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+        unsafe { neon::mul_add_multi_neon(dst, srcs, coeffs) }
+    }
+    pub fn xor_multi_neon(dst: &mut [u8], srcs: &[&[u8]]) {
+        unsafe { neon::xor_multi_neon(dst, srcs) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The dispatch vtable.
+// ---------------------------------------------------------------------------
+
+/// A set of GF(2^8) slice kernels for one instruction-set tier.
+///
+/// All methods check shape invariants (equal lengths) and are safe; the
+/// unsafe SIMD entries behind them are only installed after runtime
+/// feature detection.
+pub struct Kernel {
+    name: &'static str,
+    mul_add: fn(&mut [u8], &[u8], u8),
+    mul: fn(&mut [u8], &[u8], u8),
+    xor: fn(&mut [u8], &[u8]),
+    mul_add_multi: fn(&mut [u8], &[&[u8]], &[u8]),
+    xor_multi: fn(&mut [u8], &[&[u8]]),
+}
+
+/// Scalar reference tier: 256-byte product-table row walk.
+static SCALAR: Kernel = Kernel {
+    name: "scalar",
+    mul_add: mul_add_scalar,
+    mul: mul_scalar,
+    xor: xor_scalar,
+    mul_add_multi: mul_add_multi_scalar,
+    xor_multi: xor_multi_scalar,
+};
+
+/// Portable SWAR tier: 8 byte-lanes per u64 word.
+static SWAR: Kernel = Kernel {
+    name: "swar",
+    mul_add: mul_add_swar,
+    mul: mul_swar,
+    xor: xor_swar,
+    mul_add_multi: mul_add_multi_swar,
+    xor_multi: xor_multi_swar,
+};
+
+#[cfg(target_arch = "x86_64")]
+static SSSE3: Kernel = Kernel {
+    name: "ssse3",
+    mul_add: x86_entry::mul_add_ssse3,
+    mul: x86_entry::mul_ssse3,
+    xor: x86_entry::xor_ssse3,
+    mul_add_multi: x86_entry::mul_add_multi_ssse3,
+    xor_multi: x86_entry::xor_multi_ssse3,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: Kernel = Kernel {
+    name: "avx2",
+    mul_add: x86_entry::mul_add_avx2,
+    mul: x86_entry::mul_avx2,
+    xor: x86_entry::xor_avx2,
+    mul_add_multi: x86_entry::mul_add_multi_avx2,
+    xor_multi: x86_entry::xor_multi_avx2,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON: Kernel = Kernel {
+    name: "neon",
+    mul_add: neon_entry::mul_add_neon,
+    mul: neon_entry::mul_neon,
+    xor: neon_entry::xor_neon,
+    mul_add_multi: neon_entry::mul_add_multi_neon,
+    xor_multi: neon_entry::xor_multi_neon,
+};
+
+fn detect_available() -> Vec<&'static Kernel> {
+    #[allow(unused_mut)]
+    let mut found: Vec<&'static Kernel> = vec![&SCALAR, &SWAR];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            found.push(&SSSE3);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            found.push(&AVX2);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        found.push(&NEON);
+    }
+    found
+}
+
+fn available() -> &'static [&'static Kernel] {
+    static AVAILABLE: OnceLock<Vec<&'static Kernel>> = OnceLock::new();
+    AVAILABLE.get_or_init(detect_available)
+}
+
+fn select_active() -> &'static Kernel {
+    if let Ok(name) = std::env::var("SDR_GF256_KERNEL") {
+        if let Some(k) = available().iter().find(|k| k.name == name) {
+            return k;
+        }
+        eprintln!(
+            "SDR_GF256_KERNEL={name} not available on this host; \
+             using best (have: {:?})",
+            Kernel::all().iter().map(|k| k.name()).collect::<Vec<_>>()
+        );
+    }
+    // Widest SIMD tier if any; otherwise scalar. SWAR is never auto-picked:
+    // its bit-sliced multiply loses to the table walk (it exists as the
+    // portable reference the differential tests pit SIMD against, and for
+    // XOR-only workloads on exotic targets).
+    available()
+        .iter()
+        .rev()
+        .find(|k| k.name != "swar")
+        .expect("scalar tier always present")
+}
+
+impl Kernel {
+    /// The kernel the erasure codes are using: the widest tier the host
+    /// supports, selected once (overridable via `SDR_GF256_KERNEL`).
+    pub fn active() -> &'static Kernel {
+        static ACTIVE: OnceLock<&'static Kernel> = OnceLock::new();
+        ACTIVE.get_or_init(select_active)
+    }
+
+    /// All tiers usable on this host, slowest first. Always contains
+    /// `scalar` and `swar`; SIMD tiers appear when detected.
+    pub fn all() -> &'static [&'static Kernel] {
+        available()
+    }
+
+    /// The scalar reference tier (the pre-SIMD baseline).
+    pub fn scalar() -> &'static Kernel {
+        &SCALAR
+    }
+
+    /// The portable SWAR tier.
+    pub fn swar() -> &'static Kernel {
+        &SWAR
+    }
+
+    /// Looks a tier up by name (`"scalar"`, `"swar"`, `"ssse3"`, …).
+    pub fn by_name(name: &str) -> Option<&'static Kernel> {
+        available().iter().copied().find(|k| k.name == name)
+    }
+
+    /// This tier's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// `dst[i] ^= c · src[i]`.
+    ///
+    /// # Panics
+    /// Panics when `dst.len() != src.len()`.
+    #[inline]
+    pub fn mul_add_slice(&self, dst: &mut [u8], src: &[u8], c: u8) {
+        assert_eq!(dst.len(), src.len());
+        (self.mul_add)(dst, src, c);
+    }
+
+    /// `dst[i] = c · src[i]`.
+    ///
+    /// # Panics
+    /// Panics when `dst.len() != src.len()`.
+    #[inline]
+    pub fn mul_slice(&self, dst: &mut [u8], src: &[u8], c: u8) {
+        assert_eq!(dst.len(), src.len());
+        (self.mul)(dst, src, c);
+    }
+
+    /// `dst[i] ^= src[i]`.
+    ///
+    /// # Panics
+    /// Panics when `dst.len() != src.len()`.
+    #[inline]
+    pub fn xor_slice(&self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len());
+        (self.xor)(dst, src);
+    }
+
+    /// Fused accumulate: `dst[i] ^= Σ_j coeffs[j] · srcs[j][i]`, one
+    /// destination pass for all sources.
+    ///
+    /// # Panics
+    /// Panics when `srcs.len() != coeffs.len()` or any source length
+    /// differs from `dst.len()`.
+    #[inline]
+    pub fn mul_add_multi(&self, dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+        assert_eq!(srcs.len(), coeffs.len());
+        for s in srcs {
+            assert_eq!(s.len(), dst.len());
+        }
+        (self.mul_add_multi)(dst, srcs, coeffs);
+    }
+
+    /// Fused XOR accumulate: `dst[i] ^= Σ_j srcs[j][i]`.
+    ///
+    /// # Panics
+    /// Panics when any source length differs from `dst.len()`.
+    #[inline]
+    pub fn xor_multi(&self, dst: &mut [u8], srcs: &[&[u8]]) {
+        for s in srcs {
+            assert_eq!(s.len(), dst.len());
+        }
+        (self.xor_multi)(dst, srcs);
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf256;
+
+    #[test]
+    fn nibble_tables_match_mul_table() {
+        for c in 0..256usize {
+            for x in 0..256usize {
+                let expect = gf256::MUL[c][x];
+                let got = NIB_LO[c][x & 0xF] ^ NIB_HI[c][x >> 4];
+                assert_eq!(got, expect, "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_is_among_available() {
+        let names: Vec<_> = Kernel::all().iter().map(|k| k.name()).collect();
+        assert!(names.contains(&"scalar"));
+        assert!(names.contains(&"swar"));
+        assert!(names.contains(&Kernel::active().name()));
+    }
+
+    #[test]
+    fn swar_x2_matches_field_doubling() {
+        for x in 0..256u64 {
+            let v = x * 0x0101_0101_0101_0101; // broadcast
+            let expect = gf256::mul(2, x as u8);
+            let got = swar_x2(v);
+            for lane in 0..8 {
+                assert_eq!(((got >> (8 * lane)) & 0xFF) as u8, expect, "x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_kernel_matches_scalar_on_odd_lengths() {
+        let src: Vec<u8> = (0..1003).map(|i| (i * 31 % 256) as u8).collect();
+        let base: Vec<u8> = (0..1003).map(|i| (i * 7 % 256) as u8).collect();
+        for k in Kernel::all() {
+            for c in [0u8, 1, 2, 133, 255] {
+                let mut want = base.clone();
+                mul_add_scalar(&mut want, &src, c);
+                let mut got = base.clone();
+                k.mul_add_slice(&mut got, &src, c);
+                assert_eq!(got, want, "kernel={} c={c} mul_add", k.name());
+
+                let mut want = base.clone();
+                mul_scalar(&mut want, &src, c);
+                let mut got = base.clone();
+                k.mul_slice(&mut got, &src, c);
+                assert_eq!(got, want, "kernel={} c={c} mul", k.name());
+            }
+            let mut want = base.clone();
+            xor_scalar(&mut want, &src);
+            let mut got = base.clone();
+            k.xor_slice(&mut got, &src);
+            assert_eq!(got, want, "kernel={} xor", k.name());
+        }
+    }
+
+    #[test]
+    fn fused_multi_matches_repeated_single() {
+        let srcs: Vec<Vec<u8>> = (0..5)
+            .map(|j| (0..777).map(|i| ((i * 13 + j * 89) % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let coeffs = [7u8, 0, 1, 255, 88];
+        for k in Kernel::all() {
+            let mut want = vec![3u8; 777];
+            for (s, &c) in refs.iter().zip(&coeffs) {
+                mul_add_scalar(&mut want, s, c);
+            }
+            let mut got = vec![3u8; 777];
+            k.mul_add_multi(&mut got, &refs, &coeffs);
+            assert_eq!(got, want, "kernel={} mul_add_multi", k.name());
+
+            let mut want = vec![9u8; 777];
+            for s in &refs {
+                xor_scalar(&mut want, s);
+            }
+            let mut got = vec![9u8; 777];
+            k.xor_multi(&mut got, &refs);
+            assert_eq!(got, want, "kernel={} xor_multi", k.name());
+        }
+    }
+}

@@ -25,23 +25,37 @@ fn split_all<'a>(views: &mut Vec<&'a mut [u8]>, at: usize) -> Vec<&'a mut [u8]> 
     heads
 }
 
-/// Encodes `data` with `code` using up to `threads` worker threads,
-/// returning the parity shards.
+/// Encodes `data` with `code` into **caller-owned** parity buffers using up
+/// to `threads` worker threads — the zero-steady-state-allocation encode
+/// entry point: parity is written strictly in place, letting callers pool
+/// and reuse their staging buffers across submessages.
 ///
-/// Equivalent to [`ErasureCode::encode`] but with the shard length divided
-/// into independent column stripes. Falls back to single-threaded encoding
-/// for small shards (< one stripe per thread).
-pub fn encode_parallel(code: &dyn ErasureCode, data: &[&[u8]], threads: usize) -> Vec<Vec<u8>> {
+/// Equivalent to [`ErasureCode::encode_into`] but with the shard length
+/// divided into independent column stripes. Falls back to single-threaded
+/// encoding for small shards (< one stripe per thread), in which case the
+/// call performs no heap allocation at all.
+///
+/// # Panics
+/// Panics when shard counts or lengths are inconsistent.
+pub fn encode_parallel_into(
+    code: &dyn ErasureCode,
+    data: &[&[u8]],
+    parity: &mut [&mut [u8]],
+    threads: usize,
+) {
     assert_eq!(data.len(), code.data_shards());
+    assert_eq!(parity.len(), code.parity_shards());
     let len = data.first().map_or(0, |d| d.len());
     assert!(data.iter().all(|d| d.len() == len), "ragged data shards");
+    assert!(
+        parity.iter().all(|p| p.len() == len),
+        "ragged parity shards"
+    );
     let threads = threads.max(1);
 
-    let mut parity = vec![vec![0u8; len]; code.parity_shards()];
     if threads == 1 || len < threads * STRIPE_ALIGN {
-        let mut views: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
-        code.encode_into(data, &mut views);
-        return parity;
+        code.encode_into(data, parity);
+        return;
     }
 
     // Carve [0, len) into `threads` stripes aligned to STRIPE_ALIGN.
@@ -54,7 +68,7 @@ pub fn encode_parallel(code: &dyn ErasureCode, data: &[&[u8]], threads: usize) -
         used += size;
     }
 
-    let mut parity_tails: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+    let mut parity_tails: Vec<&mut [u8]> = parity.iter_mut().map(|p| &mut **p).collect();
     std::thread::scope(|scope| {
         let mut offset = 0usize;
         for &size in &bounds {
@@ -62,8 +76,7 @@ pub fn encode_parallel(code: &dyn ErasureCode, data: &[&[u8]], threads: usize) -
                 continue;
             }
             let parity_stripe = split_all(&mut parity_tails, size);
-            let data_stripe: Vec<&[u8]> =
-                data.iter().map(|d| &d[offset..offset + size]).collect();
+            let data_stripe: Vec<&[u8]> = data.iter().map(|d| &d[offset..offset + size]).collect();
             offset += size;
             scope.spawn(move || {
                 let mut views = parity_stripe;
@@ -71,6 +84,19 @@ pub fn encode_parallel(code: &dyn ErasureCode, data: &[&[u8]], threads: usize) -
             });
         }
     });
+}
+
+/// Encodes `data` with `code` using up to `threads` worker threads,
+/// returning freshly allocated parity shards.
+///
+/// Allocating convenience wrapper over [`encode_parallel_into`].
+pub fn encode_parallel(code: &dyn ErasureCode, data: &[&[u8]], threads: usize) -> Vec<Vec<u8>> {
+    let len = data.first().map_or(0, |d| d.len());
+    let mut parity = vec![vec![0u8; len]; code.parity_shards()];
+    {
+        let mut views: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+        encode_parallel_into(code, data, &mut views, threads);
+    }
     parity
 }
 
@@ -123,9 +149,47 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_writes_caller_buffers_in_place() {
+        // The zero-allocation contract: parity lands in exactly the
+        // buffers the caller provided — same backing storage, no swaps.
+        let code = ReedSolomon::new(6, 3);
+        let data = random_data(6, 8 * 1024 + 5);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let expect = code.encode(&refs);
+
+        let mut parity = vec![vec![0xAAu8; 8 * 1024 + 5]; 3];
+        let ptrs: Vec<*const u8> = parity.iter().map(|p| p.as_ptr()).collect();
+        for threads in [1, 4] {
+            for p in parity.iter_mut() {
+                p.fill(0xAA);
+            }
+            {
+                let mut views: Vec<&mut [u8]> =
+                    parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+                encode_parallel_into(&code, &refs, &mut views, threads);
+            }
+            assert_eq!(parity, expect, "threads={threads}");
+            for (p, &ptr) in parity.iter().zip(&ptrs) {
+                assert_eq!(p.as_ptr(), ptr, "parity buffer was reallocated");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged parity shards")]
+    fn encode_into_rejects_wrong_parity_len() {
+        let code = XorCode::new(2, 1);
+        let data = random_data(2, 64);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let mut short = vec![0u8; 32];
+        let mut views: Vec<&mut [u8]> = vec![short.as_mut_slice()];
+        encode_parallel_into(&code, &refs, &mut views, 1);
+    }
+
+    #[test]
     fn zero_length_is_fine() {
         let code = XorCode::new(2, 1);
-        let data = vec![vec![], vec![]];
+        let data = [vec![], vec![]];
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let p = encode_parallel(&code, &refs, 4);
         assert_eq!(p, vec![Vec::<u8>::new()]);

@@ -7,8 +7,12 @@
 //! by ISA-L and other storage codecs.
 
 use crate::codec::{shard_len, EcError, ErasureCode};
-use crate::gf256;
+use crate::kernel::{Kernel, STRIP_BYTES};
 use crate::matrix::Matrix;
+
+/// GF(256) bounds the shard count, so survivor/source reference arrays fit
+/// on the stack — no per-call allocation in the encode path.
+const MAX_SHARDS: usize = 256;
 
 /// A systematic `RS(k, m)` Reed–Solomon code over GF(2^8).
 #[derive(Clone, Debug)]
@@ -39,9 +43,49 @@ impl ReedSolomon {
         ReedSolomon { k, m, matrix }
     }
 
-    /// The parity row for parity shard `i` (coefficients over data shards).
-    fn parity_row(&self, i: usize) -> &[u8] {
+    /// The parity row for parity shard `i`: the `k` coefficients applied
+    /// to the data shards. Public so benchmarks and external encoders can
+    /// drive the [`Kernel`] kernels directly.
+    ///
+    /// # Panics
+    /// Panics when `i ≥ m`.
+    pub fn parity_row(&self, i: usize) -> &[u8] {
+        assert!(i < self.m, "parity row {i} out of range");
         self.matrix.row(self.k + i)
+    }
+
+    /// [`ErasureCode::encode_into`] through an explicit kernel tier — the
+    /// single implementation of the cache-blocked strip walk. Production
+    /// encoding passes [`Kernel::active`]; benchmarks pin tiers to compare
+    /// them, guaranteed to measure the exact production code path.
+    ///
+    /// # Panics
+    /// Panics when shard counts or lengths are inconsistent.
+    pub fn encode_into_with_kernel(&self, kern: &Kernel, data: &[&[u8]], parity: &mut [&mut [u8]]) {
+        assert_eq!(data.len(), self.k, "expected {} data shards", self.k);
+        assert_eq!(parity.len(), self.m, "expected {} parity shards", self.m);
+        let len = data[0].len();
+        assert!(data.iter().all(|d| d.len() == len), "ragged data shards");
+        for (i, p) in parity.iter().enumerate() {
+            assert_eq!(p.len(), len, "ragged parity shard {i}");
+        }
+        // Cache-blocked matrix walk: process ~32 KiB strips so each parity
+        // strip stays in L1/L2 while all k sources stream through the fused
+        // kernel exactly once per parity row.
+        let mut strip_srcs: [&[u8]; MAX_SHARDS] = [&[]; MAX_SHARDS];
+        let mut s = 0;
+        while s < len {
+            let e = (s + STRIP_BYTES).min(len);
+            for (j, d) in data.iter().enumerate() {
+                strip_srcs[j] = &d[s..e];
+            }
+            for (i, p) in parity.iter_mut().enumerate() {
+                let dst = &mut p[s..e];
+                dst.fill(0);
+                kern.mul_add_multi(dst, &strip_srcs[..self.k], self.parity_row(i));
+            }
+            s = e;
+        }
     }
 }
 
@@ -55,23 +99,11 @@ impl ErasureCode for ReedSolomon {
     }
 
     fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) {
-        assert_eq!(data.len(), self.k, "expected {} data shards", self.k);
-        assert_eq!(parity.len(), self.m, "expected {} parity shards", self.m);
-        let len = data[0].len();
-        assert!(data.iter().all(|d| d.len() == len), "ragged data shards");
-        for (i, p) in parity.iter_mut().enumerate() {
-            assert_eq!(p.len(), len, "ragged parity shard {i}");
-            p.fill(0);
-            let row = self.parity_row(i);
-            for (j, d) in data.iter().enumerate() {
-                gf256::mul_add_slice(p, d, row[j]);
-            }
-        }
+        self.encode_into_with_kernel(Kernel::active(), data, parity);
     }
 
     fn can_recover(&self, present: &[bool]) -> bool {
-        present.len() == self.k + self.m
-            && present.iter().filter(|&&p| p).count() >= self.k
+        present.len() == self.k + self.m && present.iter().filter(|&&p| p).count() >= self.k
     }
 
     fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
@@ -94,17 +126,23 @@ impl ErasureCode for ReedSolomon {
         let sub = self.matrix.select_rows(use_idx);
         let inv = sub.inverse().ok_or(EcError::Unrecoverable)?;
 
-        let missing_data: Vec<usize> =
-            (0..self.k).filter(|&i| shards[i].is_none()).collect();
+        let kern = Kernel::active();
+        let missing_data: Vec<usize> = (0..self.k).filter(|&i| shards[i].is_none()).collect();
         let mut recovered: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing_data.len());
-        for &d in &missing_data {
-            let mut out = vec![0u8; len];
+        {
+            let mut srcs: [&[u8]; MAX_SHARDS] = [&[]; MAX_SHARDS];
             for (col, &src) in use_idx.iter().enumerate() {
-                let c = inv[(d, col)];
-                let shard = shards[src].as_ref().expect("present by construction");
-                gf256::mul_add_slice(&mut out, shard, c);
+                srcs[col] = shards[src].as_ref().expect("present by construction");
             }
-            recovered.push((d, out));
+            let mut coeffs = [0u8; MAX_SHARDS];
+            for &d in &missing_data {
+                for (col, c) in coeffs[..self.k].iter_mut().enumerate() {
+                    *c = inv[(d, col)];
+                }
+                let mut out = vec![0u8; len];
+                kern.mul_add_multi(&mut out, &srcs[..self.k], &coeffs[..self.k]);
+                recovered.push((d, out));
+            }
         }
         for (d, buf) in recovered {
             shards[d] = Some(buf);
@@ -112,15 +150,18 @@ impl ErasureCode for ReedSolomon {
 
         // Refill missing parity from the (now complete) data shards.
         for p in 0..self.m {
-            if shards[self.k + p].is_none() {
-                let mut out = vec![0u8; len];
-                let row = self.parity_row(p);
-                for j in 0..self.k {
-                    let d = shards[j].as_ref().expect("data complete");
-                    gf256::mul_add_slice(&mut out, d, row[j]);
-                }
-                shards[self.k + p] = Some(out);
+            if shards[self.k + p].is_some() {
+                continue;
             }
+            let mut out = vec![0u8; len];
+            {
+                let mut srcs: [&[u8]; MAX_SHARDS] = [&[]; MAX_SHARDS];
+                for (j, slot) in srcs[..self.k].iter_mut().enumerate() {
+                    *slot = shards[j].as_ref().expect("data complete");
+                }
+                kern.mul_add_multi(&mut out, &srcs[..self.k], self.parity_row(p));
+            }
+            shards[self.k + p] = Some(out);
         }
         Ok(())
     }

@@ -8,6 +8,30 @@
 
 use crate::codec::{shard_len, EcError, ErasureCode};
 use crate::gf256::xor_slice;
+use crate::kernel::{Kernel, STRIP_BYTES};
+
+/// Stack budget for fused-XOR source batches. Unlike Reed–Solomon, `k` is
+/// **not** field-bounded for the XOR code, so groups larger than this are
+/// folded in batches rather than assumed to fit.
+const XOR_BATCH: usize = 256;
+
+/// XORs all of `group`'s slices into `dst` through the fused kernel, in
+/// stack-sized batches so arbitrarily large modulo groups stay safe.
+fn xor_group_into<'a>(kern: &Kernel, dst: &mut [u8], group: impl Iterator<Item = &'a [u8]>) {
+    let mut batch: [&[u8]; XOR_BATCH] = [&[]; XOR_BATCH];
+    let mut n = 0;
+    for src in group {
+        batch[n] = src;
+        n += 1;
+        if n == XOR_BATCH {
+            kern.xor_multi(dst, &batch[..n]);
+            n = 0;
+        }
+    }
+    if n > 0 {
+        kern.xor_multi(dst, &batch[..n]);
+    }
+}
 
 /// The XOR modulo-group code `XOR(k, m)`.
 #[derive(Clone, Copy, Debug)]
@@ -46,12 +70,21 @@ impl ErasureCode for XorCode {
         assert_eq!(parity.len(), self.m, "expected {} parity shards", self.m);
         let len = data[0].len();
         assert!(data.iter().all(|d| d.len() == len), "ragged data shards");
-        for (i, p) in parity.iter_mut().enumerate() {
+        for (i, p) in parity.iter().enumerate() {
             assert_eq!(p.len(), len, "ragged parity shard {i}");
-            p.fill(0);
-            for j in self.group(i) {
-                xor_slice(p, data[j]);
+        }
+        // Cache-blocked fused XOR: each ~32 KiB parity strip is written
+        // once per batch while its modulo-group sources stream through.
+        let kern = Kernel::active();
+        let mut s = 0;
+        while s < len {
+            let e = (s + STRIP_BYTES).min(len);
+            for (i, p) in parity.iter_mut().enumerate() {
+                let dst = &mut p[s..e];
+                dst.fill(0);
+                xor_group_into(kern, dst, self.group(i).map(|j| &data[j][s..e]));
             }
+            s = e;
         }
     }
 
@@ -83,11 +116,13 @@ impl ErasureCode for XorCode {
                         .as_ref()
                         .expect("checked by can_recover")
                         .clone();
-                    for j in self.group(i) {
-                        if j != hole {
-                            xor_slice(&mut out, shards[j].as_ref().expect("present"));
-                        }
-                    }
+                    xor_group_into(
+                        Kernel::active(),
+                        &mut out,
+                        self.group(i)
+                            .filter(|&j| j != hole)
+                            .map(|j| shards[j].as_ref().expect("present").as_slice()),
+                    );
                     shards[hole] = Some(out);
                 }
                 _ => unreachable!("can_recover admitted >1 hole"),
@@ -154,7 +189,9 @@ mod tests {
         shards[0] = None;
         shards[4] = None;
         assert_eq!(code.reconstruct(&mut shards), Err(EcError::Unrecoverable));
-        assert!(!code.can_recover(&[false, true, true, true, false, true, true, true, true, true, true, true]));
+        assert!(!code.can_recover(&[
+            false, true, true, true, false, true, true, true, true, true, true, true
+        ]));
     }
 
     #[test]
@@ -189,6 +226,28 @@ mod tests {
             assert_eq!(parity[0][b], data[0][b] ^ data[2][b]);
             assert_eq!(parity[1][b], data[1][b] ^ data[3][b]);
         }
+    }
+
+    #[test]
+    fn groups_larger_than_one_batch_encode_and_recover() {
+        // k is not field-bounded for the XOR code: with (k, m) = (600, 2)
+        // each modulo group holds 300 > XOR_BATCH/2 members, and the fused
+        // path must batch rather than overrun its stack staging array.
+        let (code, data, parity) = make(600, 2, 96);
+        // Parity is still the plain group XOR.
+        for b in 0..96 {
+            let want = (0..600)
+                .filter(|j| j % 2 == 0)
+                .fold(0u8, |a, j| a ^ data[j][b]);
+            assert_eq!(parity[0][b], want, "byte {b}");
+        }
+        // And single-loss recovery works through the batched path.
+        let mut shards = as_shards(&data, &parity);
+        shards[4] = None; // group 0
+        shards[7] = None; // group 1
+        code.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[4].as_ref().unwrap(), &data[4]);
+        assert_eq!(shards[7].as_ref().unwrap(), &data[7]);
     }
 
     #[test]

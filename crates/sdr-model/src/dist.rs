@@ -98,7 +98,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let p_fail = 0.25;
         let n = 100_000;
-        let total: u64 = (0..n).map(|_| sample_geometric_trials(&mut rng, p_fail)).sum();
+        let total: u64 = (0..n)
+            .map(|_| sample_geometric_trials(&mut rng, p_fail))
+            .sum();
         let mean = total as f64 / n as f64;
         let expect = 1.0 / (1.0 - p_fail);
         assert!((mean - expect).abs() < 0.02, "mean {mean} vs {expect}");
@@ -114,7 +116,9 @@ mod tests {
     fn binomial_small_n_matches_mean_and_spread() {
         let mut rng = SmallRng::seed_from_u64(3);
         let (n, p, trials) = (40u64, 0.3, 20_000);
-        let samples: Vec<u64> = (0..trials).map(|_| sample_binomial(&mut rng, n, p)).collect();
+        let samples: Vec<u64> = (0..trials)
+            .map(|_| sample_binomial(&mut rng, n, p))
+            .collect();
         let mean = samples.iter().sum::<u64>() as f64 / trials as f64;
         assert!((mean - 12.0).abs() < 0.2, "mean {mean}");
         assert!(samples.iter().all(|&s| s <= n));
@@ -172,6 +176,9 @@ mod tests {
             }
         }
         // Each position expected 600 hits; allow generous tolerance.
-        assert!(counts.iter().all(|&c| (450..750).contains(&c)), "{counts:?}");
+        assert!(
+            counts.iter().all(|&c| (450..750).contains(&c)),
+            "{counts:?}"
+        );
     }
 }

@@ -254,7 +254,9 @@ mod tests {
         let trials = 200_000;
         let ok = (0..trials)
             .filter(|_| {
-                let drops = (0..11).filter(|_| rand::Rng::random::<f64>(&mut rng) < p).count();
+                let drops = (0..11)
+                    .filter(|_| rand::Rng::random::<f64>(&mut rng) < p)
+                    .count();
                 drops <= 3
             })
             .count();
@@ -322,7 +324,10 @@ mod tests {
         // dominate the tail (≈0.4 per message) while MDS is still immune.
         let fb_mds = p_fallback(&mds, m_chunks, 1e-2);
         let fb_xor = p_fallback(&xor, m_chunks, 1e-2);
-        assert!(fb_xor > 0.2, "XOR fallback should dominate the tail: {fb_xor}");
+        assert!(
+            fb_xor > 0.2,
+            "XOR fallback should dominate the tail: {fb_xor}"
+        );
         assert!(fb_mds < 1e-4, "MDS should hold at 1e-2: {fb_mds}");
         // At 1e-3 XOR already pollutes the 99.9th percentile (p > 1e-3)
         // while MDS does not — the Figure 11 crossover.
@@ -368,9 +373,15 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let bytes = 16u64 << 20;
         let ideal = ch.ideal_time(bytes);
-        let mean: f64 =
-            (0..500).map(|_| ec_sample(&ch, bytes, &cfg, &sr, &mut rng)).sum::<f64>() / 500.0;
-        assert!(mean / ideal > 1.5, "fallback should dominate: {}", mean / ideal);
+        let mean: f64 = (0..500)
+            .map(|_| ec_sample(&ch, bytes, &cfg, &sr, &mut rng))
+            .sum::<f64>()
+            / 500.0;
+        assert!(
+            mean / ideal > 1.5,
+            "fallback should dominate: {}",
+            mean / ideal
+        );
     }
 
     #[test]

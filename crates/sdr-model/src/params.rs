@@ -47,7 +47,7 @@ impl Channel {
     /// Overrides the bitmap chunk size (builder style).
     pub fn with_chunk_bytes(mut self, chunk_bytes: u64) -> Self {
         assert!(
-            chunk_bytes % self.mtu_bytes == 0,
+            chunk_bytes.is_multiple_of(self.mtu_bytes),
             "chunk must be a multiple of the MTU"
         );
         self.chunk_bytes = chunk_bytes;

@@ -226,10 +226,10 @@ mod tests {
         // The paper's own validation: stochastic mean within 5% of the
         // analytic expectation (Section 5.1.1).
         let cases = [
-            (128u64 << 20, 1e-5, 3.0),  // the Figure 10 focus point
-            (128 << 20, 1e-4, 3.0),     // heavier loss
-            (8 << 20, 1e-5, 1.0),       // NACK-style short timeout
-            (1 << 30, 1e-6, 3.0),       // bigger message, rare loss
+            (128u64 << 20, 1e-5, 3.0), // the Figure 10 focus point
+            (128 << 20, 1e-4, 3.0),    // heavier loss
+            (8 << 20, 1e-5, 1.0),      // NACK-style short timeout
+            (1 << 30, 1e-6, 3.0),      // bigger message, rare loss
         ];
         for (bytes, p, mult) in cases {
             let ch = Channel::new(400e9, 0.025, p);

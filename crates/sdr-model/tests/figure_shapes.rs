@@ -73,7 +73,10 @@ fn fig9_red_region() {
     assert!(speedup(128 << 20, 1e-4) > 2.0, "inside the red region");
     assert!(speedup(512 << 20, 1e-3) > 2.0, "inside the red region");
     assert!(speedup(128 << 10, 1e-5) < 1.2, "tiny messages: parity");
-    assert!(speedup(8 << 30, 1e-6) < 1.05, "huge messages at low drop: SR");
+    assert!(
+        speedup(8 << 30, 1e-6) < 1.05,
+        "huge messages at low drop: SR"
+    );
 }
 
 /// Figure 10: NACK improves SR by roughly the RTO ratio at the pain point,

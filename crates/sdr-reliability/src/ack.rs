@@ -140,35 +140,57 @@ pub fn build_sr_ack(
     total_chunks: usize,
     with_nacks: bool,
 ) -> CtrlMsg {
-    let cumulative = chunks.cumulative_prefix(total_chunks) as u32;
+    let cumulative = chunks.cumulative_prefix(total_chunks);
     let window_start = cumulative;
-    let window_len = ((total_chunks as u32).saturating_sub(window_start) as usize).min(MAX_SACK_BITS);
-    let mut sack_bits = vec![0u64; window_len.div_ceil(64)];
-    let mut nacks = Vec::new();
-    let mut high_water = None;
-    for i in 0..window_len {
-        let idx = window_start as usize + i;
-        if chunks.get(idx) {
-            sack_bits[i / 64] |= 1 << (i % 64);
-            high_water = Some(idx);
+    let window_len = (total_chunks - window_start).min(MAX_SACK_BITS);
+
+    // Start from an all-present window and clear the holes via the
+    // bitmap's allocation-free missing-bit scan — one atomic load per
+    // 64-chunk word instead of one per chunk.
+    let mut sack_bits = vec![u64::MAX; window_len.div_ceil(64)];
+    if let Some(last) = sack_bits.last_mut() {
+        let rem = window_len % 64;
+        if rem != 0 {
+            *last &= (1u64 << rem) - 1;
         }
     }
+    chunks.for_each_missing_in_first_n(window_start + window_len, |idx| {
+        // `cumulative_prefix` guarantees bits below the window are set
+        // (sets are monotonic while a message is live).
+        if idx >= window_start {
+            let i = idx - window_start;
+            sack_bits[i / 64] &= !(1 << (i % 64));
+        }
+    });
+
+    let mut nacks = Vec::new();
     if with_nacks {
+        // High-water mark: highest present chunk in the window.
+        let high_water = sack_bits
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &w)| w != 0)
+            .map(|(wi, &w)| wi * 64 + 63 - w.leading_zeros() as usize);
         if let Some(hw) = high_water {
-            for i in 0..window_len {
-                let idx = window_start as usize + i;
-                if idx >= hw {
-                    break;
-                }
-                if !chunks.get(idx) && nacks.len() < MAX_NACKS {
-                    nacks.push(idx as u32);
+            // Holes strictly below it (pure bit scan of the snapshot).
+            'scan: for (wi, &w) in sack_bits.iter().enumerate() {
+                let mut holes = !w;
+                while holes != 0 {
+                    let b = holes.trailing_zeros() as usize;
+                    holes &= holes - 1;
+                    let i = wi * 64 + b;
+                    if i >= hw || nacks.len() >= MAX_NACKS {
+                        break 'scan;
+                    }
+                    nacks.push((window_start + i) as u32);
                 }
             }
         }
     }
     CtrlMsg::SrAck {
-        cumulative,
-        window_start,
+        cumulative: cumulative as u32,
+        window_start: window_start as u32,
         sack_bits,
         sack_len: window_len as u32,
         nacks,
@@ -194,7 +216,10 @@ mod tests {
 
     #[test]
     fn ec_messages_roundtrip() {
-        assert_eq!(CtrlMsg::decode(CtrlMsg::EcAck.encode()), Some(CtrlMsg::EcAck));
+        assert_eq!(
+            CtrlMsg::decode(CtrlMsg::EcAck.encode()),
+            Some(CtrlMsg::EcAck)
+        );
         let nack = CtrlMsg::EcNack {
             failed: vec![0, 5, 63],
         };
@@ -253,7 +278,12 @@ mod tests {
         for i in 0..16 {
             bm.set(i);
         }
-        let CtrlMsg::SrAck { cumulative, sack_len, nacks, .. } = build_sr_ack(&bm, 16, true)
+        let CtrlMsg::SrAck {
+            cumulative,
+            sack_len,
+            nacks,
+            ..
+        } = build_sr_ack(&bm, 16, true)
         else {
             panic!()
         };

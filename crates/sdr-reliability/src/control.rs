@@ -60,10 +60,7 @@ impl ControlEndpoint {
             n.set_cq_waker(
                 cq,
                 Waker::new(move |eng| {
-                    loop {
-                        let Some(cqe) = fab.node_mut(node, |n| n.poll_cq(cq)) else {
-                            break;
-                        };
+                    while let Some(cqe) = fab.node_mut(node, |n| n.poll_cq(cq)) {
                         if cqe.op != sdr_sim::CqeOp::RecvSend {
                             continue;
                         }

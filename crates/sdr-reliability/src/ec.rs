@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use sdr_core::{RecvHandle, SdrContext, SdrQp, SendHandle};
-use sdr_erasure::{ErasureCode, ReedSolomon, XorCode};
+use sdr_erasure::{encode_parallel_into, ErasureCode, ReedSolomon, XorCode};
 use sdr_sim::{Engine, QpAddr, SimTime};
 
 use crate::ack::CtrlMsg;
@@ -104,10 +104,85 @@ fn geometry(total_chunks: u64, k: usize, m: usize, code: EcCodeChoice) -> Vec<Su
         .collect()
 }
 
-fn make_code(choice: EcCodeChoice, k_eff: usize, m_eff: usize) -> Box<dyn ErasureCode> {
+fn make_code(choice: EcCodeChoice, k_eff: usize, m_eff: usize) -> Rc<dyn ErasureCode> {
     match choice {
-        EcCodeChoice::Mds => Box::new(ReedSolomon::new(k_eff, m_eff)),
-        EcCodeChoice::Xor => Box::new(XorCode::new(k_eff, m_eff)),
+        EcCodeChoice::Mds => Rc::new(ReedSolomon::new(k_eff, m_eff)),
+        EcCodeChoice::Xor => Rc::new(XorCode::new(k_eff, m_eff)),
+    }
+}
+
+/// One shared code instance per distinct `(k_eff, m_eff)` shape — a message
+/// has at most two (full submessages and the tail), and building a
+/// [`ReedSolomon`] involves a Vandermonde construction plus a matrix
+/// inversion that must not run per submessage, let alone per bitmap poll.
+fn codes_for(choice: EcCodeChoice, geoms: &[SubGeom]) -> Vec<Rc<dyn ErasureCode>> {
+    let mut cache: Vec<((usize, usize), Rc<dyn ErasureCode>)> = Vec::new();
+    geoms
+        .iter()
+        .map(|g| {
+            let shape = (g.k_eff, g.m_eff);
+            if let Some((_, c)) = cache.iter().find(|(s, _)| *s == shape) {
+                return c.clone();
+            }
+            let c = make_code(choice, g.k_eff, g.m_eff);
+            cache.push((shape, c.clone()));
+            c
+        })
+        .collect()
+}
+
+/// Reusable staging for the EC hot paths. Chunk-sized buffers are rented
+/// for the duration of one decode (or one submessage encode) and returned,
+/// so the steady state performs no per-chunk heap allocation; presence
+/// flags live in retained `Vec`s that are cleared, never reallocated.
+#[derive(Default)]
+pub struct EcScratch {
+    /// Pooled chunk buffers, capped at [`Self::cap`] entries.
+    free: Vec<Vec<u8>>,
+    /// Shard table reused across decodes.
+    shards: Vec<Option<Vec<u8>>>,
+    /// Per-chunk presence flags reused across polls.
+    data_present: Vec<bool>,
+    parity_present: Vec<bool>,
+    present: Vec<bool>,
+    /// Upper bound on pooled buffers (decode paths can mint new buffers
+    /// inside `reconstruct`; the cap keeps the pool from growing without
+    /// bound when losses are frequent).
+    cap: usize,
+}
+
+impl EcScratch {
+    /// A pool sized for submessages of `k + m` chunks.
+    pub fn new(k: usize, m: usize) -> Self {
+        EcScratch {
+            cap: 2 * (k + m),
+            ..EcScratch::default()
+        }
+    }
+
+    /// Rents a zeroed `len`-byte buffer, reusing a pooled one when
+    /// available.
+    fn take(&mut self, len: usize) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut b) => {
+                b.clear();
+                b.resize(len, 0);
+                b
+            }
+            None => vec![0u8; len],
+        }
+    }
+
+    /// Returns a buffer to the pool (dropped when the pool is at cap).
+    fn put(&mut self, b: Vec<u8>) {
+        if self.free.len() < self.cap {
+            self.free.push(b);
+        }
+    }
+
+    /// Buffers currently pooled (test observability).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
     }
 }
 
@@ -164,7 +239,7 @@ impl EcSender {
     ) -> EcSender {
         let chunk_bytes = qp.config().chunk_bytes;
         assert!(
-            msg_bytes % chunk_bytes == 0,
+            msg_bytes.is_multiple_of(chunk_bytes),
             "EC layer requires chunk-aligned messages"
         );
         let total_chunks = msg_bytes / chunk_bytes;
@@ -176,24 +251,35 @@ impl EcSender {
 
         // Stage parity in local memory: encode every submessage up front
         // (on hardware this overlaps injection on spare cores, Fig 11).
+        // Chunk staging and parity buffers are reused across submessages —
+        // the only allocations are the one-time staging set.
+        let codes = codes_for(cfg.code, &geoms);
         let total_parity_chunks: u64 = geoms.iter().map(|g| g.m_eff as u64).sum();
         let parity_addr = ctx.alloc_buffer(total_parity_chunks * chunk_bytes);
         let mut parity_offsets = Vec::with_capacity(geoms.len());
         let mut off = 0u64;
-        for g in &geoms {
+        let mut data_bufs: Vec<Vec<u8>> = Vec::new();
+        let mut parity_bufs: Vec<Vec<u8>> = Vec::new();
+        for (g, code) in geoms.iter().zip(&codes) {
             parity_offsets.push(off);
-            let code = make_code(cfg.code, g.k_eff, g.m_eff);
-            let data: Vec<Vec<u8>> = (0..g.k_eff)
-                .map(|j| {
-                    ctx.read_buffer(
-                        local_addr + (g.chunk_start + j as u64) * chunk_bytes,
-                        chunk_bytes as usize,
-                    )
-                })
-                .collect();
-            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-            let parity = code.encode(&refs);
-            for (p, shard) in parity.iter().enumerate() {
+            while data_bufs.len() < g.k_eff {
+                data_bufs.push(vec![0u8; chunk_bytes as usize]);
+            }
+            while parity_bufs.len() < g.m_eff {
+                parity_bufs.push(vec![0u8; chunk_bytes as usize]);
+            }
+            for (j, buf) in data_bufs[..g.k_eff].iter_mut().enumerate() {
+                ctx.read_buffer_into(local_addr + (g.chunk_start + j as u64) * chunk_bytes, buf);
+            }
+            let refs: Vec<&[u8]> = data_bufs[..g.k_eff].iter().map(|d| d.as_slice()).collect();
+            {
+                let mut views: Vec<&mut [u8]> = parity_bufs[..g.m_eff]
+                    .iter_mut()
+                    .map(|p| p.as_mut_slice())
+                    .collect();
+                encode_parallel_into(code.as_ref(), &refs, &mut views, 1);
+            }
+            for (p, shard) in parity_bufs[..g.m_eff].iter().enumerate() {
                 ctx.write_buffer(parity_addr + off + p as u64 * chunk_bytes, shard);
             }
             off += g.m_eff as u64 * chunk_bytes;
@@ -252,8 +338,9 @@ impl EcSender {
             return;
         }
         let l = i.geoms.len();
-        let base_seq = i.next_send_seq + (i.data_hdls.iter().filter(|h| h.is_some()).count()
-            + i.parity_sent.iter().filter(|&&s| s).count()) as u64;
+        let base_seq = i.next_send_seq
+            + (i.data_hdls.iter().filter(|h| h.is_some()).count()
+                + i.parity_sent.iter().filter(|&&s| s).count()) as u64;
         let mut seq = base_seq;
         loop {
             let idx = (seq - i.next_send_seq) as usize;
@@ -265,12 +352,10 @@ impl EcSender {
                 let g = i.geoms[idx];
                 let addr = i.local_addr + g.chunk_start * i.chunk_bytes;
                 let len = g.k_eff as u64 * i.chunk_bytes;
-                let hdl = i
-                    .qp
-                    .send_stream_start(eng, addr, len, None)
-                    .expect("CTS checked");
-                i.qp
-                    .send_stream_continue(eng, &hdl, 0, len)
+                let hdl =
+                    i.qp.send_stream_start(eng, addr, len, None)
+                        .expect("CTS checked");
+                i.qp.send_stream_continue(eng, &hdl, 0, len)
                     .expect("initial injection");
                 i.data_hdls[idx] = Some(hdl);
                 if i.start_time.is_none() {
@@ -282,9 +367,7 @@ impl EcSender {
                 let g = i.geoms[p];
                 let addr = i.parity_addr + i.parity_offsets[p];
                 let len = g.m_eff as u64 * i.chunk_bytes;
-                i.qp
-                    .send_post(eng, addr, len, None)
-                    .expect("CTS checked");
+                i.qp.send_post(eng, addr, len, None).expect("CTS checked");
                 i.parity_sent[p] = true;
             }
             seq += 1;
@@ -305,8 +388,7 @@ impl EcSender {
             if let Some(hdl) = i.data_hdls[f] {
                 let g = i.geoms[f];
                 let len = g.k_eff as u64 * i.chunk_bytes;
-                i.qp
-                    .send_stream_continue(eng, &hdl, 0, len)
+                i.qp.send_stream_continue(eng, &hdl, 0, len)
                     .expect("fallback retransmission");
             }
         }
@@ -322,9 +404,7 @@ impl EcSender {
             let _ = i.qp.send_stream_end(hdl);
         }
         let report = EcReport {
-            duration: eng
-                .now()
-                .saturating_sub(i.start_time.unwrap_or(eng.now())),
+            duration: eng.now().saturating_sub(i.start_time.unwrap_or(eng.now())),
             fallback_rounds: i.fallback_rounds,
         };
         let _ = &i.ctx; // staging buffer lives for the simulation's duration
@@ -355,6 +435,10 @@ struct EcReceiverInner {
     buf_addr: u64,
     chunk_bytes: u64,
     geoms: Vec<SubGeom>,
+    /// One code instance per submessage, shared across identical shapes.
+    codes: Vec<Rc<dyn ErasureCode>>,
+    /// Pooled shard staging for the decode hot path.
+    scratch: EcScratch,
     data_hdls: Vec<RecvHandle>,
     parity_hdls: Vec<RecvHandle>,
     parity_addrs: Vec<u64>,
@@ -388,9 +472,10 @@ impl EcReceiver {
         done: impl FnOnce(&mut Engine, SimTime, EcRecvStats) + 'static,
     ) -> EcReceiver {
         let chunk_bytes = qp.config().chunk_bytes;
-        assert!(msg_bytes % chunk_bytes == 0);
+        assert!(msg_bytes.is_multiple_of(chunk_bytes));
         let total_chunks = msg_bytes / chunk_bytes;
         let geoms = geometry(total_chunks, cfg.k, cfg.m, cfg.code);
+        let codes = codes_for(cfg.code, &geoms);
 
         // Post data buffers (slices of the user buffer), then parity
         // scratch buffers — the same order the sender issues sends.
@@ -419,6 +504,8 @@ impl EcReceiver {
             buf_addr,
             chunk_bytes,
             geoms,
+            codes,
+            scratch: EcScratch::new(cfg.k, cfg.m),
             data_hdls,
             parity_hdls,
             parity_addrs,
@@ -501,8 +588,7 @@ impl EcReceiver {
                                 .map(|(idx, _)| idx as u32)
                                 .collect();
                             i.stats.fallback_nacks += 1;
-                            let (peer, msg) =
-                                (i.peer_ctrl, CtrlMsg::EcNack { failed });
+                            let (peer, msg) = (i.peer_ctrl, CtrlMsg::EcNack { failed });
                             i.ctrl.send(eng, peer, &msg);
                             i.fto_deadline = Some(eng.now() + i.cfg.fto);
                         }
@@ -519,6 +605,7 @@ impl EcReceiver {
 
     fn poll_once(i: &mut EcReceiverInner, eng: &mut Engine) {
         let mut any_chunk = false;
+        let chunk_len = i.chunk_bytes as usize;
         for s in 0..i.geoms.len() {
             if i.resolved[s] {
                 continue;
@@ -533,56 +620,83 @@ impl EcReceiver {
             if parity_bm.packets().count_set() == 0 {
                 let _ = i.qp.resend_cts(eng, &i.parity_hdls[s]);
             }
-            let data_present: Vec<bool> =
-                (0..g.k_eff).map(|c| data_bm.chunks().get(c)).collect();
-            let parity_present: Vec<bool> =
-                (0..g.m_eff).map(|c| parity_bm.chunks().get(c)).collect();
-            if data_present.iter().any(|&b| b) || parity_present.iter().any(|&b| b) {
+            // Word-level scans (one atomic load per 64 chunks, like the SR
+            // ACK path) and retained scratch vectors: the no-loss steady
+            // state allocates nothing and touches no per-chunk atomics.
+            if data_bm.chunks().count_set() > 0 || parity_bm.chunks().count_set() > 0 {
                 any_chunk = true;
             }
-            if data_present.iter().all(|&b| b) {
+            if data_bm.chunks().first_n_set(g.k_eff) {
                 i.resolved[s] = true;
                 i.stats.complete_submessages += 1;
                 continue;
             }
+            i.scratch.data_present.clear();
+            i.scratch.data_present.resize(g.k_eff, true);
+            let flags = &mut i.scratch.data_present;
+            data_bm
+                .chunks()
+                .for_each_missing_in_first_n(g.k_eff, |c| flags[c] = false);
+            i.scratch.parity_present.clear();
+            i.scratch.parity_present.resize(g.m_eff, true);
+            let flags = &mut i.scratch.parity_present;
+            parity_bm
+                .chunks()
+                .for_each_missing_in_first_n(g.m_eff, |c| flags[c] = false);
             // Try in-place decoding from data + parity chunks.
-            let present: Vec<bool> = data_present
-                .iter()
-                .chain(parity_present.iter())
-                .copied()
-                .collect();
-            let code = make_code(i.cfg.code, g.k_eff, g.m_eff);
-            if !code.can_recover(&present) {
+            i.scratch.present.clear();
+            i.scratch.present.extend_from_slice(&i.scratch.data_present);
+            i.scratch
+                .present
+                .extend_from_slice(&i.scratch.parity_present);
+            if !i.codes[s].can_recover(&i.scratch.present) {
                 continue;
             }
-            let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(g.k_eff + g.m_eff);
-            for (c, &ok) in data_present.iter().enumerate() {
-                shards.push(ok.then(|| {
-                    i.ctx.read_buffer(
+            // Stage present shards into pooled buffers (rented, not
+            // allocated, once the pool is warm).
+            debug_assert!(i.scratch.shards.is_empty());
+            for c in 0..g.k_eff {
+                if i.scratch.data_present[c] {
+                    let mut b = i.scratch.take(chunk_len);
+                    i.ctx.read_buffer_into(
                         i.buf_addr + (g.chunk_start + c as u64) * i.chunk_bytes,
-                        i.chunk_bytes as usize,
-                    )
-                }));
+                        &mut b,
+                    );
+                    i.scratch.shards.push(Some(b));
+                } else {
+                    i.scratch.shards.push(None);
+                }
             }
-            for (c, &ok) in parity_present.iter().enumerate() {
-                shards.push(ok.then(|| {
-                    i.ctx.read_buffer(
-                        i.parity_addrs[s] + c as u64 * i.chunk_bytes,
-                        i.chunk_bytes as usize,
-                    )
-                }));
+            for c in 0..g.m_eff {
+                if i.scratch.parity_present[c] {
+                    let mut b = i.scratch.take(chunk_len);
+                    i.ctx
+                        .read_buffer_into(i.parity_addrs[s] + c as u64 * i.chunk_bytes, &mut b);
+                    i.scratch.shards.push(Some(b));
+                } else {
+                    i.scratch.shards.push(None);
+                }
             }
-            code.reconstruct(&mut shards).expect("can_recover checked");
+            i.codes[s]
+                .reconstruct(&mut i.scratch.shards)
+                .expect("can_recover checked");
             // Write recovered data chunks back into the user buffer.
-            for (c, &ok) in data_present.iter().enumerate() {
-                if !ok {
-                    let shard = shards[c].as_ref().expect("reconstructed");
+            for c in 0..g.k_eff {
+                if !i.scratch.data_present[c] {
+                    let shard = i.scratch.shards[c].as_ref().expect("reconstructed");
                     i.ctx.write_buffer(
                         i.buf_addr + (g.chunk_start + c as u64) * i.chunk_bytes,
                         shard,
                     );
                 }
             }
+            // Return every staged buffer (including freshly reconstructed
+            // ones) to the pool for the next decode.
+            let mut staged = std::mem::take(&mut i.scratch.shards);
+            for b in staged.drain(..).flatten() {
+                i.scratch.put(b);
+            }
+            i.scratch.shards = staged; // retain capacity
             i.resolved[s] = true;
             i.stats.decoded_submessages += 1;
         }
@@ -596,6 +710,46 @@ impl EcReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scratch_pool_reuses_buffers_and_caps_growth() {
+        let mut s = EcScratch::new(4, 2);
+        // Rent and return: the pool grows to what was returned...
+        let bufs: Vec<Vec<u8>> = (0..3).map(|_| s.take(64)).collect();
+        assert_eq!(s.pooled(), 0);
+        for b in bufs {
+            s.put(b);
+        }
+        assert_eq!(s.pooled(), 3);
+        // ...subsequent rents come from the pool (and are re-zeroed even
+        // after length changes).
+        let mut b = s.take(128);
+        assert_eq!(s.pooled(), 2);
+        assert_eq!(b.len(), 128);
+        assert!(b.iter().all(|&x| x == 0));
+        b[0] = 0xFF;
+        s.put(b);
+        let b = s.take(16);
+        assert!(b.iter().all(|&x| x == 0), "rented buffers are zeroed");
+        s.put(b);
+        // The cap (2·(k+m) = 12) bounds growth under decode-heavy load.
+        for _ in 0..100 {
+            s.put(vec![0u8; 8]);
+        }
+        assert_eq!(s.pooled(), 12);
+    }
+
+    #[test]
+    fn codes_are_shared_across_equal_shapes() {
+        // 10 chunks, k=4 → geometries (4,2), (4,2), (2,2): the first two
+        // submessages must share one ReedSolomon instance (one matrix
+        // inversion), the tail gets its own.
+        let geoms = geometry(10, 4, 2, EcCodeChoice::Mds);
+        let codes = codes_for(EcCodeChoice::Mds, &geoms);
+        assert_eq!(codes.len(), 3);
+        assert!(Rc::ptr_eq(&codes[0], &codes[1]));
+        assert!(!Rc::ptr_eq(&codes[0], &codes[2]));
+    }
 
     #[test]
     fn geometry_handles_tails() {

@@ -118,7 +118,7 @@ impl SrSender {
         let inner = Rc::new(RefCell::new(SenderInner {
             qp: qp.clone(),
             ctrl,
-            peer_ctrl: peer_ctrl,
+            peer_ctrl,
             cfg,
             local_addr,
             msg_bytes,
@@ -148,7 +148,15 @@ impl SrSender {
                     nacks,
                 } = msg
                 {
-                    Self::on_ack(&me, eng, cumulative, window_start, &sack_bits, sack_len, &nacks);
+                    Self::on_ack(
+                        &me,
+                        eng,
+                        cumulative,
+                        window_start,
+                        &sack_bits,
+                        sack_len,
+                        &nacks,
+                    );
                 }
             });
         }
@@ -175,9 +183,7 @@ impl SrSender {
         if i.hdl.is_some() {
             return true;
         }
-        let res = i
-            .qp
-            .send_stream_start(eng, i.local_addr, i.msg_bytes, None);
+        let res = i.qp.send_stream_start(eng, i.local_addr, i.msg_bytes, None);
         match res {
             Ok(hdl) => {
                 i.hdl = Some(hdl);
@@ -187,8 +193,7 @@ impl SrSender {
                     *t = now;
                 }
                 let (addr_len, hdl2) = (i.msg_bytes, hdl);
-                i.qp
-                    .send_stream_continue(eng, &hdl2, 0, addr_len)
+                i.qp.send_stream_continue(eng, &hdl2, 0, addr_len)
                     .expect("initial injection");
                 drop(i);
                 self.schedule_tick(eng);
@@ -226,8 +231,7 @@ impl SrSender {
             for c in to_resend {
                 let off = c as u64 * chunk_bytes;
                 let len = chunk_bytes.min(msg_bytes - off);
-                i.qp
-                    .send_stream_continue(eng, &hdl, off, len)
+                i.qp.send_stream_continue(eng, &hdl, off, len)
                     .expect("retransmission");
                 i.last_sent[c] = now;
                 i.retransmitted += 1;
@@ -278,8 +282,7 @@ impl SrSender {
                 if c < total && !i.acked[c] && now.saturating_sub(i.last_sent[c]) >= guard {
                     let off = c as u64 * chunk_bytes;
                     let len = chunk_bytes.min(msg_bytes - off);
-                    i.qp
-                        .send_stream_continue(eng, &hdl, off, len)
+                    i.qp.send_stream_continue(eng, &hdl, off, len)
                         .expect("nack retransmission");
                     i.last_sent[c] = now;
                     i.retransmitted += 1;

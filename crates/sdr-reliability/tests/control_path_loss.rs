@@ -10,8 +10,8 @@ use std::rc::Rc;
 use sdr_core::testkit::{pattern, sdr_pair};
 use sdr_core::SdrConfig;
 use sdr_reliability::{
-    ControlEndpoint, EcCodeChoice, EcProtoConfig, EcReceiver, EcSender, SrProtoConfig,
-    SrReceiver, SrSender,
+    ControlEndpoint, EcCodeChoice, EcProtoConfig, EcReceiver, EcSender, SrProtoConfig, SrReceiver,
+    SrSender,
 };
 use sdr_sim::LinkConfig;
 
@@ -95,8 +95,7 @@ fn ec_converges_despite_heavy_control_loss() {
         let ctrl_a = Rc::new(ControlEndpoint::new(&p.fabric, p.node_a));
         let ctrl_b = Rc::new(ControlEndpoint::new(&p.fabric, p.node_b));
         let model_ch = sdr_model::Channel::new(8e9, rtt.as_secs_f64(), 0.10);
-        let mut proto =
-            EcProtoConfig::for_channel(4, 2, EcCodeChoice::Mds, &model_ch, msg, rtt);
+        let mut proto = EcProtoConfig::for_channel(4, 2, EcCodeChoice::Mds, &model_ch, msg, rtt);
         proto.linger_acks = 60;
         let done = Rc::new(RefCell::new(false));
         let d = done.clone();

@@ -126,7 +126,11 @@ impl Engine {
     /// Schedules `action` at absolute time `at`. Scheduling in the past is a
     /// logic error and panics in debug builds; in release it clamps to `now`.
     pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Engine) + 'static) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;

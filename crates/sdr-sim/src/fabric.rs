@@ -194,7 +194,11 @@ impl Fabric {
                 WriteSeg::Middle
             };
             let (mkey, offset, imm) = match seg {
-                WriteSeg::Only => (wr.remote_mkey, wr.remote_offset + lo as u64, if i == n_pkts - 1 { wr.imm } else { None }),
+                WriteSeg::Only => (
+                    wr.remote_mkey,
+                    wr.remote_offset + lo as u64,
+                    if i == n_pkts - 1 { wr.imm } else { None },
+                ),
                 WriteSeg::First => (wr.remote_mkey, wr.remote_offset, None),
                 WriteSeg::Middle => (wr.remote_mkey, 0, None),
                 WriteSeg::Last => (wr.remote_mkey, 0, wr.imm),
@@ -437,7 +441,7 @@ mod tests {
         eng.run();
         // ~80% of the 40 packets land individually.
         let landed = fab.node(b.node, |n| n.stats().writes_landed);
-        assert!(landed >= 25 && landed < 40, "landed {landed}");
+        assert!((25..40).contains(&landed), "landed {landed}");
     }
 
     #[test]

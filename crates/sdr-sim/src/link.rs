@@ -312,7 +312,10 @@ mod tests {
         let mut sorted = got.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..32).collect::<Vec<_>>());
-        assert_ne!(got, sorted, "jitter of 50us over 32 tiny packets must reorder");
+        assert_ne!(
+            got, sorted,
+            "jitter of 50us over 32 tiny packets must reorder"
+        );
     }
 
     #[test]

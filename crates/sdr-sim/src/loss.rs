@@ -128,7 +128,11 @@ impl LossProcess {
                 } else if self.rng.random::<f64>() < p_good_to_bad {
                     self.in_bad_state = true;
                 }
-                let p = if self.in_bad_state { loss_bad } else { loss_good };
+                let p = if self.in_bad_state {
+                    loss_bad
+                } else {
+                    loss_good
+                };
                 p > 0.0 && self.rng.random::<f64>() < p
             }
         };

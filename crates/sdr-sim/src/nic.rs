@@ -584,7 +584,15 @@ mod tests {
         (n, qp, cq, mr)
     }
 
-    fn write_pkt(qp: QpNum, psn: u32, seg: WriteSeg, mkey: MkeyId, offset: u64, data: &[u8], imm: Option<u32>) -> Packet {
+    fn write_pkt(
+        qp: QpNum,
+        psn: u32,
+        seg: WriteSeg,
+        mkey: MkeyId,
+        offset: u64,
+        data: &[u8],
+        imm: Option<u32>,
+    ) -> Packet {
         let addr = QpAddr {
             node: NodeId(0),
             qp,
@@ -638,9 +646,18 @@ mod tests {
     fn multi_packet_message_in_order_completes_once() {
         let (mut n, qp, cq, mr) = mk_node();
         let mut eng = Engine::new();
-        n.handle_packet(&mut eng, write_pkt(qp, 0, WriteSeg::First, mr.mkey, 0, b"aa", None));
-        n.handle_packet(&mut eng, write_pkt(qp, 1, WriteSeg::Middle, mr.mkey, 0, b"bb", None));
-        n.handle_packet(&mut eng, write_pkt(qp, 2, WriteSeg::Last, mr.mkey, 0, b"cc", Some(7)));
+        n.handle_packet(
+            &mut eng,
+            write_pkt(qp, 0, WriteSeg::First, mr.mkey, 0, b"aa", None),
+        );
+        n.handle_packet(
+            &mut eng,
+            write_pkt(qp, 1, WriteSeg::Middle, mr.mkey, 0, b"bb", None),
+        );
+        n.handle_packet(
+            &mut eng,
+            write_pkt(qp, 2, WriteSeg::Last, mr.mkey, 0, b"cc", Some(7)),
+        );
         assert_eq!(n.mem().read(mr.addr, 6), b"aabbcc");
         let cqe = n.poll_cq(cq).expect("cqe");
         assert_eq!(cqe.byte_len, 6);
@@ -653,14 +670,29 @@ mod tests {
         // Packet 1 of 3 lost: the message never completes (paper §2.3).
         let (mut n, qp, cq, mr) = mk_node();
         let mut eng = Engine::new();
-        n.handle_packet(&mut eng, write_pkt(qp, 0, WriteSeg::First, mr.mkey, 0, b"aa", None));
+        n.handle_packet(
+            &mut eng,
+            write_pkt(qp, 0, WriteSeg::First, mr.mkey, 0, b"aa", None),
+        );
         // psn 1 dropped in transit; psn 2 arrives.
-        n.handle_packet(&mut eng, write_pkt(qp, 2, WriteSeg::Last, mr.mkey, 0, b"cc", Some(7)));
-        assert!(n.poll_cq(cq).is_none(), "poisoned message must not complete");
+        n.handle_packet(
+            &mut eng,
+            write_pkt(qp, 2, WriteSeg::Last, mr.mkey, 0, b"cc", Some(7)),
+        );
+        assert!(
+            n.poll_cq(cq).is_none(),
+            "poisoned message must not complete"
+        );
         assert_eq!(n.stats().poisoned_msgs, 1);
         // The next fresh message resyncs.
-        n.handle_packet(&mut eng, write_pkt(qp, 3, WriteSeg::First, mr.mkey, 8, b"dd", None));
-        n.handle_packet(&mut eng, write_pkt(qp, 4, WriteSeg::Last, mr.mkey, 8, b"ee", Some(9)));
+        n.handle_packet(
+            &mut eng,
+            write_pkt(qp, 3, WriteSeg::First, mr.mkey, 8, b"dd", None),
+        );
+        n.handle_packet(
+            &mut eng,
+            write_pkt(qp, 4, WriteSeg::Last, mr.mkey, 8, b"ee", Some(9)),
+        );
         assert_eq!(n.poll_cq(cq).unwrap().imm, Some(9));
     }
 
@@ -683,7 +715,9 @@ mod tests {
                 ),
             );
         }
-        let mut imms: Vec<u32> = std::iter::from_fn(|| n.poll_cq(cq)).map(|c| c.imm.unwrap()).collect();
+        let mut imms: Vec<u32> = std::iter::from_fn(|| n.poll_cq(cq))
+            .map(|c| c.imm.unwrap())
+            .collect();
         imms.sort_unstable();
         assert_eq!(imms, vec![0, 1, 2, 3]);
         assert_eq!(n.stats().poisoned_msgs, 0);
@@ -709,7 +743,15 @@ mod tests {
         let mut eng = Engine::new();
         n.handle_packet(
             &mut eng,
-            write_pkt(qp, 0, WriteSeg::Only, mr.mkey, mr.len - 1, b"toolong", Some(1)),
+            write_pkt(
+                qp,
+                0,
+                WriteSeg::Only,
+                mr.mkey,
+                mr.len - 1,
+                b"toolong",
+                Some(1),
+            ),
         );
         assert!(n.poll_cq(cq).is_none());
         assert_eq!(n.stats().access_faults, 1);

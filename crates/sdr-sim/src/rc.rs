@@ -150,7 +150,10 @@ impl RcEndpoint {
     ) {
         {
             let mut ep = this.borrow_mut();
-            assert!(ep.msg.is_none(), "RC endpoint supports one message in flight");
+            assert!(
+                ep.msg.is_none(),
+                "RC endpoint supports one message in flight"
+            );
             let mtu = ep.cfg.mtu;
             let n_pkts = if data.is_empty() {
                 1
@@ -252,7 +255,10 @@ impl RcEndpoint {
         match pkt.kind {
             PacketKind::Ack { psn, nak } => self.on_ack(eng, psn, nak),
             PacketKind::Write {
-                seg, mkey, offset, imm,
+                seg,
+                mkey,
+                offset,
+                imm,
             } => self.on_data(eng, pkt.psn, seg, mkey, offset, imm, pkt.payload),
             PacketKind::Send { .. } => {}
         }
@@ -338,7 +344,16 @@ mod tests {
     use crate::nic::QpType;
     use std::cell::Cell;
 
-    fn rc_pair(p_drop: f64, seed: u64) -> (Engine, Fabric, Rc<RefCell<RcEndpoint>>, Rc<RefCell<RcEndpoint>>, crate::nic::Mr) {
+    fn rc_pair(
+        p_drop: f64,
+        seed: u64,
+    ) -> (
+        Engine,
+        Fabric,
+        Rc<RefCell<RcEndpoint>>,
+        Rc<RefCell<RcEndpoint>>,
+        crate::nic::Mr,
+    ) {
         let eng = Engine::new();
         let fab = Fabric::new();
         let a = fab.add_node(1 << 22);
@@ -384,7 +399,9 @@ mod tests {
         eng.set_event_limit(5_000_000);
         eng.run();
         let ok = done.get()
-            && fab.node(crate::packet::NodeId(1), |n| n.mem().read(mr.addr, len) == &data[..]);
+            && fab.node(crate::packet::NodeId(1), |n| {
+                n.mem().read(mr.addr, len) == &data[..]
+            });
         let stats = (ok, ep_a.borrow().stats(), ep_b.borrow().stats());
         stats
     }

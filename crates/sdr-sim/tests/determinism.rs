@@ -3,9 +3,7 @@
 //! Every experiment in the repository leans on this.
 
 use bytes::Bytes;
-use sdr_sim::{
-    Engine, Fabric, LinkConfig, LossModel, NodeStats, QpAddr, QpType, WriteWr,
-};
+use sdr_sim::{Engine, Fabric, LinkConfig, LossModel, NodeStats, QpAddr, QpType, WriteWr};
 
 fn run_once(seed: u64) -> (NodeStats, u64) {
     let mut eng = Engine::new();
@@ -69,5 +67,8 @@ fn loss_rate_is_respected_in_aggregate() {
     let (s, _) = run_once(99);
     // 50 messages × 8 packets = 400 offered, ~10% dropped.
     let landed = s.writes_landed as f64;
-    assert!(landed > 400.0 * 0.8 && landed < 400.0 * 0.98, "landed {landed}");
+    assert!(
+        landed > 400.0 * 0.8 && landed < 400.0 * 0.98,
+        "landed {landed}"
+    );
 }

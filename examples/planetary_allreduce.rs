@@ -33,7 +33,11 @@ fn main() {
     let nack = allreduce_summary(&params, StepProtocol::SrNack, trials, 3);
     let ec = allreduce_summary(&params, StepProtocol::EcMds { k: 32, m: 8 }, trials, 4);
     println!("  lossless     : mean {:8.1} ms", lossless.mean * 1e3);
-    for (name, s) in [("SR RTO(3RTT)", &sr), ("SR NACK", &nack), ("MDS EC(32,8)", &ec)] {
+    for (name, s) in [
+        ("SR RTO(3RTT)", &sr),
+        ("SR NACK", &nack),
+        ("MDS EC(32,8)", &ec),
+    ] {
         println!(
             "  {name:<13}: mean {:8.1} ms   p99.9 {:8.1} ms",
             s.mean * 1e3,
@@ -59,7 +63,11 @@ fn main() {
         "  completed at {} (sim time), {} chunks retransmitted, sums {}",
         out.completion,
         out.retransmitted,
-        if out.data_ok { "EXACT on every node" } else { "WRONG" }
+        if out.data_ok {
+            "EXACT on every node"
+        } else {
+            "WRONG"
+        }
     );
     assert!(out.data_ok);
 }

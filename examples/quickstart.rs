@@ -26,7 +26,10 @@ fn main() {
     p.ctx_a.write_buffer(src, &data);
 
     // Receiver posts a buffer (this sends the clear-to-send credit) …
-    let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
+    let rh = p
+        .qp_b
+        .recv_post(&mut p.eng, dst, data.len() as u64)
+        .unwrap();
     // … sender fires a one-shot send with a user immediate …
     let sh = p
         .qp_a
@@ -59,7 +62,10 @@ fn main() {
     let dst = p.ctx_b.alloc_buffer(1 << 20);
     p.ctx_a.write_buffer(src, &data);
 
-    let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
+    let rh = p
+        .qp_b
+        .recv_post(&mut p.eng, dst, data.len() as u64)
+        .unwrap();
     p.eng.run(); // let the CTS arrive
     let sh = p
         .qp_a
@@ -87,7 +93,9 @@ fn main() {
         for c in bm.chunks().missing_in_first_n(bm.total_chunks()) {
             let off = c as u64 * 64 * 1024;
             let len = (64 * 1024).min(data.len() as u64 - off);
-            p.qp_a.send_stream_continue(&mut p.eng, &sh, off, len).unwrap();
+            p.qp_a
+                .send_stream_continue(&mut p.eng, &sh, off, len)
+                .unwrap();
         }
         p.eng.run();
     }

@@ -14,8 +14,8 @@ use sdr_rdma::core::testkit::{pattern, sdr_pair};
 use sdr_rdma::core::SdrConfig;
 use sdr_rdma::model;
 use sdr_rdma::reliability::{
-    ControlEndpoint, EcCodeChoice, EcProtoConfig, EcReceiver, EcSender, SrProtoConfig,
-    SrReceiver, SrSender,
+    ControlEndpoint, EcCodeChoice, EcProtoConfig, EcReceiver, EcSender, SrProtoConfig, SrReceiver,
+    SrSender,
 };
 use sdr_rdma::sim::LinkConfig;
 
@@ -60,7 +60,11 @@ fn main() {
 
     // ---- Full-stack SR run ---------------------------------------------
     {
-        let mut p = sdr_pair(LinkConfig::wan(KM, BW, P_DROP).with_seed(11), cfg(), 64 << 20);
+        let mut p = sdr_pair(
+            LinkConfig::wan(KM, BW, P_DROP).with_seed(11),
+            cfg(),
+            64 << 20,
+        );
         let rtt = p.fabric.rtt(p.node_a, p.node_b).unwrap();
         let data = pattern(MSG as usize, 1);
         let src = p.ctx_a.alloc_buffer(MSG);
@@ -103,7 +107,11 @@ fn main() {
 
     // ---- Full-stack EC run ---------------------------------------------
     {
-        let mut p = sdr_pair(LinkConfig::wan(KM, BW, P_DROP).with_seed(12), cfg(), 64 << 20);
+        let mut p = sdr_pair(
+            LinkConfig::wan(KM, BW, P_DROP).with_seed(12),
+            cfg(),
+            64 << 20,
+        );
         let rtt = p.fabric.rtt(p.node_a, p.node_b).unwrap();
         let data = pattern(MSG as usize, 2);
         let src = p.ctx_a.alloc_buffer(MSG);

@@ -7,8 +7,8 @@ use std::rc::Rc;
 use sdr_rdma::core::testkit::{pattern, sdr_pair};
 use sdr_rdma::core::SdrConfig;
 use sdr_rdma::reliability::{
-    ControlEndpoint, EcCodeChoice, EcProtoConfig, EcReceiver, EcSender, SrProtoConfig,
-    SrReceiver, SrSender,
+    ControlEndpoint, EcCodeChoice, EcProtoConfig, EcReceiver, EcSender, SrProtoConfig, SrReceiver,
+    SrSender,
 };
 use sdr_rdma::sim::{LinkConfig, LossModel, SimTime};
 
@@ -71,7 +71,10 @@ fn sr_survives_bursty_loss() {
     );
     p.eng.set_event_limit(60_000_000);
     p.eng.run();
-    let rep = done.borrow_mut().take().expect("must complete despite bursts");
+    let rep = done
+        .borrow_mut()
+        .take()
+        .expect("must complete despite bursts");
     assert!(rep.retransmitted > 0, "bursts must force retransmissions");
     assert_eq!(p.ctx_b.read_buffer(dst, msg as usize), data);
 }
@@ -143,7 +146,10 @@ fn many_sequential_transfers_recycle_slots_cleanly() {
     for round in 0..12u64 {
         let data = pattern(200_000, round);
         p.ctx_a.write_buffer(src, &data);
-        let rh = p.qp_b.recv_post(&mut p.eng, dst, data.len() as u64).unwrap();
+        let rh = p
+            .qp_b
+            .recv_post(&mut p.eng, dst, data.len() as u64)
+            .unwrap();
         p.qp_a
             .send_post(&mut p.eng, src, data.len() as u64, None)
             .unwrap();
@@ -156,7 +162,10 @@ fn many_sequential_transfers_recycle_slots_cleanly() {
         p.qp_b.recv_complete(&mut p.eng, &rh).unwrap();
     }
     let st = p.qp_b.stats();
-    assert_eq!(st.generation_filtered, 0, "no stale completions on a clean link");
+    assert_eq!(
+        st.generation_filtered, 0,
+        "no stale completions on a clean link"
+    );
     assert_eq!(st.bad_offset, 0);
 }
 
@@ -185,22 +194,48 @@ fn ec_beats_sr_rto_below_bdp_end_to_end() {
             let proto = EcProtoConfig::for_channel(4, 2, EcCodeChoice::Mds, &model_ch, msg, rtt);
             let o = out.clone();
             EcSender::start(
-                &mut p.eng, &p.qp_a, &p.ctx_a, ctrl_a.clone(), ctrl_b.addr(), src, msg, proto,
+                &mut p.eng,
+                &p.qp_a,
+                &p.ctx_a,
+                ctrl_a.clone(),
+                ctrl_b.addr(),
+                src,
+                msg,
+                proto,
                 move |_e, rep| *o.borrow_mut() = Some(rep.duration),
             );
             EcReceiver::start(
-                &mut p.eng, &p.qp_b, &p.ctx_b, ctrl_b, ctrl_a.addr(), dst, msg, proto,
+                &mut p.eng,
+                &p.qp_b,
+                &p.ctx_b,
+                ctrl_b,
+                ctrl_a.addr(),
+                dst,
+                msg,
+                proto,
                 |_e, _t, _st| {},
             );
         } else {
             let proto = SrProtoConfig::rto_3rtt(rtt);
             let o = out.clone();
             SrSender::start(
-                &mut p.eng, &p.qp_a, ctrl_a.clone(), ctrl_b.addr(), src, msg, proto,
+                &mut p.eng,
+                &p.qp_a,
+                ctrl_a.clone(),
+                ctrl_b.addr(),
+                src,
+                msg,
+                proto,
                 move |_e, rep| *o.borrow_mut() = Some(rep.duration),
             );
             SrReceiver::start(
-                &mut p.eng, &p.qp_b, ctrl_b, ctrl_a.addr(), dst, msg, proto,
+                &mut p.eng,
+                &p.qp_b,
+                ctrl_b,
+                ctrl_a.addr(),
+                dst,
+                msg,
+                proto,
                 |_e, _t| {},
             );
         }

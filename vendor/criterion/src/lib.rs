@@ -1,0 +1,353 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the criterion API
+//! surface this workspace uses (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_batched`, `Throughput`). Each
+//! benchmark is calibrated so a sample takes roughly
+//! `measurement_time / sample_size`, then reports mean/min per-iteration
+//! time and derived throughput. Set `SDR_BENCH_SMOKE=1` to clamp every
+//! benchmark to a handful of iterations (CI smoke mode).
+
+use std::time::{Duration, Instant};
+
+/// Throughput basis for a benchmark, used to derive rates from times.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one setup per
+/// routine invocation regardless of variant.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name prefixes it when printed).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-invocation inputs from `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+fn smoke_mode() -> bool {
+    std::env::var_os("SDR_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_benchmark(name: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    let smoke = smoke_mode();
+    // Calibrate: find an iteration count whose runtime is ~1 sample budget.
+    let budget = if smoke {
+        Duration::from_millis(1)
+    } else {
+        settings
+            .measurement_time
+            .div_f64(settings.sample_size.max(1) as f64)
+            .max(Duration::from_millis(1))
+    };
+    let mut iters = 1u64;
+    let mut bench = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        bench.iters = iters;
+        bench.elapsed = Duration::ZERO;
+        f(&mut bench);
+        if smoke || bench.elapsed >= budget / 2 || iters >= 1 << 24 {
+            break;
+        }
+        // Scale toward the budget, at most 8x per step.
+        let per_iter = bench
+            .elapsed
+            .div_f64(iters as f64)
+            .max(Duration::from_nanos(1));
+        let target = (budget.as_secs_f64() / per_iter.as_secs_f64()).max(1.0);
+        iters = (iters * 8).min(target.ceil() as u64).max(iters + 1);
+    }
+
+    let samples = if smoke {
+        2
+    } else {
+        settings.sample_size.max(2)
+    };
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bench.iters = iters;
+        bench.elapsed = Duration::ZERO;
+        f(&mut bench);
+        times.push(bench.elapsed.as_secs_f64() / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = times[0];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+
+    let rate = settings.throughput.map(|t| match t {
+        Throughput::Bytes(b) => format!("  {:8.3} GiB/s", b as f64 / mean / (1u64 << 30) as f64),
+        Throughput::Elements(e) => format!("  {:11.3e} elem/s", e as f64 / mean),
+    });
+    println!(
+        "bench {name:<44} mean {:>12}  min {:>12}{}",
+        format_time(mean),
+        format_time(min),
+        rate.unwrap_or_default(),
+    );
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.into_id(), self.settings, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput basis used to report rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&name, self.settings, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        run_benchmark(&name, self.settings, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export: benches import `black_box` from criterion or `std::hint`.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function from a config expression and target
+/// benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (`--bench`, filters); accept and
+            // ignore them, but honor `--test` by doing nothing so
+            // `cargo test --benches` stays fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("SDR_BENCH_SMOKE", "1");
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, &x| {
+            b.iter_batched(|| vec![0u8; x], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 * 2));
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides [`queue::ArrayQueue`], the only item this workspace uses: a
+//! bounded lock-free MPMC queue implemented with Dmitry Vyukov's
+//! sequence-number ring algorithm — the same design the real crate uses —
+//! so the DPA completion ring keeps its lock-free fast path.
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Slot<T> {
+        /// Vyukov sequence number: `index` when empty and writable,
+        /// `index + 1` when full and readable, advancing by `capacity`
+        /// per lap.
+        seq: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// A bounded lock-free multi-producer multi-consumer queue.
+    pub struct ArrayQueue<T> {
+        slots: Box<[Slot<T>]>,
+        head: AtomicUsize,
+        tail: AtomicUsize,
+    }
+
+    unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `capacity` elements.
+        ///
+        /// # Panics
+        /// Panics when `capacity` is zero.
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "capacity must be non-zero");
+            let slots = (0..capacity)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect();
+            ArrayQueue {
+                slots,
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+            }
+        }
+
+        /// Maximum number of elements.
+        pub fn capacity(&self) -> usize {
+            self.slots.len()
+        }
+
+        /// Attempts to enqueue, returning `value` back when full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let cap = self.slots.len();
+            let mut tail = self.tail.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[tail % cap];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let diff = seq as isize - tail as isize;
+                if diff == 0 {
+                    match self.tail.compare_exchange_weak(
+                        tail,
+                        tail.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(t) => tail = t,
+                    }
+                } else if diff < 0 {
+                    // Slot still holds a value from the previous lap: full.
+                    return Err(value);
+                } else {
+                    tail = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Attempts to dequeue.
+        pub fn pop(&self) -> Option<T> {
+            let cap = self.slots.len();
+            let mut head = self.head.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[head % cap];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let diff = seq as isize - (head.wrapping_add(1)) as isize;
+                if diff == 0 {
+                    match self.head.compare_exchange_weak(
+                        head,
+                        head.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq.store(head.wrapping_add(cap), Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(h) => head = h,
+                    }
+                } else if diff < 0 {
+                    // Slot not yet published: empty.
+                    return None;
+                } else {
+                    head = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Approximate number of queued elements.
+        pub fn len(&self) -> usize {
+            loop {
+                let tail = self.tail.load(Ordering::SeqCst);
+                let head = self.head.load(Ordering::SeqCst);
+                if self.tail.load(Ordering::SeqCst) == tail {
+                    return tail.wrapping_sub(head);
+                }
+            }
+        }
+
+        /// True when no elements are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// True when at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() == self.capacity()
+        }
+    }
+
+    impl<T> Drop for ArrayQueue<T> {
+        fn drop(&mut self) {
+            while self.pop().is_some() {}
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_and_capacity() {
+            let q = ArrayQueue::new(2);
+            assert!(q.push(1).is_ok());
+            assert!(q.push(2).is_ok());
+            assert_eq!(q.push(3), Err(3));
+            assert_eq!(q.pop(), Some(1));
+            assert!(q.push(3).is_ok());
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), Some(3));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn mpmc_transfers_every_element_once() {
+            let q = Arc::new(ArrayQueue::new(64));
+            let produced = 4 * 10_000u64;
+            let sum = Arc::new(AtomicUsize::new(0));
+            let received = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|s| {
+                for p in 0..4u64 {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        for i in 0..10_000u64 {
+                            let v = p * 10_000 + i;
+                            loop {
+                                if q.push(v).is_ok() {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    });
+                }
+                for _ in 0..4 {
+                    let q = q.clone();
+                    let sum = sum.clone();
+                    let received = received.clone();
+                    s.spawn(move || loop {
+                        if let Some(v) = q.pop() {
+                            sum.fetch_add(v as usize, Ordering::Relaxed);
+                            if received.fetch_add(1, Ordering::Relaxed) + 1 == produced as usize {
+                                return;
+                            }
+                        } else if received.load(Ordering::Relaxed) >= produced as usize {
+                            return;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    });
+                }
+            });
+            assert_eq!(received.load(Ordering::Relaxed), produced as usize);
+            let expect: usize = (0..produced as usize).sum();
+            assert_eq!(sum.load(Ordering::Relaxed), expect);
+        }
+
+        #[test]
+        fn drops_remaining_elements() {
+            let q = ArrayQueue::new(8);
+            let v = Arc::new(());
+            for _ in 0..5 {
+                q.push(v.clone()).unwrap();
+            }
+            drop(q);
+            assert_eq!(Arc::strong_count(&v), 1);
+        }
+    }
+}

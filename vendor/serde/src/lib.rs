@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few model structs
+//! but never actually serializes them (no `serde_json` or similar backend
+//! is in the dependency tree). With no crates.io access, this proc-macro
+//! crate supplies no-op derives so those annotations compile unchanged.
+//! Swap the real `serde` back in the workspace manifest once registry
+//! access exists.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
