@@ -151,6 +151,28 @@ impl AtomicBitmap {
             .map(|w| w.load(Ordering::Acquire))
             .collect()
     }
+
+    /// Number of 64-bit words backing the bitmap.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Sets every bit of `mask` in word `word` with a single atomic RMW,
+    /// returning the word's previous value — the batched form of
+    /// [`set`](Self::set) used by the DPA batch-completion path (one
+    /// `fetch_or` per up-to-64 packets instead of one per packet).
+    ///
+    /// # Panics
+    /// Debug-asserts that `mask` stays within the bitmap's final word.
+    #[inline]
+    pub fn set_word_bits(&self, word: usize, mask: u64) -> u64 {
+        debug_assert!(word < self.words.len());
+        debug_assert!(
+            word * 64 + (64 - mask.leading_zeros() as usize) <= self.bits || mask == 0,
+            "mask exceeds bitmap length"
+        );
+        self.words[word].fetch_or(mask, Ordering::AcqRel)
+    }
 }
 
 /// Backend per-packet bitmap + frontend chunk bitmap, coupled by per-chunk
@@ -221,6 +243,63 @@ impl TwoLevelBitmap {
         } else {
             None
         }
+    }
+
+    /// Records a whole word's worth of packet arrivals in one pass: one
+    /// `fetch_or` on the packet bitmap, one `fetch_add` per spanned chunk
+    /// (instead of per packet), and `on_chunk` called for every chunk this
+    /// batch completes. Returns `(newly_recorded, duplicate)` packet
+    /// counts. Semantically identical to calling
+    /// [`record_packet`](Self::record_packet) for each set bit of `mask`
+    /// — the §3.4.2 invariant (exactly one completion observation per
+    /// chunk, across racing workers) is preserved because arrival counts
+    /// come from the atomic `fetch_or`'s delta.
+    ///
+    /// `mask` bits must lie within `total_packets` (debug-asserted).
+    pub fn record_packet_word(
+        &self,
+        word: usize,
+        mask: u64,
+        mut on_chunk: impl FnMut(usize),
+    ) -> (u32, u32) {
+        if mask == 0 {
+            return (0, 0);
+        }
+        let base = word * 64;
+        debug_assert!(
+            base + (64 - mask.leading_zeros() as usize) <= self.total_packets,
+            "packet mask out of range"
+        );
+        let prev = self.packet_bits.set_word_bits(word, mask);
+        let new_bits = mask & !prev;
+        let dups = (mask & prev).count_ones();
+        if new_bits == 0 {
+            return (0, dups);
+        }
+        let ppc = self.packets_per_chunk as usize;
+        let lo_chunk = (base + new_bits.trailing_zeros() as usize) / ppc;
+        let hi_chunk = (base + 63 - new_bits.leading_zeros() as usize) / ppc;
+        for c in lo_chunk..=hi_chunk {
+            // Bits of this word belonging to chunk `c`.
+            let s = (c * ppc).max(base) - base;
+            let e = ((c + 1) * ppc).min(base + 64) - base;
+            let chunk_mask = if e - s == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << (e - s)) - 1) << s
+            };
+            let arrived_here = (new_bits & chunk_mask).count_ones();
+            if arrived_here == 0 {
+                continue;
+            }
+            let arrived =
+                self.chunk_arrivals[c].fetch_add(arrived_here, Ordering::AcqRel) + arrived_here;
+            if arrived == self.chunk_target(c) {
+                self.chunk_bits.set(c);
+                on_chunk(c);
+            }
+        }
+        (new_bits.count_ones(), dups)
     }
 
     /// The frontend chunk bitmap polled by reliability layers.
@@ -394,6 +473,107 @@ mod tests {
         assert_eq!(t.chunks().count_set(), 0);
         assert_eq!(t.record_packet(1), None);
         assert_eq!(t.record_packet(0), Some(0), "counter reset too");
+    }
+
+    #[test]
+    fn record_packet_word_matches_per_packet_reference() {
+        // Word-batched recording must be observationally identical to the
+        // per-packet path: same bitmaps, same chunk completions, same
+        // duplicate counts — across chunk sizes straddling word boundaries.
+        for &ppc in &[3u32, 16, 64, 100] {
+            let total = 200usize;
+            let batched = TwoLevelBitmap::new(total, ppc);
+            let reference = TwoLevelBitmap::new(total, ppc);
+            // Deterministic scattered arrival pattern with duplicates.
+            let mut state = 0x1234_5678u64;
+            let mut arrivals: Vec<usize> = Vec::new();
+            for _ in 0..300 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                arrivals.push((state >> 33) as usize % total);
+            }
+            let mut ref_chunks = Vec::new();
+            for &p in &arrivals {
+                if let Some(c) = reference.record_packet(p) {
+                    ref_chunks.push(c);
+                }
+            }
+            // Batch the same arrivals word by word, in arrival order per
+            // word (duplicates collapse inside a word's mask, so feed each
+            // occurrence as its own word-call to keep counts comparable).
+            let mut got_chunks = Vec::new();
+            let mut new_total = 0u32;
+            let mut dup_total = 0u32;
+            for &p in &arrivals {
+                let (n, d) =
+                    batched.record_packet_word(p / 64, 1u64 << (p % 64), |c| got_chunks.push(c));
+                new_total += n;
+                dup_total += d;
+            }
+            got_chunks.sort_unstable();
+            ref_chunks.sort_unstable();
+            assert_eq!(got_chunks, ref_chunks, "ppc={ppc}");
+            assert_eq!(
+                batched.packets().snapshot_words(),
+                reference.packets().snapshot_words(),
+                "ppc={ppc}"
+            );
+            assert_eq!(
+                batched.chunks().snapshot_words(),
+                reference.chunks().snapshot_words(),
+                "ppc={ppc}"
+            );
+            assert_eq!(new_total as usize + dup_total as usize, arrivals.len());
+        }
+    }
+
+    #[test]
+    fn record_packet_word_full_word_mask_spanning_chunks() {
+        // One call covering 64 packets across several 16-packet chunks:
+        // all spanned chunks complete in a single batch.
+        let t = TwoLevelBitmap::new(128, 16);
+        let mut done = Vec::new();
+        let (n, d) = t.record_packet_word(0, u64::MAX, |c| done.push(c));
+        assert_eq!((n, d), (64, 0));
+        assert_eq!(done, vec![0, 1, 2, 3]);
+        // Re-recording the same word is all duplicates, no new chunks.
+        let (n, d) = t.record_packet_word(0, u64::MAX, |_| panic!("no new chunks"));
+        assert_eq!((n, d), (0, 64));
+        assert!(!t.is_complete());
+        let (n, _) = t.record_packet_word(1, u64::MAX, |_| {});
+        assert_eq!(n, 64);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn concurrent_word_batches_complete_each_chunk_exactly_once() {
+        // Racing word-granular writers (the batched DPA workers): every
+        // chunk still publishes exactly once.
+        let t = Arc::new(TwoLevelBitmap::new(64 * 1024, 16));
+        let completions = Arc::new(AtomicU32::new(0));
+        std::thread::scope(|s| {
+            for worker in 0..4u64 {
+                let t = t.clone();
+                let completions = completions.clone();
+                s.spawn(move || {
+                    // Each worker owns a striped set of nibbles in every
+                    // word, so words are contended but bits are disjoint.
+                    let nibble_mask: u64 = (0..16)
+                        .map(|i| 0xFu64 << (i * 4))
+                        .enumerate()
+                        .filter(|(i, _)| (*i as u64) % 4 == worker)
+                        .map(|(_, m)| m)
+                        .fold(0, |a, m| a | m);
+                    for word in 0..(64 * 1024 / 64) {
+                        let (new, dup) = t.record_packet_word(word, nibble_mask, |_| {
+                            completions.fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert_eq!((new, dup), (16, 0), "disjoint bits must all be new");
+                    }
+                });
+            }
+        });
+        assert!(t.is_complete());
+        assert_eq!(completions.load(Ordering::Relaxed), 4096);
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub struct DpaConfig {
     pub ring_capacity: usize,
     /// Immediate layout.
     pub layout: ImmLayout,
+    /// CQEs drained per ring poll (§3.4.2's batched bitmap publishes):
+    /// each drained batch goes through
+    /// [`process_batch`](crate::DpaMsgTable::process_batch), which
+    /// coalesces bitmap-word updates and chunk publishes per message.
+    /// `1` reproduces the one-at-a-time baseline for A/B runs.
+    pub batch_budget: usize,
 }
 
 impl Default for DpaConfig {
@@ -37,6 +43,7 @@ impl Default for DpaConfig {
             msg_slots: 64,
             ring_capacity: 4096,
             layout: ImmLayout::default(),
+            batch_budget: 256,
         }
     }
 }
@@ -54,6 +61,7 @@ impl DpaEngine {
     /// Spawns the worker threads and returns the engine handle.
     pub fn start(cfg: DpaConfig) -> Self {
         assert!(cfg.workers >= 1);
+        assert!(cfg.batch_budget >= 1);
         let table = DpaMsgTable::new(cfg.msg_slots, cfg.layout);
         let rings: Vec<Arc<CqeRing>> = (0..cfg.workers)
             .map(|_| CqeRing::new(cfg.ring_capacity))
@@ -65,7 +73,8 @@ impl DpaEngine {
                 let ring = ring.clone();
                 let table = table.clone();
                 let stop = stop.clone();
-                std::thread::spawn(move || worker_loop(&table, &ring, &stop))
+                let budget = cfg.batch_budget;
+                std::thread::spawn(move || worker_loop(&table, &ring, &stop, budget))
             })
             .collect();
         DpaEngine {
@@ -119,25 +128,31 @@ impl DpaEngine {
     }
 }
 
-fn worker_loop(table: &DpaMsgTable, ring: &CqeRing, stop: &AtomicBool) -> ProcessStats {
+fn worker_loop(
+    table: &DpaMsgTable,
+    ring: &CqeRing,
+    stop: &AtomicBool,
+    budget: usize,
+) -> ProcessStats {
     let mut stats = ProcessStats::default();
+    let mut batch: Vec<crate::ring::DpaCqe> = Vec::with_capacity(budget);
     let mut idle: u32 = 0;
     loop {
-        match ring.pop() {
-            Some(cqe) => {
-                idle = 0;
-                table.process(cqe, &mut stats);
+        batch.clear();
+        if ring.pop_batch(&mut batch, budget) > 0 {
+            idle = 0;
+            // One batched pass: bitmap-word updates and chunk publishes
+            // coalesce per message instead of one RMW round per packet.
+            table.process_batch(&batch, &mut stats);
+        } else {
+            if stop.load(Ordering::Acquire) && ring.is_empty() {
+                return stats;
             }
-            None => {
-                if stop.load(Ordering::Acquire) && ring.is_empty() {
-                    return stats;
-                }
-                idle += 1;
-                if idle > 128 {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
+            idle += 1;
+            if idle > 128 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
             }
         }
     }
@@ -153,6 +168,7 @@ mod tests {
             msg_slots: 8,
             ring_capacity: 1024,
             layout: ImmLayout::default(),
+            batch_budget: 256,
         }
     }
 

@@ -59,6 +59,24 @@ impl CqeRing {
         self.queue.pop()
     }
 
+    /// Drains up to `budget` completions into `out`, returning how many
+    /// were taken — the §3.4.2 batched poll: one drain feeds one
+    /// [`process_batch`](crate::DpaMsgTable::process_batch) pass that
+    /// coalesces bitmap updates and chunk publishes.
+    pub fn pop_batch(&self, out: &mut Vec<DpaCqe>, budget: usize) -> usize {
+        let mut taken = 0;
+        while taken < budget {
+            match self.queue.pop() {
+                Some(cqe) => {
+                    out.push(cqe);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
+
     /// Entries currently queued.
     pub fn len(&self) -> usize {
         self.queue.len()

@@ -18,6 +18,7 @@ fn random_interleavings_with_drops_and_duplicates() {
             msg_slots: 8,
             ring_capacity: 8192,
             layout: ImmLayout::default(),
+            batch_budget: 256,
         });
         let l = eng.table().layout();
         let total = 2048usize;
@@ -79,6 +80,7 @@ fn parallel_messages_do_not_interfere() {
         msg_slots: 16,
         ring_capacity: 8192,
         layout: ImmLayout::default(),
+        batch_budget: 256,
     });
     let l = eng.table().layout();
     // 16 concurrent messages, interleaved packet streams.
@@ -103,4 +105,123 @@ fn parallel_messages_do_not_interfere() {
     assert_eq!(st.packets, 16 * 256);
     assert_eq!(st.chunks, 16 * 32);
     assert_eq!(st.duplicates, 0);
+}
+
+/// The batched datapath must be observationally identical to one-at-a-time
+/// processing: same stats, same missing sets — across adversarial streams
+/// mixing slots, duplicates, stale generations, nulls and bad offsets.
+#[test]
+fn process_batch_matches_single_cqe_reference() {
+    use sdr_dpa::{DpaMsgTable, ProcessStats};
+
+    for seed in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(0xBA7C + seed);
+        let layout = ImmLayout::default();
+        let batched = DpaMsgTable::new(4, layout);
+        let reference = DpaMsgTable::new(4, layout);
+        for t in [&batched, &reference] {
+            t.post(0, 3, 500, 16); // straddles word boundaries (500 pkts)
+            t.post(2, 1, 64, 64);
+        }
+
+        let mut stream: Vec<DpaCqe> = Vec::new();
+        for _ in 0..3000 {
+            let slot = *[0u32, 0, 0, 2, 3].choose(&mut rng).unwrap(); // 3 = never posted
+            let (total, generation) = match slot {
+                0 => (500u32, 3u32),
+                2 => (64, 1),
+                _ => (500, 0),
+            };
+            let pkt = rng.random_range(0..total + 8); // +8 → bad offsets
+            let generation = if rng.random_range(0..10) == 0 {
+                generation.wrapping_sub(1) // stale
+            } else {
+                generation
+            };
+            stream.push(DpaCqe {
+                imm: layout.encode(slot, pkt, 0),
+                generation,
+                null_write: rng.random_range(0..40) == 0,
+            });
+        }
+
+        let mut batch_stats = ProcessStats::default();
+        // Random batch boundaries, including batches of 1.
+        let mut i = 0;
+        while i < stream.len() {
+            let end = (i + rng.random_range(1usize..200)).min(stream.len());
+            batched.process_batch(&stream[i..end], &mut batch_stats);
+            i = end;
+        }
+        let mut ref_stats = ProcessStats::default();
+        for &cqe in &stream {
+            reference.process(cqe, &mut ref_stats);
+        }
+
+        assert_eq!(batch_stats, ref_stats, "seed {seed}");
+        for slot in [0usize, 2] {
+            assert_eq!(
+                batched.missing_packets(slot),
+                reference.missing_packets(slot),
+                "seed {seed} slot {slot}"
+            );
+        }
+    }
+}
+
+/// Engine-level A/B: a batch budget of 1 (the pre-batching behavior) and
+/// the default budget land the same final state under loss + duplication.
+#[test]
+fn batch_budget_does_not_change_outcomes() {
+    for budget in [1usize, 4, 256] {
+        let eng = DpaEngine::start(DpaConfig {
+            workers: 4,
+            msg_slots: 8,
+            ring_capacity: 8192,
+            layout: ImmLayout::default(),
+            batch_budget: budget,
+        });
+        let l = eng.table().layout();
+        let total = 2048usize;
+        eng.table().post(1, 2, total, 16);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut stream: Vec<DpaCqe> = Vec::new();
+        let mut expect_missing: Vec<usize> = Vec::new();
+        for pkt in 0..total {
+            let copies = match rng.random_range(0..10) {
+                0 => 0,
+                1..=7 => 1,
+                _ => 2,
+            };
+            if copies == 0 {
+                expect_missing.push(pkt);
+            }
+            for _ in 0..copies {
+                stream.push(DpaCqe {
+                    imm: l.encode(1, pkt as u32, 0),
+                    generation: 2,
+                    null_write: false,
+                });
+            }
+        }
+        stream.shuffle(&mut rng);
+        for cqe in stream {
+            eng.dispatch(cqe);
+        }
+        while eng.backlog() > 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(
+            eng.table().missing_packets(1),
+            expect_missing,
+            "budget {budget}"
+        );
+        let st = eng.shutdown();
+        assert_eq!(
+            st.packets as usize,
+            total - expect_missing.len(),
+            "budget {budget}"
+        );
+    }
 }

@@ -61,7 +61,23 @@ pub trait ErasureCode: Send + Sync {
 
     /// Reconstructs all missing **data** shards in place (`None` entries are
     /// erasures). Missing parity shards are also refilled when possible.
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError>;
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        self.reconstruct_into(shards, &mut |len| vec![0u8; len])
+    }
+
+    /// [`reconstruct`](Self::reconstruct) with caller-owned replacement
+    /// buffers: every missing shard is rebuilt into a buffer rented from
+    /// `alloc` instead of a fresh heap allocation, so a pooling caller
+    /// (e.g. the EC receiver's scratch) decodes without allocating.
+    ///
+    /// `alloc(len)` must return a **zeroed** buffer of exactly `len` bytes
+    /// (implementations accumulate into it). Rented buffers end up inside
+    /// `shards`; the caller reclaims them when it drains the shard table.
+    fn reconstruct_into(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        alloc: &mut dyn FnMut(usize) -> Vec<u8>,
+    ) -> Result<(), EcError>;
 }
 
 /// Validates a shard array shape: length `k+m`, all present shards the same

@@ -76,6 +76,52 @@ static NIB_LO: [[u8; 16]; 256] = NIBBLE_TABLES.0;
 /// `NIB_HI[c][x] = c·(x << 4)` for `x < 16`.
 static NIB_HI: [[u8; 16]; 256] = NIBBLE_TABLES.1;
 
+/// The 8×8 GF(2) bit-matrix (packed as the qword `GF2P8AFFINEQB` expects)
+/// that multiplies every byte by `c` in GF(2^8) mod 0x11D.
+///
+/// `GF2P8MULB` is useless here — it is hard-wired to the AES polynomial
+/// 0x11B — but multiplication by a constant is GF(2)-linear, so it is
+/// exactly an affine transform: `dst.bit[i] = parity(matrix.byte[7-i] &
+/// x)`, and we need `dst.bit[i] = Σ_k x_k · bit_i(c·2^k)`, i.e.
+/// `matrix.byte[7-i].bit[k] = bit_i(c·2^k)`.
+#[cfg(target_arch = "x86_64")]
+const fn gfni_matrix(c: u8) -> u64 {
+    let mut pow = [0u8; 8];
+    let mut k = 0;
+    while k < 8 {
+        pow[k] = gf_mul_const(c, 1 << k);
+        k += 1;
+    }
+    let mut bytes = [0u8; 8];
+    let mut i = 0;
+    while i < 8 {
+        let mut row = 0u8;
+        let mut k = 0;
+        while k < 8 {
+            row |= ((pow[k] >> i) & 1) << k;
+            k += 1;
+        }
+        bytes[7 - i] = row;
+        i += 1;
+    }
+    u64::from_le_bytes(bytes)
+}
+
+#[cfg(target_arch = "x86_64")]
+const fn build_gfni_matrices() -> [u64; 256] {
+    let mut m = [0u64; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        m[c] = gfni_matrix(c as u8);
+        c += 1;
+    }
+    m
+}
+
+/// `GFNI_MATRICES[c]` = affine matrix computing `x ↦ c·x` (mod 0x11D).
+#[cfg(target_arch = "x86_64")]
+static GFNI_MATRICES: [u64; 256] = build_gfni_matrices();
+
 // ---------------------------------------------------------------------------
 // Scalar reference kernels (256-byte product-table row walk).
 // ---------------------------------------------------------------------------
@@ -485,6 +531,127 @@ mod x86 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// x86_64 GFNI kernels: GF2P8AFFINEQB over 64-byte ZMM blocks. One affine
+// instruction evaluates c·x for 64 bytes — no nibble split, no table
+// shuffle — using the per-coefficient bit matrices in GFNI_MATRICES.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod gfni {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure GFNI + AVX-512F are available.
+    #[target_feature(enable = "gfni,avx512f")]
+    pub unsafe fn mul_add_gfni(dst: &mut [u8], src: &[u8], c: u8) {
+        if c == 0 {
+            return;
+        }
+        let mat = _mm512_set1_epi64(GFNI_MATRICES[c as usize] as i64);
+        let n = dst.len() & !63;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm512_loadu_si512(sp.add(i) as *const _);
+            let d = _mm512_loadu_si512(dp.add(i) as *const _);
+            let p = _mm512_gf2p8affine_epi64_epi8::<0>(s, mat);
+            _mm512_storeu_si512(dp.add(i) as *mut _, _mm512_xor_si512(d, p));
+            i += 64;
+        }
+        mul_add_scalar(&mut dst[n..], &src[n..], c);
+    }
+
+    /// # Safety
+    /// Caller must ensure GFNI + AVX-512F are available.
+    #[target_feature(enable = "gfni,avx512f")]
+    pub unsafe fn mul_gfni(dst: &mut [u8], src: &[u8], c: u8) {
+        if c == 0 {
+            dst.fill(0);
+            return;
+        }
+        let mat = _mm512_set1_epi64(GFNI_MATRICES[c as usize] as i64);
+        let n = dst.len() & !63;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm512_loadu_si512(sp.add(i) as *const _);
+            let p = _mm512_gf2p8affine_epi64_epi8::<0>(s, mat);
+            _mm512_storeu_si512(dp.add(i) as *mut _, p);
+            i += 64;
+        }
+        mul_scalar(&mut dst[n..], &src[n..], c);
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX-512F is available.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn xor_zmm(dst: &mut [u8], src: &[u8]) {
+        let n = dst.len() & !63;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm512_loadu_si512(sp.add(i) as *const _);
+            let d = _mm512_loadu_si512(dp.add(i) as *const _);
+            _mm512_storeu_si512(dp.add(i) as *mut _, _mm512_xor_si512(d, s));
+            i += 64;
+        }
+        xor_scalar(&mut dst[n..], &src[n..]);
+    }
+
+    /// # Safety
+    /// Caller must ensure GFNI + AVX-512F are available. Every `srcs[j]`
+    /// must be at least `dst.len()` long (checked by the safe wrapper).
+    #[target_feature(enable = "gfni,avx512f")]
+    pub unsafe fn mul_add_multi_gfni(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+        let n = dst.len() & !63;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let mut acc = _mm512_loadu_si512(dp.add(i) as *const _);
+            for (src, &c) in srcs.iter().zip(coeffs) {
+                if c == 0 {
+                    continue;
+                }
+                let s = _mm512_loadu_si512(src.as_ptr().add(i) as *const _);
+                if c == 1 {
+                    acc = _mm512_xor_si512(acc, s);
+                    continue;
+                }
+                let mat = _mm512_set1_epi64(GFNI_MATRICES[c as usize] as i64);
+                acc = _mm512_xor_si512(acc, _mm512_gf2p8affine_epi64_epi8::<0>(s, mat));
+            }
+            _mm512_storeu_si512(dp.add(i) as *mut _, acc);
+            i += 64;
+        }
+        for (src, &c) in srcs.iter().zip(coeffs) {
+            mul_add_scalar(&mut dst[n..], &src[n..], c);
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX-512F is available. Every `srcs[j]` must be
+    /// at least `dst.len()` long (checked by the safe wrapper).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn xor_multi_zmm(dst: &mut [u8], srcs: &[&[u8]]) {
+        let n = dst.len() & !63;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let mut acc = _mm512_loadu_si512(dp.add(i) as *const _);
+            for src in srcs {
+                acc = _mm512_xor_si512(acc, _mm512_loadu_si512(src.as_ptr().add(i) as *const _));
+            }
+            _mm512_storeu_si512(dp.add(i) as *mut _, acc);
+            i += 64;
+        }
+        for src in srcs {
+            xor_scalar(&mut dst[n..], &src[n..]);
+        }
+    }
+}
+
 // Safe wrappers: only ever installed in the vtable after feature detection.
 #[cfg(target_arch = "x86_64")]
 mod x86_entry {
@@ -521,6 +688,22 @@ mod x86_entry {
     }
     pub fn xor_multi_avx2(dst: &mut [u8], srcs: &[&[u8]]) {
         unsafe { x86::xor_multi_avx2(dst, srcs) }
+    }
+
+    pub fn mul_add_gfni(dst: &mut [u8], src: &[u8], c: u8) {
+        unsafe { gfni::mul_add_gfni(dst, src, c) }
+    }
+    pub fn mul_gfni(dst: &mut [u8], src: &[u8], c: u8) {
+        unsafe { gfni::mul_gfni(dst, src, c) }
+    }
+    pub fn xor_gfni(dst: &mut [u8], src: &[u8]) {
+        unsafe { gfni::xor_zmm(dst, src) }
+    }
+    pub fn mul_add_multi_gfni(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
+        unsafe { gfni::mul_add_multi_gfni(dst, srcs, coeffs) }
+    }
+    pub fn xor_multi_gfni(dst: &mut [u8], srcs: &[&[u8]]) {
+        unsafe { gfni::xor_multi_zmm(dst, srcs) }
     }
 }
 
@@ -734,6 +917,18 @@ static AVX2: Kernel = Kernel {
     xor_multi: x86_entry::xor_multi_avx2,
 };
 
+/// GFNI/AVX-512 tier: one `GF2P8AFFINEQB` per 64-byte block replaces the
+/// whole nibble-split-and-shuffle dance.
+#[cfg(target_arch = "x86_64")]
+static GFNI: Kernel = Kernel {
+    name: "gfni",
+    mul_add: x86_entry::mul_add_gfni,
+    mul: x86_entry::mul_gfni,
+    xor: x86_entry::xor_gfni,
+    mul_add_multi: x86_entry::mul_add_multi_gfni,
+    xor_multi: x86_entry::xor_multi_gfni,
+};
+
 #[cfg(target_arch = "aarch64")]
 static NEON: Kernel = Kernel {
     name: "neon",
@@ -754,6 +949,12 @@ fn detect_available() -> Vec<&'static Kernel> {
         }
         if std::arch::is_x86_feature_detected!("avx2") {
             found.push(&AVX2);
+        }
+        if std::arch::is_x86_feature_detected!("gfni")
+            && std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vbmi")
+        {
+            found.push(&GFNI);
         }
     }
     #[cfg(target_arch = "aarch64")]
@@ -900,6 +1101,26 @@ mod tests {
                 let expect = gf256::MUL[c][x];
                 let got = NIB_LO[c][x & 0xF] ^ NIB_HI[c][x >> 4];
                 assert_eq!(got, expect, "c={c} x={x}");
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn gfni_affine_matrices_encode_field_multiplication() {
+        // Software evaluation of the GF2P8AFFINEQB semantics:
+        // dst.bit[i] = parity(matrix.byte[7-i] & x). Every (c, x) pair must
+        // equal the product table without touching the instruction itself,
+        // so this holds even on hosts without GFNI.
+        for c in 0..256usize {
+            let m = GFNI_MATRICES[c].to_le_bytes();
+            for x in 0..256usize {
+                let mut y = 0u8;
+                for i in 0..8 {
+                    let parity = (m[7 - i] & x as u8).count_ones() & 1;
+                    y |= (parity as u8) << i;
+                }
+                assert_eq!(y, gf256::MUL[c][x], "c={c} x={x}");
             }
         }
     }

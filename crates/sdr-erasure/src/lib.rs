@@ -7,26 +7,34 @@
 //! equivalents:
 //!
 //! * [`gf256`] — compile-time GF(2^8) tables and the hot slice kernels.
-//! * [`kernel`] — runtime-dispatched SIMD tiers (SSSE3/AVX2 nibble-shuffle
-//!   on x86_64, NEON on aarch64, portable SWAR, scalar reference) behind
-//!   the [`Kernel`] vtable, plus fused multi-source variants.
+//! * [`kernel`] — runtime-dispatched SIMD tiers (GFNI `GF2P8AFFINEQB` and
+//!   SSSE3/AVX2 nibble-shuffle on x86_64, NEON on aarch64, portable SWAR,
+//!   scalar reference) behind the [`Kernel`] vtable, plus fused
+//!   multi-source variants.
 //! * [`Matrix`] — Vandermonde construction and Gauss–Jordan inversion.
 //! * [`ReedSolomon`] — systematic MDS code: recovers from **any** `m`
 //!   erasures among `k + m` shards; encode is cache-blocked into ~32 KiB
 //!   strips driven through the fused kernel.
 //! * [`XorCode`] — the paper's XOR modulo-group code: parity `i` is the XOR
 //!   of data blocks `j ≡ i (mod m)`; tolerates one loss per group.
+//! * [`pool`] — the persistent [`EncodePool`]: long-lived workers fed over
+//!   channels, with an async [`EncodePool::submit`]/[`PendingEncode::wait`]
+//!   split so reliability layers overlap encoding with injection (the
+//!   paper's spare-core model).
 //! * [`encode_parallel`] / [`encode_parallel_into`] — column-striped
 //!   multi-threaded encoding used to hide the encode cost behind injection
-//!   (Figure 11); the `_into` form writes caller-owned parity buffers and
+//!   (Figure 11); dispatches stripes to the pool (no per-call thread
+//!   spawn); the `_into` form writes caller-owned parity buffers and
 //!   allocates nothing in the single-thread path.
+//!   [`encode_parallel_into_spawn`] keeps the per-call `thread::scope`
+//!   baseline for A/B benches.
 //!
 //! # Kernel dispatch
 //!
 //! The widest tier the host supports is selected once at startup
 //! ([`Kernel::active`]); pin a tier with `SDR_GF256_KERNEL=scalar|swar|…`
 //! for A/B runs. Measured with `cargo bench -p sdr-bench --bench
-//! fig11_ec_encode` on the CI container (AVX2 x86_64, 1 core):
+//! fig11_ec_encode` on the CI container (GFNI/AVX-512 x86_64, 1 core):
 //!
 //! | tier   | `mul_add_slice` 64 KiB | MDS(32,8) encode, 1 thread |
 //! |--------|------------------------|----------------------------|
@@ -34,6 +42,7 @@
 //! | swar   | 0.58 GiB/s             | 0.07 GiB/s                 |
 //! | ssse3  | 17.8 GiB/s             | 1.48 GiB/s                 |
 //! | avx2   | 28.8 GiB/s             | 2.25 GiB/s (8.6× scalar)   |
+//! | gfni   | 34.7 GiB/s             | 3.79 GiB/s (14.6× scalar)  |
 //!
 //! XOR(32,8) serial encode reaches 18.7 GiB/s (≈150 Gbit/s) on the same
 //! core, consistent with the paper's claim that XOR hides 400 Gbit/s
@@ -46,13 +55,15 @@ pub mod gf256;
 pub mod kernel;
 pub mod matrix;
 pub mod parallel;
+pub mod pool;
 pub mod rs;
 pub mod xor;
 
 pub use codec::{EcError, ErasureCode};
 pub use kernel::Kernel;
 pub use matrix::Matrix;
-pub use parallel::{encode_parallel, encode_parallel_into};
+pub use parallel::{encode_parallel, encode_parallel_into, encode_parallel_into_spawn};
+pub use pool::{EncodeJob, EncodePool, PendingEncode};
 pub use rs::ReedSolomon;
 pub use xor::XorCode;
 

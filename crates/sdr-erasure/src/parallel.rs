@@ -4,10 +4,15 @@
 //! CPU cores (Section 4.1.2, Figure 11: XOR saturates 400 Gbit/s with 4
 //! cores, MDS needs ~8). Erasure codes are column-wise independent, so we
 //! split the shard length into per-thread stripes and encode each stripe
-//! concurrently with `std::thread::scope` — no locks, no shared mutable
-//! state.
+//! concurrently on the persistent [`EncodePool`] — no locks, no shared
+//! mutable state, and no per-call thread spawn.
+//!
+//! [`encode_parallel_into_spawn`] keeps the original per-call
+//! `std::thread::scope` implementation as the A/B baseline: the fig11
+//! bench pits it against the pooled path to measure the dispatch saving.
 
 use crate::codec::ErasureCode;
+use crate::pool::EncodePool;
 
 /// Stripe alignment: keep per-thread slices cache-line aligned.
 const STRIPE_ALIGN: usize = 64;
@@ -38,6 +43,37 @@ fn split_all<'a>(views: &mut Vec<&'a mut [u8]>, at: usize) -> Vec<&'a mut [u8]> 
 /// # Panics
 /// Panics when shard counts or lengths are inconsistent.
 pub fn encode_parallel_into(
+    code: &dyn ErasureCode,
+    data: &[&[u8]],
+    parity: &mut [&mut [u8]],
+    threads: usize,
+) {
+    assert_eq!(data.len(), code.data_shards());
+    assert_eq!(parity.len(), code.parity_shards());
+    let len = data.first().map_or(0, |d| d.len());
+    assert!(data.iter().all(|d| d.len() == len), "ragged data shards");
+    assert!(
+        parity.iter().all(|p| p.len() == len),
+        "ragged parity shards"
+    );
+    let threads = threads.max(1);
+
+    if threads == 1 || len < threads * STRIPE_ALIGN {
+        code.encode_into(data, parity);
+        return;
+    }
+
+    EncodePool::global().encode_striped(code, data, parity, threads);
+}
+
+/// The pre-pool implementation of [`encode_parallel_into`]: spawns fresh
+/// `std::thread::scope` threads on every call. Kept as the per-call-spawn
+/// baseline the fig11 bench compares the persistent pool against; not used
+/// on any production path.
+///
+/// # Panics
+/// Panics when shard counts or lengths are inconsistent.
+pub fn encode_parallel_into_spawn(
     code: &dyn ErasureCode,
     data: &[&[u8]],
     parity: &mut [&mut [u8]],
@@ -172,6 +208,28 @@ mod tests {
             for (p, &ptr) in parity.iter().zip(&ptrs) {
                 assert_eq!(p.as_ptr(), ptr, "parity buffer was reallocated");
             }
+        }
+    }
+
+    #[test]
+    fn pooled_path_matches_spawn_baseline() {
+        let code = ReedSolomon::new(8, 3);
+        let data = random_data(8, 96 * 1024 + 31);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        for threads in [2, 3, 8] {
+            let mut pooled = vec![vec![0u8; 96 * 1024 + 31]; 3];
+            let mut spawned = vec![vec![0u8; 96 * 1024 + 31]; 3];
+            {
+                let mut views: Vec<&mut [u8]> =
+                    pooled.iter_mut().map(|p| p.as_mut_slice()).collect();
+                encode_parallel_into(&code, &refs, &mut views, threads);
+            }
+            {
+                let mut views: Vec<&mut [u8]> =
+                    spawned.iter_mut().map(|p| p.as_mut_slice()).collect();
+                encode_parallel_into_spawn(&code, &refs, &mut views, threads);
+            }
+            assert_eq!(pooled, spawned, "threads={threads}");
         }
     }
 

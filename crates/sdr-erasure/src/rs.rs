@@ -106,17 +106,29 @@ impl ErasureCode for ReedSolomon {
         present.len() == self.k + self.m && present.iter().filter(|&&p| p).count() >= self.k
     }
 
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+    fn reconstruct_into(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        alloc: &mut dyn FnMut(usize) -> Vec<u8>,
+    ) -> Result<(), EcError> {
         let len = shard_len(shards, self.k + self.m)?;
         if shards.iter().all(|s| s.is_some()) {
             return Ok(());
         }
-        let present_idx: Vec<usize> = shards
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| i))
-            .collect();
-        if present_idx.len() < self.k {
+        // Survivor indices live on the stack (GF(256) bounds k + m), so the
+        // only allocations left on this path are the k×k submatrix and its
+        // inverse — O(k²) bytes, independent of the shard length.
+        let mut present_idx = [0usize; MAX_SHARDS];
+        let mut present = 0usize;
+        for (i, s) in shards.iter().enumerate() {
+            if s.is_some() {
+                if present < self.k {
+                    present_idx[present] = i;
+                }
+                present += 1;
+            }
+        }
+        if present < self.k {
             return Err(EcError::Unrecoverable);
         }
         let use_idx = &present_idx[..self.k];
@@ -127,25 +139,26 @@ impl ErasureCode for ReedSolomon {
         let inv = sub.inverse().ok_or(EcError::Unrecoverable)?;
 
         let kern = Kernel::active();
-        let missing_data: Vec<usize> = (0..self.k).filter(|&i| shards[i].is_none()).collect();
-        let mut recovered: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing_data.len());
-        {
-            let mut srcs: [&[u8]; MAX_SHARDS] = [&[]; MAX_SHARDS];
-            for (col, &src) in use_idx.iter().enumerate() {
-                srcs[col] = shards[src].as_ref().expect("present by construction");
+        let mut coeffs = [0u8; MAX_SHARDS];
+        for d in 0..self.k {
+            if shards[d].is_some() {
+                continue;
             }
-            let mut coeffs = [0u8; MAX_SHARDS];
-            for &d in &missing_data {
-                for (col, c) in coeffs[..self.k].iter_mut().enumerate() {
-                    *c = inv[(d, col)];
+            for (col, c) in coeffs[..self.k].iter_mut().enumerate() {
+                *c = inv[(d, col)];
+            }
+            let mut out = alloc(len);
+            debug_assert!(out.len() == len && out.iter().all(|&b| b == 0));
+            {
+                // `use_idx` only names originally-present shards, so filling
+                // slot `d` never invalidates a source of a later iteration.
+                let mut srcs: [&[u8]; MAX_SHARDS] = [&[]; MAX_SHARDS];
+                for (col, &src) in use_idx.iter().enumerate() {
+                    srcs[col] = shards[src].as_ref().expect("present by construction");
                 }
-                let mut out = vec![0u8; len];
                 kern.mul_add_multi(&mut out, &srcs[..self.k], &coeffs[..self.k]);
-                recovered.push((d, out));
             }
-        }
-        for (d, buf) in recovered {
-            shards[d] = Some(buf);
+            shards[d] = Some(out);
         }
 
         // Refill missing parity from the (now complete) data shards.
@@ -153,7 +166,8 @@ impl ErasureCode for ReedSolomon {
             if shards[self.k + p].is_some() {
                 continue;
             }
-            let mut out = vec![0u8; len];
+            let mut out = alloc(len);
+            debug_assert!(out.len() == len && out.iter().all(|&b| b == 0));
             {
                 let mut srcs: [&[u8]; MAX_SHARDS] = [&[]; MAX_SHARDS];
                 for (j, slot) in srcs[..self.k].iter_mut().enumerate() {

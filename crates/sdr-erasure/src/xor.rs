@@ -101,21 +101,28 @@ impl ErasureCode for XorCode {
         })
     }
 
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+    fn reconstruct_into(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        alloc: &mut dyn FnMut(usize) -> Vec<u8>,
+    ) -> Result<(), EcError> {
         let len = shard_len(shards, self.k + self.m)?;
-        let present: Vec<bool> = shards.iter().map(|s| s.is_some()).collect();
-        if !self.can_recover(&present) {
+        if !(0..self.m).all(|i| {
+            let missing_data = self.group(i).filter(|&j| shards[j].is_none()).count();
+            missing_data == 0 || (missing_data == 1 && shards[self.k + i].is_some())
+        }) {
             return Err(EcError::Unrecoverable);
         }
         for i in 0..self.m {
-            let missing: Vec<usize> = self.group(i).filter(|&j| shards[j].is_none()).collect();
-            match missing[..] {
-                [] => {}
-                [hole] => {
-                    let mut out = shards[self.k + i]
-                        .as_ref()
-                        .expect("checked by can_recover")
-                        .clone();
+            let mut holes = self.group(i).filter(|&j| shards[j].is_none());
+            match (holes.next(), holes.next()) {
+                (None, _) => {}
+                (Some(hole), None) => {
+                    // Rebuild into a rented buffer: parity ⊕ the group's
+                    // surviving data shards.
+                    let mut out = alloc(len);
+                    debug_assert!(out.len() == len && out.iter().all(|&b| b == 0));
+                    out.copy_from_slice(shards[self.k + i].as_ref().expect("checked above"));
                     xor_group_into(
                         Kernel::active(),
                         &mut out,
@@ -125,13 +132,14 @@ impl ErasureCode for XorCode {
                     );
                     shards[hole] = Some(out);
                 }
-                _ => unreachable!("can_recover admitted >1 hole"),
+                _ => unreachable!("recoverability check admitted >1 hole"),
             }
         }
         // Refill missing parity now that data is complete.
         for i in 0..self.m {
             if shards[self.k + i].is_none() {
-                let mut out = vec![0u8; len];
+                let mut out = alloc(len);
+                debug_assert!(out.len() == len && out.iter().all(|&b| b == 0));
                 for j in self.group(i) {
                     xor_slice(&mut out, shards[j].as_ref().expect("data complete"));
                 }

@@ -190,3 +190,24 @@ fn full_rs_encode_agrees_across_kernels() {
         assert_eq!(parity, active, "kernel={}", kernel.name());
     }
 }
+
+/// Hosts advertising GFNI + AVX-512 must actually register the `gfni` tier
+/// — otherwise CI would silently fall back to AVX2 and the differential
+/// coverage above would never exercise the affine kernels.
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn gfni_tier_registered_when_host_supports_it() {
+    let host_has = std::arch::is_x86_feature_detected!("gfni")
+        && std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512vbmi");
+    assert_eq!(
+        Kernel::by_name("gfni").is_some(),
+        host_has,
+        "gfni tier registration must match host feature detection"
+    );
+    if host_has {
+        // And it outranks AVX2 in the auto-selection order unless pinned.
+        let names: Vec<_> = Kernel::all().iter().map(|k| k.name()).collect();
+        assert_eq!(*names.last().unwrap(), "gfni");
+    }
+}

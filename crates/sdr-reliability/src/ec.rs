@@ -12,12 +12,37 @@
 //! `FTO = (M + ⌈M/R⌉)·T_INJ + β·RTT`; expiry NACKs the unresolved
 //! submessages, switching them to Selective Repeat (the paper's fallback
 //! scheme). A positive ACK releases the sender.
+//!
+//! # The streaming encode→inject pipeline
+//!
+//! The sender no longer stages all parity before the first send. Encoding
+//! runs on the persistent [`EncodePool`] (the paper's spare-core model,
+//! Fig 11) one submessage ahead of staging, while the protocol thread keeps
+//! injecting:
+//!
+//! ```text
+//!  sim thread      │ inject D0 D1 … D(L-1) │ stage+inject P0 │ P1 │ P2 │ …
+//!                  │      ▲                │     ▲           │
+//!  encode pool     │ [enc P0]──────────────┘ [enc P1]────────┘ [enc P2] …
+//!                  │
+//!  time-to-first-byte ≈ 0 (data needs no encode; parity i+1 encodes
+//!  while parity i injects — was: O(total parity) before the first byte)
+//! ```
+//!
+//! Two pooled buffer sets cycle through the pipeline (double buffering):
+//! while submessage *i*'s buffers travel through the pool, submessage
+//! *i−1*'s set is harvested, its parity copied to the staging region, and
+//! the set resubmitted for submessage *i+1*. [`EcStaging::Upfront`] keeps
+//! the stage-everything-first behavior as the measurable A/B baseline; both
+//! modes stage byte-identical parity.
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use sdr_core::{RecvHandle, SdrContext, SdrQp, SendHandle};
-use sdr_erasure::{encode_parallel_into, ErasureCode, ReedSolomon, XorCode};
+use sdr_erasure::{EncodeJob, EncodePool, ErasureCode, PendingEncode, ReedSolomon, XorCode};
 use sdr_sim::{Engine, QpAddr, SimTime};
 
 use crate::ack::CtrlMsg;
@@ -30,6 +55,20 @@ pub enum EcCodeChoice {
     Mds,
     /// XOR modulo-group code: one drop per group recoverable.
     Xor,
+}
+
+/// How the sender stages parity relative to injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EcStaging {
+    /// Encode every submessage before the first injection — the
+    /// pre-pipeline behavior, kept as the A/B baseline. Time-to-first-byte
+    /// is O(total parity encode).
+    Upfront,
+    /// Stream: submit submessage *i+1*'s encode to the [`EncodePool`]
+    /// while submessage *i* injects. Time-to-first-byte is O(1) — data
+    /// needs no encoding and the first parity encode overlaps the data
+    /// injections.
+    Streamed,
 }
 
 /// EC protocol tuning.
@@ -47,6 +86,8 @@ pub struct EcProtoConfig {
     pub fto: SimTime,
     /// Final-ACK repeats before releasing buffers.
     pub linger_acks: u32,
+    /// Parity staging discipline (default: [`EcStaging::Streamed`]).
+    pub staging: EcStaging,
 }
 
 impl EcProtoConfig {
@@ -70,6 +111,7 @@ impl EcProtoConfig {
             poll_interval: rtt / 8,
             fto: SimTime::from_secs_f64(fto_s),
             linger_acks: 25,
+            staging: EcStaging::Streamed,
         }
     }
 }
@@ -104,10 +146,10 @@ fn geometry(total_chunks: u64, k: usize, m: usize, code: EcCodeChoice) -> Vec<Su
         .collect()
 }
 
-fn make_code(choice: EcCodeChoice, k_eff: usize, m_eff: usize) -> Rc<dyn ErasureCode> {
+fn make_code(choice: EcCodeChoice, k_eff: usize, m_eff: usize) -> Arc<dyn ErasureCode> {
     match choice {
-        EcCodeChoice::Mds => Rc::new(ReedSolomon::new(k_eff, m_eff)),
-        EcCodeChoice::Xor => Rc::new(XorCode::new(k_eff, m_eff)),
+        EcCodeChoice::Mds => Arc::new(ReedSolomon::new(k_eff, m_eff)),
+        EcCodeChoice::Xor => Arc::new(XorCode::new(k_eff, m_eff)),
     }
 }
 
@@ -115,8 +157,9 @@ fn make_code(choice: EcCodeChoice, k_eff: usize, m_eff: usize) -> Rc<dyn Erasure
 /// has at most two (full submessages and the tail), and building a
 /// [`ReedSolomon`] involves a Vandermonde construction plus a matrix
 /// inversion that must not run per submessage, let alone per bitmap poll.
-fn codes_for(choice: EcCodeChoice, geoms: &[SubGeom]) -> Vec<Rc<dyn ErasureCode>> {
-    let mut cache: Vec<((usize, usize), Rc<dyn ErasureCode>)> = Vec::new();
+/// (`Arc`, not `Rc`: the sender ships codes to the encode pool's workers.)
+fn codes_for(choice: EcCodeChoice, geoms: &[SubGeom]) -> Vec<Arc<dyn ErasureCode>> {
+    let mut cache: Vec<((usize, usize), Arc<dyn ErasureCode>)> = Vec::new();
     geoms
         .iter()
         .map(|g| {
@@ -131,35 +174,19 @@ fn codes_for(choice: EcCodeChoice, geoms: &[SubGeom]) -> Vec<Rc<dyn ErasureCode>
         .collect()
 }
 
-/// Reusable staging for the EC hot paths. Chunk-sized buffers are rented
-/// for the duration of one decode (or one submessage encode) and returned,
-/// so the steady state performs no per-chunk heap allocation; presence
-/// flags live in retained `Vec`s that are cleared, never reallocated.
+/// A capped pool of chunk-sized byte buffers. Split out of [`EcScratch`]
+/// so a decode can rent buffers (via [`ErasureCode::reconstruct_into`])
+/// while the scratch's shard table is mutably borrowed.
 #[derive(Default)]
-pub struct EcScratch {
+struct BufPool {
     /// Pooled chunk buffers, capped at [`Self::cap`] entries.
     free: Vec<Vec<u8>>,
-    /// Shard table reused across decodes.
-    shards: Vec<Option<Vec<u8>>>,
-    /// Per-chunk presence flags reused across polls.
-    data_present: Vec<bool>,
-    parity_present: Vec<bool>,
-    present: Vec<bool>,
-    /// Upper bound on pooled buffers (decode paths can mint new buffers
-    /// inside `reconstruct`; the cap keeps the pool from growing without
-    /// bound when losses are frequent).
+    /// Upper bound on pooled buffers (the cap keeps the pool from growing
+    /// without bound when losses are frequent).
     cap: usize,
 }
 
-impl EcScratch {
-    /// A pool sized for submessages of `k + m` chunks.
-    pub fn new(k: usize, m: usize) -> Self {
-        EcScratch {
-            cap: 2 * (k + m),
-            ..EcScratch::default()
-        }
-    }
-
+impl BufPool {
     /// Rents a zeroed `len`-byte buffer, reusing a pooled one when
     /// available.
     fn take(&mut self, len: usize) -> Vec<u8> {
@@ -179,10 +206,53 @@ impl EcScratch {
             self.free.push(b);
         }
     }
+}
+
+/// Reusable staging for the EC hot paths. Chunk-sized buffers are rented
+/// for the duration of one decode (or one submessage encode) and returned,
+/// so the steady state performs no per-chunk heap allocation; presence
+/// flags live in retained `Vec`s that are cleared, never reallocated.
+/// Loss-path decodes rent their missing-shard buffers from the same pool
+/// through [`ErasureCode::reconstruct_into`], so even the reconstruction
+/// of dropped chunks allocates nothing once the pool is warm.
+#[derive(Default)]
+pub struct EcScratch {
+    /// The chunk-buffer pool decode rents from.
+    pool: BufPool,
+    /// Shard table reused across decodes.
+    shards: Vec<Option<Vec<u8>>>,
+    /// Per-chunk presence flags reused across polls.
+    data_present: Vec<bool>,
+    parity_present: Vec<bool>,
+    present: Vec<bool>,
+}
+
+impl EcScratch {
+    /// A pool sized for submessages of `k + m` chunks.
+    pub fn new(k: usize, m: usize) -> Self {
+        EcScratch {
+            pool: BufPool {
+                free: Vec::new(),
+                cap: 2 * (k + m),
+            },
+            ..EcScratch::default()
+        }
+    }
+
+    /// Rents a zeroed `len`-byte buffer, reusing a pooled one when
+    /// available.
+    fn take(&mut self, len: usize) -> Vec<u8> {
+        self.pool.take(len)
+    }
+
+    /// Returns a buffer to the pool (dropped when the pool is at cap).
+    fn put(&mut self, b: Vec<u8>) {
+        self.pool.put(b);
+    }
 
     /// Buffers currently pooled (test observability).
     pub fn pooled(&self) -> usize {
-        self.free.len()
+        self.pool.free.len()
     }
 }
 
@@ -193,6 +263,11 @@ pub struct EcReport {
     pub duration: SimTime,
     /// Fallback NACK rounds served.
     pub fallback_rounds: u64,
+    /// Wall-clock time from `EcSender::start` entry to the first data
+    /// injection — the host-side cost paid before the first byte leaves.
+    /// [`EcStaging::Upfront`] pays the full parity encode here;
+    /// [`EcStaging::Streamed`] pays ~one pool submission.
+    pub ttfb_wall: Duration,
 }
 
 struct EcSenderInner {
@@ -205,15 +280,101 @@ struct EcSenderInner {
     local_addr: u64,
     chunk_bytes: u64,
     geoms: Vec<SubGeom>,
+    /// One code instance per submessage, shared across identical shapes.
+    codes: Vec<Arc<dyn ErasureCode>>,
     parity_addr: u64,
     parity_offsets: Vec<u64>,
+    parity_total_bytes: u64,
     data_hdls: Vec<Option<SendHandle>>,
     parity_sent: Vec<bool>,
     next_send_seq: u64,
     start_time: Option<SimTime>,
+    started_wall: Instant,
+    ttfb_wall: Option<Duration>,
     fallback_rounds: u64,
     done: bool,
     done_cb: Option<Box<dyn FnOnce(&mut Engine, EcReport)>>,
+    // --- streaming encode pipeline state ---
+    /// Parity submessages already copied into the staging region.
+    pl_staged: Vec<bool>,
+    /// Next submessage index to submit to the encode pool.
+    pl_next_submit: usize,
+    /// The (single) in-flight encode: submessage index + pool handle.
+    pl_pending: Option<(usize, PendingEncode)>,
+    /// Recycled chunk-sized buffers cycling through encode jobs
+    /// (double-buffered: one set in flight, one being staged).
+    pl_chunks: Vec<Vec<u8>>,
+    /// Recycled `Vec<Vec<u8>>` containers for job data/parity tables.
+    pl_containers: Vec<Vec<Vec<u8>>>,
+}
+
+impl EcSenderInner {
+    /// Submits the next submessage's encode to the pool: rent buffers,
+    /// snapshot the data chunks, ship the job. No-op once all submitted.
+    fn submit_next_encode(&mut self) {
+        let idx = self.pl_next_submit;
+        if idx >= self.geoms.len() {
+            return;
+        }
+        debug_assert!(self.pl_pending.is_none(), "single in-flight encode");
+        let g = self.geoms[idx];
+        let chunk_len = self.chunk_bytes as usize;
+        let mut data = self.pl_containers.pop().unwrap_or_default();
+        for j in 0..g.k_eff {
+            let mut b = self.pl_chunks.pop().unwrap_or_default();
+            b.resize(chunk_len, 0);
+            self.ctx.read_buffer_into(
+                self.local_addr + (g.chunk_start + j as u64) * self.chunk_bytes,
+                &mut b,
+            );
+            data.push(b);
+        }
+        let mut parity = self.pl_containers.pop().unwrap_or_default();
+        for _ in 0..g.m_eff {
+            let mut b = self.pl_chunks.pop().unwrap_or_default();
+            b.resize(chunk_len, 0);
+            parity.push(b);
+        }
+        let job = EncodeJob {
+            code: self.codes[idx].clone(),
+            data,
+            parity,
+        };
+        self.pl_pending = Some((idx, EncodePool::global().submit(job, 1)));
+        self.pl_next_submit = idx + 1;
+    }
+
+    /// Harvests the in-flight encode: wait for the pool, copy parity into
+    /// the staging region, recycle the buffers, and immediately submit the
+    /// next submessage so its encode overlaps the injection of this one.
+    fn harvest_one(&mut self) {
+        let (idx, pending) = self.pl_pending.take().expect("an encode is in flight");
+        let EncodeJob {
+            code: _,
+            mut data,
+            mut parity,
+        } = pending.wait();
+        let off = self.parity_offsets[idx];
+        for (p, shard) in parity.iter().enumerate() {
+            self.ctx
+                .write_buffer(self.parity_addr + off + p as u64 * self.chunk_bytes, shard);
+        }
+        self.pl_staged[idx] = true;
+        self.pl_chunks.append(&mut data);
+        self.pl_chunks.append(&mut parity);
+        self.pl_containers.push(data);
+        self.pl_containers.push(parity);
+        self.submit_next_encode();
+    }
+
+    /// Drains the pipeline until submessage `p`'s parity is staged.
+    /// Submissions are strictly in order, so this harvests at most
+    /// `p − staged_count + 1` encodes.
+    fn ensure_parity_staged(&mut self, p: usize) {
+        while !self.pl_staged[p] {
+            self.harvest_one();
+        }
+    }
 }
 
 /// The EC sender protocol object.
@@ -237,6 +398,7 @@ impl EcSender {
         cfg: EcProtoConfig,
         done: impl FnOnce(&mut Engine, EcReport) + 'static,
     ) -> EcSender {
+        let started_wall = Instant::now();
         let chunk_bytes = qp.config().chunk_bytes;
         assert!(
             msg_bytes.is_multiple_of(chunk_bytes),
@@ -249,39 +411,16 @@ impl EcSender {
             "need 2L ≤ msg_slots in-flight descriptors"
         );
 
-        // Stage parity in local memory: encode every submessage up front
-        // (on hardware this overlaps injection on spare cores, Fig 11).
-        // Chunk staging and parity buffers are reused across submessages —
-        // the only allocations are the one-time staging set.
+        // Parity staging region in local memory. Parity lands here as the
+        // pipeline harvests encodes — streamed one submessage ahead of the
+        // sends by default, or all up front under `EcStaging::Upfront`.
         let codes = codes_for(cfg.code, &geoms);
         let total_parity_chunks: u64 = geoms.iter().map(|g| g.m_eff as u64).sum();
         let parity_addr = ctx.alloc_buffer(total_parity_chunks * chunk_bytes);
         let mut parity_offsets = Vec::with_capacity(geoms.len());
         let mut off = 0u64;
-        let mut data_bufs: Vec<Vec<u8>> = Vec::new();
-        let mut parity_bufs: Vec<Vec<u8>> = Vec::new();
-        for (g, code) in geoms.iter().zip(&codes) {
+        for g in &geoms {
             parity_offsets.push(off);
-            while data_bufs.len() < g.k_eff {
-                data_bufs.push(vec![0u8; chunk_bytes as usize]);
-            }
-            while parity_bufs.len() < g.m_eff {
-                parity_bufs.push(vec![0u8; chunk_bytes as usize]);
-            }
-            for (j, buf) in data_bufs[..g.k_eff].iter_mut().enumerate() {
-                ctx.read_buffer_into(local_addr + (g.chunk_start + j as u64) * chunk_bytes, buf);
-            }
-            let refs: Vec<&[u8]> = data_bufs[..g.k_eff].iter().map(|d| d.as_slice()).collect();
-            {
-                let mut views: Vec<&mut [u8]> = parity_bufs[..g.m_eff]
-                    .iter_mut()
-                    .map(|p| p.as_mut_slice())
-                    .collect();
-                encode_parallel_into(code.as_ref(), &refs, &mut views, 1);
-            }
-            for (p, shard) in parity_bufs[..g.m_eff].iter().enumerate() {
-                ctx.write_buffer(parity_addr + off + p as u64 * chunk_bytes, shard);
-            }
             off += g.m_eff as u64 * chunk_bytes;
         }
 
@@ -294,16 +433,37 @@ impl EcSender {
             local_addr,
             chunk_bytes,
             geoms,
+            codes,
             parity_addr,
             parity_offsets,
+            parity_total_bytes: total_parity_chunks * chunk_bytes,
             data_hdls: vec![None; l],
             parity_sent: vec![false; l],
             next_send_seq: qp.next_send_seq(),
             start_time: None,
+            started_wall,
+            ttfb_wall: None,
             fallback_rounds: 0,
             done: false,
             done_cb: Some(Box::new(done)),
+            pl_staged: vec![false; l],
+            pl_next_submit: 0,
+            pl_pending: None,
+            pl_chunks: Vec::new(),
+            pl_containers: Vec::new(),
         }));
+
+        // Prime the pipeline: submessage 0's encode starts on the pool
+        // before any CTS lands. Upfront mode drains it all here (the
+        // pre-pipeline behavior): the first byte then waits on the entire
+        // parity encode.
+        {
+            let mut i = inner.borrow_mut();
+            i.submit_next_encode();
+            if cfg.staging == EcStaging::Upfront && l > 0 {
+                i.ensure_parity_staged(l - 1);
+            }
+        }
 
         // Control handler: positive ACK finishes; NACK selective-repeats.
         {
@@ -332,6 +492,22 @@ impl EcSender {
         self.inner.borrow().done
     }
 
+    /// Raw bytes of the whole parity staging region, draining the encode
+    /// pipeline first so every submessage's parity is staged. Test
+    /// observability: the streamed and upfront senders must stage
+    /// byte-identical parity.
+    pub fn staged_parity(&self) -> Vec<u8> {
+        let mut i = self.inner.borrow_mut();
+        while i.pl_pending.is_some() || i.pl_next_submit < i.geoms.len() {
+            if i.pl_pending.is_none() {
+                i.submit_next_encode();
+            }
+            i.harvest_one();
+        }
+        let (addr, len) = (i.parity_addr, i.parity_total_bytes);
+        i.ctx.read_buffer(addr, len as usize)
+    }
+
     fn pump_sends(inner: &Rc<RefCell<EcSenderInner>>, eng: &mut Engine) {
         let mut i = inner.borrow_mut();
         if i.done {
@@ -348,7 +524,9 @@ impl EcSender {
                 break;
             }
             if idx < l {
-                // Data submessage idx as a streaming send.
+                // Data submessage idx as a streaming send. Data needs no
+                // encoding, so the first byte leaves while submessage 0's
+                // parity is still encoding on the pool.
                 let g = i.geoms[idx];
                 let addr = i.local_addr + g.chunk_start * i.chunk_bytes;
                 let len = g.k_eff as u64 * i.chunk_bytes;
@@ -360,10 +538,14 @@ impl EcSender {
                 i.data_hdls[idx] = Some(hdl);
                 if i.start_time.is_none() {
                     i.start_time = Some(eng.now());
+                    i.ttfb_wall = Some(i.started_wall.elapsed());
                 }
             } else {
-                // Parity submessage as a one-shot send.
+                // Parity submessage as a one-shot send; harvest the
+                // pipeline up to it first (streamed mode stages parity p
+                // here while p+1 encodes on the pool).
                 let p = idx - l;
+                i.ensure_parity_staged(p);
                 let g = i.geoms[p];
                 let addr = i.parity_addr + i.parity_offsets[p];
                 let len = g.m_eff as u64 * i.chunk_bytes;
@@ -406,6 +588,7 @@ impl EcSender {
         let report = EcReport {
             duration: eng.now().saturating_sub(i.start_time.unwrap_or(eng.now())),
             fallback_rounds: i.fallback_rounds,
+            ttfb_wall: i.ttfb_wall.unwrap_or_default(),
         };
         let _ = &i.ctx; // staging buffer lives for the simulation's duration
         if let Some(cb) = i.done_cb.take() {
@@ -436,7 +619,7 @@ struct EcReceiverInner {
     chunk_bytes: u64,
     geoms: Vec<SubGeom>,
     /// One code instance per submessage, shared across identical shapes.
-    codes: Vec<Rc<dyn ErasureCode>>,
+    codes: Vec<Arc<dyn ErasureCode>>,
     /// Pooled shard staging for the decode hot path.
     scratch: EcScratch,
     data_hdls: Vec<RecvHandle>,
@@ -677,9 +860,15 @@ impl EcReceiver {
                     i.scratch.shards.push(None);
                 }
             }
-            i.codes[s]
-                .reconstruct(&mut i.scratch.shards)
-                .expect("can_recover checked");
+            {
+                // Missing shards are rebuilt into buffers rented from the
+                // same scratch pool (`reconstruct_into`), so the loss path
+                // allocates nothing once the pool is warm.
+                let EcScratch { pool, shards, .. } = &mut i.scratch;
+                i.codes[s]
+                    .reconstruct_into(shards, &mut |len| pool.take(len))
+                    .expect("can_recover checked");
+            }
             // Write recovered data chunks back into the user buffer.
             for c in 0..g.k_eff {
                 if !i.scratch.data_present[c] {
@@ -747,8 +936,8 @@ mod tests {
         let geoms = geometry(10, 4, 2, EcCodeChoice::Mds);
         let codes = codes_for(EcCodeChoice::Mds, &geoms);
         assert_eq!(codes.len(), 3);
-        assert!(Rc::ptr_eq(&codes[0], &codes[1]));
-        assert!(!Rc::ptr_eq(&codes[0], &codes[2]));
+        assert!(Arc::ptr_eq(&codes[0], &codes[1]));
+        assert!(!Arc::ptr_eq(&codes[0], &codes[2]));
     }
 
     #[test]

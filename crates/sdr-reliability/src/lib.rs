@@ -28,7 +28,7 @@ pub mod sr;
 pub use ack::{build_sr_ack, CtrlMsg, MAX_NACKS, MAX_SACK_BITS};
 pub use advisor::{recommend, Candidate, Recommendation, Scheme};
 pub use control::ControlEndpoint;
-pub use ec::{EcCodeChoice, EcProtoConfig, EcReceiver, EcRecvStats, EcReport, EcSender};
+pub use ec::{EcCodeChoice, EcProtoConfig, EcReceiver, EcRecvStats, EcReport, EcSender, EcStaging};
 pub use sr::{SrProtoConfig, SrReceiver, SrReport, SrSender};
 
 #[cfg(test)]

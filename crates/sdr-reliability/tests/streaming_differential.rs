@@ -1,0 +1,195 @@
+//! Differential test for the streaming EC sender: under every loss
+//! pattern, [`EcStaging::Streamed`] must deliver byte-identical data and
+//! stage byte-identical parity to the [`EcStaging::Upfront`] baseline —
+//! the pipeline changes *when* parity is encoded, never *what*.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sdr_core::testkit::{pattern, sdr_pair};
+use sdr_core::SdrConfig;
+use sdr_reliability::{
+    ControlEndpoint, EcCodeChoice, EcProtoConfig, EcReceiver, EcRecvStats, EcSender, EcStaging,
+};
+use sdr_sim::LinkConfig;
+
+fn cfg() -> SdrConfig {
+    SdrConfig {
+        max_msg_bytes: 1 << 20,
+        msg_slots: 64,
+        chunk_bytes: 64 * 1024,
+        channels: 2,
+        generations: 2,
+        ..SdrConfig::default()
+    }
+}
+
+struct Outcome {
+    delivered: Vec<u8>,
+    parity: Vec<u8>,
+    stats: EcRecvStats,
+    sender_done: bool,
+}
+
+fn run_one(
+    staging: EcStaging,
+    code: EcCodeChoice,
+    k: usize,
+    m: usize,
+    p_drop: f64,
+    seed: u64,
+    msg: u64,
+) -> Outcome {
+    let link = LinkConfig::wan(50.0, 8e9, p_drop).with_seed(seed);
+    let mut p = sdr_pair(link, cfg(), 64 << 20);
+    let rtt = p.fabric.rtt(p.node_a, p.node_b).unwrap();
+    let data = pattern(msg as usize, seed ^ 0x5EED);
+    let src = p.ctx_a.alloc_buffer(msg);
+    let dst = p.ctx_b.alloc_buffer(msg);
+    p.ctx_a.write_buffer(src, &data);
+
+    let ctrl_a = Rc::new(ControlEndpoint::new(&p.fabric, p.node_a));
+    let ctrl_b = Rc::new(ControlEndpoint::new(&p.fabric, p.node_b));
+    let model_ch = sdr_model::Channel::new(8e9, rtt.as_secs_f64(), p_drop);
+    let mut proto = EcProtoConfig::for_channel(k, m, code, &model_ch, msg, rtt);
+    proto.staging = staging;
+    proto.linger_acks = 60;
+
+    let done = Rc::new(RefCell::new(false));
+    let d = done.clone();
+    let tx = EcSender::start(
+        &mut p.eng,
+        &p.qp_a,
+        &p.ctx_a,
+        ctrl_a.clone(),
+        ctrl_b.addr(),
+        src,
+        msg,
+        proto,
+        move |_e, _rep| *d.borrow_mut() = true,
+    );
+    let stats = Rc::new(RefCell::new(EcRecvStats::default()));
+    let s2 = stats.clone();
+    EcReceiver::start(
+        &mut p.eng,
+        &p.qp_b,
+        &p.ctx_b,
+        ctrl_b,
+        ctrl_a.addr(),
+        dst,
+        msg,
+        proto,
+        move |_e, _t, st| *s2.borrow_mut() = st,
+    );
+    p.eng.set_event_limit(80_000_000);
+    p.eng.run();
+
+    let final_stats = *stats.borrow();
+    let sender_done = *done.borrow();
+    Outcome {
+        delivered: p.ctx_b.read_buffer(dst, msg as usize),
+        parity: tx.staged_parity(),
+        stats: final_stats,
+        sender_done,
+    }
+}
+
+/// Streamed and upfront staging agree bit-for-bit on delivery and parity
+/// across code families, tails, and loss rates (including loss-free).
+#[test]
+fn streamed_sender_matches_staged_sender() {
+    let cases = [
+        // (code, k, m, p_drop, seed, msg_bytes)
+        (EcCodeChoice::Mds, 4, 2, 0.0, 11u64, 1u64 << 20),
+        (EcCodeChoice::Mds, 4, 2, 0.05, 12, 1 << 20),
+        (EcCodeChoice::Mds, 3, 2, 0.10, 13, 832 * 1024), // 13 chunks: tail submessage
+        (EcCodeChoice::Xor, 4, 2, 0.02, 14, 1 << 20),
+        (EcCodeChoice::Xor, 3, 1, 0.08, 15, 832 * 1024),
+    ];
+    for (code, k, m, p_drop, seed, msg) in cases {
+        let streamed = run_one(EcStaging::Streamed, code, k, m, p_drop, seed, msg);
+        let staged = run_one(EcStaging::Upfront, code, k, m, p_drop, seed, msg);
+        let tag = format!("code={code:?} k={k} m={m} p={p_drop} seed={seed}");
+
+        assert!(streamed.sender_done, "{tag}: streamed sender finished");
+        assert!(staged.sender_done, "{tag}: staged sender finished");
+        let want = pattern(msg as usize, seed ^ 0x5EED);
+        assert_eq!(streamed.delivered, want, "{tag}: streamed delivery intact");
+        assert_eq!(staged.delivered, want, "{tag}: staged delivery intact");
+        assert_eq!(
+            streamed.parity, staged.parity,
+            "{tag}: staged parity bytes identical"
+        );
+        // Same sim inputs → the receiver resolves identically.
+        assert_eq!(
+            (
+                streamed.stats.complete_submessages,
+                streamed.stats.decoded_submessages
+            ),
+            (
+                staged.stats.complete_submessages,
+                staged.stats.decoded_submessages
+            ),
+            "{tag}: resolution path identical"
+        );
+    }
+}
+
+/// The streamed sender's wall-clock time-to-first-byte must not scale with
+/// the message's total parity the way upfront staging does. (Asserted
+/// loosely — CI containers are noisy — via the report's `ttfb_wall`.)
+#[test]
+fn streamed_ttfb_does_not_pay_full_staging() {
+    let msg = 1u64 << 20;
+    let report = |staging: EcStaging| {
+        let link = LinkConfig::wan(50.0, 8e9, 0.0).with_seed(77);
+        let mut p = sdr_pair(link, cfg(), 64 << 20);
+        let rtt = p.fabric.rtt(p.node_a, p.node_b).unwrap();
+        let src = p.ctx_a.alloc_buffer(msg);
+        let dst = p.ctx_b.alloc_buffer(msg);
+        p.ctx_a.write_buffer(src, &pattern(msg as usize, 9));
+        let ctrl_a = Rc::new(ControlEndpoint::new(&p.fabric, p.node_a));
+        let ctrl_b = Rc::new(ControlEndpoint::new(&p.fabric, p.node_b));
+        let model_ch = sdr_model::Channel::new(8e9, rtt.as_secs_f64(), 0.0);
+        let mut proto = EcProtoConfig::for_channel(4, 2, EcCodeChoice::Mds, &model_ch, msg, rtt);
+        proto.staging = staging;
+        let rep = Rc::new(RefCell::new(None));
+        let r2 = rep.clone();
+        EcSender::start(
+            &mut p.eng,
+            &p.qp_a,
+            &p.ctx_a,
+            ctrl_a.clone(),
+            ctrl_b.addr(),
+            src,
+            msg,
+            proto,
+            move |_e, r| *r2.borrow_mut() = Some(r),
+        );
+        EcReceiver::start(
+            &mut p.eng,
+            &p.qp_b,
+            &p.ctx_b,
+            ctrl_b,
+            ctrl_a.addr(),
+            dst,
+            msg,
+            proto,
+            |_e, _t, _st| {},
+        );
+        p.eng.set_event_limit(30_000_000);
+        p.eng.run();
+        let taken = rep.borrow_mut().take();
+        taken.expect("sender finished")
+    };
+    let streamed = report(EcStaging::Streamed);
+    let staged = report(EcStaging::Upfront);
+    // Both measured; the streamed TTFB must not exceed the staged one by
+    // more than scheduling noise (it skips the full-message encode wait).
+    assert!(
+        streamed.ttfb_wall <= staged.ttfb_wall + std::time::Duration::from_millis(5),
+        "streamed TTFB {:?} should not exceed staged TTFB {:?}",
+        streamed.ttfb_wall,
+        staged.ttfb_wall
+    );
+}

@@ -1,9 +1,238 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Provides [`queue::ArrayQueue`], the only item this workspace uses: a
-//! bounded lock-free MPMC queue implemented with Dmitry Vyukov's
-//! sequence-number ring algorithm — the same design the real crate uses —
-//! so the DPA completion ring keeps its lock-free fast path.
+//! Provides the two items this workspace uses:
+//!
+//! * [`queue::ArrayQueue`] — a bounded lock-free MPMC queue implemented
+//!   with Dmitry Vyukov's sequence-number ring algorithm — the same design
+//!   the real crate uses — so the DPA completion ring keeps its lock-free
+//!   fast path.
+//! * [`channel`] — MPMC channels with disconnect semantics
+//!   (`unbounded`, `Sender`/`Receiver`, blocking `recv`), the subset the
+//!   persistent erasure-encode worker pool is built on.
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels.
+    //!
+    //! API-compatible subset of `crossbeam-channel`: cloneable [`Sender`]
+    //! and [`Receiver`] halves sharing one FIFO, blocking [`Receiver::recv`]
+    //! that wakes on disconnect, and `Err` results (never panics) once the
+    //! other side hangs up. Implemented with a `Mutex<VecDeque>` + `Condvar`
+    //! rather than the real crate's lock-free core — worker pools block in
+    //! `recv` anyway, so the lock is not on a hot path.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// hands the unsent value back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// No message is queued and every sender is gone.
+        Disconnected,
+    }
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half of a channel. Cloning adds another producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Cloning adds another consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing (and returning it) when every
+        /// receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.shared
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .push_back(value);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake all blocked receivers so they observe
+                // the disconnect instead of sleeping forever.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .expect("channel mutex poisoned");
+            }
+        }
+
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel mutex poisoned");
+            match queue.pop_front() {
+                Some(v) => Ok(v),
+                None if self.shared.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_send_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn recv_unblocks_on_sender_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_receivers_drop() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn mpmc_each_message_delivered_once() {
+            let (tx, rx) = unbounded::<usize>();
+            let total = 4 * 1000;
+            let sum = std::sync::Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|s| {
+                for p in 0..4 {
+                    let tx = tx.clone();
+                    s.spawn(move || {
+                        for i in 0..1000 {
+                            tx.send(p * 1000 + i).unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                for _ in 0..4 {
+                    let rx = rx.clone();
+                    let sum = sum.clone();
+                    s.spawn(move || {
+                        while let Ok(v) = rx.recv() {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                    });
+                }
+                drop(rx);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), total * (total - 1) / 2);
+        }
+    }
+}
 
 pub mod queue {
     //! Concurrent queues.
