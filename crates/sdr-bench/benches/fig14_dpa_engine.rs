@@ -23,6 +23,7 @@ fn cfg(msg_bytes: u64, messages: u64) -> LoopbackConfig {
         messages,
         drop_rate: 0.0,
         seed: 1,
+        batch_repost: false,
     }
 }
 

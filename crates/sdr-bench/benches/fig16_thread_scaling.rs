@@ -32,6 +32,7 @@ fn bench_scaling(c: &mut Criterion) {
                     messages: MESSAGES,
                     drop_rate: 0.0,
                     seed: 5,
+                    batch_repost: false,
                 }))
             })
         });

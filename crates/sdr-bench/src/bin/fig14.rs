@@ -30,6 +30,7 @@ fn cfg(msg_bytes: u64, workers: usize, messages: u64, batch_budget: usize) -> Lo
         messages,
         drop_rate: 0.0,
         seed: 1,
+        batch_repost: false,
     }
 }
 

@@ -40,6 +40,7 @@ fn main() {
             messages: 512,
             drop_rate: 0.0,
             seed: 2,
+            batch_repost: false,
         };
         let r = run_loopback(cfg);
         table_row(&[

@@ -64,6 +64,7 @@ fn run_loopback_mode(opts: &HashMap<String, String>) {
         messages: get(opts, "messages", 128u64),
         drop_rate: get(opts, "p-drop", 0.0f64),
         seed: get(opts, "seed", 1u64),
+        batch_repost: false,
     };
     println!(
         "# sdr_perftest loopback: {} msgs × {} B, MTU {}, chunk {}, {} workers, {} in-flight",

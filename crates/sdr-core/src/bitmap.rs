@@ -215,6 +215,12 @@ impl TwoLevelBitmap {
         self.total_chunks
     }
 
+    /// Packets per frontend chunk (the shape parameter a slot-recycling
+    /// repost compares before reusing this bitmap in place).
+    pub fn packets_per_chunk(&self) -> u32 {
+        self.packets_per_chunk
+    }
+
     /// Packets expected in chunk `c` (handles the partial last chunk).
     pub fn chunk_target(&self, c: usize) -> u32 {
         debug_assert!(c < self.total_chunks);

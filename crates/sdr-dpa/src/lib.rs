@@ -34,4 +34,4 @@ pub mod table;
 pub use engine::{DpaConfig, DpaEngine};
 pub use loopback::{run_loopback, LoopbackConfig, ThroughputReport};
 pub use ring::{CqeRing, DpaCqe};
-pub use table::{DpaMsgTable, ProcessStats};
+pub use table::{DpaMsgTable, ProcessStats, SlotPost};

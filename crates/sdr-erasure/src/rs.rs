@@ -6,6 +6,9 @@
 //! rows are the identity (systematic form), the standard construction used
 //! by ISA-L and other storage codecs.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
 use crate::codec::{shard_len, EcError, ErasureCode};
 use crate::kernel::{Kernel, STRIP_BYTES};
 use crate::matrix::Matrix;
@@ -14,6 +17,84 @@ use crate::matrix::Matrix;
 /// on the stack — no per-call allocation in the encode path.
 const MAX_SHARDS: usize = 256;
 
+/// Decode-matrix cache entries retained per code (small: under steady
+/// loss the survivor set repeats across polls, so a handful of patterns
+/// covers almost every decode).
+const DECODE_CACHE_CAP: usize = 8;
+
+/// An LRU of inverted `k × k` survivor submatrices, keyed by the survivor
+/// index set. Reconstruction inverts the encode rows of the `k` shards it
+/// holds — O(k³) work that repeats identically whenever the same erasure
+/// pattern recurs, which is the common case under steady loss (the same
+/// chunk positions of a striped message fail together, and the EC receiver
+/// decodes many submessages with the same drop shape). Shared across
+/// clones of the code and safe from the encode pool's worker threads.
+struct DecodeCache {
+    /// `(survivor indices, inverse)`, most-recently-used last.
+    entries: Mutex<Vec<(Vec<u8>, Arc<Matrix>)>>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DecodeCache {
+    fn new(cap: usize) -> Self {
+        DecodeCache {
+            entries: Mutex::new(Vec::with_capacity(cap)),
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached inverse for `survivors`, or `invert()`'s result (cached
+    /// on success). `None` when the submatrix is singular — never cached;
+    /// with per-key success this cannot happen for MDS codes, but the
+    /// cache stays agnostic.
+    fn get_or_insert(
+        &self,
+        survivors: &[u8],
+        invert: impl FnOnce() -> Option<Matrix>,
+    ) -> Option<Arc<Matrix>> {
+        if self.cap == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return invert().map(Arc::new);
+        }
+        {
+            let mut e = self.entries.lock().expect("decode cache poisoned");
+            if let Some(pos) = e.iter().position(|(key, _)| key.as_slice() == survivors) {
+                let entry = e.remove(pos);
+                let inv = entry.1.clone();
+                e.push(entry); // move to MRU
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(inv);
+            }
+        }
+        // Invert outside the lock: concurrent decoders of distinct
+        // patterns don't serialize on the O(k³) work.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let inv = Arc::new(invert()?);
+        let mut e = self.entries.lock().expect("decode cache poisoned");
+        if !e.iter().any(|(key, _)| key.as_slice() == survivors) {
+            if e.len() >= self.cap {
+                e.remove(0); // evict LRU
+            }
+            e.push((survivors.to_vec(), inv.clone()));
+        }
+        Some(inv)
+    }
+}
+
+impl std::fmt::Debug for DecodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeCache")
+            .field("cap", &self.cap)
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 /// A systematic `RS(k, m)` Reed–Solomon code over GF(2^8).
 #[derive(Clone, Debug)]
 pub struct ReedSolomon {
@@ -21,6 +102,8 @@ pub struct ReedSolomon {
     m: usize,
     /// Full `(k+m) × k` systematic encode matrix (top `k` rows identity).
     matrix: Matrix,
+    /// Inverted survivor submatrices, shared across clones.
+    decode_cache: Arc<DecodeCache>,
 }
 
 impl ReedSolomon {
@@ -40,7 +123,29 @@ impl ReedSolomon {
         let matrix = v.mul(&top_inv);
         // Sanity: systematic form.
         debug_assert!((0..k).all(|i| (0..k).all(|j| matrix[(i, j)] == u8::from(i == j))));
-        ReedSolomon { k, m, matrix }
+        ReedSolomon {
+            k,
+            m,
+            matrix,
+            decode_cache: Arc::new(DecodeCache::new(DECODE_CACHE_CAP)),
+        }
+    }
+
+    /// Overrides the decode-matrix cache capacity (builder style). `0`
+    /// disables caching — the uncached baseline the differential tests
+    /// compare against.
+    pub fn with_decode_cache_capacity(mut self, cap: usize) -> Self {
+        self.decode_cache = Arc::new(DecodeCache::new(cap));
+        self
+    }
+
+    /// Decode-cache hit/miss counters (observability: a steady repeated
+    /// erasure pattern must stop paying the O(k³) inversion).
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        (
+            self.decode_cache.hits.load(Ordering::Relaxed),
+            self.decode_cache.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// The parity row for parity shard `i`: the `k` coefficients applied
@@ -133,10 +238,20 @@ impl ErasureCode for ReedSolomon {
         }
         let use_idx = &present_idx[..self.k];
 
-        // Invert the k×k submatrix of encode rows for the shards we hold:
-        // data = inv(rows) × held_shards.
-        let sub = self.matrix.select_rows(use_idx);
-        let inv = sub.inverse().ok_or(EcError::Unrecoverable)?;
+        // The k×k submatrix inverse of the encode rows for the shards we
+        // hold (data = inv(rows) × held_shards): O(k³) to build, so the
+        // LRU keyed by the survivor set skips it when the erasure pattern
+        // repeats. GF(256) bounds indices to u8, keeping keys tiny.
+        let mut key = [0u8; MAX_SHARDS];
+        for (dst, &idx) in key[..self.k].iter_mut().zip(use_idx) {
+            *dst = idx as u8;
+        }
+        let inv = self
+            .decode_cache
+            .get_or_insert(&key[..self.k], || {
+                self.matrix.select_rows(use_idx).inverse()
+            })
+            .ok_or(EcError::Unrecoverable)?;
 
         let kern = Kernel::active();
         let mut coeffs = [0u8; MAX_SHARDS];
@@ -283,5 +398,91 @@ mod tests {
     #[should_panic(expected = "at most 256 shards")]
     fn field_size_limit() {
         ReedSolomon::new(250, 10);
+    }
+
+    /// Erasure patterns drawn with repeats: every reconstruction through
+    /// the decode-matrix cache must be byte-identical to the uncached
+    /// baseline, and repeated patterns must hit the cache.
+    #[test]
+    fn decode_cache_differential_vs_uncached() {
+        let (k, m) = (8usize, 3usize);
+        let cached = ReedSolomon::new(k, m);
+        let uncached = ReedSolomon::new(k, m).with_decode_cache_capacity(0);
+        let data = random_shards(k, 513, 17);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = cached.encode(&refs);
+        assert_eq!(parity, uncached.encode(&refs), "encode unaffected");
+
+        let mut rng = SmallRng::seed_from_u64(23);
+        // A few distinct patterns drawn repeatedly (steady-loss shape).
+        let patterns: Vec<Vec<usize>> = (0..4)
+            .map(|_| {
+                let mut e: Vec<usize> = (0..k + m).collect();
+                for i in 0..m {
+                    let j = rng.random_range(i..k + m);
+                    e.swap(i, j);
+                }
+                e.truncate(m);
+                e
+            })
+            .collect();
+        for round in 0..24 {
+            let erase = &patterns[round % patterns.len()];
+            let stage = |code: &ReedSolomon| {
+                let mut shards: Vec<Option<Vec<u8>>> = data
+                    .iter()
+                    .cloned()
+                    .map(Some)
+                    .chain(parity.iter().cloned().map(Some))
+                    .collect();
+                for &e in erase {
+                    shards[e] = None;
+                }
+                code.reconstruct(&mut shards).expect("recoverable");
+                shards
+            };
+            assert_eq!(
+                stage(&cached),
+                stage(&uncached),
+                "round {round} pattern {erase:?}"
+            );
+        }
+        let (hits, misses) = cached.decode_cache_stats();
+        assert!(
+            hits >= 20,
+            "repeated patterns must hit the cache: {hits} hits / {misses} misses"
+        );
+        assert!(misses <= 4, "one miss per distinct pattern: {misses}");
+        let (uh, _) = uncached.decode_cache_stats();
+        assert_eq!(uh, 0, "capacity 0 disables caching");
+    }
+
+    /// The LRU evicts the oldest pattern and clones share one cache.
+    #[test]
+    fn decode_cache_evicts_and_is_shared_across_clones() {
+        let code = ReedSolomon::new(4, 2).with_decode_cache_capacity(2);
+        let clone = code.clone();
+        let data = random_shards(4, 64, 3);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs);
+        let run = |c: &ReedSolomon, erase: [usize; 2]| {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parity.iter().cloned().map(Some))
+                .collect();
+            for e in erase {
+                shards[e] = None;
+            }
+            c.reconstruct(&mut shards).expect("recoverable");
+        };
+        run(&code, [0, 1]); // miss → cached
+        run(&clone, [0, 1]); // hit through the clone (shared cache)
+        run(&code, [2, 3]); // miss → cached
+        run(&code, [0, 4]); // miss → evicts [0,1]'s survivors (LRU)
+        run(&code, [0, 1]); // miss again (evicted)
+        let (hits, misses) = code.decode_cache_stats();
+        assert_eq!((hits, misses), (1, 4));
     }
 }

@@ -40,11 +40,19 @@ pub enum CtrlMsg {
         /// Indices of failed data submessages.
         failed: Vec<u32>,
     },
+    /// Go-Back-N acknowledgment: purely cumulative — the commodity-NIC
+    /// baseline carries no selective state at all, which is exactly the
+    /// information loss that makes GBN rewind whole windows.
+    GbnAck {
+        /// All chunks `< cumulative` have been received in order.
+        cumulative: u32,
+    },
 }
 
 const TAG_SR_ACK: u8 = 1;
 const TAG_EC_ACK: u8 = 2;
 const TAG_EC_NACK: u8 = 3;
+const TAG_GBN_ACK: u8 = 4;
 
 impl CtrlMsg {
     /// Serializes to a control datagram.
@@ -80,6 +88,10 @@ impl CtrlMsg {
                 for f in failed {
                     b.put_u32_le(*f);
                 }
+            }
+            CtrlMsg::GbnAck { cumulative } => {
+                b.put_u8(TAG_GBN_ACK);
+                b.put_u32_le(*cumulative);
             }
         }
         b.freeze()
@@ -125,6 +137,14 @@ impl CtrlMsg {
                 }
                 Some(CtrlMsg::EcNack {
                     failed: (0..n).map(|_| buf.get_u32_le()).collect(),
+                })
+            }
+            TAG_GBN_ACK => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                Some(CtrlMsg::GbnAck {
+                    cumulative: buf.get_u32_le(),
                 })
             }
             _ => None,
@@ -224,6 +244,15 @@ mod tests {
             failed: vec![0, 5, 63],
         };
         assert_eq!(CtrlMsg::decode(nack.encode()), Some(nack));
+    }
+
+    #[test]
+    fn gbn_ack_roundtrip_and_truncation() {
+        let ack = CtrlMsg::GbnAck { cumulative: 4097 };
+        assert_eq!(CtrlMsg::decode(ack.encode()), Some(ack));
+        let mut enc = CtrlMsg::GbnAck { cumulative: 7 }.encode().to_vec();
+        enc.truncate(3);
+        assert_eq!(CtrlMsg::decode(Bytes::from(enc)), None);
     }
 
     #[test]

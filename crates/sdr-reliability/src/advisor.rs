@@ -10,7 +10,9 @@
 //! erasure coding pays a real CPU cost for encoding (and decoding under
 //! drops, Figure 11) that the latency model does not see.
 
-use sdr_model::{ec_summary, sr_summary, Channel, EcConfig, SrConfig, Summary};
+use sdr_model::{
+    ec_summary, gbn_summary, sr_summary, Channel, EcConfig, GbnConfig, SrConfig, Summary,
+};
 
 /// A candidate reliability scheme.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,12 +38,25 @@ pub enum Scheme {
         /// Parity chunks per submessage.
         m: u32,
     },
+    /// Go-Back-N with a BDP-sized window — the commodity-NIC baseline.
+    /// Evaluated so the ranking always exhibits the Bertsekas–Gallager gap
+    /// (§4); it is dominated by SR and never chosen over it.
+    Gbn {
+        /// RTO multiplier (matches the SR RTO scenario for comparability).
+        rto_rtts: f64,
+    },
 }
 
 impl Scheme {
-    /// True for ARQ (retransmission-based) schemes.
+    /// True for Selective Repeat variants (the ARQ representative the
+    /// tie-break prefers; GBN, though also ARQ, is the dominated baseline).
     pub fn is_sr(&self) -> bool {
         matches!(self, Scheme::SrRto { .. } | Scheme::SrNack)
+    }
+
+    /// True for the Go-Back-N baseline.
+    pub fn is_gbn(&self) -> bool {
+        matches!(self, Scheme::Gbn { .. })
     }
 }
 
@@ -52,6 +67,7 @@ impl std::fmt::Display for Scheme {
             Scheme::SrNack => write!(f, "SR NACK"),
             Scheme::EcMds { k, m } => write!(f, "MDS EC({k},{m})"),
             Scheme::EcXor { k, m } => write!(f, "XOR EC({k},{m})"),
+            Scheme::Gbn { rto_rtts } => write!(f, "GBN RTO({rto_rtts} RTT)"),
         }
     }
 }
@@ -108,6 +124,20 @@ pub fn recommend(ch: &Channel, message_bytes: u64, trials: usize, seed: u64) -> 
     candidates.push(Candidate {
         scheme: Scheme::EcXor { k: 32, m: 8 },
         summary: ec_summary(ch, message_bytes, &xor, &sr_rto, trials, seed ^ 3),
+    });
+    // The commodity-NIC baseline: always ranked so the report shows the
+    // SR-vs-GBN gap, never recommended over SR (it is dominated; on exact
+    // ties the stable sort keeps SR first, and near-ties fall to the SR
+    // tie-break below like a marginal EC win would).
+    candidates.push(Candidate {
+        scheme: Scheme::Gbn { rto_rtts: 3.0 },
+        summary: gbn_summary(
+            ch,
+            message_bytes,
+            &GbnConfig::bdp_window(ch, 3.0),
+            trials,
+            seed ^ 4,
+        ),
     });
 
     candidates.sort_by(|a, b| a.summary.mean.total_cmp(&b.summary.mean));
@@ -175,6 +205,38 @@ mod tests {
         for w in rec.candidates.windows(2) {
             assert!(w[0].summary.mean <= w[1].summary.mean);
         }
-        assert_eq!(rec.candidates.len(), 7);
+        assert_eq!(rec.candidates.len(), 8);
+    }
+
+    #[test]
+    fn gbn_is_ranked_but_never_beats_sr() {
+        // The Bertsekas–Gallager ordering (§4): GBN appears in every
+        // ranking as the baseline, costs at least as much as the best SR
+        // variant, and is never the recommendation.
+        for (p, msg, seed) in [
+            (1e-4, 128u64 << 20, 5u64),
+            (1e-6, 8 << 30, 6),
+            (1e-3, 1 << 20, 7),
+        ] {
+            let ch = Channel::new(400e9, 0.025, p);
+            let rec = recommend(&ch, msg, 1200, seed);
+            let gbn = rec
+                .candidates
+                .iter()
+                .find(|c| c.scheme.is_gbn())
+                .expect("GBN always evaluated");
+            let best_sr = rec
+                .candidates
+                .iter()
+                .find(|c| c.scheme.is_sr())
+                .expect("SR always evaluated");
+            assert!(
+                gbn.summary.mean >= best_sr.summary.mean * 0.999,
+                "p={p}: GBN {} must not beat SR {}",
+                gbn.summary.mean,
+                best_sr.summary.mean
+            );
+            assert!(!rec.scheme.is_gbn(), "p={p}: GBN never recommended");
+        }
     }
 }

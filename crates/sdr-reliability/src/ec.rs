@@ -1,4 +1,5 @@
-//! Erasure-coding reliability over SDR (§4.1.2).
+//! Erasure-coding reliability over SDR (§4.1.2) — a policy over the
+//! [`runtime`](crate::runtime) building blocks.
 //!
 //! The sender splits the message into `L = M/k` data submessages of `k`
 //! bitmap chunks each, erasure-codes each into a parity submessage of `m`
@@ -6,12 +7,13 @@
 //! so failed submessages can be selective-repeated — parity as one-shots).
 //! Encoding uses the `sdr-erasure` MDS (Reed–Solomon) or XOR codes.
 //!
-//! The receiver polls all bitmaps. A data submessage is *resolved* when its
-//! chunks are all present or when enough data+parity chunks allow in-place
-//! decoding. On the first observed chunk it arms the fallback timeout
+//! The receiver is an [`RxScheme`]: per poll it resolves submessages (all
+//! data chunks present, or enough data+parity chunks for in-place
+//! decoding). On the first observed packet it arms the fallback timeout
 //! `FTO = (M + ⌈M/R⌉)·T_INJ + β·RTT`; expiry NACKs the unresolved
 //! submessages, switching them to Selective Repeat (the paper's fallback
-//! scheme). A positive ACK releases the sender.
+//! scheme). Poll cadence, CTS healing, the positive-ACK linger and the
+//! exactly-once buffer release come from the shared [`RxDriver`].
 //!
 //! # The streaming encode→inject pipeline
 //!
@@ -34,19 +36,23 @@
 //! *i−1*'s set is harvested, its parity copied to the staging region, and
 //! the set resubmitted for submessage *i+1*. [`EcStaging::Upfront`] keeps
 //! the stage-everything-first behavior as the measurable A/B baseline; both
-//! modes stage byte-identical parity.
+//! modes stage byte-identical parity. `encode_stripes` additionally splits
+//! each in-flight submessage's shard length across the pool's workers
+//! (`EncodePool::submit(job, n)`), shortening the per-submessage encode
+//! latency on multi-core hosts.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sdr_core::{RecvHandle, SdrContext, SdrQp, SendHandle};
+use sdr_core::{SdrContext, SdrQp, SendHandle};
 use sdr_erasure::{EncodeJob, EncodePool, ErasureCode, PendingEncode, ReedSolomon, XorCode};
 use sdr_sim::{Engine, QpAddr, SimTime};
 
 use crate::ack::CtrlMsg;
 use crate::control::ControlEndpoint;
+use crate::runtime::{begin_on_cts, wire_ctrl, Completion, RxCommon, RxDriver, RxScheme};
 
 /// Which erasure code protects the submessages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +94,11 @@ pub struct EcProtoConfig {
     pub linger_acks: u32,
     /// Parity staging discipline (default: [`EcStaging::Streamed`]).
     pub staging: EcStaging,
+    /// Stripes per in-flight submessage encode: `> 1` splits each
+    /// submessage's shard length across the [`EncodePool`] workers,
+    /// shortening the per-submessage encode latency the fig11 TTFB row
+    /// measures. `1` (the default) encodes each submessage on one worker.
+    pub encode_stripes: usize,
 }
 
 impl EcProtoConfig {
@@ -112,6 +123,7 @@ impl EcProtoConfig {
             fto: SimTime::from_secs_f64(fto_s),
             linger_acks: 25,
             staging: EcStaging::Streamed,
+            encode_stripes: 1,
         }
     }
 }
@@ -273,9 +285,6 @@ pub struct EcReport {
 struct EcSenderInner {
     qp: SdrQp,
     ctx: SdrContext,
-    ctrl: Rc<ControlEndpoint>,
-    /// Kept for diagnostics; all geometry is precomputed into `geoms`.
-    #[allow(dead_code)]
     cfg: EcProtoConfig,
     local_addr: u64,
     chunk_bytes: u64,
@@ -288,12 +297,10 @@ struct EcSenderInner {
     data_hdls: Vec<Option<SendHandle>>,
     parity_sent: Vec<bool>,
     next_send_seq: u64,
-    start_time: Option<SimTime>,
     started_wall: Instant,
     ttfb_wall: Option<Duration>,
     fallback_rounds: u64,
-    done: bool,
-    done_cb: Option<Box<dyn FnOnce(&mut Engine, EcReport)>>,
+    completion: Completion<EcReport>,
     // --- streaming encode pipeline state ---
     /// Parity submessages already copied into the staging region.
     pl_staged: Vec<bool>,
@@ -340,7 +347,8 @@ impl EcSenderInner {
             data,
             parity,
         };
-        self.pl_pending = Some((idx, EncodePool::global().submit(job, 1)));
+        let stripes = self.cfg.encode_stripes.max(1);
+        self.pl_pending = Some((idx, EncodePool::global().submit(job, stripes)));
         self.pl_next_submit = idx + 1;
     }
 
@@ -428,7 +436,6 @@ impl EcSender {
         let inner = Rc::new(RefCell::new(EcSenderInner {
             qp: qp.clone(),
             ctx: ctx.clone(),
-            ctrl,
             cfg,
             local_addr,
             chunk_bytes,
@@ -440,12 +447,10 @@ impl EcSender {
             data_hdls: vec![None; l],
             parity_sent: vec![false; l],
             next_send_seq: qp.next_send_seq(),
-            start_time: None,
             started_wall,
             ttfb_wall: None,
             fallback_rounds: 0,
-            done: false,
-            done_cb: Some(Box::new(done)),
+            completion: Completion::new(done),
             pl_staged: vec![false; l],
             pl_next_submit: 0,
             pl_pending: None,
@@ -466,30 +471,23 @@ impl EcSender {
         }
 
         // Control handler: positive ACK finishes; NACK selective-repeats.
-        {
-            let me = inner.clone();
-            let ep = inner.borrow().ctrl.clone();
-            ep.set_handler(move |eng, _src, msg| match msg {
-                CtrlMsg::EcAck => Self::on_ack(&me, eng),
-                CtrlMsg::EcNack { failed } => Self::on_nack(&me, eng, &failed),
-                CtrlMsg::SrAck { .. } => {}
-            });
-        }
-        // CTS pump: create sends strictly in sequence order as credits land.
-        {
-            let me = inner.clone();
-            qp.set_cts_callback(move |eng, _seq, _len| {
-                Self::pump_sends(&me, eng);
-            });
-        }
-        let s = EcSender { inner };
-        Self::pump_sends(&s.inner, eng); // credits may already be here
-        s
+        wire_ctrl(&ctrl, &inner, |me, eng, _src, msg| match msg {
+            CtrlMsg::EcAck => Self::on_ack(me, eng),
+            CtrlMsg::EcNack { failed } => Self::on_nack(me, eng, &failed),
+            _ => {}
+        });
+        // CTS pump: create sends strictly in sequence order as credits land
+        // (never "begun" from the hook's view — every credit re-pumps).
+        begin_on_cts(eng, qp, &inner, |me, eng| {
+            Self::pump_sends(me, eng);
+            false
+        });
+        EcSender { inner }
     }
 
     /// True once the positive ACK has been processed.
     pub fn is_done(&self) -> bool {
-        self.inner.borrow().done
+        self.inner.borrow().completion.is_done()
     }
 
     /// Raw bytes of the whole parity staging region, draining the encode
@@ -510,7 +508,7 @@ impl EcSender {
 
     fn pump_sends(inner: &Rc<RefCell<EcSenderInner>>, eng: &mut Engine) {
         let mut i = inner.borrow_mut();
-        if i.done {
+        if i.completion.is_done() {
             return;
         }
         let l = i.geoms.len();
@@ -536,8 +534,8 @@ impl EcSender {
                 i.qp.send_stream_continue(eng, &hdl, 0, len)
                     .expect("initial injection");
                 i.data_hdls[idx] = Some(hdl);
-                if i.start_time.is_none() {
-                    i.start_time = Some(eng.now());
+                if i.completion.started().is_none() {
+                    i.completion.mark_started(eng.now());
                     i.ttfb_wall = Some(i.started_wall.elapsed());
                 }
             } else {
@@ -558,7 +556,7 @@ impl EcSender {
 
     fn on_nack(inner: &Rc<RefCell<EcSenderInner>>, eng: &mut Engine, failed: &[u32]) {
         let mut i = inner.borrow_mut();
-        if i.done {
+        if i.completion.is_done() {
             return;
         }
         i.fallback_rounds += 1;
@@ -578,20 +576,19 @@ impl EcSender {
 
     fn on_ack(inner: &Rc<RefCell<EcSenderInner>>, eng: &mut Engine) {
         let mut i = inner.borrow_mut();
-        if i.done {
+        if i.completion.is_done() {
             return;
         }
-        i.done = true;
         for hdl in i.data_hdls.iter().flatten() {
             let _ = i.qp.send_stream_end(hdl);
         }
         let report = EcReport {
-            duration: eng.now().saturating_sub(i.start_time.unwrap_or(eng.now())),
+            duration: i.completion.elapsed(eng.now()),
             fallback_rounds: i.fallback_rounds,
             ttfb_wall: i.ttfb_wall.unwrap_or_default(),
         };
         let _ = &i.ctx; // staging buffer lives for the simulation's duration
-        if let Some(cb) = i.done_cb.take() {
+        if let Some(cb) = i.completion.finish() {
             drop(i);
             cb(eng, report);
         }
@@ -609,11 +606,12 @@ pub struct EcRecvStats {
     pub fallback_nacks: u64,
 }
 
-struct EcReceiverInner {
-    qp: SdrQp,
+/// The EC receive policy: per poll, resolve submessages (directly or by
+/// in-place decoding), arm/serve the FTO fallback, and emit the positive
+/// ACK once everything is resolved. Slots `0..L` are the data submessages,
+/// `L..2L` the parity scratch buffers.
+struct EcRxScheme {
     ctx: SdrContext,
-    ctrl: Rc<ControlEndpoint>,
-    peer_ctrl: QpAddr,
     cfg: EcProtoConfig,
     buf_addr: u64,
     chunk_bytes: u64,
@@ -622,21 +620,162 @@ struct EcReceiverInner {
     codes: Vec<Arc<dyn ErasureCode>>,
     /// Pooled shard staging for the decode hot path.
     scratch: EcScratch,
-    data_hdls: Vec<RecvHandle>,
-    parity_hdls: Vec<RecvHandle>,
     parity_addrs: Vec<u64>,
     resolved: Vec<bool>,
     fto_deadline: Option<SimTime>,
     stats: EcRecvStats,
-    completed_at: Option<SimTime>,
-    lingers_left: u32,
-    released: bool,
-    done_cb: Option<Box<dyn FnOnce(&mut Engine, SimTime, EcRecvStats)>>,
+}
+
+impl RxScheme for EcRxScheme {
+    type Done = EcRecvStats;
+
+    fn poll(&mut self, eng: &mut Engine, rx: &mut RxCommon) -> bool {
+        self.poll_once(eng, rx);
+        if self.resolved.iter().all(|&r| r) {
+            rx.send(eng, &CtrlMsg::EcAck);
+            return true;
+        }
+        // Fallback timeout handling (§4.1.2): NACK the unresolved
+        // submessages so the sender selective-repeats them.
+        if let Some(d) = self.fto_deadline {
+            if eng.now() >= d {
+                let failed: Vec<u32> = self
+                    .resolved
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &r)| !r)
+                    .map(|(idx, _)| idx as u32)
+                    .collect();
+                self.stats.fallback_nacks += 1;
+                rx.send(eng, &CtrlMsg::EcNack { failed });
+                self.fto_deadline = Some(eng.now() + self.cfg.fto);
+            }
+        }
+        false
+    }
+
+    fn done_payload(&self) -> EcRecvStats {
+        self.stats
+    }
+}
+
+impl EcRxScheme {
+    fn poll_once(&mut self, eng: &mut Engine, rx: &mut RxCommon) {
+        let mut any_packet = false;
+        let chunk_len = self.chunk_bytes as usize;
+        let l = self.geoms.len();
+        for s in 0..l {
+            if self.resolved[s] {
+                continue;
+            }
+            let g = self.geoms[s];
+            let data_bm = rx.bitmap(s);
+            let parity_bm = rx.bitmap(l + s);
+            // Possible lost CTS for this submessage — heal it. The FTO
+            // arms off *packet* observation, not chunk completion: under
+            // heavy loss a 16-packet chunk may never complete on the first
+            // pass at all, and a chunk-armed FTO would then never fire —
+            // no NACK, no retransmission, a livelock the conformance
+            // suite's heavy-loss rows exercise.
+            any_packet |= rx.heal_cts(eng, s, &data_bm);
+            any_packet |= rx.heal_cts(eng, l + s, &parity_bm);
+            // Word-level scans (one atomic load per 64 chunks, like the SR
+            // ACK path) and retained scratch vectors: the no-loss steady
+            // state allocates nothing and touches no per-chunk atomics.
+            if data_bm.chunks().first_n_set(g.k_eff) {
+                self.resolved[s] = true;
+                self.stats.complete_submessages += 1;
+                continue;
+            }
+            self.scratch.data_present.clear();
+            self.scratch.data_present.resize(g.k_eff, true);
+            let flags = &mut self.scratch.data_present;
+            data_bm
+                .chunks()
+                .for_each_missing_in_first_n(g.k_eff, |c| flags[c] = false);
+            self.scratch.parity_present.clear();
+            self.scratch.parity_present.resize(g.m_eff, true);
+            let flags = &mut self.scratch.parity_present;
+            parity_bm
+                .chunks()
+                .for_each_missing_in_first_n(g.m_eff, |c| flags[c] = false);
+            // Try in-place decoding from data + parity chunks.
+            self.scratch.present.clear();
+            self.scratch
+                .present
+                .extend_from_slice(&self.scratch.data_present);
+            self.scratch
+                .present
+                .extend_from_slice(&self.scratch.parity_present);
+            if !self.codes[s].can_recover(&self.scratch.present) {
+                continue;
+            }
+            // Stage present shards into pooled buffers (rented, not
+            // allocated, once the pool is warm).
+            debug_assert!(self.scratch.shards.is_empty());
+            for c in 0..g.k_eff {
+                if self.scratch.data_present[c] {
+                    let mut b = self.scratch.take(chunk_len);
+                    self.ctx.read_buffer_into(
+                        self.buf_addr + (g.chunk_start + c as u64) * self.chunk_bytes,
+                        &mut b,
+                    );
+                    self.scratch.shards.push(Some(b));
+                } else {
+                    self.scratch.shards.push(None);
+                }
+            }
+            for c in 0..g.m_eff {
+                if self.scratch.parity_present[c] {
+                    let mut b = self.scratch.take(chunk_len);
+                    self.ctx.read_buffer_into(
+                        self.parity_addrs[s] + c as u64 * self.chunk_bytes,
+                        &mut b,
+                    );
+                    self.scratch.shards.push(Some(b));
+                } else {
+                    self.scratch.shards.push(None);
+                }
+            }
+            {
+                // Missing shards are rebuilt into buffers rented from the
+                // same scratch pool (`reconstruct_into`), so the loss path
+                // allocates nothing once the pool is warm.
+                let EcScratch { pool, shards, .. } = &mut self.scratch;
+                self.codes[s]
+                    .reconstruct_into(shards, &mut |len| pool.take(len))
+                    .expect("can_recover checked");
+            }
+            // Write recovered data chunks back into the user buffer.
+            for c in 0..g.k_eff {
+                if !self.scratch.data_present[c] {
+                    let shard = self.scratch.shards[c].as_ref().expect("reconstructed");
+                    self.ctx.write_buffer(
+                        self.buf_addr + (g.chunk_start + c as u64) * self.chunk_bytes,
+                        shard,
+                    );
+                }
+            }
+            // Return every staged buffer (including freshly reconstructed
+            // ones) to the pool for the next decode.
+            let mut staged = std::mem::take(&mut self.scratch.shards);
+            for b in staged.drain(..).flatten() {
+                self.scratch.put(b);
+            }
+            self.scratch.shards = staged; // retain capacity
+            self.resolved[s] = true;
+            self.stats.decoded_submessages += 1;
+        }
+        // Arm the FTO at the first observed arrival (§4.1.2).
+        if any_packet && self.fto_deadline.is_none() {
+            self.fto_deadline = Some(eng.now() + self.cfg.fto);
+        }
+    }
 }
 
 /// The EC receiver protocol object.
 pub struct EcReceiver {
-    inner: Rc<RefCell<EcReceiverInner>>,
+    driver: RxDriver<EcRxScheme>,
 }
 
 impl EcReceiver {
@@ -662,237 +801,58 @@ impl EcReceiver {
 
         // Post data buffers (slices of the user buffer), then parity
         // scratch buffers — the same order the sender issues sends.
-        let mut data_hdls = Vec::with_capacity(geoms.len());
+        let mut common = RxCommon::new(qp, ctrl, peer_ctrl);
         for g in &geoms {
             let addr = buf_addr + g.chunk_start * chunk_bytes;
             let len = g.k_eff as u64 * chunk_bytes;
-            data_hdls.push(qp.recv_post(eng, addr, len).expect("data post"));
+            common.post(eng, addr, len);
         }
-        let mut parity_hdls = Vec::with_capacity(geoms.len());
         let mut parity_addrs = Vec::with_capacity(geoms.len());
         for g in &geoms {
             let len = g.m_eff as u64 * chunk_bytes;
             let addr = ctx.alloc_buffer(len);
             parity_addrs.push(addr);
-            parity_hdls.push(qp.recv_post(eng, addr, len).expect("parity post"));
+            common.post(eng, addr, len);
         }
 
         let l = geoms.len();
-        let inner = Rc::new(RefCell::new(EcReceiverInner {
-            qp: qp.clone(),
+        let scheme = EcRxScheme {
             ctx: ctx.clone(),
-            ctrl,
-            peer_ctrl,
             cfg,
             buf_addr,
             chunk_bytes,
             geoms,
             codes,
             scratch: EcScratch::new(cfg.k, cfg.m),
-            data_hdls,
-            parity_hdls,
             parity_addrs,
             resolved: vec![false; l],
             fto_deadline: None,
             stats: EcRecvStats::default(),
-            completed_at: None,
-            lingers_left: cfg.linger_acks,
-            released: false,
-            done_cb: Some(Box::new(done)),
-        }));
-        let rx = EcReceiver { inner };
-        rx.schedule_tick(eng);
-        rx
+        };
+        let driver = RxDriver::start(
+            eng,
+            cfg.poll_interval,
+            common,
+            scheme,
+            cfg.linger_acks,
+            done,
+        );
+        EcReceiver { driver }
     }
 
     /// True once every data submessage is present or decoded.
     pub fn is_complete(&self) -> bool {
-        self.inner.borrow().completed_at.is_some()
+        self.driver.is_complete()
+    }
+
+    /// True once every posted buffer has been released back to the QP.
+    pub fn is_released(&self) -> bool {
+        self.driver.is_released()
     }
 
     /// Receiver statistics so far.
     pub fn stats(&self) -> EcRecvStats {
-        self.inner.borrow().stats
-    }
-
-    fn schedule_tick(&self, eng: &mut Engine) {
-        let me = self.inner.clone();
-        let dt = self.inner.borrow().cfg.poll_interval;
-        eng.schedule_in(dt, move |eng| {
-            let rx = EcReceiver { inner: me };
-            rx.tick(eng);
-        });
-    }
-
-    fn tick(&self, eng: &mut Engine) {
-        let reschedule = {
-            let mut i = self.inner.borrow_mut();
-            if i.released {
-                false
-            } else {
-                Self::poll_once(&mut i, eng);
-                if i.resolved.iter().all(|&r| r) {
-                    if i.completed_at.is_none() {
-                        i.completed_at = Some(eng.now());
-                        let (now, stats) = (eng.now(), i.stats);
-                        if let Some(cb) = i.done_cb.take() {
-                            drop(i);
-                            cb(eng, now, stats);
-                            i = self.inner.borrow_mut();
-                        }
-                    }
-                    let (peer, msg) = (i.peer_ctrl, CtrlMsg::EcAck);
-                    i.ctrl.send(eng, peer, &msg);
-                    if i.lingers_left == 0 {
-                        let hdls: Vec<RecvHandle> = i
-                            .data_hdls
-                            .iter()
-                            .chain(i.parity_hdls.iter())
-                            .copied()
-                            .collect();
-                        for h in hdls {
-                            let _ = i.qp.recv_complete(eng, &h);
-                        }
-                        i.released = true;
-                        false
-                    } else {
-                        i.lingers_left -= 1;
-                        true
-                    }
-                } else {
-                    // Fallback timeout handling.
-                    match i.fto_deadline {
-                        Some(d) if eng.now() >= d => {
-                            let failed: Vec<u32> = i
-                                .resolved
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, &r)| !r)
-                                .map(|(idx, _)| idx as u32)
-                                .collect();
-                            i.stats.fallback_nacks += 1;
-                            let (peer, msg) = (i.peer_ctrl, CtrlMsg::EcNack { failed });
-                            i.ctrl.send(eng, peer, &msg);
-                            i.fto_deadline = Some(eng.now() + i.cfg.fto);
-                        }
-                        _ => {}
-                    }
-                    true
-                }
-            }
-        };
-        if reschedule {
-            self.schedule_tick(eng);
-        }
-    }
-
-    fn poll_once(i: &mut EcReceiverInner, eng: &mut Engine) {
-        let mut any_chunk = false;
-        let chunk_len = i.chunk_bytes as usize;
-        for s in 0..i.geoms.len() {
-            if i.resolved[s] {
-                continue;
-            }
-            let g = i.geoms[s];
-            let data_bm = i.qp.recv_bitmap(&i.data_hdls[s]).expect("live");
-            let parity_bm = i.qp.recv_bitmap(&i.parity_hdls[s]).expect("live");
-            if data_bm.packets().count_set() == 0 {
-                // Possible lost CTS for this submessage — heal it.
-                let _ = i.qp.resend_cts(eng, &i.data_hdls[s]);
-            }
-            if parity_bm.packets().count_set() == 0 {
-                let _ = i.qp.resend_cts(eng, &i.parity_hdls[s]);
-            }
-            // Word-level scans (one atomic load per 64 chunks, like the SR
-            // ACK path) and retained scratch vectors: the no-loss steady
-            // state allocates nothing and touches no per-chunk atomics.
-            if data_bm.chunks().count_set() > 0 || parity_bm.chunks().count_set() > 0 {
-                any_chunk = true;
-            }
-            if data_bm.chunks().first_n_set(g.k_eff) {
-                i.resolved[s] = true;
-                i.stats.complete_submessages += 1;
-                continue;
-            }
-            i.scratch.data_present.clear();
-            i.scratch.data_present.resize(g.k_eff, true);
-            let flags = &mut i.scratch.data_present;
-            data_bm
-                .chunks()
-                .for_each_missing_in_first_n(g.k_eff, |c| flags[c] = false);
-            i.scratch.parity_present.clear();
-            i.scratch.parity_present.resize(g.m_eff, true);
-            let flags = &mut i.scratch.parity_present;
-            parity_bm
-                .chunks()
-                .for_each_missing_in_first_n(g.m_eff, |c| flags[c] = false);
-            // Try in-place decoding from data + parity chunks.
-            i.scratch.present.clear();
-            i.scratch.present.extend_from_slice(&i.scratch.data_present);
-            i.scratch
-                .present
-                .extend_from_slice(&i.scratch.parity_present);
-            if !i.codes[s].can_recover(&i.scratch.present) {
-                continue;
-            }
-            // Stage present shards into pooled buffers (rented, not
-            // allocated, once the pool is warm).
-            debug_assert!(i.scratch.shards.is_empty());
-            for c in 0..g.k_eff {
-                if i.scratch.data_present[c] {
-                    let mut b = i.scratch.take(chunk_len);
-                    i.ctx.read_buffer_into(
-                        i.buf_addr + (g.chunk_start + c as u64) * i.chunk_bytes,
-                        &mut b,
-                    );
-                    i.scratch.shards.push(Some(b));
-                } else {
-                    i.scratch.shards.push(None);
-                }
-            }
-            for c in 0..g.m_eff {
-                if i.scratch.parity_present[c] {
-                    let mut b = i.scratch.take(chunk_len);
-                    i.ctx
-                        .read_buffer_into(i.parity_addrs[s] + c as u64 * i.chunk_bytes, &mut b);
-                    i.scratch.shards.push(Some(b));
-                } else {
-                    i.scratch.shards.push(None);
-                }
-            }
-            {
-                // Missing shards are rebuilt into buffers rented from the
-                // same scratch pool (`reconstruct_into`), so the loss path
-                // allocates nothing once the pool is warm.
-                let EcScratch { pool, shards, .. } = &mut i.scratch;
-                i.codes[s]
-                    .reconstruct_into(shards, &mut |len| pool.take(len))
-                    .expect("can_recover checked");
-            }
-            // Write recovered data chunks back into the user buffer.
-            for c in 0..g.k_eff {
-                if !i.scratch.data_present[c] {
-                    let shard = i.scratch.shards[c].as_ref().expect("reconstructed");
-                    i.ctx.write_buffer(
-                        i.buf_addr + (g.chunk_start + c as u64) * i.chunk_bytes,
-                        shard,
-                    );
-                }
-            }
-            // Return every staged buffer (including freshly reconstructed
-            // ones) to the pool for the next decode.
-            let mut staged = std::mem::take(&mut i.scratch.shards);
-            for b in staged.drain(..).flatten() {
-                i.scratch.put(b);
-            }
-            i.scratch.shards = staged; // retain capacity
-            i.resolved[s] = true;
-            i.stats.decoded_submessages += 1;
-        }
-        // Arm the FTO at the first observed chunk (§4.1.2).
-        if any_chunk && i.fto_deadline.is_none() {
-            i.fto_deadline = Some(eng.now() + i.cfg.fto);
-        }
+        self.driver.scheme(|s| s.stats)
     }
 }
 

@@ -1,0 +1,283 @@
+//! Go-Back-N reliability over SDR — the commodity-NIC baseline, and the
+//! runtime's composability proof.
+//!
+//! The paper restricts its protocol study to Selective Repeat because SR's
+//! efficiency provably dominates Go-Back-N (§4, citing Bertsekas &
+//! Gallager); `sdr-model/src/gbn.rs` models the gap but nothing implemented
+//! it. This module does, as a third policy over the
+//! [`runtime`](crate::runtime) building blocks — no new timer, lifecycle or
+//! control plumbing, which is precisely the paper's software-defined claim:
+//!
+//! * **Sender**: one [`StreamTx`] slot and one [`ChunkTimers`] table, like
+//!   SR — but the only timer that matters is the *base* (first unacked
+//!   chunk). When it expires, the sender rewinds: it re-injects the whole
+//!   window `[base, base + W)`, the behavior of a NIC whose transport keeps
+//!   no selective state. Every rewind re-sends chunks that already arrived,
+//!   which is the `min(W, M − i)·T_INJ` per-drop penalty the model charges.
+//! * **Receiver**: an [`RxScheme`] whose ACK carries *only* the cumulative
+//!   point ([`CtrlMsg::GbnAck`]) — it deliberately ignores the selective
+//!   information SDR's bitmap offers, emulating an in-order transport.
+//!
+//! Validated differentially against the closed-form `sdr-model::gbn` in
+//! `tests/gbn_differential.rs`, including the SR-dominance ordering.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sdr_core::SdrQp;
+use sdr_sim::{Engine, QpAddr, SimTime};
+
+use crate::ack::CtrlMsg;
+use crate::control::ControlEndpoint;
+use crate::runtime::{
+    begin_on_cts, tick_loop, wire_ctrl, ChunkTimers, Completion, RxCommon, RxDriver, RxScheme,
+    StreamTx, Tick,
+};
+
+/// Go-Back-N protocol tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct GbnProtoConfig {
+    /// Base-chunk retransmission timeout (the only timer GBN keeps).
+    pub rto: SimTime,
+    /// Send window in chunks: how much a rewind re-injects.
+    pub window_chunks: usize,
+    /// Receiver bitmap-poll / ACK cadence.
+    pub ack_interval: SimTime,
+    /// Sender base-timer scan cadence.
+    pub tick: SimTime,
+    /// Final-ACK repeats before the receiver releases its buffer.
+    pub linger_acks: u32,
+}
+
+impl GbnProtoConfig {
+    /// A well-tuned commodity NIC: window sized to the bandwidth–delay
+    /// product, `RTO = rto_mult · RTT` — mirroring
+    /// `sdr_model::GbnConfig::bdp_window` so protocol and model are
+    /// directly comparable.
+    pub fn bdp_window(ch: &sdr_model::Channel, rtt: SimTime, rto_mult: f64) -> Self {
+        let window = (ch.bdp_bytes() / ch.chunk_bytes as f64).ceil() as usize;
+        GbnProtoConfig {
+            rto: SimTime::from_secs_f64(rto_mult * ch.rtt_s),
+            window_chunks: window.max(1),
+            ack_interval: rtt / 4,
+            tick: rtt / 4,
+            linger_acks: 25,
+        }
+    }
+}
+
+/// Sender-side transfer outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct GbnReport {
+    /// Write completion time: first injection to final-ACK reception.
+    pub duration: SimTime,
+    /// Chunks re-injected by rewinds (including already-delivered ones —
+    /// the GBN waste SR avoids).
+    pub retransmitted: u64,
+    /// Window rewinds served (one per base-timer expiry).
+    pub rewinds: u64,
+    /// ACK datagrams processed.
+    pub acks: u64,
+}
+
+struct SenderInner {
+    stream: StreamTx,
+    timers: ChunkTimers,
+    cfg: GbnProtoConfig,
+    /// The single GBN timer: (re)armed at begin, on every rewind and on
+    /// every base advance — classic Go-Back-N keeps no per-chunk state, so
+    /// consecutive holes serialize one RTO each (exactly what the model
+    /// charges per drop).
+    timer_armed_at: SimTime,
+    retransmitted: u64,
+    rewinds: u64,
+    acks: u64,
+    completion: Completion<GbnReport>,
+}
+
+/// The GBN sender protocol object.
+pub struct GbnSender {
+    inner: Rc<RefCell<SenderInner>>,
+}
+
+impl GbnSender {
+    /// Starts a GBN-protected transfer of `[local_addr, local_addr +
+    /// msg_bytes)` to the connected peer. `done` fires at completion with
+    /// the sender-side report. The receiver must run [`GbnReceiver`].
+    pub fn start(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctrl: Rc<ControlEndpoint>,
+        _peer_ctrl: QpAddr,
+        local_addr: u64,
+        msg_bytes: u64,
+        cfg: GbnProtoConfig,
+        done: impl FnOnce(&mut Engine, GbnReport) + 'static,
+    ) -> GbnSender {
+        let stream = StreamTx::new(qp, local_addr, msg_bytes);
+        let total_chunks = stream.total_chunks();
+        let inner = Rc::new(RefCell::new(SenderInner {
+            stream,
+            timers: ChunkTimers::new(total_chunks),
+            cfg,
+            timer_armed_at: SimTime::ZERO,
+            retransmitted: 0,
+            rewinds: 0,
+            acks: 0,
+            completion: Completion::new(done),
+        }));
+
+        // Control-path handler: cumulative ACKs only.
+        wire_ctrl(&ctrl, &inner, |me, eng, _src, msg| {
+            if let CtrlMsg::GbnAck { cumulative } = msg {
+                Self::on_ack(me, eng, cumulative);
+            }
+        });
+        begin_on_cts(eng, qp, &inner, Self::try_begin);
+        GbnSender { inner }
+    }
+
+    /// True once the final ACK has been processed.
+    pub fn is_done(&self) -> bool {
+        self.inner.borrow().completion.is_done()
+    }
+
+    fn try_begin(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> bool {
+        let tick = {
+            let mut i = inner.borrow_mut();
+            if i.stream.is_open() {
+                return true;
+            }
+            if !i.stream.try_begin(eng) {
+                return false;
+            }
+            let now = eng.now();
+            i.completion.mark_started(now);
+            i.timers.all_sent_at(now);
+            i.timer_armed_at = now;
+            i.cfg.tick
+        };
+        // Base-timer scan: runs until the transfer completes.
+        let me = inner.clone();
+        tick_loop(eng, tick, move |eng| Self::tick(&me, eng));
+        true
+    }
+
+    /// The GBN repair rule: when the base timer expires, rewind — re-inject
+    /// the entire window from the first unacked chunk and restart the
+    /// timer. No selective state: a later hole waits its own full RTO
+    /// after the earlier one repairs (the serialization the model charges).
+    fn tick(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> Tick {
+        let mut i = inner.borrow_mut();
+        if i.completion.is_done() {
+            return Tick::Stop;
+        }
+        let now = eng.now();
+        let (rto, window) = (i.cfg.rto, i.cfg.window_chunks);
+        let Some(base) = i.timers.first_unacked() else {
+            return Tick::Again;
+        };
+        if now.saturating_sub(i.timer_armed_at) >= rto {
+            let sent = i.stream.resend_window(eng, base, window);
+            i.timer_armed_at = now;
+            i.retransmitted += sent as u64;
+            i.rewinds += 1;
+        }
+        Tick::Again
+    }
+
+    fn on_ack(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine, cumulative: u32) {
+        let mut i = inner.borrow_mut();
+        if i.completion.is_done() {
+            return;
+        }
+        i.acks += 1;
+        let base_before = i.timers.first_unacked();
+        i.timers.ack_prefix(cumulative as usize);
+        // Base advanced → the in-order prefix is moving: restart the timer
+        // (the classic GBN ack-restart rule).
+        if i.timers.first_unacked() != base_before {
+            i.timer_armed_at = eng.now();
+        }
+        if i.timers.is_complete() {
+            i.stream.end();
+            let report = GbnReport {
+                duration: i.completion.elapsed(eng.now()),
+                retransmitted: i.retransmitted,
+                rewinds: i.rewinds,
+                acks: i.acks,
+            };
+            if let Some(cb) = i.completion.finish() {
+                drop(i);
+                cb(eng, report);
+            }
+        }
+    }
+}
+
+/// The GBN receive policy: the ACK carries only the cumulative prefix —
+/// SDR's selective bitmap state is deliberately discarded, like an in-order
+/// commodity transport would.
+struct GbnRxScheme {
+    total_chunks: usize,
+}
+
+impl RxScheme for GbnRxScheme {
+    type Done = ();
+
+    fn poll(&mut self, eng: &mut Engine, rx: &mut RxCommon) -> bool {
+        let bitmap = rx.bitmap(0);
+        rx.heal_cts(eng, 0, &bitmap);
+        let cumulative = bitmap.chunks().cumulative_prefix(self.total_chunks) as u32;
+        rx.send(eng, &CtrlMsg::GbnAck { cumulative });
+        cumulative as usize == self.total_chunks
+    }
+
+    fn done_payload(&self) {}
+}
+
+/// The GBN receiver protocol object.
+pub struct GbnReceiver {
+    driver: RxDriver<GbnRxScheme>,
+}
+
+impl GbnReceiver {
+    /// Posts the receive buffer and starts the poll/ACK loop. `done` fires
+    /// when the cumulative prefix covers the whole message.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctrl: Rc<ControlEndpoint>,
+        peer_ctrl: QpAddr,
+        buf_addr: u64,
+        msg_bytes: u64,
+        cfg: GbnProtoConfig,
+        done: impl FnOnce(&mut Engine, SimTime) + 'static,
+    ) -> GbnReceiver {
+        let mut common = RxCommon::new(qp, ctrl, peer_ctrl);
+        common.post(eng, buf_addr, msg_bytes);
+        let scheme = GbnRxScheme {
+            total_chunks: qp.config().chunks_for(msg_bytes) as usize,
+        };
+        let driver = RxDriver::start(
+            eng,
+            cfg.ack_interval,
+            common,
+            scheme,
+            cfg.linger_acks,
+            move |eng, t, ()| done(eng, t),
+        );
+        GbnReceiver { driver }
+    }
+
+    /// True once the whole message has arrived in order.
+    pub fn is_complete(&self) -> bool {
+        self.driver.is_complete()
+    }
+
+    /// True once the receive buffer has been released back to the QP.
+    pub fn is_released(&self) -> bool {
+        self.driver.is_released()
+    }
+}

@@ -1,21 +1,45 @@
-//! # sdr-reliability — application-level reliability over the SDR SDK
+//! # sdr-reliability — software-defined reliability over the SDR SDK
 //!
-//! The paper's Section 4: example reliability layers built on SDR's partial
-//! message completion bitmap, using the two-connection design (data-path SDR
-//! QP + control-path UD QP).
+//! The paper's Section 4, organized the way the paper argues reliability
+//! *should* be organized: schemes are **software-defined** — thin policies
+//! composed from a shared runtime of mechanisms, not hand-rolled protocol
+//! stacks. The crate therefore splits into two layers:
+//!
+//! ## The scheme runtime ([`runtime`])
+//!
+//! The mechanism layer every scheme is built from: recurring-tick timer
+//! management ([`runtime::tick_loop`]), per-chunk retransmission timers and
+//! ACK bookkeeping ([`runtime::ChunkTimers`]), sender message-slot
+//! lifecycle ([`runtime::StreamTx`]), control-endpoint dispatch
+//! ([`runtime::wire_ctrl`], [`runtime::begin_on_cts`]), exactly-once report
+//! plumbing ([`runtime::Completion`]) and the generic receiver driver
+//! ([`runtime::RxDriver`]) that owns poll cadence, lost-CTS healing,
+//! linger-ACK repeats and exactly-once buffer release.
+//!
+//! ## The scheme policies
+//!
+//! Each scheme contributes only its ACK wire policy and repair rule:
 //!
 //! * [`SrSender`]/[`SrReceiver`] — Selective Repeat with per-chunk RTO and
 //!   cumulative + selective ACKs; optional NACK optimization (§4.1.1).
 //! * [`EcSender`]/[`EcReceiver`] — Erasure Coding with MDS (Reed–Solomon)
-//!   or XOR codes, chunk-granular submessages, in-place receiver decoding,
+//!   or XOR codes, chunk-granular submessages, a streaming encode→inject
+//!   pipeline on the persistent encode pool, in-place receiver decoding,
 //!   and the FTO-triggered Selective Repeat fallback (§4.1.2).
+//! * [`GbnSender`]/[`GbnReceiver`] — Go-Back-N, the commodity-NIC baseline
+//!   whose cumulative-only ACKs force whole-window rewinds; implemented to
+//!   exhibit the Bertsekas–Gallager efficiency gap the paper cites when
+//!   justifying SR as the ARQ representative.
 //! * [`recommend`] — the model-guided protocol advisor: pick and tune the
-//!   scheme per deployment (§5.2's "guided choice").
+//!   scheme per deployment (§5.2's "guided choice"), with GBN evaluated as
+//!   the baseline candidate.
 //!
 //! Everything runs on the deterministic discrete-event substrate, so the
 //! protocol implementations can be validated against the closed-form models
-//! in `sdr-model` — which the integration tests in this crate and in the
-//! workspace `tests/` directory do.
+//! in `sdr-model` — which the integration tests in this crate (including
+//! the scheme-conformance suite run against all three schemes and the GBN
+//! protocol-vs-model differential) and in the workspace `tests/` directory
+//! do.
 
 #![warn(missing_docs)]
 
@@ -23,12 +47,16 @@ pub mod ack;
 pub mod advisor;
 pub mod control;
 pub mod ec;
+pub mod gbn;
+pub mod runtime;
 pub mod sr;
 
 pub use ack::{build_sr_ack, CtrlMsg, MAX_NACKS, MAX_SACK_BITS};
 pub use advisor::{recommend, Candidate, Recommendation, Scheme};
 pub use control::ControlEndpoint;
 pub use ec::{EcCodeChoice, EcProtoConfig, EcReceiver, EcRecvStats, EcReport, EcSender, EcStaging};
+pub use gbn::{GbnProtoConfig, GbnReceiver, GbnReport, GbnSender};
+pub use runtime::{ChunkTimers, Completion, RxCommon, RxDriver, RxScheme, StreamTx};
 pub use sr::{SrProtoConfig, SrReceiver, SrReport, SrSender};
 
 #[cfg(test)]

@@ -1,0 +1,653 @@
+//! The software-defined scheme runtime (§4): the shared building blocks
+//! reliability schemes are composed from.
+//!
+//! The paper's central architectural claim is that reliability is
+//! *software-defined*: SDR exposes a partial-completion bitmap and leaves
+//! the scheme — Selective Repeat, Erasure Coding, Go-Back-N, or anything
+//! else — to host software composed from a small set of common mechanisms.
+//! This module is that mechanism layer. Each scheme in this crate is a thin
+//! *policy* over it:
+//!
+//! * [`tick_loop`] — **timer management**: a recurring engine tick that
+//!   re-arms itself until the policy says [`Tick::Stop`]. Every scheme's
+//!   retransmission scan, bitmap poll and ACK cadence runs on it.
+//! * [`ChunkTimers`] — **retransmission timers + ACK bookkeeping** for ARQ
+//!   senders: per-chunk last-send stamps, acked flags with a monotone
+//!   first-unacked cursor, RTO expiry scans and the NACK double-send guard.
+//! * [`StreamTx`] — **sender message-slot lifecycle**: open-on-CTS,
+//!   whole-message injection, chunk/window retransmission and stream close
+//!   over one [`SdrQp`] streaming send.
+//! * [`begin_on_cts`] / [`wire_ctrl`] — **control-endpoint dispatch**: the
+//!   begin-now-or-on-credit hook and the handler plumbing every scheme
+//!   needs to react to CTS credits and [`CtrlMsg`] datagrams.
+//! * [`Completion`] — **report plumbing**: the exactly-once done callback
+//!   with the transfer's start instant.
+//! * [`RxDriver`] + [`RxScheme`] — the **receiver driver**: posts buffers,
+//!   polls at a fixed cadence, heals lost CTS credits, fires the done
+//!   callback exactly once, repeats the final ACK for `linger` ticks to
+//!   tolerate ACK loss, and releases every receive slot exactly once.
+//!
+//! `sr.rs`, `ec.rs` and `gbn.rs` contain only what is genuinely different
+//! between the schemes: the ACK wire policy and the repair rule. Adding a
+//! new scheme means implementing [`RxScheme`] plus a sender policy — no new
+//! timer, lifecycle or control plumbing.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use sdr_core::{RecvHandle, SdrQp, SendHandle, TwoLevelBitmap};
+use sdr_sim::{Engine, QpAddr, SimTime};
+
+use crate::ack::CtrlMsg;
+use crate::control::ControlEndpoint;
+
+// ---------------------------------------------------------------------------
+// Timer management
+// ---------------------------------------------------------------------------
+
+/// Outcome of one recurring tick: run again after the interval, or stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tick {
+    /// Re-arm the tick.
+    Again,
+    /// Tear the tick down (the protocol object is done).
+    Stop,
+}
+
+/// Runs `f` every `interval` of simulated time until it returns
+/// [`Tick::Stop`]. The first invocation happens one interval from now.
+pub fn tick_loop(
+    eng: &mut Engine,
+    interval: SimTime,
+    f: impl FnMut(&mut Engine) -> Tick + 'static,
+) {
+    fn arm(eng: &mut Engine, interval: SimTime, f: Rc<RefCell<dyn FnMut(&mut Engine) -> Tick>>) {
+        let next = f.clone();
+        eng.schedule_in(interval, move |eng| {
+            if next.borrow_mut()(eng) == Tick::Again {
+                arm(eng, interval, next);
+            }
+        });
+    }
+    arm(eng, interval, Rc::new(RefCell::new(f)));
+}
+
+// ---------------------------------------------------------------------------
+// Retransmission timers
+// ---------------------------------------------------------------------------
+
+/// Per-chunk retransmission state for ARQ senders: acked flags, last-send
+/// stamps and a monotone first-unacked cursor.
+///
+/// Acks are monotone while a message is live, so the cursor never rewinds —
+/// the expiry scan and `first_unacked` are amortized O(1) per chunk over
+/// the transfer, not O(total) per tick.
+pub struct ChunkTimers {
+    acked: Vec<bool>,
+    acked_count: usize,
+    last_sent: Vec<SimTime>,
+    cursor: usize,
+}
+
+impl ChunkTimers {
+    /// Timers for a message of `total` chunks, nothing sent or acked yet.
+    pub fn new(total: usize) -> Self {
+        ChunkTimers {
+            acked: vec![false; total],
+            acked_count: 0,
+            last_sent: vec![SimTime::ZERO; total],
+            cursor: 0,
+        }
+    }
+
+    /// Total chunks tracked.
+    pub fn total(&self) -> usize {
+        self.acked.len()
+    }
+
+    /// Chunks acked so far.
+    pub fn acked_count(&self) -> usize {
+        self.acked_count
+    }
+
+    /// True once every chunk is acked.
+    pub fn is_complete(&self) -> bool {
+        self.acked_count == self.acked.len()
+    }
+
+    /// Stamps every chunk as sent at `now` (the initial whole-message
+    /// injection).
+    pub fn all_sent_at(&mut self, now: SimTime) {
+        for t in self.last_sent.iter_mut() {
+            *t = now;
+        }
+    }
+
+    /// Stamps chunk `c` as (re)sent at `now`.
+    pub fn record_sent(&mut self, c: usize, now: SimTime) {
+        self.last_sent[c] = now;
+    }
+
+    /// Marks chunk `c` acked; returns `true` when it was newly acked.
+    /// Out-of-range indices (a stale or corrupt ACK) are ignored.
+    pub fn mark_acked(&mut self, c: usize) -> bool {
+        if c < self.acked.len() && !self.acked[c] {
+            self.acked[c] = true;
+            self.acked_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Acks every chunk below `n` (a cumulative ACK point).
+    pub fn ack_prefix(&mut self, n: usize) {
+        for c in self.cursor..n.min(self.acked.len()) {
+            self.mark_acked(c);
+        }
+        self.advance_cursor();
+    }
+
+    /// The lowest unacked chunk, if any (the GBN base / SR scan floor).
+    pub fn first_unacked(&mut self) -> Option<usize> {
+        self.advance_cursor();
+        (self.cursor < self.acked.len()).then_some(self.cursor)
+    }
+
+    /// When chunk `c` has been unacked for at least `timeout` since its
+    /// last send, stamps it sent-now and returns `true` — the claim step
+    /// shared by RTO expiry and the NACK fast path (the guard keeps
+    /// duplicate reports within one tick from double-sending).
+    pub fn claim_for_resend(&mut self, c: usize, now: SimTime, timeout: SimTime) -> bool {
+        if c < self.acked.len()
+            && !self.acked[c]
+            && now.saturating_sub(self.last_sent[c]) >= timeout
+        {
+            self.last_sent[c] = now;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Calls `f` for every unacked chunk whose `timeout` expired at `now`,
+    /// stamping each as resent-now (the periodic RTO scan).
+    pub fn take_expired(&mut self, now: SimTime, timeout: SimTime, mut f: impl FnMut(usize)) {
+        self.advance_cursor();
+        for c in self.cursor..self.acked.len() {
+            if !self.acked[c] && now.saturating_sub(self.last_sent[c]) >= timeout {
+                self.last_sent[c] = now;
+                f(c);
+            }
+        }
+    }
+
+    fn advance_cursor(&mut self) {
+        while self.cursor < self.acked.len() && self.acked[self.cursor] {
+            self.cursor += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sender message-slot lifecycle
+// ---------------------------------------------------------------------------
+
+/// One streaming SDR send with chunk-granular retransmission: the sender
+/// half of the message-slot lifecycle (open on CTS, inject, repair, close).
+pub struct StreamTx {
+    qp: SdrQp,
+    local_addr: u64,
+    msg_bytes: u64,
+    chunk_bytes: u64,
+    total_chunks: usize,
+    hdl: Option<SendHandle>,
+}
+
+impl StreamTx {
+    /// A not-yet-open stream for `[local_addr, local_addr + msg_bytes)`.
+    pub fn new(qp: &SdrQp, local_addr: u64, msg_bytes: u64) -> Self {
+        let chunk_bytes = qp.config().chunk_bytes;
+        let total_chunks = qp.config().chunks_for(msg_bytes) as usize;
+        StreamTx {
+            qp: qp.clone(),
+            local_addr,
+            msg_bytes,
+            chunk_bytes,
+            total_chunks,
+            hdl: None,
+        }
+    }
+
+    /// Chunks in the message.
+    pub fn total_chunks(&self) -> usize {
+        self.total_chunks
+    }
+
+    /// True once the stream is open (the CTS credit arrived and the full
+    /// message was injected).
+    pub fn is_open(&self) -> bool {
+        self.hdl.is_some()
+    }
+
+    /// Opens the stream and injects the whole message. Returns `false`
+    /// (and does nothing) while the peer's CTS credit has not arrived;
+    /// `true` when the stream is (or already was) open.
+    pub fn try_begin(&mut self, eng: &mut Engine) -> bool {
+        if self.hdl.is_some() {
+            return true;
+        }
+        match self
+            .qp
+            .send_stream_start(eng, self.local_addr, self.msg_bytes, None)
+        {
+            Ok(hdl) => {
+                self.qp
+                    .send_stream_continue(eng, &hdl, 0, self.msg_bytes)
+                    .expect("initial injection");
+                self.hdl = Some(hdl);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Retransmits chunk `c`.
+    pub fn resend_chunk(&self, eng: &mut Engine, c: usize) {
+        let hdl = self.hdl.expect("resend only after begin");
+        let off = c as u64 * self.chunk_bytes;
+        let len = self.chunk_bytes.min(self.msg_bytes - off);
+        self.qp
+            .send_stream_continue(eng, &hdl, off, len)
+            .expect("retransmission");
+    }
+
+    /// Retransmits the window `[from, from + count)` clamped to the message
+    /// (a Go-Back-N rewind). Returns how many chunks were re-injected.
+    pub fn resend_window(&self, eng: &mut Engine, from: usize, count: usize) -> usize {
+        let hdl = self.hdl.expect("resend only after begin");
+        let end = (from + count).min(self.total_chunks);
+        if from >= end {
+            return 0;
+        }
+        let off = from as u64 * self.chunk_bytes;
+        let len = (end as u64 * self.chunk_bytes).min(self.msg_bytes) - off;
+        self.qp
+            .send_stream_continue(eng, &hdl, off, len)
+            .expect("rewind retransmission");
+        end - from
+    }
+
+    /// Closes the stream (no further chunks will be injected).
+    pub fn end(&self) {
+        if let Some(hdl) = self.hdl {
+            let _ = self.qp.send_stream_end(&hdl);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control-endpoint dispatch
+// ---------------------------------------------------------------------------
+
+/// Installs `f` as `ep`'s control handler with the shared-state clone the
+/// schemes all need: the handler gets the protocol object's `Rc` so it can
+/// borrow it per message without keeping it borrowed across engine calls.
+pub fn wire_ctrl<T: 'static>(
+    ep: &Rc<ControlEndpoint>,
+    inner: &Rc<RefCell<T>>,
+    mut f: impl FnMut(&Rc<RefCell<T>>, &mut Engine, QpAddr, CtrlMsg) + 'static,
+) {
+    let me = inner.clone();
+    ep.set_handler(move |eng, src, msg| f(&me, eng, src, msg));
+}
+
+/// Runs `begin` now and, if it reports not-ready (`false`), re-runs it on
+/// every future CTS credit — the begin-now-or-on-credit hook every sender
+/// uses to start as soon as the receiver posts its buffer.
+pub fn begin_on_cts<T: 'static>(
+    eng: &mut Engine,
+    qp: &SdrQp,
+    inner: &Rc<RefCell<T>>,
+    mut begin: impl FnMut(&Rc<RefCell<T>>, &mut Engine) -> bool + 'static,
+) {
+    if begin(inner, eng) {
+        return;
+    }
+    let me = inner.clone();
+    qp.set_cts_callback(move |eng, _seq, _len| {
+        begin(&me, eng);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing
+// ---------------------------------------------------------------------------
+
+/// Exactly-once completion plumbing: the transfer's start instant plus the
+/// scheme's done callback, armed once and never re-fired.
+pub struct Completion<R> {
+    started: Option<SimTime>,
+    fired: bool,
+    cb: Option<Box<dyn FnOnce(&mut Engine, R)>>,
+}
+
+impl<R> Completion<R> {
+    /// Wraps the scheme's done callback.
+    pub fn new(cb: impl FnOnce(&mut Engine, R) + 'static) -> Self {
+        Completion {
+            started: None,
+            fired: false,
+            cb: Some(Box::new(cb)),
+        }
+    }
+
+    /// True once [`finish`](Self::finish) has run.
+    pub fn is_done(&self) -> bool {
+        self.fired
+    }
+
+    /// Records the first-injection instant (idempotent).
+    pub fn mark_started(&mut self, now: SimTime) {
+        self.started.get_or_insert(now);
+    }
+
+    /// The first-injection instant, if any.
+    pub fn started(&self) -> Option<SimTime> {
+        self.started
+    }
+
+    /// Elapsed time since the first injection (zero when never started).
+    pub fn elapsed(&self, now: SimTime) -> SimTime {
+        now.saturating_sub(self.started.unwrap_or(now))
+    }
+
+    /// Marks the transfer done and hands back the callback (exactly once;
+    /// `None` on repeats). The caller invokes it *after* dropping any
+    /// `RefCell` borrow of the protocol state, since the callback may
+    /// re-enter the protocol object.
+    pub fn finish(&mut self) -> Option<Box<dyn FnOnce(&mut Engine, R)>> {
+        if self.fired {
+            return None;
+        }
+        self.fired = true;
+        self.cb.take()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver driver
+// ---------------------------------------------------------------------------
+
+/// Scheme-independent receiver state: the QP, the control path to the peer
+/// and the posted receive slots. Handed to the [`RxScheme`] on every tick.
+pub struct RxCommon {
+    qp: SdrQp,
+    ctrl: Rc<ControlEndpoint>,
+    peer_ctrl: QpAddr,
+    hdls: Vec<RecvHandle>,
+}
+
+impl RxCommon {
+    /// Receiver plumbing over `qp` talking to `peer_ctrl` via `ctrl`.
+    pub fn new(qp: &SdrQp, ctrl: Rc<ControlEndpoint>, peer_ctrl: QpAddr) -> Self {
+        RxCommon {
+            qp: qp.clone(),
+            ctrl,
+            peer_ctrl,
+            hdls: Vec::new(),
+        }
+    }
+
+    /// Posts a receive buffer and tracks its slot for lifecycle management.
+    /// Returns the handle's index among this receiver's slots.
+    pub fn post(&mut self, eng: &mut Engine, addr: u64, len: u64) -> usize {
+        let hdl = self.qp.recv_post(eng, addr, len).expect("receive post");
+        self.hdls.push(hdl);
+        self.hdls.len() - 1
+    }
+
+    /// Number of posted slots.
+    pub fn slots(&self) -> usize {
+        self.hdls.len()
+    }
+
+    /// The bitmap of posted slot `i`.
+    pub fn bitmap(&self, i: usize) -> Arc<TwoLevelBitmap> {
+        self.qp.recv_bitmap(&self.hdls[i]).expect("live handle")
+    }
+
+    /// Re-issues slot `i`'s CTS when nothing has arrived on it yet — the
+    /// lost-credit healing every scheme performs on its poll cadence
+    /// (CTS rides the unreliable control path). Returns `true` when the
+    /// slot has seen at least one packet (schemes arm arrival-triggered
+    /// timers off this).
+    pub fn heal_cts(&self, eng: &mut Engine, i: usize, bitmap: &TwoLevelBitmap) -> bool {
+        if bitmap.packets().count_set() == 0 {
+            let _ = self.qp.resend_cts(eng, &self.hdls[i]);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Sends a control message to the peer.
+    pub fn send(&self, eng: &mut Engine, msg: &CtrlMsg) {
+        self.ctrl.send(eng, self.peer_ctrl, msg);
+    }
+}
+
+/// A reliability scheme's receive policy: what to scan and what to say.
+/// The [`RxDriver`] supplies the cadence, CTS healing access, completion
+/// callback, linger repeats and the exactly-once slot release.
+pub trait RxScheme: 'static {
+    /// Scheme-specific payload for the done callback (receiver statistics).
+    type Done;
+
+    /// One bitmap poll: emit whatever control traffic the scheme calls for
+    /// and return `true` once the whole message is delivered. Runs once
+    /// per tick until it reports completion; must send the scheme's final
+    /// positive ACK on the completing tick.
+    fn poll(&mut self, eng: &mut Engine, rx: &mut RxCommon) -> bool;
+
+    /// One post-completion tick: repeat the final ACK so its loss on the
+    /// control path cannot strand the sender. Defaults to re-running
+    /// [`poll`](Self::poll), which is the right repeat for every scheme
+    /// whose completing-tick traffic *is* the final ACK.
+    fn linger(&mut self, eng: &mut Engine, rx: &mut RxCommon) {
+        let _ = self.poll(eng, rx);
+    }
+
+    /// The payload handed to the done callback at the completion instant.
+    fn done_payload(&self) -> Self::Done;
+}
+
+struct RxState<S: RxScheme> {
+    common: RxCommon,
+    scheme: S,
+    completed_at: Option<SimTime>,
+    lingers_left: u32,
+    released: bool,
+    done_cb: Option<Box<dyn FnOnce(&mut Engine, SimTime, S::Done)>>,
+}
+
+/// The generic receiver driver: owns the poll tick, the completion
+/// callback, the linger-ACK countdown and the exactly-once buffer release.
+pub struct RxDriver<S: RxScheme> {
+    inner: Rc<RefCell<RxState<S>>>,
+}
+
+impl<S: RxScheme> RxDriver<S> {
+    /// Starts the receive loop: `scheme.poll` runs every `tick` until it
+    /// reports completion; `done` then fires exactly once; the final ACK
+    /// repeats for `linger_acks` further ticks before every posted slot is
+    /// released (exactly once) and the loop stops.
+    pub fn start(
+        eng: &mut Engine,
+        tick: SimTime,
+        common: RxCommon,
+        scheme: S,
+        linger_acks: u32,
+        done: impl FnOnce(&mut Engine, SimTime, S::Done) + 'static,
+    ) -> Self {
+        let inner = Rc::new(RefCell::new(RxState {
+            common,
+            scheme,
+            completed_at: None,
+            lingers_left: linger_acks,
+            released: false,
+            done_cb: Some(Box::new(done)),
+        }));
+        let me = inner.clone();
+        tick_loop(eng, tick, move |eng| Self::tick(&me, eng));
+        RxDriver { inner }
+    }
+
+    fn tick(inner: &Rc<RefCell<RxState<S>>>, eng: &mut Engine) -> Tick {
+        let mut st = inner.borrow_mut();
+        if st.released {
+            return Tick::Stop;
+        }
+        let complete = {
+            let RxState {
+                common,
+                scheme,
+                completed_at,
+                ..
+            } = &mut *st;
+            if completed_at.is_some() {
+                scheme.linger(eng, common);
+                true
+            } else {
+                scheme.poll(eng, common)
+            }
+        };
+        if !complete {
+            return Tick::Again;
+        }
+        if st.completed_at.is_none() {
+            st.completed_at = Some(eng.now());
+            if let Some(cb) = st.done_cb.take() {
+                let (now, payload) = (eng.now(), st.scheme.done_payload());
+                drop(st);
+                cb(eng, now, payload);
+                st = inner.borrow_mut();
+            }
+        }
+        // Keep re-ACKing for a while (the final ACK can drop), then release
+        // the buffers — exactly once.
+        if st.lingers_left == 0 {
+            let RxState {
+                common, released, ..
+            } = &mut *st;
+            for h in &common.hdls {
+                let _ = common.qp.recv_complete(eng, h);
+            }
+            *released = true;
+            Tick::Stop
+        } else {
+            st.lingers_left -= 1;
+            Tick::Again
+        }
+    }
+
+    /// True once the scheme reported completion.
+    pub fn is_complete(&self) -> bool {
+        self.inner.borrow().completed_at.is_some()
+    }
+
+    /// The completion instant, if reached.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.inner.borrow().completed_at
+    }
+
+    /// True once every posted slot has been released back to the QP.
+    pub fn is_released(&self) -> bool {
+        self.inner.borrow().released
+    }
+
+    /// Reads scheme-specific state (mid-run statistics).
+    pub fn scheme<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.inner.borrow().scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_timers_track_acks_and_cursor() {
+        let mut t = ChunkTimers::new(4);
+        assert_eq!(t.total(), 4);
+        assert!(!t.is_complete());
+        assert_eq!(t.first_unacked(), Some(0));
+        assert!(t.mark_acked(1));
+        assert!(!t.mark_acked(1), "re-ack is not new");
+        assert!(!t.mark_acked(99), "out of range ignored");
+        assert_eq!(t.first_unacked(), Some(0), "cursor stops at the hole");
+        t.ack_prefix(2);
+        assert_eq!(t.first_unacked(), Some(2));
+        t.ack_prefix(4);
+        assert!(t.is_complete());
+        assert_eq!(t.first_unacked(), None);
+    }
+
+    #[test]
+    fn chunk_timers_expiry_scan_and_claim_guard() {
+        let mut t = ChunkTimers::new(3);
+        let t0 = SimTime::from_secs_f64(1.0);
+        let rto = SimTime::from_secs_f64(0.5);
+        t.all_sent_at(t0);
+        // Nothing expired right after sending.
+        let mut hits = Vec::new();
+        t.take_expired(t0, rto, |c| hits.push(c));
+        assert!(hits.is_empty());
+        // After an RTO, every unacked chunk fires once and is re-stamped.
+        let t1 = t0 + rto;
+        t.mark_acked(1);
+        t.take_expired(t1, rto, |c| hits.push(c));
+        assert_eq!(hits, vec![0, 2]);
+        hits.clear();
+        t.take_expired(t1, rto, |c| hits.push(c));
+        assert!(hits.is_empty(), "stamped chunks do not re-fire");
+        // The claim guard: a second claim within the guard window fails.
+        let t2 = t1 + rto;
+        assert!(t.claim_for_resend(0, t2, rto));
+        assert!(!t.claim_for_resend(0, t2, rto), "double-send guarded");
+        assert!(!t.claim_for_resend(1, t2, rto), "acked chunks never claim");
+    }
+
+    #[test]
+    fn completion_fires_exactly_once_and_tracks_start() {
+        let mut c: Completion<u32> = Completion::new(|_eng, _r| {});
+        assert!(!c.is_done());
+        let t1 = SimTime::from_secs_f64(1.0);
+        let t2 = SimTime::from_secs_f64(3.0);
+        c.mark_started(t1);
+        c.mark_started(t2); // idempotent
+        assert_eq!(c.started(), Some(t1));
+        assert_eq!(c.elapsed(t2), t2.saturating_sub(t1));
+        assert!(c.finish().is_some());
+        assert!(c.is_done());
+        assert!(c.finish().is_none(), "second finish yields nothing");
+    }
+
+    #[test]
+    fn tick_loop_reschedules_until_stop() {
+        let mut eng = Engine::new();
+        let count = Rc::new(RefCell::new(0));
+        let c = count.clone();
+        tick_loop(&mut eng, SimTime::from_secs_f64(1.0), move |_eng| {
+            *c.borrow_mut() += 1;
+            if *c.borrow() == 3 {
+                Tick::Stop
+            } else {
+                Tick::Again
+            }
+        });
+        eng.run();
+        assert_eq!(*count.borrow(), 3);
+    }
+}

@@ -1,23 +1,30 @@
-//! Selective Repeat reliability over SDR (§4.1.1).
+//! Selective Repeat reliability over SDR (§4.1.1) — a policy over the
+//! [`runtime`](crate::runtime) building blocks.
 //!
 //! Sender: streaming SDR sends inject message chunks; each unacknowledged
-//! chunk carries a retransmission timeout (`RTO = RTT + α·RTT`); expiry
-//! retransmits the chunk via `send_stream_continue`. ACKs remove
-//! acknowledged ranges from the retransmission scan.
+//! chunk carries a retransmission timeout (`RTO = RTT + α·RTT`) in a
+//! [`ChunkTimers`] table; expiry retransmits the chunk via the
+//! [`StreamTx`] slot. ACKs remove acknowledged ranges from the
+//! retransmission scan; in NACK mode reported holes retransmit immediately
+//! through the timers' claim guard (1-RTT repair instead of an RTO, §5.2.1).
 //!
-//! Receiver: periodically polls the SDR chunk bitmap and returns ACKs
-//! encoding a cumulative point plus a selective window; in NACK mode it also
-//! lists holes below the high-water mark so the sender can repair after one
-//! RTT instead of an RTO (§5.2.1).
+//! Receiver: an [`RxScheme`] that, per poll, encodes the SDR chunk bitmap
+//! into a cumulative + selective ACK (plus holes in NACK mode). Poll
+//! cadence, CTS healing, completion, linger-ACK repeats and buffer release
+//! all come from the shared [`RxDriver`].
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use sdr_core::{SdrQp, SendHandle};
+use sdr_core::SdrQp;
 use sdr_sim::{Engine, QpAddr, SimTime};
 
 use crate::ack::{build_sr_ack, CtrlMsg};
 use crate::control::ControlEndpoint;
+use crate::runtime::{
+    begin_on_cts, tick_loop, wire_ctrl, ChunkTimers, Completion, RxCommon, RxDriver, RxScheme,
+    StreamTx, Tick,
+};
 
 /// Selective Repeat protocol tuning.
 #[derive(Clone, Copy, Debug)]
@@ -73,25 +80,12 @@ pub struct SrReport {
 }
 
 struct SenderInner {
-    qp: SdrQp,
-    ctrl: Rc<ControlEndpoint>,
-    /// Kept for symmetry/diagnostics; ACKs arrive via the ctrl handler.
-    #[allow(dead_code)]
-    peer_ctrl: QpAddr,
+    stream: StreamTx,
+    timers: ChunkTimers,
     cfg: SrProtoConfig,
-    local_addr: u64,
-    msg_bytes: u64,
-    chunk_bytes: u64,
-    total_chunks: usize,
-    hdl: Option<SendHandle>,
-    acked: Vec<bool>,
-    acked_count: usize,
-    last_sent: Vec<SimTime>,
-    start_time: SimTime,
     retransmitted: u64,
     acks: u64,
-    done: bool,
-    done_cb: Option<Box<dyn FnOnce(&mut Engine, SrReport)>>,
+    completion: Completion<SrReport>,
 }
 
 /// The SR sender protocol object.
@@ -107,137 +101,93 @@ impl SrSender {
         eng: &mut Engine,
         qp: &SdrQp,
         ctrl: Rc<ControlEndpoint>,
-        peer_ctrl: QpAddr,
+        _peer_ctrl: QpAddr,
         local_addr: u64,
         msg_bytes: u64,
         cfg: SrProtoConfig,
         done: impl FnOnce(&mut Engine, SrReport) + 'static,
     ) -> SrSender {
-        let chunk_bytes = qp.config().chunk_bytes;
-        let total_chunks = qp.config().chunks_for(msg_bytes) as usize;
+        let stream = StreamTx::new(qp, local_addr, msg_bytes);
+        let total_chunks = stream.total_chunks();
         let inner = Rc::new(RefCell::new(SenderInner {
-            qp: qp.clone(),
-            ctrl,
-            peer_ctrl,
+            stream,
+            timers: ChunkTimers::new(total_chunks),
             cfg,
-            local_addr,
-            msg_bytes,
-            chunk_bytes,
-            total_chunks,
-            hdl: None,
-            acked: vec![false; total_chunks],
-            acked_count: 0,
-            last_sent: vec![SimTime::ZERO; total_chunks],
-            start_time: SimTime::ZERO,
             retransmitted: 0,
             acks: 0,
-            done: false,
-            done_cb: Some(Box::new(done)),
+            completion: Completion::new(done),
         }));
 
         // Control-path handler: apply ACKs.
-        {
-            let me = inner.clone();
-            let ep = inner.borrow().ctrl.clone();
-            ep.set_handler(move |eng, _src, msg| {
-                if let CtrlMsg::SrAck {
+        wire_ctrl(&ctrl, &inner, |me, eng, _src, msg| {
+            if let CtrlMsg::SrAck {
+                cumulative,
+                window_start,
+                sack_bits,
+                sack_len,
+                nacks,
+            } = msg
+            {
+                Self::on_ack(
+                    me,
+                    eng,
                     cumulative,
                     window_start,
-                    sack_bits,
+                    &sack_bits,
                     sack_len,
-                    nacks,
-                } = msg
-                {
-                    Self::on_ack(
-                        &me,
-                        eng,
-                        cumulative,
-                        window_start,
-                        &sack_bits,
-                        sack_len,
-                        &nacks,
-                    );
-                }
-            });
-        }
-
-        let sender = SrSender { inner };
-        // Begin now if the CTS credit is already here; otherwise hook it.
-        if !sender.try_begin(eng) {
-            let me = sender.inner.clone();
-            qp.set_cts_callback(move |eng, _seq, _len| {
-                let s = SrSender { inner: me.clone() };
-                s.try_begin(eng);
-            });
-        }
-        sender
-    }
-
-    /// Sender-side report once finished (None while running).
-    pub fn is_done(&self) -> bool {
-        self.inner.borrow().done
-    }
-
-    fn try_begin(&self, eng: &mut Engine) -> bool {
-        let mut i = self.inner.borrow_mut();
-        if i.hdl.is_some() {
-            return true;
-        }
-        let res = i.qp.send_stream_start(eng, i.local_addr, i.msg_bytes, None);
-        match res {
-            Ok(hdl) => {
-                i.hdl = Some(hdl);
-                i.start_time = eng.now();
-                let now = eng.now();
-                for t in i.last_sent.iter_mut() {
-                    *t = now;
-                }
-                let (addr_len, hdl2) = (i.msg_bytes, hdl);
-                i.qp.send_stream_continue(eng, &hdl2, 0, addr_len)
-                    .expect("initial injection");
-                drop(i);
-                self.schedule_tick(eng);
-                true
+                    &nacks,
+                );
             }
-            Err(_) => false,
-        }
-    }
-
-    fn schedule_tick(&self, eng: &mut Engine) {
-        let me = self.inner.clone();
-        let tick = self.inner.borrow().cfg.tick;
-        eng.schedule_in(tick, move |eng| {
-            let s = SrSender { inner: me };
-            s.tick(eng);
         });
+
+        // Begin now if the CTS credit is already here; otherwise hook it.
+        begin_on_cts(eng, qp, &inner, Self::try_begin);
+        SrSender { inner }
     }
 
-    fn tick(&self, eng: &mut Engine) {
-        {
-            let mut i = self.inner.borrow_mut();
-            if i.done {
-                return;
+    /// True once the final ACK has been processed.
+    pub fn is_done(&self) -> bool {
+        self.inner.borrow().completion.is_done()
+    }
+
+    fn try_begin(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> bool {
+        let (began, tick) = {
+            let mut i = inner.borrow_mut();
+            if i.stream.is_open() {
+                return true;
+            }
+            if !i.stream.try_begin(eng) {
+                return false;
             }
             let now = eng.now();
-            let rto = i.cfg.rto;
-            let hdl = i.hdl.expect("tick only runs after begin");
-            let (chunk_bytes, msg_bytes) = (i.chunk_bytes, i.msg_bytes);
-            let mut to_resend = Vec::new();
-            for c in 0..i.total_chunks {
-                if !i.acked[c] && now.saturating_sub(i.last_sent[c]) >= rto {
-                    to_resend.push(c);
-                }
-            }
-            for c in to_resend {
-                let off = c as u64 * chunk_bytes;
-                let len = chunk_bytes.min(msg_bytes - off);
-                i.qp.send_stream_continue(eng, &hdl, off, len)
-                    .expect("retransmission");
-                i.last_sent[c] = now;
-                i.retransmitted += 1;
-            }
+            i.completion.mark_started(now);
+            i.timers.all_sent_at(now);
+            (true, i.cfg.tick)
+        };
+        // Retransmission scan: runs until the transfer completes.
+        let me = inner.clone();
+        tick_loop(eng, tick, move |eng| Self::tick(&me, eng));
+        began
+    }
+
+    fn tick(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> Tick {
+        let mut i = inner.borrow_mut();
+        if i.completion.is_done() {
+            return Tick::Stop;
         }
-        self.schedule_tick(eng);
+        let now = eng.now();
+        let rto = i.cfg.rto;
+        let SenderInner {
+            stream,
+            timers,
+            retransmitted,
+            ..
+        } = &mut *i;
+        timers.take_expired(now, rto, |c| {
+            stream.resend_chunk(eng, c);
+            *retransmitted += 1;
+        });
+        Tick::Again
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -251,55 +201,42 @@ impl SrSender {
         nacks: &[u32],
     ) {
         let mut i = inner.borrow_mut();
-        if i.done {
+        if i.completion.is_done() {
             return;
         }
         i.acks += 1;
-        let total = i.total_chunks;
-        let mark = |i: &mut SenderInner, c: usize| {
-            if c < total && !i.acked[c] {
-                i.acked[c] = true;
-                i.acked_count += 1;
-            }
-        };
-        for c in 0..(cumulative as usize).min(total) {
-            mark(&mut i, c);
-        }
+        i.timers.ack_prefix(cumulative as usize);
         for b in 0..(sack_len as usize) {
             if sack_bits[b / 64] >> (b % 64) & 1 == 1 {
-                mark(&mut i, window_start as usize + b);
+                i.timers.mark_acked(window_start as usize + b);
             }
         }
         // NACK fast path: retransmit reported holes immediately, guarded so
         // duplicate NACKs within a tick don't double-send.
-        if i.cfg.nack && i.hdl.is_some() {
+        if i.cfg.nack && i.stream.is_open() {
             let now = eng.now();
             let guard = i.cfg.tick;
-            let hdl = i.hdl.expect("checked");
-            let (chunk_bytes, msg_bytes) = (i.chunk_bytes, i.msg_bytes);
+            let SenderInner {
+                stream,
+                timers,
+                retransmitted,
+                ..
+            } = &mut *i;
             for &c in nacks {
-                let c = c as usize;
-                if c < total && !i.acked[c] && now.saturating_sub(i.last_sent[c]) >= guard {
-                    let off = c as u64 * chunk_bytes;
-                    let len = chunk_bytes.min(msg_bytes - off);
-                    i.qp.send_stream_continue(eng, &hdl, off, len)
-                        .expect("nack retransmission");
-                    i.last_sent[c] = now;
-                    i.retransmitted += 1;
+                if timers.claim_for_resend(c as usize, now, guard) {
+                    stream.resend_chunk(eng, c as usize);
+                    *retransmitted += 1;
                 }
             }
         }
-        if i.acked_count == total {
-            i.done = true;
-            if let Some(hdl) = i.hdl {
-                let _ = i.qp.send_stream_end(&hdl);
-            }
+        if i.timers.is_complete() {
+            i.stream.end();
             let report = SrReport {
-                duration: eng.now().saturating_sub(i.start_time),
+                duration: i.completion.elapsed(eng.now()),
                 retransmitted: i.retransmitted,
                 acks: i.acks,
             };
-            if let Some(cb) = i.done_cb.take() {
+            if let Some(cb) = i.completion.finish() {
                 drop(i);
                 cb(eng, report);
             }
@@ -307,22 +244,32 @@ impl SrSender {
     }
 }
 
-struct ReceiverInner {
-    qp: SdrQp,
-    ctrl: Rc<ControlEndpoint>,
-    peer_ctrl: QpAddr,
-    cfg: SrProtoConfig,
-    hdl: sdr_core::RecvHandle,
+/// The SR receive policy: one bitmap, one cumulative + selective ACK per
+/// poll (with holes in NACK mode).
+struct SrRxScheme {
     total_chunks: usize,
-    completed_at: Option<SimTime>,
-    lingers_left: u32,
-    released: bool,
-    done_cb: Option<Box<dyn FnOnce(&mut Engine, SimTime)>>,
+    nack: bool,
+}
+
+impl RxScheme for SrRxScheme {
+    type Done = ();
+
+    fn poll(&mut self, eng: &mut Engine, rx: &mut RxCommon) -> bool {
+        let bitmap = rx.bitmap(0);
+        // Nothing arrived yet? The CTS may have been lost on the
+        // unreliable control path — re-issue it.
+        rx.heal_cts(eng, 0, &bitmap);
+        let ack = build_sr_ack(bitmap.chunks(), self.total_chunks, self.nack);
+        rx.send(eng, &ack);
+        bitmap.is_complete()
+    }
+
+    fn done_payload(&self) {}
 }
 
 /// The SR receiver protocol object.
 pub struct SrReceiver {
-    inner: Rc<RefCell<ReceiverInner>>,
+    driver: RxDriver<SrRxScheme>,
 }
 
 impl SrReceiver {
@@ -339,82 +286,30 @@ impl SrReceiver {
         cfg: SrProtoConfig,
         done: impl FnOnce(&mut Engine, SimTime) + 'static,
     ) -> SrReceiver {
-        let hdl = qp
-            .recv_post(eng, buf_addr, msg_bytes)
-            .expect("receive post");
-        let total_chunks = qp.config().chunks_for(msg_bytes) as usize;
-        let inner = Rc::new(RefCell::new(ReceiverInner {
-            qp: qp.clone(),
-            ctrl,
-            peer_ctrl,
-            cfg,
-            hdl,
-            total_chunks,
-            completed_at: None,
-            lingers_left: cfg.linger_acks,
-            released: false,
-            done_cb: Some(Box::new(done)),
-        }));
-        let rx = SrReceiver { inner };
-        rx.schedule_tick(eng);
-        rx
+        let mut common = RxCommon::new(qp, ctrl, peer_ctrl);
+        common.post(eng, buf_addr, msg_bytes);
+        let scheme = SrRxScheme {
+            total_chunks: qp.config().chunks_for(msg_bytes) as usize,
+            nack: cfg.nack,
+        };
+        let driver = RxDriver::start(
+            eng,
+            cfg.ack_interval,
+            common,
+            scheme,
+            cfg.linger_acks,
+            move |eng, t, ()| done(eng, t),
+        );
+        SrReceiver { driver }
     }
 
     /// True once every chunk has arrived.
     pub fn is_complete(&self) -> bool {
-        self.inner.borrow().completed_at.is_some()
+        self.driver.is_complete()
     }
 
-    fn schedule_tick(&self, eng: &mut Engine) {
-        let me = self.inner.clone();
-        let dt = self.inner.borrow().cfg.ack_interval;
-        eng.schedule_in(dt, move |eng| {
-            let rx = SrReceiver { inner: me };
-            rx.tick(eng);
-        });
-    }
-
-    fn tick(&self, eng: &mut Engine) {
-        let reschedule = {
-            let mut i = self.inner.borrow_mut();
-            if i.released {
-                false
-            } else {
-                let bitmap = i.qp.recv_bitmap(&i.hdl).expect("live handle");
-                // Nothing arrived yet? The CTS may have been lost on the
-                // unreliable control path — re-issue it.
-                if bitmap.packets().count_set() == 0 {
-                    let _ = i.qp.resend_cts(eng, &i.hdl);
-                }
-                let ack = build_sr_ack(bitmap.chunks(), i.total_chunks, i.cfg.nack);
-                i.ctrl.send(eng, i.peer_ctrl, &ack);
-                if bitmap.is_complete() {
-                    if i.completed_at.is_none() {
-                        i.completed_at = Some(eng.now());
-                        if let Some(cb) = i.done_cb.take() {
-                            let now = eng.now();
-                            drop(i);
-                            cb(eng, now);
-                            i = self.inner.borrow_mut();
-                        }
-                    }
-                    // Keep re-ACKing for a while (the final ACK can drop),
-                    // then release the buffer.
-                    if i.lingers_left == 0 {
-                        i.qp.recv_complete(eng, &i.hdl).expect("release");
-                        i.released = true;
-                        false
-                    } else {
-                        i.lingers_left -= 1;
-                        true
-                    }
-                } else {
-                    true
-                }
-            }
-        };
-        if reschedule {
-            self.schedule_tick(eng);
-        }
+    /// True once the receive buffer has been released back to the QP.
+    pub fn is_released(&self) -> bool {
+        self.driver.is_released()
     }
 }

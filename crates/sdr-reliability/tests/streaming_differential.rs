@@ -31,6 +31,7 @@ struct Outcome {
     sender_done: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     staging: EcStaging,
     code: EcCodeChoice,
@@ -39,6 +40,7 @@ fn run_one(
     p_drop: f64,
     seed: u64,
     msg: u64,
+    stripes: usize,
 ) -> Outcome {
     let link = LinkConfig::wan(50.0, 8e9, p_drop).with_seed(seed);
     let mut p = sdr_pair(link, cfg(), 64 << 20);
@@ -54,6 +56,7 @@ fn run_one(
     let mut proto = EcProtoConfig::for_channel(k, m, code, &model_ch, msg, rtt);
     proto.staging = staging;
     proto.linger_acks = 60;
+    proto.encode_stripes = stripes;
 
     let done = Rc::new(RefCell::new(false));
     let d = done.clone();
@@ -107,8 +110,8 @@ fn streamed_sender_matches_staged_sender() {
         (EcCodeChoice::Xor, 3, 1, 0.08, 15, 832 * 1024),
     ];
     for (code, k, m, p_drop, seed, msg) in cases {
-        let streamed = run_one(EcStaging::Streamed, code, k, m, p_drop, seed, msg);
-        let staged = run_one(EcStaging::Upfront, code, k, m, p_drop, seed, msg);
+        let streamed = run_one(EcStaging::Streamed, code, k, m, p_drop, seed, msg, 1);
+        let staged = run_one(EcStaging::Upfront, code, k, m, p_drop, seed, msg, 1);
         let tag = format!("code={code:?} k={k} m={m} p={p_drop} seed={seed}");
 
         assert!(streamed.sender_done, "{tag}: streamed sender finished");
@@ -129,6 +132,43 @@ fn streamed_sender_matches_staged_sender() {
             (
                 staged.stats.complete_submessages,
                 staged.stats.decoded_submessages
+            ),
+            "{tag}: resolution path identical"
+        );
+    }
+}
+
+/// Striping an in-flight submessage's encode across the pool
+/// (`encode_stripes > 1`) changes *where* parity bytes are computed, never
+/// their value or the protocol's behavior: delivery, staged parity and the
+/// resolution path must match the single-stripe sender bit-for-bit.
+#[test]
+fn striped_encode_jobs_match_unstriped() {
+    let cases = [
+        // (code, k, m, p_drop, seed, msg_bytes, stripes)
+        (EcCodeChoice::Mds, 4, 2, 0.0, 21u64, 1u64 << 20, 2),
+        (EcCodeChoice::Mds, 3, 2, 0.05, 22, 832 * 1024, 4), // tail submessage
+        (EcCodeChoice::Xor, 4, 2, 0.02, 23, 1 << 20, 3),
+    ];
+    for (code, k, m, p_drop, seed, msg, stripes) in cases {
+        let striped = run_one(EcStaging::Streamed, code, k, m, p_drop, seed, msg, stripes);
+        let serial = run_one(EcStaging::Streamed, code, k, m, p_drop, seed, msg, 1);
+        let tag = format!("code={code:?} k={k} m={m} p={p_drop} stripes={stripes}");
+        assert!(striped.sender_done && serial.sender_done, "{tag}: finished");
+        let want = pattern(msg as usize, seed ^ 0x5EED);
+        assert_eq!(striped.delivered, want, "{tag}: striped delivery intact");
+        assert_eq!(
+            striped.parity, serial.parity,
+            "{tag}: parity bytes identical across stripe widths"
+        );
+        assert_eq!(
+            (
+                striped.stats.complete_submessages,
+                striped.stats.decoded_submessages
+            ),
+            (
+                serial.stats.complete_submessages,
+                serial.stats.decoded_submessages
             ),
             "{tag}: resolution path identical"
         );
