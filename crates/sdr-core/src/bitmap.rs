@@ -144,6 +144,37 @@ impl AtomicBitmap {
         c
     }
 
+    /// Highest set bit index, if any bit is set — the receive high-water
+    /// mark telemetry scans against (everything below it either arrived or
+    /// was lost on its first pass).
+    pub fn highest_set(&self) -> Option<usize> {
+        for (wi, w) in self.words.iter().enumerate().rev() {
+            let val = w.load(Ordering::Acquire);
+            if val != 0 {
+                return Some(wi * 64 + 63 - val.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Number of set bits among the first `n` — one atomic load per 64
+    /// bits, so range occupancy (`count_set_in_first_n(hi) −
+    /// count_set_in_first_n(lo)`) stays cheap on poll cadences.
+    pub fn count_set_in_first_n(&self, n: usize) -> usize {
+        debug_assert!(n <= self.bits);
+        let full_words = n / 64;
+        let mut c: usize = self.words[..full_words]
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum();
+        let rem = n % 64;
+        if rem != 0 {
+            let mask = (1u64 << rem) - 1;
+            c += (self.words[full_words].load(Ordering::Acquire) & mask).count_ones() as usize;
+        }
+        c
+    }
+
     /// Copies out the raw words (for ACK encoding).
     pub fn snapshot_words(&self) -> Vec<u64> {
         self.words
@@ -350,6 +381,26 @@ mod tests {
         assert_eq!(b.count_set(), 3);
         b.clear_all();
         assert_eq!(b.count_set(), 0);
+    }
+
+    #[test]
+    fn highest_set_and_ranged_counts() {
+        let b = AtomicBitmap::new(200);
+        assert_eq!(b.highest_set(), None);
+        assert_eq!(b.count_set_in_first_n(200), 0);
+        b.set(3);
+        b.set(64);
+        b.set(131);
+        assert_eq!(b.highest_set(), Some(131));
+        assert_eq!(b.count_set_in_first_n(3), 0);
+        assert_eq!(b.count_set_in_first_n(4), 1);
+        assert_eq!(b.count_set_in_first_n(64), 1);
+        assert_eq!(b.count_set_in_first_n(65), 2);
+        assert_eq!(b.count_set_in_first_n(131), 2);
+        assert_eq!(b.count_set_in_first_n(132), 3);
+        assert_eq!(b.count_set_in_first_n(200), 3);
+        // Range occupancy by subtraction (the telemetry first-pass scan).
+        assert_eq!(b.count_set_in_first_n(132) - b.count_set_in_first_n(4), 2);
     }
 
     #[test]

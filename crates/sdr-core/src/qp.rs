@@ -333,6 +333,23 @@ impl SdrQp {
         Ok(RecvHandle { slot, seq })
     }
 
+    /// True when the next `count` receive posts would find their slots
+    /// free. Order-based matching pins post `k` to slot
+    /// `(recv_seq + k) % msg_slots`, so a caller pipelining many posts
+    /// (the adaptive receiver) can throttle on table capacity instead of
+    /// failing with `SlotBusy`.
+    pub fn can_recv_post(&self, count: u64) -> bool {
+        let i = self.inner.borrow();
+        let slots = i.cfg.msg_slots as u64;
+        if count > slots {
+            return false;
+        }
+        (0..count).all(|k| {
+            let slot = ((i.recv_seq + k) % slots) as usize;
+            !i.recv_slots[slot].active
+        })
+    }
+
     /// Re-sends the clear-to-send credit for a posted receive. CTS rides
     /// the unreliable control path and can drop; reliability layers call
     /// this when a posted buffer has seen no traffic for a while.

@@ -6,8 +6,9 @@
 //! rows are the identity (systematic form), the standard construction used
 //! by ISA-L and other storage codecs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::codec::{shard_len, EcError, ErasureCode};
 use crate::kernel::{Kernel, STRIP_BYTES};
@@ -17,10 +18,42 @@ use crate::matrix::Matrix;
 /// on the stack — no per-call allocation in the encode path.
 const MAX_SHARDS: usize = 256;
 
-/// Decode-matrix cache entries retained per code (small: under steady
-/// loss the survivor set repeats across polls, so a handful of patterns
-/// covers almost every decode).
+/// Decode-matrix cache entries retained per `(k, m)` shape (small: under
+/// steady loss the survivor set repeats across polls, so a handful of
+/// patterns covers almost every decode).
 const DECODE_CACHE_CAP: usize = 8;
+
+/// The capacity new shared per-shape caches are created with.
+static DEFAULT_DECODE_CACHE_CAP: AtomicUsize = AtomicUsize::new(DECODE_CACHE_CAP);
+
+/// Sets the capacity used when a `(k, m)` shape's **shared** decode cache
+/// is first created (default 8). Shapes whose cache already exists keep
+/// their capacity — configure before building codes. Per-instance
+/// overrides via [`ReedSolomon::with_decode_cache_capacity`] are
+/// unaffected.
+pub fn set_decode_cache_default_capacity(cap: usize) {
+    DEFAULT_DECODE_CACHE_CAP.store(cap, Ordering::Relaxed);
+}
+
+/// The capacity new shared per-shape decode caches are created with.
+pub fn decode_cache_default_capacity() -> usize {
+    DEFAULT_DECODE_CACHE_CAP.load(Ordering::Relaxed)
+}
+
+/// One decode cache per `(k, m)` shape, shared process-wide. The systematic
+/// encode matrix is a pure function of the shape, so two independently
+/// built `RS(k, m)` codes invert identical survivor submatrices — a striped
+/// message decoding on many receivers (or the EC receiver's full-size and
+/// tail codes across transfers) should pay each erasure pattern's O(k³)
+/// inversion once, not once per code instance.
+fn shared_decode_cache(k: usize, m: usize) -> Arc<DecodeCache> {
+    static REGISTRY: OnceLock<Mutex<HashMap<(usize, usize), Arc<DecodeCache>>>> = OnceLock::new();
+    let reg = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut g = reg.lock().expect("decode-cache registry poisoned");
+    g.entry((k, m))
+        .or_insert_with(|| Arc::new(DecodeCache::new(decode_cache_default_capacity())))
+        .clone()
+}
 
 /// An LRU of inverted `k × k` survivor submatrices, keyed by the survivor
 /// index set. Reconstruction inverts the encode rows of the `k` shards it
@@ -102,7 +135,8 @@ pub struct ReedSolomon {
     m: usize,
     /// Full `(k+m) × k` systematic encode matrix (top `k` rows identity).
     matrix: Matrix,
-    /// Inverted survivor submatrices, shared across clones.
+    /// Inverted survivor submatrices — by default the process-wide cache
+    /// shared by every `RS(k, m)` of this shape (and all clones).
     decode_cache: Arc<DecodeCache>,
 }
 
@@ -127,13 +161,14 @@ impl ReedSolomon {
             k,
             m,
             matrix,
-            decode_cache: Arc::new(DecodeCache::new(DECODE_CACHE_CAP)),
+            decode_cache: shared_decode_cache(k, m),
         }
     }
 
-    /// Overrides the decode-matrix cache capacity (builder style). `0`
-    /// disables caching — the uncached baseline the differential tests
-    /// compare against.
+    /// Overrides the decode-matrix cache with a **private** one of the
+    /// given capacity (builder style), detaching this instance (and its
+    /// clones) from the shared per-shape cache. `0` disables caching — the
+    /// uncached baseline the differential tests compare against.
     pub fn with_decode_cache_capacity(mut self, cap: usize) -> Self {
         self.decode_cache = Arc::new(DecodeCache::new(cap));
         self
@@ -406,7 +441,9 @@ mod tests {
     #[test]
     fn decode_cache_differential_vs_uncached() {
         let (k, m) = (8usize, 3usize);
-        let cached = ReedSolomon::new(k, m);
+        // Private cache at the default capacity: the differential must not
+        // see hits/misses other tests feed into the shared (8,3) cache.
+        let cached = ReedSolomon::new(k, m).with_decode_cache_capacity(DECODE_CACHE_CAP);
         let uncached = ReedSolomon::new(k, m).with_decode_cache_capacity(0);
         let data = random_shards(k, 513, 17);
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
@@ -455,6 +492,92 @@ mod tests {
         assert!(misses <= 4, "one miss per distinct pattern: {misses}");
         let (uh, _) = uncached.decode_cache_stats();
         assert_eq!(uh, 0, "capacity 0 disables caching");
+    }
+
+    /// Serializes the tests that read the shared registry's counters or
+    /// mutate the default capacity (tests run concurrently in one process).
+    fn registry_test_lock() -> &'static std::sync::Mutex<()> {
+        static LOCK: OnceLock<std::sync::Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+    }
+
+    /// Reconstructs with `erase`d shards through `code` (shards built from
+    /// `data`/`parity`).
+    fn decode_with(code: &ReedSolomon, data: &[Vec<u8>], parity: &[Vec<u8>], erase: &[usize]) {
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.iter().cloned().map(Some))
+            .collect();
+        for &e in erase {
+            shards[e] = None;
+        }
+        code.reconstruct(&mut shards).expect("recoverable");
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(shards[i].as_ref().unwrap(), d, "data shard {i}");
+        }
+    }
+
+    /// Two *independently built* codes of the same shape share one decode
+    /// cache: a pattern inverted through one is a hit through the other,
+    /// and eviction happens in the one shared LRU. (Shape (10, 2) is used
+    /// by no other test, so the counters are ours under the lock.)
+    #[test]
+    fn shared_cache_spans_instances_of_equal_shape_and_evicts() {
+        let _g = registry_test_lock().lock().unwrap();
+        let (k, m) = (10usize, 2usize);
+        let a = ReedSolomon::new(k, m);
+        let b = ReedSolomon::new(k, m);
+        assert_eq!(decode_cache_default_capacity(), 8, "expected default");
+        let data = random_shards(k, 96, 41);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = a.encode(&refs);
+        let (h0, m0) = a.decode_cache_stats();
+
+        // Eight distinct patterns through `a` fill the shared cache...
+        for i in 0..8 {
+            decode_with(&a, &data, &parity, &[i, i + 1]);
+        }
+        // ...and are hits through the *other* instance.
+        decode_with(&b, &data, &parity, &[0, 1]);
+        // A ninth pattern through `b` evicts the shared LRU entry, which by
+        // now is [1, 2] ([0, 1] was just touched).
+        decode_with(&b, &data, &parity, &[9, 11]);
+        decode_with(&a, &data, &parity, &[2, 3]); // hit: retained
+        decode_with(&a, &data, &parity, &[1, 2]); // miss: evicted
+        let (h1, m1) = a.decode_cache_stats();
+        assert_eq!(
+            (h1 - h0, m1 - m0),
+            (2, 10),
+            "shared hits/misses across instances"
+        );
+        let (hb, mb) = b.decode_cache_stats();
+        assert_eq!((hb, mb), (h1, m1), "one cache, one counter set");
+    }
+
+    /// The shared cache's creation capacity is configurable; shapes created
+    /// under a lowered default evict sooner. (Shape (11, 2) is unique to
+    /// this test; the default is restored under the lock.)
+    #[test]
+    fn shared_cache_default_capacity_is_configurable() {
+        let _g = registry_test_lock().lock().unwrap();
+        let before = decode_cache_default_capacity();
+        set_decode_cache_default_capacity(2);
+        let code = ReedSolomon::new(11, 2);
+        set_decode_cache_default_capacity(before);
+
+        let data = random_shards(11, 64, 43);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs);
+        let (h0, m0) = code.decode_cache_stats();
+        decode_with(&code, &data, &parity, &[0, 1]); // miss
+        decode_with(&code, &data, &parity, &[2, 3]); // miss
+        decode_with(&code, &data, &parity, &[4, 5]); // miss → evicts [0,1]
+        decode_with(&code, &data, &parity, &[0, 1]); // miss again (cap 2)
+        decode_with(&code, &data, &parity, &[0, 1]); // hit
+        let (h1, m1) = code.decode_cache_stats();
+        assert_eq!((h1 - h0, m1 - m0), (1, 4));
     }
 
     /// The LRU evicts the oldest pattern and clones share one cache.

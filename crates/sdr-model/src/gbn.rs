@@ -6,10 +6,20 @@
 //! GBN stalls for the RTO *and* re-injects every outstanding chunk from the
 //! hole onward, so each drop costs `RTO + min(W, M − i)·T_INJ` instead of
 //! SR's `RTO + T_INJ`.
+//!
+//! The model is **window-aware**: a rewind from hole `i` re-injects the
+//! whole window `[i, i + W)`, which repairs *every* hole that window spans
+//! (unless a retransmitted copy drops again) — exactly what the protocol's
+//! base-timer rewind does. Charging each drop its own serialized round (the
+//! first version of this model) overcounts whenever two holes share a
+//! window, which is the common case at the loss rates where GBN hurts most;
+//! the window-aware accounting brings the closed form within ±20% of the
+//! DES protocol (`sdr-reliability/tests/gbn_differential.rs`).
 
 use rand::rngs::SmallRng;
+use rand::Rng;
 
-use crate::dist::{sample_binomial, sample_distinct_positions, sample_geometric_trials};
+use crate::dist::{sample_binomial, sample_distinct_positions};
 use crate::params::Channel;
 use crate::stats::Summary;
 
@@ -35,9 +45,12 @@ impl GbnConfig {
 
 /// Draws one GBN completion-time sample for a message of `message_bytes`.
 ///
-/// Every dropped chunk independently costs `Y−1` rounds of
-/// `RTO + min(W, M−i)·T_INJ` re-injection (Y geometric), serialized on top
-/// of the base injection time — GBN cannot overlap recovery with new data.
+/// Window-aware accounting: holes are repaired leftmost-first. Each round
+/// serializes `RTO + min(W, M−i)·T_INJ` for the leftmost hole `i` and
+/// clears every hole inside `[i, i+W)` whose retransmitted copy survives
+/// (each re-drops i.i.d. with the chunk drop probability); survivors and
+/// holes beyond the window wait for the next round. GBN cannot overlap
+/// recovery with new data, so rounds add serially to the base injection.
 pub fn gbn_sample(ch: &Channel, message_bytes: u64, cfg: &GbnConfig, rng: &mut SmallRng) -> f64 {
     let m = ch.chunks_for(message_bytes);
     let t_inj = ch.t_inj();
@@ -50,11 +63,28 @@ pub fn gbn_sample(ch: &Channel, message_bytes: u64, cfg: &GbnConfig, rng: &mut S
     if dropped == 0 {
         return base;
     }
+    let mut holes = sample_distinct_positions(rng, m, dropped);
+    holes.sort_unstable();
     let mut extra = 0.0;
-    for pos in sample_distinct_positions(rng, m, dropped) {
-        let rounds = sample_geometric_trials(rng, p);
-        let rewind = cfg.window_chunks.min(m - pos) as f64 * t_inj;
-        extra += rounds as f64 * (cfg.rto_s + rewind);
+    let mut first_round = true;
+    while let Some(&i) = holes.first() {
+        // One serialized rewind round from the leftmost hole. The base
+        // timer arms at begin and GBN keeps injecting while it runs, so
+        // the first round's RTO overlaps the message injection — only the
+        // part sticking out past it serializes. Later rounds run on an
+        // idle wire and pay in full.
+        let rewind = cfg.window_chunks.min(m - i) as f64 * t_inj;
+        let rto = if first_round {
+            (cfg.rto_s - m as f64 * t_inj).max(0.0)
+        } else {
+            cfg.rto_s
+        };
+        first_round = false;
+        extra += rto + rewind;
+        let win_end = i + cfg.window_chunks;
+        // Holes the window spans are retransmitted in this round; each
+        // survives independently. Holes beyond it wait their own round.
+        holes.retain(|&h| h >= win_end || rng.random::<f64>() < p);
     }
     base + extra
 }
@@ -91,26 +121,44 @@ mod tests {
     #[test]
     fn sr_is_at_least_as_efficient_as_gbn() {
         // The Bertsekas–Gallager ordering the paper invokes to justify
-        // studying SR as the ARQ representative.
+        // studying SR as the ARQ representative. At the paper's long-haul
+        // point the BDP window spans the whole message, so one batched GBN
+        // rewind ≈ SR's parallel per-chunk repair — a near-tie the
+        // window-aware model reproduces; allow sampling noise on it.
         let ch = Channel::new(400e9, 0.025, 1e-4);
         let sr = sr_summary(&ch, 128 << 20, &SrConfig::rto_multiple(&ch, 3.0), 3000, 2);
         let gbn = gbn_summary(&ch, 128 << 20, &GbnConfig::bdp_window(&ch, 3.0), 3000, 2);
         assert!(
-            sr.mean <= gbn.mean,
+            sr.mean <= gbn.mean * 1.01,
             "SR {} should not exceed GBN {}",
             sr.mean,
             gbn.mean
         );
+        // The structural gap: when the holes span several rewind windows
+        // (shorter RTT → BDP window ≪ message) the GBN rounds serialize
+        // while SR still repairs every hole in parallel.
+        let ch = Channel::new(400e9, 0.0004, 1e-3);
+        let sr = sr_summary(&ch, 128 << 20, &SrConfig::rto_multiple(&ch, 3.0), 3000, 4);
+        let gbn = gbn_summary(&ch, 128 << 20, &GbnConfig::bdp_window(&ch, 3.0), 3000, 4);
+        assert!(
+            gbn.mean > sr.mean * 1.5,
+            "serialized rewinds must cost well beyond SR: GBN {} vs SR {}",
+            gbn.mean,
+            sr.mean
+        );
     }
 
     #[test]
-    fn gbn_cost_grows_with_window() {
+    fn rewind_injection_cost_grows_with_window() {
+        // With a negligible RTO the rewind *injection* dominates: a larger
+        // window re-sends more already-delivered chunks per round, so it
+        // must cost more wall-clock (the bandwidth waste SR avoids).
         let ch = Channel::new(400e9, 0.025, 1e-4);
         let small = gbn_summary(
             &ch,
             128 << 20,
             &GbnConfig {
-                rto_s: 0.075,
+                rto_s: 1e-6,
                 window_chunks: 16,
             },
             2000,
@@ -120,12 +168,44 @@ mod tests {
             &ch,
             128 << 20,
             &GbnConfig {
-                rto_s: 0.075,
+                rto_s: 1e-6,
                 window_chunks: 4096,
             },
             2000,
             3,
         );
         assert!(large.mean > small.mean);
+    }
+
+    #[test]
+    fn shared_windows_repair_in_fewer_rounds_than_per_drop_accounting() {
+        // A window spanning the whole message repairs every first-pass hole
+        // in one rewind: the mean must sit far below the per-drop charge
+        // (one serialized RTO + rewind per hole) the first model version
+        // used — that overcharge is exactly what the window-aware
+        // refinement removes.
+        let ch = Channel::new(400e9, 0.025, 3e-4); // ~10 expected chunk drops
+        let msg = 128u64 << 20;
+        let m = ch.chunks_for(msg);
+        let cfg = GbnConfig {
+            rto_s: 0.075,
+            window_chunks: m,
+        };
+        let s = gbn_summary(&ch, msg, &cfg, 3000, 7);
+        let e_drops = m as f64 * ch.p_drop_chunk();
+        assert!(e_drops > 6.0, "scenario needs shared windows: {e_drops}");
+        let per_drop_charge = ch.ideal_time(msg) + e_drops * (cfg.rto_s + m as f64 * ch.t_inj());
+        // One shared round ≈ ideal + RTO + M·T_INJ; allow a couple of
+        // re-drop rounds of slack but stay far under the per-drop charge.
+        assert!(
+            s.mean < ch.ideal_time(msg) + 3.0 * (cfg.rto_s + m as f64 * ch.t_inj()),
+            "mean {} vs shared-round bound",
+            s.mean
+        );
+        assert!(
+            s.mean < 0.5 * per_drop_charge,
+            "mean {} should be far below per-drop accounting {per_drop_charge}",
+            s.mean
+        );
     }
 }

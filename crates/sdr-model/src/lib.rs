@@ -15,12 +15,17 @@
 //!   MDS and XOR codes, fallback probability, the three-term lower bound,
 //!   and a path-level stochastic sampler.
 //! * [`gbn`] — a Go-Back-N baseline showing why the paper studies SR as the
-//!   ARQ representative.
+//!   ARQ representative, window-aware: one serialized `RTO + rewind` round
+//!   repairs every hole the rewind window spans.
+//! * [`boundary`] — Figure 9's SR ⇄ EC decision boundary as a queryable
+//!   drop-rate threshold (what an adaptive controller compares its live
+//!   loss estimate against, with hysteresis).
 //! * [`Summary`] — mean / p50 / p99 / p99.9 order statistics (the paper
 //!   reports mean and 99.9th percentile).
 
 #![warn(missing_docs)]
 
+pub mod boundary;
 pub mod dist;
 pub mod ec;
 pub mod gbn;
@@ -29,6 +34,7 @@ pub mod quantile;
 pub mod sr;
 pub mod stats;
 
+pub use boundary::{fig09_boundary_p_packet, sr_ec_speedup};
 pub use ec::{
     ec_mean_lower_bound, ec_sample, ec_summary, expected_failures, p_fallback,
     p_submessage_recovery, submessage_count, wire_chunks, EcCodeKind, EcConfig,

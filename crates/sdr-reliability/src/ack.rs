@@ -16,6 +16,85 @@ pub const MAX_SACK_BITS: usize = 1024;
 /// Maximum explicit NACK entries per ACK.
 pub const MAX_NACKS: usize = 128;
 
+/// A wire-compact description of a reliability scheme — what the adaptive
+/// handover protocol carries in [`CtrlMsg::SwitchPropose`] so both ends
+/// rebind to the same policy. Protocol tunables (RTO, poll cadence, FTO)
+/// are derived deterministically on each side from the deployment's nominal
+/// channel, exactly like a static deployment derives them out-of-band.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeSpec {
+    /// Selective Repeat, RTO-driven (`RTO = 3 RTT`).
+    SrRto,
+    /// Selective Repeat with the NACK optimization.
+    SrNack,
+    /// MDS (Reed–Solomon) erasure coding with the given split.
+    EcMds {
+        /// Data chunks per submessage.
+        k: u16,
+        /// Parity chunks per submessage.
+        m: u16,
+    },
+    /// XOR erasure coding with the given split.
+    EcXor {
+        /// Data chunks per submessage.
+        k: u16,
+        /// Parity chunks per submessage.
+        m: u16,
+    },
+    /// Go-Back-N with a BDP window (the commodity baseline — a valid
+    /// *starting* scheme the controller adapts away from).
+    Gbn,
+}
+
+impl SchemeSpec {
+    /// True for erasure-coding specs.
+    pub fn is_ec(&self) -> bool {
+        matches!(self, SchemeSpec::EcMds { .. } | SchemeSpec::EcXor { .. })
+    }
+
+    fn encode_into(&self, b: &mut BytesMut) {
+        let (kind, k, m) = match *self {
+            SchemeSpec::SrRto => (0u8, 0u16, 0u16),
+            SchemeSpec::SrNack => (1, 0, 0),
+            SchemeSpec::EcMds { k, m } => (2, k, m),
+            SchemeSpec::EcXor { k, m } => (3, k, m),
+            SchemeSpec::Gbn => (4, 0, 0),
+        };
+        b.put_u8(kind);
+        b.put_u16_le(k);
+        b.put_u16_le(m);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Option<SchemeSpec> {
+        if buf.remaining() < 5 {
+            return None;
+        }
+        let kind = buf.get_u8();
+        let k = buf.get_u16_le();
+        let m = buf.get_u16_le();
+        match kind {
+            0 => Some(SchemeSpec::SrRto),
+            1 => Some(SchemeSpec::SrNack),
+            2 if k >= 1 && m >= 1 => Some(SchemeSpec::EcMds { k, m }),
+            3 if k >= 1 && m >= 1 => Some(SchemeSpec::EcXor { k, m }),
+            4 => Some(SchemeSpec::Gbn),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeSpec::SrRto => write!(f, "SR-RTO"),
+            SchemeSpec::SrNack => write!(f, "SR-NACK"),
+            SchemeSpec::EcMds { k, m } => write!(f, "EC-MDS({k},{m})"),
+            SchemeSpec::EcXor { k, m } => write!(f, "EC-XOR({k},{m})"),
+            SchemeSpec::Gbn => write!(f, "GBN"),
+        }
+    }
+}
+
 /// A control-path message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CtrlMsg {
@@ -47,12 +126,75 @@ pub enum CtrlMsg {
         /// All chunks `< cumulative` have been received in order.
         cumulative: u32,
     },
+    /// Epoch envelope for adaptive transfers: scheme traffic of segment
+    /// `epoch` rides inside it, so ACKs lingering from before a scheme
+    /// handover are identifiable (and droppable) instead of poisoning the
+    /// successor scheme's sender. One level deep — a nested `Seg` is
+    /// malformed.
+    Seg {
+        /// Segment index the inner message belongs to.
+        epoch: u32,
+        /// The scheme's own control message.
+        inner: Box<CtrlMsg>,
+    },
+    /// Adaptive handover, step 1 (sender → receiver): from segment `epoch`
+    /// onward, run `spec`. Re-sent on the controller cadence until the
+    /// matching [`SwitchAck`](CtrlMsg::SwitchAck) arrives (the healing path
+    /// when either direction drops). `seq` identifies the handshake: a
+    /// delayed duplicate ACK from an *earlier* committed handover must not
+    /// satisfy a later proposal.
+    SwitchPropose {
+        /// Handshake identifier (monotone per proposal).
+        seq: u32,
+        /// First segment the new scheme applies to.
+        epoch: u32,
+        /// The scheme to rebind to.
+        spec: SchemeSpec,
+    },
+    /// Adaptive handover, step 2 (receiver → sender): commitment to run
+    /// handshake `seq`'s scheme from segment `epoch` onward. The receiver
+    /// may bump the epoch past segments it has already started under the
+    /// old scheme.
+    SwitchAck {
+        /// Handshake identifier being committed.
+        seq: u32,
+        /// First segment the new scheme applies to (receiver-final).
+        epoch: u32,
+    },
+    /// Receiver → sender channel telemetry: cumulative first-pass packet
+    /// counts from the receive bitmaps. Cumulative, so datagram loss only
+    /// delays the estimate (the next report re-covers the gap); the sender
+    /// feeds deltas into its [`ChannelEstimator`].
+    ///
+    /// [`ChannelEstimator`]: crate::telemetry::ChannelEstimator
+    Telemetry {
+        /// Packets that should have arrived so far (first-pass high-water).
+        seen: u64,
+        /// Packets missing on their first pass so far.
+        lost: u64,
+    },
+    /// Sender → receiver completion watermark: every segment below `below`
+    /// has been fully acknowledged on the sender. The receiver may quiesce
+    /// those segments' lingering drivers (releasing their slots exactly
+    /// once) — the *only* safe trigger, since pipelined later-segment data
+    /// proves nothing about earlier final ACKs. Cumulative and re-sent on
+    /// the controller cadence, so datagram loss only delays the release;
+    /// the per-driver linger countdown remains the backstop.
+    SegDone {
+        /// All segments `< below` are complete at the sender.
+        below: u32,
+    },
 }
 
 const TAG_SR_ACK: u8 = 1;
 const TAG_EC_ACK: u8 = 2;
 const TAG_EC_NACK: u8 = 3;
 const TAG_GBN_ACK: u8 = 4;
+const TAG_SEG: u8 = 5;
+const TAG_SWITCH_PROPOSE: u8 = 6;
+const TAG_SWITCH_ACK: u8 = 7;
+const TAG_TELEMETRY: u8 = 8;
+const TAG_SEG_DONE: u8 = 9;
 
 impl CtrlMsg {
     /// Serializes to a control datagram.
@@ -92,6 +234,35 @@ impl CtrlMsg {
             CtrlMsg::GbnAck { cumulative } => {
                 b.put_u8(TAG_GBN_ACK);
                 b.put_u32_le(*cumulative);
+            }
+            CtrlMsg::Seg { epoch, inner } => {
+                assert!(
+                    !matches!(**inner, CtrlMsg::Seg { .. }),
+                    "Seg envelopes do not nest"
+                );
+                b.put_u8(TAG_SEG);
+                b.put_u32_le(*epoch);
+                b.extend_from_slice(&inner.encode());
+            }
+            CtrlMsg::SwitchPropose { seq, epoch, spec } => {
+                b.put_u8(TAG_SWITCH_PROPOSE);
+                b.put_u32_le(*seq);
+                b.put_u32_le(*epoch);
+                spec.encode_into(&mut b);
+            }
+            CtrlMsg::SwitchAck { seq, epoch } => {
+                b.put_u8(TAG_SWITCH_ACK);
+                b.put_u32_le(*seq);
+                b.put_u32_le(*epoch);
+            }
+            CtrlMsg::Telemetry { seen, lost } => {
+                b.put_u8(TAG_TELEMETRY);
+                b.put_u64_le(*seen);
+                b.put_u64_le(*lost);
+            }
+            CtrlMsg::SegDone { below } => {
+                b.put_u8(TAG_SEG_DONE);
+                b.put_u32_le(*below);
             }
         }
         b.freeze()
@@ -145,6 +316,54 @@ impl CtrlMsg {
                 }
                 Some(CtrlMsg::GbnAck {
                     cumulative: buf.get_u32_le(),
+                })
+            }
+            TAG_SEG => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let epoch = buf.get_u32_le();
+                let inner = CtrlMsg::decode(buf)?;
+                // One level deep: a nested envelope is malformed.
+                if matches!(inner, CtrlMsg::Seg { .. }) {
+                    return None;
+                }
+                Some(CtrlMsg::Seg {
+                    epoch,
+                    inner: Box::new(inner),
+                })
+            }
+            TAG_SWITCH_PROPOSE => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                let seq = buf.get_u32_le();
+                let epoch = buf.get_u32_le();
+                let spec = SchemeSpec::decode_from(&mut buf)?;
+                Some(CtrlMsg::SwitchPropose { seq, epoch, spec })
+            }
+            TAG_SWITCH_ACK => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                let seq = buf.get_u32_le();
+                let epoch = buf.get_u32_le();
+                Some(CtrlMsg::SwitchAck { seq, epoch })
+            }
+            TAG_TELEMETRY => {
+                if buf.remaining() < 16 {
+                    return None;
+                }
+                let seen = buf.get_u64_le();
+                let lost = buf.get_u64_le();
+                Some(CtrlMsg::Telemetry { seen, lost })
+            }
+            TAG_SEG_DONE => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                Some(CtrlMsg::SegDone {
+                    below: buf.get_u32_le(),
                 })
             }
             _ => None,
@@ -253,6 +472,69 @@ mod tests {
         let mut enc = CtrlMsg::GbnAck { cumulative: 7 }.encode().to_vec();
         enc.truncate(3);
         assert_eq!(CtrlMsg::decode(Bytes::from(enc)), None);
+    }
+
+    #[test]
+    fn adaptive_messages_roundtrip() {
+        let msgs = [
+            CtrlMsg::Seg {
+                epoch: 7,
+                inner: Box::new(CtrlMsg::GbnAck { cumulative: 12 }),
+            },
+            CtrlMsg::Seg {
+                epoch: 0,
+                inner: Box::new(CtrlMsg::SrAck {
+                    cumulative: 3,
+                    window_start: 3,
+                    sack_bits: vec![0b101],
+                    sack_len: 5,
+                    nacks: vec![4],
+                }),
+            },
+            CtrlMsg::SwitchPropose {
+                seq: 3,
+                epoch: 9,
+                spec: SchemeSpec::EcMds { k: 32, m: 8 },
+            },
+            CtrlMsg::SwitchPropose {
+                seq: 0,
+                epoch: 1,
+                spec: SchemeSpec::SrNack,
+            },
+            CtrlMsg::SwitchAck { seq: 3, epoch: 9 },
+            CtrlMsg::Telemetry {
+                seen: u64::MAX / 3,
+                lost: 42,
+            },
+            CtrlMsg::SegDone { below: 17 },
+        ];
+        for msg in msgs {
+            assert_eq!(CtrlMsg::decode(msg.encode()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn nested_seg_envelopes_are_malformed() {
+        // Hand-build a Seg-in-Seg datagram; the decoder must reject it.
+        let inner = CtrlMsg::Seg {
+            epoch: 1,
+            inner: Box::new(CtrlMsg::EcAck),
+        }
+        .encode();
+        let mut b = BytesMut::new();
+        b.put_u8(5); // TAG_SEG
+        b.put_u32_le(2);
+        b.extend_from_slice(&inner);
+        assert_eq!(CtrlMsg::decode(b.freeze()), None);
+        // A zero-parity EC spec is malformed too.
+        let mut b = BytesMut::new();
+        b.put_u8(6); // TAG_SWITCH_PROPOSE
+        b.put_u32_le(1); // seq
+        b.put_u32_le(0); // epoch
+        b.put_u8(2); // EcMds
+        b.put_u16_le(4);
+        b.put_u16_le(0);
+        assert_eq!(CtrlMsg::decode(b.freeze()), None);
     }
 
     #[test]

@@ -1,0 +1,1330 @@
+//! Adaptive scheme switching: mid-transfer SR ⇄ EC ⇄ GBN handover driven
+//! by live channel telemetry.
+//!
+//! The paper's central claim (§2.1, §5.2) is that no single reliability
+//! scheme wins everywhere and that SDR's value is picking per deployment —
+//! but a static pick is only as good as the channel assumption it was made
+//! under, and Figure 2 shows WAN drop rates drifting three orders of
+//! magnitude within hours. This module closes the loop the paper leaves
+//! open: **estimate → advise → hand over**, continuously.
+//!
+//! # The loop
+//!
+//! 1. **Estimate** ([`telemetry`](crate::telemetry)): the receiver's
+//!    [`RxDriver`](crate::runtime::RxDriver) first-pass-scans its bitmaps
+//!    every poll and feeds a [`ChannelEstimator`]; cumulative counters ride
+//!    [`CtrlMsg::Telemetry`] datagrams to the sender, whose own estimator
+//!    adds RTT samples from ACK round-trips (SR chunk ACKs under Karn's
+//!    rule, `SwitchPropose → SwitchAck` handshakes).
+//! 2. **Advise**: on the controller cadence the sender re-runs
+//!    [`advisor::recommend`] against the *live* estimate for the bytes
+//!    still ahead. A recommendation that crosses the SR ⇄ EC divide must
+//!    additionally clear the Figure 9 boundary
+//!    ([`sdr_model::fig09_boundary_p_packet`]) by the configured
+//!    [`hysteresis`](AdaptConfig::hysteresis) factor, and the estimator
+//!    must be [confident](ChannelEstimator::is_confident) — a cold or
+//!    noisy estimate hovering at the boundary cannot flap the scheme.
+//! 3. **Hand over**: the transfer runs as a pipeline of *segments*
+//!    (submessages of [`segment_bytes`](AdaptConfig::segment_bytes)), each
+//!    a complete run of one scheme over the shared runtime. The receiver
+//!    throttles the pipeline: it posts the next segment's buffers (whose
+//!    CTS credits are what allow the sender to inject) whenever less than
+//!    [`pipeline_lead_rtts`](AdaptConfig::pipeline_lead_rtts) worth of
+//!    data is outstanding, so the wire never idles across boundaries. A
+//!    switch is a two-message handshake: [`CtrlMsg::SwitchPropose`] names
+//!    the first not-yet-started segment, [`CtrlMsg::SwitchAck`] commits it
+//!    (the receiver bumps the epoch past segments it already started, and
+//!    re-acks idempotently). Segments already in flight **drain** under
+//!    their scheme; the sender will not start the switch segment until the
+//!    ACK arrives, and either message dropping is healed by re-proposal on
+//!    the controller cadence. Scheme control traffic rides
+//!    [`CtrlMsg::Seg`] epoch envelopes, so an ACK lingering from a
+//!    pre-handover segment identifies itself and is dropped instead of
+//!    poisoning a successor scheme; once the sender's
+//!    [`CtrlMsg::SegDone`] watermark confirms a segment's final ACK
+//!    round-trip, the receiver [quiesces](crate::runtime::RxDriver::quiesce)
+//!    its driver — slots released exactly once — freeing the table for
+//!    successors.
+//!
+//! Delivery stays byte-identical across any switch sequence: segments
+//! partition the message, every segment is delivered by a scheme's own
+//! intact-delivery contract, and epoch gating keeps stale control traffic
+//! out of successor segments.
+//!
+//! [`ChannelEstimator`]: crate::telemetry::ChannelEstimator
+//! [`CtrlMsg::Telemetry`]: crate::ack::CtrlMsg::Telemetry
+//! [`CtrlMsg::SwitchPropose`]: crate::ack::CtrlMsg::SwitchPropose
+//! [`CtrlMsg::SwitchAck`]: crate::ack::CtrlMsg::SwitchAck
+//! [`CtrlMsg::Seg`]: crate::ack::CtrlMsg::Seg
+//! [`CtrlMsg::SegDone`]: crate::ack::CtrlMsg::SegDone
+//! [`advisor::recommend`]: crate::advisor::recommend
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sdr_core::{SdrContext, SdrQp};
+use sdr_model::{fig09_boundary_p_packet, Channel, EcConfig};
+use sdr_sim::{Engine, QpAddr, SimTime};
+
+use crate::ack::{CtrlMsg, SchemeSpec};
+use crate::advisor::{self, Scheme};
+use crate::control::{ControlEndpoint, CtrlHandler, CtrlPath};
+use crate::ec::{EcCodeChoice, EcProtoConfig, EcReceiver, EcSender};
+use crate::gbn::{GbnProtoConfig, GbnReceiver, GbnSender};
+use crate::runtime::{tick_loop, Completion, Tick};
+use crate::sr::{SrProtoConfig, SrReceiver, SrSender};
+use crate::telemetry::{ChannelEstimator, TelemetryConfig, TelemetryCounters};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Tuning for an adaptive transfer. Both endpoints must be constructed
+/// with the same values (like a static deployment agrees on protocol
+/// configs out-of-band).
+#[derive(Clone, Debug)]
+pub struct AdaptConfig {
+    /// Nominal line rate (the advisor's bandwidth input and the pipeline
+    /// lead calculation).
+    pub bandwidth_bps: f64,
+    /// Nominal RTT; protocol configs derive from it, and the controller
+    /// uses it until live RTT samples take over.
+    pub rtt: SimTime,
+    /// Segment (submessage) size — the handover granularity. Must be a
+    /// multiple of the QP's chunk size; every scheme change takes effect
+    /// at a segment boundary, after in-flight segments drain.
+    pub segment_bytes: u64,
+    /// Controller cadence: advisor re-runs, proposal re-sends, and the
+    /// sender's segment-creation pump.
+    pub decide_interval: SimTime,
+    /// Receiver cadence: telemetry reports, pipeline posting, quiescing.
+    pub telemetry_interval: SimTime,
+    /// How much data (in RTT-at-line-rate units) the receiver keeps posted
+    /// ahead of the observed injection frontier. ~1.5 keeps the wire full
+    /// across segment boundaries; larger values deepen the pipeline and
+    /// slow the reaction to a committed switch (a switch first applies to
+    /// a segment nothing has been posted for).
+    pub pipeline_lead_rtts: f64,
+    /// SR ⇄ EC hysteresis factor (≥ 1): switch toward EC only when the
+    /// loss estimate exceeds the fig09 boundary by this factor, back to SR
+    /// only when it falls below boundary ÷ factor.
+    pub hysteresis: f64,
+    /// Minimum predicted improvement before proposing any handover: the
+    /// running scheme's predicted mean must exceed the recommended
+    /// scheme's by this factor. Near-tie flips (SR-RTO ⇄ SR-NACK on a
+    /// clean channel) are advisor sort noise — proposing them wastes the
+    /// single in-flight handshake slot right when a real shift may need
+    /// it.
+    pub min_gain: f64,
+    /// Stochastic trials per advisor candidate on each controller tick.
+    pub trials: usize,
+    /// Estimator tuning (shared by both endpoints' estimators).
+    pub telemetry: TelemetryConfig,
+    /// Final-ACK linger repeats per segment (see the scheme configs).
+    pub linger_acks: u32,
+    /// Seed for the advisor's stochastic candidate evaluation.
+    pub seed: u64,
+}
+
+impl AdaptConfig {
+    /// Defaults for a deployment: quarter-RTT control cadences, a 1.5 RTT
+    /// pipeline lead, 2× hysteresis around the fig09 boundary.
+    pub fn new(bandwidth_bps: f64, rtt: SimTime, segment_bytes: u64) -> Self {
+        AdaptConfig {
+            bandwidth_bps,
+            rtt,
+            segment_bytes,
+            decide_interval: rtt / 4,
+            telemetry_interval: rtt / 4,
+            pipeline_lead_rtts: 1.5,
+            hysteresis: 2.0,
+            min_gain: 1.03,
+            trials: 300,
+            telemetry: TelemetryConfig::default(),
+            linger_acks: 25,
+            seed: 0x5D12,
+        }
+    }
+
+    /// The nominal model channel (loss overridden per query), with the
+    /// QP's packet/chunk geometry.
+    fn channel(&self, qp: &SdrQp, p_drop_packet: f64) -> Channel {
+        let qcfg = qp.config();
+        Channel::new(self.bandwidth_bps, self.rtt.as_secs_f64(), p_drop_packet)
+            .with_mtu_bytes(qcfg.mtu_bytes)
+            .with_chunk_bytes(qcfg.chunk_bytes)
+    }
+
+    /// The pipeline lead in packets.
+    fn lead_packets(&self, qp: &SdrQp) -> u64 {
+        let bytes = self.pipeline_lead_rtts * self.rtt.as_secs_f64() * self.bandwidth_bps / 8.0;
+        (bytes / qp.config().mtu_bytes as f64).ceil() as u64
+    }
+}
+
+/// Maps the advisor's recommendation onto a wire-codable [`SchemeSpec`].
+pub fn spec_from_scheme(s: &Scheme) -> SchemeSpec {
+    match *s {
+        Scheme::SrRto { .. } => SchemeSpec::SrRto,
+        Scheme::SrNack => SchemeSpec::SrNack,
+        Scheme::EcMds { k, m } => SchemeSpec::EcMds {
+            k: k as u16,
+            m: m as u16,
+        },
+        Scheme::EcXor { k, m } => SchemeSpec::EcXor {
+            k: k as u16,
+            m: m as u16,
+        },
+        Scheme::Gbn { .. } => SchemeSpec::Gbn,
+    }
+}
+
+/// The model-side EC config of an EC spec (for boundary queries).
+fn model_ec_config(spec: &SchemeSpec) -> Option<EcConfig> {
+    match *spec {
+        SchemeSpec::EcMds { k, m } => Some(EcConfig::mds(k as u32, m as u32)),
+        SchemeSpec::EcXor { k, m } => Some(EcConfig::xor(k as u32, m as u32)),
+        _ => None,
+    }
+}
+
+/// Segment table: `(offset, len)` partitioning `[0, msg_bytes)`.
+fn segments(msg_bytes: u64, segment_bytes: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    while off < msg_bytes {
+        let len = segment_bytes.min(msg_bytes - off);
+        out.push((off, len));
+        off += len;
+    }
+    out
+}
+
+/// SDR sends a segment consumes: one streaming send for the ARQ schemes,
+/// `2L` (data + parity submessages) for EC. The sender uses this to know
+/// each segment's first send sequence — and therefore which CTS credit
+/// signals that the receiver posted the segment.
+fn sends_for(spec: &SchemeSpec, seg_bytes: u64, chunk_bytes: u64) -> u64 {
+    match *spec {
+        SchemeSpec::EcMds { k, .. } | SchemeSpec::EcXor { k, .. } => {
+            let chunks = seg_bytes.div_ceil(chunk_bytes);
+            2 * chunks.div_ceil(k as u64)
+        }
+        _ => 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch gate: the CtrlPath segments ride
+// ---------------------------------------------------------------------------
+
+/// The [`CtrlPath`] one segment's scheme rides: outgoing messages are
+/// wrapped in [`CtrlMsg::Seg`] envelopes carrying the segment's epoch, and
+/// the adaptive master handler dispatches only live-epoch envelopes back
+/// in — stale linger ACKs from a pre-handover segment identify themselves
+/// and die here instead of acking chunks of a successor scheme.
+struct EpochGate {
+    epoch: u32,
+    ep: Rc<ControlEndpoint>,
+    handler: RefCell<Option<CtrlHandler>>,
+}
+
+impl EpochGate {
+    fn new(epoch: u32, ep: Rc<ControlEndpoint>) -> Rc<Self> {
+        Rc::new(EpochGate {
+            epoch,
+            ep,
+            handler: RefCell::new(None),
+        })
+    }
+
+    /// Delivers an unwrapped inner message to the bound scheme handler
+    /// (taken out during the call so the handler may send re-entrantly).
+    fn dispatch(&self, eng: &mut Engine, src: QpAddr, msg: CtrlMsg) {
+        let taken = self.handler.borrow_mut().take();
+        if let Some(mut f) = taken {
+            f(eng, src, msg);
+            let mut slot = self.handler.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(f);
+            }
+        }
+    }
+}
+
+impl CtrlPath for EpochGate {
+    fn send_ctrl(&self, eng: &mut Engine, dst: QpAddr, msg: &CtrlMsg) {
+        self.ep.send(
+            eng,
+            dst,
+            &CtrlMsg::Seg {
+                epoch: self.epoch,
+                inner: Box::new(msg.clone()),
+            },
+        );
+    }
+
+    fn install_handler(&self, f: CtrlHandler) {
+        *self.handler.borrow_mut() = Some(f);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-segment scheme construction (shared by both endpoints)
+// ---------------------------------------------------------------------------
+
+fn sr_proto(spec: &SchemeSpec, cfg: &AdaptConfig) -> SrProtoConfig {
+    let mut p = if matches!(spec, SchemeSpec::SrNack) {
+        SrProtoConfig::nack(cfg.rtt)
+    } else {
+        SrProtoConfig::rto_3rtt(cfg.rtt)
+    };
+    p.linger_acks = cfg.linger_acks;
+    p
+}
+
+fn ec_proto(spec: &SchemeSpec, cfg: &AdaptConfig, qp: &SdrQp, seg_bytes: u64) -> EcProtoConfig {
+    let (k, m, code) = match *spec {
+        SchemeSpec::EcMds { k, m } => (k as usize, m as usize, EcCodeChoice::Mds),
+        SchemeSpec::EcXor { k, m } => (k as usize, m as usize, EcCodeChoice::Xor),
+        _ => unreachable!("ec_proto called for an EC spec"),
+    };
+    let ch = cfg.channel(qp, 0.0);
+    let mut p = EcProtoConfig::for_channel(k, m, code, &ch, seg_bytes, cfg.rtt);
+    p.linger_acks = cfg.linger_acks;
+    p
+}
+
+fn gbn_proto(cfg: &AdaptConfig, qp: &SdrQp) -> GbnProtoConfig {
+    let ch = cfg.channel(qp, 0.0);
+    let mut p = GbnProtoConfig::bdp_window(&ch, cfg.rtt, 3.0);
+    p.linger_acks = cfg.linger_acks;
+    p
+}
+
+// ---------------------------------------------------------------------------
+// Sender: the adaptive controller
+// ---------------------------------------------------------------------------
+
+/// Sender-side transfer outcome.
+#[derive(Clone, Debug)]
+pub struct AdaptReport {
+    /// Transfer start to the last segment's final ACK.
+    pub duration: SimTime,
+    /// Segments transferred.
+    pub segments: u32,
+    /// `SwitchPropose` datagrams sent (including healing re-sends).
+    pub proposals: u64,
+    /// Handovers committed and applied.
+    pub switches: u64,
+    /// `(start instant, epoch, scheme)` per segment, in start order.
+    pub history: Vec<(SimTime, u32, SchemeSpec)>,
+    /// Scheme the transfer finished under.
+    pub final_spec: SchemeSpec,
+}
+
+/// An in-flight handover handshake (sender side).
+struct PendingSwitch {
+    seq: u32,
+    epoch: u32,
+    spec: SchemeSpec,
+    acked: bool,
+    /// First transmission instant (the RTT sample's send edge).
+    first_sent: SimTime,
+    /// Last (re-)transmission instant (paces healing re-proposals).
+    last_sent: SimTime,
+    /// A healing re-proposal went out: the ACK is ambiguous between
+    /// copies, so it yields no RTT sample (Karn's rule, like the chunk
+    /// ACK path).
+    resent: bool,
+}
+
+/// Keeps a live segment's protocol object alive; its callbacks drive
+/// everything, so the handle itself is never read.
+#[allow(dead_code)]
+enum SegSender {
+    Sr(SrSender),
+    Ec(EcSender),
+    Gbn(GbnSender),
+}
+
+struct TxSeg {
+    epoch: u32,
+    gate: Rc<EpochGate>,
+    #[allow(dead_code)]
+    sender: SegSender,
+}
+
+struct TxInner {
+    qp: SdrQp,
+    ctx: SdrContext,
+    ep: Rc<ControlEndpoint>,
+    peer: QpAddr,
+    local_addr: u64,
+    segs: Vec<(u64, u64)>,
+    cfg: AdaptConfig,
+    est: Rc<RefCell<ChannelEstimator>>,
+    current_spec: SchemeSpec,
+    /// Next segment index to create a scheme sender for.
+    next_create: u32,
+    /// First SDR send sequence of segment `next_create` (CTS watch point).
+    next_first_seq: u64,
+    /// Segments whose senders are alive (created, not yet done).
+    live: Vec<TxSeg>,
+    /// Segments completed (final ACK processed).
+    done_count: u32,
+    pending: Option<PendingSwitch>,
+    next_seq: u32,
+    proposals: u64,
+    switches: u64,
+    history: Vec<(SimTime, u32, SchemeSpec)>,
+    completion: Completion<AdaptReport>,
+}
+
+/// The adaptive sender: runs the transfer as a receiver-throttled pipeline
+/// of segments under the currently-committed scheme and hosts the
+/// controller loop that re-advises and proposes handovers. Construct with
+/// [`AdaptiveController::start_sender`].
+pub struct AdaptiveSender {
+    inner: Rc<RefCell<TxInner>>,
+}
+
+/// Namespace for the adaptive control plane's entry points.
+pub struct AdaptiveController;
+
+impl AdaptiveController {
+    /// Starts an adaptive transfer of `[local_addr, local_addr+msg_bytes)`
+    /// under `initial`, re-advising on the controller cadence. `done` fires
+    /// exactly once, after every segment's final ACK. The peer must run
+    /// [`start_receiver`](Self::start_receiver) with the same `initial`
+    /// and `cfg`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_sender(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctx: &SdrContext,
+        ep: Rc<ControlEndpoint>,
+        peer: QpAddr,
+        local_addr: u64,
+        msg_bytes: u64,
+        initial: SchemeSpec,
+        cfg: AdaptConfig,
+        done: impl FnOnce(&mut Engine, AdaptReport) + 'static,
+    ) -> AdaptiveSender {
+        let qcfg = qp.config();
+        assert!(
+            cfg.segment_bytes >= qcfg.chunk_bytes
+                && cfg.segment_bytes.is_multiple_of(qcfg.chunk_bytes),
+            "segment size must be a positive multiple of the chunk size"
+        );
+        assert!(
+            msg_bytes.is_multiple_of(qcfg.chunk_bytes),
+            "adaptive transfers require chunk-aligned messages (EC segments)"
+        );
+        assert!(
+            cfg.segment_bytes <= qcfg.max_msg_bytes,
+            "segment fits a slot"
+        );
+        assert!(cfg.hysteresis >= 1.0, "hysteresis is a ≥1 factor");
+        let segs = segments(msg_bytes, cfg.segment_bytes);
+        assert!(!segs.is_empty(), "empty transfer");
+
+        let est = Rc::new(RefCell::new(ChannelEstimator::new(cfg.telemetry)));
+        let decide = cfg.decide_interval;
+        let first_seq = qp.next_send_seq();
+        let inner = Rc::new(RefCell::new(TxInner {
+            qp: qp.clone(),
+            ctx: ctx.clone(),
+            ep: ep.clone(),
+            peer,
+            local_addr,
+            segs,
+            cfg,
+            est,
+            current_spec: initial,
+            next_create: 0,
+            next_first_seq: first_seq,
+            live: Vec::new(),
+            done_count: 0,
+            pending: None,
+            next_seq: 1,
+            proposals: 0,
+            switches: 0,
+            history: Vec::new(),
+            completion: Completion::new(done),
+        }));
+        inner.borrow_mut().completion.mark_started(eng.now());
+
+        // Master control handler: epoch-gate scheme traffic, absorb
+        // telemetry, drive the handshake.
+        let me = inner.clone();
+        ep.set_handler(move |eng, src, msg| Self::tx_on_ctrl(&me, eng, src, msg));
+
+        // Segment 0 starts unconditionally (its scheme sender waits for
+        // the CTS internally); later segments are created by the pump as
+        // their credits arrive.
+        Self::tx_create_segment(&inner, eng);
+
+        // The controller loop: create credited segments, re-advise, heal
+        // proposals.
+        let me = inner.clone();
+        tick_loop(eng, decide, move |eng| Self::control_tick(&me, eng));
+        AdaptiveSender { inner }
+    }
+
+    /// Creates the scheme sender for segment `next_create` under the
+    /// scheme committed for it.
+    fn tx_create_segment(inner: &Rc<RefCell<TxInner>>, eng: &mut Engine) {
+        let (gate, spec, off, len, epoch) = {
+            let mut i = inner.borrow_mut();
+            let e = i.next_create as usize;
+            debug_assert!(e < i.segs.len());
+            // Commit a handover that applies from this segment.
+            if let Some(p) = &i.pending {
+                if p.acked && p.epoch == i.next_create {
+                    i.current_spec = p.spec;
+                    i.switches += 1;
+                    i.pending = None;
+                }
+            }
+            let gate = EpochGate::new(i.next_create, i.ep.clone());
+            let (off, len) = i.segs[e];
+            let entry = (eng.now(), i.next_create, i.current_spec);
+            i.history.push(entry);
+            i.next_first_seq += sends_for(&i.current_spec, len, i.qp.config().chunk_bytes);
+            i.next_create += 1;
+            (gate, i.current_spec, off, len, i.next_create - 1)
+        };
+        let me = inner.clone();
+        let seg_done = move |eng: &mut Engine| Self::tx_on_segment_done(&me, eng, epoch);
+        let (qp, ctx, peer, addr, cfg, est) = {
+            let i = inner.borrow();
+            (
+                i.qp.clone(),
+                i.ctx.clone(),
+                i.peer,
+                i.local_addr + off,
+                i.cfg.clone(),
+                i.est.clone(),
+            )
+        };
+        let path: Rc<dyn CtrlPath> = gate.clone();
+        let sender = match spec {
+            SchemeSpec::SrRto | SchemeSpec::SrNack => {
+                let proto = sr_proto(&spec, &cfg);
+                SegSender::Sr(SrSender::start_with_telemetry(
+                    eng,
+                    &qp,
+                    path,
+                    peer,
+                    addr,
+                    len,
+                    proto,
+                    Some(est),
+                    move |eng, _rep| seg_done(eng),
+                ))
+            }
+            SchemeSpec::EcMds { .. } | SchemeSpec::EcXor { .. } => {
+                let proto = ec_proto(&spec, &cfg, &qp, len);
+                SegSender::Ec(EcSender::start(
+                    eng,
+                    &qp,
+                    &ctx,
+                    path,
+                    peer,
+                    addr,
+                    len,
+                    proto,
+                    move |eng, _rep| seg_done(eng),
+                ))
+            }
+            SchemeSpec::Gbn => {
+                let proto = gbn_proto(&cfg, &qp);
+                SegSender::Gbn(GbnSender::start(
+                    eng,
+                    &qp,
+                    path,
+                    peer,
+                    addr,
+                    len,
+                    proto,
+                    move |eng, _rep| seg_done(eng),
+                ))
+            }
+        };
+        inner.borrow_mut().live.push(TxSeg {
+            epoch,
+            gate,
+            sender,
+        });
+    }
+
+    /// Creates every segment whose first CTS credit has arrived, stopping
+    /// at the drain barrier: an un-acked proposal targeting a segment
+    /// means the receiver may commit a different scheme there — wait for
+    /// the ACK (healed by re-proposal) before creating it. The
+    /// `next_send_seq` guard keeps send-sequence order: a segment is only
+    /// created once every earlier segment allocated all its sends.
+    fn tx_pump_segments(inner: &Rc<RefCell<TxInner>>, eng: &mut Engine) {
+        loop {
+            let create = {
+                let i = inner.borrow();
+                let e = i.next_create;
+                (e as usize) < i.segs.len()
+                    && i.qp.has_cts(i.next_first_seq)
+                    && i.qp.next_send_seq() == i.next_first_seq
+                    && !matches!(&i.pending, Some(p) if !p.acked && p.epoch <= e)
+            };
+            if !create {
+                return;
+            }
+            Self::tx_create_segment(inner, eng);
+        }
+    }
+
+    fn tx_on_segment_done(inner: &Rc<RefCell<TxInner>>, eng: &mut Engine, epoch: u32) {
+        let finished = {
+            let mut i = inner.borrow_mut();
+            if i.completion.is_done() {
+                return;
+            }
+            let Some(pos) = i.live.iter().position(|s| s.epoch == epoch) else {
+                return; // duplicate completion: already retired
+            };
+            i.live.swap_remove(pos);
+            i.done_count += 1;
+            i.done_count as usize == i.segs.len()
+        };
+        if finished {
+            let cb = {
+                let mut i = inner.borrow_mut();
+                let report = AdaptReport {
+                    duration: i.completion.elapsed(eng.now()),
+                    segments: i.segs.len() as u32,
+                    proposals: i.proposals,
+                    switches: i.switches,
+                    history: i.history.clone(),
+                    final_spec: i.current_spec,
+                };
+                i.completion.finish().map(|cb| (cb, report))
+            };
+            // Final completion watermark: the receiver may quiesce every
+            // lingering driver (loss of this one is healed by the linger
+            // countdown backstop).
+            let (ep, peer, below) = {
+                let i = inner.borrow();
+                (i.ep.clone(), i.peer, i.segs.len() as u32)
+            };
+            ep.send(eng, peer, &CtrlMsg::SegDone { below });
+            if let Some((cb, report)) = cb {
+                cb(eng, report);
+            }
+        } else {
+            // A completed segment may have been the drain barrier's blocker.
+            Self::tx_pump_segments(inner, eng);
+        }
+    }
+
+    fn tx_on_ctrl(inner: &Rc<RefCell<TxInner>>, eng: &mut Engine, src: QpAddr, msg: CtrlMsg) {
+        match msg {
+            CtrlMsg::Seg { epoch, inner: m } => {
+                let gate = {
+                    let i = inner.borrow();
+                    i.live
+                        .iter()
+                        .find(|s| s.epoch == epoch)
+                        .map(|s| s.gate.clone())
+                };
+                if let Some(g) = gate {
+                    g.dispatch(eng, src, *m);
+                }
+                // A final ACK may complete a segment; new credits may have
+                // arrived alongside — pump either way.
+                Self::tx_pump_segments(inner, eng);
+            }
+            CtrlMsg::Telemetry { seen, lost } => {
+                let est = inner.borrow().est.clone();
+                est.borrow_mut()
+                    .absorb_report(TelemetryCounters { seen, lost });
+            }
+            CtrlMsg::SwitchAck { seq, epoch } => Self::tx_on_switch_ack(inner, eng, seq, epoch),
+            _ => {}
+        }
+    }
+
+    fn tx_on_switch_ack(inner: &Rc<RefCell<TxInner>>, eng: &mut Engine, seq: u32, epoch: u32) {
+        {
+            let mut i = inner.borrow_mut();
+            if i.completion.is_done() {
+                return;
+            }
+            let segs = i.segs.len() as u32;
+            let now = eng.now();
+            let Some(p) = &mut i.pending else { return };
+            if p.seq != seq || p.acked {
+                return; // stale handshake or duplicate ack
+            }
+            p.acked = true;
+            p.epoch = p.epoch.max(epoch); // receiver-final epoch
+                                          // Karn's rule: only a never-retransmitted handshake yields an
+                                          // RTT sample — after a re-proposal the ACK is ambiguous
+                                          // between copies.
+            let sample = (!p.resent).then(|| now.saturating_sub(p.first_sent));
+            if p.epoch >= segs {
+                // Proposed while the last segments were already in flight:
+                // the handover never applies.
+                i.pending = None;
+            }
+            if let Some(sample) = sample {
+                i.est.borrow_mut().observe_rtt(sample);
+            }
+        }
+        // The ack may have been the drain barrier's blocker.
+        Self::tx_pump_segments(inner, eng);
+    }
+
+    fn control_tick(inner: &Rc<RefCell<TxInner>>, eng: &mut Engine) -> Tick {
+        // Credits may have arrived since the last wire event.
+        Self::tx_pump_segments(inner, eng);
+        // Completion watermark: lets the receiver release the slots of
+        // segments whose final ACK round-trip finished (cumulative, so a
+        // dropped report is covered by the next tick's).
+        {
+            let i = inner.borrow();
+            if i.completion.is_done() {
+                return Tick::Stop;
+            }
+            let below = i
+                .live
+                .iter()
+                .map(|s| s.epoch)
+                .min()
+                .unwrap_or(i.next_create);
+            if below > 0 {
+                let (ep, peer) = (i.ep.clone(), i.peer);
+                drop(i);
+                ep.send(eng, peer, &CtrlMsg::SegDone { below });
+            }
+        }
+        let mut i = inner.borrow_mut();
+        if i.completion.is_done() {
+            return Tick::Stop;
+        }
+        let now = eng.now();
+        // Heal an in-flight handshake: re-propose until acked, paced at
+        // the nominal RTT — an ACK cannot possibly have returned sooner,
+        // so re-sending every controller tick would only burn datagrams
+        // and (per Karn) forfeit the handshake's RTT sample.
+        let heal_pace = i.cfg.rtt;
+        if let Some(p) = &mut i.pending {
+            if !p.acked && now.saturating_sub(p.last_sent) >= heal_pace {
+                p.last_sent = now;
+                p.resent = true;
+                let msg = CtrlMsg::SwitchPropose {
+                    seq: p.seq,
+                    epoch: p.epoch,
+                    spec: p.spec,
+                };
+                i.proposals += 1;
+                let (ep, peer) = (i.ep.clone(), i.peer);
+                ep.send(eng, peer, &msg);
+            }
+            return Tick::Again;
+        }
+        // Re-advise against the live estimate for the bytes not yet
+        // started.
+        let next_unstarted = i.next_create;
+        if next_unstarted as usize >= i.segs.len() {
+            return Tick::Again; // nothing left to switch
+        }
+        let Some(loss) = i.est.borrow().loss_estimate() else {
+            return Tick::Again; // cold estimator: never switch
+        };
+        let rtt = i
+            .est
+            .borrow()
+            .rtt_estimate()
+            .unwrap_or(i.cfg.rtt)
+            .as_secs_f64();
+        let remaining: u64 = i.segs[next_unstarted as usize..].iter().map(|s| s.1).sum();
+        let ch = Channel::new(i.cfg.bandwidth_bps, rtt, loss)
+            .with_mtu_bytes(i.qp.config().mtu_bytes)
+            .with_chunk_bytes(i.qp.config().chunk_bytes);
+        let rec = advisor::recommend(
+            &ch,
+            remaining,
+            i.cfg.trials,
+            i.cfg.seed ^ ((next_unstarted as u64) << 8),
+        );
+        let target = spec_from_scheme(&rec.scheme);
+        if std::env::var_os("SDR_ADAPT_DEBUG").is_some() {
+            eprintln!(
+                "  [ctl {:.1}ms] next={next_unstarted} loss={loss:.2e} rtt={rtt:.4} rem={remaining} -> {target} (cur {})",
+                now.as_secs_f64() * 1e3,
+                i.current_spec
+            );
+        }
+        if target == i.current_spec {
+            return Tick::Again;
+        }
+        // The switch must be worth a handshake: require a minimum
+        // predicted gain over the running scheme (near-ties are noise).
+        let current_mean = rec
+            .candidates
+            .iter()
+            .find(|c| spec_from_scheme(&c.scheme) == i.current_spec)
+            .map(|c| c.summary.mean);
+        if let Some(cm) = current_mean {
+            if cm <= rec.summary.mean * i.cfg.min_gain {
+                return Tick::Again;
+            }
+        }
+        // Crossing the SR ⇄ EC boundary needs hysteresis clearance; moves
+        // that do not cross it (SR-RTO ⇄ SR-NACK, leaving GBN) only need
+        // the confidence gate already applied above.
+        let to_ec = target.is_ec() && !i.current_spec.is_ec();
+        let from_ec = i.current_spec.is_ec() && !target.is_ec();
+        if to_ec {
+            let Some(b) = model_ec_config(&target).and_then(|ec| {
+                fig09_boundary_p_packet(i.cfg.bandwidth_bps, rtt, remaining, &ec, 3.0)
+            }) else {
+                return Tick::Again; // no crossing in range: stay put
+            };
+            if loss <= b * i.cfg.hysteresis {
+                return Tick::Again; // not decisively past the boundary
+            }
+        } else if from_ec {
+            if let Some(b) = model_ec_config(&i.current_spec).and_then(|ec| {
+                fig09_boundary_p_packet(i.cfg.bandwidth_bps, rtt, remaining, &ec, 3.0)
+            }) {
+                if loss >= b / i.cfg.hysteresis {
+                    return Tick::Again;
+                }
+            }
+        }
+        // Propose, targeting a pipeline-lead's worth of segments ahead of
+        // the next unstarted one: the handshake RTT then overlaps segments
+        // that keep flowing under the old scheme instead of stalling the
+        // drain barrier. Everything below the target drains as-is. When
+        // the target lands past the end, a handover could never apply —
+        // the remaining submessages are already in flight.
+        let headroom = (i.cfg.lead_packets(&i.qp) * i.qp.config().mtu_bytes)
+            .div_ceil(i.cfg.segment_bytes) as u32;
+        let target_epoch = next_unstarted + headroom;
+        if target_epoch as usize >= i.segs.len() {
+            return Tick::Again;
+        }
+        let seq = i.next_seq;
+        i.next_seq += 1;
+        i.pending = Some(PendingSwitch {
+            seq,
+            epoch: target_epoch,
+            spec: target,
+            acked: false,
+            first_sent: now,
+            last_sent: now,
+            resent: false,
+        });
+        i.proposals += 1;
+        let msg = CtrlMsg::SwitchPropose {
+            seq,
+            epoch: target_epoch,
+            spec: target,
+        };
+        let (ep, peer) = (i.ep.clone(), i.peer);
+        ep.send(eng, peer, &msg);
+        Tick::Again
+    }
+}
+
+impl AdaptiveSender {
+    /// True once the whole transfer completed (every segment acked).
+    pub fn is_done(&self) -> bool {
+        self.inner.borrow().completion.is_done()
+    }
+
+    /// The scheme currently committed on the sender.
+    pub fn current_spec(&self) -> SchemeSpec {
+        self.inner.borrow().current_spec
+    }
+
+    /// Handovers committed so far.
+    pub fn switches(&self) -> u64 {
+        self.inner.borrow().switches
+    }
+
+    /// Reads the sender-side channel estimator.
+    pub fn estimator<R>(&self, f: impl FnOnce(&ChannelEstimator) -> R) -> R {
+        f(&self.inner.borrow().est.borrow())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+/// Receiver-side transfer outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptRecvReport {
+    /// Segments received.
+    pub segments: u32,
+    /// Handovers applied.
+    pub switches: u64,
+}
+
+enum SegReceiver {
+    Sr(SrReceiver),
+    Ec(EcReceiver),
+    Gbn(GbnReceiver),
+}
+
+impl SegReceiver {
+    fn quiesce(&self, eng: &mut Engine) -> bool {
+        match self {
+            SegReceiver::Sr(r) => r.quiesce(eng),
+            SegReceiver::Ec(r) => r.quiesce(eng),
+            SegReceiver::Gbn(r) => r.quiesce(eng),
+        }
+    }
+
+    fn frontier(&self) -> (u64, u64) {
+        match self {
+            SegReceiver::Sr(r) => r.frontier(),
+            SegReceiver::Ec(r) => r.frontier(),
+            SegReceiver::Gbn(r) => r.frontier(),
+        }
+    }
+}
+
+struct RxSeg {
+    epoch: u32,
+    #[allow(dead_code)]
+    gate: Rc<EpochGate>,
+    recv: SegReceiver,
+    complete: bool,
+}
+
+struct RxInner {
+    qp: SdrQp,
+    ctx: SdrContext,
+    ep: Rc<ControlEndpoint>,
+    peer: QpAddr,
+    buf_addr: u64,
+    segs: Vec<(u64, u64)>,
+    cfg: AdaptConfig,
+    est: Rc<RefCell<ChannelEstimator>>,
+    current_spec: SchemeSpec,
+    /// Next segment index to post (start a scheme receiver for).
+    next_start: u32,
+    /// Live segments: receiving, or complete and lingering their final
+    /// ACK until a later segment's data lets them be quiesced.
+    live: Vec<RxSeg>,
+    done_segments: u32,
+    /// Accepted-but-not-yet-applied handover: `(seq, first epoch, spec)`.
+    pending: Option<(u32, u32, SchemeSpec)>,
+    /// Last applied handover (for idempotent re-acks of its proposal).
+    committed: Option<(u32, u32, SchemeSpec)>,
+    switches: u64,
+    done_at: Option<SimTime>,
+    done_cb: Option<Box<dyn FnOnce(&mut Engine, SimTime, AdaptRecvReport)>>,
+}
+
+/// The adaptive receiver: posts segments under the committed scheme with a
+/// pipeline lead so the wire stays full across boundaries, feeds the
+/// channel estimator from every bitmap poll, ships telemetry reports, and
+/// answers handover proposals. Construct with
+/// [`AdaptiveController::start_receiver`].
+pub struct AdaptiveReceiver {
+    inner: Rc<RefCell<RxInner>>,
+}
+
+impl AdaptiveController {
+    /// Starts the receiving half of an adaptive transfer into
+    /// `[buf_addr, buf_addr+msg_bytes)`. `done` fires exactly once, when
+    /// the last segment is fully delivered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_receiver(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctx: &SdrContext,
+        ep: Rc<ControlEndpoint>,
+        peer: QpAddr,
+        buf_addr: u64,
+        msg_bytes: u64,
+        initial: SchemeSpec,
+        cfg: AdaptConfig,
+        done: impl FnOnce(&mut Engine, SimTime, AdaptRecvReport) + 'static,
+    ) -> AdaptiveReceiver {
+        let segs = segments(msg_bytes, cfg.segment_bytes);
+        assert!(!segs.is_empty(), "empty transfer");
+        let est = Rc::new(RefCell::new(ChannelEstimator::new(cfg.telemetry)));
+        let telemetry_interval = cfg.telemetry_interval;
+        let inner = Rc::new(RefCell::new(RxInner {
+            qp: qp.clone(),
+            ctx: ctx.clone(),
+            ep: ep.clone(),
+            peer,
+            buf_addr,
+            segs,
+            cfg,
+            est,
+            current_spec: initial,
+            next_start: 0,
+            live: Vec::new(),
+            done_segments: 0,
+            pending: None,
+            committed: None,
+            switches: 0,
+            done_at: None,
+            done_cb: Some(Box::new(done)),
+        }));
+
+        // Master handler: only handover proposals arrive here (scheme
+        // receivers emit but do not consume control traffic).
+        let me = inner.clone();
+        ep.set_handler(move |eng, src, msg| Self::rx_on_ctrl(&me, eng, src, msg));
+
+        // Fill the initial pipeline window.
+        Self::rx_fill_pipeline(&inner, eng);
+
+        // Housekeeping loop: telemetry reports, pipeline refills, quiescing
+        // of drained predecessors.
+        let me = inner.clone();
+        tick_loop(eng, telemetry_interval, move |eng| Self::rx_tick(&me, eng));
+        AdaptiveReceiver { inner }
+    }
+
+    /// Posts segments while the outstanding (posted-but-unobserved) data
+    /// stays below the pipeline lead — the receiver-side throttle that
+    /// keeps the wire full without racing unboundedly ahead (every posted
+    /// segment is one the scheme can no longer be changed for) — and while
+    /// the slot table has room (lingering pre-handover drivers hold their
+    /// slots until the sender's `SegDone` watermark confirms their final
+    /// ACK).
+    fn rx_fill_pipeline(inner: &Rc<RefCell<RxInner>>, eng: &mut Engine) {
+        loop {
+            let start = {
+                let i = inner.borrow();
+                let e = i.next_start as usize;
+                if e >= i.segs.len() {
+                    return;
+                }
+                let lead = i.cfg.lead_packets(&i.qp);
+                let outstanding: u64 = i
+                    .live
+                    .iter()
+                    .filter(|s| !s.complete)
+                    .map(|s| {
+                        let (observed, total) = s.recv.frontier();
+                        total.saturating_sub(observed)
+                    })
+                    .sum();
+                // The spec this segment would start under (a pending
+                // handover commits exactly at its epoch).
+                let spec = match i.pending {
+                    Some((_, pe, spec)) if pe == i.next_start => spec,
+                    _ => i.current_spec,
+                };
+                let slots = sends_for(&spec, i.segs[e].1, i.qp.config().chunk_bytes);
+                outstanding < lead && i.qp.can_recv_post(slots)
+            };
+            if !start {
+                return;
+            }
+            Self::rx_start_segment(inner, eng);
+        }
+    }
+
+    fn rx_start_segment(inner: &Rc<RefCell<RxInner>>, eng: &mut Engine) {
+        let (gate, spec, off, len, epoch) = {
+            let mut i = inner.borrow_mut();
+            let e = i.next_start as usize;
+            debug_assert!(e < i.segs.len());
+            if let Some((seq, pe, spec)) = i.pending {
+                debug_assert!(pe >= i.next_start, "pending switch cannot target the past");
+                if pe == i.next_start {
+                    i.current_spec = spec;
+                    i.committed = Some((seq, pe, spec));
+                    i.switches += 1;
+                    i.pending = None;
+                }
+            }
+            let gate = EpochGate::new(i.next_start, i.ep.clone());
+            let (off, len) = i.segs[e];
+            i.next_start += 1;
+            (gate, i.current_spec, off, len, i.next_start - 1)
+        };
+        let me = inner.clone();
+        let seg_done = move |eng: &mut Engine| Self::rx_on_segment_done(&me, eng, epoch);
+        let (qp, ctx, peer, addr, cfg, est) = {
+            let i = inner.borrow();
+            (
+                i.qp.clone(),
+                i.ctx.clone(),
+                i.peer,
+                i.buf_addr + off,
+                i.cfg.clone(),
+                i.est.clone(),
+            )
+        };
+        let path: Rc<dyn CtrlPath> = gate.clone();
+        let recv = match spec {
+            SchemeSpec::SrRto | SchemeSpec::SrNack => {
+                let proto = sr_proto(&spec, &cfg);
+                SegReceiver::Sr(SrReceiver::start_with_telemetry(
+                    eng,
+                    &qp,
+                    path,
+                    peer,
+                    addr,
+                    len,
+                    proto,
+                    Some(est),
+                    move |eng, _t| seg_done(eng),
+                ))
+            }
+            SchemeSpec::EcMds { .. } | SchemeSpec::EcXor { .. } => {
+                let proto = ec_proto(&spec, &cfg, &qp, len);
+                SegReceiver::Ec(EcReceiver::start_with_telemetry(
+                    eng,
+                    &qp,
+                    &ctx,
+                    path,
+                    peer,
+                    addr,
+                    len,
+                    proto,
+                    Some(est),
+                    move |eng, _t, _st| seg_done(eng),
+                ))
+            }
+            SchemeSpec::Gbn => {
+                let proto = gbn_proto(&cfg, &qp);
+                SegReceiver::Gbn(GbnReceiver::start_with_telemetry(
+                    eng,
+                    &qp,
+                    path,
+                    peer,
+                    addr,
+                    len,
+                    proto,
+                    Some(est),
+                    move |eng, _t| seg_done(eng),
+                ))
+            }
+        };
+        inner.borrow_mut().live.push(RxSeg {
+            epoch,
+            gate,
+            recv,
+            complete: false,
+        });
+    }
+
+    fn rx_on_segment_done(inner: &Rc<RefCell<RxInner>>, eng: &mut Engine, epoch: u32) {
+        let finished = {
+            let mut i = inner.borrow_mut();
+            if i.done_at.is_some() {
+                return;
+            }
+            let Some(seg) = i.live.iter_mut().find(|s| s.epoch == epoch) else {
+                return;
+            };
+            if seg.complete {
+                return; // duplicate completion
+            }
+            seg.complete = true;
+            i.done_segments += 1;
+            i.done_segments as usize == i.segs.len()
+        };
+        if finished {
+            let cb = {
+                let mut i = inner.borrow_mut();
+                i.done_at = Some(eng.now());
+                let report = AdaptRecvReport {
+                    segments: i.segs.len() as u32,
+                    switches: i.switches,
+                };
+                i.done_cb.take().map(|cb| (cb, report))
+            };
+            if let Some((cb, report)) = cb {
+                cb(eng, eng.now(), report);
+            }
+        } else {
+            // Completion freed pipeline budget.
+            Self::rx_fill_pipeline(inner, eng);
+        }
+    }
+
+    fn rx_on_ctrl(inner: &Rc<RefCell<RxInner>>, eng: &mut Engine, _src: QpAddr, msg: CtrlMsg) {
+        if let CtrlMsg::SegDone { below } = msg {
+            // The sender finished these segments: their lingering drivers
+            // have nothing left to re-ACK — quiesce them (slots release
+            // exactly once; the successor segments need the table space).
+            let quiesce = {
+                let mut i = inner.borrow_mut();
+                let mut out = Vec::new();
+                let mut k = 0;
+                while k < i.live.len() {
+                    if i.live[k].complete && i.live[k].epoch < below {
+                        out.push(i.live.swap_remove(k).recv);
+                    } else {
+                        k += 1;
+                    }
+                }
+                out
+            };
+            for r in &quiesce {
+                r.quiesce(eng);
+            }
+            return;
+        }
+        let CtrlMsg::SwitchPropose { seq, epoch, spec } = msg else {
+            return;
+        };
+        let reply = {
+            let mut i = inner.borrow_mut();
+            let next_unstarted = i.next_start;
+            let effective = match (&i.pending, &i.committed) {
+                (Some((ps, pe, _)), _) if *ps == seq => *pe, // idempotent re-ack
+                (_, Some((cs, ce, _))) if *cs == seq => *ce, // already applied
+                _ => {
+                    // New handshake: accept from the proposed epoch or the
+                    // first segment not yet started, whichever is later.
+                    let e = epoch.max(next_unstarted);
+                    i.pending = Some((seq, e, spec));
+                    e
+                }
+            };
+            CtrlMsg::SwitchAck {
+                seq,
+                epoch: effective,
+            }
+        };
+        let (ep, peer) = {
+            let i = inner.borrow();
+            (i.ep.clone(), i.peer)
+        };
+        ep.send(eng, peer, &reply);
+    }
+
+    fn rx_tick(inner: &Rc<RefCell<RxInner>>, eng: &mut Engine) -> Tick {
+        // Keep the pipeline full (frontier moved since the last event).
+        if inner.borrow().done_at.is_none() {
+            Self::rx_fill_pipeline(inner, eng);
+        }
+        // (Completed segments quiesce on the sender's SegDone watermark —
+        // see rx_on_ctrl; pipelined later-segment data proves nothing
+        // about earlier final ACKs, so it must not trigger releases.)
+        let (report, done) = {
+            let i = inner.borrow();
+            let counters = i.est.borrow().counters();
+            if std::env::var_os("SDR_ADAPT_DEBUG").is_some() {
+                eprintln!(
+                    "  [rx {:.1}ms] telemetry seen={} lost={}",
+                    eng.now().as_secs_f64() * 1e3,
+                    counters.seen,
+                    counters.lost
+                );
+            }
+            (counters, i.done_at.is_some())
+        };
+        if done {
+            return Tick::Stop;
+        }
+        let (ep, peer) = {
+            let i = inner.borrow();
+            (i.ep.clone(), i.peer)
+        };
+        ep.send(
+            eng,
+            peer,
+            &CtrlMsg::Telemetry {
+                seen: report.seen,
+                lost: report.lost,
+            },
+        );
+        Tick::Again
+    }
+}
+
+impl AdaptiveReceiver {
+    /// True once every segment is fully delivered.
+    pub fn is_complete(&self) -> bool {
+        self.inner.borrow().done_at.is_some()
+    }
+
+    /// The scheme currently committed on the receiver.
+    pub fn current_spec(&self) -> SchemeSpec {
+        self.inner.borrow().current_spec
+    }
+
+    /// Handovers applied so far.
+    pub fn switches(&self) -> u64 {
+        self.inner.borrow().switches
+    }
+
+    /// Reads the receiver-side channel estimator.
+    pub fn estimator<R>(&self, f: impl FnOnce(&ChannelEstimator) -> R) -> R {
+        f(&self.inner.borrow().est.borrow())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_table_partitions_the_message() {
+        assert_eq!(segments(10, 4), vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(segments(8, 4), vec![(0, 4), (4, 4)]);
+        assert_eq!(segments(3, 4), vec![(0, 3)]);
+        let segs = segments(1 << 20, 256 * 1024);
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs.iter().map(|s| s.1).sum::<u64>(), 1 << 20);
+    }
+
+    #[test]
+    fn advisor_schemes_map_onto_wire_specs() {
+        assert_eq!(
+            spec_from_scheme(&Scheme::SrRto { rto_rtts: 3.0 }),
+            SchemeSpec::SrRto
+        );
+        assert_eq!(spec_from_scheme(&Scheme::SrNack), SchemeSpec::SrNack);
+        assert_eq!(
+            spec_from_scheme(&Scheme::EcMds { k: 32, m: 8 }),
+            SchemeSpec::EcMds { k: 32, m: 8 }
+        );
+        assert_eq!(
+            spec_from_scheme(&Scheme::EcXor { k: 16, m: 4 }),
+            SchemeSpec::EcXor { k: 16, m: 4 }
+        );
+        assert_eq!(
+            spec_from_scheme(&Scheme::Gbn { rto_rtts: 3.0 }),
+            SchemeSpec::Gbn
+        );
+    }
+
+    #[test]
+    fn segment_send_counts_cover_ec_geometry() {
+        let chunk = 64 * 1024;
+        // ARQ schemes: one streaming send per segment.
+        assert_eq!(sends_for(&SchemeSpec::SrNack, 1 << 20, chunk), 1);
+        assert_eq!(sends_for(&SchemeSpec::Gbn, 1 << 20, chunk), 1);
+        // EC: 2L sends. 1 MiB = 16 chunks; k=4 → L=4 → 8 sends.
+        assert_eq!(
+            sends_for(&SchemeSpec::EcMds { k: 4, m: 2 }, 1 << 20, chunk),
+            8
+        );
+        // Tail rounding: 17 chunks at k=4 → L=5 → 10.
+        assert_eq!(
+            sends_for(&SchemeSpec::EcMds { k: 4, m: 2 }, 17 * chunk, chunk),
+            10
+        );
+        // k larger than the segment: one submessage.
+        assert_eq!(
+            sends_for(&SchemeSpec::EcXor { k: 32, m: 8 }, 1 << 20, chunk),
+            2
+        );
+    }
+}

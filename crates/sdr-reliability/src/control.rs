@@ -20,6 +20,21 @@ const CTRL_BUF_BYTES: u64 = 2048;
 /// Handler invoked per received control message: `(engine, src, message)`.
 pub type CtrlHandler = Box<dyn FnMut(&mut Engine, QpAddr, CtrlMsg)>;
 
+/// A path reliability schemes send their control messages down and receive
+/// them from. [`ControlEndpoint`] is the direct implementation (messages go
+/// on the wire as-is); the adaptive layer interposes an epoch gate that
+/// wraps scheme traffic in [`CtrlMsg::Seg`] envelopes so a lingering ACK
+/// from before a scheme handover cannot poison the successor scheme.
+/// Schemes are written against this trait and never know which one they
+/// ride.
+pub trait CtrlPath {
+    /// Sends a control message to `dst` (unreliably — it can drop).
+    fn send_ctrl(&self, eng: &mut Engine, dst: QpAddr, msg: &CtrlMsg);
+
+    /// Installs the receive handler for messages arriving on this path.
+    fn install_handler(&self, f: CtrlHandler);
+}
+
 /// A UD endpoint carrying [`CtrlMsg`] datagrams for a reliability protocol.
 pub struct ControlEndpoint {
     fabric: Fabric,
@@ -134,6 +149,16 @@ impl ControlEndpoint {
     /// Control datagrams sent so far.
     pub fn sent_count(&self) -> u64 {
         *self.sent.borrow()
+    }
+}
+
+impl CtrlPath for ControlEndpoint {
+    fn send_ctrl(&self, eng: &mut Engine, dst: QpAddr, msg: &CtrlMsg) {
+        self.send(eng, dst, msg);
+    }
+
+    fn install_handler(&self, f: CtrlHandler) {
+        *self.handler.borrow_mut() = Some(f);
     }
 }
 

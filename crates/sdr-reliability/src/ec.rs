@@ -51,8 +51,9 @@ use sdr_erasure::{EncodeJob, EncodePool, ErasureCode, PendingEncode, ReedSolomon
 use sdr_sim::{Engine, QpAddr, SimTime};
 
 use crate::ack::CtrlMsg;
-use crate::control::ControlEndpoint;
+use crate::control::CtrlPath;
 use crate::runtime::{begin_on_cts, wire_ctrl, Completion, RxCommon, RxDriver, RxScheme};
+use crate::telemetry::ChannelEstimator;
 
 /// Which erasure code protects the submessages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -399,7 +400,7 @@ impl EcSender {
         eng: &mut Engine,
         qp: &SdrQp,
         ctx: &SdrContext,
-        ctrl: Rc<ControlEndpoint>,
+        ctrl: Rc<dyn CtrlPath>,
         _peer_ctrl: QpAddr,
         local_addr: u64,
         msg_bytes: u64,
@@ -786,11 +787,32 @@ impl EcReceiver {
         eng: &mut Engine,
         qp: &SdrQp,
         ctx: &SdrContext,
-        ctrl: Rc<ControlEndpoint>,
+        ctrl: Rc<dyn CtrlPath>,
         peer_ctrl: QpAddr,
         buf_addr: u64,
         msg_bytes: u64,
         cfg: EcProtoConfig,
+        done: impl FnOnce(&mut Engine, SimTime, EcRecvStats) + 'static,
+    ) -> EcReceiver {
+        Self::start_with_telemetry(
+            eng, qp, ctx, ctrl, peer_ctrl, buf_addr, msg_bytes, cfg, None, done,
+        )
+    }
+
+    /// [`start`](Self::start) with an optional channel estimator bound to
+    /// the driver (first-pass gap counts per poll across all data and
+    /// parity slots — the receiver half of the adaptive telemetry loop).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_telemetry(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctx: &SdrContext,
+        ctrl: Rc<dyn CtrlPath>,
+        peer_ctrl: QpAddr,
+        buf_addr: u64,
+        msg_bytes: u64,
+        cfg: EcProtoConfig,
+        telemetry: Option<Rc<RefCell<ChannelEstimator>>>,
         done: impl FnOnce(&mut Engine, SimTime, EcRecvStats) + 'static,
     ) -> EcReceiver {
         let chunk_bytes = qp.config().chunk_bytes;
@@ -813,6 +835,9 @@ impl EcReceiver {
             let addr = ctx.alloc_buffer(len);
             parity_addrs.push(addr);
             common.post(eng, addr, len);
+        }
+        if let Some(est) = telemetry {
+            common.bind_estimator(est);
         }
 
         let l = geoms.len();
@@ -853,6 +878,23 @@ impl EcReceiver {
     /// Receiver statistics so far.
     pub fn stats(&self) -> EcRecvStats {
         self.driver.scheme(|s| s.stats)
+    }
+
+    /// Releases every posted slot now (exactly once) and stops the loop —
+    /// the adaptive layer's quiesce-and-rebind path.
+    pub fn quiesce(&self, eng: &mut Engine) -> bool {
+        self.driver.quiesce(eng)
+    }
+
+    /// True once any packet of this transfer has arrived.
+    pub fn any_packet(&self) -> bool {
+        self.driver.any_packet()
+    }
+
+    /// `(observed, total)` packets (the injection frontier; see
+    /// [`RxDriver::frontier`]).
+    pub fn frontier(&self) -> (u64, u64) {
+        self.driver.frontier()
     }
 }
 

@@ -28,11 +28,12 @@ use sdr_core::SdrQp;
 use sdr_sim::{Engine, QpAddr, SimTime};
 
 use crate::ack::CtrlMsg;
-use crate::control::ControlEndpoint;
+use crate::control::CtrlPath;
 use crate::runtime::{
     begin_on_cts, tick_loop, wire_ctrl, ChunkTimers, Completion, RxCommon, RxDriver, RxScheme,
     StreamTx, Tick,
 };
+use crate::telemetry::ChannelEstimator;
 
 /// Go-Back-N protocol tuning.
 #[derive(Clone, Copy, Debug)]
@@ -107,7 +108,7 @@ impl GbnSender {
     pub fn start(
         eng: &mut Engine,
         qp: &SdrQp,
-        ctrl: Rc<ControlEndpoint>,
+        ctrl: Rc<dyn CtrlPath>,
         _peer_ctrl: QpAddr,
         local_addr: u64,
         msg_bytes: u64,
@@ -145,7 +146,10 @@ impl GbnSender {
     fn try_begin(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> bool {
         let tick = {
             let mut i = inner.borrow_mut();
-            if i.stream.is_open() {
+            // A stale CTS hook may re-fire after completion (the stream is
+            // quiesced by then) — it must never re-open the stream and
+            // consume a send sequence that belongs to a later transfer.
+            if i.completion.is_done() || i.stream.is_open() {
                 return true;
             }
             if !i.stream.try_begin(eng) {
@@ -200,7 +204,7 @@ impl GbnSender {
             i.timer_armed_at = eng.now();
         }
         if i.timers.is_complete() {
-            i.stream.end();
+            i.stream.quiesce();
             let report = GbnReport {
                 duration: i.completion.elapsed(eng.now()),
                 retransmitted: i.retransmitted,
@@ -248,15 +252,38 @@ impl GbnReceiver {
     pub fn start(
         eng: &mut Engine,
         qp: &SdrQp,
-        ctrl: Rc<ControlEndpoint>,
+        ctrl: Rc<dyn CtrlPath>,
         peer_ctrl: QpAddr,
         buf_addr: u64,
         msg_bytes: u64,
         cfg: GbnProtoConfig,
         done: impl FnOnce(&mut Engine, SimTime) + 'static,
     ) -> GbnReceiver {
+        Self::start_with_telemetry(
+            eng, qp, ctrl, peer_ctrl, buf_addr, msg_bytes, cfg, None, done,
+        )
+    }
+
+    /// [`start`](Self::start) with an optional channel estimator bound to
+    /// the driver (first-pass gap counts per poll — the receiver half of
+    /// the adaptive telemetry loop).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_telemetry(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctrl: Rc<dyn CtrlPath>,
+        peer_ctrl: QpAddr,
+        buf_addr: u64,
+        msg_bytes: u64,
+        cfg: GbnProtoConfig,
+        telemetry: Option<Rc<RefCell<ChannelEstimator>>>,
+        done: impl FnOnce(&mut Engine, SimTime) + 'static,
+    ) -> GbnReceiver {
         let mut common = RxCommon::new(qp, ctrl, peer_ctrl);
         common.post(eng, buf_addr, msg_bytes);
+        if let Some(est) = telemetry {
+            common.bind_estimator(est);
+        }
         let scheme = GbnRxScheme {
             total_chunks: qp.config().chunks_for(msg_bytes) as usize,
         };
@@ -279,5 +306,22 @@ impl GbnReceiver {
     /// True once the receive buffer has been released back to the QP.
     pub fn is_released(&self) -> bool {
         self.driver.is_released()
+    }
+
+    /// Releases the receive slot now (exactly once) and stops the loop —
+    /// the adaptive layer's quiesce-and-rebind path.
+    pub fn quiesce(&self, eng: &mut Engine) -> bool {
+        self.driver.quiesce(eng)
+    }
+
+    /// True once any packet of this transfer has arrived.
+    pub fn any_packet(&self) -> bool {
+        self.driver.any_packet()
+    }
+
+    /// `(observed, total)` packets (the injection frontier; see
+    /// [`RxDriver::frontier`]).
+    pub fn frontier(&self) -> (u64, u64) {
+        self.driver.frontier()
     }
 }

@@ -34,30 +34,59 @@
 //!   scheme per deployment (§5.2's "guided choice"), with GBN evaluated as
 //!   the baseline candidate.
 //!
+//! ## The adaptive control plane
+//!
+//! A static pick is only as good as the channel assumption it was made
+//! under (Figure 2 shows WAN drop rates drifting three orders of
+//! magnitude). Two modules close the loop:
+//!
+//! * [`telemetry`] — the online [`ChannelEstimator`]: EWMA loss from the
+//!   receiver's first-pass bitmap scans (fed by every [`RxDriver`] poll)
+//!   and RTT from ACK round-trips, with confidence gating so cold
+//!   estimates cannot flap a controller.
+//! * [`adapt`] — the [`AdaptiveController`]: runs the transfer as a
+//!   receiver-throttled pipeline of segments, re-runs the advisor against
+//!   the live estimate, and executes mid-transfer SR ⇄ EC ⇄ GBN handovers
+//!   over the control plane ([`CtrlMsg::SwitchPropose`] /
+//!   [`CtrlMsg::SwitchAck`], epoch-gated scheme traffic, drain semantics,
+//!   exactly-once slot release across the switch) with hysteresis around
+//!   the fig09 boundary (`sdr_model::fig09_boundary_p_packet`).
+//!
 //! Everything runs on the deterministic discrete-event substrate, so the
 //! protocol implementations can be validated against the closed-form models
 //! in `sdr-model` — which the integration tests in this crate (including
-//! the scheme-conformance suite run against all three schemes and the GBN
-//! protocol-vs-model differential) and in the workspace `tests/` directory
-//! do.
+//! the scheme-conformance suite run against all three schemes, the GBN
+//! protocol-vs-model differential and the adaptive switchover suite) and
+//! in the workspace `tests/` directory do.
+//!
+//! [`RxDriver`]: runtime::RxDriver
+//! [`CtrlMsg::SwitchPropose`]: ack::CtrlMsg::SwitchPropose
+//! [`CtrlMsg::SwitchAck`]: ack::CtrlMsg::SwitchAck
 
 #![warn(missing_docs)]
 
 pub mod ack;
+pub mod adapt;
 pub mod advisor;
 pub mod control;
 pub mod ec;
 pub mod gbn;
 pub mod runtime;
 pub mod sr;
+pub mod telemetry;
 
-pub use ack::{build_sr_ack, CtrlMsg, MAX_NACKS, MAX_SACK_BITS};
+pub use ack::{build_sr_ack, CtrlMsg, SchemeSpec, MAX_NACKS, MAX_SACK_BITS};
+pub use adapt::{
+    spec_from_scheme, AdaptConfig, AdaptRecvReport, AdaptReport, AdaptiveController,
+    AdaptiveReceiver, AdaptiveSender,
+};
 pub use advisor::{recommend, Candidate, Recommendation, Scheme};
-pub use control::ControlEndpoint;
+pub use control::{ControlEndpoint, CtrlPath};
 pub use ec::{EcCodeChoice, EcProtoConfig, EcReceiver, EcRecvStats, EcReport, EcSender, EcStaging};
 pub use gbn::{GbnProtoConfig, GbnReceiver, GbnReport, GbnSender};
 pub use runtime::{ChunkTimers, Completion, RxCommon, RxDriver, RxScheme, StreamTx};
 pub use sr::{SrProtoConfig, SrReceiver, SrReport, SrSender};
+pub use telemetry::{ChannelEstimator, TelemetryConfig, TelemetryCounters};
 
 #[cfg(test)]
 mod tests {

@@ -40,7 +40,8 @@ use sdr_core::{RecvHandle, SdrQp, SendHandle, TwoLevelBitmap};
 use sdr_sim::{Engine, QpAddr, SimTime};
 
 use crate::ack::CtrlMsg;
-use crate::control::ControlEndpoint;
+use crate::control::CtrlPath;
+use crate::telemetry::{ChannelEstimator, FirstPassCursor};
 
 // ---------------------------------------------------------------------------
 // Timer management
@@ -87,6 +88,9 @@ pub struct ChunkTimers {
     acked: Vec<bool>,
     acked_count: usize,
     last_sent: Vec<SimTime>,
+    /// Chunks that have been retransmitted at least once — their ACK
+    /// round-trips are ambiguous (Karn's rule) and never yield RTT samples.
+    resent: Vec<bool>,
     cursor: usize,
 }
 
@@ -97,6 +101,7 @@ impl ChunkTimers {
             acked: vec![false; total],
             acked_count: 0,
             last_sent: vec![SimTime::ZERO; total],
+            resent: vec![false; total],
             cursor: 0,
         }
     }
@@ -165,6 +170,7 @@ impl ChunkTimers {
             && now.saturating_sub(self.last_sent[c]) >= timeout
         {
             self.last_sent[c] = now;
+            self.resent[c] = true;
             true
         } else {
             false
@@ -178,9 +184,20 @@ impl ChunkTimers {
         for c in self.cursor..self.acked.len() {
             if !self.acked[c] && now.saturating_sub(self.last_sent[c]) >= timeout {
                 self.last_sent[c] = now;
+                self.resent[c] = true;
                 f(c);
             }
         }
+    }
+
+    /// The ACK round-trip of chunk `c` acked at `now`: `now − last_sent`,
+    /// but only for chunks never retransmitted — a retransmitted chunk's
+    /// ACK is ambiguous between copies (Karn's rule), so it yields no
+    /// sample. Call right after [`mark_acked`](Self::mark_acked) reports a
+    /// *newly* acked chunk; this is the telemetry feed for the adaptive
+    /// controller's RTT estimate.
+    pub fn rtt_sample(&self, c: usize, now: SimTime) -> Option<SimTime> {
+        (c < self.acked.len() && !self.resent[c]).then(|| now.saturating_sub(self.last_sent[c]))
     }
 
     fn advance_cursor(&mut self) {
@@ -285,6 +302,18 @@ impl StreamTx {
             let _ = self.qp.send_stream_end(&hdl);
         }
     }
+
+    /// Quiesces the stream — the exactly-once close the ARQ senders run at
+    /// completion and a handover teardown can run early: idempotent
+    /// (repeated calls and calls racing [`end`](Self::end) are no-ops) and
+    /// drops the send handle so no later code path can inject into the old
+    /// scheme's slot. Returns `true` when this call performed the close.
+    pub fn quiesce(&mut self) -> bool {
+        match self.hdl.take() {
+            Some(hdl) => self.qp.send_stream_end(&hdl).is_ok(),
+            None => false,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -294,13 +323,15 @@ impl StreamTx {
 /// Installs `f` as `ep`'s control handler with the shared-state clone the
 /// schemes all need: the handler gets the protocol object's `Rc` so it can
 /// borrow it per message without keeping it borrowed across engine calls.
+/// `ep` is any [`CtrlPath`] — the raw endpoint for static deployments, the
+/// adaptive layer's epoch gate during adaptive transfers.
 pub fn wire_ctrl<T: 'static>(
-    ep: &Rc<ControlEndpoint>,
+    ep: &Rc<dyn CtrlPath>,
     inner: &Rc<RefCell<T>>,
     mut f: impl FnMut(&Rc<RefCell<T>>, &mut Engine, QpAddr, CtrlMsg) + 'static,
 ) {
     let me = inner.clone();
-    ep.set_handler(move |eng, src, msg| f(&me, eng, src, msg));
+    ep.install_handler(Box::new(move |eng, src, msg| f(&me, eng, src, msg)));
 }
 
 /// Runs `begin` now and, if it reports not-ready (`false`), re-runs it on
@@ -384,20 +415,33 @@ impl<R> Completion<R> {
 /// and the posted receive slots. Handed to the [`RxScheme`] on every tick.
 pub struct RxCommon {
     qp: SdrQp,
-    ctrl: Rc<ControlEndpoint>,
+    ctrl: Rc<dyn CtrlPath>,
     peer_ctrl: QpAddr,
     hdls: Vec<RecvHandle>,
+    /// Channel telemetry, when bound: the estimator plus one first-pass
+    /// cursor per posted slot. The driver scans after every scheme poll.
+    telemetry: Option<(Rc<RefCell<ChannelEstimator>>, Vec<FirstPassCursor>)>,
 }
 
 impl RxCommon {
     /// Receiver plumbing over `qp` talking to `peer_ctrl` via `ctrl`.
-    pub fn new(qp: &SdrQp, ctrl: Rc<ControlEndpoint>, peer_ctrl: QpAddr) -> Self {
+    pub fn new(qp: &SdrQp, ctrl: Rc<dyn CtrlPath>, peer_ctrl: QpAddr) -> Self {
         RxCommon {
             qp: qp.clone(),
             ctrl,
             peer_ctrl,
             hdls: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Binds a channel estimator: after every poll the driver first-pass
+    /// scans each slot's packet bitmap and feeds the gap counts into it
+    /// (the loss half of the telemetry loop; see
+    /// [`telemetry`](crate::telemetry)).
+    pub fn bind_estimator(&mut self, est: Rc<RefCell<ChannelEstimator>>) {
+        let cursors = vec![FirstPassCursor::default(); self.hdls.len()];
+        self.telemetry = Some((est, cursors));
     }
 
     /// Posts a receive buffer and tracks its slot for lifecycle management.
@@ -405,7 +449,56 @@ impl RxCommon {
     pub fn post(&mut self, eng: &mut Engine, addr: u64, len: u64) -> usize {
         let hdl = self.qp.recv_post(eng, addr, len).expect("receive post");
         self.hdls.push(hdl);
+        if let Some((_, cursors)) = &mut self.telemetry {
+            cursors.resize(self.hdls.len(), FirstPassCursor::default());
+        }
         self.hdls.len() - 1
+    }
+
+    /// One telemetry pass: first-pass scan every slot's packet bitmap and
+    /// feed the estimator. No-op without a bound estimator.
+    fn feed_estimator(&mut self) {
+        let Some((est, cursors)) = &mut self.telemetry else {
+            return;
+        };
+        let (mut seen, mut lost) = (0u64, 0u64);
+        for (i, hdl) in self.hdls.iter().enumerate() {
+            if let Ok(bm) = self.qp.recv_bitmap(hdl) {
+                let (s, l) = cursors[i].scan(bm.packets());
+                seen += s;
+                lost += l;
+            }
+        }
+        if seen > 0 {
+            est.borrow_mut().observe_packets(seen, lost);
+        }
+    }
+
+    /// True once any packet has landed in any posted slot.
+    pub fn any_packet(&self) -> bool {
+        self.hdls.iter().any(|h| {
+            self.qp
+                .recv_bitmap(h)
+                .is_ok_and(|bm| bm.packets().count_set() > 0)
+        })
+    }
+
+    /// `(observed, total)` packet counts across the posted slots, where
+    /// `observed` is each slot's first-pass high-water mark — how far the
+    /// sender's injection has *reached*, independent of holes. The
+    /// adaptive receiver posts the next segment once the outstanding
+    /// remainder falls below its pipeline lead, keeping the wire full
+    /// across segment boundaries.
+    pub fn frontier(&self) -> (u64, u64) {
+        let (mut observed, mut total) = (0u64, 0u64);
+        for h in &self.hdls {
+            if let Ok(bm) = self.qp.recv_bitmap(h) {
+                let p = bm.packets();
+                observed += p.highest_set().map_or(0, |x| x as u64 + 1);
+                total += p.len() as u64;
+            }
+        }
+        (observed, total)
     }
 
     /// Number of posted slots.
@@ -434,7 +527,7 @@ impl RxCommon {
 
     /// Sends a control message to the peer.
     pub fn send(&self, eng: &mut Engine, msg: &CtrlMsg) {
-        self.ctrl.send(eng, self.peer_ctrl, msg);
+        self.ctrl.send_ctrl(eng, self.peer_ctrl, msg);
     }
 }
 
@@ -516,12 +609,16 @@ impl<S: RxScheme> RxDriver<S> {
                 completed_at,
                 ..
             } = &mut *st;
-            if completed_at.is_some() {
+            let complete = if completed_at.is_some() {
                 scheme.linger(eng, common);
                 true
             } else {
                 scheme.poll(eng, common)
-            }
+            };
+            // Telemetry rides the same cadence as the scheme poll: scan
+            // the bitmaps' new high-water ranges for first-pass gaps.
+            common.feed_estimator();
+            complete
         };
         if !complete {
             return Tick::Again;
@@ -552,6 +649,29 @@ impl<S: RxScheme> RxDriver<S> {
         }
     }
 
+    /// Quiesce-and-rebind support for scheme handovers: releases every
+    /// posted slot *now* (exactly once — the same `released` latch the
+    /// natural linger countdown uses, so racing the countdown is safe) and
+    /// stops the poll loop on its next tick. The adaptive receiver calls
+    /// this on a completed segment's driver once the sender's `SegDone`
+    /// watermark confirms the final ACK round-trip — from then on the
+    /// remaining linger repeats would only hold slots the successor scheme
+    /// needs. Returns `true` when this call performed the release.
+    pub fn quiesce(&self, eng: &mut Engine) -> bool {
+        let mut st = self.inner.borrow_mut();
+        if st.released {
+            return false;
+        }
+        let RxState {
+            common, released, ..
+        } = &mut *st;
+        for h in &common.hdls {
+            let _ = common.qp.recv_complete(eng, h);
+        }
+        *released = true;
+        true
+    }
+
     /// True once the scheme reported completion.
     pub fn is_complete(&self) -> bool {
         self.inner.borrow().completed_at.is_some()
@@ -570,6 +690,17 @@ impl<S: RxScheme> RxDriver<S> {
     /// Reads scheme-specific state (mid-run statistics).
     pub fn scheme<R>(&self, f: impl FnOnce(&S) -> R) -> R {
         f(&self.inner.borrow().scheme)
+    }
+
+    /// True once any packet has landed in any of this driver's slots.
+    pub fn any_packet(&self) -> bool {
+        self.inner.borrow().common.any_packet()
+    }
+
+    /// `(observed, total)` packets across this driver's slots (see
+    /// [`RxCommon::frontier`]).
+    pub fn frontier(&self) -> (u64, u64) {
+        self.inner.borrow().common.frontier()
     }
 }
 
@@ -617,6 +748,24 @@ mod tests {
         assert!(t.claim_for_resend(0, t2, rto));
         assert!(!t.claim_for_resend(0, t2, rto), "double-send guarded");
         assert!(!t.claim_for_resend(1, t2, rto), "acked chunks never claim");
+    }
+
+    #[test]
+    fn rtt_samples_follow_karns_rule() {
+        let mut t = ChunkTimers::new(3);
+        let t0 = SimTime::from_secs_f64(1.0);
+        let rtt = SimTime::from_secs_f64(0.01);
+        let rto = SimTime::from_secs_f64(0.05);
+        t.all_sent_at(t0);
+        // Chunk 0 acked on its first transmission: clean sample.
+        assert!(t.mark_acked(0));
+        assert_eq!(t.rtt_sample(0, t0 + rtt), Some(rtt));
+        // Chunk 1 expires and is retransmitted: its later ACK is ambiguous.
+        t.take_expired(t0 + rto, rto, |_| {});
+        assert!(t.mark_acked(1));
+        assert_eq!(t.rtt_sample(1, t0 + rto + rtt), None, "Karn's rule");
+        // Out-of-range chunks never sample.
+        assert_eq!(t.rtt_sample(99, t0), None);
     }
 
     #[test]

@@ -20,11 +20,12 @@ use sdr_core::SdrQp;
 use sdr_sim::{Engine, QpAddr, SimTime};
 
 use crate::ack::{build_sr_ack, CtrlMsg};
-use crate::control::ControlEndpoint;
+use crate::control::CtrlPath;
 use crate::runtime::{
     begin_on_cts, tick_loop, wire_ctrl, ChunkTimers, Completion, RxCommon, RxDriver, RxScheme,
     StreamTx, Tick,
 };
+use crate::telemetry::ChannelEstimator;
 
 /// Selective Repeat protocol tuning.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +87,10 @@ struct SenderInner {
     retransmitted: u64,
     acks: u64,
     completion: Completion<SrReport>,
+    /// When bound, newly acked never-retransmitted chunks feed ACK
+    /// round-trip RTT samples into the estimator (Karn's rule applied by
+    /// [`ChunkTimers::rtt_sample`]).
+    telemetry: Option<Rc<RefCell<ChannelEstimator>>>,
 }
 
 /// The SR sender protocol object.
@@ -100,11 +105,31 @@ impl SrSender {
     pub fn start(
         eng: &mut Engine,
         qp: &SdrQp,
-        ctrl: Rc<ControlEndpoint>,
+        ctrl: Rc<dyn CtrlPath>,
+        peer_ctrl: QpAddr,
+        local_addr: u64,
+        msg_bytes: u64,
+        cfg: SrProtoConfig,
+        done: impl FnOnce(&mut Engine, SrReport) + 'static,
+    ) -> SrSender {
+        Self::start_with_telemetry(
+            eng, qp, ctrl, peer_ctrl, local_addr, msg_bytes, cfg, None, done,
+        )
+    }
+
+    /// [`start`](Self::start) with an optional channel estimator bound:
+    /// ACK round-trips then feed RTT samples into it (the sender half of
+    /// the adaptive telemetry loop).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_telemetry(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctrl: Rc<dyn CtrlPath>,
         _peer_ctrl: QpAddr,
         local_addr: u64,
         msg_bytes: u64,
         cfg: SrProtoConfig,
+        telemetry: Option<Rc<RefCell<ChannelEstimator>>>,
         done: impl FnOnce(&mut Engine, SrReport) + 'static,
     ) -> SrSender {
         let stream = StreamTx::new(qp, local_addr, msg_bytes);
@@ -116,6 +141,7 @@ impl SrSender {
             retransmitted: 0,
             acks: 0,
             completion: Completion::new(done),
+            telemetry,
         }));
 
         // Control-path handler: apply ACKs.
@@ -153,7 +179,10 @@ impl SrSender {
     fn try_begin(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> bool {
         let (began, tick) = {
             let mut i = inner.borrow_mut();
-            if i.stream.is_open() {
+            // A stale CTS hook may re-fire after completion (the stream is
+            // quiesced by then) — it must never re-open the stream and
+            // consume a send sequence that belongs to a later transfer.
+            if i.completion.is_done() || i.stream.is_open() {
                 return true;
             }
             if !i.stream.try_begin(eng) {
@@ -205,11 +234,26 @@ impl SrSender {
             return;
         }
         i.acks += 1;
+        // At most one RTT sample per ACK: the first chunk this ACK newly
+        // acknowledges, if it was never retransmitted (Karn's rule).
+        let mut rtt_sample = None;
+        let now = eng.now();
+        if let Some(first) = i.timers.first_unacked() {
+            if first < cumulative as usize {
+                rtt_sample = i.timers.rtt_sample(first, now);
+            }
+        }
         i.timers.ack_prefix(cumulative as usize);
         for b in 0..(sack_len as usize) {
             if sack_bits[b / 64] >> (b % 64) & 1 == 1 {
-                i.timers.mark_acked(window_start as usize + b);
+                let c = window_start as usize + b;
+                if i.timers.mark_acked(c) && rtt_sample.is_none() {
+                    rtt_sample = i.timers.rtt_sample(c, now);
+                }
             }
+        }
+        if let (Some(sample), Some(est)) = (rtt_sample, &i.telemetry) {
+            est.borrow_mut().observe_rtt(sample);
         }
         // NACK fast path: retransmit reported holes immediately, guarded so
         // duplicate NACKs within a tick don't double-send.
@@ -230,7 +274,7 @@ impl SrSender {
             }
         }
         if i.timers.is_complete() {
-            i.stream.end();
+            i.stream.quiesce();
             let report = SrReport {
                 duration: i.completion.elapsed(eng.now()),
                 retransmitted: i.retransmitted,
@@ -279,15 +323,38 @@ impl SrReceiver {
     pub fn start(
         eng: &mut Engine,
         qp: &SdrQp,
-        ctrl: Rc<ControlEndpoint>,
+        ctrl: Rc<dyn CtrlPath>,
         peer_ctrl: QpAddr,
         buf_addr: u64,
         msg_bytes: u64,
         cfg: SrProtoConfig,
         done: impl FnOnce(&mut Engine, SimTime) + 'static,
     ) -> SrReceiver {
+        Self::start_with_telemetry(
+            eng, qp, ctrl, peer_ctrl, buf_addr, msg_bytes, cfg, None, done,
+        )
+    }
+
+    /// [`start`](Self::start) with an optional channel estimator bound to
+    /// the driver: every poll then feeds first-pass gap counts into it
+    /// (the receiver half of the adaptive telemetry loop).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_telemetry(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctrl: Rc<dyn CtrlPath>,
+        peer_ctrl: QpAddr,
+        buf_addr: u64,
+        msg_bytes: u64,
+        cfg: SrProtoConfig,
+        telemetry: Option<Rc<RefCell<ChannelEstimator>>>,
+        done: impl FnOnce(&mut Engine, SimTime) + 'static,
+    ) -> SrReceiver {
         let mut common = RxCommon::new(qp, ctrl, peer_ctrl);
         common.post(eng, buf_addr, msg_bytes);
+        if let Some(est) = telemetry {
+            common.bind_estimator(est);
+        }
         let scheme = SrRxScheme {
             total_chunks: qp.config().chunks_for(msg_bytes) as usize,
             nack: cfg.nack,
@@ -311,5 +378,22 @@ impl SrReceiver {
     /// True once the receive buffer has been released back to the QP.
     pub fn is_released(&self) -> bool {
         self.driver.is_released()
+    }
+
+    /// Releases the receive slot now (exactly once) and stops the loop —
+    /// the adaptive layer's quiesce-and-rebind path.
+    pub fn quiesce(&self, eng: &mut Engine) -> bool {
+        self.driver.quiesce(eng)
+    }
+
+    /// True once any packet of this transfer has arrived.
+    pub fn any_packet(&self) -> bool {
+        self.driver.any_packet()
+    }
+
+    /// `(observed, total)` packets (the injection frontier; see
+    /// [`RxDriver::frontier`]).
+    pub fn frontier(&self) -> (u64, u64) {
+        self.driver.frontier()
     }
 }

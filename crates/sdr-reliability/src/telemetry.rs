@@ -1,0 +1,341 @@
+//! Online channel telemetry: the live loss-rate and RTT estimates the
+//! adaptive controller re-runs the advisor against.
+//!
+//! The paper's advisor (§5.2) picks a scheme from *assumed* channel
+//! parameters before the transfer; Figure 2 shows the real WAN drop rate
+//! drifting three orders of magnitude over hours. This module closes the
+//! loop: a [`ChannelEstimator`] is fed
+//!
+//! * **loss observations** from the receiver's bitmap polls — per poll, the
+//!   [`RxDriver`](crate::runtime::RxDriver) scans each receive slot's
+//!   packet bitmap *first-pass*: packets between the previous and current
+//!   high-water mark either arrived or are holes, and a hole at first
+//!   observation was a wire drop (retransmissions fill it later, but the
+//!   range is never re-scanned, so each drop is counted exactly once);
+//! * **RTT samples** from ACK round-trips on the control plane — the SR
+//!   sender samples `now − last_sent` for chunks acked on their first
+//!   transmission (Karn's rule: retransmitted chunks are ambiguous and
+//!   never sampled), and the adaptive controller samples its
+//!   `SwitchPropose → SwitchAck` handshakes.
+//!
+//! Both streams feed exponentially weighted moving averages. **Confidence
+//! gating** keeps cold estimates from flapping the controller: until
+//! [`min_packets`](TelemetryConfig::min_packets) first-pass packets have
+//! been observed, [`loss_estimate`](ChannelEstimator::loss_estimate)
+//! returns `None` and the controller must not switch. The receiver ships
+//! its counters to the sender as cumulative [`CtrlMsg::Telemetry`] reports,
+//! so control-datagram loss only delays the estimate.
+//!
+//! [`CtrlMsg::Telemetry`]: crate::ack::CtrlMsg::Telemetry
+
+use sdr_core::AtomicBitmap;
+use sdr_sim::SimTime;
+
+/// Tuning for the [`ChannelEstimator`].
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Per-packet EWMA weight for the loss estimate: one observed packet
+    /// moves the estimate by this fraction toward the observation. Small
+    /// values smooth over bursts; the default (2⁻¹²) converges within a
+    /// few thousand packets — a fraction of one 64 KiB-chunk segment.
+    pub loss_alpha: f64,
+    /// First-pass packets required before [`loss_estimate`] reports at all
+    /// (the cold-start confidence gate).
+    ///
+    /// [`loss_estimate`]: ChannelEstimator::loss_estimate
+    pub min_packets: u64,
+    /// EWMA weight per RTT sample.
+    pub rtt_alpha: f64,
+    /// RTT samples required before [`rtt_estimate`] reports.
+    ///
+    /// [`rtt_estimate`]: ChannelEstimator::rtt_estimate
+    pub min_rtt_samples: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            loss_alpha: 1.0 / 4096.0,
+            min_packets: 2048,
+            rtt_alpha: 0.25,
+            min_rtt_samples: 2,
+        }
+    }
+}
+
+/// A snapshot of the estimator's cumulative counters (what the receiver
+/// ships to the sender in [`CtrlMsg::Telemetry`]).
+///
+/// [`CtrlMsg::Telemetry`]: crate::ack::CtrlMsg::Telemetry
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryCounters {
+    /// First-pass packets observed (arrived or counted lost).
+    pub seen: u64,
+    /// Packets counted lost on their first pass.
+    pub lost: u64,
+}
+
+/// EWMA channel estimator with confidence tracking. One instance lives on
+/// the receiver (fed by bitmap polls), one on the sender (fed by
+/// [`TelemetryCounters`] deltas and ACK round-trip RTT samples).
+#[derive(Debug)]
+pub struct ChannelEstimator {
+    cfg: TelemetryConfig,
+    seen: u64,
+    lost: u64,
+    loss_ewma: f64,
+    ewma_primed: bool,
+    rtt_ewma: f64,
+    rtt_samples: u64,
+    /// Last cumulative counters absorbed from the peer (sender side).
+    peer: TelemetryCounters,
+}
+
+impl ChannelEstimator {
+    /// A cold estimator.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        ChannelEstimator {
+            cfg,
+            seen: 0,
+            lost: 0,
+            loss_ewma: 0.0,
+            ewma_primed: false,
+            rtt_ewma: 0.0,
+            rtt_samples: 0,
+            peer: TelemetryCounters::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> TelemetryConfig {
+        self.cfg
+    }
+
+    /// Feeds one first-pass observation block: `seen` packets crossed the
+    /// high-water mark, `lost` of them were holes. The EWMA advances by
+    /// the per-packet weight compounded over the block.
+    pub fn observe_packets(&mut self, seen: u64, lost: u64) {
+        debug_assert!(lost <= seen);
+        if seen == 0 {
+            return;
+        }
+        self.seen += seen;
+        self.lost += lost;
+        let sample = lost as f64 / seen as f64;
+        if !self.ewma_primed {
+            self.loss_ewma = sample;
+            self.ewma_primed = true;
+            return;
+        }
+        // Weight of a block of n packets: 1 − (1 − α)ⁿ.
+        let w = -f64::exp_m1(seen as f64 * f64::ln_1p(-self.cfg.loss_alpha));
+        self.loss_ewma += w * (sample - self.loss_ewma);
+    }
+
+    /// Absorbs the peer's cumulative counters (a [`CtrlMsg::Telemetry`]
+    /// report): the delta since the last absorbed report is fed as one
+    /// observation block. Stale or duplicate reports (cumulative counters
+    /// not advancing) are ignored, so datagram loss and reordering on the
+    /// control path are harmless.
+    ///
+    /// [`CtrlMsg::Telemetry`]: crate::ack::CtrlMsg::Telemetry
+    pub fn absorb_report(&mut self, counters: TelemetryCounters) {
+        if counters.seen <= self.peer.seen {
+            return;
+        }
+        let seen = counters.seen - self.peer.seen;
+        let lost = counters.lost.saturating_sub(self.peer.lost).min(seen);
+        self.peer = counters;
+        self.observe_packets(seen, lost);
+    }
+
+    /// Feeds one RTT sample from a control-plane round trip.
+    pub fn observe_rtt(&mut self, sample: SimTime) {
+        let s = sample.as_secs_f64();
+        if self.rtt_samples == 0 {
+            self.rtt_ewma = s;
+        } else {
+            self.rtt_ewma += self.cfg.rtt_alpha * (s - self.rtt_ewma);
+        }
+        self.rtt_samples += 1;
+    }
+
+    /// The per-packet loss estimate, once confident (`None` while cold —
+    /// the gate that keeps a controller from flapping on startup noise).
+    pub fn loss_estimate(&self) -> Option<f64> {
+        (self.seen >= self.cfg.min_packets).then_some(self.loss_ewma)
+    }
+
+    /// The RTT estimate, once at least `min_rtt_samples` arrived.
+    pub fn rtt_estimate(&self) -> Option<SimTime> {
+        (self.rtt_samples >= self.cfg.min_rtt_samples)
+            .then(|| SimTime::from_secs_f64(self.rtt_ewma))
+    }
+
+    /// True once the loss estimate is confident.
+    pub fn is_confident(&self) -> bool {
+        self.seen >= self.cfg.min_packets
+    }
+
+    /// Cumulative first-pass counters (what the receiver reports).
+    pub fn counters(&self) -> TelemetryCounters {
+        TelemetryCounters {
+            seen: self.seen,
+            lost: self.lost,
+        }
+    }
+
+    /// First-pass packets observed so far.
+    pub fn packets_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// RTT samples observed so far.
+    pub fn rtt_samples(&self) -> u64 {
+        self.rtt_samples
+    }
+}
+
+/// Per-slot cursor for first-pass gap scans of one receive bitmap: tracks
+/// the high-water mark already scanned so every packet below it is counted
+/// exactly once — as arrived or as a first-pass hole — no matter how often
+/// the driver polls or how late retransmissions fill the holes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstPassCursor {
+    scanned: usize,
+}
+
+impl FirstPassCursor {
+    /// Scans the bitmap's new range `[scanned, high_water]` and returns
+    /// `(seen, lost)` for it, advancing the cursor. Word-level bitmap
+    /// reads; O(words) per poll. The two prefix counts are separate
+    /// atomic scans, so a concurrent retransmission filling a bit below
+    /// the cursor between them could make the difference exceed the
+    /// range — clamp instead of underflowing (the sample is one packet
+    /// off at worst).
+    pub fn scan(&mut self, packets: &AtomicBitmap) -> (u64, u64) {
+        let Some(hw) = packets.highest_set() else {
+            return (0, 0);
+        };
+        let hw = hw + 1; // exclusive
+        if hw <= self.scanned {
+            return (0, 0);
+        }
+        let range = hw - self.scanned;
+        let set = packets
+            .count_set_in_first_n(hw)
+            .saturating_sub(packets.count_set_in_first_n(self.scanned))
+            .min(range);
+        self.scanned = hw;
+        (range as u64, (range - set) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_pass_cursor_counts_each_hole_exactly_once() {
+        let bm = AtomicBitmap::new(128);
+        let mut c = FirstPassCursor::default();
+        assert_eq!(c.scan(&bm), (0, 0), "empty bitmap: nothing seen");
+        // Packets 0..10 arrive except 3 and 7.
+        for i in 0..10 {
+            if i != 3 && i != 7 {
+                bm.set(i);
+            }
+        }
+        assert_eq!(c.scan(&bm), (10, 2));
+        assert_eq!(c.scan(&bm), (0, 0), "no high-water advance, no counts");
+        // The holes are retransmitted and filled; 10..20 arrive intact.
+        bm.set(3);
+        bm.set(7);
+        for i in 10..20 {
+            bm.set(i);
+        }
+        assert_eq!(c.scan(&bm), (10, 0), "filled holes are not re-counted");
+        // A burst drop: 20..84 with only the last arriving.
+        bm.set(83);
+        assert_eq!(c.scan(&bm), (64, 63));
+    }
+
+    #[test]
+    fn estimator_confidence_gates_cold_start() {
+        let cfg = TelemetryConfig {
+            min_packets: 100,
+            ..TelemetryConfig::default()
+        };
+        let mut e = ChannelEstimator::new(cfg);
+        e.observe_packets(99, 10);
+        assert_eq!(e.loss_estimate(), None, "cold estimator reports nothing");
+        assert!(!e.is_confident());
+        e.observe_packets(1, 0);
+        assert!(e.is_confident());
+        let est = e.loss_estimate().expect("warm");
+        assert!(est > 0.05 && est < 0.15, "estimate {est}");
+    }
+
+    #[test]
+    fn estimator_converges_to_step_loss() {
+        let mut e = ChannelEstimator::new(TelemetryConfig::default());
+        // Clean phase: 100k packets, no loss.
+        for _ in 0..100 {
+            e.observe_packets(1000, 0);
+        }
+        assert!(e.loss_estimate().expect("warm") < 1e-6);
+        // Step to 1e-2: within ~20k packets the EWMA crosses half the step.
+        for _ in 0..20 {
+            e.observe_packets(1000, 10);
+        }
+        let est = e.loss_estimate().expect("warm");
+        assert!(est > 2e-3, "estimate {est} should have moved");
+        // And converges close to 1e-2 with enough samples.
+        for _ in 0..300 {
+            e.observe_packets(1000, 10);
+        }
+        let est = e.loss_estimate().expect("warm");
+        assert!((est - 1e-2).abs() < 2e-3, "estimate {est}");
+    }
+
+    #[test]
+    fn cumulative_reports_tolerate_loss_and_reordering() {
+        let mut rx = ChannelEstimator::new(TelemetryConfig::default());
+        let mut tx = ChannelEstimator::new(TelemetryConfig::default());
+        rx.observe_packets(1000, 10);
+        let first = rx.counters();
+        rx.observe_packets(1000, 30);
+        let second = rx.counters();
+        // The first report is lost; the second alone covers everything.
+        tx.absorb_report(second);
+        assert_eq!(
+            tx.counters(),
+            TelemetryCounters {
+                seen: 2000,
+                lost: 40
+            }
+        );
+        // The stale first report arrives late: ignored.
+        tx.absorb_report(first);
+        assert_eq!(tx.packets_seen(), 2000);
+        // A duplicate of the newest: ignored too.
+        tx.absorb_report(second);
+        assert_eq!(tx.packets_seen(), 2000);
+    }
+
+    #[test]
+    fn rtt_ewma_tracks_samples() {
+        let mut e = ChannelEstimator::new(TelemetryConfig::default());
+        assert_eq!(e.rtt_estimate(), None);
+        e.observe_rtt(SimTime::from_secs_f64(0.010));
+        assert_eq!(e.rtt_estimate(), None, "one sample is not confident");
+        e.observe_rtt(SimTime::from_secs_f64(0.012));
+        let rtt = e.rtt_estimate().expect("two samples").as_secs_f64();
+        assert!(rtt > 0.0099 && rtt < 0.0121, "rtt {rtt}");
+        for _ in 0..50 {
+            e.observe_rtt(SimTime::from_secs_f64(0.020));
+        }
+        let rtt = e.rtt_estimate().expect("many samples").as_secs_f64();
+        assert!((rtt - 0.020).abs() < 1e-4, "rtt {rtt} converges");
+    }
+}

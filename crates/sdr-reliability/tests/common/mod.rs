@@ -1,0 +1,107 @@
+//! Shared integration-test harness: the sdr_pair + control-endpoint +
+//! payload + report-capture wiring every protocol integration test
+//! otherwise re-implements. Keeping it here means a protocol-signature
+//! change is one edit, not one per test file.
+
+// Each test binary compiles its own copy; not every test uses every
+// helper.
+#![allow(dead_code)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sdr_core::testkit::{pattern, sdr_pair, SdrPair};
+use sdr_core::SdrConfig;
+use sdr_reliability::ControlEndpoint;
+use sdr_sim::{Engine, LinkConfig, SimTime};
+
+/// Node memory given to each side of the pair.
+pub const NODE_MEM: usize = 64 << 20;
+
+/// A ready-to-run protocol deployment: two connected SDR nodes, a control
+/// endpoint on each, a deterministic payload staged in the sender's memory
+/// and a destination buffer on the receiver.
+pub struct ProtoHarness {
+    /// The underlying two-node SDR pair (engine, fabric, QPs, contexts).
+    pub p: SdrPair,
+    /// Control endpoint on node A (the sender by convention).
+    pub ctrl_a: Rc<ControlEndpoint>,
+    /// Control endpoint on node B (the receiver by convention).
+    pub ctrl_b: Rc<ControlEndpoint>,
+    /// Propagation RTT between the nodes.
+    pub rtt: SimTime,
+    /// The payload written at `src`.
+    pub data: Vec<u8>,
+    /// Sender-side buffer address holding `data`.
+    pub src: u64,
+    /// Receiver-side destination buffer address.
+    pub dst: u64,
+    /// Message length in bytes.
+    pub msg: u64,
+}
+
+impl ProtoHarness {
+    /// Builds the deployment: `link` duplex between two nodes, one SDR QP
+    /// pair under `cfg`, payload `pattern(msg, data_seed)` staged at
+    /// `src`.
+    pub fn new(link: LinkConfig, cfg: SdrConfig, msg: u64, data_seed: u64) -> Self {
+        let p = sdr_pair(link, cfg, NODE_MEM);
+        let rtt = p.fabric.rtt(p.node_a, p.node_b).unwrap();
+        let data = pattern(msg as usize, data_seed);
+        let src = p.ctx_a.alloc_buffer(msg);
+        let dst = p.ctx_b.alloc_buffer(msg);
+        p.ctx_a.write_buffer(src, &data);
+        let ctrl_a = Rc::new(ControlEndpoint::new(&p.fabric, p.node_a));
+        let ctrl_b = Rc::new(ControlEndpoint::new(&p.fabric, p.node_b));
+        ProtoHarness {
+            p,
+            ctrl_a,
+            ctrl_b,
+            rtt,
+            data,
+            src,
+            dst,
+            msg,
+        }
+    }
+
+    /// The model channel matching this deployment's link (`bandwidth_bps`
+    /// must equal the link's configured rate).
+    pub fn model_channel(&self, bandwidth_bps: f64, p_drop: f64) -> sdr_model::Channel {
+        sdr_model::Channel::new(bandwidth_bps, self.rtt.as_secs_f64(), p_drop)
+    }
+
+    /// Runs the simulation to quiescence under an event budget.
+    pub fn run(&mut self, event_limit: u64) {
+        self.p.eng.set_event_limit(event_limit);
+        self.p.eng.run();
+    }
+
+    /// The bytes currently in the destination buffer.
+    pub fn delivered(&self) -> Vec<u8> {
+        self.p.ctx_b.read_buffer(self.dst, self.msg as usize)
+    }
+
+    /// True when the destination buffer holds exactly the sent payload.
+    pub fn delivered_ok(&self) -> bool {
+        self.delivered() == self.data
+    }
+}
+
+/// A capture cell for a protocol completion report: `capture()` yields the
+/// shared cell plus a callback that stores the report into it.
+pub fn capture<T: 'static>() -> (Rc<RefCell<Option<T>>>, impl FnOnce(&mut Engine, T)) {
+    let cell: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+    let c = cell.clone();
+    (cell, move |_eng: &mut Engine, rep: T| {
+        *c.borrow_mut() = Some(rep);
+    })
+}
+
+/// Takes the captured report, panicking with `what` when the protocol
+/// never completed.
+pub fn took<T>(cell: &Rc<RefCell<Option<T>>>, what: &str) -> T {
+    cell.borrow_mut()
+        .take()
+        .unwrap_or_else(|| panic!("{what} did not complete"))
+}

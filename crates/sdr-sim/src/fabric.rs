@@ -9,6 +9,7 @@ use bytes::Bytes;
 
 use crate::engine::Engine;
 use crate::link::{Link, LinkConfig, LinkStats, TxOutcome};
+use crate::loss::LossModel;
 use crate::nic::{Cqe, CqeOp, Node, QpType};
 use crate::packet::{MkeyId, NodeId, Packet, PacketKind, QpAddr, WriteSeg};
 use crate::time::SimTime;
@@ -127,6 +128,26 @@ impl Fabric {
     /// Statistics of the link `a → b`.
     pub fn link_stats(&self, a: NodeId, b: NodeId) -> Option<LinkStats> {
         self.inner.borrow().links.get(&(a, b)).map(|l| l.stats())
+    }
+
+    /// Replaces the loss model of the link `a → b` mid-simulation. Returns
+    /// `false` when no such link exists. Schedule this from an engine event
+    /// to model loss steps (a congestion episode starting or clearing).
+    pub fn set_link_loss(&self, a: NodeId, b: NodeId, model: LossModel) -> bool {
+        match self.inner.borrow_mut().links.get_mut(&(a, b)) {
+            Some(link) => {
+                link.set_loss(model);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces the loss model in both directions between `a` and `b`.
+    pub fn set_loss_duplex(&self, a: NodeId, b: NodeId, model: LossModel) -> bool {
+        let ab = self.set_link_loss(a, b, model.clone());
+        let ba = self.set_link_loss(b, a, model);
+        ab && ba
     }
 
     /// Posts an RDMA Write on a UC QP. The payload is fragmented into

@@ -217,6 +217,23 @@ impl Link {
     pub fn observed_drop_rate(&self) -> f64 {
         self.loss.observed_rate()
     }
+
+    /// Replaces the loss model mid-simulation — the substrate for loss-step
+    /// scenarios (an ISP congestion episode beginning or ending, Figure 2's
+    /// three-orders-of-magnitude drift). The new process gets a fresh RNG
+    /// stream derived deterministically from the link seed and the packets
+    /// already offered, so replaying the same schedule of `set_loss` calls
+    /// reproduces the same drops.
+    pub fn set_loss(&mut self, model: LossModel) {
+        assert!(model.validate().is_ok(), "invalid loss model");
+        let seed = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(self.stats.sent);
+        self.cfg.loss = model.clone();
+        self.loss = LossProcess::new(model, seed);
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +377,30 @@ mod tests {
         link.transmit(&mut eng, 100, move |_| o.borrow_mut().push("small"));
         eng.run();
         assert_eq!(*order.borrow(), vec!["small", "big"]);
+    }
+
+    #[test]
+    fn set_loss_steps_the_drop_rate_mid_run() {
+        let mut eng = Engine::new();
+        let cfg = LinkConfig::wan(100.0, 8e9, 0.0).with_seed(5);
+        let mut link = Link::new(cfg);
+        for _ in 0..500 {
+            link.transmit(&mut eng, 100, |_| {});
+        }
+        assert_eq!(link.stats().dropped, 0, "clean phase drops nothing");
+        link.set_loss(LossModel::Iid { p: 0.5 });
+        for _ in 0..1000 {
+            link.transmit(&mut eng, 100, |_| {});
+        }
+        let d = link.stats().dropped;
+        assert!((300..700).contains(&d), "post-step drops {d}");
+        // Back to clean: the step is fully reversible.
+        link.set_loss(LossModel::Perfect);
+        for _ in 0..500 {
+            link.transmit(&mut eng, 100, |_| {});
+        }
+        assert_eq!(link.stats().dropped, d, "clean again after the episode");
+        eng.run();
     }
 
     #[test]
