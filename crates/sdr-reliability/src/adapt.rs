@@ -179,6 +179,28 @@ pub fn spec_from_scheme(s: &Scheme) -> SchemeSpec {
     }
 }
 
+/// The next-stronger EC split on the advisor's candidate ladder (ordered
+/// by parity fraction `m/k`), used by the conservative first-split rule:
+/// when the controller commits its *first* EC split while the loss
+/// estimate is still climbing through a fresh upward step
+/// ([`ChannelEstimator::loss_step_fresh`]), the advisor's point estimate
+/// was computed against an underestimate — e.g. a step to 1e-2 read as
+/// ~2e-3 recommends (32,4) whose per-submessage drop budget the real
+/// channel blows through, and the refinement handshake lands too late in
+/// the transfer. Committing one rung stronger costs a few percent of
+/// parity overhead; committing one rung too weak costs RTO-bound repair
+/// rounds. XOR strengthens to the MDS code of the same shape (XOR only
+/// corrects a single erasure per group).
+pub fn stronger_split(spec: SchemeSpec) -> SchemeSpec {
+    match spec {
+        SchemeSpec::EcMds { k: 32, m: 4 } => SchemeSpec::EcMds { k: 32, m: 8 },
+        SchemeSpec::EcMds { k: 32, m: 8 } => SchemeSpec::EcMds { k: 16, m: 8 },
+        SchemeSpec::EcMds { k: 16, m: 8 } => SchemeSpec::EcMds { k: 8, m: 8 },
+        SchemeSpec::EcXor { k, m } => SchemeSpec::EcMds { k, m },
+        other => other,
+    }
+}
+
 /// The model-side EC config of an EC spec (for boundary queries).
 fn model_ec_config(spec: &SchemeSpec) -> Option<EcConfig> {
     match *spec {
@@ -782,6 +804,7 @@ impl AdaptiveController {
         // Crossing the SR ⇄ EC boundary needs hysteresis clearance; moves
         // that do not cross it (SR-RTO ⇄ SR-NACK, leaving GBN) only need
         // the confidence gate already applied above.
+        let mut target = target;
         let to_ec = target.is_ec() && !i.current_spec.is_ec();
         let from_ec = i.current_spec.is_ec() && !target.is_ec();
         if to_ec {
@@ -801,6 +824,24 @@ impl AdaptiveController {
                     return Tick::Again;
                 }
             }
+        }
+        if to_ec && i.est.borrow().loss_step_fresh() {
+            // Conservative first split: the estimate is confident but
+            // still climbing through a fresh upward step, so the advisor
+            // ran against an underestimate — commit the next-stronger
+            // split than its point recommendation. Applied *after* the
+            // boundary gate, which is judged on the advisor's own pick:
+            // a stronger code's boundary sits at higher loss, and gating
+            // on it would suppress exactly the handover this rule is
+            // meant to harden.
+            let conservative = stronger_split(target);
+            if std::env::var_os("SDR_ADAPT_DEBUG").is_some() {
+                eprintln!(
+                    "  [ctl {:.1}ms] fresh upward step: strengthening {target} -> {conservative}",
+                    now.as_secs_f64() * 1e3
+                );
+            }
+            target = conservative;
         }
         // Propose, targeting a pipeline-lead's worth of segments ahead of
         // the next unstarted one: the handshake RTT then overlaps segments

@@ -25,7 +25,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use sdr_core::SdrQp;
-use sdr_sim::{Engine, QpAddr, SimTime};
+use sdr_sim::{Engine, QpAddr, SimTime, TimerHandle};
 
 use crate::ack::CtrlMsg;
 use crate::control::CtrlPath;
@@ -90,6 +90,10 @@ struct SenderInner {
     /// consecutive holes serialize one RTO each (exactly what the model
     /// charges per drop).
     timer_armed_at: SimTime,
+    /// The base-timer loop: sleeps to `timer_armed_at + rto`
+    /// ([`Tick::Until`]), is pushed out by ack-restarts and cancelled at
+    /// completion.
+    tick: Option<TimerHandle>,
     retransmitted: u64,
     rewinds: u64,
     acks: u64,
@@ -122,6 +126,7 @@ impl GbnSender {
             timers: ChunkTimers::new(total_chunks),
             cfg,
             timer_armed_at: SimTime::ZERO,
+            tick: None,
             retransmitted: 0,
             rewinds: 0,
             acks: 0,
@@ -144,7 +149,7 @@ impl GbnSender {
     }
 
     fn try_begin(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> bool {
-        let tick = {
+        let rto = {
             let mut i = inner.borrow_mut();
             // A stale CTS hook may re-fire after completion (the stream is
             // quiesced by then) — it must never re-open the stream and
@@ -159,11 +164,13 @@ impl GbnSender {
             i.completion.mark_started(now);
             i.timers.all_sent_at(now);
             i.timer_armed_at = now;
-            i.cfg.tick
+            i.cfg.rto
         };
-        // Base-timer scan: runs until the transfer completes.
+        // Base-timer watch: GBN keeps exactly one timer, so the loop
+        // sleeps straight to its expiry; ack-restarts push it out.
         let me = inner.clone();
-        tick_loop(eng, tick, move |eng| Self::tick(&me, eng));
+        let h = tick_loop(eng, rto, move |eng| Self::tick(&me, eng));
+        inner.borrow_mut().tick = Some(h);
         true
     }
 
@@ -179,7 +186,8 @@ impl GbnSender {
         let now = eng.now();
         let (rto, window) = (i.cfg.rto, i.cfg.window_chunks);
         let Some(base) = i.timers.first_unacked() else {
-            return Tick::Again;
+            // All acked; the ACK handler is about to complete and cancel.
+            return Tick::Stop;
         };
         if now.saturating_sub(i.timer_armed_at) >= rto {
             let sent = i.stream.resend_window(eng, base, window);
@@ -187,7 +195,7 @@ impl GbnSender {
             i.retransmitted += sent as u64;
             i.rewinds += 1;
         }
-        Tick::Again
+        Tick::Until(i.timer_armed_at.saturating_add(rto))
     }
 
     fn on_ack(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine, cumulative: u32) {
@@ -199,12 +207,20 @@ impl GbnSender {
         let base_before = i.timers.first_unacked();
         i.timers.ack_prefix(cumulative as usize);
         // Base advanced → the in-order prefix is moving: restart the timer
-        // (the classic GBN ack-restart rule).
+        // (the classic GBN ack-restart rule) and push the sleeping watch
+        // out to the new deadline.
         if i.timers.first_unacked() != base_before {
             i.timer_armed_at = eng.now();
+            if let Some(h) = i.tick {
+                let at = i.timer_armed_at.saturating_add(i.cfg.rto);
+                let _ = eng.reschedule(h, at);
+            }
         }
         if i.timers.is_complete() {
             i.stream.quiesce();
+            if let Some(h) = i.tick.take() {
+                eng.cancel(h);
+            }
             let report = GbnReport {
                 duration: i.completion.elapsed(eng.now()),
                 retransmitted: i.retransmitted,

@@ -77,8 +77,8 @@ pub mod telemetry;
 
 pub use ack::{build_sr_ack, CtrlMsg, SchemeSpec, MAX_NACKS, MAX_SACK_BITS};
 pub use adapt::{
-    spec_from_scheme, AdaptConfig, AdaptRecvReport, AdaptReport, AdaptiveController,
-    AdaptiveReceiver, AdaptiveSender,
+    spec_from_scheme, stronger_split, AdaptConfig, AdaptRecvReport, AdaptReport,
+    AdaptiveController, AdaptiveReceiver, AdaptiveSender,
 };
 pub use advisor::{recommend, Candidate, Recommendation, Scheme};
 pub use control::{ControlEndpoint, CtrlPath};

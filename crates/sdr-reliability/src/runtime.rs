@@ -8,9 +8,14 @@
 //! This module is that mechanism layer. Each scheme in this crate is a thin
 //! *policy* over it:
 //!
-//! * [`tick_loop`] — **timer management**: a recurring engine tick that
-//!   re-arms itself until the policy says [`Tick::Stop`]. Every scheme's
-//!   retransmission scan, bitmap poll and ACK cadence runs on it.
+//! * [`tick_loop`] — **timer management**: one recurring engine event
+//!   (boxed once, re-armed in place) that runs until the policy says
+//!   [`Tick::Stop`]. Every scheme's retransmission scan, bitmap poll and
+//!   ACK cadence runs on it. Policies whose next action has a known time
+//!   return [`Tick::Until`] and *sleep to the deadline* — the SR sender
+//!   sleeps to its earliest chunk RTO and the GBN sender to its base
+//!   timer, instead of polling every quarter-RTT — and the returned
+//!   [`TimerHandle`] lets completion cancel the loop outright.
 //! * [`ChunkTimers`] — **retransmission timers + ACK bookkeeping** for ARQ
 //!   senders: per-chunk last-send stamps, acked flags with a monotone
 //!   first-unacked cursor, RTO expiry scans and the NACK double-send guard.
@@ -37,7 +42,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use sdr_core::{RecvHandle, SdrQp, SendHandle, TwoLevelBitmap};
-use sdr_sim::{Engine, QpAddr, SimTime};
+use sdr_sim::{Engine, QpAddr, SimTime, TimerHandle};
 
 use crate::ack::CtrlMsg;
 use crate::control::CtrlPath;
@@ -47,31 +52,46 @@ use crate::telemetry::{ChannelEstimator, FirstPassCursor};
 // Timer management
 // ---------------------------------------------------------------------------
 
-/// Outcome of one recurring tick: run again after the interval, or stop.
+/// Outcome of one recurring tick: run again after the interval, sleep to a
+/// deadline, or stop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Tick {
-    /// Re-arm the tick.
+    /// Re-arm the tick one interval from now.
     Again,
+    /// Sleep until the given absolute deadline (clamped a tick past now) —
+    /// the path schemes whose next action has a *known* time take (the
+    /// earliest RTO expiry, the FTO, a linger deadline) instead of polling
+    /// every interval.
+    Until(SimTime),
     /// Tear the tick down (the protocol object is done).
     Stop,
 }
 
-/// Runs `f` every `interval` of simulated time until it returns
-/// [`Tick::Stop`]. The first invocation happens one interval from now.
+/// Runs `f` at `interval` cadence (or at the deadlines it returns via
+/// [`Tick::Until`]) until it returns [`Tick::Stop`]. The first invocation
+/// happens one interval from now.
+///
+/// The loop is one recurring engine event re-armed in place — the closure
+/// is boxed exactly once for the lifetime of the loop (the old
+/// implementation re-boxed a shim closure every tick). The returned
+/// [`TimerHandle`] lets the owner [`cancel`](Engine::cancel) the loop the
+/// moment the protocol completes (so a deadline sleep never outlives the
+/// transfer and stretches the simulation) or
+/// [`reschedule`](Engine::reschedule) it when an external event moves the
+/// next deadline earlier.
 pub fn tick_loop(
     eng: &mut Engine,
     interval: SimTime,
-    f: impl FnMut(&mut Engine) -> Tick + 'static,
-) {
-    fn arm(eng: &mut Engine, interval: SimTime, f: Rc<RefCell<dyn FnMut(&mut Engine) -> Tick>>) {
-        let next = f.clone();
-        eng.schedule_in(interval, move |eng| {
-            if next.borrow_mut()(eng) == Tick::Again {
-                arm(eng, interval, next);
-            }
-        });
-    }
-    arm(eng, interval, Rc::new(RefCell::new(f)));
+    mut f: impl FnMut(&mut Engine) -> Tick + 'static,
+) -> TimerHandle {
+    eng.schedule_recurring_in(interval, move |eng| match f(eng) {
+        Tick::Again => Some(eng.now().saturating_add(interval)),
+        // Clamp: a deadline at-or-before now would re-fire at the same
+        // instant forever; one tick of slack keeps buggy policies visible
+        // (event limit) without wedging the instant.
+        Tick::Until(t) => Some(t.max(eng.now().saturating_add(SimTime(1)))),
+        Tick::Stop => None,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -178,16 +198,31 @@ impl ChunkTimers {
     }
 
     /// Calls `f` for every unacked chunk whose `timeout` expired at `now`,
-    /// stamping each as resent-now (the periodic RTO scan).
-    pub fn take_expired(&mut self, now: SimTime, timeout: SimTime, mut f: impl FnMut(usize)) {
+    /// stamping each as resent-now (the periodic RTO scan). Returns the
+    /// earliest next expiry among the chunks still unacked after the scan
+    /// (`None` once everything is acked) — the deadline the sender's tick
+    /// loop sleeps to instead of polling, computed for free in the same
+    /// pass the scan already makes.
+    pub fn take_expired(
+        &mut self,
+        now: SimTime,
+        timeout: SimTime,
+        mut f: impl FnMut(usize),
+    ) -> Option<SimTime> {
         self.advance_cursor();
+        let mut next: Option<SimTime> = None;
         for c in self.cursor..self.acked.len() {
-            if !self.acked[c] && now.saturating_sub(self.last_sent[c]) >= timeout {
-                self.last_sent[c] = now;
-                self.resent[c] = true;
-                f(c);
+            if !self.acked[c] {
+                if now.saturating_sub(self.last_sent[c]) >= timeout {
+                    self.last_sent[c] = now;
+                    self.resent[c] = true;
+                    f(c);
+                }
+                let expiry = self.last_sent[c].saturating_add(timeout);
+                next = Some(next.map_or(expiry, |n: SimTime| n.min(expiry)));
             }
         }
+        next
     }
 
     /// The ACK round-trip of chunk `c` acked at `now`: `now − last_sent`,
@@ -563,6 +598,8 @@ struct RxState<S: RxScheme> {
     lingers_left: u32,
     released: bool,
     done_cb: Option<Box<dyn FnOnce(&mut Engine, SimTime, S::Done)>>,
+    /// The poll loop's timer, for immediate teardown on quiesce.
+    tick: Option<TimerHandle>,
 }
 
 /// The generic receiver driver: owns the poll tick, the completion
@@ -591,9 +628,11 @@ impl<S: RxScheme> RxDriver<S> {
             lingers_left: linger_acks,
             released: false,
             done_cb: Some(Box::new(done)),
+            tick: None,
         }));
         let me = inner.clone();
-        tick_loop(eng, tick, move |eng| Self::tick(&me, eng));
+        let h = tick_loop(eng, tick, move |eng| Self::tick(&me, eng));
+        inner.borrow_mut().tick = Some(h);
         RxDriver { inner }
     }
 
@@ -663,12 +702,20 @@ impl<S: RxScheme> RxDriver<S> {
             return false;
         }
         let RxState {
-            common, released, ..
+            common,
+            released,
+            tick,
+            ..
         } = &mut *st;
         for h in &common.hdls {
             let _ = common.qp.recv_complete(eng, h);
         }
         *released = true;
+        // Tear the poll loop down now instead of letting it wake once
+        // more only to observe `released`.
+        if let Some(h) = tick.take() {
+            eng.cancel(h);
+        }
         true
     }
 
@@ -731,17 +778,19 @@ mod tests {
         let t0 = SimTime::from_secs_f64(1.0);
         let rto = SimTime::from_secs_f64(0.5);
         t.all_sent_at(t0);
-        // Nothing expired right after sending.
+        // Nothing expired right after sending; the deadline is one RTO out.
         let mut hits = Vec::new();
-        t.take_expired(t0, rto, |c| hits.push(c));
+        let next = t.take_expired(t0, rto, |c| hits.push(c));
         assert!(hits.is_empty());
+        assert_eq!(next, Some(t0 + rto), "sleep-to deadline is one RTO out");
         // After an RTO, every unacked chunk fires once and is re-stamped.
         let t1 = t0 + rto;
         t.mark_acked(1);
-        t.take_expired(t1, rto, |c| hits.push(c));
+        let next = t.take_expired(t1, rto, |c| hits.push(c));
         assert_eq!(hits, vec![0, 2]);
+        assert_eq!(next, Some(t1 + rto), "re-stamped chunks set a new deadline");
         hits.clear();
-        t.take_expired(t1, rto, |c| hits.push(c));
+        let _ = t.take_expired(t1, rto, |c| hits.push(c));
         assert!(hits.is_empty(), "stamped chunks do not re-fire");
         // The claim guard: a second claim within the guard window fails.
         let t2 = t1 + rto;
@@ -761,7 +810,7 @@ mod tests {
         assert!(t.mark_acked(0));
         assert_eq!(t.rtt_sample(0, t0 + rtt), Some(rtt));
         // Chunk 1 expires and is retransmitted: its later ACK is ambiguous.
-        t.take_expired(t0 + rto, rto, |_| {});
+        let _ = t.take_expired(t0 + rto, rto, |_| {});
         assert!(t.mark_acked(1));
         assert_eq!(t.rtt_sample(1, t0 + rto + rtt), None, "Karn's rule");
         // Out-of-range chunks never sample.

@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use sdr_core::SdrQp;
-use sdr_sim::{Engine, QpAddr, SimTime};
+use sdr_sim::{Engine, QpAddr, SimTime, TimerHandle};
 
 use crate::ack::{build_sr_ack, CtrlMsg};
 use crate::control::CtrlPath;
@@ -87,6 +87,10 @@ struct SenderInner {
     retransmitted: u64,
     acks: u64,
     completion: Completion<SrReport>,
+    /// The retransmission-scan loop, once armed: it sleeps to the earliest
+    /// chunk RTO ([`Tick::Until`]) and is cancelled the moment the final
+    /// ACK lands, so no stale scan event outlives the transfer.
+    tick: Option<TimerHandle>,
     /// When bound, newly acked never-retransmitted chunks feed ACK
     /// round-trip RTT samples into the estimator (Karn's rule applied by
     /// [`ChunkTimers::rtt_sample`]).
@@ -141,6 +145,7 @@ impl SrSender {
             retransmitted: 0,
             acks: 0,
             completion: Completion::new(done),
+            tick: None,
             telemetry,
         }));
 
@@ -177,7 +182,7 @@ impl SrSender {
     }
 
     fn try_begin(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> bool {
-        let (began, tick) = {
+        let rto = {
             let mut i = inner.borrow_mut();
             // A stale CTS hook may re-fire after completion (the stream is
             // quiesced by then) — it must never re-open the stream and
@@ -191,12 +196,16 @@ impl SrSender {
             let now = eng.now();
             i.completion.mark_started(now);
             i.timers.all_sent_at(now);
-            (true, i.cfg.tick)
+            i.cfg.rto
         };
-        // Retransmission scan: runs until the transfer completes.
+        // Retransmission scan: the whole message was just injected, so the
+        // first deadline is one RTO out; after that every wake sleeps to
+        // the earliest unacked chunk's expiry. ACKs (and the NACK fast
+        // path) are event-driven and never wait on this loop.
         let me = inner.clone();
-        tick_loop(eng, tick, move |eng| Self::tick(&me, eng));
-        began
+        let h = tick_loop(eng, rto, move |eng| Self::tick(&me, eng));
+        inner.borrow_mut().tick = Some(h);
+        true
     }
 
     fn tick(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> Tick {
@@ -212,11 +221,16 @@ impl SrSender {
             retransmitted,
             ..
         } = &mut *i;
-        timers.take_expired(now, rto, |c| {
+        let deadline = timers.take_expired(now, rto, |c| {
             stream.resend_chunk(eng, c);
             *retransmitted += 1;
         });
-        Tick::Again
+        match deadline {
+            Some(d) => Tick::Until(d),
+            // Everything acked: completion is about to run (the ACK
+            // handler fires it and cancels this loop).
+            None => Tick::Stop,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -275,6 +289,11 @@ impl SrSender {
         }
         if i.timers.is_complete() {
             i.stream.quiesce();
+            // The scan loop may be asleep until a far RTO deadline: cancel
+            // it so the drained simulation ends with the transfer.
+            if let Some(h) = i.tick.take() {
+                eng.cancel(h);
+            }
             let report = SrReport {
                 duration: i.completion.elapsed(eng.now()),
                 retransmitted: i.retransmitted,

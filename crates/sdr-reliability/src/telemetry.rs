@@ -50,6 +50,14 @@ pub struct TelemetryConfig {
     ///
     /// [`rtt_estimate`]: ChannelEstimator::rtt_estimate
     pub min_rtt_samples: u64,
+    /// Upward-step freshness threshold: while the fast loss EWMA exceeds
+    /// the slow reference EWMA (`loss_alpha / 32`) by this factor, the
+    /// channel is mid-step and the fast estimate is still climbing — i.e.
+    /// very likely an *under*-estimate of where the loss rate will settle.
+    /// [`loss_step_fresh`](ChannelEstimator::loss_step_fresh) reports this
+    /// window; the adaptive controller's conservative first-split rule
+    /// keys off it.
+    pub step_ratio: f64,
 }
 
 impl Default for TelemetryConfig {
@@ -59,6 +67,7 @@ impl Default for TelemetryConfig {
             min_packets: 2048,
             rtt_alpha: 0.25,
             min_rtt_samples: 2,
+            step_ratio: 4.0,
         }
     }
 }
@@ -84,6 +93,9 @@ pub struct ChannelEstimator {
     seen: u64,
     lost: u64,
     loss_ewma: f64,
+    /// Slow reference EWMA (`loss_alpha / 32`): lags the fast estimate
+    /// through a step, making `fast / slow` a step-in-progress detector.
+    loss_slow_ewma: f64,
     ewma_primed: bool,
     rtt_ewma: f64,
     rtt_samples: u64,
@@ -99,6 +111,7 @@ impl ChannelEstimator {
             seen: 0,
             lost: 0,
             loss_ewma: 0.0,
+            loss_slow_ewma: 0.0,
             ewma_primed: false,
             rtt_ewma: 0.0,
             rtt_samples: 0,
@@ -124,12 +137,15 @@ impl ChannelEstimator {
         let sample = lost as f64 / seen as f64;
         if !self.ewma_primed {
             self.loss_ewma = sample;
+            self.loss_slow_ewma = sample;
             self.ewma_primed = true;
             return;
         }
         // Weight of a block of n packets: 1 − (1 − α)ⁿ.
         let w = -f64::exp_m1(seen as f64 * f64::ln_1p(-self.cfg.loss_alpha));
         self.loss_ewma += w * (sample - self.loss_ewma);
+        let ws = -f64::exp_m1(seen as f64 * f64::ln_1p(-self.cfg.loss_alpha / 32.0));
+        self.loss_slow_ewma += ws * (sample - self.loss_slow_ewma);
     }
 
     /// Absorbs the peer's cumulative counters (a [`CtrlMsg::Telemetry`]
@@ -175,6 +191,18 @@ impl ChannelEstimator {
     /// True once the loss estimate is confident.
     pub fn is_confident(&self) -> bool {
         self.seen >= self.cfg.min_packets
+    }
+
+    /// True while a *fresh upward loss step* is still propagating through
+    /// the estimator: the estimate is confident, but the fast EWMA exceeds
+    /// the slow reference by [`step_ratio`](TelemetryConfig::step_ratio) —
+    /// the estimate is still climbing toward where the channel actually
+    /// settled, so any decision made on its current value should round
+    /// *pessimistic*. Once both EWMAs converge the window closes.
+    pub fn loss_step_fresh(&self) -> bool {
+        self.is_confident()
+            && self.ewma_primed
+            && self.loss_ewma > self.loss_slow_ewma.max(1e-12) * self.cfg.step_ratio
     }
 
     /// Cumulative first-pass counters (what the receiver reports).
@@ -321,6 +349,48 @@ mod tests {
         // A duplicate of the newest: ignored too.
         tx.absorb_report(second);
         assert_eq!(tx.packets_seen(), 2000);
+    }
+
+    #[test]
+    fn loss_step_freshness_window_opens_and_closes() {
+        let cfg = TelemetryConfig {
+            loss_alpha: 1.0 / 1024.0,
+            min_packets: 512,
+            ..TelemetryConfig::default()
+        };
+        let mut e = ChannelEstimator::new(cfg);
+        // A long clean-but-slightly-lossy steady phase: both EWMAs settle
+        // at the same level — no step freshness.
+        for _ in 0..200 {
+            e.observe_packets(256, 0);
+        }
+        e.observe_packets(256, 1);
+        for _ in 0..200 {
+            e.observe_packets(256, 0);
+        }
+        assert!(e.is_confident());
+        assert!(!e.loss_step_fresh(), "steady channel is not a step");
+        // The loss steps up three orders of magnitude: the fast EWMA runs
+        // ahead of the slow reference — the freshness window opens while
+        // the estimate is still climbing.
+        for _ in 0..12 {
+            e.observe_packets(256, 3); // ~1.2e-2
+        }
+        assert!(
+            e.loss_step_fresh(),
+            "fast EWMA {:.2e} should be running ahead",
+            e.loss_estimate().unwrap()
+        );
+        // After enough post-step traffic the slow EWMA catches up and the
+        // window closes again.
+        for _ in 0..2000 {
+            e.observe_packets(256, 3);
+        }
+        assert!(e.is_confident());
+        assert!(
+            !e.loss_step_fresh(),
+            "converged estimate is no longer fresh"
+        );
     }
 
     #[test]

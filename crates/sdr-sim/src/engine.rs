@@ -1,50 +1,56 @@
 //! Discrete-event engine.
 //!
-//! A minimal, deterministic event executor: events are closures scheduled at
-//! absolute simulation times and executed in `(time, insertion order)` order,
-//! so two events at the same instant always run in the order they were
-//! scheduled. Components live behind `Rc<RefCell<_>>` handles captured by the
-//! event closures; the engine itself owns nothing but the queue.
+//! A deterministic event executor: events run in `(time, schedule order)`
+//! order, so two events at the same instant always run in the order they
+//! were scheduled. Components live behind `Rc<RefCell<_>>` handles captured
+//! by the event closures; the engine itself owns nothing but the queue.
+//!
+//! The queue is a hierarchical timing wheel over picosecond ticks (see
+//! [`equeue`](crate::equeue) for the architecture: slab-backed nodes, 64
+//! slots × 11 levels spanning the whole `u64` range, zero allocation at
+//! steady state). A binary-heap reference backend is kept for differential
+//! testing and A/B measurement — select it process-wide with
+//! `SDR_SIM_QUEUE=heap` or per engine with [`Engine::with_queue`].
+//!
+//! Three event shapes are supported:
+//!
+//! * [`schedule_at`](Engine::schedule_at) / [`schedule_in`](Engine::schedule_in)
+//!   — classic one-shot closures (the `_handle` variants return a
+//!   [`TimerHandle`] for cancel/re-arm).
+//! * [`schedule_recurring_at`](Engine::schedule_recurring_at) — a `FnMut`
+//!   that returns the next fire time (or `None` to stop). The closure is
+//!   boxed once and its queue node is re-armed in place: protocol tick
+//!   loops and per-link delivery pumps run allocation-free.
+//! * [`schedule_rc_at`](Engine::schedule_rc_at) — a shared `Rc` callback
+//!   (the NIC wakers' deferral path; an `Rc` clone per kick, no boxing).
+//!
+//! [`cancel`](Engine::cancel) drops a pending event's closure immediately;
+//! cancelled events never execute, are not counted by
+//! [`pending_events`](Engine::pending_events), and are not charged against
+//! the event limit. [`reschedule`](Engine::reschedule) moves a pending
+//! event to a new deadline — the substrate for RTO timers that push out on
+//! progress instead of firing as no-ops.
 
 use std::cell::RefCell;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::rc::Rc;
+use std::sync::OnceLock;
 
+use crate::equeue::{Body, EventQueue, QueueKind, TimerHandle};
 use crate::time::SimTime;
 
 /// An event body: runs at its scheduled time with access to the engine so it
 /// can schedule follow-up events.
 pub type Action = Box<dyn FnOnce(&mut Engine)>;
 
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    action: Action,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. seq breaks ties deterministically (FIFO at equal times).
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// The process-wide default backend (`SDR_SIM_QUEUE`, read once).
+fn default_kind() -> QueueKind {
+    static KIND: OnceLock<QueueKind> = OnceLock::new();
+    *KIND.get_or_init(|| match std::env::var("SDR_SIM_QUEUE") {
+        Ok(v) if v.eq_ignore_ascii_case("heap") => QueueKind::Heap,
+        Ok(v) if v.eq_ignore_ascii_case("wheel") || v.is_empty() => QueueKind::Wheel,
+        Ok(v) => panic!("SDR_SIM_QUEUE must be `wheel` or `heap`, got `{v}`"),
+        Err(_) => QueueKind::Wheel,
+    })
 }
 
 /// Deterministic single-threaded discrete-event executor.
@@ -66,11 +72,10 @@ impl Ord for Scheduled {
 /// ```
 pub struct Engine {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Scheduled>,
+    q: EventQueue,
     executed: u64,
     /// Hard cap on executed events; guards against runaway protocol loops in
-    /// tests. `u64::MAX` by default.
+    /// tests. `u64::MAX` by default. Cancelled events are never charged.
     event_limit: u64,
     stopped: bool,
 }
@@ -82,16 +87,27 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Creates an engine at time zero with an empty queue.
+    /// Creates an engine at time zero with an empty queue, on the backend
+    /// selected by `SDR_SIM_QUEUE` (the timing wheel by default).
     pub fn new() -> Self {
+        Self::with_queue(default_kind())
+    }
+
+    /// Creates an engine pinned to a specific queue backend (for
+    /// differential tests and A/B benchmarks).
+    pub fn with_queue(kind: QueueKind) -> Self {
         Engine {
             now: SimTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            q: EventQueue::new(kind),
             executed: 0,
             event_limit: u64::MAX,
             stopped: false,
         }
+    }
+
+    /// The queue backend this engine runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.q.kind()
     }
 
     /// Current simulation time.
@@ -100,20 +116,22 @@ impl Engine {
         self.now
     }
 
-    /// Number of events executed so far.
+    /// Number of events executed so far (cancelled events never count).
     #[inline]
     pub fn executed_events(&self) -> u64 {
         self.executed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending. Cancelled timers are uncounted the
+    /// moment they are cancelled.
     #[inline]
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.q.pending()
     }
 
     /// Caps the total number of events `run*` will execute (safety valve for
     /// tests that could otherwise loop forever on a protocol bug).
+    /// Cancelled timers are not charged against the limit.
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
     }
@@ -123,38 +141,136 @@ impl Engine {
         self.stopped = true;
     }
 
-    /// Schedules `action` at absolute time `at`. Scheduling in the past is a
-    /// logic error and panics in debug builds; in release it clamps to `now`.
-    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Engine) + 'static) {
+    /// Clamps a requested deadline: scheduling in the past is a logic error
+    /// and panics in debug builds; in release it clamps to `now`.
+    #[inline]
+    fn clamp(&self, at: SimTime) -> u64 {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
             self.now
         );
-        let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            action: Box::new(action),
-        });
+        at.max(self.now).as_picos()
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Engine) + 'static) {
+        let _ = self.schedule_at_handle(at, action);
     }
 
     /// Schedules `action` to run `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimTime, action: impl FnOnce(&mut Engine) + 'static) {
-        self.schedule_at(self.now.saturating_add(delay), action);
+        let _ = self.schedule_at_handle(self.now.saturating_add(delay), action);
+    }
+
+    /// Schedules `action` at absolute time `at`, returning a cancellable
+    /// [`TimerHandle`].
+    pub fn schedule_at_handle(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Engine) + 'static,
+    ) -> TimerHandle {
+        let at = self.clamp(at);
+        self.q.schedule(at, Body::Once(Box::new(action)))
+    }
+
+    /// Schedules `action` after `delay`, returning a cancellable
+    /// [`TimerHandle`].
+    pub fn schedule_in_handle(
+        &mut self,
+        delay: SimTime,
+        action: impl FnOnce(&mut Engine) + 'static,
+    ) -> TimerHandle {
+        self.schedule_at_handle(self.now.saturating_add(delay), action)
+    }
+
+    /// Schedules a recurring event: `action` runs at `at` and then again at
+    /// every time it returns (`None` stops and frees the timer). The
+    /// closure is boxed once; re-arms reuse the same queue node, so a
+    /// steady-state tick loop allocates nothing. A returned time in the
+    /// past is clamped to the fire instant (beware same-instant loops; the
+    /// event limit is the backstop).
+    pub fn schedule_recurring_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnMut(&mut Engine) -> Option<SimTime> + 'static,
+    ) -> TimerHandle {
+        let at = self.clamp(at);
+        self.q.schedule(at, Body::Recurring(Box::new(action)))
+    }
+
+    /// [`schedule_recurring_at`](Self::schedule_recurring_at) with a delay
+    /// relative to now.
+    pub fn schedule_recurring_in(
+        &mut self,
+        delay: SimTime,
+        action: impl FnMut(&mut Engine) -> Option<SimTime> + 'static,
+    ) -> TimerHandle {
+        self.schedule_recurring_at(self.now.saturating_add(delay), action)
+    }
+
+    /// Schedules a shared callback at `at` without boxing: the queue node
+    /// holds an `Rc` clone. This is the repeat-kick path (NIC wakers): the
+    /// callback is built once and scheduled many times.
+    pub fn schedule_rc_at(&mut self, at: SimTime, action: Rc<dyn Fn(&mut Engine)>) -> TimerHandle {
+        let at = self.clamp(at);
+        self.q.schedule(at, Body::Shared(action))
+    }
+
+    /// Cancels a pending event: its closure is dropped now, it will never
+    /// run, and it no longer counts as pending or against the event limit.
+    /// Returns `false` when the handle is stale (already fired, completed
+    /// or cancelled).
+    pub fn cancel(&mut self, h: TimerHandle) -> bool {
+        self.q.cancel(h)
+    }
+
+    /// Moves a pending event to a new deadline (clamped to `now`),
+    /// re-ranking it as if freshly scheduled. Returns `false` when the
+    /// handle is stale or the event is currently executing (a recurring
+    /// body re-arms itself through its return value instead).
+    pub fn reschedule(&mut self, h: TimerHandle, at: SimTime) -> bool {
+        let at = self.clamp(at);
+        self.q.reschedule(h, at)
+    }
+
+    /// True while `h` refers to a pending event.
+    pub fn is_scheduled(&self, h: TimerHandle) -> bool {
+        self.q.is_scheduled(h)
+    }
+
+    /// Fires the popped node `idx`.
+    fn dispatch(&mut self, idx: u32) {
+        let (at, body) = self.q.begin_fire(idx);
+        debug_assert!(at >= self.now.as_picos());
+        self.now = SimTime(at);
+        self.executed += 1;
+        match body {
+            // One-shots free their node *before* running so a self-cancel
+            // from within the body sees a stale handle (and the slot is
+            // immediately reusable).
+            Body::Once(f) => {
+                self.q.free_fired(idx);
+                f(self);
+            }
+            Body::Shared(f) => {
+                self.q.free_fired(idx);
+                f(self);
+            }
+            Body::Recurring(mut f) => {
+                let next = f(self);
+                let next = next.map(|t| t.as_picos().max(self.now.as_picos()));
+                self.q.end_recurring(idx, next, Body::Recurring(f));
+            }
+        }
     }
 
     /// Executes a single event, if any. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
-            Some(ev) => {
-                debug_assert!(ev.at >= self.now);
-                self.now = ev.at;
-                self.executed += 1;
-                (ev.action)(self);
+        match self.q.pop_due(u64::MAX) {
+            Some(idx) => {
+                self.dispatch(idx);
                 true
             }
             None => false,
@@ -174,11 +290,9 @@ impl Engine {
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         self.stopped = false;
         while !self.stopped && self.executed < self.event_limit {
-            match self.queue.peek() {
-                Some(ev) if ev.at <= deadline => {
-                    self.step();
-                }
-                _ => break,
+            match self.q.pop_due(deadline.as_picos()) {
+                Some(idx) => self.dispatch(idx),
+                None => break,
             }
         }
         if self.now < deadline {
@@ -200,99 +314,324 @@ pub fn shared<T>(value: T) -> Shared<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
+
+    fn both(f: impl Fn(&mut Engine)) {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut eng = Engine::with_queue(kind);
+            f(&mut eng);
+        }
+    }
 
     #[test]
     fn events_run_in_time_order() {
-        let mut eng = Engine::new();
-        let log = shared(Vec::<u32>::new());
-        for (t, tag) in [(30u64, 3u32), (10, 1), (20, 2)] {
-            let log = log.clone();
-            eng.schedule_at(SimTime::from_nanos(t), move |_| log.borrow_mut().push(tag));
-        }
-        eng.run();
-        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        both(|eng| {
+            let log = shared(Vec::<u32>::new());
+            for (t, tag) in [(30u64, 3u32), (10, 1), (20, 2)] {
+                let log = log.clone();
+                eng.schedule_at(SimTime::from_nanos(t), move |_| log.borrow_mut().push(tag));
+            }
+            eng.run();
+            assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        });
     }
 
     #[test]
     fn same_time_events_run_fifo() {
-        let mut eng = Engine::new();
-        let log = shared(Vec::<u32>::new());
-        for tag in 0..100u32 {
-            let log = log.clone();
-            eng.schedule_at(SimTime::from_nanos(5), move |_| log.borrow_mut().push(tag));
-        }
-        eng.run();
-        assert_eq!(*log.borrow(), (0..100).collect::<Vec<_>>());
+        both(|eng| {
+            let log = shared(Vec::<u32>::new());
+            for tag in 0..100u32 {
+                let log = log.clone();
+                eng.schedule_at(SimTime::from_nanos(5), move |_| log.borrow_mut().push(tag));
+            }
+            eng.run();
+            assert_eq!(*log.borrow(), (0..100).collect::<Vec<_>>());
+        });
     }
 
     #[test]
     fn events_can_schedule_events() {
-        let mut eng = Engine::new();
-        let log = shared(Vec::<SimTime>::new());
-        let log2 = log.clone();
-        eng.schedule_in(SimTime::from_nanos(1), move |eng| {
-            let log3 = log2.clone();
-            eng.schedule_in(SimTime::from_nanos(2), move |eng| {
-                log3.borrow_mut().push(eng.now());
+        both(|eng| {
+            let log = shared(Vec::<SimTime>::new());
+            let log2 = log.clone();
+            eng.schedule_in(SimTime::from_nanos(1), move |eng| {
+                let log3 = log2.clone();
+                eng.schedule_in(SimTime::from_nanos(2), move |eng| {
+                    log3.borrow_mut().push(eng.now());
+                });
             });
+            let end = eng.run();
+            assert_eq!(end, SimTime::from_nanos(3));
+            assert_eq!(*log.borrow(), vec![SimTime::from_nanos(3)]);
         });
-        let end = eng.run();
-        assert_eq!(end, SimTime::from_nanos(3));
-        assert_eq!(*log.borrow(), vec![SimTime::from_nanos(3)]);
     }
 
     #[test]
     fn run_until_leaves_later_events_queued() {
-        let mut eng = Engine::new();
-        let log = shared(Vec::<u32>::new());
-        for t in [10u64, 20, 30] {
-            let log = log.clone();
-            eng.schedule_at(SimTime::from_nanos(t), move |_| {
-                log.borrow_mut().push(t as u32)
-            });
-        }
-        eng.run_until(SimTime::from_nanos(20));
-        assert_eq!(*log.borrow(), vec![10, 20]);
-        assert_eq!(eng.pending_events(), 1);
-        assert_eq!(eng.now(), SimTime::from_nanos(20));
-        eng.run();
-        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        both(|eng| {
+            let log = shared(Vec::<u32>::new());
+            for t in [10u64, 20, 30] {
+                let log = log.clone();
+                eng.schedule_at(SimTime::from_nanos(t), move |_| {
+                    log.borrow_mut().push(t as u32)
+                });
+            }
+            eng.run_until(SimTime::from_nanos(20));
+            assert_eq!(*log.borrow(), vec![10, 20]);
+            assert_eq!(eng.pending_events(), 1);
+            assert_eq!(eng.now(), SimTime::from_nanos(20));
+            eng.run();
+            assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        });
     }
 
     #[test]
     fn run_until_advances_time_when_idle() {
-        let mut eng = Engine::new();
-        eng.run_until(SimTime::from_millis(5));
-        assert_eq!(eng.now(), SimTime::from_millis(5));
+        both(|eng| {
+            eng.run_until(SimTime::from_millis(5));
+            assert_eq!(eng.now(), SimTime::from_millis(5));
+        });
+    }
+
+    #[test]
+    fn run_until_then_schedule_before_pending() {
+        // A run_until that stops short of the next event must leave the
+        // queue able to accept events earlier than that event.
+        both(|eng| {
+            let log = shared(Vec::<u32>::new());
+            let l = log.clone();
+            eng.schedule_at(SimTime::from_nanos(100), move |_| l.borrow_mut().push(100));
+            eng.run_until(SimTime::from_nanos(50));
+            let l = log.clone();
+            eng.schedule_at(SimTime::from_nanos(60), move |_| l.borrow_mut().push(60));
+            eng.run();
+            assert_eq!(*log.borrow(), vec![60, 100]);
+        });
     }
 
     #[test]
     fn stop_halts_run() {
-        let mut eng = Engine::new();
-        let log = shared(0u32);
-        let l1 = log.clone();
-        eng.schedule_at(SimTime::from_nanos(1), move |eng| {
-            *l1.borrow_mut() += 1;
-            eng.stop();
+        both(|eng| {
+            let log = shared(0u32);
+            let l1 = log.clone();
+            eng.schedule_at(SimTime::from_nanos(1), move |eng| {
+                *l1.borrow_mut() += 1;
+                eng.stop();
+            });
+            let l2 = log.clone();
+            eng.schedule_at(SimTime::from_nanos(2), move |_| *l2.borrow_mut() += 1);
+            eng.run();
+            assert_eq!(*log.borrow(), 1);
+            eng.run();
+            assert_eq!(*log.borrow(), 2);
         });
-        let l2 = log.clone();
-        eng.schedule_at(SimTime::from_nanos(2), move |_| *l2.borrow_mut() += 1);
-        eng.run();
-        assert_eq!(*log.borrow(), 1);
-        eng.run();
-        assert_eq!(*log.borrow(), 2);
     }
 
     #[test]
     fn event_limit_caps_execution() {
-        let mut eng = Engine::new();
-        eng.set_event_limit(3);
-        // A self-perpetuating event chain.
-        fn tick(eng: &mut Engine) {
+        both(|eng| {
+            eng.set_event_limit(3);
+            // A self-perpetuating event chain.
+            fn tick(eng: &mut Engine) {
+                eng.schedule_in(SimTime::from_nanos(1), tick);
+            }
             eng.schedule_in(SimTime::from_nanos(1), tick);
-        }
-        eng.schedule_in(SimTime::from_nanos(1), tick);
-        eng.run();
-        assert_eq!(eng.executed_events(), 3);
+            eng.run();
+            assert_eq!(eng.executed_events(), 3);
+        });
+    }
+
+    #[test]
+    fn far_future_events_park_in_the_overflow_level() {
+        both(|eng| {
+            let hit = Rc::new(Cell::new(false));
+            let h1 = hit.clone();
+            // Beyond level 5 (~68 ms), level 7 (~4.4 s) and deep into the
+            // top level.
+            eng.schedule_at(SimTime::from_secs(3600), move |_| h1.set(true));
+            let infinite = eng.schedule_at_handle(SimTime::MAX, |_| panic!("never"));
+            eng.schedule_at(SimTime::from_nanos(1), |_| {});
+            eng.run_until(SimTime::from_secs(1));
+            assert!(!hit.get());
+            assert!(eng.cancel(infinite));
+            eng.run();
+            assert!(hit.get());
+            assert_eq!(eng.now(), SimTime::from_secs(3600));
+        });
+    }
+
+    #[test]
+    fn cancelled_events_neither_run_nor_count() {
+        both(|eng| {
+            let hits = shared(0u32);
+            let h = hits.clone();
+            let a = eng.schedule_at_handle(SimTime::from_nanos(10), move |_| *h.borrow_mut() += 1);
+            let h = hits.clone();
+            let _b = eng.schedule_at_handle(SimTime::from_nanos(20), move |_| *h.borrow_mut() += 1);
+            assert_eq!(eng.pending_events(), 2);
+            assert!(eng.cancel(a));
+            assert_eq!(eng.pending_events(), 1, "cancelled timers are not pending");
+            assert!(!eng.cancel(a), "double cancel is stale");
+            // The cancelled event must not be charged against the limit.
+            eng.set_event_limit(1);
+            eng.run();
+            assert_eq!(*hits.borrow(), 1);
+            assert_eq!(eng.executed_events(), 1);
+        });
+    }
+
+    #[test]
+    fn cancel_of_fired_handle_is_stale() {
+        both(|eng| {
+            let h = eng.schedule_at_handle(SimTime::from_nanos(5), |_| {});
+            assert!(eng.is_scheduled(h));
+            eng.run();
+            assert!(!eng.is_scheduled(h));
+            assert!(!eng.cancel(h));
+        });
+    }
+
+    #[test]
+    fn reschedule_moves_events_both_directions() {
+        both(|eng| {
+            let log = shared(Vec::<(u32, SimTime)>::new());
+            let l = log.clone();
+            let a = eng.schedule_at_handle(SimTime::from_nanos(100), move |e| {
+                l.borrow_mut().push((1, e.now()))
+            });
+            let l = log.clone();
+            let b = eng.schedule_at_handle(SimTime::from_nanos(50), move |e| {
+                l.borrow_mut().push((2, e.now()))
+            });
+            // Push a later, pull b earlier.
+            assert!(eng.reschedule(a, SimTime::from_nanos(200)));
+            assert!(eng.reschedule(b, SimTime::from_nanos(10)));
+            eng.run();
+            assert_eq!(
+                *log.borrow(),
+                vec![(2, SimTime::from_nanos(10)), (1, SimTime::from_nanos(200)),]
+            );
+        });
+    }
+
+    #[test]
+    fn reschedule_to_same_time_requeues_in_fifo_order() {
+        both(|eng| {
+            let log = shared(Vec::<u32>::new());
+            let l = log.clone();
+            let a = eng.schedule_at_handle(SimTime::from_nanos(5), move |_| l.borrow_mut().push(1));
+            let l = log.clone();
+            eng.schedule_at_handle(SimTime::from_nanos(5), move |_| l.borrow_mut().push(2));
+            // Re-arming `a` at the same instant demotes it behind 2 (a
+            // reschedule ranks like a fresh schedule).
+            assert!(eng.reschedule(a, SimTime::from_nanos(5)));
+            eng.run();
+            assert_eq!(*log.borrow(), vec![2, 1]);
+        });
+    }
+
+    #[test]
+    fn recurring_event_rearms_and_stops() {
+        both(|eng| {
+            let log = shared(Vec::<SimTime>::new());
+            let l = log.clone();
+            let mut left = 3u32;
+            eng.schedule_recurring_in(SimTime::from_nanos(10), move |eng| {
+                l.borrow_mut().push(eng.now());
+                left -= 1;
+                (left > 0).then(|| eng.now() + SimTime::from_nanos(5))
+            });
+            eng.run();
+            assert_eq!(
+                *log.borrow(),
+                vec![
+                    SimTime::from_nanos(10),
+                    SimTime::from_nanos(15),
+                    SimTime::from_nanos(20)
+                ]
+            );
+            assert_eq!(eng.pending_events(), 0);
+        });
+    }
+
+    #[test]
+    fn recurring_event_cancel_while_firing() {
+        both(|eng| {
+            let fires = Rc::new(Cell::new(0u32));
+            let f = fires.clone();
+            let slot: Rc<Cell<Option<TimerHandle>>> = Rc::new(Cell::new(None));
+            let s = slot.clone();
+            let h = eng.schedule_recurring_in(SimTime::from_nanos(1), move |eng| {
+                f.set(f.get() + 1);
+                if f.get() == 2 {
+                    // Self-cancel mid-fire: the re-arm below must be
+                    // ignored.
+                    assert!(eng.cancel(s.get().expect("handle stored")));
+                }
+                Some(eng.now() + SimTime::from_nanos(1))
+            });
+            slot.set(Some(h));
+            eng.run();
+            assert_eq!(fires.get(), 2, "self-cancel stops the recurrence");
+            assert_eq!(eng.pending_events(), 0);
+        });
+    }
+
+    #[test]
+    fn same_instant_cancel_prevents_execution() {
+        both(|eng| {
+            // A fires first (same instant, earlier schedule) and cancels B.
+            let slot: Rc<Cell<Option<TimerHandle>>> = Rc::new(Cell::new(None));
+            let s = slot.clone();
+            eng.schedule_at(SimTime::from_nanos(7), move |eng| {
+                assert!(eng.cancel(s.get().expect("B scheduled")));
+            });
+            let b = eng.schedule_at_handle(SimTime::from_nanos(7), |_| {
+                panic!("B was cancelled by A at the same instant")
+            });
+            slot.set(Some(b));
+            eng.run();
+            assert_eq!(eng.executed_events(), 1);
+        });
+    }
+
+    #[test]
+    fn rc_callback_fires_like_a_oneshot() {
+        both(|eng| {
+            let hits = Rc::new(Cell::new(0u32));
+            let h = hits.clone();
+            let cb: Rc<dyn Fn(&mut Engine)> = Rc::new(move |_| h.set(h.get() + 1));
+            eng.schedule_rc_at(SimTime::from_nanos(1), cb.clone());
+            eng.schedule_rc_at(SimTime::from_nanos(2), cb);
+            eng.run();
+            assert_eq!(hits.get(), 2);
+        });
+    }
+
+    #[test]
+    fn dense_and_sparse_mix_pops_in_order() {
+        // Exercises cascades: times spread across many wheel levels, mixed
+        // with same-instant runs.
+        both(|eng| {
+            let log = shared(Vec::<u64>::new());
+            let mut times = Vec::new();
+            let mut x = 0x243F_6A88_85A3_08D3u64;
+            for _ in 0..500 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                times.push(x % 50_000_000); // up to 50 us, hits levels 0..5
+            }
+            times.extend([0, 0, 1, 1, 63, 64, 65, 4095, 4096, 4097]);
+            for &t in &times {
+                let l = log.clone();
+                eng.schedule_at(SimTime(t), move |e| l.borrow_mut().push(e.now().0));
+            }
+            eng.run();
+            let got = log.borrow().clone();
+            let mut want = times.clone();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        });
     }
 }

@@ -1,5 +1,12 @@
 //! The fabric ties nodes together with links and implements the send-side
 //! NIC datapath (fragmentation, serialization, send completions).
+//!
+//! Delivery pumps: each link files surviving packets into its own
+//! arrival-ordered queue ([`Link::enqueue`]) and the fabric keeps **one**
+//! recurring drain event per busy link ([`Fabric::arm_pump`]) that walks
+//! the queue at each arrival instant and re-arms itself in place — the
+//! zero-allocation replacement for the old one-boxed-closure-per-packet
+//! scheme.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -8,6 +15,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 
 use crate::engine::Engine;
+use crate::equeue::TimerHandle;
 use crate::link::{Link, LinkConfig, LinkStats, TxOutcome};
 use crate::loss::LossModel;
 use crate::nic::{Cqe, CqeOp, Node, QpType};
@@ -62,6 +70,13 @@ impl Default for Fabric {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// What [`Fabric::arm_pump`] decided under the borrow.
+enum PumpAct {
+    Nothing,
+    New(SimTime),
+    Retarget(TimerHandle, SimTime),
 }
 
 impl Fabric {
@@ -150,6 +165,74 @@ impl Fabric {
         ab && ba
     }
 
+    /// Makes sure the drain pump of `key` is armed at the link's earliest
+    /// pending arrival: arms a fresh recurring event for an idle link,
+    /// re-arms the existing one when a jittered/multipath arrival landed
+    /// ahead of it, and otherwise does nothing. Call after any enqueue.
+    fn arm_pump(&self, eng: &mut Engine, key: (NodeId, NodeId)) {
+        let act = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(link) = inner.links.get_mut(&key) else {
+                return;
+            };
+            match (link.drain_state(), link.next_arrival()) {
+                (_, None) => PumpAct::Nothing,
+                (None, Some(t)) => PumpAct::New(t),
+                (Some((h, armed)), Some(t)) if t < armed => PumpAct::Retarget(h, t),
+                _ => PumpAct::Nothing,
+            }
+        };
+        match act {
+            PumpAct::Nothing => {}
+            PumpAct::New(t) => {
+                let fab = self.clone();
+                let h = eng.schedule_recurring_at(t, move |eng| fab.drain_link(eng, key));
+                if let Some(link) = self.inner.borrow_mut().links.get_mut(&key) {
+                    link.set_drain(Some((h, t)));
+                }
+            }
+            PumpAct::Retarget(h, t) => {
+                // A `false` here means the pump is mid-fire; its own
+                // re-arm return value will pick the new head up.
+                if eng.reschedule(h, t) {
+                    if let Some(link) = self.inner.borrow_mut().links.get_mut(&key) {
+                        link.set_drain(Some((h, t)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One firing of a link's drain pump: deliver everything due now, then
+    /// re-arm at the next pending arrival (or park until the next busy
+    /// period when the queue drained).
+    fn drain_link(&self, eng: &mut Engine, key: (NodeId, NodeId)) -> Option<SimTime> {
+        loop {
+            let pkt = {
+                let mut inner = self.inner.borrow_mut();
+                inner.links.get_mut(&key).and_then(|l| l.pop_due(eng.now()))
+            };
+            match pkt {
+                Some(p) => self.deliver(eng, p),
+                None => break,
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        let link = inner.links.get_mut(&key)?;
+        match link.next_arrival() {
+            Some(t) => {
+                if let Some((h, _)) = link.drain_state() {
+                    link.set_drain(Some((h, t)));
+                }
+                Some(t)
+            }
+            None => {
+                link.set_drain(None);
+                None
+            }
+        }
+    }
+
     /// Posts an RDMA Write on a UC QP. The payload is fragmented into
     /// MTU-sized packets (`Only` for single-packet messages, else
     /// `First/Middle/Last`), each serialized in order on the link. The send
@@ -186,88 +269,88 @@ impl Fabric {
         wr: WriteWr,
         per_packet: bool,
     ) -> Result<(), PostError> {
-        let mut inner = self.inner.borrow_mut();
-        let inner = &mut *inner;
-        let node = &mut inner.nodes[src.node.0 as usize];
-        if node.qp_type(src.qp) != QpType::Uc {
-            return Err(PostError::WrongQpType);
-        }
-        let dst = node.qp_peer(src.qp).ok_or(PostError::NotConnected)?;
-        let link = inner
-            .links
-            .get_mut(&(src.node, dst.node))
-            .ok_or(PostError::NoLink)?;
-        let mtu = link.config().mtu;
+        let key;
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let node = &mut inner.nodes[src.node.0 as usize];
+            if node.qp_type(src.qp) != QpType::Uc {
+                return Err(PostError::WrongQpType);
+            }
+            let dst = node.qp_peer(src.qp).ok_or(PostError::NotConnected)?;
+            key = (src.node, dst.node);
+            let link = inner.links.get_mut(&key).ok_or(PostError::NoLink)?;
+            let mtu = link.config().mtu;
 
-        let total = wr.data.len();
-        let n_pkts = if total == 0 { 1 } else { total.div_ceil(mtu) };
-        for i in 0..n_pkts {
-            let lo = i * mtu;
-            let hi = ((i + 1) * mtu).min(total);
-            let payload = wr.data.slice(lo..hi);
-            let seg = if per_packet || n_pkts == 1 {
-                WriteSeg::Only
-            } else if i == 0 {
-                WriteSeg::First
-            } else if i == n_pkts - 1 {
-                WriteSeg::Last
-            } else {
-                WriteSeg::Middle
-            };
-            let (mkey, offset, imm) = match seg {
-                WriteSeg::Only => (
-                    wr.remote_mkey,
-                    wr.remote_offset + lo as u64,
-                    if i == n_pkts - 1 { wr.imm } else { None },
-                ),
-                WriteSeg::First => (wr.remote_mkey, wr.remote_offset, None),
-                WriteSeg::Middle => (wr.remote_mkey, 0, None),
-                WriteSeg::Last => (wr.remote_mkey, 0, wr.imm),
-            };
-            let pkt = Packet {
-                src,
-                dst,
-                psn: node.next_psn(src.qp),
-                kind: PacketKind::Write {
-                    seg,
-                    mkey,
-                    offset,
-                    imm,
-                },
-                payload,
-            };
-            let fabric = self.clone();
-            link.transmit(eng, pkt.payload_len(), move |eng| {
-                fabric.deliver(eng, pkt);
-            });
-        }
+            let total = wr.data.len();
+            let n_pkts = if total == 0 { 1 } else { total.div_ceil(mtu) };
+            for i in 0..n_pkts {
+                let lo = i * mtu;
+                let hi = ((i + 1) * mtu).min(total);
+                let payload = wr.data.slice(lo..hi);
+                let seg = if per_packet || n_pkts == 1 {
+                    WriteSeg::Only
+                } else if i == 0 {
+                    WriteSeg::First
+                } else if i == n_pkts - 1 {
+                    WriteSeg::Last
+                } else {
+                    WriteSeg::Middle
+                };
+                let (mkey, offset, imm) = match seg {
+                    WriteSeg::Only => (
+                        wr.remote_mkey,
+                        wr.remote_offset + lo as u64,
+                        if i == n_pkts - 1 { wr.imm } else { None },
+                    ),
+                    WriteSeg::First => (wr.remote_mkey, wr.remote_offset, None),
+                    WriteSeg::Middle => (wr.remote_mkey, 0, None),
+                    WriteSeg::Last => (wr.remote_mkey, 0, wr.imm),
+                };
+                let pkt = Packet {
+                    src,
+                    dst,
+                    psn: node.next_psn(src.qp),
+                    kind: PacketKind::Write {
+                        seg,
+                        mkey,
+                        offset,
+                        imm,
+                    },
+                    payload,
+                };
+                link.enqueue(eng.now(), pkt);
+            }
 
-        if wr.signaled {
-            // All packets of this post have been placed on paths; the local
-            // completion fires when the last of them leaves the wire.
-            let done_at = link.all_paths_free();
-            let fabric = self.clone();
-            let (cq, qp, wr_id) = (node.qp_send_cq(src.qp), src.qp, wr.wr_id);
-            let byte_len = total as u32;
-            let node_id = src.node;
-            eng.schedule_at(done_at, move |eng| {
-                fabric.node_mut(node_id, |n| {
-                    n.push_cqe(
-                        eng,
-                        cq,
-                        Cqe {
-                            qp,
-                            op: CqeOp::SendComplete,
-                            imm: None,
-                            byte_len,
-                            src: None,
-                            wr_id,
-                            null_write: false,
-                        },
-                    )
+            if wr.signaled {
+                // All packets of this post have been placed on paths; the
+                // local completion fires when the last of them leaves the
+                // wire.
+                let done_at = link.all_paths_free();
+                let fabric = self.clone();
+                let (cq, qp, wr_id) = (node.qp_send_cq(src.qp), src.qp, wr.wr_id);
+                let byte_len = total as u32;
+                let node_id = src.node;
+                eng.schedule_at(done_at, move |eng| {
+                    fabric.node_mut(node_id, |n| {
+                        n.push_cqe(
+                            eng,
+                            cq,
+                            Cqe {
+                                qp,
+                                op: CqeOp::SendComplete,
+                                imm: None,
+                                byte_len,
+                                src: None,
+                                wr_id,
+                                null_write: false,
+                            },
+                        )
+                    });
                 });
-            });
+            }
         }
+        self.arm_pump(eng, key);
         Ok(())
     }
 
@@ -280,46 +363,42 @@ impl Fabric {
         data: Bytes,
         imm: Option<u32>,
     ) -> Result<(), PostError> {
-        let mut inner = self.inner.borrow_mut();
-        let inner = &mut *inner;
-        let node = &mut inner.nodes[src.node.0 as usize];
-        if node.qp_type(src.qp) != QpType::Ud {
-            return Err(PostError::WrongQpType);
+        let key = (src.node, dst.node);
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let node = &mut inner.nodes[src.node.0 as usize];
+            if node.qp_type(src.qp) != QpType::Ud {
+                return Err(PostError::WrongQpType);
+            }
+            let link = inner.links.get_mut(&key).ok_or(PostError::NoLink)?;
+            if data.len() > link.config().mtu {
+                return Err(PostError::PayloadTooLarge);
+            }
+            let pkt = Packet {
+                src,
+                dst,
+                psn: node.next_psn(src.qp),
+                kind: PacketKind::Send { imm },
+                payload: data,
+            };
+            link.enqueue(eng.now(), pkt);
         }
-        let link = inner
-            .links
-            .get_mut(&(src.node, dst.node))
-            .ok_or(PostError::NoLink)?;
-        if data.len() > link.config().mtu {
-            return Err(PostError::PayloadTooLarge);
-        }
-        let pkt = Packet {
-            src,
-            dst,
-            psn: node.next_psn(src.qp),
-            kind: PacketKind::Send { imm },
-            payload: data,
-        };
-        let fabric = self.clone();
-        link.transmit(eng, pkt.payload_len(), move |eng| {
-            fabric.deliver(eng, pkt);
-        });
+        self.arm_pump(eng, key);
         Ok(())
     }
 
     /// Injects a raw packet (used by the RC go-back-N protocol objects).
     /// Returns the transmit outcome so protocols can account wire time.
     pub fn send_raw(&self, eng: &mut Engine, pkt: Packet) -> Result<TxOutcome, PostError> {
-        let mut inner = self.inner.borrow_mut();
-        let link = inner
-            .links
-            .get_mut(&(pkt.src.node, pkt.dst.node))
-            .ok_or(PostError::NoLink)?;
-        let fabric = self.clone();
-        let len = pkt.payload_len();
-        Ok(link.transmit(eng, len, move |eng| {
-            fabric.deliver(eng, pkt);
-        }))
+        let key = (pkt.src.node, pkt.dst.node);
+        let out = {
+            let mut inner = self.inner.borrow_mut();
+            let link = inner.links.get_mut(&key).ok_or(PostError::NoLink)?;
+            link.enqueue(eng.now(), pkt)
+        };
+        self.arm_pump(eng, key);
+        Ok(out)
     }
 
     fn deliver(&self, eng: &mut Engine, pkt: Packet) {
@@ -504,6 +583,48 @@ mod tests {
             assert_eq!(cqe.imm, Some(2));
             assert_eq!(n.mem().read(mr.addr, 3), b"cts");
         });
+    }
+
+    #[test]
+    fn drain_pump_is_one_event_per_busy_period() {
+        // A 10-packet train arms exactly one pump; the pump node re-arms
+        // through its own return value, so pending_events stays at 1 no
+        // matter how many packets are in flight.
+        let (mut eng, fab, a, _b) = two_node_uc(0.0);
+        let mr = fab.node_mut(crate::packet::NodeId(1), |n| n.alloc_mr(64 * 1024));
+        fab.post_uc_write(
+            &mut eng,
+            a,
+            WriteWr {
+                remote_mkey: mr.mkey,
+                remote_offset: 0,
+                data: Bytes::from(vec![7u8; 10 * 4096]),
+                imm: None,
+                wr_id: 0,
+                signaled: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            eng.pending_events(),
+            1,
+            "10 in-flight packets ride one drain event"
+        );
+        assert_eq!(
+            fab.inner
+                .borrow()
+                .links
+                .get(&(a.node, crate::packet::NodeId(1)))
+                .unwrap()
+                .in_flight(),
+            10
+        );
+        eng.run();
+        let delivered = fab
+            .link_stats(a.node, crate::packet::NodeId(1))
+            .unwrap()
+            .delivered;
+        assert_eq!(delivered, 10);
     }
 
     #[test]

@@ -6,25 +6,47 @@
 //! reliability layers interact with:
 //!
 //! * [`Engine`] — a deterministic event executor with picosecond time.
-//! * [`Link`]/[`LinkConfig`] — serialization at line rate, propagation delay
-//!   from distance (paper convention: 3750 km ⇒ 25 ms RTT), i.i.d. or
-//!   Gilbert–Elliott loss, and optional reorder jitter.
+//!   Since PR 5 the queue is a **hierarchical timing wheel** (11 levels of
+//!   64 one-picosecond-granularity slots spanning the whole `u64` range;
+//!   the top level is the far-future overflow level) over a slab of
+//!   free-listed event nodes: steady-state scheduling allocates nothing,
+//!   recurring events ([`Engine::schedule_recurring_at`]) re-arm their
+//!   node in place, and [`TimerHandle`]s make timers cancellable and
+//!   re-armable ([`Engine::cancel`] / [`Engine::reschedule`]) so stale
+//!   timers neither fire as no-ops nor count as pending. Execution order
+//!   is exactly `(time, schedule order)` — identical to the retained
+//!   binary-heap reference backend, provable with `SDR_SIM_QUEUE=heap`
+//!   (see [`equeue`] for the architecture and the determinism argument,
+//!   and `tests/queue_differential.rs` for the proof harness).
+//! * [`Link`]/[`LinkConfig`] — serialization at line rate, propagation
+//!   delay from distance (paper convention: 3750 km ⇒ 25 ms RTT), i.i.d.
+//!   or Gilbert–Elliott loss, and optional reorder jitter. Deliveries are
+//!   **coalesced**: each link keeps an arrival-ordered `VecDeque` of
+//!   in-flight packets and the fabric drives it with a single re-armed
+//!   drain event per busy period, instead of one boxed closure per packet.
 //! * [`BottleneckQueue`]/[`OnOffSource`] — the congestion mechanism behind
 //!   the paper's Figure 2 drop-rate measurements.
 //! * [`Node`] — an endpoint with memory, memory-key translation (direct,
 //!   NULL and indirect/root keys per Figure 5), completion queues with
 //!   wakers, and UC/UD/RC queue pairs with faithful ePSN semantics.
 //! * [`Fabric`] — ties nodes and links together and implements the
-//!   send-side datapath (fragmentation, write-with-immediate, UD sends).
+//!   send-side datapath (fragmentation, write-with-immediate, UD sends)
+//!   plus the per-link delivery pumps.
 //! * [`RcEndpoint`] — a go-back-N reliable connection, the commodity-NIC
 //!   baseline the paper argues is insufficient for planetary-scale RDMA.
+//!   Its RTO is a single re-armable timer: progress pushes the deadline
+//!   out instead of minting generation-stamped no-op events.
 //!
 //! Everything is seeded and single-threaded: a simulation with the same
-//! inputs produces bit-identical outputs.
+//! inputs produces bit-identical outputs. `SDR_SIM_QUEUE=wheel|heap`
+//! selects the queue backend process-wide (wheel is the default; the two
+//! backends execute identical event orders, so this is an A/B instrument,
+//! not a semantic switch).
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod equeue;
 pub mod fabric;
 pub mod link;
 pub mod loss;
@@ -36,6 +58,7 @@ pub mod rc;
 pub mod time;
 
 pub use engine::{shared, Engine, Shared};
+pub use equeue::{QueueKind, TimerHandle};
 pub use fabric::{Fabric, PostError, WriteWr};
 pub use link::{Link, LinkConfig, LinkStats, TxOutcome, DEFAULT_HEADER_BYTES};
 pub use loss::{LossModel, LossProcess};

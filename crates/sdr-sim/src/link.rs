@@ -4,12 +4,23 @@
 //! process, optional reorder jitter, and delivers after the propagation
 //! delay. Serialization is modelled with a `next_free` cursor so back-to-back
 //! transmissions queue behind each other exactly as on a real wire.
+//!
+//! Delivery is **coalesced**: [`Link::enqueue`] computes each surviving
+//! packet's arrival instant and files it into an arrival-ordered
+//! [`VecDeque`]; the fabric drives the queue with a single re-armable drain
+//! event per busy period ([`Fabric`](crate::Fabric) owns the pump). A
+//! serialization train of N packets therefore costs N queue-node re-arms
+//! and zero boxed closures, where it used to cost N `Box<dyn FnOnce>`
+//! allocations pushed through the engine heap.
+
+use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::engine::Engine;
+use crate::equeue::TimerHandle;
 use crate::loss::{LossModel, LossProcess};
+use crate::packet::Packet;
 use crate::time::{propagation_delay_km, tx_time, SimTime};
 
 /// Per-packet wire overhead of RoCEv2 over Ethernet: preamble-less
@@ -116,7 +127,7 @@ pub struct LinkStats {
     pub bytes: u64,
 }
 
-/// Outcome of handing one packet to [`Link::transmit`].
+/// Outcome of handing one packet to [`Link::enqueue`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TxOutcome {
     /// The packet will arrive at the given absolute time.
@@ -136,6 +147,13 @@ pub struct Link {
     /// Per-path wire-busy cursors.
     next_free: Vec<SimTime>,
     stats: LinkStats,
+    /// In-flight packets, ordered by arrival instant (FIFO within an
+    /// instant). The fabric's drain pump walks this.
+    pending: VecDeque<(SimTime, Packet)>,
+    /// The drain pump, while armed: `(handle, armed-at instant)`. Owned
+    /// logically by the fabric; stored here so each link carries exactly
+    /// one pump.
+    drain: Option<(TimerHandle, SimTime)>,
 }
 
 impl Link {
@@ -151,6 +169,8 @@ impl Link {
             rng,
             next_free,
             stats: LinkStats::default(),
+            pending: VecDeque::new(),
+            drain: None,
         }
     }
 
@@ -174,23 +194,21 @@ impl Link {
         *self.next_free.iter().max().expect("paths >= 1")
     }
 
-    /// Serializes a packet of `payload_bytes` onto the wire. If the loss
-    /// process spares it, `deliver` is scheduled at the arrival instant.
+    /// Serializes `pkt` onto the wire at `now`. If the loss process spares
+    /// it, the packet is filed into the pending-arrival queue and will be
+    /// handed back by [`pop_due`](Self::pop_due) at its arrival instant —
+    /// the caller (the fabric) keeps a drain event armed at
+    /// [`next_arrival`](Self::next_arrival).
     ///
     /// The drop decision is made *after* serialization: a dropped packet
     /// still occupies the wire (it is lost in transit, not at the sender).
-    pub fn transmit(
-        &mut self,
-        eng: &mut Engine,
-        payload_bytes: usize,
-        deliver: impl FnOnce(&mut Engine) + 'static,
-    ) -> TxOutcome {
-        let wire_bytes = (payload_bytes + self.cfg.header_bytes) as u64;
+    pub fn enqueue(&mut self, now: SimTime, pkt: Packet) -> TxOutcome {
+        let wire_bytes = (pkt.payload_len() + self.cfg.header_bytes) as u64;
         // ECMP-style path choice: the earliest-available path wins.
         let path = (0..self.next_free.len())
             .min_by_key(|&i| self.next_free[i])
             .expect("paths >= 1");
-        let start = self.next_free[path].max(eng.now());
+        let start = self.next_free[path].max(now);
         let per_path_bw = self.cfg.bandwidth_bps / self.cfg.paths as f64;
         let serialize = tx_time(wire_bytes, per_path_bw);
         self.next_free[path] = start + serialize;
@@ -209,8 +227,44 @@ impl Link {
             }
         }
         self.stats.delivered += 1;
-        eng.schedule_at(arrival, deliver);
+        // Keep the queue arrival-ordered (stable for equal instants).
+        // Jitter and multipath can make a later send arrive earlier, but
+        // the common case appends at the back.
+        let mut i = self.pending.len();
+        while i > 0 && self.pending[i - 1].0 > arrival {
+            i -= 1;
+        }
+        self.pending.insert(i, (arrival, pkt));
         TxOutcome::Delivered { at: arrival }
+    }
+
+    /// The earliest pending arrival, if any (where the drain pump arms).
+    pub fn next_arrival(&self) -> Option<SimTime> {
+        self.pending.front().map(|(at, _)| *at)
+    }
+
+    /// Pops the next packet whose arrival instant is `<= now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Packet> {
+        if self.pending.front().is_some_and(|(at, _)| *at <= now) {
+            self.pending.pop_front().map(|(_, p)| p)
+        } else {
+            None
+        }
+    }
+
+    /// Packets currently in flight toward the receiver.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The armed drain pump, if any (fabric bookkeeping).
+    pub(crate) fn drain_state(&self) -> Option<(TimerHandle, SimTime)> {
+        self.drain
+    }
+
+    /// Records the drain pump state (fabric bookkeeping).
+    pub(crate) fn set_drain(&mut self, d: Option<(TimerHandle, SimTime)>) {
+        self.drain = d;
     }
 
     /// Empirical drop rate observed by the loss process.
@@ -239,7 +293,9 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::shared;
+    use crate::engine::{shared, Engine, Shared};
+    use crate::packet::{NodeId, PacketKind, QpAddr, QpNum};
+    use bytes::Bytes;
 
     fn test_link(bw: f64) -> Link {
         let mut cfg = LinkConfig::intra_dc(bw);
@@ -248,65 +304,94 @@ mod tests {
         Link::new(cfg)
     }
 
+    fn pkt(tag: u32, payload: usize) -> Packet {
+        Packet {
+            src: QpAddr {
+                node: NodeId(0),
+                qp: QpNum(0),
+            },
+            dst: QpAddr {
+                node: NodeId(1),
+                qp: QpNum(0),
+            },
+            psn: tag,
+            kind: PacketKind::Send { imm: Some(tag) },
+            payload: Bytes::from(vec![0u8; payload]),
+        }
+    }
+
+    /// A miniature fabric pump: drains the link through one recurring
+    /// engine event, delivering tags + instants into `out`.
+    fn pump(eng: &mut Engine, link: &Shared<Link>, out: &Shared<Vec<(u32, SimTime)>>) {
+        let Some(at) = link.borrow().next_arrival() else {
+            return;
+        };
+        let (l, o) = (link.clone(), out.clone());
+        eng.schedule_recurring_at(at, move |eng| {
+            while let Some(p) = l.borrow_mut().pop_due(eng.now()) {
+                o.borrow_mut().push((p.psn, eng.now()));
+            }
+            l.borrow().next_arrival()
+        });
+    }
+
     #[test]
     fn delivery_time_is_serialization_plus_propagation() {
         let mut eng = Engine::new();
-        let mut link = test_link(8e9); // 1 byte per ns
-        let got = shared(None);
-        let g = got.clone();
-        let out = link.transmit(&mut eng, 1000, move |eng| {
-            *g.borrow_mut() = Some(eng.now());
-        });
+        let link = shared(test_link(8e9)); // 1 byte per ns
+        let out = shared(Vec::new());
+        let got = link.borrow_mut().enqueue(SimTime::ZERO, pkt(1, 1000));
         // 1000 bytes at 1 B/ns = 1 us serialize + 5 us propagation.
         let expect = SimTime::from_micros(6);
-        assert_eq!(out, TxOutcome::Delivered { at: expect });
+        assert_eq!(got, TxOutcome::Delivered { at: expect });
+        pump(&mut eng, &link, &out);
         eng.run();
-        assert_eq!(*got.borrow(), Some(expect));
+        assert_eq!(*out.borrow(), vec![(1, expect)]);
     }
 
     #[test]
     fn back_to_back_packets_queue_on_the_wire() {
         let mut eng = Engine::new();
-        let mut link = test_link(8e9);
-        let times = shared(Vec::new());
-        for _ in 0..3 {
-            let t = times.clone();
-            link.transmit(&mut eng, 1000, move |eng| t.borrow_mut().push(eng.now()));
+        let link = shared(test_link(8e9));
+        let out = shared(Vec::new());
+        for tag in 0..3 {
+            link.borrow_mut().enqueue(SimTime::ZERO, pkt(tag, 1000));
         }
+        assert_eq!(link.borrow().in_flight(), 3);
+        pump(&mut eng, &link, &out);
         eng.run();
         // Serializations at 1,2,3 us; arrivals at 6,7,8 us.
         assert_eq!(
-            *times.borrow(),
+            *out.borrow(),
             vec![
-                SimTime::from_micros(6),
-                SimTime::from_micros(7),
-                SimTime::from_micros(8)
+                (0, SimTime::from_micros(6)),
+                (1, SimTime::from_micros(7)),
+                (2, SimTime::from_micros(8))
             ]
         );
     }
 
     #[test]
     fn dropped_packets_still_consume_wire_time() {
-        let mut eng = Engine::new();
         let mut cfg = LinkConfig::intra_dc(8e9);
         cfg.header_bytes = 0;
         cfg.loss = LossModel::Iid { p: 1.0 };
         let mut link = Link::new(cfg);
-        let out = link.transmit(&mut eng, 1000, |_| panic!("must not deliver"));
+        let out = link.enqueue(SimTime::ZERO, pkt(0, 1000));
         assert_eq!(out, TxOutcome::Dropped);
         assert_eq!(link.next_free(), SimTime::from_micros(1));
         assert_eq!(link.stats().dropped, 1);
-        eng.run();
+        assert_eq!(link.in_flight(), 0, "dropped packets never queue");
+        assert_eq!(link.next_arrival(), None);
     }
 
     #[test]
     fn header_bytes_count_against_bandwidth() {
-        let mut eng = Engine::new();
         let mut cfg = LinkConfig::intra_dc(8e9);
         cfg.header_bytes = 100;
         cfg.one_way_delay = SimTime::ZERO;
         let mut link = Link::new(cfg);
-        match link.transmit(&mut eng, 900, |_| {}) {
+        match link.enqueue(SimTime::ZERO, pkt(0, 900)) {
             TxOutcome::Delivered { at } => assert_eq!(at, SimTime::from_micros(1)),
             TxOutcome::Dropped => panic!(),
         }
@@ -318,14 +403,14 @@ mod tests {
         let cfg = LinkConfig::intra_dc(8e12)
             .with_reorder_jitter(SimTime::from_micros(50))
             .with_seed(9);
-        let mut link = Link::new(cfg);
-        let order = shared(Vec::new());
-        for tag in 0..32u32 {
-            let o = order.clone();
-            link.transmit(&mut eng, 64, move |_| o.borrow_mut().push(tag));
+        let link = shared(Link::new(cfg));
+        let out = shared(Vec::new());
+        for tag in 0..32 {
+            link.borrow_mut().enqueue(SimTime::ZERO, pkt(tag, 64));
         }
+        pump(&mut eng, &link, &out);
         eng.run();
-        let got = order.borrow().clone();
+        let got: Vec<u32> = out.borrow().iter().map(|&(t, _)| t).collect();
         let mut sorted = got.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..32).collect::<Vec<_>>());
@@ -333,20 +418,22 @@ mod tests {
             got, sorted,
             "jitter of 50us over 32 tiny packets must reorder"
         );
+        // The pending queue handed them out in arrival order regardless.
+        let times: Vec<SimTime> = out.borrow().iter().map(|&(_, at)| at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
     fn multipath_striping_parallelizes_serialization() {
         // 4 paths at aggregate 8 Gbit/s: four packets serialize
         // concurrently at 2 Gbit/s each instead of queueing.
-        let mut eng = Engine::new();
         let mut cfg = LinkConfig::intra_dc(8e9).with_paths(4);
         cfg.header_bytes = 0;
         cfg.one_way_delay = SimTime::ZERO;
         let mut link = Link::new(cfg);
         let mut arrivals = Vec::new();
-        for _ in 0..4 {
-            match link.transmit(&mut eng, 1000, |_| {}) {
+        for tag in 0..4 {
+            match link.enqueue(SimTime::ZERO, pkt(tag, 1000)) {
                 TxOutcome::Delivered { at } => arrivals.push(at),
                 TxOutcome::Dropped => panic!(),
             }
@@ -354,11 +441,10 @@ mod tests {
         // Each serializes in 1000*8/2e9 = 4 us, all in parallel.
         assert!(arrivals.iter().all(|&a| a == SimTime::from_micros(4)));
         // A 5th packet queues behind the earliest path.
-        match link.transmit(&mut eng, 1000, |_| {}) {
+        match link.enqueue(SimTime::ZERO, pkt(4, 1000)) {
             TxOutcome::Delivered { at } => assert_eq!(at, SimTime::from_micros(8)),
             TxOutcome::Dropped => panic!(),
         }
-        eng.run();
     }
 
     #[test]
@@ -369,52 +455,49 @@ mod tests {
         let mut cfg = LinkConfig::intra_dc(8e9).with_paths(2);
         cfg.header_bytes = 0;
         cfg.one_way_delay = SimTime::ZERO;
-        let mut link = Link::new(cfg);
-        let order = shared(Vec::new());
-        let o = order.clone();
-        link.transmit(&mut eng, 100_000, move |_| o.borrow_mut().push("big"));
-        let o = order.clone();
-        link.transmit(&mut eng, 100, move |_| o.borrow_mut().push("small"));
+        let link = shared(Link::new(cfg));
+        let out = shared(Vec::new());
+        link.borrow_mut().enqueue(SimTime::ZERO, pkt(0, 100_000)); // big
+        link.borrow_mut().enqueue(SimTime::ZERO, pkt(1, 100)); // small
+        pump(&mut eng, &link, &out);
         eng.run();
-        assert_eq!(*order.borrow(), vec!["small", "big"]);
+        let got: Vec<u32> = out.borrow().iter().map(|&(t, _)| t).collect();
+        assert_eq!(got, vec![1, 0], "small overtakes big");
     }
 
     #[test]
     fn set_loss_steps_the_drop_rate_mid_run() {
-        let mut eng = Engine::new();
         let cfg = LinkConfig::wan(100.0, 8e9, 0.0).with_seed(5);
         let mut link = Link::new(cfg);
-        for _ in 0..500 {
-            link.transmit(&mut eng, 100, |_| {});
+        for i in 0..500 {
+            link.enqueue(SimTime::ZERO, pkt(i, 100));
         }
         assert_eq!(link.stats().dropped, 0, "clean phase drops nothing");
         link.set_loss(LossModel::Iid { p: 0.5 });
-        for _ in 0..1000 {
-            link.transmit(&mut eng, 100, |_| {});
+        for i in 0..1000 {
+            link.enqueue(SimTime::ZERO, pkt(i, 100));
         }
         let d = link.stats().dropped;
         assert!((300..700).contains(&d), "post-step drops {d}");
         // Back to clean: the step is fully reversible.
         link.set_loss(LossModel::Perfect);
-        for _ in 0..500 {
-            link.transmit(&mut eng, 100, |_| {});
+        for i in 0..500 {
+            link.enqueue(SimTime::ZERO, pkt(i, 100));
         }
         assert_eq!(link.stats().dropped, d, "clean again after the episode");
-        eng.run();
     }
 
     #[test]
     fn stats_track_sent_dropped_delivered() {
-        let mut eng = Engine::new();
         let cfg = LinkConfig::wan(100.0, 8e9, 0.5).with_seed(77);
         let mut link = Link::new(cfg);
-        for _ in 0..1000 {
-            link.transmit(&mut eng, 100, |_| {});
+        for i in 0..1000 {
+            link.enqueue(SimTime::ZERO, pkt(i, 100));
         }
         let s = link.stats();
         assert_eq!(s.sent, 1000);
         assert_eq!(s.dropped + s.delivered, 1000);
         assert!(s.dropped > 300 && s.dropped < 700, "dropped {}", s.dropped);
-        eng.run();
+        assert_eq!(link.in_flight() as u64, s.delivered);
     }
 }

@@ -81,29 +81,32 @@ pub struct Cqe {
 /// event is scheduled that disarms and invokes the callback. The callback
 /// then drains the queue; further pushes re-arm. This mirrors a Verbs
 /// completion channel without busy polling.
+///
+/// The deferral shim is built once and scheduled by `Rc` clone
+/// ([`Engine::schedule_rc_at`]), so a kick costs a refcount bump and a
+/// slab node — no fresh closure boxing on the completion hot path.
 #[derive(Clone)]
 pub struct Waker {
     armed: Rc<Cell<bool>>,
-    f: Rc<dyn Fn(&mut Engine)>,
+    shim: Rc<dyn Fn(&mut Engine)>,
 }
 
 impl Waker {
     /// Wraps a callback into a waker.
     pub fn new(f: impl Fn(&mut Engine) + 'static) -> Self {
-        Waker {
-            armed: Rc::new(Cell::new(false)),
-            f: Rc::new(f),
-        }
+        let armed = Rc::new(Cell::new(false));
+        let disarm = armed.clone();
+        let shim: Rc<dyn Fn(&mut Engine)> = Rc::new(move |eng| {
+            disarm.set(false);
+            f(eng);
+        });
+        Waker { armed, shim }
     }
 
     fn kick(&self, eng: &mut Engine) {
         if !self.armed.get() {
             self.armed.set(true);
-            let w = self.clone();
-            eng.schedule_at(eng.now(), move |eng| {
-                w.armed.set(false);
-                (w.f)(eng);
-            });
+            eng.schedule_rc_at(eng.now(), self.shim.clone());
         }
     }
 }

@@ -180,20 +180,23 @@ impl OnOffSource {
         if eng.now() >= stop_at {
             return;
         }
-        // Offer the whole burst packet by packet at the ON rate.
+        // Offer the whole burst packet by packet at the ON rate: one
+        // recurring walker event re-armed per packet instead of one boxed
+        // closure per packet up front.
         let (pkt_bytes, inter) = {
             let s = this.borrow();
             let inter = tx_time(s.cfg.packet_bytes, s.cfg.on_rate_bps);
             (s.cfg.packet_bytes, inter)
         };
         let n_pkts = (on_len.as_picos() / inter.as_picos().max(1)).max(1);
-        for i in 0..n_pkts {
-            let me = this.clone();
-            eng.schedule_in(inter * i, move |eng| {
-                let s = me.borrow();
-                s.queue.borrow_mut().offer(eng.now(), pkt_bytes, false);
-            });
-        }
+        let me = this.clone();
+        let mut left = n_pkts;
+        eng.schedule_recurring_at(eng.now(), move |eng| {
+            let s = me.borrow();
+            s.queue.borrow_mut().offer(eng.now(), pkt_bytes, false);
+            left -= 1;
+            (left > 0).then(|| eng.now() + inter)
+        });
         // Schedule the next burst after this one plus an OFF gap.
         let me = this.clone();
         eng.schedule_in(on_len + gap, move |eng| Self::burst(&me, eng));

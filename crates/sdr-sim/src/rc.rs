@@ -15,6 +15,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 
 use crate::engine::Engine;
+use crate::equeue::TimerHandle;
 use crate::fabric::Fabric;
 use crate::nic::Waker;
 use crate::packet::{MkeyId, Packet, PacketKind, QpAddr, WriteSeg};
@@ -69,7 +70,6 @@ struct SendMsg {
     base: u32,
     next: u32,
     on_complete: Option<Box<dyn FnOnce(&mut Engine)>>,
-    timer_gen: u64,
 }
 
 /// One end of a go-back-N reliable connection.
@@ -80,6 +80,10 @@ pub struct RcEndpoint {
     cfg: RcConfig,
     // Sender state.
     msg: Option<SendMsg>,
+    /// The single RTO timer: a re-armable engine timer pushed out on every
+    /// ACK that makes progress and cancelled at completion — no
+    /// generation-stamped no-op events ever fire.
+    rto_timer: Option<TimerHandle>,
     // Receiver state.
     epsn: u32,
     last_nak: Option<u32>,
@@ -103,6 +107,7 @@ impl RcEndpoint {
             peer,
             cfg,
             msg: None,
+            rto_timer: None,
             epsn: 0,
             last_nak: None,
             in_order_since_ack: 0,
@@ -169,11 +174,18 @@ impl RcEndpoint {
                 base: 0,
                 next: 0,
                 on_complete: Some(Box::new(on_complete)),
-                timer_gen: 0,
             });
             ep.pump(eng);
         }
         Self::arm_timer(this, eng);
+    }
+
+    /// Pushes the RTO deadline out to `now + rto` (an ACK made progress).
+    fn bump_timer(&mut self, eng: &mut Engine) {
+        if let Some(h) = self.rto_timer {
+            let at = eng.now().saturating_add(self.cfg.rto);
+            let _ = eng.reschedule(h, at);
+        }
     }
 
     /// Sends as many packets as the window allows.
@@ -220,35 +232,37 @@ impl RcEndpoint {
     }
 
     fn arm_timer(this: &Rc<RefCell<RcEndpoint>>, eng: &mut Engine) {
-        let (rto, gen) = {
+        let rto = {
             let ep = this.borrow();
-            let Some(msg) = &ep.msg else { return };
-            (ep.cfg.rto, msg.timer_gen)
+            if ep.msg.is_none() {
+                return;
+            }
+            ep.cfg.rto
         };
         let me = this.clone();
-        eng.schedule_in(rto, move |eng| {
-            let rearm = {
-                let mut ep = me.borrow_mut();
-                match &mut ep.msg {
-                    Some(msg) if msg.timer_gen == gen => {
-                        // No progress since the timer was set: rewind.
-                        ep.stats.timeouts += 1;
-                        let msg = ep.msg.as_mut().unwrap();
-                        let outstanding = msg.next - msg.base;
-                        msg.next = msg.base;
-                        msg.timer_gen += 1;
-                        ep.stats.retransmitted += outstanding as u64;
-                        ep.pump(eng);
-                        true
-                    }
-                    Some(_) => true, // progress happened; keep watching
-                    None => false,
+        // One recurring timer per message: the timer only ever fires when
+        // the full RTO elapsed without progress (progress *reschedules* it
+        // instead of letting it fire as a no-op), rewinds, and re-arms its
+        // own node in place.
+        let h = eng.schedule_recurring_in(rto, move |eng| {
+            let mut ep = me.borrow_mut();
+            match &mut ep.msg {
+                Some(_) => {
+                    // No progress since the timer was (re)armed: rewind.
+                    ep.stats.timeouts += 1;
+                    let msg = ep.msg.as_mut().unwrap();
+                    let outstanding = msg.next - msg.base;
+                    msg.next = msg.base;
+                    ep.stats.retransmitted += outstanding as u64;
+                    ep.pump(eng);
+                    Some(eng.now().saturating_add(ep.cfg.rto))
                 }
-            };
-            if rearm {
-                Self::arm_timer(&me, eng);
+                // Completed; the handle was cancelled there, so this arm
+                // is only a backstop.
+                None => None,
             }
         });
+        this.borrow_mut().rto_timer = Some(h);
     }
 
     fn on_packet(&mut self, eng: &mut Engine, pkt: Packet) {
@@ -266,23 +280,30 @@ impl RcEndpoint {
 
     fn on_ack(&mut self, eng: &mut Engine, psn: u32, nak: bool) {
         let Some(msg) = &mut self.msg else { return };
+        let mut progress = false;
         if psn > msg.base {
             msg.base = psn;
-            msg.timer_gen += 1; // progress: reset the RTO window
+            progress = true; // progress: reset the RTO window
         }
         if nak && psn >= msg.base && psn < msg.next {
             // Go-back-N rewind: retransmit everything from the hole.
             self.stats.retransmitted += (msg.next - psn) as u64;
             msg.base = psn;
             msg.next = psn;
-            msg.timer_gen += 1;
+            progress = true;
         }
         let done = msg.base >= msg.n_pkts;
         if done {
+            if let Some(h) = self.rto_timer.take() {
+                eng.cancel(h);
+            }
             if let Some(cb) = self.msg.take().unwrap().on_complete {
                 cb(eng);
             }
         } else {
+            if progress {
+                self.bump_timer(eng);
+            }
             self.pump(eng);
         }
     }
