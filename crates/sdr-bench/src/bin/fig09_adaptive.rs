@@ -311,16 +311,15 @@ fn main() {
                 );
             }
         }
-        // The 1e-2 row carries a structural handicap no split choice can
-        // remove: loss is drawn when a packet is *posted*, so a step is
-        // invisible to the ~1.5 RTT of pre-posted pipeline (10 MiB at
-        // this geometry) and detection starts a full BDP late. Rows at or
-        // below 3e-3 track the oracle within the usual 1.3x; the 1e-2 row
-        // gets the measured structural allowance instead (1.333x with the
-        // advisor's raw split, 1.367x with the conservative one — the
-        // rule trades ~2 ms of parity overhead for immunity to the
-        // (32,4) submessage-failure mode this seed happens not to hit).
-        let bound = if p_after > 3e-3 { 1.45 } else { 1.3 };
+        // Loss is drawn at *delivery* time, so a step applies to the
+        // pre-posted pipeline the moment it lands and the estimator sees
+        // it a full BDP earlier than it did under posting-time draws
+        // (which blinded it for ~1.5 RTT of in-flight traffic). That
+        // moved the 1e-2 row from 1.367x to a measured 1.172x — the
+        // residual gap is the two-step handover (32,8) → (16,8) this row
+        // now takes as the estimator converges on the true rate. Rows at
+        // or below 3e-3 keep the usual 1.3x envelope.
+        let bound = if p_after > 3e-3 { 1.25 } else { 1.3 };
         assert!(
             ratio <= bound,
             "adaptive must stay within {bound}x of the oracle at {p_after:e}: {ratio:.3}"

@@ -10,6 +10,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::runtime::AbortReason;
+
 /// Maximum selective-ACK window carried per ACK (bits). Chosen so the whole
 /// message fits comfortably in one 4 KiB control datagram.
 pub const MAX_SACK_BITS: usize = 1024;
@@ -184,6 +186,16 @@ pub enum CtrlMsg {
         /// All segments `< below` are complete at the sender.
         below: u32,
     },
+    /// Either end → peer: this transfer is being torn down before
+    /// completion (deadline expiry or an explicit abort). Best-effort — the
+    /// datagram rides the same unreliable control path as everything else
+    /// and may be lost, which is exactly why both ends also arm their
+    /// *local* deadline timers instead of waiting to be told. Carries the
+    /// originator's reason so both ends report the same cause.
+    Abort {
+        /// Why the originator tore the transfer down.
+        reason: AbortReason,
+    },
 }
 
 const TAG_SR_ACK: u8 = 1;
@@ -195,6 +207,24 @@ const TAG_SWITCH_PROPOSE: u8 = 6;
 const TAG_SWITCH_ACK: u8 = 7;
 const TAG_TELEMETRY: u8 = 8;
 const TAG_SEG_DONE: u8 = 9;
+const TAG_ABORT: u8 = 10;
+
+fn abort_reason_to_wire(r: AbortReason) -> u8 {
+    match r {
+        AbortReason::Deadline => 0,
+        AbortReason::Requested => 1,
+        AbortReason::Peer => 2,
+    }
+}
+
+fn abort_reason_from_wire(b: u8) -> Option<AbortReason> {
+    match b {
+        0 => Some(AbortReason::Deadline),
+        1 => Some(AbortReason::Requested),
+        2 => Some(AbortReason::Peer),
+        _ => None,
+    }
+}
 
 impl CtrlMsg {
     /// Serializes to a control datagram.
@@ -263,6 +293,10 @@ impl CtrlMsg {
             CtrlMsg::SegDone { below } => {
                 b.put_u8(TAG_SEG_DONE);
                 b.put_u32_le(*below);
+            }
+            CtrlMsg::Abort { reason } => {
+                b.put_u8(TAG_ABORT);
+                b.put_u8(abort_reason_to_wire(*reason));
             }
         }
         b.freeze()
@@ -364,6 +398,14 @@ impl CtrlMsg {
                 }
                 Some(CtrlMsg::SegDone {
                     below: buf.get_u32_le(),
+                })
+            }
+            TAG_ABORT => {
+                if buf.remaining() < 1 {
+                    return None;
+                }
+                Some(CtrlMsg::Abort {
+                    reason: abort_reason_from_wire(buf.get_u8())?,
                 })
             }
             _ => None,
@@ -507,6 +549,15 @@ mod tests {
                 lost: 42,
             },
             CtrlMsg::SegDone { below: 17 },
+            CtrlMsg::Abort {
+                reason: AbortReason::Deadline,
+            },
+            CtrlMsg::Abort {
+                reason: AbortReason::Requested,
+            },
+            CtrlMsg::Abort {
+                reason: AbortReason::Peer,
+            },
         ];
         for msg in msgs {
             assert_eq!(CtrlMsg::decode(msg.encode()), Some(msg));
@@ -541,6 +592,9 @@ mod tests {
     fn malformed_datagrams_are_dropped() {
         assert_eq!(CtrlMsg::decode(Bytes::new()), None);
         assert_eq!(CtrlMsg::decode(Bytes::from_static(&[99])), None);
+        // Abort with an unknown reason byte, and a truncated abort.
+        assert_eq!(CtrlMsg::decode(Bytes::from_static(&[10, 7])), None);
+        assert_eq!(CtrlMsg::decode(Bytes::from_static(&[10])), None);
         // Truncated SR ACK.
         let mut enc = CtrlMsg::SrAck {
             cumulative: 1,

@@ -64,14 +64,14 @@ use std::rc::Rc;
 
 use sdr_core::{SdrContext, SdrQp};
 use sdr_model::{fig09_boundary_p_packet, Channel, EcConfig};
-use sdr_sim::{Engine, QpAddr, SimTime};
+use sdr_sim::{Engine, QpAddr, SimTime, TimerHandle};
 
 use crate::ack::{CtrlMsg, SchemeSpec};
 use crate::advisor::{self, Scheme};
 use crate::control::{ControlEndpoint, CtrlHandler, CtrlPath};
 use crate::ec::{EcCodeChoice, EcProtoConfig, EcReceiver, EcSender};
 use crate::gbn::{GbnProtoConfig, GbnReceiver, GbnSender};
-use crate::runtime::{tick_loop, Completion, Tick};
+use crate::runtime::{tick_loop, AbortReason, Completion, Tick, TransferOutcome};
 use crate::sr::{SrProtoConfig, SrReceiver, SrSender};
 use crate::telemetry::{ChannelEstimator, TelemetryConfig, TelemetryCounters};
 
@@ -124,6 +124,25 @@ pub struct AdaptConfig {
     pub linger_acks: u32,
     /// Seed for the advisor's stochastic candidate evaluation.
     pub seed: u64,
+    /// Optional transfer deadline, measured from each endpoint's own start
+    /// instant. When it expires before completion the endpoint aborts
+    /// locally — timers cancelled, slots released exactly once, the
+    /// completion callback fired with
+    /// [`Aborted(Deadline)`](TransferOutcome::Aborted) — and best-effort
+    /// notifies the peer with [`CtrlMsg::Abort`](crate::ack::CtrlMsg::Abort).
+    /// Both ends arm the deadline *independently*: the notify datagram
+    /// rides the same unreliable path as everything else and may die in
+    /// the very blackout that caused the miss, so neither end waits to be
+    /// told. `None` (the default) = no deadline.
+    pub deadline: Option<SimTime>,
+    /// Silence threshold for the sender's blackout detector: when no
+    /// control datagram (ACK, telemetry, anything) has arrived for this
+    /// long, the controller enters blackout mode — it decays the
+    /// estimator's confidence once (a pre-outage loss estimate says
+    /// nothing about the channel that comes back) and proposes no
+    /// handovers until traffic resumes and the estimator re-earns
+    /// confidence on post-heal observations.
+    pub blackout_after: SimTime,
 }
 
 impl AdaptConfig {
@@ -143,6 +162,8 @@ impl AdaptConfig {
             telemetry: TelemetryConfig::default(),
             linger_acks: 25,
             seed: 0x5D12,
+            deadline: None,
+            blackout_after: rtt * 8,
         }
     }
 
@@ -343,6 +364,15 @@ pub struct AdaptReport {
     pub history: Vec<(SimTime, u32, SchemeSpec)>,
     /// Scheme the transfer finished under.
     pub final_spec: SchemeSpec,
+    /// How the transfer ended: delivered, or aborted (deadline, local
+    /// request, or peer notification) with `segments` counting only the
+    /// segments that fully completed.
+    pub outcome: TransferOutcome,
+    /// Repair effort summed over completed segments: chunks retransmitted
+    /// (SR/GBN) plus fallback repair rounds (EC). The survivability
+    /// bound: a transfer crossing an outage of length `T` needs only
+    /// `O(log(T / rto))` resends per in-flight chunk under RTO backoff.
+    pub retransmits: u64,
 }
 
 /// An in-flight handover handshake (sender side).
@@ -399,14 +429,26 @@ struct TxInner {
     next_seq: u32,
     proposals: u64,
     switches: u64,
+    retransmits: u64,
     history: Vec<(SimTime, u32, SchemeSpec)>,
     completion: Completion<AdaptReport>,
+    /// The controller loop's timer (cancelled on abort so the engine
+    /// drains immediately instead of ticking to the next cadence point).
+    ctl_timer: Option<TimerHandle>,
+    /// The armed deadline (cancelled at natural completion so the engine
+    /// does not idle until a far-future no-op firing).
+    deadline_timer: Option<TimerHandle>,
+    /// Blackout edge state: set on the silence threshold crossing (with a
+    /// one-time confidence decay), cleared when traffic resumes.
+    in_blackout: bool,
 }
 
 /// The adaptive sender: runs the transfer as a receiver-throttled pipeline
 /// of segments under the currently-committed scheme and hosts the
 /// controller loop that re-advises and proposes handovers. Construct with
-/// [`AdaptiveController::start_sender`].
+/// [`AdaptiveController::start_sender`]. Cloning yields another handle
+/// to the same transfer (cheap `Rc` semantics).
+#[derive(Clone)]
 pub struct AdaptiveSender {
     inner: Rc<RefCell<TxInner>>,
 }
@@ -472,10 +514,16 @@ impl AdaptiveController {
             next_seq: 1,
             proposals: 0,
             switches: 0,
+            retransmits: 0,
             history: Vec::new(),
             completion: Completion::new(done),
+            ctl_timer: None,
+            deadline_timer: None,
+            in_blackout: false,
         }));
         inner.borrow_mut().completion.mark_started(eng.now());
+        // The blackout detector measures silence from a defined instant.
+        inner.borrow().est.borrow_mut().note_progress(eng.now());
 
         // Master control handler: epoch-gate scheme traffic, absorb
         // telemetry, drive the handshake.
@@ -490,7 +538,19 @@ impl AdaptiveController {
         // The controller loop: create credited segments, re-advise, heal
         // proposals.
         let me = inner.clone();
-        tick_loop(eng, decide, move |eng| Self::control_tick(&me, eng));
+        let ctl = tick_loop(eng, decide, move |eng| Self::control_tick(&me, eng));
+        inner.borrow_mut().ctl_timer = Some(ctl);
+
+        // The local deadline: fires a full abort (peer notified
+        // best-effort; it arms its own copy independently).
+        let deadline = inner.borrow().cfg.deadline;
+        if let Some(d) = deadline {
+            let me = inner.clone();
+            let h = eng.schedule_in_handle(d, move |eng| {
+                Self::tx_abort(&me, eng, AbortReason::Deadline, true);
+            });
+            inner.borrow_mut().deadline_timer = Some(h);
+        }
         AdaptiveSender { inner }
     }
 
@@ -534,6 +594,7 @@ impl AdaptiveController {
         let sender = match spec {
             SchemeSpec::SrRto | SchemeSpec::SrNack => {
                 let proto = sr_proto(&spec, &cfg);
+                let acc = inner.clone();
                 SegSender::Sr(SrSender::start_with_telemetry(
                     eng,
                     &qp,
@@ -543,11 +604,15 @@ impl AdaptiveController {
                     len,
                     proto,
                     Some(est),
-                    move |eng, _rep| seg_done(eng),
+                    move |eng, rep| {
+                        acc.borrow_mut().retransmits += rep.retransmitted;
+                        seg_done(eng)
+                    },
                 ))
             }
             SchemeSpec::EcMds { .. } | SchemeSpec::EcXor { .. } => {
                 let proto = ec_proto(&spec, &cfg, &qp, len);
+                let acc = inner.clone();
                 SegSender::Ec(EcSender::start(
                     eng,
                     &qp,
@@ -557,11 +622,15 @@ impl AdaptiveController {
                     addr,
                     len,
                     proto,
-                    move |eng, _rep| seg_done(eng),
+                    move |eng, rep| {
+                        acc.borrow_mut().retransmits += rep.fallback_rounds;
+                        seg_done(eng)
+                    },
                 ))
             }
             SchemeSpec::Gbn => {
                 let proto = gbn_proto(&cfg, &qp);
+                let acc = inner.clone();
                 SegSender::Gbn(GbnSender::start(
                     eng,
                     &qp,
@@ -570,7 +639,10 @@ impl AdaptiveController {
                     addr,
                     len,
                     proto,
-                    move |eng, _rep| seg_done(eng),
+                    move |eng, rep| {
+                        acc.borrow_mut().retransmits += rep.retransmitted;
+                        seg_done(eng)
+                    },
                 ))
             }
         };
@@ -592,7 +664,11 @@ impl AdaptiveController {
             let create = {
                 let i = inner.borrow();
                 let e = i.next_create;
-                (e as usize) < i.segs.len()
+                // A late in-flight credit or ACK must not resurrect an
+                // aborted transfer: a segment created after teardown has
+                // nobody left to abort its timers.
+                !i.completion.is_done()
+                    && (e as usize) < i.segs.len()
                     && i.qp.has_cts(i.next_first_seq)
                     && i.qp.next_send_seq() == i.next_first_seq
                     && !matches!(&i.pending, Some(p) if !p.acked && p.epoch <= e)
@@ -618,7 +694,7 @@ impl AdaptiveController {
             i.done_count as usize == i.segs.len()
         };
         if finished {
-            let cb = {
+            let (cb, timer) = {
                 let mut i = inner.borrow_mut();
                 let report = AdaptReport {
                     duration: i.completion.elapsed(eng.now()),
@@ -627,9 +703,17 @@ impl AdaptiveController {
                     switches: i.switches,
                     history: i.history.clone(),
                     final_spec: i.current_spec,
+                    outcome: TransferOutcome::Delivered,
+                    retransmits: i.retransmits,
                 };
-                i.completion.finish().map(|cb| (cb, report))
+                let cb = i.completion.finish().map(|cb| (cb, report));
+                (cb, i.deadline_timer.take())
             };
+            // The deadline lost the race to completion: cancel it so the
+            // engine drains now instead of idling to a no-op firing.
+            if let Some(t) = timer {
+                eng.cancel(t);
+            }
             // Final completion watermark: the receiver may quiesce every
             // lingering driver (loss of this one is healed by the linger
             // countdown backstop).
@@ -647,7 +731,78 @@ impl AdaptiveController {
         }
     }
 
+    /// Tears the sender down before completion: the completion is marked
+    /// finished *first* (so the segment aborts below hit the is-done guard
+    /// in [`tx_on_segment_done`](Self::tx_on_segment_done) instead of
+    /// corrupting counts), then every live segment sender is aborted
+    /// (stream quiesced, scheme timers cancelled), the controller and
+    /// deadline timers are cancelled, the peer is notified best-effort
+    /// (when `notify_peer`), and the user callback fires with
+    /// [`Aborted(reason)`](TransferOutcome::Aborted). Returns `false` if
+    /// the transfer had already finished.
+    fn tx_abort(
+        inner: &Rc<RefCell<TxInner>>,
+        eng: &mut Engine,
+        reason: AbortReason,
+        notify_peer: bool,
+    ) -> bool {
+        let (cb, live, timers) = {
+            let mut i = inner.borrow_mut();
+            if i.completion.is_done() {
+                return false;
+            }
+            let report = AdaptReport {
+                duration: i.completion.elapsed(eng.now()),
+                segments: i.done_count,
+                proposals: i.proposals,
+                switches: i.switches,
+                history: i.history.clone(),
+                final_spec: i.current_spec,
+                outcome: TransferOutcome::Aborted(reason),
+                retransmits: i.retransmits,
+            };
+            let cb = i.completion.finish().map(|cb| (cb, report));
+            let live = std::mem::take(&mut i.live);
+            let timers = [i.ctl_timer.take(), i.deadline_timer.take()];
+            (cb, live, timers)
+        };
+        for t in timers.into_iter().flatten() {
+            eng.cancel(t);
+        }
+        for seg in &live {
+            match &seg.sender {
+                SegSender::Sr(s) => {
+                    s.abort(eng, reason);
+                }
+                SegSender::Ec(s) => {
+                    s.abort(eng, reason);
+                }
+                SegSender::Gbn(s) => {
+                    s.abort(eng, reason);
+                }
+            }
+        }
+        drop(live);
+        if notify_peer {
+            let (ep, peer) = {
+                let i = inner.borrow();
+                (i.ep.clone(), i.peer)
+            };
+            ep.send(eng, peer, &CtrlMsg::Abort { reason });
+        }
+        if let Some((cb, report)) = cb {
+            cb(eng, report);
+        }
+        true
+    }
+
     fn tx_on_ctrl(inner: &Rc<RefCell<TxInner>>, eng: &mut Engine, src: QpAddr, msg: CtrlMsg) {
+        // Any datagram from the peer proves the channel is alive — feed
+        // the blackout detector before dispatching.
+        {
+            let i = inner.borrow();
+            i.est.borrow_mut().note_progress(eng.now());
+        }
         match msg {
             CtrlMsg::Seg { epoch, inner: m } => {
                 let gate = {
@@ -670,6 +825,11 @@ impl AdaptiveController {
                     .absorb_report(TelemetryCounters { seen, lost });
             }
             CtrlMsg::SwitchAck { seq, epoch } => Self::tx_on_switch_ack(inner, eng, seq, epoch),
+            CtrlMsg::Abort { reason } => {
+                // The peer already tore down; propagate its reason so both
+                // ends report the same cause (and do not notify back).
+                Self::tx_abort(inner, eng, reason, false);
+            }
             _ => {}
         }
     }
@@ -733,6 +893,19 @@ impl AdaptiveController {
             return Tick::Stop;
         }
         let now = eng.now();
+        // Blackout edge detection: prolonged control-path silence (no
+        // ACKs, no telemetry, nothing) means the channel is dark, not
+        // merely lossy. On entry the estimator's confidence is decayed
+        // exactly once — the pre-outage loss estimate says nothing about
+        // the channel that comes back — which also closes the proposal
+        // gates below until post-heal traffic re-earns confidence.
+        let dark = i.est.borrow().blackout(now, i.cfg.blackout_after);
+        if dark && !i.in_blackout {
+            i.in_blackout = true;
+            i.est.borrow_mut().decay_confidence();
+        } else if !dark && i.in_blackout {
+            i.in_blackout = false;
+        }
         // Heal an in-flight handshake: re-propose until acked, paced at
         // the nominal RTT — an ACK cannot possibly have returned sooner,
         // so re-sending every controller tick would only burn datagrams
@@ -751,6 +924,11 @@ impl AdaptiveController {
                 let (ep, peer) = (i.ep.clone(), i.peer);
                 ep.send(eng, peer, &msg);
             }
+            return Tick::Again;
+        }
+        if i.in_blackout {
+            // A dark channel: nothing to learn from, nothing worth
+            // proposing into (the handshake could not complete anyway).
             return Tick::Again;
         }
         // Re-advise against the live estimate for the bytes not yet
@@ -894,6 +1072,31 @@ impl AdaptiveSender {
         self.inner.borrow().switches
     }
 
+    /// True while a handover handshake is in flight (proposed, not yet
+    /// acked) — the window where an abort must tear down a half-committed
+    /// switch.
+    pub fn has_pending_switch(&self) -> bool {
+        self.inner
+            .borrow()
+            .pending
+            .as_ref()
+            .is_some_and(|p| !p.acked)
+    }
+
+    /// True while the sender's blackout detector is tripped.
+    pub fn in_blackout(&self) -> bool {
+        self.inner.borrow().in_blackout
+    }
+
+    /// Aborts the transfer now: live segment senders quiesce, the
+    /// controller and deadline timers are cancelled, the peer is notified
+    /// best-effort, and the completion callback fires exactly once with
+    /// [`Aborted(reason)`](TransferOutcome::Aborted). Returns `false` if
+    /// the transfer had already finished (delivered or aborted).
+    pub fn abort(&self, eng: &mut Engine, reason: AbortReason) -> bool {
+        AdaptiveController::tx_abort(&self.inner, eng, reason, true)
+    }
+
     /// Reads the sender-side channel estimator.
     pub fn estimator<R>(&self, f: impl FnOnce(&ChannelEstimator) -> R) -> R {
         f(&self.inner.borrow().est.borrow())
@@ -911,6 +1114,9 @@ pub struct AdaptRecvReport {
     pub segments: u32,
     /// Handovers applied.
     pub switches: u64,
+    /// How the transfer ended on this side: delivered, or aborted with
+    /// `segments` counting only the segments fully received.
+    pub outcome: TransferOutcome,
 }
 
 enum SegReceiver {
@@ -968,13 +1174,19 @@ struct RxInner {
     switches: u64,
     done_at: Option<SimTime>,
     done_cb: Option<Box<dyn FnOnce(&mut Engine, SimTime, AdaptRecvReport)>>,
+    /// The housekeeping loop's timer (cancelled on abort).
+    hk_timer: Option<TimerHandle>,
+    /// The armed deadline (cancelled at natural completion).
+    deadline_timer: Option<TimerHandle>,
 }
 
 /// The adaptive receiver: posts segments under the committed scheme with a
 /// pipeline lead so the wire stays full across boundaries, feeds the
 /// channel estimator from every bitmap poll, ships telemetry reports, and
 /// answers handover proposals. Construct with
-/// [`AdaptiveController::start_receiver`].
+/// [`AdaptiveController::start_receiver`]. Cloning yields another handle
+/// to the same transfer (cheap `Rc` semantics).
+#[derive(Clone)]
 pub struct AdaptiveReceiver {
     inner: Rc<RefCell<RxInner>>,
 }
@@ -1018,6 +1230,8 @@ impl AdaptiveController {
             switches: 0,
             done_at: None,
             done_cb: Some(Box::new(done)),
+            hk_timer: None,
+            deadline_timer: None,
         }));
 
         // Master handler: only handover proposals arrive here (scheme
@@ -1031,8 +1245,73 @@ impl AdaptiveController {
         // Housekeeping loop: telemetry reports, pipeline refills, quiescing
         // of drained predecessors.
         let me = inner.clone();
-        tick_loop(eng, telemetry_interval, move |eng| Self::rx_tick(&me, eng));
+        let hk = tick_loop(eng, telemetry_interval, move |eng| Self::rx_tick(&me, eng));
+        inner.borrow_mut().hk_timer = Some(hk);
+
+        // The receiver arms the deadline independently of the sender: the
+        // sender's Abort notify may die in the very outage that caused
+        // the miss, and without a local deadline the housekeeping loop
+        // would tick forever.
+        let deadline = inner.borrow().cfg.deadline;
+        if let Some(d) = deadline {
+            let me = inner.clone();
+            let h = eng.schedule_in_handle(d, move |eng| {
+                Self::rx_abort(&me, eng, AbortReason::Deadline, true);
+            });
+            inner.borrow_mut().deadline_timer = Some(h);
+        }
         AdaptiveReceiver { inner }
+    }
+
+    /// Receiver-side teardown before completion: `done_at` is stamped
+    /// *first* (so segment-completion callbacks racing in via
+    /// [`rx_on_segment_done`](Self::rx_on_segment_done) hit its guard),
+    /// then every live driver quiesces — slots released exactly once,
+    /// scheme tick timers cancelled — the housekeeping and deadline
+    /// timers are cancelled, the peer is notified best-effort (when
+    /// `notify_peer`), and the user callback fires with
+    /// [`Aborted(reason)`](TransferOutcome::Aborted). Returns `false` if
+    /// the transfer had already finished.
+    fn rx_abort(
+        inner: &Rc<RefCell<RxInner>>,
+        eng: &mut Engine,
+        reason: AbortReason,
+        notify_peer: bool,
+    ) -> bool {
+        let (cb, live, timers) = {
+            let mut i = inner.borrow_mut();
+            if i.done_at.is_some() {
+                return false;
+            }
+            i.done_at = Some(eng.now());
+            let report = AdaptRecvReport {
+                segments: i.done_segments,
+                switches: i.switches,
+                outcome: TransferOutcome::Aborted(reason),
+            };
+            let cb = i.done_cb.take().map(|cb| (cb, report));
+            let live = std::mem::take(&mut i.live);
+            let timers = [i.hk_timer.take(), i.deadline_timer.take()];
+            (cb, live, timers)
+        };
+        for t in timers.into_iter().flatten() {
+            eng.cancel(t);
+        }
+        for seg in &live {
+            seg.recv.quiesce(eng);
+        }
+        drop(live);
+        if notify_peer {
+            let (ep, peer) = {
+                let i = inner.borrow();
+                (i.ep.clone(), i.peer)
+            };
+            ep.send(eng, peer, &CtrlMsg::Abort { reason });
+        }
+        if let Some((cb, report)) = cb {
+            cb(eng, eng.now(), report);
+        }
+        true
     }
 
     /// Posts segments while the outstanding (posted-but-unobserved) data
@@ -1047,7 +1326,8 @@ impl AdaptiveController {
             let start = {
                 let i = inner.borrow();
                 let e = i.next_start as usize;
-                if e >= i.segs.len() {
+                // No segment starts after teardown (see tx_pump_segments).
+                if i.done_at.is_some() || e >= i.segs.len() {
                     return;
                 }
                 let lead = i.cfg.lead_packets(&i.qp);
@@ -1179,15 +1459,22 @@ impl AdaptiveController {
             i.done_segments as usize == i.segs.len()
         };
         if finished {
-            let cb = {
+            let (cb, timer) = {
                 let mut i = inner.borrow_mut();
                 i.done_at = Some(eng.now());
                 let report = AdaptRecvReport {
                     segments: i.segs.len() as u32,
                     switches: i.switches,
+                    outcome: TransferOutcome::Delivered,
                 };
-                i.done_cb.take().map(|cb| (cb, report))
+                (
+                    i.done_cb.take().map(|cb| (cb, report)),
+                    i.deadline_timer.take(),
+                )
             };
+            if let Some(t) = timer {
+                eng.cancel(t);
+            }
             if let Some((cb, report)) = cb {
                 cb(eng, eng.now(), report);
             }
@@ -1198,6 +1485,12 @@ impl AdaptiveController {
     }
 
     fn rx_on_ctrl(inner: &Rc<RefCell<RxInner>>, eng: &mut Engine, _src: QpAddr, msg: CtrlMsg) {
+        if let CtrlMsg::Abort { reason } = msg {
+            // The sender already tore down; propagate its reason so both
+            // ends report the same cause (and do not notify back).
+            Self::rx_abort(inner, eng, reason, false);
+            return;
+        }
         if let CtrlMsg::SegDone { below } = msg {
             // The sender finished these segments: their lingering drivers
             // have nothing left to re-ACK — quiesce them (slots release
@@ -1303,6 +1596,16 @@ impl AdaptiveReceiver {
     /// Handovers applied so far.
     pub fn switches(&self) -> u64 {
         self.inner.borrow().switches
+    }
+
+    /// Aborts the receiving half now: live drivers quiesce (slots
+    /// released exactly once), the housekeeping and deadline timers are
+    /// cancelled, the peer is notified best-effort, and the completion
+    /// callback fires exactly once with
+    /// [`Aborted(reason)`](TransferOutcome::Aborted). Returns `false` if
+    /// the transfer had already finished (delivered or aborted).
+    pub fn abort(&self, eng: &mut Engine, reason: AbortReason) -> bool {
+        AdaptiveController::rx_abort(&self.inner, eng, reason, true)
     }
 
     /// Reads the receiver-side channel estimator.

@@ -52,7 +52,9 @@ use sdr_sim::{Engine, QpAddr, SimTime};
 
 use crate::ack::CtrlMsg;
 use crate::control::CtrlPath;
-use crate::runtime::{begin_on_cts, wire_ctrl, Completion, RxCommon, RxDriver, RxScheme};
+use crate::runtime::{
+    begin_on_cts, wire_ctrl, AbortReason, Completion, RxCommon, RxDriver, RxScheme, TransferOutcome,
+};
 use crate::telemetry::ChannelEstimator;
 
 /// Which erasure code protects the submessages.
@@ -281,6 +283,9 @@ pub struct EcReport {
     /// [`EcStaging::Upfront`] pays the full parity encode here;
     /// [`EcStaging::Streamed`] pays ~one pool submission.
     pub ttfb_wall: Duration,
+    /// How the transfer ended ([`TransferOutcome::Aborted`] after
+    /// [`EcSender::abort`]; `duration` then covers start → abort).
+    pub outcome: TransferOutcome,
 }
 
 struct EcSenderInner {
@@ -587,12 +592,43 @@ impl EcSender {
             duration: i.completion.elapsed(eng.now()),
             fallback_rounds: i.fallback_rounds,
             ttfb_wall: i.ttfb_wall.unwrap_or_default(),
+            outcome: TransferOutcome::Delivered,
         };
         let _ = &i.ctx; // staging buffer lives for the simulation's duration
         if let Some(cb) = i.completion.finish() {
             drop(i);
             cb(eng, report);
         }
+    }
+
+    /// Tears the transfer down now: every open data stream is ended, no
+    /// further CTS credit will pump a send, and the done callback fires
+    /// with [`TransferOutcome::Aborted`]. Idempotent — returns `false`
+    /// when the transfer already completed or aborted. (EC keeps no
+    /// sender-side retransmission timer; the FTO lives on the receiver,
+    /// whose teardown is [`EcReceiver::quiesce`].)
+    pub fn abort(&self, eng: &mut Engine, reason: AbortReason) -> bool {
+        let (cb, report) = {
+            let mut i = self.inner.borrow_mut();
+            if i.completion.is_done() {
+                return false;
+            }
+            for hdl in i.data_hdls.iter().flatten() {
+                let _ = i.qp.send_stream_end(hdl);
+            }
+            let report = EcReport {
+                duration: i.completion.elapsed(eng.now()),
+                fallback_rounds: i.fallback_rounds,
+                ttfb_wall: i.ttfb_wall.unwrap_or_default(),
+                outcome: TransferOutcome::Aborted(reason),
+            };
+            let Some(cb) = i.completion.finish() else {
+                return false;
+            };
+            (cb, report)
+        };
+        cb(eng, report);
+        true
     }
 }
 

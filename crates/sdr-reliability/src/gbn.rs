@@ -30,8 +30,8 @@ use sdr_sim::{Engine, QpAddr, SimTime, TimerHandle};
 use crate::ack::CtrlMsg;
 use crate::control::CtrlPath;
 use crate::runtime::{
-    begin_on_cts, tick_loop, wire_ctrl, ChunkTimers, Completion, RxCommon, RxDriver, RxScheme,
-    StreamTx, Tick,
+    begin_on_cts, tick_loop, wire_ctrl, AbortReason, ChunkTimers, Completion, RxCommon, RxDriver,
+    RxScheme, StreamTx, Tick, TransferOutcome, RTO_BACKOFF_CAP,
 };
 use crate::telemetry::ChannelEstimator;
 
@@ -79,6 +79,9 @@ pub struct GbnReport {
     pub rewinds: u64,
     /// ACK datagrams processed.
     pub acks: u64,
+    /// How the transfer ended ([`TransferOutcome::Aborted`] after
+    /// [`GbnSender::abort`]; `duration` then covers start → abort).
+    pub outcome: TransferOutcome,
 }
 
 struct SenderInner {
@@ -90,6 +93,10 @@ struct SenderInner {
     /// consecutive holes serialize one RTO each (exactly what the model
     /// charges per drop).
     timer_armed_at: SimTime,
+    /// RTO backoff exponent: each rewind doubles the effective RTO (capped
+    /// at [`RTO_BACKOFF_CAP`]); a base advance resets it — so a blackout
+    /// costs O(log outage/RTO) window rewinds instead of outage/RTO.
+    backoff: u32,
     /// The base-timer loop: sleeps to `timer_armed_at + rto`
     /// ([`Tick::Until`]), is pushed out by ack-restarts and cancelled at
     /// completion.
@@ -98,6 +105,13 @@ struct SenderInner {
     rewinds: u64,
     acks: u64,
     completion: Completion<GbnReport>,
+}
+
+impl SenderInner {
+    /// The base RTO scaled by the current backoff exponent.
+    fn rto_effective(&self) -> SimTime {
+        self.cfg.rto * (1u64 << self.backoff)
+    }
 }
 
 /// The GBN sender protocol object.
@@ -126,6 +140,7 @@ impl GbnSender {
             timers: ChunkTimers::new(total_chunks),
             cfg,
             timer_armed_at: SimTime::ZERO,
+            backoff: 0,
             tick: None,
             retransmitted: 0,
             rewinds: 0,
@@ -146,6 +161,36 @@ impl GbnSender {
     /// True once the final ACK has been processed.
     pub fn is_done(&self) -> bool {
         self.inner.borrow().completion.is_done()
+    }
+
+    /// Tears the transfer down now: the base-timer loop is cancelled, the
+    /// stream slot is quiesced (exactly once), and the done callback fires
+    /// with [`TransferOutcome::Aborted`]. Idempotent — returns `false`
+    /// when the transfer already completed or aborted.
+    pub fn abort(&self, eng: &mut Engine, reason: AbortReason) -> bool {
+        let (cb, report) = {
+            let mut i = self.inner.borrow_mut();
+            if i.completion.is_done() {
+                return false;
+            }
+            i.stream.quiesce();
+            if let Some(h) = i.tick.take() {
+                eng.cancel(h);
+            }
+            let report = GbnReport {
+                duration: i.completion.elapsed(eng.now()),
+                retransmitted: i.retransmitted,
+                rewinds: i.rewinds,
+                acks: i.acks,
+                outcome: TransferOutcome::Aborted(reason),
+            };
+            let Some(cb) = i.completion.finish() else {
+                return false;
+            };
+            (cb, report)
+        };
+        cb(eng, report);
+        true
     }
 
     fn try_begin(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> bool {
@@ -184,18 +229,22 @@ impl GbnSender {
             return Tick::Stop;
         }
         let now = eng.now();
-        let (rto, window) = (i.cfg.rto, i.cfg.window_chunks);
+        let window = i.cfg.window_chunks;
         let Some(base) = i.timers.first_unacked() else {
             // All acked; the ACK handler is about to complete and cancel.
             return Tick::Stop;
         };
-        if now.saturating_sub(i.timer_armed_at) >= rto {
+        // Effective RTO: doubled per rewind while the base is not moving
+        // (capped), reset by the ack-restart in `on_ack` — the exponential
+        // backoff that keeps a blackout from charging one rewind per RTO.
+        if now.saturating_sub(i.timer_armed_at) >= i.rto_effective() {
             let sent = i.stream.resend_window(eng, base, window);
             i.timer_armed_at = now;
+            i.backoff = (i.backoff + 1).min(RTO_BACKOFF_CAP);
             i.retransmitted += sent as u64;
             i.rewinds += 1;
         }
-        Tick::Until(i.timer_armed_at.saturating_add(rto))
+        Tick::Until(i.timer_armed_at.saturating_add(i.rto_effective()))
     }
 
     fn on_ack(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine, cumulative: u32) {
@@ -211,6 +260,8 @@ impl GbnSender {
         // out to the new deadline.
         if i.timers.first_unacked() != base_before {
             i.timer_armed_at = eng.now();
+            // Progress restarts the backoff along with the timer.
+            i.backoff = 0;
             if let Some(h) = i.tick {
                 let at = i.timer_armed_at.saturating_add(i.cfg.rto);
                 let _ = eng.reschedule(h, at);
@@ -226,6 +277,7 @@ impl GbnSender {
                 retransmitted: i.retransmitted,
                 rewinds: i.rewinds,
                 acks: i.acks,
+                outcome: TransferOutcome::Delivered,
             };
             if let Some(cb) = i.completion.finish() {
                 drop(i);

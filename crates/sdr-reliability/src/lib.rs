@@ -59,6 +59,46 @@
 //! protocol-vs-model differential and the adaptive switchover suite) and
 //! in the workspace `tests/` directory do.
 //!
+//! ## Failure semantics
+//!
+//! Channels do not just drop packets — they go dark (`sdr-sim`'s fault
+//! fabric scripts blackouts, flaps and loss steps against in-flight
+//! traffic). The crate's survivability contract has four parts:
+//!
+//! * **RTO backoff.** Every retransmission clock — [`ChunkTimers`] for SR,
+//!   the single base timer in GBN — backs off exponentially while timeouts
+//!   fire without ACK progress, capped at
+//!   2^[`RTO_BACKOFF_CAP`](runtime::RTO_BACKOFF_CAP) × the base RTO, and
+//!   resets to the base RTO on any newly-acked chunk. On a merely lossy
+//!   channel ACKs flow every RTT, so backoff stays pinned at zero and
+//!   behavior matches a fixed-RTO scheme; only true silence (a blackout)
+//!   climbs the exponent, bounding resends per chunk to O(log outage/RTO)
+//!   instead of outage/RTO. Karn's rule still governs RTT *sampling*
+//!   (only never-retransmitted chunks contribute samples).
+//! * **Deadlines and abort.** Every transfer can end two ways, captured by
+//!   [`TransferOutcome`](runtime::TransferOutcome): `Delivered`, or
+//!   `Aborted(reason)` ([`AbortReason`](runtime::AbortReason)). An abort —
+//!   deadline expiry, an explicit [`AdaptiveSender::abort`] /
+//!   [`AdaptiveReceiver::abort`], or a peer's
+//!   [`CtrlMsg::Abort`](ack::CtrlMsg::Abort) notification — is a clean
+//!   local teardown: scheme timers cancelled, receive slots released
+//!   exactly once, the completion callback fired exactly once, zero
+//!   events left pending. The [`AdaptConfig::deadline`](adapt::AdaptConfig)
+//!   is armed *independently on both ends*, because the abort notification
+//!   rides the same unreliable control path as everything else and may die
+//!   in the very outage that caused the miss.
+//! * **Blackout detection.** The sender's [`ChannelEstimator`] doubles as
+//!   a liveness monitor: any peer datagram notes progress, and silence
+//!   past [`AdaptConfig::blackout_after`](adapt::AdaptConfig) trips the
+//!   controller into blackout mode — the estimator's confidence is decayed
+//!   once (a pre-outage loss estimate says nothing about the healed
+//!   channel) and no handovers are proposed until post-heal traffic
+//!   re-earns confidence.
+//! * **Chaos conformance.** The `chaos_soak` suite drives random transfers
+//!   under proptest-generated fault plans and asserts the dichotomy: every
+//!   run either delivers byte-identical data within its deadline or aborts
+//!   cleanly on both ends with no leaked slots, timers or pending events.
+//!
 //! [`RxDriver`]: runtime::RxDriver
 //! [`CtrlMsg::SwitchPropose`]: ack::CtrlMsg::SwitchPropose
 //! [`CtrlMsg::SwitchAck`]: ack::CtrlMsg::SwitchAck
@@ -84,7 +124,10 @@ pub use advisor::{recommend, Candidate, Recommendation, Scheme};
 pub use control::{ControlEndpoint, CtrlPath};
 pub use ec::{EcCodeChoice, EcProtoConfig, EcReceiver, EcRecvStats, EcReport, EcSender, EcStaging};
 pub use gbn::{GbnProtoConfig, GbnReceiver, GbnReport, GbnSender};
-pub use runtime::{ChunkTimers, Completion, RxCommon, RxDriver, RxScheme, StreamTx};
+pub use runtime::{
+    AbortReason, ChunkTimers, Completion, RxCommon, RxDriver, RxScheme, StreamTx, TransferOutcome,
+    RTO_BACKOFF_CAP,
+};
 pub use sr::{SrProtoConfig, SrReceiver, SrReport, SrSender};
 pub use telemetry::{ChannelEstimator, TelemetryConfig, TelemetryCounters};
 

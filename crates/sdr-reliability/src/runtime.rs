@@ -49,6 +49,65 @@ use crate::control::CtrlPath;
 use crate::telemetry::{ChannelEstimator, FirstPassCursor};
 
 // ---------------------------------------------------------------------------
+// Failure semantics
+// ---------------------------------------------------------------------------
+
+/// Maximum retransmission-timeout backoff exponent: an unacknowledged
+/// timeout at most doubles the effective RTO this many times (a 64× cap),
+/// mirroring `sdr_sim::rc::RTO_BACKOFF_CAP`. The cap bounds the post-heal
+/// discovery latency after a long blackout while still collapsing the
+/// retransmission storm to O(log blackout / RTO) copies per chunk.
+pub const RTO_BACKOFF_CAP: u32 = 6;
+
+/// Why a transfer ended without delivering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The transfer's deadline expired before delivery.
+    Deadline,
+    /// The local application tore the transfer down.
+    Requested,
+    /// The peer announced an abort on the control path.
+    Peer,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::Deadline => write!(f, "deadline"),
+            AbortReason::Requested => write!(f, "requested"),
+            AbortReason::Peer => write!(f, "peer"),
+        }
+    }
+}
+
+/// How a transfer ended: delivered byte-identical, or aborted with a
+/// reason. Every scheme report carries one, so an aborted transfer reports
+/// `Aborted{reason}` instead of hanging its completion callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// Every byte was delivered and acknowledged.
+    Delivered,
+    /// The transfer was torn down before delivery.
+    Aborted(AbortReason),
+}
+
+impl TransferOutcome {
+    /// True for the delivered outcome.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, TransferOutcome::Delivered)
+    }
+}
+
+impl std::fmt::Display for TransferOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferOutcome::Delivered => write!(f, "delivered"),
+            TransferOutcome::Aborted(r) => write!(f, "aborted({r})"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Timer management
 // ---------------------------------------------------------------------------
 
@@ -99,11 +158,21 @@ pub fn tick_loop(
 // ---------------------------------------------------------------------------
 
 /// Per-chunk retransmission state for ARQ senders: acked flags, last-send
-/// stamps and a monotone first-unacked cursor.
+/// stamps, a monotone first-unacked cursor and an exponential RTO backoff.
 ///
 /// Acks are monotone while a message is live, so the cursor never rewinds —
 /// the expiry scan and `first_unacked` are amortized O(1) per chunk over
 /// the transfer, not O(total) per tick.
+///
+/// **Backoff**: each expiry scan that retransmits anything doubles the
+/// effective timeout (`base << backoff`, capped at [`RTO_BACKOFF_CAP`]);
+/// any ACK progress (a chunk newly acked) resets it. On a live channel
+/// ACKs flow every RTT, so the backoff stays at zero and behavior matches
+/// a fixed RTO; during a blackout no ACKs arrive, the scan cadence decays
+/// geometrically, and each chunk is retransmitted O(log outage/RTO) times
+/// instead of outage/RTO times. Karn's rule still governs RTT *sampling*
+/// ([`rtt_sample`](Self::rtt_sample)) — only never-retransmitted chunks
+/// yield samples.
 pub struct ChunkTimers {
     acked: Vec<bool>,
     acked_count: usize,
@@ -112,6 +181,8 @@ pub struct ChunkTimers {
     /// round-trips are ambiguous (Karn's rule) and never yield RTT samples.
     resent: Vec<bool>,
     cursor: usize,
+    /// Current RTO backoff exponent (`0..=RTO_BACKOFF_CAP`).
+    backoff: u32,
 }
 
 impl ChunkTimers {
@@ -123,7 +194,18 @@ impl ChunkTimers {
             last_sent: vec![SimTime::ZERO; total],
             resent: vec![false; total],
             cursor: 0,
+            backoff: 0,
         }
+    }
+
+    /// The current backoff exponent (zero while ACKs keep arriving).
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+
+    /// The effective retransmission timeout: `base << backoff`.
+    pub fn effective_timeout(&self, base: SimTime) -> SimTime {
+        SimTime(base.0.saturating_mul(1u64 << self.backoff))
     }
 
     /// Total chunks tracked.
@@ -155,11 +237,16 @@ impl ChunkTimers {
     }
 
     /// Marks chunk `c` acked; returns `true` when it was newly acked.
-    /// Out-of-range indices (a stale or corrupt ACK) are ignored.
+    /// Out-of-range indices (a stale or corrupt ACK) are ignored. Any new
+    /// ack is forward progress, so it resets the RTO backoff (the
+    /// Karn-compliant *restart*: the retransmission clock returns to the
+    /// base timeout, while RTT sampling stays governed by
+    /// [`rtt_sample`](Self::rtt_sample)'s never-retransmitted rule).
     pub fn mark_acked(&mut self, c: usize) -> bool {
         if c < self.acked.len() && !self.acked[c] {
             self.acked[c] = true;
             self.acked_count += 1;
+            self.backoff = 0;
             true
         } else {
             false
@@ -197,12 +284,15 @@ impl ChunkTimers {
         }
     }
 
-    /// Calls `f` for every unacked chunk whose `timeout` expired at `now`,
-    /// stamping each as resent-now (the periodic RTO scan). Returns the
-    /// earliest next expiry among the chunks still unacked after the scan
-    /// (`None` once everything is acked) — the deadline the sender's tick
-    /// loop sleeps to instead of polling, computed for free in the same
-    /// pass the scan already makes.
+    /// Calls `f` for every unacked chunk whose timeout expired at `now`,
+    /// stamping each as resent-now (the periodic RTO scan). The timeout in
+    /// effect is `timeout << backoff`; a scan that retransmits anything
+    /// doubles the backoff (capped at [`RTO_BACKOFF_CAP`]), so consecutive
+    /// unproductive rounds — a blackout — space out geometrically. Returns
+    /// the earliest next expiry among the chunks still unacked after the
+    /// scan, computed under the *post-scan* backoff (`None` once
+    /// everything is acked) — the deadline the sender's tick loop sleeps
+    /// to instead of polling.
     pub fn take_expired(
         &mut self,
         now: SimTime,
@@ -210,19 +300,26 @@ impl ChunkTimers {
         mut f: impl FnMut(usize),
     ) -> Option<SimTime> {
         self.advance_cursor();
-        let mut next: Option<SimTime> = None;
+        let eff = self.effective_timeout(timeout);
+        let mut fired = false;
+        let mut earliest_sent: Option<SimTime> = None;
         for c in self.cursor..self.acked.len() {
             if !self.acked[c] {
-                if now.saturating_sub(self.last_sent[c]) >= timeout {
+                if now.saturating_sub(self.last_sent[c]) >= eff {
                     self.last_sent[c] = now;
                     self.resent[c] = true;
+                    fired = true;
                     f(c);
                 }
-                let expiry = self.last_sent[c].saturating_add(timeout);
-                next = Some(next.map_or(expiry, |n: SimTime| n.min(expiry)));
+                let sent = self.last_sent[c];
+                earliest_sent = Some(earliest_sent.map_or(sent, |n: SimTime| n.min(sent)));
             }
         }
-        next
+        if fired {
+            self.backoff = (self.backoff + 1).min(RTO_BACKOFF_CAP);
+        }
+        let eff_after = self.effective_timeout(timeout);
+        earliest_sent.map(|s| s.saturating_add(eff_after))
     }
 
     /// The ACK round-trip of chunk `c` acked at `now`: `now − last_sent`,
@@ -788,7 +885,11 @@ mod tests {
         t.mark_acked(1);
         let next = t.take_expired(t1, rto, |c| hits.push(c));
         assert_eq!(hits, vec![0, 2]);
-        assert_eq!(next, Some(t1 + rto), "re-stamped chunks set a new deadline");
+        assert_eq!(
+            next,
+            Some(t1 + rto * 2),
+            "a firing scan doubles the effective RTO (backoff)"
+        );
         hits.clear();
         let _ = t.take_expired(t1, rto, |c| hits.push(c));
         assert!(hits.is_empty(), "stamped chunks do not re-fire");
@@ -815,6 +916,32 @@ mod tests {
         assert_eq!(t.rtt_sample(1, t0 + rto + rtt), None, "Karn's rule");
         // Out-of-range chunks never sample.
         assert_eq!(t.rtt_sample(99, t0), None);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_on_silence_and_resets_on_progress() {
+        let mut t = ChunkTimers::new(2);
+        let t0 = SimTime::ZERO;
+        let rto = SimTime::from_secs_f64(0.1);
+        t.all_sent_at(t0);
+        assert_eq!(t.backoff(), 0);
+        // Consecutive unproductive rounds: the backoff climbs one per
+        // firing scan and saturates at the cap (64× the base RTO).
+        let mut now = t0;
+        for round in 1..=10u32 {
+            now = now.saturating_add(t.effective_timeout(rto));
+            let mut fired = 0;
+            let next = t.take_expired(now, rto, |_| fired += 1);
+            assert_eq!(fired, 2, "both chunks retransmit each round");
+            assert_eq!(t.backoff(), round.min(RTO_BACKOFF_CAP));
+            assert_eq!(next, Some(now + rto * (1u64 << t.backoff())));
+        }
+        assert_eq!(t.effective_timeout(rto), rto * 64, "capped at 64×");
+        // ACK progress restarts the clock at the base timeout.
+        assert!(t.mark_acked(0));
+        assert_eq!(t.backoff(), 0);
+        let next = t.take_expired(now, rto, |_| {});
+        assert_eq!(next, Some(now + rto), "post-progress deadline is base RTO");
     }
 
     #[test]

@@ -22,8 +22,8 @@ use sdr_sim::{Engine, QpAddr, SimTime, TimerHandle};
 use crate::ack::{build_sr_ack, CtrlMsg};
 use crate::control::CtrlPath;
 use crate::runtime::{
-    begin_on_cts, tick_loop, wire_ctrl, ChunkTimers, Completion, RxCommon, RxDriver, RxScheme,
-    StreamTx, Tick,
+    begin_on_cts, tick_loop, wire_ctrl, AbortReason, ChunkTimers, Completion, RxCommon, RxDriver,
+    RxScheme, StreamTx, Tick, TransferOutcome,
 };
 use crate::telemetry::ChannelEstimator;
 
@@ -78,6 +78,9 @@ pub struct SrReport {
     pub retransmitted: u64,
     /// ACK datagrams processed.
     pub acks: u64,
+    /// How the transfer ended ([`TransferOutcome::Aborted`] after
+    /// [`SrSender::abort`]; `duration` then covers start → abort).
+    pub outcome: TransferOutcome,
 }
 
 struct SenderInner {
@@ -181,6 +184,37 @@ impl SrSender {
         self.inner.borrow().completion.is_done()
     }
 
+    /// Tears the transfer down now: the retransmission scan is cancelled,
+    /// the stream slot is quiesced (exactly once), and the done callback
+    /// fires with [`TransferOutcome::Aborted`]. Idempotent — returns
+    /// `false` when the transfer already completed or aborted. Local only:
+    /// propagating the abort to the peer is the control plane's job (the
+    /// adaptive layer announces it via `CtrlMsg::Abort`).
+    pub fn abort(&self, eng: &mut Engine, reason: AbortReason) -> bool {
+        let (cb, report) = {
+            let mut i = self.inner.borrow_mut();
+            if i.completion.is_done() {
+                return false;
+            }
+            i.stream.quiesce();
+            if let Some(h) = i.tick.take() {
+                eng.cancel(h);
+            }
+            let report = SrReport {
+                duration: i.completion.elapsed(eng.now()),
+                retransmitted: i.retransmitted,
+                acks: i.acks,
+                outcome: TransferOutcome::Aborted(reason),
+            };
+            let Some(cb) = i.completion.finish() else {
+                return false;
+            };
+            (cb, report)
+        };
+        cb(eng, report);
+        true
+    }
+
     fn try_begin(inner: &Rc<RefCell<SenderInner>>, eng: &mut Engine) -> bool {
         let rto = {
             let mut i = inner.borrow_mut();
@@ -248,6 +282,7 @@ impl SrSender {
             return;
         }
         i.acks += 1;
+        let backoff_before = i.timers.backoff();
         // At most one RTT sample per ACK: the first chunk this ACK newly
         // acknowledges, if it was never retransmitted (Karn's rule).
         let mut rtt_sample = None;
@@ -287,6 +322,14 @@ impl SrSender {
                 }
             }
         }
+        // Backoff heal: this ACK made progress after backed-off silence (a
+        // blackout just ended), so the scan loop may be parked at a far
+        // backed-off deadline — pull it back to one base RTO from now.
+        if backoff_before > 0 && i.timers.backoff() == 0 && !i.timers.is_complete() {
+            if let Some(h) = i.tick {
+                let _ = eng.reschedule(h, eng.now().saturating_add(i.cfg.rto));
+            }
+        }
         if i.timers.is_complete() {
             i.stream.quiesce();
             // The scan loop may be asleep until a far RTO deadline: cancel
@@ -298,6 +341,7 @@ impl SrSender {
                 duration: i.completion.elapsed(eng.now()),
                 retransmitted: i.retransmitted,
                 acks: i.acks,
+                outcome: TransferOutcome::Delivered,
             };
             if let Some(cb) = i.completion.finish() {
                 drop(i);

@@ -101,6 +101,12 @@ pub struct ChannelEstimator {
     rtt_samples: u64,
     /// Last cumulative counters absorbed from the peer (sender side).
     peer: TelemetryCounters,
+    /// Last instant the channel showed life ([`note_progress`]): a packet
+    /// observation, an advancing peer report, or any explicit progress
+    /// note. `None` until the first note.
+    ///
+    /// [`note_progress`]: ChannelEstimator::note_progress
+    last_progress: Option<SimTime>,
 }
 
 impl ChannelEstimator {
@@ -116,6 +122,7 @@ impl ChannelEstimator {
             rtt_ewma: 0.0,
             rtt_samples: 0,
             peer: TelemetryCounters::default(),
+            last_progress: None,
         }
     }
 
@@ -203,6 +210,46 @@ impl ChannelEstimator {
         self.is_confident()
             && self.ewma_primed
             && self.loss_ewma > self.loss_slow_ewma.max(1e-12) * self.cfg.step_ratio
+    }
+
+    /// Records channel life at `now` — the blackout detector's heartbeat.
+    /// The adaptive endpoints note progress whenever a peer datagram
+    /// arrives (any datagram proves the path is up); call it once at
+    /// transfer start so [`blackout`](Self::blackout) measures from a
+    /// defined instant.
+    pub fn note_progress(&mut self, now: SimTime) {
+        self.last_progress = Some(now);
+    }
+
+    /// The last noted progress instant, if any.
+    pub fn last_progress(&self) -> Option<SimTime> {
+        self.last_progress
+    }
+
+    /// True when no progress has been noted for at least `threshold` —
+    /// silence ≫ RTO means the channel is dark, not merely lossy: every
+    /// retransmission and its ACK died for that long. `false` until the
+    /// first progress note (a transfer that never started is not a
+    /// blackout).
+    pub fn blackout(&self, now: SimTime, threshold: SimTime) -> bool {
+        self.last_progress
+            .is_some_and(|t| now.saturating_sub(t) >= threshold)
+    }
+
+    /// Forgets the loss estimate (counters, EWMAs, priming) so the
+    /// estimator returns to the cold, unconfident state and must re-earn
+    /// [`min_packets`](TelemetryConfig::min_packets) fresh observations —
+    /// what the adaptive controller calls on blackout entry, because a
+    /// pre-outage estimate says nothing about the channel that comes back.
+    /// The peer-report dedup watermark and the RTT estimate survive:
+    /// replayed cumulative reports must still be ignored, and propagation
+    /// delay does not change with an outage.
+    pub fn decay_confidence(&mut self) {
+        self.seen = 0;
+        self.lost = 0;
+        self.loss_ewma = 0.0;
+        self.loss_slow_ewma = 0.0;
+        self.ewma_primed = false;
     }
 
     /// Cumulative first-pass counters (what the receiver reports).
@@ -391,6 +438,50 @@ mod tests {
             !e.loss_step_fresh(),
             "converged estimate is no longer fresh"
         );
+    }
+
+    #[test]
+    fn blackout_detection_and_confidence_decay() {
+        let cfg = TelemetryConfig {
+            min_packets: 100,
+            ..TelemetryConfig::default()
+        };
+        let mut e = ChannelEstimator::new(cfg);
+        let thresh = SimTime::from_secs_f64(0.080);
+        // A transfer that never started is not a blackout.
+        assert!(!e.blackout(SimTime::from_secs_f64(10.0), thresh));
+        e.note_progress(SimTime::from_secs_f64(1.0));
+        assert!(!e.blackout(SimTime::from_secs_f64(1.079), thresh));
+        assert!(e.blackout(SimTime::from_secs_f64(1.080), thresh));
+        // Fresh progress closes the window again.
+        e.note_progress(SimTime::from_secs_f64(1.5));
+        assert!(!e.blackout(SimTime::from_secs_f64(1.579), thresh));
+
+        // Warm the estimator, absorb a peer report, learn an RTT.
+        e.observe_rtt(SimTime::from_secs_f64(0.010));
+        e.observe_rtt(SimTime::from_secs_f64(0.010));
+        e.observe_packets(150, 15);
+        e.absorb_report(TelemetryCounters {
+            seen: 500,
+            lost: 50,
+        });
+        assert!(e.is_confident());
+        // Decay: the loss estimate is forgotten and must be re-earned...
+        e.decay_confidence();
+        assert!(!e.is_confident());
+        assert_eq!(e.loss_estimate(), None);
+        // ...but the peer dedup watermark survives (a replayed cumulative
+        // report is still ignored)...
+        e.absorb_report(TelemetryCounters {
+            seen: 500,
+            lost: 50,
+        });
+        assert_eq!(e.packets_seen(), 0, "replayed report stays deduped");
+        // ...and the RTT estimate survives too.
+        assert!(e.rtt_estimate().is_some());
+        // Re-earning confidence works from scratch.
+        e.observe_packets(100, 1);
+        assert!(e.is_confident());
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Abort/teardown edge cases for the adaptive layer: the windows where a
+//! teardown races other machinery.
+//!
+//! * abort landing **mid-handover** — between `SwitchPropose` and
+//!   `SwitchAck`, polled via [`AdaptiveSender::has_pending_switch`];
+//! * abort with **linger-ACKs in flight** — a wave of scheme ACKs (and a
+//!   `SegDone` watermark) already on the wire toward the sender when it
+//!   tears down;
+//! * a **deadline expiring exactly at the completion instant** — the tie
+//!   is resolved by event order, but either way the run must be clean.
+//!
+//! Every case asserts the teardown contract: exactly-once terminal
+//! reports on both ends, a fully drained engine (no leaked timers or
+//! pump events), and every receive slot released exactly once (the whole
+//! table re-posts).
+
+mod common;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use common::{capture, took, ProtoHarness};
+use sdr_core::SdrConfig;
+use sdr_reliability::{
+    AbortReason, AdaptConfig, AdaptRecvReport, AdaptReport, AdaptiveController, AdaptiveReceiver,
+    AdaptiveSender, SchemeSpec, TelemetryConfig, TransferOutcome,
+};
+use sdr_sim::{Engine, LinkConfig, LossModel, SimTime};
+
+const BW: f64 = 8e9;
+const KM: f64 = 1000.0;
+
+fn cfg() -> SdrConfig {
+    SdrConfig {
+        max_msg_bytes: 4 << 20,
+        msg_slots: 64,
+        mtu_bytes: 4096,
+        chunk_bytes: 64 * 1024,
+        channels: 2,
+        generations: 2,
+        ..SdrConfig::default()
+    }
+}
+
+struct Deployment {
+    h: ProtoHarness,
+    tx: AdaptiveSender,
+    rx: AdaptiveReceiver,
+    tx_cell: Rc<RefCell<Option<AdaptReport>>>,
+    rx_cell: Rc<RefCell<Option<(SimTime, AdaptRecvReport)>>>,
+}
+
+/// Stands up a 40 MiB adaptive transfer (2 MiB segments) over a seeded
+/// WAN link; `min_packets` tunes how eagerly the controller proposes.
+fn deploy(p_loss: f64, seed: u64, min_packets: u64, deadline: Option<SimTime>) -> Deployment {
+    let msg: u64 = 40 << 20;
+    let link = LinkConfig::wan(KM, BW, p_loss).with_seed(seed);
+    let mut h = ProtoHarness::new(link, cfg(), msg, seed ^ 0xAB0);
+    let rtt = h.rtt;
+    let mut acfg = AdaptConfig::new(BW, rtt, 2 << 20);
+    acfg.telemetry = TelemetryConfig {
+        loss_alpha: 1.0 / 1024.0,
+        min_packets,
+        ..TelemetryConfig::default()
+    };
+    acfg.deadline = deadline;
+    let (tx_cell, tx_cb) = capture::<AdaptReport>();
+    let tx = AdaptiveController::start_sender(
+        &mut h.p.eng,
+        &h.p.qp_a,
+        &h.p.ctx_a,
+        h.ctrl_a.clone(),
+        h.ctrl_b.addr(),
+        h.src,
+        msg,
+        SchemeSpec::SrNack,
+        acfg.clone(),
+        tx_cb,
+    );
+    let rx_cell: Rc<RefCell<Option<(SimTime, AdaptRecvReport)>>> = Rc::new(RefCell::new(None));
+    let rc = rx_cell.clone();
+    let rx = AdaptiveController::start_receiver(
+        &mut h.p.eng,
+        &h.p.qp_b,
+        &h.p.ctx_b,
+        h.ctrl_b.clone(),
+        h.ctrl_a.addr(),
+        h.dst,
+        msg,
+        SchemeSpec::SrNack,
+        acfg,
+        move |_eng, t, rep| *rc.borrow_mut() = Some((t, rep)),
+    );
+    Deployment {
+        h,
+        tx,
+        rx,
+        tx_cell,
+        rx_cell,
+    }
+}
+
+/// The teardown contract every edge case must satisfy.
+fn assert_clean(d: &mut Deployment) {
+    assert_eq!(
+        d.h.p.eng.pending_events(),
+        0,
+        "teardown must leave the engine drained"
+    );
+    let spare = d.h.p.ctx_b.alloc_buffer(64 * 1024);
+    for n in 0..cfg().msg_slots {
+        d.h.p
+            .qp_b
+            .recv_post(&mut d.h.p.eng, spare, 64 * 1024)
+            .unwrap_or_else(|e| panic!("slot {n} not released exactly once: {e:?}"));
+    }
+}
+
+/// Abort exactly inside the `SwitchPropose` → `SwitchAck` window: a loss
+/// step triggers a proposal, a blackout swallows propose and ack so the
+/// handshake stays pending, and a poller aborts the sender the moment
+/// [`AdaptiveSender::has_pending_switch`] reports the open window (after
+/// the outage, so the peer notification gets through). Both ends land on
+/// `Aborted`, the half-committed handover notwithstanding.
+#[test]
+fn abort_mid_handover_between_propose_and_ack() {
+    let mut d = deploy(1e-6, 9, 768, None);
+    // Loss step past the fig09 boundary at 8 ms, then a total blackout
+    // right across the first proposal window (estimator turns confident
+    // ~20 ms in) — proposals are sent but cannot be acked.
+    let (fab, a, b) = (d.h.p.fabric.clone(), d.h.p.node_a, d.h.p.node_b);
+    d.h.p
+        .eng
+        .schedule_at(SimTime::from_secs_f64(0.008), move |_eng| {
+            fab.set_loss_duplex(a, b, LossModel::Iid { p: 3e-3 });
+        });
+    let (fab, a, b) = (d.h.p.fabric.clone(), d.h.p.node_a, d.h.p.node_b);
+    d.h.p
+        .eng
+        .schedule_at(SimTime::from_secs_f64(0.018), move |_eng| {
+            fab.set_link_down(a, b, true);
+            fab.set_link_down(b, a, true);
+        });
+    let (fab, a, b) = (d.h.p.fabric.clone(), d.h.p.node_a, d.h.p.node_b);
+    d.h.p
+        .eng
+        .schedule_at(SimTime::from_secs_f64(0.030), move |_eng| {
+            fab.set_link_down(a, b, false);
+            fab.set_link_down(b, a, false);
+        });
+    // Poll for the open handshake window from just after the heal; the
+    // re-proposal beats its ack by at least one RTT, so the first polls
+    // must see it pending.
+    let aborted_mid_handover = Rc::new(RefCell::new(false));
+    let tx = d.tx.clone();
+    let seen = aborted_mid_handover.clone();
+    d.h.p
+        .eng
+        .schedule_recurring_at(SimTime::from_secs_f64(0.0305), move |eng: &mut Engine| {
+            if tx.is_done() {
+                return None;
+            }
+            if tx.has_pending_switch() {
+                *seen.borrow_mut() = true;
+                assert!(tx.abort(eng, AbortReason::Requested));
+                return None;
+            }
+            Some(eng.now() + SimTime::from_secs_f64(0.001))
+        });
+    d.h.run(120_000_000);
+    assert!(
+        *aborted_mid_handover.borrow(),
+        "the poller must catch the propose→ack window"
+    );
+    let tx_rep = took(&d.tx_cell, "adaptive sender");
+    let (_, rx_rep) = d.rx_cell.borrow_mut().take().expect("receiver reported");
+    assert_eq!(
+        tx_rep.outcome,
+        TransferOutcome::Aborted(AbortReason::Requested)
+    );
+    assert_eq!(
+        rx_rep.outcome,
+        TransferOutcome::Aborted(AbortReason::Requested),
+        "the peer inherits the originator's reason"
+    );
+    assert_eq!(tx_rep.switches, 0, "the handover never committed");
+    assert!(d.tx.is_done() && d.rx.is_complete());
+    assert_clean(&mut d);
+}
+
+/// Abort while a wave of scheme ACKs is in flight toward the sender: the
+/// receiver has been acking a healthy transfer for milliseconds when the
+/// sender tears down mid-stream. The lingering ACKs arriving after the
+/// abort must neither resurrect segments nor double-complete anything,
+/// and the peer notification still lands between them.
+#[test]
+fn abort_with_linger_acks_in_flight() {
+    let mut d = deploy(1e-6, 13, u64::MAX, None);
+    // 6 ms in, ~⅓ through serialization: ACK traffic is continuous
+    // (one-way latency 5 ms means several segments' ACKs are airborne).
+    let tx = d.tx.clone();
+    d.h.p
+        .eng
+        .schedule_at(SimTime::from_secs_f64(0.006), move |eng| {
+            assert!(tx.abort(eng, AbortReason::Requested));
+        });
+    d.h.run(120_000_000);
+    let tx_rep = took(&d.tx_cell, "adaptive sender");
+    let (_, rx_rep) = d.rx_cell.borrow_mut().take().expect("receiver reported");
+    assert_eq!(
+        tx_rep.outcome,
+        TransferOutcome::Aborted(AbortReason::Requested)
+    );
+    assert_eq!(
+        rx_rep.outcome,
+        TransferOutcome::Aborted(AbortReason::Requested)
+    );
+    assert!(
+        tx_rep.duration >= SimTime::from_secs_f64(0.006),
+        "duration covers start → abort"
+    );
+    // A second abort on either end is a no-op, not a double teardown.
+    assert!(!d.tx.abort(&mut d.h.p.eng, AbortReason::Requested));
+    assert!(!d.rx.abort(&mut d.h.p.eng, AbortReason::Requested));
+    assert_clean(&mut d);
+}
+
+/// A deadline equal to the natural completion instant: run once without a
+/// deadline to measure the sender's completion time `T`, then replay the
+/// identical deployment with `deadline = T` (the timer and the completing
+/// event collide on the same tick) and with `deadline = T + 1 ns` (the
+/// completion strictly wins). The tie may go either way; the contract is
+/// that both replays are clean, the receiver's delivery is intact, and
+/// the one-tick-later deadline never fires.
+#[test]
+fn deadline_expiring_exactly_at_completion() {
+    let natural = {
+        let mut d = deploy(1e-4, 17, u64::MAX, None);
+        d.h.run(120_000_000);
+        let rep = took(&d.tx_cell, "baseline sender");
+        assert_eq!(rep.outcome, TransferOutcome::Delivered);
+        assert!(d.h.delivered_ok());
+        rep.duration
+    };
+
+    // Tie: deadline timer and final-completion event share the instant.
+    {
+        let mut d = deploy(1e-4, 17, u64::MAX, Some(natural));
+        d.h.run(120_000_000);
+        let tx_rep = took(&d.tx_cell, "tie sender");
+        let (_, rx_rep) = d.rx_cell.borrow_mut().take().expect("tie receiver");
+        // The receiver finished strictly earlier (its deadline was
+        // cancelled at delivery): its data must be intact regardless of
+        // which way the sender's tie resolved.
+        assert_eq!(rx_rep.outcome, TransferOutcome::Delivered);
+        assert!(d.h.delivered_ok(), "delivery intact under the tie");
+        match tx_rep.outcome {
+            TransferOutcome::Delivered => assert!(tx_rep.duration <= natural),
+            TransferOutcome::Aborted(r) => {
+                assert_eq!(r, AbortReason::Deadline);
+                assert_eq!(tx_rep.duration, natural, "aborted exactly at the tie");
+            }
+        }
+        assert_clean(&mut d);
+    }
+
+    // A nanosecond of headroom: completion must win.
+    {
+        let mut d = deploy(1e-4, 17, u64::MAX, Some(natural + SimTime::from_nanos(1)));
+        d.h.run(120_000_000);
+        let tx_rep = took(&d.tx_cell, "headroom sender");
+        assert_eq!(tx_rep.outcome, TransferOutcome::Delivered);
+        assert_eq!(tx_rep.duration, natural, "same deployment, same instant");
+        assert!(d.h.delivered_ok());
+        assert_clean(&mut d);
+    }
+}

@@ -1,0 +1,459 @@
+//! Chaos soak: proptest-generated fault scripts over adaptive transfers.
+//!
+//! Every case builds a two-node deployment, applies a randomized
+//! [`FaultPlan`] (loss steps, Gilbert–Elliott shifts, blackouts, flaps,
+//! diurnal drift) to the duplex link, runs an adaptive transfer with an
+//! optional per-transfer deadline, and asserts the survivability
+//! dichotomy:
+//!
+//! * the transfer **delivers byte-identical within its deadline**, or
+//! * it **aborts cleanly** — terminal reports on both ends, every timer
+//!   cancelled (the engine drains to zero pending events), every receive
+//!   slot released exactly once (the whole table re-posts afterwards).
+//!
+//! Fault plans are finite by construction (blackouts heal, flaps end up,
+//! drift rests at its floor), so an undeadlined transfer must always
+//! deliver. Each case is derived deterministically from a drawn 48-bit
+//! key; a failure message carries the `CHAOS_CASE=<key>` one-liner that
+//! replays exactly that deployment via the [`chaos_one`] test.
+//!
+//! The two acceptance demos ride along as directed tests: a 40 MiB
+//! transfer surviving a 2 s mid-transfer blackout with only O(log)
+//! resends per in-flight chunk (RTO backoff), and the same transfer under
+//! a deadline shorter than the outage aborting cleanly on both ends.
+
+mod common;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use common::{capture, took, ProtoHarness};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use sdr_core::SdrConfig;
+use sdr_reliability::{
+    AbortReason, AdaptConfig, AdaptRecvReport, AdaptReport, AdaptiveController, SchemeSpec,
+    TelemetryConfig, TransferOutcome,
+};
+use sdr_sim::{FaultEvent, FaultPlan, LinkConfig, LossModel, SimTime};
+
+const BW: f64 = 8e9;
+const KM: f64 = 1000.0;
+const SEG: u64 = 1 << 20;
+
+fn cfg() -> SdrConfig {
+    SdrConfig {
+        max_msg_bytes: 2 << 20,
+        msg_slots: 32,
+        mtu_bytes: 4096,
+        chunk_bytes: 64 * 1024,
+        channels: 2,
+        generations: 2,
+        ..SdrConfig::default()
+    }
+}
+
+/// One generated chaos deployment.
+struct ChaosCase {
+    msg: u64,
+    initial: SchemeSpec,
+    p_base: f64,
+    plan: FaultPlan,
+    deadline: Option<SimTime>,
+    link_seed: u64,
+}
+
+/// Draws a full case from the deterministic per-case RNG. Every plan is
+/// finite and rests at a recoverable loss rate, so delivery is always
+/// reachable once the script has played out.
+fn gen_case(rng: &mut TestRng) -> ChaosCase {
+    let msg = [2u64 << 20, 4 << 20, 8 << 20][rng.below(3) as usize];
+    let initial = [
+        SchemeSpec::SrNack,
+        SchemeSpec::SrRto,
+        SchemeSpec::Gbn,
+        SchemeSpec::EcMds { k: 32, m: 8 },
+    ][rng.below(4) as usize];
+    let p_base = 10f64.powf(-(2.5 + rng.next_f64() * 2.0));
+    let mut plan = FaultPlan::new_duplex();
+    let n = 1 + rng.below(3);
+    for _ in 0..n {
+        let at = SimTime::from_secs_f64(0.0005 + rng.next_f64() * 0.012);
+        let ev = match rng.below(5) {
+            0 => FaultEvent::SetLoss {
+                at,
+                model: LossModel::Iid {
+                    p: 10f64.powf(-(2.0 + rng.next_f64() * 2.0)),
+                },
+            },
+            1 => FaultEvent::SetLoss {
+                at,
+                model: LossModel::GilbertElliott {
+                    p_good_to_bad: 0.001 + rng.next_f64() * 0.004,
+                    p_bad_to_good: 0.02 + rng.next_f64() * 0.1,
+                    loss_good: 1e-5,
+                    loss_bad: 0.1 + rng.next_f64() * 0.15,
+                },
+            },
+            2 => FaultEvent::Blackout {
+                at,
+                duration: SimTime::from_secs_f64(0.0003 + rng.next_f64() * 0.0022),
+            },
+            3 => FaultEvent::Flap {
+                at,
+                cycles: 1 + rng.below(3) as u32,
+                down: SimTime::from_secs_f64(0.0002 + rng.next_f64() * 0.0006),
+                up: SimTime::from_secs_f64(0.0003 + rng.next_f64() * 0.0008),
+            },
+            _ => FaultEvent::Drift {
+                at,
+                period: SimTime::from_secs_f64(0.004),
+                steps: 4,
+                floor_p: 1e-4,
+                peak_p: 0.008 + rng.next_f64() * 0.01,
+                cycles: 1,
+            },
+        };
+        plan = plan.with(ev);
+    }
+    // A third of the runs are undeadlined (must deliver), a third run
+    // under a generous deadline (must deliver within it), a third under a
+    // tight one sized to the faulted region (usually aborts).
+    let deadline = match rng.below(3) {
+        0 => None,
+        1 => Some(SimTime::from_secs_f64(1.5)),
+        _ => Some(SimTime::from_secs_f64(0.004 + rng.next_f64() * 0.010)),
+    };
+    ChaosCase {
+        msg,
+        initial,
+        p_base,
+        plan,
+        deadline,
+        link_seed: rng.next_u64(),
+    }
+}
+
+/// Runs one chaos case and checks every survivability invariant,
+/// returning a short outcome line on success.
+fn run_chaos(case_key: u64) -> Result<String, String> {
+    let mut rng = TestRng::for_case(case_key);
+    let sc = gen_case(&mut rng);
+    let link = LinkConfig::wan(KM, BW, sc.p_base).with_seed(sc.link_seed);
+    let mut h = ProtoHarness::new(link, cfg(), sc.msg, sc.link_seed ^ 0xC0DE);
+    let rtt = h.rtt;
+    let mut acfg = AdaptConfig::new(BW, rtt, SEG);
+    acfg.telemetry = TelemetryConfig {
+        loss_alpha: 1.0 / 1024.0,
+        min_packets: 512,
+        ..TelemetryConfig::default()
+    };
+    acfg.deadline = sc.deadline;
+
+    h.p.fabric
+        .apply_fault_plan(&mut h.p.eng, h.p.node_a, h.p.node_b, &sc.plan)
+        .map_err(|e| format!("fault plan rejected: {e}"))?;
+
+    let (tx_cell, tx_cb) = capture::<AdaptReport>();
+    let _tx = AdaptiveController::start_sender(
+        &mut h.p.eng,
+        &h.p.qp_a,
+        &h.p.ctx_a,
+        h.ctrl_a.clone(),
+        h.ctrl_b.addr(),
+        h.src,
+        sc.msg,
+        sc.initial,
+        acfg.clone(),
+        tx_cb,
+    );
+    let rx_cell: Rc<RefCell<Option<(SimTime, AdaptRecvReport)>>> = Rc::new(RefCell::new(None));
+    let rc = rx_cell.clone();
+    let _rx = AdaptiveController::start_receiver(
+        &mut h.p.eng,
+        &h.p.qp_b,
+        &h.p.ctx_b,
+        h.ctrl_b.clone(),
+        h.ctrl_a.addr(),
+        h.dst,
+        sc.msg,
+        sc.initial,
+        acfg,
+        move |_eng, t, rep| *rc.borrow_mut() = Some((t, rep)),
+    );
+    const LIMIT: u64 = 120_000_000;
+    h.run(LIMIT);
+
+    let err = |msg: String| {
+        Err(format!(
+            "{msg} [msg={} MiB initial={} p_base={:.1e} faults={} deadline={:?}]",
+            sc.msg >> 20,
+            sc.initial,
+            sc.p_base,
+            sc.plan.events.len(),
+            sc.deadline,
+        ))
+    };
+
+    // Terminal reports on both ends, no runaway simulation.
+    if h.p.eng.executed_events() >= LIMIT {
+        return err(format!(
+            "event limit hit before quiescence (now={:?} pending={} tx={:?} rx={:?})",
+            h.p.eng.now(),
+            h.p.eng.pending_events(),
+            tx_cell.borrow().as_ref().map(|r| r.outcome),
+            rx_cell.borrow().as_ref().map(|(_, r)| r.outcome),
+        ));
+    }
+    let Some(tx) = tx_cell.borrow_mut().take() else {
+        return err("sender never reported".into());
+    };
+    let Some((rx_done, rx)) = rx_cell.borrow_mut().take() else {
+        return err("receiver never reported".into());
+    };
+
+    // Teardown leaves nothing armed: the engine must have fully drained.
+    if h.p.eng.pending_events() != 0 {
+        return err(format!(
+            "leaked {} pending events after {:?}/{:?}",
+            h.p.eng.pending_events(),
+            tx.outcome,
+            rx.outcome,
+        ));
+    }
+
+    // The survivability dichotomy.
+    match (tx.outcome, rx.outcome) {
+        (TransferOutcome::Delivered, TransferOutcome::Delivered) => {
+            if !h.delivered_ok() {
+                return err("delivered but bytes differ".into());
+            }
+            if let Some(d) = sc.deadline {
+                if tx.duration > d {
+                    return err(format!(
+                        "delivered past deadline: {:?} > {d:?}",
+                        tx.duration
+                    ));
+                }
+            }
+        }
+        (TransferOutcome::Aborted(_), TransferOutcome::Delivered) => {
+            // The receiver finished; the sender's deadline beat the final
+            // ACKs. The data must still be intact.
+            if sc.deadline.is_none() {
+                return err("sender aborted without a deadline".into());
+            }
+            if !h.delivered_ok() {
+                return err("receiver delivered but bytes differ".into());
+            }
+        }
+        (TransferOutcome::Delivered, TransferOutcome::Aborted(_)) => {
+            // The sender only finishes on the receiver's final watermark,
+            // which the receiver only sends once *it* delivered.
+            return err("sender delivered while receiver aborted".into());
+        }
+        (TransferOutcome::Aborted(a), TransferOutcome::Aborted(b)) => {
+            if sc.deadline.is_none() {
+                return err(format!("aborted ({a}/{b}) without a deadline"));
+            }
+            for r in [a, b] {
+                if r == AbortReason::Requested {
+                    return err("nobody requested an abort".into());
+                }
+            }
+        }
+    }
+
+    // Every receive slot was released exactly once: the whole table
+    // re-posts cleanly (a held slot or double release would refuse).
+    let slots = cfg().msg_slots;
+    let spare = h.p.ctx_b.alloc_buffer(64 * 1024);
+    for n in 0..slots {
+        h.p.qp_b
+            .recv_post(&mut h.p.eng, spare, 64 * 1024)
+            .map_err(|e| format!("slot {n} not released exactly once: {e:?}"))?;
+    }
+
+    Ok(format!(
+        "msg={}MiB initial={} faults={} deadline={:?} → tx={:?} rx={:?} done={:.2}ms",
+        sc.msg >> 20,
+        sc.initial,
+        sc.plan.events.len(),
+        sc.deadline,
+        tx.outcome,
+        rx.outcome,
+        rx_done.as_secs_f64() * 1e3,
+    ))
+}
+
+/// Case budget: `CHAOS_CASES` in the environment overrides the default
+/// (CI sweeps a larger matrix than a local `cargo test`).
+fn chaos_cases() -> u32 {
+    std::env::var("CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+    /// The soak: every generated deployment must satisfy the
+    /// survivability dichotomy.
+    #[test]
+    fn chaos_soak_survives_or_aborts_cleanly(case_key in 0u64..(1u64 << 48)) {
+        match run_chaos(case_key) {
+            Ok(line) => eprintln!("chaos {case_key}: {line}"),
+            Err(e) => prop_assert!(
+                false,
+                "{e}\n  reproduce: CHAOS_CASE={case_key} cargo test -p sdr-reliability \
+                 --test chaos_soak chaos_one -- --nocapture"
+            ),
+        }
+    }
+}
+
+/// Replays one soak case by key: `CHAOS_CASE=<key> cargo test -p
+/// sdr-reliability --test chaos_soak chaos_one -- --nocapture`. A no-op
+/// when the variable is unset.
+#[test]
+fn chaos_one() {
+    let Ok(key) = std::env::var("CHAOS_CASE") else {
+        return;
+    };
+    let key: u64 = key.parse().expect("CHAOS_CASE must be a case key");
+    match run_chaos(key) {
+        Ok(line) => eprintln!("chaos {key}: {line}"),
+        Err(e) => panic!("chaos case {key} failed: {e}"),
+    }
+}
+
+/// Shared deployment for the two acceptance demos: 40 MiB adaptive
+/// transfer, SR-NACK, quiet controller, total blackout from 8 ms to
+/// 2.008 s on both directions.
+fn blackout_demo(
+    deadline: Option<SimTime>,
+) -> (
+    ProtoHarness,
+    AdaptReport,
+    Option<(SimTime, AdaptRecvReport)>,
+) {
+    let msg: u64 = 40 << 20;
+    let link = LinkConfig::wan(KM, BW, 1e-4).with_seed(11);
+    let demo_cfg = SdrConfig {
+        max_msg_bytes: 4 << 20,
+        msg_slots: 64,
+        ..cfg()
+    };
+    let mut h = ProtoHarness::new(link, demo_cfg, msg, 0xB1AC);
+    let rtt = h.rtt;
+    let mut acfg = AdaptConfig::new(BW, rtt, 2 << 20);
+    // The controller stays quiet: the demo isolates pure SR survivability.
+    acfg.telemetry = TelemetryConfig {
+        min_packets: u64::MAX,
+        ..TelemetryConfig::default()
+    };
+    acfg.deadline = deadline;
+    let plan = FaultPlan::new_duplex().with(FaultEvent::Blackout {
+        at: SimTime::from_secs_f64(0.008),
+        duration: SimTime::from_secs_f64(2.0),
+    });
+    h.p.fabric
+        .apply_fault_plan(&mut h.p.eng, h.p.node_a, h.p.node_b, &plan)
+        .unwrap();
+    let (tx_cell, tx_cb) = capture::<AdaptReport>();
+    let _tx = AdaptiveController::start_sender(
+        &mut h.p.eng,
+        &h.p.qp_a,
+        &h.p.ctx_a,
+        h.ctrl_a.clone(),
+        h.ctrl_b.addr(),
+        h.src,
+        msg,
+        SchemeSpec::SrNack,
+        acfg.clone(),
+        tx_cb,
+    );
+    let rx_cell: Rc<RefCell<Option<(SimTime, AdaptRecvReport)>>> = Rc::new(RefCell::new(None));
+    let rc = rx_cell.clone();
+    let _rx = AdaptiveController::start_receiver(
+        &mut h.p.eng,
+        &h.p.qp_b,
+        &h.p.ctx_b,
+        h.ctrl_b.clone(),
+        h.ctrl_a.addr(),
+        h.dst,
+        msg,
+        SchemeSpec::SrNack,
+        acfg,
+        move |_eng, t, rep| *rc.borrow_mut() = Some((t, rep)),
+    );
+    h.run(200_000_000);
+    let tx = took(&tx_cell, "adaptive sender");
+    let rx = rx_cell.borrow_mut().take();
+    (h, tx, rx)
+}
+
+/// Acceptance demo 1: the 40 MiB transfer crosses a 2 s total blackout
+/// and still delivers byte-identical — and RTO backoff keeps the repair
+/// bill at O(log(outage/rto)) resends per in-flight chunk instead of the
+/// linear outage/rto a fixed timer would pay.
+#[test]
+fn forty_mib_transfer_survives_two_second_blackout() {
+    let (h, tx, rx) = blackout_demo(None);
+    let (rx_done, rx) = rx.expect("receiver completed");
+    assert!(h.delivered_ok(), "byte-identical across the blackout");
+    assert_eq!(tx.outcome, TransferOutcome::Delivered);
+    assert_eq!(rx.outcome, TransferOutcome::Delivered);
+    assert!(
+        rx_done > SimTime::from_secs_f64(2.008),
+        "completion lands after the heal: {rx_done:?}"
+    );
+    assert_eq!(h.p.eng.pending_events(), 0, "engine fully drained");
+    // O(log) resends: the armed in-flight window at the outage is bounded
+    // by the credited segment pipeline (~6 segments × 32 chunks). A fixed
+    // 3-RTT timer would resend each ~66 times across 2 s; backoff caps it
+    // near log2(66) ≈ 7 (plus the post-heal NACK sweep and baseline-loss
+    // repair). 2400 ≈ 192 chunks × 12 — well under a quarter of the
+    // fixed-timer bill.
+    eprintln!(
+        "blackout demo: done {:.3}s retransmits {}",
+        rx_done.as_secs_f64(),
+        tx.retransmits
+    );
+    assert!(
+        tx.retransmits >= 1,
+        "the outage must actually force resends"
+    );
+    assert!(
+        tx.retransmits <= 2400,
+        "O(log) resend bound blown: {} retransmits",
+        tx.retransmits
+    );
+}
+
+/// Acceptance demo 2: the same deployment under a 400 ms deadline — the
+/// outage outlives the budget, so both ends abort cleanly: `Aborted`
+/// outcome on both reports, zero leaked slots or timers.
+#[test]
+fn deadline_shorter_than_outage_aborts_cleanly_on_both_ends() {
+    let deadline = SimTime::from_secs_f64(0.4);
+    let (mut h, tx, rx) = blackout_demo(Some(deadline));
+    let (_, rx) = rx.expect("receiver reported");
+    // Both ends sit in the blackout when their (independent) deadlines
+    // fire; the peer notification is swallowed by the outage, so each
+    // side's own timer is what kills it.
+    assert_eq!(tx.outcome, TransferOutcome::Aborted(AbortReason::Deadline));
+    assert_eq!(rx.outcome, TransferOutcome::Aborted(AbortReason::Deadline));
+    assert_eq!(
+        tx.duration, deadline,
+        "the sender aborts exactly at its deadline"
+    );
+    assert_eq!(h.p.eng.pending_events(), 0, "all timers torn down");
+    // Every receive slot came back exactly once.
+    let spare = h.p.ctx_b.alloc_buffer(64 * 1024);
+    for n in 0..64 {
+        h.p.qp_b
+            .recv_post(&mut h.p.eng, spare, 64 * 1024)
+            .unwrap_or_else(|e| panic!("slot {n} not released exactly once: {e:?}"));
+    }
+}

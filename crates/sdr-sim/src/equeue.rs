@@ -309,6 +309,12 @@ impl EventQueue {
         match &mut self.backend {
             Backend::Wheel(w) => {
                 let t = self.at[idx as usize];
+                debug_assert!(
+                    t >= w.current,
+                    "insert into the past: t={} current={}",
+                    t,
+                    w.current
+                );
                 let (level, slot) = w.place(t);
                 let s = level * SLOTS + slot;
                 {
@@ -362,8 +368,15 @@ impl EventQueue {
     /// dropped immediately, the event will never execute, and it stops
     /// counting as pending or against the event limit. Returns `false`
     /// for stale handles.
+    ///
+    /// On the wheel backend a queued node is unlinked and freed eagerly:
+    /// leaving it in its slot as a tombstone would let a cascade jump the
+    /// cursor to the *cancelled* node's deadline, stranding the cursor
+    /// ahead of the engine clock when the queue then drains (a later
+    /// `schedule` at `now + d` would insert "into the past"). The heap
+    /// backend keeps lazy reaping (entries can't be removed mid-heap).
     pub(crate) fn cancel(&mut self, h: TimerHandle) -> bool {
-        let Some(n) = self.nodes.get_mut(h.idx as usize) else {
+        let Some(n) = self.nodes.get(h.idx as usize) else {
             return false;
         };
         if n.gen != h.gen {
@@ -371,8 +384,14 @@ impl EventQueue {
         }
         match n.state {
             State::Queued => {
-                n.state = State::Cancelled;
-                n.body = None;
+                if let Backend::Wheel(_) = self.backend {
+                    self.unlink(h.idx);
+                    self.free(h.idx);
+                } else {
+                    let n = &mut self.nodes[h.idx as usize];
+                    n.state = State::Cancelled;
+                    n.body = None;
+                }
                 self.live -= 1;
                 true
             }
@@ -380,7 +399,7 @@ impl EventQueue {
             // cancelling itself, or an event cancelling the one being
             // fired): mark it so it is freed instead of re-armed.
             State::Firing => {
-                n.state = State::Cancelled;
+                self.nodes[h.idx as usize].state = State::Cancelled;
                 true
             }
             State::Free | State::Cancelled => false,
@@ -552,9 +571,10 @@ impl EventQueue {
                 let mut walked = 0u32;
                 let mut cur = w.slots[s].head;
                 while cur != NIL && walked < JUMP_WALK_CAP {
-                    // SAFETY: slot lists hold live slab indices (a
-                    // cancelled node's stale deadline only makes the jump
-                    // conservative).
+                    // SAFETY: slot lists hold live slab indices; cancelled
+                    // nodes are unlinked eagerly, so every deadline seen
+                    // here belongs to an event that will actually fire
+                    // (the jump target is always reconciled by a pop).
                     unsafe {
                         t_min = t_min.min(*self.at.get_unchecked(cur as usize));
                         cur = *self.link.get_unchecked(cur as usize);

@@ -1,12 +1,18 @@
 //! The fabric ties nodes together with links and implements the send-side
 //! NIC datapath (fragmentation, serialization, send completions).
 //!
-//! Delivery pumps: each link files surviving packets into its own
+//! Delivery pumps: each link files every serialized packet into its own
 //! arrival-ordered queue ([`Link::enqueue`]) and the fabric keeps **one**
 //! recurring drain event per busy link ([`Fabric::arm_pump`]) that walks
 //! the queue at each arrival instant and re-arms itself in place — the
 //! zero-allocation replacement for the old one-boxed-closure-per-packet
-//! scheme.
+//! scheme. Packet fates are drawn by the loss process **at delivery
+//! time**, inside the pump's [`Link::pop_due`] walk: a loss step, blackout
+//! or flap applied mid-simulation (directly via
+//! [`set_link_loss`](Fabric::set_link_loss) /
+//! [`set_link_down`](Fabric::set_link_down), or scripted via
+//! [`apply_fault_plan`](Fabric::apply_fault_plan)) claims packets that
+//! were already in flight when it landed.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -16,6 +22,7 @@ use bytes::Bytes;
 
 use crate::engine::Engine;
 use crate::equeue::TimerHandle;
+use crate::fault::{FaultEvent, FaultHandle, FaultPlan};
 use crate::link::{Link, LinkConfig, LinkStats, TxOutcome};
 use crate::loss::LossModel;
 use crate::nic::{Cqe, CqeOp, Node, QpType};
@@ -98,18 +105,45 @@ impl Fabric {
         id
     }
 
+    /// Installs a unidirectional link `a → b`, returning `Err` (and
+    /// installing nothing) when the configuration is invalid — a loss
+    /// probability outside `[0, 1]`, or zero paths.
+    pub fn try_link(&self, a: NodeId, b: NodeId, cfg: LinkConfig) -> Result<(), String> {
+        let link = Link::try_new(cfg)?;
+        self.inner.borrow_mut().links.insert((a, b), link);
+        Ok(())
+    }
+
+    /// Installs a symmetric pair of links between `a` and `b`, giving the
+    /// reverse direction an independent loss/jitter seed. Returns `Err`
+    /// (installing neither direction) on an invalid configuration.
+    pub fn try_link_duplex(&self, a: NodeId, b: NodeId, cfg: LinkConfig) -> Result<(), String> {
+        cfg.loss.validate()?;
+        let mut rev = cfg.clone();
+        rev.seed = cfg.seed.wrapping_add(0x5EED_0001);
+        self.try_link(a, b, cfg)?;
+        self.try_link(b, a, rev)
+    }
+
     /// Installs a unidirectional link `a → b`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; use
+    /// [`try_link`](Self::try_link) for a recoverable error.
     pub fn link(&self, a: NodeId, b: NodeId, cfg: LinkConfig) {
-        self.inner.borrow_mut().links.insert((a, b), Link::new(cfg));
+        self.try_link(a, b, cfg)
+            .expect("invalid link configuration");
     }
 
     /// Installs a symmetric pair of links between `a` and `b`, giving the
     /// reverse direction an independent loss/jitter seed.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; use
+    /// [`try_link_duplex`](Self::try_link_duplex) for a recoverable error.
     pub fn link_duplex(&self, a: NodeId, b: NodeId, cfg: LinkConfig) {
-        let mut rev = cfg.clone();
-        rev.seed = cfg.seed.wrapping_add(0x5EED_0001);
-        self.link(a, b, cfg);
-        self.link(b, a, rev);
+        self.try_link_duplex(a, b, cfg)
+            .expect("invalid link configuration");
     }
 
     /// Runs `f` with shared access to a node.
@@ -165,6 +199,135 @@ impl Fabric {
         ab && ba
     }
 
+    /// Raises or clears the hard-blackout flag on the link `a → b` (see
+    /// [`Link::set_down`]). Returns `false` when no such link exists.
+    pub fn set_link_down(&self, a: NodeId, b: NodeId, down: bool) -> bool {
+        match self.inner.borrow_mut().links.get_mut(&(a, b)) {
+            Some(link) => {
+                link.set_down(down);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Raises or clears the hard-blackout flag in both directions.
+    pub fn set_down_duplex(&self, a: NodeId, b: NodeId, down: bool) -> bool {
+        let ab = self.set_link_down(a, b, down);
+        let ba = self.set_link_down(b, a, down);
+        ab && ba
+    }
+
+    /// Applies `model` to `a → b`, and to `b → a` too when `duplex`.
+    fn fault_set_loss(&self, a: NodeId, b: NodeId, duplex: bool, model: LossModel) {
+        self.set_link_loss(a, b, model.clone());
+        if duplex {
+            self.set_link_loss(b, a, model);
+        }
+    }
+
+    /// Sets the down flag on `a → b`, and on `b → a` too when `duplex`.
+    fn fault_set_down(&self, a: NodeId, b: NodeId, duplex: bool, down: bool) {
+        self.set_link_down(a, b, down);
+        if duplex {
+            self.set_link_down(b, a, down);
+        }
+    }
+
+    /// Schedules a [`FaultPlan`] against the link `a → b` (both directions
+    /// when the plan is duplex). Each event rides one cancellable engine
+    /// timer — a multi-phase event (blackout heal, flap cycles, drift
+    /// steps) re-arms its own timer in place, so the returned
+    /// [`FaultHandle`] can cancel the whole script at any point. Plans are
+    /// finite: once every event has played out, no timers remain.
+    ///
+    /// Returns `Err` without scheduling anything when the plan fails
+    /// [`FaultPlan::validate`].
+    pub fn apply_fault_plan(
+        &self,
+        eng: &mut Engine,
+        a: NodeId,
+        b: NodeId,
+        plan: &FaultPlan,
+    ) -> Result<FaultHandle, String> {
+        plan.validate()?;
+        let duplex = plan.duplex;
+        let mut handle = FaultHandle::default();
+        for ev in plan.events.iter().cloned() {
+            let fab = self.clone();
+            let h = match ev {
+                FaultEvent::SetLoss { at, model } => eng.schedule_recurring_at(at, move |_| {
+                    fab.fault_set_loss(a, b, duplex, model.clone());
+                    None
+                }),
+                FaultEvent::Blackout { at, duration } => {
+                    let mut healed = false;
+                    eng.schedule_recurring_at(at, move |eng| {
+                        if healed {
+                            fab.fault_set_down(a, b, duplex, false);
+                            None
+                        } else {
+                            healed = true;
+                            fab.fault_set_down(a, b, duplex, true);
+                            Some(eng.now().saturating_add(duration))
+                        }
+                    })
+                }
+                FaultEvent::Flap {
+                    at,
+                    cycles,
+                    down,
+                    up,
+                } => {
+                    let total = 2 * cycles;
+                    let mut fired = 0u32;
+                    eng.schedule_recurring_at(at, move |eng| {
+                        let going_down = fired.is_multiple_of(2);
+                        fab.fault_set_down(a, b, duplex, going_down);
+                        fired += 1;
+                        if fired >= total {
+                            // The last firing is always an "up": the link
+                            // is left healed.
+                            None
+                        } else {
+                            let dwell = if going_down { down } else { up };
+                            Some(eng.now().saturating_add(dwell))
+                        }
+                    })
+                }
+                FaultEvent::Drift {
+                    at,
+                    period,
+                    steps,
+                    floor_p,
+                    peak_p,
+                    cycles,
+                } => {
+                    let total = steps * cycles;
+                    let step_dt = period / steps as u64;
+                    let mut fired = 0u32;
+                    eng.schedule_recurring_at(at, move |eng| {
+                        // Triangular sweep in log space: floor → peak →
+                        // floor across each period.
+                        let phase = (fired % steps) as f64 / steps as f64;
+                        let tri = 1.0 - (2.0 * phase - 1.0).abs();
+                        let p = floor_p * (peak_p / floor_p).powf(tri);
+                        fired += 1;
+                        if fired >= total {
+                            fab.fault_set_loss(a, b, duplex, LossModel::Iid { p: floor_p });
+                            None
+                        } else {
+                            fab.fault_set_loss(a, b, duplex, LossModel::Iid { p });
+                            Some(eng.now().saturating_add(step_dt))
+                        }
+                    })
+                }
+            };
+            handle.timers.push(h);
+        }
+        Ok(handle)
+    }
+
     /// Makes sure the drain pump of `key` is armed at the link's earliest
     /// pending arrival: arms a fresh recurring event for an idle link,
     /// re-arms the existing one when a jittered/multipath arrival landed
@@ -185,6 +348,11 @@ impl Fabric {
         match act {
             PumpAct::Nothing => {}
             PumpAct::New(t) => {
+                debug_assert!(
+                    t >= eng.now(),
+                    "arm_pump New in the past: key={key:?} t={t:?} now={:?}",
+                    eng.now()
+                );
                 let fab = self.clone();
                 let h = eng.schedule_recurring_at(t, move |eng| fab.drain_link(eng, key));
                 if let Some(link) = self.inner.borrow_mut().links.get_mut(&key) {
@@ -625,6 +793,129 @@ mod tests {
             .unwrap()
             .delivered;
         assert_eq!(delivered, 10);
+    }
+
+    /// Posts `n` independent single-packet writes from `a` at `now`.
+    fn post_train(eng: &mut Engine, fab: &Fabric, a: QpAddr, mr: &crate::nic::Mr, n: usize) {
+        fab.post_uc_write_per_packet(
+            eng,
+            a,
+            WriteWr {
+                remote_mkey: mr.mkey,
+                remote_offset: 0,
+                data: Bytes::from(vec![3u8; n * 4096]),
+                imm: None,
+                wr_id: 0,
+                signaled: false,
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn fault_plan_blackout_claims_in_flight_window() {
+        let (mut eng, fab, a, b) = two_node_uc(0.0);
+        let mr = fab.node_mut(b.node, |n| n.alloc_mr(1 << 20));
+        // 40 packets serialize over ~167 us; arrivals trail by the 2 us
+        // propagation delay. All are posted (and in flight) before the
+        // blackout window [50 us, 110 us) opens — only delivery-time loss
+        // can claim them.
+        post_train(&mut eng, &fab, a, &mr, 40);
+        let plan = FaultPlan::new().with(FaultEvent::Blackout {
+            at: SimTime::from_micros(50),
+            duration: SimTime::from_micros(60),
+        });
+        let h = fab
+            .apply_fault_plan(&mut eng, a.node, b.node, &plan)
+            .unwrap();
+        assert_eq!(h.timer_count(), 1, "one timer per event");
+        eng.run();
+        let s = fab.link_stats(a.node, b.node).unwrap();
+        assert_eq!(s.sent, 40);
+        assert!(
+            s.dropped >= 10 && s.delivered >= 10,
+            "blackout window splits the train: dropped {} delivered {}",
+            s.dropped,
+            s.delivered
+        );
+        assert_eq!(s.dropped + s.delivered, 40);
+        let down = fab.inner.borrow().links[&(a.node, b.node)].is_down();
+        assert!(!down, "link healed after the window");
+        assert_eq!(eng.pending_events(), 0, "finite plan leaves no timers");
+    }
+
+    #[test]
+    fn fault_plan_flap_and_drift_play_out_and_rest() {
+        let (mut eng, fab, a, b) = two_node_uc(0.0);
+        let plan = FaultPlan::new_duplex()
+            .with(FaultEvent::Flap {
+                at: SimTime::from_micros(10),
+                cycles: 3,
+                down: SimTime::from_micros(5),
+                up: SimTime::from_micros(5),
+            })
+            .with(FaultEvent::Drift {
+                at: SimTime::from_micros(20),
+                period: SimTime::from_micros(40),
+                steps: 8,
+                floor_p: 1e-4,
+                peak_p: 0.25,
+                cycles: 2,
+            });
+        fab.apply_fault_plan(&mut eng, a.node, b.node, &plan)
+            .unwrap();
+        eng.run();
+        assert_eq!(eng.pending_events(), 0, "flap + drift are finite");
+        let inner = fab.inner.borrow();
+        for key in [(a.node, b.node), (b.node, a.node)] {
+            let link = &inner.links[&key];
+            assert!(!link.is_down(), "flap leaves the link up");
+            assert_eq!(
+                link.config().loss,
+                LossModel::Iid { p: 1e-4 },
+                "drift rests at the floor rate (duplex: both directions)"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_plan_validates_and_cancels() {
+        let (mut eng, fab, a, b) = two_node_uc(0.0);
+        let bad = FaultPlan::new().with(FaultEvent::SetLoss {
+            at: SimTime::ZERO,
+            model: LossModel::Iid { p: 2.0 },
+        });
+        assert!(fab
+            .apply_fault_plan(&mut eng, a.node, b.node, &bad)
+            .is_err());
+        // A cancelled plan never touches the link.
+        let plan = FaultPlan::new().with(FaultEvent::Blackout {
+            at: SimTime::from_micros(50),
+            duration: SimTime::from_micros(60),
+        });
+        let h = fab
+            .apply_fault_plan(&mut eng, a.node, b.node, &plan)
+            .unwrap();
+        h.cancel(&mut eng);
+        let mr = fab.node_mut(b.node, |n| n.alloc_mr(1 << 20));
+        post_train(&mut eng, &fab, a, &mr, 40);
+        eng.run();
+        let s = fab.link_stats(a.node, b.node).unwrap();
+        assert_eq!(s.delivered, 40, "cancelled blackout drops nothing");
+        assert_eq!(eng.pending_events(), 0);
+    }
+
+    #[test]
+    fn try_link_rejects_invalid_configs() {
+        let fab = Fabric::new();
+        let a = fab.add_node(1 << 16);
+        let b = fab.add_node(1 << 16);
+        let bad = LinkConfig::intra_dc(8e9).with_loss(LossModel::Iid { p: -0.5 });
+        assert!(fab.try_link(a, b, bad.clone()).is_err());
+        assert!(fab.try_link_duplex(a, b, bad).is_err());
+        assert!(fab.link_stats(a, b).is_none(), "nothing installed");
+        assert!(fab.try_link_duplex(a, b, LinkConfig::intra_dc(8e9)).is_ok());
+        assert!(fab.link_stats(a, b).is_some());
     }
 
     #[test]

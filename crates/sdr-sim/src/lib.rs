@@ -24,6 +24,12 @@
 //!   **coalesced**: each link keeps an arrival-ordered `VecDeque` of
 //!   in-flight packets and the fabric drives it with a single re-armed
 //!   drain event per busy period, instead of one boxed closure per packet.
+//!   Packet fates are drawn **at delivery time** inside that pump, so
+//!   mid-simulation channel changes claim packets already in flight.
+//! * [`FaultPlan`]/[`FaultEvent`] — scripted fault injection on links:
+//!   timed loss steps, Gilbert–Elliott parameter shifts, diurnal drift,
+//!   hard blackout windows and up/down flaps, each riding one cancellable
+//!   engine timer ([`Fabric::apply_fault_plan`]).
 //! * [`BottleneckQueue`]/[`OnOffSource`] — the congestion mechanism behind
 //!   the paper's Figure 2 drop-rate measurements.
 //! * [`Node`] — an endpoint with memory, memory-key translation (direct,
@@ -48,6 +54,7 @@
 pub mod engine;
 pub mod equeue;
 pub mod fabric;
+pub mod fault;
 pub mod link;
 pub mod loss;
 pub mod memory;
@@ -60,6 +67,7 @@ pub mod time;
 pub use engine::{shared, Engine, Shared};
 pub use equeue::{QueueKind, TimerHandle};
 pub use fabric::{Fabric, PostError, WriteWr};
+pub use fault::{FaultEvent, FaultHandle, FaultPlan};
 pub use link::{Link, LinkConfig, LinkStats, TxOutcome, DEFAULT_HEADER_BYTES};
 pub use loss::{LossModel, LossProcess};
 pub use memory::{AccessError, Memory, MkeyTable, MkeyTarget, Resolved};

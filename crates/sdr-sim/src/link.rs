@@ -5,13 +5,23 @@
 //! delay. Serialization is modelled with a `next_free` cursor so back-to-back
 //! transmissions queue behind each other exactly as on a real wire.
 //!
-//! Delivery is **coalesced**: [`Link::enqueue`] computes each surviving
-//! packet's arrival instant and files it into an arrival-ordered
-//! [`VecDeque`]; the fabric drives the queue with a single re-armable drain
-//! event per busy period ([`Fabric`](crate::Fabric) owns the pump). A
-//! serialization train of N packets therefore costs N queue-node re-arms
-//! and zero boxed closures, where it used to cost N `Box<dyn FnOnce>`
-//! allocations pushed through the engine heap.
+//! Delivery is **coalesced**: [`Link::enqueue`] computes each packet's
+//! arrival instant and files it into an arrival-ordered [`VecDeque`]; the
+//! fabric drives the queue with a single re-armable drain event per busy
+//! period ([`Fabric`](crate::Fabric) owns the pump). A serialization train
+//! of N packets therefore costs N queue-node re-arms and zero boxed
+//! closures, where it used to cost N `Box<dyn FnOnce>` allocations pushed
+//! through the engine heap.
+//!
+//! # Delivery-time loss
+//!
+//! The loss draw happens at **delivery time** ([`Link::pop_due`]), not at
+//! post time: a packet's fate is decided the instant it would reach the far
+//! end. A loss step, blackout, or flap applied mid-simulation (via
+//! [`Link::set_loss`], [`Link::set_down`], or a
+//! [`FaultPlan`](crate::FaultPlan)) therefore affects packets already in
+//! flight — the ~1.5 RTT of pre-posted pipeline feels the channel change
+//! instead of sailing through on fates drawn under the old conditions.
 
 use std::collections::VecDeque;
 
@@ -127,16 +137,15 @@ pub struct LinkStats {
     pub bytes: u64,
 }
 
-/// Outcome of handing one packet to [`Link::enqueue`].
+/// Outcome of handing one packet to [`Link::enqueue`]: the wire schedule
+/// the packet was given. Whether it actually arrives is decided by the
+/// loss process at delivery time ([`Link::pop_due`]), so a mid-flight
+/// channel change can still claim it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TxOutcome {
-    /// The packet will arrive at the given absolute time.
-    Delivered {
-        /// Arrival instant at the receiver.
-        at: SimTime,
-    },
-    /// The loss process consumed the packet; no delivery will happen.
-    Dropped,
+pub struct TxOutcome {
+    /// Scheduled arrival instant at the receiver (serialization +
+    /// propagation + jitter).
+    pub at: SimTime,
 }
 
 /// A unidirectional lossy link (possibly striped over parallel paths).
@@ -154,16 +163,25 @@ pub struct Link {
     /// logically by the fabric; stored here so each link carries exactly
     /// one pump.
     drain: Option<(TimerHandle, SimTime)>,
+    /// Hard blackout flag: while set, every packet reaching its delivery
+    /// instant is dropped (without consuming the loss process's RNG
+    /// stream, so the post-heal drop pattern is unperturbed).
+    down: bool,
 }
 
 impl Link {
-    /// Builds a link from its configuration.
-    pub fn new(cfg: LinkConfig) -> Self {
-        assert!(cfg.paths >= 1, "a link needs at least one path");
+    /// Builds a link from its configuration, returning `Err` when the
+    /// configuration is invalid (a loss probability outside `[0, 1]`, or
+    /// zero paths).
+    pub fn try_new(cfg: LinkConfig) -> Result<Self, String> {
+        if cfg.paths < 1 {
+            return Err("a link needs at least one path".to_string());
+        }
+        cfg.loss.validate()?;
         let loss = LossProcess::new(cfg.loss.clone(), cfg.seed.wrapping_mul(0x9E37_79B9));
         let rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0xA5A5_5A5A));
         let next_free = vec![SimTime::ZERO; cfg.paths];
-        Link {
+        Ok(Link {
             cfg,
             loss,
             rng,
@@ -171,7 +189,17 @@ impl Link {
             stats: LinkStats::default(),
             pending: VecDeque::new(),
             drain: None,
-        }
+            down: false,
+        })
+    }
+
+    /// Builds a link from its configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid; use
+    /// [`try_new`](Self::try_new) for a recoverable error.
+    pub fn new(cfg: LinkConfig) -> Self {
+        Self::try_new(cfg).expect("invalid link configuration")
     }
 
     /// The link configuration.
@@ -194,14 +222,15 @@ impl Link {
         *self.next_free.iter().max().expect("paths >= 1")
     }
 
-    /// Serializes `pkt` onto the wire at `now`. If the loss process spares
-    /// it, the packet is filed into the pending-arrival queue and will be
-    /// handed back by [`pop_due`](Self::pop_due) at its arrival instant —
-    /// the caller (the fabric) keeps a drain event armed at
+    /// Serializes `pkt` onto the wire at `now`: the packet is filed into
+    /// the pending-arrival queue and handed back (or dropped) by
+    /// [`pop_due`](Self::pop_due) at its arrival instant — the caller (the
+    /// fabric) keeps a drain event armed at
     /// [`next_arrival`](Self::next_arrival).
     ///
-    /// The drop decision is made *after* serialization: a dropped packet
-    /// still occupies the wire (it is lost in transit, not at the sender).
+    /// The drop decision is **not** made here: fates are drawn at delivery
+    /// time, so a channel change while the packet is in flight still
+    /// applies to it.
     pub fn enqueue(&mut self, now: SimTime, pkt: Packet) -> TxOutcome {
         let wire_bytes = (pkt.payload_len() + self.cfg.header_bytes) as u64;
         // ECMP-style path choice: the earliest-available path wins.
@@ -215,18 +244,12 @@ impl Link {
         self.stats.sent += 1;
         self.stats.bytes += wire_bytes;
 
-        if self.loss.drops_next() {
-            self.stats.dropped += 1;
-            return TxOutcome::Dropped;
-        }
-
         let mut arrival = self.next_free[path] + self.cfg.one_way_delay;
         if let Some(jitter) = self.cfg.reorder_jitter {
             if jitter > SimTime::ZERO {
                 arrival += SimTime(self.rng.random_range(0..=jitter.as_picos()));
             }
         }
-        self.stats.delivered += 1;
         // Keep the queue arrival-ordered (stable for equal instants).
         // Jitter and multipath can make a later send arrive earlier, but
         // the common case appends at the back.
@@ -235,7 +258,7 @@ impl Link {
             i -= 1;
         }
         self.pending.insert(i, (arrival, pkt));
-        TxOutcome::Delivered { at: arrival }
+        TxOutcome { at: arrival }
     }
 
     /// The earliest pending arrival, if any (where the drain pump arms).
@@ -243,13 +266,22 @@ impl Link {
         self.pending.front().map(|(at, _)| *at)
     }
 
-    /// Pops the next packet whose arrival instant is `<= now`.
+    /// Pops the next *surviving* packet whose arrival instant is `<= now`,
+    /// drawing each due packet's fate from the loss process at this —
+    /// delivery — time. Due packets the loss process (or an active
+    /// blackout) claims are consumed here and counted in
+    /// [`stats().dropped`](Self::stats).
     pub fn pop_due(&mut self, now: SimTime) -> Option<Packet> {
-        if self.pending.front().is_some_and(|(at, _)| *at <= now) {
-            self.pending.pop_front().map(|(_, p)| p)
-        } else {
-            None
+        while self.pending.front().is_some_and(|(at, _)| *at <= now) {
+            let (_, pkt) = self.pending.pop_front().expect("front checked");
+            if self.down || self.loss.drops_next() {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.stats.delivered += 1;
+            return Some(pkt);
         }
+        None
     }
 
     /// Packets currently in flight toward the receiver.
@@ -274,10 +306,20 @@ impl Link {
 
     /// Replaces the loss model mid-simulation — the substrate for loss-step
     /// scenarios (an ISP congestion episode beginning or ending, Figure 2's
-    /// three-orders-of-magnitude drift). The new process gets a fresh RNG
-    /// stream derived deterministically from the link seed and the packets
-    /// already offered, so replaying the same schedule of `set_loss` calls
-    /// reproduces the same drops.
+    /// three-orders-of-magnitude drift). Because fates are drawn at
+    /// delivery time, the new model applies to packets already in flight.
+    ///
+    /// The new process gets a fresh RNG stream derived deterministically
+    /// from the link seed and the packets already offered, so replaying the
+    /// same schedule of `set_loss` calls reproduces the same drops.
+    ///
+    /// **Burst-state semantics**: the replacement process always starts in
+    /// the *good* state — a Gilbert–Elliott link mid-burst does not carry
+    /// the burst across a `set_loss`, even when the new model equals the
+    /// old one. A fault plan that wants a burst to span a parameter shift
+    /// must express it in the new model's parameters (e.g. a higher
+    /// `p_good_to_bad`), not rely on carried state. This keeps the schedule
+    /// of `set_loss` calls the *complete* description of the channel.
     pub fn set_loss(&mut self, model: LossModel) {
         assert!(model.validate().is_ok(), "invalid loss model");
         let seed = self
@@ -287,6 +329,20 @@ impl Link {
             .wrapping_add(self.stats.sent);
         self.cfg.loss = model.clone();
         self.loss = LossProcess::new(model, seed);
+    }
+
+    /// Raises or clears the hard-blackout flag. While down, every packet
+    /// reaching its delivery instant is dropped — including packets that
+    /// were already in flight when the blackout began. The loss process's
+    /// RNG stream is not consumed by blackout drops, so the drop pattern
+    /// after heal is exactly what it would have been without the outage.
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+    }
+
+    /// True while the hard-blackout flag is raised.
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 }
 
@@ -343,7 +399,7 @@ mod tests {
         let got = link.borrow_mut().enqueue(SimTime::ZERO, pkt(1, 1000));
         // 1000 bytes at 1 B/ns = 1 us serialize + 5 us propagation.
         let expect = SimTime::from_micros(6);
-        assert_eq!(got, TxOutcome::Delivered { at: expect });
+        assert_eq!(got, TxOutcome { at: expect });
         pump(&mut eng, &link, &out);
         eng.run();
         assert_eq!(*out.borrow(), vec![(1, expect)]);
@@ -371,6 +427,16 @@ mod tests {
         );
     }
 
+    /// Drains every pending packet regardless of arrival instant, drawing
+    /// each fate at "delivery" (test shorthand for a full pump run).
+    fn drain_all(link: &mut Link) -> usize {
+        let mut delivered = 0;
+        while link.pop_due(SimTime(u64::MAX)).is_some() {
+            delivered += 1;
+        }
+        delivered
+    }
+
     #[test]
     fn dropped_packets_still_consume_wire_time() {
         let mut cfg = LinkConfig::intra_dc(8e9);
@@ -378,11 +444,91 @@ mod tests {
         cfg.loss = LossModel::Iid { p: 1.0 };
         let mut link = Link::new(cfg);
         let out = link.enqueue(SimTime::ZERO, pkt(0, 1000));
-        assert_eq!(out, TxOutcome::Dropped);
+        // The packet occupies the wire and flies; the loss draw happens at
+        // its delivery instant, where the p=1 process claims it.
         assert_eq!(link.next_free(), SimTime::from_micros(1));
+        assert_eq!(link.in_flight(), 1, "fate undecided while in flight");
+        assert_eq!(link.next_arrival(), Some(out.at));
+        assert!(link.pop_due(out.at).is_none(), "claimed at delivery");
         assert_eq!(link.stats().dropped, 1);
-        assert_eq!(link.in_flight(), 0, "dropped packets never queue");
+        assert_eq!(link.in_flight(), 0);
         assert_eq!(link.next_arrival(), None);
+    }
+
+    #[test]
+    fn loss_step_claims_packets_already_in_flight() {
+        // The delivery-time guarantee: packets posted under a clean channel
+        // but still in flight when the loss steps to p=1 are dropped.
+        let cfg = LinkConfig::wan(100.0, 8e9, 0.0).with_seed(3);
+        let mut link = Link::new(cfg);
+        for i in 0..20 {
+            link.enqueue(SimTime::ZERO, pkt(i, 100));
+        }
+        assert_eq!(link.in_flight(), 20);
+        link.set_loss(LossModel::Iid { p: 1.0 });
+        assert_eq!(drain_all(&mut link), 0, "in-flight packets feel the step");
+        let s = link.stats();
+        assert_eq!((s.dropped, s.delivered), (20, 0));
+    }
+
+    #[test]
+    fn blackout_claims_in_flight_and_heals_cleanly() {
+        let cfg = LinkConfig::wan(100.0, 8e9, 0.0).with_seed(4);
+        let mut link = Link::new(cfg);
+        for i in 0..10 {
+            link.enqueue(SimTime::ZERO, pkt(i, 100));
+        }
+        link.set_down(true);
+        assert!(link.is_down());
+        assert_eq!(drain_all(&mut link), 0, "blackout claims in-flight");
+        assert_eq!(link.stats().dropped, 10);
+        link.set_down(false);
+        for i in 0..10 {
+            link.enqueue(SimTime::from_micros(1), pkt(i, 100));
+        }
+        assert_eq!(drain_all(&mut link), 10, "clean again after heal");
+        assert_eq!(link.stats().delivered, 10);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs() {
+        let bad_loss = LinkConfig::intra_dc(8e9).with_loss(LossModel::Iid { p: 1.5 });
+        assert!(Link::try_new(bad_loss).is_err());
+        let mut no_paths = LinkConfig::intra_dc(8e9);
+        no_paths.paths = 0;
+        assert!(Link::try_new(no_paths).is_err());
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9)).is_ok());
+    }
+
+    #[test]
+    fn set_loss_resets_gilbert_elliott_burst_state() {
+        // Force the process into a permanent bad burst...
+        let stuck_bad = LossModel::GilbertElliott {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 0.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let cfg = LinkConfig::intra_dc(8e9).with_loss(stuck_bad).with_seed(6);
+        let mut link = Link::new(cfg);
+        for i in 0..10 {
+            link.enqueue(SimTime::ZERO, pkt(i, 100));
+        }
+        assert_eq!(drain_all(&mut link), 0, "burst drops everything");
+        // ...then swap in a model that never *enters* the bad state but
+        // always drops while in it. The documented semantics restart in
+        // the good state, so nothing drops; carried burst state would have
+        // kept dropping forever.
+        link.set_loss(LossModel::GilbertElliott {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 0.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        });
+        for i in 0..10 {
+            link.enqueue(SimTime::ZERO, pkt(i, 100));
+        }
+        assert_eq!(drain_all(&mut link), 10, "set_loss restarts in good state");
     }
 
     #[test]
@@ -391,10 +537,8 @@ mod tests {
         cfg.header_bytes = 100;
         cfg.one_way_delay = SimTime::ZERO;
         let mut link = Link::new(cfg);
-        match link.enqueue(SimTime::ZERO, pkt(0, 900)) {
-            TxOutcome::Delivered { at } => assert_eq!(at, SimTime::from_micros(1)),
-            TxOutcome::Dropped => panic!(),
-        }
+        let out = link.enqueue(SimTime::ZERO, pkt(0, 900));
+        assert_eq!(out.at, SimTime::from_micros(1));
     }
 
     #[test]
@@ -433,18 +577,13 @@ mod tests {
         let mut link = Link::new(cfg);
         let mut arrivals = Vec::new();
         for tag in 0..4 {
-            match link.enqueue(SimTime::ZERO, pkt(tag, 1000)) {
-                TxOutcome::Delivered { at } => arrivals.push(at),
-                TxOutcome::Dropped => panic!(),
-            }
+            arrivals.push(link.enqueue(SimTime::ZERO, pkt(tag, 1000)).at);
         }
         // Each serializes in 1000*8/2e9 = 4 us, all in parallel.
         assert!(arrivals.iter().all(|&a| a == SimTime::from_micros(4)));
         // A 5th packet queues behind the earliest path.
-        match link.enqueue(SimTime::ZERO, pkt(4, 1000)) {
-            TxOutcome::Delivered { at } => assert_eq!(at, SimTime::from_micros(8)),
-            TxOutcome::Dropped => panic!(),
-        }
+        let out = link.enqueue(SimTime::ZERO, pkt(4, 1000));
+        assert_eq!(out.at, SimTime::from_micros(8));
     }
 
     #[test]
@@ -472,11 +611,13 @@ mod tests {
         for i in 0..500 {
             link.enqueue(SimTime::ZERO, pkt(i, 100));
         }
+        drain_all(&mut link);
         assert_eq!(link.stats().dropped, 0, "clean phase drops nothing");
         link.set_loss(LossModel::Iid { p: 0.5 });
         for i in 0..1000 {
             link.enqueue(SimTime::ZERO, pkt(i, 100));
         }
+        drain_all(&mut link);
         let d = link.stats().dropped;
         assert!((300..700).contains(&d), "post-step drops {d}");
         // Back to clean: the step is fully reversible.
@@ -484,6 +625,7 @@ mod tests {
         for i in 0..500 {
             link.enqueue(SimTime::ZERO, pkt(i, 100));
         }
+        drain_all(&mut link);
         assert_eq!(link.stats().dropped, d, "clean again after the episode");
     }
 
@@ -494,10 +636,13 @@ mod tests {
         for i in 0..1000 {
             link.enqueue(SimTime::ZERO, pkt(i, 100));
         }
+        assert_eq!(link.stats().sent, 1000);
+        assert_eq!(link.in_flight(), 1000, "fates undecided until delivery");
+        drain_all(&mut link);
         let s = link.stats();
         assert_eq!(s.sent, 1000);
         assert_eq!(s.dropped + s.delivered, 1000);
         assert!(s.dropped > 300 && s.dropped < 700, "dropped {}", s.dropped);
-        assert_eq!(link.in_flight() as u64, s.delivered);
+        assert_eq!(link.in_flight(), 0);
     }
 }

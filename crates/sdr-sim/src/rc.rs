@@ -21,12 +21,21 @@ use crate::nic::Waker;
 use crate::packet::{MkeyId, Packet, PacketKind, QpAddr, WriteSeg};
 use crate::time::SimTime;
 
+/// Cap on the exponential RTO backoff: the effective timeout saturates at
+/// `rto << RTO_BACKOFF_CAP` (64× base). During a dead-link window the
+/// sender therefore rewinds O(log) times and then probes at the capped
+/// cadence, instead of storming a retransmit burst every base RTO.
+pub const RTO_BACKOFF_CAP: u32 = 6;
+
 /// Tuning knobs of the go-back-N endpoint.
 #[derive(Clone, Debug)]
 pub struct RcConfig {
     /// Send window in packets.
     pub window: usize,
-    /// Retransmission timeout for the oldest unacked packet.
+    /// Base retransmission timeout for the oldest unacked packet. Doubles
+    /// on every expiry without progress, up to [`RTO_BACKOFF_CAP`]
+    /// doublings, and restarts at the base value when an ACK acknowledges
+    /// new data (Karn-style restart).
     pub rto: SimTime,
     /// Receiver sends a cumulative ACK every this many in-order packets
     /// (and always on the last packet of a message).
@@ -84,6 +93,9 @@ pub struct RcEndpoint {
     /// ACK that makes progress and cancelled at completion — no
     /// generation-stamped no-op events ever fire.
     rto_timer: Option<TimerHandle>,
+    /// Current backoff exponent: effective RTO is `rto << backoff`,
+    /// saturating at [`RTO_BACKOFF_CAP`].
+    backoff: u32,
     // Receiver state.
     epsn: u32,
     last_nak: Option<u32>,
@@ -108,6 +120,7 @@ impl RcEndpoint {
             cfg,
             msg: None,
             rto_timer: None,
+            backoff: 0,
             epsn: 0,
             last_nak: None,
             in_order_since_ack: 0,
@@ -175,13 +188,22 @@ impl RcEndpoint {
                 next: 0,
                 on_complete: Some(Box::new(on_complete)),
             });
+            ep.backoff = 0;
             ep.pump(eng);
         }
         Self::arm_timer(this, eng);
     }
 
-    /// Pushes the RTO deadline out to `now + rto` (an ACK made progress).
+    /// Effective timeout under the current backoff exponent.
+    fn rto_effective(&self) -> SimTime {
+        self.cfg.rto * (1u64 << self.backoff)
+    }
+
+    /// Pushes the RTO deadline out to `now + rto` and restarts the backoff
+    /// at the base timeout (an ACK made progress — the Karn-style restart:
+    /// only fresh evidence the channel is alive resets the exponent).
     fn bump_timer(&mut self, eng: &mut Engine) {
+        self.backoff = 0;
         if let Some(h) = self.rto_timer {
             let at = eng.now().saturating_add(self.cfg.rto);
             let _ = eng.reschedule(h, at);
@@ -242,20 +264,23 @@ impl RcEndpoint {
         let me = this.clone();
         // One recurring timer per message: the timer only ever fires when
         // the full RTO elapsed without progress (progress *reschedules* it
-        // instead of letting it fire as a no-op), rewinds, and re-arms its
-        // own node in place.
+        // instead of letting it fire as a no-op), rewinds, backs off
+        // exponentially, and re-arms its own node in place.
         let h = eng.schedule_recurring_in(rto, move |eng| {
             let mut ep = me.borrow_mut();
             match &mut ep.msg {
                 Some(_) => {
-                    // No progress since the timer was (re)armed: rewind.
+                    // No progress since the timer was (re)armed: rewind
+                    // and double the next wait (capped) — a dead link
+                    // costs O(log) rewinds, not one per base RTO.
                     ep.stats.timeouts += 1;
                     let msg = ep.msg.as_mut().unwrap();
                     let outstanding = msg.next - msg.base;
                     msg.next = msg.base;
                     ep.stats.retransmitted += outstanding as u64;
                     ep.pump(eng);
-                    Some(eng.now().saturating_add(ep.cfg.rto))
+                    ep.backoff = (ep.backoff + 1).min(RTO_BACKOFF_CAP);
+                    Some(eng.now().saturating_add(ep.rto_effective()))
                 }
                 // Completed; the handle was cancelled there, so this arm
                 // is only a backstop.
@@ -441,6 +466,49 @@ mod tests {
         assert!(ok, "go-back-N must recover from 5% loss");
         assert!(s_a.retransmitted > 0, "retransmissions expected");
         assert!(s_b.naks_sent + s_a.timeouts > 0);
+    }
+
+    #[test]
+    fn rto_backoff_bounds_rewinds_through_a_blackout() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        // A 50 ms blackout against a 200 us base RTO: a fixed-RTO sender
+        // would rewind ~250 times; exponential backoff pays
+        // log2(64) = 6 doublings then probes at 12.8 ms, so the whole
+        // outage costs ~10 rewinds.
+        let (mut eng, fab, ep_a, _ep_b, mr) = rc_pair(0.0, 21);
+        let plan = FaultPlan::new_duplex().with(FaultEvent::Blackout {
+            at: SimTime::from_micros(50),
+            duration: SimTime::from_millis(50),
+        });
+        fab.apply_fault_plan(
+            &mut eng,
+            crate::packet::NodeId(0),
+            crate::packet::NodeId(1),
+            &plan,
+        )
+        .unwrap();
+        let data: Vec<u8> = (0..100_000).map(|i| (i % 253) as u8).collect();
+        let done = Rc::new(Cell::new(false));
+        let d = done.clone();
+        RcEndpoint::post_write(
+            &ep_a,
+            &mut eng,
+            Bytes::from(data.clone()),
+            mr.mkey,
+            0,
+            None,
+            move |_| d.set(true),
+        );
+        eng.run();
+        assert!(done.get(), "transfer survives the blackout");
+        fab.node(crate::packet::NodeId(1), |n| {
+            assert_eq!(n.mem().read(mr.addr, data.len()), &data[..]);
+        });
+        let timeouts = ep_a.borrow().stats().timeouts;
+        assert!(
+            (2..=14).contains(&timeouts),
+            "backoff caps rewinds at O(log): {timeouts}"
+        );
     }
 
     #[test]
