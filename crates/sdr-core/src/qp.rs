@@ -384,6 +384,30 @@ impl SdrQp {
         self.inner.borrow().send_seq
     }
 
+    /// The next receive sequence number this QP will assign (order-based
+    /// matching: the n-th post on this QP gets sequence n).
+    pub fn next_recv_seq(&self) -> u64 {
+        self.inner.borrow().recv_seq
+    }
+
+    /// Fast-forwards the send sequence to `seq`, discarding any CTS
+    /// credits below it. Resume realignment: CTS matching is order-based
+    /// and a restarted peer's posts continue from its pre-crash receive
+    /// sequence, which may be ahead of this sender's opens (a receiver
+    /// posts buffers before the sender streams into them) — the skipped
+    /// sequences belong to the dead life and must never be sent.
+    /// Rewinding is refused: sequences below the current counter may
+    /// already be in flight.
+    pub fn align_send_seq(&self, seq: u64) -> Result<(), SdrError> {
+        let mut i = self.inner.borrow_mut();
+        if seq < i.send_seq {
+            return Err(SdrError::BadHandle);
+        }
+        i.send_seq = seq;
+        i.cts_credits.retain(|&s, _| s >= seq);
+        Ok(())
+    }
+
     /// The frontend chunk bitmap of a posted receive (`recv_bitmap_get`).
     /// The reliability layer polls this to locate drops.
     pub fn recv_bitmap(&self, hdl: &RecvHandle) -> Result<Arc<TwoLevelBitmap>, SdrError> {

@@ -10,13 +10,66 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::runtime::AbortReason;
+use crate::runtime::{AbortReason, DeliveryManifest};
 
 /// Maximum selective-ACK window carried per ACK (bits). Chosen so the whole
 /// message fits comfortably in one 4 KiB control datagram.
 pub const MAX_SACK_BITS: usize = 1024;
 /// Maximum explicit NACK entries per ACK.
 pub const MAX_NACKS: usize = 128;
+
+/// The `(transfer, incarnation, seq)` stamp every control datagram carries
+/// on the wire (16 bytes, prepended by the control endpoint before the
+/// message body). Receivers use it to drop **stale-incarnation** traffic
+/// (datagrams sent by a peer's pre-crash life) and **duplicates** (the
+/// wire may copy any datagram), making every control handshake idempotent
+/// under duplication and reordering without per-message logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtrlStamp {
+    /// Transfer identity (agreed out-of-band, like the QP wireup).
+    pub xfer: u64,
+    /// Sender's incarnation — bumped on every crash/restart, so one
+    /// comparison retires an old life's entire in-flight window.
+    pub inc: u32,
+    /// Destination's incarnation as last learned by the sender (the
+    /// *incarnation echo*). A restarted node drops datagrams echoing its
+    /// previous life: whatever the peer sent before it observed the crash
+    /// — including traffic still serializing on the wire at the crash
+    /// instant — cannot leak into the resumed transfer. The peer
+    /// re-learns the live incarnation from the first accepted datagram of
+    /// the new life ([`CtrlMsg::ResumeQuery`] is exempt from the echo
+    /// check, bootstrapping that exchange).
+    pub dst_inc: u32,
+    /// Per-endpoint monotone datagram sequence (dedup key within an
+    /// incarnation).
+    pub seq: u32,
+}
+
+/// Wire size of a [`CtrlStamp`].
+pub const CTRL_STAMP_BYTES: usize = 20;
+
+impl CtrlStamp {
+    /// Appends the 20-byte wire form.
+    pub fn encode_into(&self, b: &mut BytesMut) {
+        b.put_u64_le(self.xfer);
+        b.put_u32_le(self.inc);
+        b.put_u32_le(self.dst_inc);
+        b.put_u32_le(self.seq);
+    }
+
+    /// Parses a stamp prefix; `None` when truncated.
+    pub fn decode_from(buf: &mut Bytes) -> Option<CtrlStamp> {
+        if buf.remaining() < CTRL_STAMP_BYTES {
+            return None;
+        }
+        Some(CtrlStamp {
+            xfer: buf.get_u64_le(),
+            inc: buf.get_u32_le(),
+            dst_inc: buf.get_u32_le(),
+            seq: buf.get_u32_le(),
+        })
+    }
+}
 
 /// A wire-compact description of a reliability scheme — what the adaptive
 /// handover protocol carries in [`CtrlMsg::SwitchPropose`] so both ends
@@ -196,6 +249,27 @@ pub enum CtrlMsg {
         /// Why the originator tore the transfer down.
         reason: AbortReason,
     },
+    /// Resuming sender → receiver: what does the delivery manifest say?
+    /// Paced at the nominal RTT until the matching
+    /// [`ResumeState`](CtrlMsg::ResumeState) arrives (either direction may
+    /// drop); duplicates are harmless — the receiver always answers with
+    /// its resume-start snapshot.
+    ResumeQuery,
+    /// Receiver → resuming sender: the per-segment delivery checkpoint.
+    /// Both ends rebuild the identical retransmission plan (the manifest's
+    /// undelivered segments, in offset order) from this one message.
+    ResumeState {
+        /// The receiver's checkpoint, snapshot at resume start so repeated
+        /// queries get byte-identical answers.
+        manifest: DeliveryManifest,
+        /// The receive sequence number the resumed plan's first post got.
+        /// CTS matching is order-based, and the crash desynchronized the
+        /// two counters (a receiver posts ahead of the sender's opens) —
+        /// the resuming sender fast-forwards its send sequence to this
+        /// base so the k-th stream of the plan meets the k-th posted
+        /// buffer.
+        base: u64,
+    },
 }
 
 const TAG_SR_ACK: u8 = 1;
@@ -208,12 +282,15 @@ const TAG_SWITCH_ACK: u8 = 7;
 const TAG_TELEMETRY: u8 = 8;
 const TAG_SEG_DONE: u8 = 9;
 const TAG_ABORT: u8 = 10;
+const TAG_RESUME_QUERY: u8 = 11;
+const TAG_RESUME_STATE: u8 = 12;
 
 fn abort_reason_to_wire(r: AbortReason) -> u8 {
     match r {
         AbortReason::Deadline => 0,
         AbortReason::Requested => 1,
         AbortReason::Peer => 2,
+        AbortReason::Restart => 3,
     }
 }
 
@@ -222,6 +299,7 @@ fn abort_reason_from_wire(b: u8) -> Option<AbortReason> {
         0 => Some(AbortReason::Deadline),
         1 => Some(AbortReason::Requested),
         2 => Some(AbortReason::Peer),
+        3 => Some(AbortReason::Restart),
         _ => None,
     }
 }
@@ -297,6 +375,12 @@ impl CtrlMsg {
             CtrlMsg::Abort { reason } => {
                 b.put_u8(TAG_ABORT);
                 b.put_u8(abort_reason_to_wire(*reason));
+            }
+            CtrlMsg::ResumeQuery => b.put_u8(TAG_RESUME_QUERY),
+            CtrlMsg::ResumeState { manifest, base } => {
+                b.put_u8(TAG_RESUME_STATE);
+                b.put_u64_le(*base);
+                manifest.encode_into(&mut b);
             }
         }
         b.freeze()
@@ -406,6 +490,17 @@ impl CtrlMsg {
                 }
                 Some(CtrlMsg::Abort {
                     reason: abort_reason_from_wire(buf.get_u8())?,
+                })
+            }
+            TAG_RESUME_QUERY => Some(CtrlMsg::ResumeQuery),
+            TAG_RESUME_STATE => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                let base = buf.get_u64_le();
+                Some(CtrlMsg::ResumeState {
+                    manifest: DeliveryManifest::decode_from(&mut buf)?,
+                    base,
                 })
             }
             _ => None,
@@ -558,10 +653,56 @@ mod tests {
             CtrlMsg::Abort {
                 reason: AbortReason::Peer,
             },
+            CtrlMsg::Abort {
+                reason: AbortReason::Restart,
+            },
         ];
         for msg in msgs {
             assert_eq!(CtrlMsg::decode(msg.encode()), Some(msg));
         }
+    }
+
+    #[test]
+    fn resume_messages_roundtrip() {
+        assert_eq!(
+            CtrlMsg::decode(CtrlMsg::ResumeQuery.encode()),
+            Some(CtrlMsg::ResumeQuery)
+        );
+        let mut manifest = DeliveryManifest::new(40 << 20, 2 << 20);
+        for i in 0..12 {
+            manifest.mark_delivered(i);
+        }
+        let msg = CtrlMsg::ResumeState {
+            manifest,
+            base: 777,
+        };
+        assert_eq!(CtrlMsg::decode(msg.encode()), Some(msg));
+        // A truncated manifest is malformed.
+        let enc = CtrlMsg::ResumeState {
+            manifest: DeliveryManifest::new(1 << 20, 1 << 18),
+            base: 0,
+        }
+        .encode();
+        let cut = enc.slice(0..enc.len() - 1);
+        assert_eq!(CtrlMsg::decode(cut), None);
+    }
+
+    #[test]
+    fn ctrl_stamp_roundtrip_and_truncation() {
+        let s = CtrlStamp {
+            xfer: 0xDEAD_BEEF_0102_0304,
+            inc: 7,
+            dst_inc: 3,
+            seq: u32::MAX - 1,
+        };
+        let mut b = BytesMut::new();
+        s.encode_into(&mut b);
+        assert_eq!(b.len(), CTRL_STAMP_BYTES);
+        let mut wire = b.freeze();
+        assert_eq!(CtrlStamp::decode_from(&mut wire), Some(s));
+        assert_eq!(wire.remaining(), 0, "stamp consumes exactly its bytes");
+        let mut short = Bytes::from_static(&[0u8; CTRL_STAMP_BYTES - 1]);
+        assert_eq!(CtrlStamp::decode_from(&mut short), None);
     }
 
     #[test]

@@ -71,7 +71,7 @@ use crate::advisor::{self, Scheme};
 use crate::control::{ControlEndpoint, CtrlHandler, CtrlPath};
 use crate::ec::{EcCodeChoice, EcProtoConfig, EcReceiver, EcSender};
 use crate::gbn::{GbnProtoConfig, GbnReceiver, GbnSender};
-use crate::runtime::{tick_loop, AbortReason, Completion, Tick, TransferOutcome};
+use crate::runtime::{tick_loop, AbortReason, Completion, DeliveryManifest, Tick, TransferOutcome};
 use crate::sr::{SrProtoConfig, SrReceiver, SrSender};
 use crate::telemetry::{ChannelEstimator, TelemetryConfig, TelemetryCounters};
 
@@ -129,7 +129,7 @@ pub struct AdaptConfig {
     /// locally — timers cancelled, slots released exactly once, the
     /// completion callback fired with
     /// [`Aborted(Deadline)`](TransferOutcome::Aborted) — and best-effort
-    /// notifies the peer with [`CtrlMsg::Abort`](crate::ack::CtrlMsg::Abort).
+    /// notifies the peer with [`CtrlMsg::Abort`].
     /// Both ends arm the deadline *independently*: the notify datagram
     /// rides the same unreliable path as everything else and may die in
     /// the very blackout that caused the miss, so neither end waits to be
@@ -475,6 +475,25 @@ impl AdaptiveController {
         cfg: AdaptConfig,
         done: impl FnOnce(&mut Engine, AdaptReport) + 'static,
     ) -> AdaptiveSender {
+        Self::check_geometry(qp, msg_bytes, &cfg);
+        let segs = segments(msg_bytes, cfg.segment_bytes);
+        assert!(!segs.is_empty(), "empty transfer");
+        Self::start_sender_plan(
+            eng,
+            qp,
+            ctx,
+            ep,
+            peer,
+            local_addr,
+            segs,
+            initial,
+            cfg,
+            (None, None),
+            done,
+        )
+    }
+
+    fn check_geometry(qp: &SdrQp, msg_bytes: u64, cfg: &AdaptConfig) {
         let qcfg = qp.config();
         assert!(
             cfg.segment_bytes >= qcfg.chunk_bytes
@@ -490,10 +509,30 @@ impl AdaptiveController {
             "segment fits a slot"
         );
         assert!(cfg.hysteresis >= 1.0, "hysteresis is a ≥1 factor");
-        let segs = segments(msg_bytes, cfg.segment_bytes);
-        assert!(!segs.is_empty(), "empty transfer");
+    }
 
+    /// The plan-parameterized sender core: `segs` is the list of
+    /// `(offset, len)` submessages this life will actually send — the full
+    /// partition on a fresh start, the undelivered remainder on a resume.
+    /// Wire epochs are plan indices, identical on both ends because both
+    /// build the plan from the same manifest snapshot. `seed` warm-starts
+    /// the channel estimator from a previous life's estimates.
+    #[allow(clippy::too_many_arguments)]
+    fn start_sender_plan(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctx: &SdrContext,
+        ep: Rc<ControlEndpoint>,
+        peer: QpAddr,
+        local_addr: u64,
+        segs: Vec<(u64, u64)>,
+        initial: SchemeSpec,
+        cfg: AdaptConfig,
+        seed: (Option<f64>, Option<SimTime>),
+        done: impl FnOnce(&mut Engine, AdaptReport) + 'static,
+    ) -> AdaptiveSender {
         let est = Rc::new(RefCell::new(ChannelEstimator::new(cfg.telemetry)));
+        est.borrow_mut().seed(seed.0, seed.1);
         let decide = cfg.decide_interval;
         let first_seq = qp.next_send_seq();
         let inner = Rc::new(RefCell::new(TxInner {
@@ -758,7 +797,7 @@ impl AdaptiveController {
                 switches: i.switches,
                 history: i.history.clone(),
                 final_spec: i.current_spec,
-                outcome: TransferOutcome::Aborted(reason),
+                outcome: TransferOutcome::aborted(reason),
                 retransmits: i.retransmits,
             };
             let cb = i.completion.finish().map(|cb| (cb, report));
@@ -1104,11 +1143,252 @@ impl AdaptiveSender {
 }
 
 // ---------------------------------------------------------------------------
+// Sender resume: the ResumeQuery → ResumeState handshake
+// ---------------------------------------------------------------------------
+
+/// Everything needed to start the resumed transfer, parked until the
+/// receiver's manifest arrives. `Some` while the handshake is unresolved.
+struct ResumeTxParams {
+    qp: SdrQp,
+    ctx: SdrContext,
+    local_addr: u64,
+    msg_bytes: u64,
+    initial: SchemeSpec,
+    cfg: AdaptConfig,
+    seed: (Option<f64>, Option<SimTime>),
+    done: Box<dyn FnOnce(&mut Engine, AdaptReport)>,
+    start: SimTime,
+}
+
+struct ResumeTxInner {
+    ep: Rc<ControlEndpoint>,
+    peer: QpAddr,
+    params: Option<ResumeTxParams>,
+    sender: Option<AdaptiveSender>,
+    queries: u64,
+    query_timer: Option<TimerHandle>,
+    deadline_timer: Option<TimerHandle>,
+}
+
+/// Handle to a sender-side resume: the `ResumeQuery` pacing loop and,
+/// once the receiver's manifest arrives, the restarted transfer.
+/// Construct with [`AdaptiveController::resume_sender`]. Cloning yields
+/// another handle to the same resume (cheap `Rc` semantics).
+#[derive(Clone)]
+pub struct ResumingSender {
+    inner: Rc<RefCell<ResumeTxInner>>,
+}
+
+impl AdaptiveController {
+    /// Resumes the sending half of a crashed adaptive transfer. The
+    /// sender does not know what landed — the authoritative delivery
+    /// journal lives with the receiver — so it paces
+    /// [`CtrlMsg::ResumeQuery`] datagrams at the nominal RTT until a
+    /// [`CtrlMsg::ResumeState`] answer carries the manifest back, then
+    /// retransmits exactly the undelivered segments (or completes
+    /// immediately when the manifest is already full). `prior_loss` /
+    /// `prior_rtt` warm-start the new estimator from the previous life's
+    /// estimates (read them off the old handle before it died); `None`
+    /// starts cold. The peer must re-enter via
+    /// [`resume_receiver`](Self::resume_receiver) on the same transfer id;
+    /// whichever end restarted must have bumped its
+    /// [incarnation](crate::ControlEndpoint::bump_incarnation) first so
+    /// the stamp filter retires the dead life's stragglers. `done` fires
+    /// exactly once. If the configured deadline expires before the
+    /// handshake resolves, `done` fires with
+    /// [`Aborted(Deadline)`](TransferOutcome::Aborted).
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_sender(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctx: &SdrContext,
+        ep: Rc<ControlEndpoint>,
+        peer: QpAddr,
+        local_addr: u64,
+        msg_bytes: u64,
+        initial: SchemeSpec,
+        cfg: AdaptConfig,
+        prior_loss: Option<f64>,
+        prior_rtt: Option<SimTime>,
+        done: impl FnOnce(&mut Engine, AdaptReport) + 'static,
+    ) -> ResumingSender {
+        Self::check_geometry(qp, msg_bytes, &cfg);
+        let pace = cfg.rtt;
+        let deadline = cfg.deadline;
+        let state = Rc::new(RefCell::new(ResumeTxInner {
+            ep: ep.clone(),
+            peer,
+            params: Some(ResumeTxParams {
+                qp: qp.clone(),
+                ctx: ctx.clone(),
+                local_addr,
+                msg_bytes,
+                initial,
+                cfg,
+                seed: (prior_loss, prior_rtt),
+                done: Box::new(done),
+                start: eng.now(),
+            }),
+            sender: None,
+            queries: 0,
+            query_timer: None,
+            deadline_timer: None,
+        }));
+
+        // Handshake handler: the first geometry-matching ResumeState
+        // resolves the resume (and installs the transfer's own master
+        // handler in its place); later duplicates land in that master
+        // handler's catch-all arm.
+        let me = state.clone();
+        ep.set_handler(move |eng, _src, msg| Self::resume_on_ctrl(&me, eng, msg));
+
+        // Query now, then heal at the nominal RTT — an answer cannot
+        // possibly return sooner, and each query is answered idempotently.
+        state.borrow_mut().queries = 1;
+        ep.send(eng, peer, &CtrlMsg::ResumeQuery);
+        let me = state.clone();
+        let t = tick_loop(eng, pace, move |eng| {
+            let (ep, peer) = {
+                let mut s = me.borrow_mut();
+                if s.params.is_none() {
+                    return Tick::Stop;
+                }
+                s.queries += 1;
+                (s.ep.clone(), s.peer)
+            };
+            ep.send(eng, peer, &CtrlMsg::ResumeQuery);
+            Tick::Again
+        });
+        state.borrow_mut().query_timer = Some(t);
+
+        // The handshake honours the transfer deadline: a peer that never
+        // answers must not leave the query loop ticking forever.
+        if let Some(d) = deadline {
+            let me = state.clone();
+            let h = eng.schedule_in_handle(d, move |eng| {
+                let (params, timer) = {
+                    let mut s = me.borrow_mut();
+                    (s.params.take(), s.query_timer.take())
+                };
+                let Some(p) = params else { return };
+                if let Some(t) = timer {
+                    eng.cancel(t);
+                }
+                (p.done)(
+                    eng,
+                    AdaptReport {
+                        duration: eng.now().saturating_sub(p.start),
+                        segments: 0,
+                        proposals: 0,
+                        switches: 0,
+                        history: Vec::new(),
+                        final_spec: p.initial,
+                        outcome: TransferOutcome::aborted(AbortReason::Deadline),
+                        retransmits: 0,
+                    },
+                );
+            });
+            state.borrow_mut().deadline_timer = Some(h);
+        }
+        ResumingSender { inner: state }
+    }
+
+    fn resume_on_ctrl(state: &Rc<RefCell<ResumeTxInner>>, eng: &mut Engine, msg: CtrlMsg) {
+        let CtrlMsg::ResumeState { manifest, base } = msg else {
+            // Pre-crash stragglers of the surviving side's old handlers;
+            // other lives' traffic already died in the stamp filter.
+            return;
+        };
+        let (p, ep, peer, timers) = {
+            let mut s = state.borrow_mut();
+            let matches = s.params.as_ref().is_some_and(|p| {
+                manifest.msg_bytes() == p.msg_bytes
+                    && manifest.segment_bytes() == p.cfg.segment_bytes
+                    && base >= p.qp.next_send_seq()
+            });
+            if !matches {
+                return; // wrong geometry (or already resolved): ignore
+            }
+            let p = s.params.take().expect("checked above");
+            (
+                p,
+                s.ep.clone(),
+                s.peer,
+                [s.query_timer.take(), s.deadline_timer.take()],
+            )
+        };
+        for t in timers.into_iter().flatten() {
+            eng.cancel(t);
+        }
+        let seg_ids = manifest.undelivered();
+        if seg_ids.is_empty() {
+            // Everything already landed in a previous life.
+            (p.done)(
+                eng,
+                AdaptReport {
+                    duration: eng.now().saturating_sub(p.start),
+                    segments: 0,
+                    proposals: 0,
+                    switches: 0,
+                    history: Vec::new(),
+                    final_spec: p.initial,
+                    outcome: TransferOutcome::Delivered,
+                    retransmits: 0,
+                },
+            );
+            return;
+        }
+        let segs: Vec<(u64, u64)> = seg_ids.iter().map(|&id| manifest.segment(id)).collect();
+        // Realign the order-matched send sequence: the receiver's posts
+        // for this plan start at `base`, ahead of where this sender's
+        // opens stopped (credits the dead life never consumed are dropped
+        // with the skipped sequences).
+        p.qp.align_send_seq(base)
+            .expect("base checked non-rewinding");
+        let sender = Self::start_sender_plan(
+            eng,
+            &p.qp,
+            &p.ctx,
+            ep,
+            peer,
+            p.local_addr,
+            segs,
+            p.initial,
+            p.cfg,
+            p.seed,
+            p.done,
+        );
+        state.borrow_mut().sender = Some(sender);
+    }
+}
+
+impl ResumingSender {
+    /// True once the handshake resolved: the transfer started, completed
+    /// immediately off a full manifest, or deadline-aborted.
+    pub fn is_resolved(&self) -> bool {
+        self.inner.borrow().params.is_none()
+    }
+
+    /// The restarted transfer's sender handle, once the handshake
+    /// resolved into an actual retransmission plan (`None` while still
+    /// querying, after an immediate completion, or after a deadline
+    /// abort).
+    pub fn sender(&self) -> Option<AdaptiveSender> {
+        self.inner.borrow().sender.clone()
+    }
+
+    /// `ResumeQuery` datagrams sent (including healing re-sends).
+    pub fn queries(&self) -> u64 {
+        self.inner.borrow().queries
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Receiver
 // ---------------------------------------------------------------------------
 
 /// Receiver-side transfer outcome.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct AdaptRecvReport {
     /// Segments received.
     pub segments: u32,
@@ -1158,6 +1438,25 @@ struct RxInner {
     peer: QpAddr,
     buf_addr: u64,
     segs: Vec<(u64, u64)>,
+    /// Plan-index (wire epoch) → original segment id in the manifest's
+    /// full-message geometry. Identity on a fresh start; the undelivered
+    /// subset on a resume.
+    seg_ids: Vec<u32>,
+    /// The durable delivery journal: one bit per *original* segment,
+    /// marked as its scheme driver completes. This is the one piece of
+    /// receiver state the crash model assumes survives (an application
+    /// journal / NVM log); an abort's outcome carries it out so the next
+    /// life can be planned from it.
+    manifest: DeliveryManifest,
+    /// The manifest snapshot this life was planned against — the
+    /// idempotent answer to every [`CtrlMsg::ResumeQuery`], so a resuming
+    /// sender builds the *same* plan no matter how queries and answers
+    /// duplicate or reorder.
+    resume_base: DeliveryManifest,
+    /// The receive sequence the plan's first post got — the `base` every
+    /// [`CtrlMsg::ResumeState`] answer carries so the resuming sender can
+    /// realign its order-matched send sequence.
+    resume_seq_base: u64,
     cfg: AdaptConfig,
     est: Rc<RefCell<ChannelEstimator>>,
     current_spec: SchemeSpec,
@@ -1210,8 +1509,94 @@ impl AdaptiveController {
     ) -> AdaptiveReceiver {
         let segs = segments(msg_bytes, cfg.segment_bytes);
         assert!(!segs.is_empty(), "empty transfer");
+        let seg_ids: Vec<u32> = (0..segs.len() as u32).collect();
+        let manifest = DeliveryManifest::new(msg_bytes, cfg.segment_bytes);
+        Self::start_receiver_plan(
+            eng,
+            qp,
+            ctx,
+            ep,
+            peer,
+            buf_addr,
+            segs,
+            seg_ids,
+            manifest.clone(),
+            manifest,
+            initial,
+            cfg,
+            Box::new(done),
+        )
+    }
+
+    /// Resumes the receiving half of a crashed adaptive transfer from its
+    /// delivery `manifest` (the journal carried out by the previous life's
+    /// [`Aborted`](TransferOutcome::Aborted) outcome). The plan covers
+    /// only the undelivered segments; already-delivered bytes are never
+    /// re-received. Every [`CtrlMsg::ResumeQuery`] from the peer is
+    /// answered with this manifest snapshot so both ends build the
+    /// identical plan. A manifest that is already complete completes the
+    /// transfer immediately (`done` fires with zero segments) while the
+    /// handler stays installed to keep answering queries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_receiver(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctx: &SdrContext,
+        ep: Rc<ControlEndpoint>,
+        peer: QpAddr,
+        buf_addr: u64,
+        manifest: DeliveryManifest,
+        initial: SchemeSpec,
+        cfg: AdaptConfig,
+        done: impl FnOnce(&mut Engine, SimTime, AdaptRecvReport) + 'static,
+    ) -> AdaptiveReceiver {
+        assert_eq!(
+            manifest.segment_bytes(),
+            cfg.segment_bytes,
+            "resume must run under the original segment geometry"
+        );
+        let seg_ids = manifest.undelivered();
+        let segs: Vec<(u64, u64)> = seg_ids.iter().map(|&id| manifest.segment(id)).collect();
+        let resume_base = manifest.clone();
+        Self::start_receiver_plan(
+            eng,
+            qp,
+            ctx,
+            ep,
+            peer,
+            buf_addr,
+            segs,
+            seg_ids,
+            manifest,
+            resume_base,
+            initial,
+            cfg,
+            Box::new(done),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_receiver_plan(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctx: &SdrContext,
+        ep: Rc<ControlEndpoint>,
+        peer: QpAddr,
+        buf_addr: u64,
+        segs: Vec<(u64, u64)>,
+        seg_ids: Vec<u32>,
+        manifest: DeliveryManifest,
+        resume_base: DeliveryManifest,
+        initial: SchemeSpec,
+        cfg: AdaptConfig,
+        done: Box<dyn FnOnce(&mut Engine, SimTime, AdaptRecvReport)>,
+    ) -> AdaptiveReceiver {
         let est = Rc::new(RefCell::new(ChannelEstimator::new(cfg.telemetry)));
         let telemetry_interval = cfg.telemetry_interval;
+        // Captured before the first post: the plan's k-th buffer gets
+        // sequence `resume_seq_base + k`, and the peer's k-th stream must
+        // meet it.
+        let resume_seq_base = qp.next_recv_seq();
         let inner = Rc::new(RefCell::new(RxInner {
             qp: qp.clone(),
             ctx: ctx.clone(),
@@ -1219,6 +1604,10 @@ impl AdaptiveController {
             peer,
             buf_addr,
             segs,
+            seg_ids,
+            manifest,
+            resume_base,
+            resume_seq_base,
             cfg,
             est,
             current_spec: initial,
@@ -1229,15 +1618,35 @@ impl AdaptiveController {
             committed: None,
             switches: 0,
             done_at: None,
-            done_cb: Some(Box::new(done)),
+            done_cb: Some(done),
             hk_timer: None,
             deadline_timer: None,
         }));
 
-        // Master handler: only handover proposals arrive here (scheme
-        // receivers emit but do not consume control traffic).
+        // Master handler: handover proposals and resume queries arrive
+        // here (scheme receivers emit but do not consume control traffic).
         let me = inner.clone();
         ep.set_handler(move |eng, src, msg| Self::rx_on_ctrl(&me, eng, src, msg));
+
+        // An already-complete plan (resume of a fully-delivered manifest):
+        // finish immediately. The master handler stays installed so the
+        // peer's ResumeQuery keeps getting its idempotent answer.
+        if inner.borrow().segs.is_empty() {
+            let cb = {
+                let mut i = inner.borrow_mut();
+                i.done_at = Some(eng.now());
+                i.done_cb.take()
+            };
+            if let Some(cb) = cb {
+                let report = AdaptRecvReport {
+                    segments: 0,
+                    switches: 0,
+                    outcome: TransferOutcome::Delivered,
+                };
+                cb(eng, eng.now(), report);
+            }
+            return AdaptiveReceiver { inner };
+        }
 
         // Fill the initial pipeline window.
         Self::rx_fill_pipeline(&inner, eng);
@@ -1287,7 +1696,10 @@ impl AdaptiveController {
             let report = AdaptRecvReport {
                 segments: i.done_segments,
                 switches: i.switches,
-                outcome: TransferOutcome::Aborted(reason),
+                outcome: TransferOutcome::Aborted {
+                    reason,
+                    manifest: Some(i.manifest.clone()),
+                },
             };
             let cb = i.done_cb.take().map(|cb| (cb, report));
             let live = std::mem::take(&mut i.live);
@@ -1455,6 +1867,10 @@ impl AdaptiveController {
                 return; // duplicate completion
             }
             seg.complete = true;
+            // Journal the delivery under its *original* segment id: the
+            // manifest speaks full-message geometry across lives.
+            let id = i.seg_ids[epoch as usize];
+            i.manifest.mark_delivered(id);
             i.done_segments += 1;
             i.done_segments as usize == i.segs.len()
         };
@@ -1485,6 +1901,31 @@ impl AdaptiveController {
     }
 
     fn rx_on_ctrl(inner: &Rc<RefCell<RxInner>>, eng: &mut Engine, _src: QpAddr, msg: CtrlMsg) {
+        if let CtrlMsg::ResumeQuery = msg {
+            // Answer with the snapshot this life was planned against —
+            // never the live manifest, or a query racing in-flight segment
+            // completions would hand the resuming sender a *different*
+            // plan than the one this receiver posted. Idempotent under any
+            // duplication/reordering of queries and answers.
+            let (ep, peer, snap, base) = {
+                let i = inner.borrow();
+                (
+                    i.ep.clone(),
+                    i.peer,
+                    i.resume_base.clone(),
+                    i.resume_seq_base,
+                )
+            };
+            ep.send(
+                eng,
+                peer,
+                &CtrlMsg::ResumeState {
+                    manifest: snap,
+                    base,
+                },
+            );
+            return;
+        }
         if let CtrlMsg::Abort { reason } = msg {
             // The sender already tore down; propagate its reason so both
             // ends report the same cause (and do not notify back).
@@ -1611,6 +2052,12 @@ impl AdaptiveReceiver {
     /// Reads the receiver-side channel estimator.
     pub fn estimator<R>(&self, f: impl FnOnce(&ChannelEstimator) -> R) -> R {
         f(&self.inner.borrow().est.borrow())
+    }
+
+    /// A snapshot of the live delivery journal (full-message geometry;
+    /// segments delivered in previous lives stay marked).
+    pub fn manifest(&self) -> DeliveryManifest {
+        self.inner.borrow().manifest.clone()
     }
 }
 

@@ -4,18 +4,119 @@
 //! data-path SDR QP for zero-copy transfer plus a low-overhead UD QP for
 //! protocol acknowledgments. SDR deliberately leaves control-path wireup to
 //! the application; this endpoint is that application-side piece.
+//!
+//! Every outgoing datagram is prefixed with a [`CtrlStamp`] — `(transfer,
+//! incarnation, incarnation-echo, seq)` — and every incoming datagram is
+//! filtered against per-`(peer, transfer)` replay state *before* it is
+//! acted on: datagrams from a peer's stale incarnation (a pre-crash
+//! life), datagrams echoing *this* endpoint's previous incarnation (sent
+//! by the peer before it observed a local crash — the wire can hold
+//! milliseconds of such backlog at the crash instant), and duplicate
+//! copies of already-delivered datagrams are all dropped at the endpoint,
+//! so the handlers above see each control message at most once per
+//! incarnation pair. The handshakes they implement (CTS credits,
+//! `SwitchPropose/Ack`, `SegDone`, `Abort`, `ResumeQuery/State`) are
+//! therefore idempotent under arbitrary wire duplication and reordering
+//! by construction. [`CtrlMsg::ResumeQuery`] is exempt from the echo
+//! check: it is the read-only probe that re-teaches a sender the live
+//! incarnation after a peer restart.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use sdr_sim::{CqId, Engine, Fabric, NodeId, QpAddr, QpNum, QpType, RecvWqe, Waker};
 
-use crate::ack::CtrlMsg;
+use crate::ack::{CtrlMsg, CtrlStamp};
 
 /// Receive-buffer count and size for control datagrams.
 const CTRL_DEPTH: usize = 128;
 const CTRL_BUF_BYTES: u64 = 2048;
+
+/// How far behind the per-peer high-water sequence a reordered datagram
+/// may arrive and still be admitted (the dedup window in datagrams).
+/// Anything older is indistinguishable from a late duplicate and is
+/// dropped — control traffic is periodic, so the information it carried
+/// has long been superseded.
+const REPLAY_WINDOW: u32 = 128;
+
+/// Replay state for one `(peer, transfer)` stream.
+#[derive(Clone, Copy, Debug)]
+struct PeerFilter {
+    /// Highest incarnation seen from the peer.
+    inc: u32,
+    /// Highest sequence seen within `inc`.
+    high: u32,
+    /// Bit `d` = sequence `high - d` already delivered (`d <
+    /// REPLAY_WINDOW`).
+    window: u128,
+}
+
+/// Verdict for one incoming stamped datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Admit {
+    /// Fresh: deliver to the handler.
+    Accept,
+    /// From a stale incarnation or older than the replay window.
+    Stale,
+    /// A copy of an already-delivered datagram.
+    Duplicate,
+}
+
+impl PeerFilter {
+    fn first(stamp: CtrlStamp) -> PeerFilter {
+        PeerFilter {
+            inc: stamp.inc,
+            high: stamp.seq,
+            window: 1,
+        }
+    }
+
+    fn admit(&mut self, stamp: CtrlStamp) -> Admit {
+        if stamp.inc < self.inc {
+            return Admit::Stale;
+        }
+        if stamp.inc > self.inc {
+            // The peer restarted: its new life starts a fresh sequence
+            // space, and nothing from the old one is admissible again.
+            *self = PeerFilter::first(stamp);
+            return Admit::Accept;
+        }
+        if stamp.seq > self.high {
+            let ahead = stamp.seq - self.high;
+            self.window = if ahead >= REPLAY_WINDOW {
+                1
+            } else {
+                self.window << ahead | 1
+            };
+            self.high = stamp.seq;
+            return Admit::Accept;
+        }
+        let behind = self.high - stamp.seq;
+        if behind >= REPLAY_WINDOW {
+            return Admit::Stale;
+        }
+        if self.window >> behind & 1 == 1 {
+            return Admit::Duplicate;
+        }
+        self.window |= 1 << behind;
+        Admit::Accept
+    }
+}
+
+/// Wire-filter drop counters (diagnostics; also what the chaos suites
+/// assert on).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CtrlFilterStats {
+    /// Datagrams dropped as stale (old incarnation or past the replay
+    /// window).
+    pub stale: u64,
+    /// Datagrams dropped as duplicates.
+    pub duplicates: u64,
+    /// Datagrams that failed to parse (truncated stamp or body).
+    pub malformed: u64,
+}
 
 /// Handler invoked per received control message: `(engine, src, message)`.
 pub type CtrlHandler = Box<dyn FnMut(&mut Engine, QpAddr, CtrlMsg)>;
@@ -35,7 +136,8 @@ pub trait CtrlPath {
     fn install_handler(&self, f: CtrlHandler);
 }
 
-/// A UD endpoint carrying [`CtrlMsg`] datagrams for a reliability protocol.
+/// A UD endpoint carrying stamped [`CtrlMsg`] datagrams for a reliability
+/// protocol.
 pub struct ControlEndpoint {
     fabric: Fabric,
     node: NodeId,
@@ -45,14 +147,32 @@ pub struct ControlEndpoint {
     handler: Rc<RefCell<Option<CtrlHandler>>>,
     /// ACK datagrams sent (diagnostics).
     sent: Rc<RefCell<u64>>,
+    /// First receive-buffer address (for re-posting after a restart).
+    buf_base: u64,
+    /// Stamp state for outgoing datagrams.
+    xfer: Cell<u64>,
+    inc: Rc<Cell<u32>>,
+    next_seq: Cell<u32>,
+    /// Peer incarnations as learned from accepted datagrams — what the
+    /// outgoing stamps echo back.
+    peer_inc: Rc<RefCell<HashMap<QpAddr, u32>>>,
+    /// Replay state per `(peer, transfer)` stream.
+    filters: Rc<RefCell<HashMap<(QpAddr, u64), PeerFilter>>>,
+    drops: Rc<Cell<CtrlFilterStats>>,
 }
 
 impl ControlEndpoint {
     /// Creates the endpoint on `node`, pre-posting its receive buffers and
-    /// hooking a completion waker that dispatches to the handler.
+    /// hooking a completion waker that stamp-filters and dispatches to the
+    /// handler.
     pub fn new(fabric: &Fabric, node: NodeId) -> Self {
         let handler: Rc<RefCell<Option<CtrlHandler>>> = Rc::new(RefCell::new(None));
-        let (qp, cq) = fabric.node_mut(node, |n| {
+        let filters: Rc<RefCell<HashMap<(QpAddr, u64), PeerFilter>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+        let drops: Rc<Cell<CtrlFilterStats>> = Rc::new(Cell::new(CtrlFilterStats::default()));
+        let inc: Rc<Cell<u32>> = Rc::new(Cell::new(0));
+        let peer_inc: Rc<RefCell<HashMap<QpAddr, u32>>> = Rc::new(RefCell::new(HashMap::new()));
+        let (qp, cq, buf_base) = fabric.node_mut(node, |n| {
             let cq = n.create_cq();
             let qp = n.create_qp(QpType::Ud, cq, cq);
             let base = n.mem_mut().alloc(CTRL_DEPTH as u64 * CTRL_BUF_BYTES);
@@ -67,10 +187,14 @@ impl ControlEndpoint {
                     },
                 );
             }
-            (qp, cq)
+            (qp, cq, base)
         });
         let fab = fabric.clone();
         let h = handler.clone();
+        let flt = filters.clone();
+        let drp = drops.clone();
+        let own_inc = inc.clone();
+        let peers = peer_inc.clone();
         fabric.node_mut(node, |n| {
             n.set_cq_waker(
                 cq,
@@ -80,7 +204,7 @@ impl ControlEndpoint {
                             continue;
                         }
                         let addr = cqe.wr_id;
-                        let payload = fab.node_mut(node, |n| {
+                        let mut payload = fab.node_mut(node, |n| {
                             let data =
                                 Bytes::copy_from_slice(n.mem().read(addr, cqe.byte_len as usize));
                             // Recycle the buffer immediately.
@@ -94,10 +218,57 @@ impl ControlEndpoint {
                             );
                             data
                         });
-                        let Some(msg) = CtrlMsg::decode(payload) else {
+                        let src = cqe.src.expect("UD receive has a source");
+                        let mut d = drp.get();
+                        // Stamp filter first: stale-incarnation traffic and
+                        // duplicates die before the decoder even runs.
+                        let Some(stamp) = CtrlStamp::decode_from(&mut payload) else {
+                            d.malformed += 1;
+                            drp.set(d);
                             continue;
                         };
-                        let src = cqe.src.expect("UD receive has a source");
+                        let verdict = {
+                            use std::collections::hash_map::Entry;
+                            let mut filters = flt.borrow_mut();
+                            match filters.entry((src, stamp.xfer)) {
+                                // First datagram of the stream primes the
+                                // filter and is delivered.
+                                Entry::Vacant(v) => {
+                                    v.insert(PeerFilter::first(stamp));
+                                    Admit::Accept
+                                }
+                                Entry::Occupied(mut o) => o.get_mut().admit(stamp),
+                            }
+                        };
+                        match verdict {
+                            Admit::Accept => {}
+                            Admit::Stale => {
+                                d.stale += 1;
+                                drp.set(d);
+                                continue;
+                            }
+                            Admit::Duplicate => {
+                                d.duplicates += 1;
+                                drp.set(d);
+                                continue;
+                            }
+                        }
+                        let Some(msg) = CtrlMsg::decode(payload) else {
+                            d.malformed += 1;
+                            drp.set(d);
+                            continue;
+                        };
+                        // Incarnation echo: a datagram addressed to this
+                        // endpoint's previous life was sent before the
+                        // peer observed the crash — only the read-only
+                        // resume probe may cross that boundary (it is how
+                        // the peer learns the live incarnation).
+                        if stamp.dst_inc != own_inc.get() && msg != CtrlMsg::ResumeQuery {
+                            d.stale += 1;
+                            drp.set(d);
+                            continue;
+                        }
+                        peers.borrow_mut().insert(src, stamp.inc);
                         // Take the handler out while calling so the handler
                         // itself may send control messages re-entrantly.
                         let taken = h.borrow_mut().take();
@@ -119,6 +290,13 @@ impl ControlEndpoint {
             cq,
             handler,
             sent: Rc::new(RefCell::new(0)),
+            buf_base,
+            xfer: Cell::new(0),
+            inc,
+            next_seq: Cell::new(0),
+            peer_inc,
+            filters,
+            drops,
         }
     }
 
@@ -135,20 +313,88 @@ impl ControlEndpoint {
         *self.handler.borrow_mut() = Some(Box::new(f));
     }
 
-    /// Sends a control message to `dst`. Control datagrams ride the same
-    /// lossy links as data — they can drop, and the protocols must tolerate
-    /// that.
+    /// Sends a control message to `dst`, prefixed with this endpoint's
+    /// current [`CtrlStamp`]. Control datagrams ride the same lossy links
+    /// as data — they can drop, and the protocols must tolerate that.
     pub fn send(&self, eng: &mut Engine, dst: QpAddr, msg: &CtrlMsg) {
         *self.sent.borrow_mut() += 1;
+        let seq = self.next_seq.get();
+        self.next_seq.set(seq.wrapping_add(1));
+        let stamp = CtrlStamp {
+            xfer: self.xfer.get(),
+            inc: self.inc.get(),
+            dst_inc: self.peer_inc.borrow().get(&dst).copied().unwrap_or(0),
+            seq,
+        };
+        let mut b = BytesMut::with_capacity(80);
+        stamp.encode_into(&mut b);
+        b.extend_from_slice(&msg.encode());
         // Drop errors deliberately: an unroutable ACK behaves like a lost one.
         let _ = self
             .fabric
-            .post_ud_send(eng, self.addr(), dst, msg.encode(), None);
+            .post_ud_send(eng, self.addr(), dst, b.freeze(), None);
     }
 
     /// Control datagrams sent so far.
     pub fn sent_count(&self) -> u64 {
         *self.sent.borrow()
+    }
+
+    /// Binds this endpoint's outgoing stamps to transfer `xfer`. Both ends
+    /// of a transfer agree on the id out-of-band (like the QP wireup); a
+    /// resumed transfer keeps its id so the peer's replay filter state
+    /// carries across the resume.
+    pub fn set_transfer(&self, xfer: u64) {
+        self.xfer.set(xfer);
+    }
+
+    /// The transfer id outgoing stamps currently carry.
+    pub fn transfer_id(&self) -> u64 {
+        self.xfer.get()
+    }
+
+    /// This endpoint's current incarnation.
+    pub fn incarnation(&self) -> u32 {
+        self.inc.get()
+    }
+
+    /// Crash/restart transition: bumps the outgoing incarnation (the
+    /// peer's filter retires the old life's entire in-flight window on the
+    /// first new-incarnation datagram; the incarnation echo retires the
+    /// peer's own in-flight traffic addressed to the old life), restarts
+    /// the datagram sequence, and clears the local replay filters and
+    /// learned peer incarnations — they were volatile state and did not
+    /// survive the crash. Pair with [`reattach`](Self::reattach).
+    pub fn bump_incarnation(&self) {
+        self.inc.set(self.inc.get().wrapping_add(1));
+        self.next_seq.set(0);
+        self.filters.borrow_mut().clear();
+        self.peer_inc.borrow_mut().clear();
+    }
+
+    /// Re-posts the endpoint's receive ring after a NIC restart cleared
+    /// the receive queue (`Node::reset_volatile`). The buffers live in
+    /// registered memory, which survives the crash — only the postings
+    /// were volatile. Call exactly once per restart, after the reset.
+    pub fn reattach(&self) {
+        self.fabric.node_mut(self.node, |n| {
+            for i in 0..CTRL_DEPTH {
+                let addr = self.buf_base + i as u64 * CTRL_BUF_BYTES;
+                n.post_recv(
+                    self.qp,
+                    RecvWqe {
+                        wr_id: addr,
+                        addr,
+                        len: CTRL_BUF_BYTES,
+                    },
+                );
+            }
+        });
+    }
+
+    /// Wire-filter drop counters (stale, duplicate, malformed).
+    pub fn filter_stats(&self) -> CtrlFilterStats {
+        self.drops.get()
     }
 }
 
@@ -224,5 +470,115 @@ mod tests {
         ep_a.send(&mut eng, ep_b.addr(), &CtrlMsg::EcNack { failed: vec![] });
         eng.run();
         assert_eq!(*acked.borrow(), 1);
+    }
+
+    #[test]
+    fn peer_filter_admits_fresh_drops_stale_and_duplicates() {
+        let s = |inc: u32, seq: u32| CtrlStamp {
+            xfer: 9,
+            inc,
+            dst_inc: 0,
+            seq,
+        };
+        let mut f = PeerFilter::first(s(1, 10));
+        // Duplicate of the priming datagram.
+        assert_eq!(f.admit(s(1, 10)), Admit::Duplicate);
+        // Forward progress, then a reordered datagram inside the window.
+        assert_eq!(f.admit(s(1, 12)), Admit::Accept);
+        assert_eq!(f.admit(s(1, 11)), Admit::Accept);
+        assert_eq!(f.admit(s(1, 11)), Admit::Duplicate);
+        // Older than the replay window: stale.
+        assert_eq!(f.admit(s(1, 200)), Admit::Accept);
+        assert_eq!(f.admit(s(1, 200 - REPLAY_WINDOW)), Admit::Stale);
+        assert_eq!(f.admit(s(1, 201 - REPLAY_WINDOW)), Admit::Accept);
+        // A jump past the whole window resets it; the skipped range is
+        // then too old to admit.
+        assert_eq!(f.admit(s(1, 200 + 2 * REPLAY_WINDOW)), Admit::Accept);
+        assert_eq!(f.admit(s(1, 205)), Admit::Stale);
+        // Stale incarnation dies regardless of sequence.
+        assert_eq!(f.admit(s(0, u32::MAX)), Admit::Stale);
+        // A newer incarnation resets everything — even a sequence the old
+        // life already used is fresh again.
+        assert_eq!(f.admit(s(2, 11)), Admit::Accept);
+        assert_eq!(f.admit(s(2, 11)), Admit::Duplicate);
+        assert_eq!(f.admit(s(1, 12)), Admit::Stale);
+    }
+
+    #[test]
+    fn endpoint_filters_wire_duplicates() {
+        // A duplicating link delivers extra copies of many datagrams; the
+        // receiving endpoint must hand each message to the handler exactly
+        // once and count the copies as duplicate drops.
+        let mut eng = Engine::new();
+        let fabric = Fabric::new();
+        let a = fabric.add_node(1 << 20);
+        let b = fabric.add_node(1 << 20);
+        fabric.link(
+            a,
+            b,
+            LinkConfig::intra_dc(8e9)
+                .with_seed(31)
+                .with_duplication(0.5),
+        );
+        fabric.link(b, a, LinkConfig::intra_dc(8e9));
+        let ep_a = ControlEndpoint::new(&fabric, a);
+        let ep_b = ControlEndpoint::new(&fabric, b);
+        let got = Rc::new(RefCell::new(0u64));
+        let g = got.clone();
+        ep_b.set_handler(move |_eng, _src, _msg| *g.borrow_mut() += 1);
+        const N: u64 = 200;
+        for i in 0..N {
+            ep_a.send(
+                &mut eng,
+                ep_b.addr(),
+                &CtrlMsg::GbnAck {
+                    cumulative: i as u32,
+                },
+            );
+        }
+        eng.run();
+        assert_eq!(*got.borrow(), N, "each datagram delivered exactly once");
+        let stats = ep_b.filter_stats();
+        assert!(stats.duplicates > 20, "copies were filtered: {stats:?}");
+        assert_eq!(stats.stale, 0);
+        assert_eq!(stats.malformed, 0);
+    }
+
+    #[test]
+    fn incarnation_bump_retires_the_old_life() {
+        let mut eng = Engine::new();
+        let fabric = Fabric::new();
+        let a = fabric.add_node(1 << 20);
+        let b = fabric.add_node(1 << 20);
+        fabric.link_duplex(a, b, LinkConfig::intra_dc(8e9));
+        let ep_a = ControlEndpoint::new(&fabric, a);
+        let ep_b = ControlEndpoint::new(&fabric, b);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        ep_b.set_handler(move |_eng, _src, msg| g.borrow_mut().push(msg));
+        // Life 0 sends and delivers one datagram.
+        ep_a.send(&mut eng, ep_b.addr(), &CtrlMsg::GbnAck { cumulative: 1 });
+        eng.run();
+        // Restart: life 1 re-uses sequence 0 — the peer must accept it
+        // (new incarnation), then drop a late datagram from life 0.
+        ep_a.bump_incarnation();
+        assert_eq!(ep_a.incarnation(), 1);
+        ep_a.send(&mut eng, ep_b.addr(), &CtrlMsg::GbnAck { cumulative: 2 });
+        eng.run();
+        assert_eq!(got.borrow().len(), 2, "new life's seq 0 is fresh");
+        // Hand-build a stale life-0 datagram (stamp inc=0) and inject it.
+        let mut wire = BytesMut::new();
+        CtrlStamp {
+            xfer: 0,
+            inc: 0,
+            dst_inc: 0,
+            seq: 9,
+        }
+        .encode_into(&mut wire);
+        wire.extend_from_slice(&CtrlMsg::GbnAck { cumulative: 3 }.encode());
+        let _ = fabric.post_ud_send(&mut eng, ep_a.addr(), ep_b.addr(), wire.freeze(), None);
+        eng.run();
+        assert_eq!(got.borrow().len(), 2, "stale-incarnation datagram dropped");
+        assert_eq!(ep_b.filter_stats().stale, 1);
     }
 }

@@ -272,7 +272,7 @@ impl EcScratch {
 }
 
 /// Sender-side transfer outcome.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EcReport {
     /// First injection to positive-ACK reception.
     pub duration: SimTime,
@@ -620,7 +620,7 @@ impl EcSender {
                 duration: i.completion.elapsed(eng.now()),
                 fallback_rounds: i.fallback_rounds,
                 ttfb_wall: i.ttfb_wall.unwrap_or_default(),
-                outcome: TransferOutcome::Aborted(reason),
+                outcome: TransferOutcome::aborted(reason),
             };
             let Some(cb) = i.completion.finish() else {
                 return false;

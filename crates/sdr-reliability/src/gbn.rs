@@ -68,7 +68,7 @@ impl GbnProtoConfig {
 }
 
 /// Sender-side transfer outcome.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct GbnReport {
     /// Write completion time: first injection to final-ACK reception.
     pub duration: SimTime,
@@ -182,7 +182,7 @@ impl GbnSender {
                 retransmitted: i.retransmitted,
                 rewinds: i.rewinds,
                 acks: i.acks,
-                outcome: TransferOutcome::Aborted(reason),
+                outcome: TransferOutcome::aborted(reason),
             };
             let Some(cb) = i.completion.finish() else {
                 return false;

@@ -61,32 +61,78 @@
 //!
 //! ## Failure semantics
 //!
-//! Channels do not just drop packets — they go dark (`sdr-sim`'s fault
-//! fabric scripts blackouts, flaps and loss steps against in-flight
-//! traffic). The crate's survivability contract has four parts:
+//! Channels do not just drop packets — they go dark, duplicate, reorder,
+//! and endpoints crash mid-transfer (`sdr-sim`'s fault fabric scripts
+//! blackouts, flaps, loss steps, duplicate/reorder injection and peer
+//! restarts against in-flight traffic). The crate's survivability
+//! contract:
 //!
 //! * **RTO backoff.** Every retransmission clock — [`ChunkTimers`] for SR,
 //!   the single base timer in GBN — backs off exponentially while timeouts
 //!   fire without ACK progress, capped at
-//!   2^[`RTO_BACKOFF_CAP`](runtime::RTO_BACKOFF_CAP) × the base RTO, and
+//!   2^[`RTO_BACKOFF_CAP`] × the base RTO, and
 //!   resets to the base RTO on any newly-acked chunk. On a merely lossy
 //!   channel ACKs flow every RTT, so backoff stays pinned at zero and
 //!   behavior matches a fixed-RTO scheme; only true silence (a blackout)
 //!   climbs the exponent, bounding resends per chunk to O(log outage/RTO)
 //!   instead of outage/RTO. Karn's rule still governs RTT *sampling*
 //!   (only never-retransmitted chunks contribute samples).
-//! * **Deadlines and abort.** Every transfer can end two ways, captured by
-//!   [`TransferOutcome`](runtime::TransferOutcome): `Delivered`, or
-//!   `Aborted(reason)` ([`AbortReason`](runtime::AbortReason)). An abort —
+//! * **Deadlines and abort.** Every transfer ends one of three ways — the
+//!   survivability *trichotomy*, captured by
+//!   [`TransferOutcome`]: `Delivered`,
+//!   `Aborted { reason, manifest }`
+//!   ([`AbortReason`]) — or aborted and then
+//!   **resumed to completion** in a later life (below). An abort —
 //!   deadline expiry, an explicit [`AdaptiveSender::abort`] /
-//!   [`AdaptiveReceiver::abort`], or a peer's
-//!   [`CtrlMsg::Abort`](ack::CtrlMsg::Abort) notification — is a clean
-//!   local teardown: scheme timers cancelled, receive slots released
+//!   [`AdaptiveReceiver::abort`], a crash
+//!   ([`AbortReason::Restart`]), or a
+//!   peer's [`CtrlMsg::Abort`] notification — is a
+//!   clean local teardown: scheme timers cancelled, receive slots released
 //!   exactly once, the completion callback fired exactly once, zero
 //!   events left pending. The [`AdaptConfig::deadline`](adapt::AdaptConfig)
 //!   is armed *independently on both ends*, because the abort notification
 //!   rides the same unreliable control path as everything else and may die
 //!   in the very outage that caused the miss.
+//! * **Incarnation-stamped control plane.** Every control datagram a
+//!   [`ControlEndpoint`] sends is prefixed with a 20-byte little-endian
+//!   [`CtrlStamp`]: transfer id (u64), endpoint
+//!   incarnation (u32), destination incarnation echo (u32),
+//!   per-incarnation send sequence (u32). The receive
+//!   path keeps a per-(peer, transfer) filter — highest incarnation wins,
+//!   a 128-entry sliding window dedups sequence numbers — and drops
+//!   stale-incarnation and duplicate datagrams before they reach any
+//!   handler ([`CtrlFilterStats`] counts the
+//!   kills). On top of that filter every handshake (CTS, `SwitchPropose` /
+//!   `SwitchAck`, `SegDone`, `Abort`, `ResumeQuery` / `ResumeState`) is
+//!   idempotent, so a wire that duplicates or reorders control traffic
+//!   cannot double-commit a handover or resurrect a dead transfer. After a
+//!   crash, [`ControlEndpoint::bump_incarnation`] +
+//!   [`ControlEndpoint::reattach`] retire the dead life in *both*
+//!   directions: its own stragglers arrive at the peer stamped with the
+//!   old incarnation and die in the filter, while in-flight traffic the
+//!   peer addressed to the old life arrives carrying a stale incarnation
+//!   echo and is dropped before it can touch the new life (only
+//!   `ResumeQuery` — the read-only probe that re-teaches a sender the
+//!   live incarnation — crosses that boundary).
+//! * **Resumable transfers.** The receiver journals per-segment delivery
+//!   in a [`DeliveryManifest`] — a bitmap over
+//!   the full-message segment geometry, the one piece of state the crash
+//!   model assumes durable. An aborted receiver's outcome carries the
+//!   manifest out; a new life re-enters via
+//!   [`AdaptiveController::resume_receiver`] (plans only the undelivered
+//!   segments) while the sender re-enters via
+//!   [`AdaptiveController::resume_sender`], which paces
+//!   [`CtrlMsg::ResumeQuery`] datagrams at the
+//!   nominal RTT until a
+//!   [`CtrlMsg::ResumeState`] answer carries
+//!   the manifest back (the receiver answers every query with the same
+//!   planned-against snapshot, so duplication and reordering cannot fork
+//!   the plan). Both ends then run the identical undelivered-segment plan
+//!   — wire epochs are plan indices — delivering the remainder
+//!   byte-identical without re-receiving a single already-delivered
+//!   segment; a previous life's loss/RTT estimates can
+//!   [seed](telemetry::ChannelEstimator::seed) the new sender's estimator
+//!   so the controller need not re-earn confidence from zero.
 //! * **Blackout detection.** The sender's [`ChannelEstimator`] doubles as
 //!   a liveness monitor: any peer datagram notes progress, and silence
 //!   past [`AdaptConfig::blackout_after`](adapt::AdaptConfig) trips the
@@ -95,9 +141,11 @@
 //!   channel) and no handovers are proposed until post-heal traffic
 //!   re-earns confidence.
 //! * **Chaos conformance.** The `chaos_soak` suite drives random transfers
-//!   under proptest-generated fault plans and asserts the dichotomy: every
-//!   run either delivers byte-identical data within its deadline or aborts
-//!   cleanly on both ends with no leaked slots, timers or pending events.
+//!   under proptest-generated fault plans (loss steps, blackouts, flaps,
+//!   duplication, reordering) and asserts the trichotomy: every run
+//!   delivers byte-identical data within its deadline, aborts cleanly on
+//!   both ends (manifest in hand, no leaked slots, timers or pending
+//!   events), or resumes across a scripted restart and completes.
 //!
 //! [`RxDriver`]: runtime::RxDriver
 //! [`CtrlMsg::SwitchPropose`]: ack::CtrlMsg::SwitchPropose
@@ -115,18 +163,20 @@ pub mod runtime;
 pub mod sr;
 pub mod telemetry;
 
-pub use ack::{build_sr_ack, CtrlMsg, SchemeSpec, MAX_NACKS, MAX_SACK_BITS};
+pub use ack::{
+    build_sr_ack, CtrlMsg, CtrlStamp, SchemeSpec, CTRL_STAMP_BYTES, MAX_NACKS, MAX_SACK_BITS,
+};
 pub use adapt::{
     spec_from_scheme, stronger_split, AdaptConfig, AdaptRecvReport, AdaptReport,
-    AdaptiveController, AdaptiveReceiver, AdaptiveSender,
+    AdaptiveController, AdaptiveReceiver, AdaptiveSender, ResumingSender,
 };
 pub use advisor::{recommend, Candidate, Recommendation, Scheme};
-pub use control::{ControlEndpoint, CtrlPath};
+pub use control::{ControlEndpoint, CtrlFilterStats, CtrlPath};
 pub use ec::{EcCodeChoice, EcProtoConfig, EcReceiver, EcRecvStats, EcReport, EcSender, EcStaging};
 pub use gbn::{GbnProtoConfig, GbnReceiver, GbnReport, GbnSender};
 pub use runtime::{
-    AbortReason, ChunkTimers, Completion, RxCommon, RxDriver, RxScheme, StreamTx, TransferOutcome,
-    RTO_BACKOFF_CAP,
+    AbortReason, ChunkTimers, Completion, DeliveryManifest, RxCommon, RxDriver, RxScheme, StreamTx,
+    TransferOutcome, RTO_BACKOFF_CAP,
 };
 pub use sr::{SrProtoConfig, SrReceiver, SrReport, SrSender};
 pub use telemetry::{ChannelEstimator, TelemetryConfig, TelemetryCounters};

@@ -68,6 +68,10 @@ pub enum AbortReason {
     Requested,
     /// The peer announced an abort on the control path.
     Peer,
+    /// The local endpoint crashed and restarted: volatile protocol state
+    /// is gone, but registered memory — and the receiver's
+    /// [`DeliveryManifest`] checkpoint — survives for a resume.
+    Restart,
 }
 
 impl std::fmt::Display for AbortReason {
@@ -76,25 +80,204 @@ impl std::fmt::Display for AbortReason {
             AbortReason::Deadline => write!(f, "deadline"),
             AbortReason::Requested => write!(f, "requested"),
             AbortReason::Peer => write!(f, "peer"),
+            AbortReason::Restart => write!(f, "restart"),
         }
+    }
+}
+
+/// Per-segment completion checkpoint of an adaptive transfer.
+///
+/// The receiver marks a segment delivered the instant its scheme receiver
+/// completes (every byte of the segment landed and verified). The manifest
+/// lives in host memory above the NIC, so it **survives an abort and a
+/// crash/restart** — it is exactly what
+/// [`TransferOutcome::Aborted`] hands back, and what
+/// [`AdaptiveController::resume_receiver`] resumes from: only segments not
+/// marked delivered are retransmitted, and delivered bytes are never
+/// re-sent.
+///
+/// [`AdaptiveController::resume_receiver`]: crate::adapt::AdaptiveController::resume_receiver
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryManifest {
+    msg_bytes: u64,
+    segment_bytes: u64,
+    /// Bit `i` = segment `i` fully delivered. `total_segments()` bits.
+    done: Vec<u64>,
+}
+
+impl DeliveryManifest {
+    /// An all-undelivered manifest for a `msg_bytes` transfer partitioned
+    /// into `segment_bytes` segments.
+    pub fn new(msg_bytes: u64, segment_bytes: u64) -> Self {
+        assert!(msg_bytes > 0, "empty transfer");
+        assert!(segment_bytes > 0, "zero segment size");
+        let n = msg_bytes.div_ceil(segment_bytes);
+        DeliveryManifest {
+            msg_bytes,
+            segment_bytes,
+            done: vec![0; (n as usize).div_ceil(64)],
+        }
+    }
+
+    /// Total message length in bytes.
+    pub fn msg_bytes(&self) -> u64 {
+        self.msg_bytes
+    }
+
+    /// Segment (submessage) size the message is partitioned into.
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Number of segments in the partition.
+    pub fn total_segments(&self) -> u32 {
+        self.msg_bytes.div_ceil(self.segment_bytes) as u32
+    }
+
+    /// `(offset, len)` of segment `i` within the message.
+    pub fn segment(&self, i: u32) -> (u64, u64) {
+        let off = i as u64 * self.segment_bytes;
+        debug_assert!(off < self.msg_bytes);
+        (off, self.segment_bytes.min(self.msg_bytes - off))
+    }
+
+    /// Marks segment `i` delivered; returns `true` when newly marked.
+    pub fn mark_delivered(&mut self, i: u32) -> bool {
+        debug_assert!(i < self.total_segments());
+        let (w, b) = (i as usize / 64, i % 64);
+        let newly = self.done[w] >> b & 1 == 0;
+        self.done[w] |= 1 << b;
+        newly
+    }
+
+    /// True when segment `i` has been delivered.
+    pub fn is_delivered(&self, i: u32) -> bool {
+        self.done[i as usize / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Segments delivered so far.
+    pub fn delivered_segments(&self) -> u32 {
+        self.done.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Bytes delivered so far (sum of delivered segment lengths).
+    pub fn delivered_bytes(&self) -> u64 {
+        (0..self.total_segments())
+            .filter(|&i| self.is_delivered(i))
+            .map(|i| self.segment(i).1)
+            .sum()
+    }
+
+    /// True once every segment is delivered.
+    pub fn is_complete(&self) -> bool {
+        self.delivered_segments() == self.total_segments()
+    }
+
+    /// Indices of the segments not yet delivered, in offset order — the
+    /// resume plan both ends rebuild identically from the same manifest.
+    pub fn undelivered(&self) -> Vec<u32> {
+        (0..self.total_segments())
+            .filter(|&i| !self.is_delivered(i))
+            .collect()
+    }
+
+    /// Serializes for the [`CtrlMsg::ResumeState`] wire reply.
+    ///
+    /// [`CtrlMsg::ResumeState`]: crate::ack::CtrlMsg::ResumeState
+    pub(crate) fn encode_into(&self, b: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        b.put_u64_le(self.msg_bytes);
+        b.put_u64_le(self.segment_bytes);
+        for w in &self.done {
+            b.put_u64_le(*w);
+        }
+    }
+
+    /// Parses a wire manifest; `None` on malformed input (bad geometry,
+    /// truncation, or stray bits past the last segment).
+    pub(crate) fn decode_from(buf: &mut bytes::Bytes) -> Option<Self> {
+        use bytes::Buf;
+        if buf.remaining() < 16 {
+            return None;
+        }
+        let msg_bytes = buf.get_u64_le();
+        let segment_bytes = buf.get_u64_le();
+        if msg_bytes == 0 || segment_bytes == 0 {
+            return None;
+        }
+        let n = msg_bytes.div_ceil(segment_bytes);
+        // A control datagram caps at a couple KiB; reject absurd segment
+        // counts before allocating.
+        if n > (crate::ack::MAX_SACK_BITS * 64) as u64 {
+            return None;
+        }
+        let words = (n as usize).div_ceil(64);
+        if buf.remaining() < words * 8 {
+            return None;
+        }
+        let done: Vec<u64> = (0..words).map(|_| buf.get_u64_le()).collect();
+        let tail = n as usize % 64;
+        if tail != 0 && done[words - 1] >> tail != 0 {
+            return None; // bits past the last segment
+        }
+        Some(DeliveryManifest {
+            msg_bytes,
+            segment_bytes,
+            done,
+        })
     }
 }
 
 /// How a transfer ended: delivered byte-identical, or aborted with a
 /// reason. Every scheme report carries one, so an aborted transfer reports
-/// `Aborted{reason}` instead of hanging its completion callback.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// `Aborted{..}` instead of hanging its completion callback. An adaptive
+/// *receiver* abort additionally carries the [`DeliveryManifest`]
+/// checkpoint a resume restarts from; scheme-level and sender-side aborts
+/// carry `None` (the sender learns delivery state from the peer's
+/// `ResumeState`, never from local guesses).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TransferOutcome {
     /// Every byte was delivered and acknowledged.
     Delivered,
     /// The transfer was torn down before delivery.
-    Aborted(AbortReason),
+    Aborted {
+        /// Why it was torn down.
+        reason: AbortReason,
+        /// The receiver's per-segment completion checkpoint, when this
+        /// side maintains one (adaptive receiver aborts).
+        manifest: Option<DeliveryManifest>,
+    },
 }
 
 impl TransferOutcome {
+    /// An aborted outcome with no manifest (scheme-level and sender-side
+    /// teardowns).
+    pub fn aborted(reason: AbortReason) -> Self {
+        TransferOutcome::Aborted {
+            reason,
+            manifest: None,
+        }
+    }
+
     /// True for the delivered outcome.
     pub fn is_delivered(&self) -> bool {
         matches!(self, TransferOutcome::Delivered)
+    }
+
+    /// The abort reason, when aborted.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match self {
+            TransferOutcome::Delivered => None,
+            TransferOutcome::Aborted { reason, .. } => Some(*reason),
+        }
+    }
+
+    /// The surviving delivery checkpoint, when aborted with one.
+    pub fn manifest(&self) -> Option<&DeliveryManifest> {
+        match self {
+            TransferOutcome::Delivered => None,
+            TransferOutcome::Aborted { manifest, .. } => manifest.as_ref(),
+        }
     }
 }
 
@@ -102,7 +285,15 @@ impl std::fmt::Display for TransferOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransferOutcome::Delivered => write!(f, "delivered"),
-            TransferOutcome::Aborted(r) => write!(f, "aborted({r})"),
+            TransferOutcome::Aborted { reason, manifest } => match manifest {
+                Some(m) => write!(
+                    f,
+                    "aborted({reason}, {}/{} segments delivered)",
+                    m.delivered_segments(),
+                    m.total_segments()
+                ),
+                None => write!(f, "aborted({reason})"),
+            },
         }
     }
 }
@@ -957,6 +1148,54 @@ mod tests {
         assert!(c.finish().is_some());
         assert!(c.is_done());
         assert!(c.finish().is_none(), "second finish yields nothing");
+    }
+
+    #[test]
+    fn delivery_manifest_tracks_segments_and_bytes() {
+        // 10 bytes in 4-byte segments: (0,4) (4,4) (8,2).
+        let mut m = DeliveryManifest::new(10, 4);
+        assert_eq!(m.total_segments(), 3);
+        assert_eq!(m.segment(2), (8, 2));
+        assert_eq!(m.delivered_bytes(), 0);
+        assert!(!m.is_complete());
+        assert!(m.mark_delivered(2));
+        assert!(!m.mark_delivered(2), "re-mark is not new");
+        assert_eq!(m.delivered_bytes(), 2, "tail segment is short");
+        assert_eq!(m.undelivered(), vec![0, 1]);
+        m.mark_delivered(0);
+        m.mark_delivered(1);
+        assert!(m.is_complete());
+        assert_eq!(m.delivered_bytes(), 10);
+        assert!(m.undelivered().is_empty());
+    }
+
+    #[test]
+    fn delivery_manifest_wire_roundtrip_rejects_corruption() {
+        let mut m = DeliveryManifest::new(40 << 20, 2 << 20);
+        for i in [0, 3, 7, 19] {
+            m.mark_delivered(i);
+        }
+        let mut b = bytes::BytesMut::new();
+        m.encode_into(&mut b);
+        let mut wire = b.freeze();
+        assert_eq!(DeliveryManifest::decode_from(&mut wire), Some(m.clone()));
+        // Truncated.
+        let mut b2 = bytes::BytesMut::new();
+        m.encode_into(&mut b2);
+        let mut short = b2.freeze().slice(0..17);
+        assert_eq!(DeliveryManifest::decode_from(&mut short), None);
+        // Stray bits past the last segment.
+        let mut b3 = bytes::BytesMut::new();
+        m.encode_into(&mut b3);
+        let mut bad = b3.to_vec();
+        *bad.last_mut().unwrap() |= 0x80; // segment 20 of 20 (bit 20 set)
+        assert_eq!(
+            DeliveryManifest::decode_from(&mut bytes::Bytes::from(bad)),
+            None
+        );
+        // Zero geometry.
+        let mut zeros = bytes::Bytes::from_static(&[0u8; 16]);
+        assert_eq!(DeliveryManifest::decode_from(&mut zeros), None);
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl SrProtoConfig {
 }
 
 /// Sender-side transfer outcome.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SrReport {
     /// Write completion time: first injection to final-ACK reception
     /// (§4.2.1's `T_protocol`).
@@ -204,7 +204,7 @@ impl SrSender {
                 duration: i.completion.elapsed(eng.now()),
                 retransmitted: i.retransmitted,
                 acks: i.acks,
-                outcome: TransferOutcome::Aborted(reason),
+                outcome: TransferOutcome::aborted(reason),
             };
             let Some(cb) = i.completion.finish() else {
                 return false;

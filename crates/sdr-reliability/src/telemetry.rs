@@ -97,6 +97,9 @@ pub struct ChannelEstimator {
     /// through a step, making `fast / slow` a step-in-progress detector.
     loss_slow_ewma: f64,
     ewma_primed: bool,
+    /// Confidence granted by [`seed`](Self::seed) (a carried-over prior
+    /// from a previous life) rather than earned from observations.
+    seed_confident: bool,
     rtt_ewma: f64,
     rtt_samples: u64,
     /// Last cumulative counters absorbed from the peer (sender side).
@@ -119,6 +122,7 @@ impl ChannelEstimator {
             loss_ewma: 0.0,
             loss_slow_ewma: 0.0,
             ewma_primed: false,
+            seed_confident: false,
             rtt_ewma: 0.0,
             rtt_samples: 0,
             peer: TelemetryCounters::default(),
@@ -183,10 +187,34 @@ impl ChannelEstimator {
         self.rtt_samples += 1;
     }
 
+    /// Warm-starts the estimator from a previous life's estimates — the
+    /// resume path's seed. A seeded loss prior primes both EWMAs and
+    /// grants confidence immediately (the resumed controller may advise
+    /// from the first tick instead of re-earning `min_packets` cold); a
+    /// seeded RTT satisfies the sample floor. The cumulative first-pass
+    /// counters are untouched, so a receiver-side estimator's telemetry
+    /// reports stay truthful — though seeding is meant for the *sender*
+    /// estimator, whose state died with the aborted transfer. Blackout
+    /// entry ([`decay_confidence`](Self::decay_confidence)) revokes seeded
+    /// confidence like earned confidence: a pre-outage prior says nothing
+    /// about the channel that comes back.
+    pub fn seed(&mut self, loss: Option<f64>, rtt: Option<SimTime>) {
+        if let Some(p) = loss {
+            self.loss_ewma = p;
+            self.loss_slow_ewma = p;
+            self.ewma_primed = true;
+            self.seed_confident = true;
+        }
+        if let Some(r) = rtt {
+            self.rtt_ewma = r.as_secs_f64();
+            self.rtt_samples = self.rtt_samples.max(self.cfg.min_rtt_samples);
+        }
+    }
+
     /// The per-packet loss estimate, once confident (`None` while cold —
     /// the gate that keeps a controller from flapping on startup noise).
     pub fn loss_estimate(&self) -> Option<f64> {
-        (self.seen >= self.cfg.min_packets).then_some(self.loss_ewma)
+        self.is_confident().then_some(self.loss_ewma)
     }
 
     /// The RTT estimate, once at least `min_rtt_samples` arrived.
@@ -195,9 +223,10 @@ impl ChannelEstimator {
             .then(|| SimTime::from_secs_f64(self.rtt_ewma))
     }
 
-    /// True once the loss estimate is confident.
+    /// True once the loss estimate is confident (earned from observations
+    /// or granted by a [`seed`](Self::seed)).
     pub fn is_confident(&self) -> bool {
-        self.seen >= self.cfg.min_packets
+        self.seed_confident || self.seen >= self.cfg.min_packets
     }
 
     /// True while a *fresh upward loss step* is still propagating through
@@ -250,6 +279,7 @@ impl ChannelEstimator {
         self.loss_ewma = 0.0;
         self.loss_slow_ewma = 0.0;
         self.ewma_primed = false;
+        self.seed_confident = false;
     }
 
     /// Cumulative first-pass counters (what the receiver reports).
@@ -349,6 +379,31 @@ mod tests {
         assert!(e.is_confident());
         let est = e.loss_estimate().expect("warm");
         assert!(est > 0.05 && est < 0.15, "estimate {est}");
+    }
+
+    #[test]
+    fn seeded_estimator_is_confident_until_blackout_revokes_it() {
+        let cfg = TelemetryConfig {
+            min_packets: 100,
+            min_rtt_samples: 4,
+            ..TelemetryConfig::default()
+        };
+        let mut e = ChannelEstimator::new(cfg);
+        assert_eq!(e.loss_estimate(), None);
+        assert_eq!(e.rtt_estimate(), None);
+        e.seed(Some(1e-3), Some(SimTime::from_micros(500)));
+        assert!(e.is_confident(), "seed grants immediate confidence");
+        let est = e.loss_estimate().expect("seeded");
+        assert!((est - 1e-3).abs() < 1e-9, "estimate {est}");
+        let rtt = e.rtt_estimate().expect("seeded rtt");
+        assert_eq!(rtt, SimTime::from_micros(500));
+        // The seed primes the EWMAs: fresh observations refine, not reset.
+        e.observe_packets(1000, 1);
+        assert!(e.loss_estimate().is_some());
+        // Blackout entry revokes seeded confidence like earned confidence.
+        e.decay_confidence();
+        assert_eq!(e.loss_estimate(), None, "prior says nothing post-outage");
+        assert!(e.rtt_estimate().is_some(), "RTT survives decay");
     }
 
     #[test]

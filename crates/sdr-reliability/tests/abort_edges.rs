@@ -174,13 +174,10 @@ fn abort_mid_handover_between_propose_and_ack() {
     );
     let tx_rep = took(&d.tx_cell, "adaptive sender");
     let (_, rx_rep) = d.rx_cell.borrow_mut().take().expect("receiver reported");
+    assert_eq!(tx_rep.outcome.abort_reason(), Some(AbortReason::Requested));
     assert_eq!(
-        tx_rep.outcome,
-        TransferOutcome::Aborted(AbortReason::Requested)
-    );
-    assert_eq!(
-        rx_rep.outcome,
-        TransferOutcome::Aborted(AbortReason::Requested),
+        rx_rep.outcome.abort_reason(),
+        Some(AbortReason::Requested),
         "the peer inherits the originator's reason"
     );
     assert_eq!(tx_rep.switches, 0, "the handover never committed");
@@ -207,14 +204,8 @@ fn abort_with_linger_acks_in_flight() {
     d.h.run(120_000_000);
     let tx_rep = took(&d.tx_cell, "adaptive sender");
     let (_, rx_rep) = d.rx_cell.borrow_mut().take().expect("receiver reported");
-    assert_eq!(
-        tx_rep.outcome,
-        TransferOutcome::Aborted(AbortReason::Requested)
-    );
-    assert_eq!(
-        rx_rep.outcome,
-        TransferOutcome::Aborted(AbortReason::Requested)
-    );
+    assert_eq!(tx_rep.outcome.abort_reason(), Some(AbortReason::Requested));
+    assert_eq!(rx_rep.outcome.abort_reason(), Some(AbortReason::Requested));
     assert!(
         tx_rep.duration >= SimTime::from_secs_f64(0.006),
         "duration covers start → abort"
@@ -256,7 +247,7 @@ fn deadline_expiring_exactly_at_completion() {
         assert!(d.h.delivered_ok(), "delivery intact under the tie");
         match tx_rep.outcome {
             TransferOutcome::Delivered => assert!(tx_rep.duration <= natural),
-            TransferOutcome::Aborted(r) => {
+            TransferOutcome::Aborted { reason: r, .. } => {
                 assert_eq!(r, AbortReason::Deadline);
                 assert_eq!(tx_rep.duration, natural, "aborted exactly at the tie");
             }

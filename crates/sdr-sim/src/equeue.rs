@@ -25,7 +25,9 @@
 //!   immediately and uncounts the event from `pending_events`; cancelled
 //!   nodes are reaped lazily when their slot comes due, never execute, and
 //!   never charge the event limit. [`EventQueue::reschedule`] moves a
-//!   pending event to a new deadline in place.
+//!   pending event to a new deadline in place. Slot lists are doubly
+//!   linked (a separate `prev` array), so both operations unlink in O(1)
+//!   regardless of slot occupancy.
 //! * **Structure-of-arrays layout**: deadlines (`at`) and slot links
 //!   (`link`) live in dense parallel arrays so the wheel's walk — slot
 //!   appends, cascades, due-scans — stays within compact, mostly
@@ -229,8 +231,14 @@ enum Backend {
 pub(crate) struct EventQueue {
     /// Absolute deadline per node, in picoseconds.
     at: Vec<u64>,
-    /// Intrusive slot-list link per node (also threads the free list).
+    /// Intrusive slot-list forward link per node (also threads the free
+    /// list).
     link: Vec<u32>,
+    /// Intrusive slot-list back link per node: slot lists are doubly
+    /// linked so `cancel`/`reschedule` unlink in O(1) instead of walking
+    /// the slot (restart storms re-arm many RTOs against dense slots).
+    /// Kept as its own array so the hot forward walk (`link`) stays tiny.
+    prev: Vec<u32>,
     nodes: Vec<Node>,
     free_head: u32,
     /// Queued, not-cancelled events (what `pending_events` reports).
@@ -244,6 +252,7 @@ impl EventQueue {
         EventQueue {
             at: Vec::new(),
             link: Vec::new(),
+            prev: Vec::new(),
             nodes: Vec::new(),
             free_head: NIL,
             live: 0,
@@ -272,6 +281,7 @@ impl EventQueue {
             self.free_head = self.link[idx as usize];
             self.at[idx as usize] = at;
             self.link[idx as usize] = NIL;
+            self.prev[idx as usize] = NIL;
             let n = &mut self.nodes[idx as usize];
             n.state = State::Queued;
             n.seq = seq;
@@ -281,6 +291,7 @@ impl EventQueue {
             let idx = self.nodes.len() as u32;
             self.at.push(at);
             self.link.push(NIL);
+            self.prev.push(NIL);
             self.nodes.push(Node {
                 gen: 0,
                 state: State::Queued,
@@ -337,6 +348,7 @@ impl EventQueue {
                         *self.link.get_unchecked_mut(tail as usize) = idx;
                     }
                     *self.link.get_unchecked_mut(idx as usize) = NIL;
+                    *self.prev.get_unchecked_mut(idx as usize) = tail;
                 }
                 w.occ[level] |= 1u64 << slot;
             }
@@ -437,7 +449,8 @@ impl EventQueue {
             .is_some_and(|n| n.gen == h.gen && n.state == State::Queued)
     }
 
-    /// Unlinks a queued node from its wheel slot list (O(slot length)).
+    /// Unlinks a queued node from its wheel slot list in O(1) via the
+    /// doubly-linked `prev`/`link` pair.
     fn unlink(&mut self, idx: u32) {
         let (level, slot) = {
             let n = &self.nodes[idx as usize];
@@ -447,29 +460,25 @@ impl EventQueue {
             unreachable!("unlink is wheel-only");
         };
         let s = level * SLOTS + slot;
-        let mut prev = NIL;
-        let mut cur = w.slots[s].head;
-        while cur != NIL {
-            if cur == idx {
-                let next = self.link[cur as usize];
-                if prev == NIL {
-                    w.slots[s].head = next;
-                } else {
-                    self.link[prev as usize] = next;
-                }
-                if w.slots[s].tail == idx {
-                    w.slots[s].tail = prev;
-                }
-                if w.slots[s].head == NIL {
-                    w.occ[level] &= !(1u64 << slot);
-                }
-                self.link[idx as usize] = NIL;
-                return;
-            }
-            prev = cur;
-            cur = self.link[cur as usize];
+        let p = self.prev[idx as usize];
+        let n = self.link[idx as usize];
+        if p == NIL {
+            debug_assert_eq!(w.slots[s].head, idx, "headless node thinks it is head");
+            w.slots[s].head = n;
+        } else {
+            self.link[p as usize] = n;
         }
-        unreachable!("queued node must be in its slot list");
+        if n == NIL {
+            debug_assert_eq!(w.slots[s].tail, idx, "tailless node thinks it is tail");
+            w.slots[s].tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        if w.slots[s].head == NIL {
+            w.occ[level] &= !(1u64 << slot);
+        }
+        self.link[idx as usize] = NIL;
+        self.prev[idx as usize] = NIL;
     }
 
     /// Pops the next due event with `at <= bound`, reaping cancelled nodes
@@ -512,6 +521,8 @@ impl EventQueue {
                     if next == NIL {
                         ends.tail = NIL;
                         w.occ[0] &= !(1u64 << slot);
+                    } else {
+                        *self.prev.get_unchecked_mut(next as usize) = NIL;
                     }
                 }
                 w.current = t;

@@ -22,7 +22,7 @@ use bytes::Bytes;
 
 use crate::engine::Engine;
 use crate::equeue::TimerHandle;
-use crate::fault::{FaultEvent, FaultHandle, FaultPlan};
+use crate::fault::{FaultEvent, FaultHandle, FaultPlan, RestartSide};
 use crate::link::{Link, LinkConfig, LinkStats, TxOutcome};
 use crate::loss::LossModel;
 use crate::nic::{Cqe, CqeOp, Node, QpType};
@@ -62,7 +62,19 @@ pub struct WriteWr {
 struct FabricInner {
     nodes: Vec<Node>,
     links: HashMap<(NodeId, NodeId), Link>,
+    /// Per-node restart epoch: bumped on every [`Fabric::restart_node`].
+    incarnations: Vec<u32>,
+    /// Per-node attach flag: while `false` (the restart dead window),
+    /// packets reaching the node are dropped at the port.
+    attached: Vec<bool>,
+    /// Packets dropped at a detached node's port.
+    restart_drops: Vec<u64>,
 }
+
+/// A restart observer: called at the crash instant (after the node's
+/// volatile state is gone) with the node's new incarnation, so the layer
+/// above can tear down transfers and re-stamp its control plane.
+type RestartHook = Box<dyn FnMut(&mut Engine, u32)>;
 
 /// A shared handle to the simulated fabric.
 ///
@@ -71,6 +83,9 @@ struct FabricInner {
 #[derive(Clone)]
 pub struct Fabric {
     inner: Rc<RefCell<FabricInner>>,
+    /// Restart observers, outside `inner` so a hook can re-enter the
+    /// fabric freely.
+    restart_hooks: Rc<RefCell<HashMap<NodeId, RestartHook>>>,
 }
 
 impl Default for Fabric {
@@ -93,7 +108,11 @@ impl Fabric {
             inner: Rc::new(RefCell::new(FabricInner {
                 nodes: Vec::new(),
                 links: HashMap::new(),
+                incarnations: Vec::new(),
+                attached: Vec::new(),
+                restart_drops: Vec::new(),
             })),
+            restart_hooks: Rc::new(RefCell::new(HashMap::new())),
         }
     }
 
@@ -102,7 +121,63 @@ impl Fabric {
         let mut inner = self.inner.borrow_mut();
         let id = NodeId(inner.nodes.len() as u32);
         inner.nodes.push(Node::new(id, mem_capacity));
+        inner.incarnations.push(0);
+        inner.attached.push(true);
+        inner.restart_drops.push(0);
         id
+    }
+
+    /// Crashes and restarts an endpoint: the node's incarnation is bumped,
+    /// all its volatile NIC state (posted receives, inboxes, unpolled
+    /// completions, reassembly) is dropped, and the NIC stays detached —
+    /// packets reaching the port, including everything in flight toward
+    /// it, die there — until `dead_time` later. Registered memory
+    /// survives, as does anything the layer above checkpointed.
+    ///
+    /// A hook registered via [`on_restart`](Self::on_restart) runs at the
+    /// crash instant, after the state is gone, with the new incarnation.
+    pub fn restart_node(&self, eng: &mut Engine, id: NodeId, dead_time: SimTime) {
+        let idx = id.0 as usize;
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            inner.incarnations[idx] += 1;
+            inner.attached[idx] = false;
+            inner.nodes[idx].reset_volatile();
+        }
+        let fab = self.clone();
+        eng.schedule_in(dead_time, move |_| {
+            fab.inner.borrow_mut().attached[idx] = true;
+        });
+        // Take the hook out while it runs so it can re-enter the fabric
+        // (and even re-register itself).
+        let hook = self.restart_hooks.borrow_mut().remove(&id);
+        if let Some(mut h) = hook {
+            let inc = self.inner.borrow().incarnations[idx];
+            h(eng, inc);
+            self.restart_hooks.borrow_mut().entry(id).or_insert(h);
+        }
+    }
+
+    /// Registers (or replaces) the restart observer for `id` — see
+    /// [`restart_node`](Self::restart_node).
+    pub fn on_restart(&self, id: NodeId, hook: impl FnMut(&mut Engine, u32) + 'static) {
+        self.restart_hooks.borrow_mut().insert(id, Box::new(hook));
+    }
+
+    /// The node's restart epoch (0 until its first restart).
+    pub fn node_incarnation(&self, id: NodeId) -> u32 {
+        self.inner.borrow().incarnations[id.0 as usize]
+    }
+
+    /// False while the node is inside a restart dead window.
+    pub fn is_attached(&self, id: NodeId) -> bool {
+        self.inner.borrow().attached[id.0 as usize]
+    }
+
+    /// Packets that died at the node's port while it was detached.
+    pub fn restart_drops(&self, id: NodeId) -> u64 {
+        self.inner.borrow().restart_drops[id.0 as usize]
     }
 
     /// Installs a unidirectional link `a → b`, returning `Err` (and
@@ -293,6 +368,20 @@ impl Fabric {
                             let dwell = if going_down { down } else { up };
                             Some(eng.now().saturating_add(dwell))
                         }
+                    })
+                }
+                FaultEvent::PeerRestart {
+                    at,
+                    side,
+                    dead_time,
+                } => {
+                    let node = match side {
+                        RestartSide::A => a,
+                        RestartSide::B => b,
+                    };
+                    eng.schedule_recurring_at(at, move |eng| {
+                        fab.restart_node(eng, node, dead_time);
+                        None
                     })
                 }
                 FaultEvent::Drift {
@@ -573,6 +662,11 @@ impl Fabric {
         let mut inner = self.inner.borrow_mut();
         let idx = pkt.dst.node.0 as usize;
         if idx < inner.nodes.len() {
+            if !inner.attached[idx] {
+                // Restart dead window: the packet reaches a dead port.
+                inner.restart_drops[idx] += 1;
+                return;
+            }
             inner.nodes[idx].handle_packet(eng, pkt);
         }
     }
@@ -903,6 +997,50 @@ mod tests {
         let s = fab.link_stats(a.node, b.node).unwrap();
         assert_eq!(s.delivered, 40, "cancelled blackout drops nothing");
         assert_eq!(eng.pending_events(), 0);
+    }
+
+    #[test]
+    fn peer_restart_claims_in_flight_and_reattaches() {
+        use crate::fault::RestartSide;
+        let (mut eng, fab, a, b) = two_node_uc(0.0);
+        let mr = fab.node_mut(b.node, |n| n.alloc_mr(1 << 20));
+        // 40 packets serialize over ~167 us. The receiver crashes at
+        // 50 us: its port is dead for 60 us, so arrivals inside
+        // [50 us, 110 us) die at the port, while the tail arriving after
+        // re-attach lands normally.
+        post_train(&mut eng, &fab, a, &mr, 40);
+        let plan = FaultPlan::new().with(FaultEvent::PeerRestart {
+            at: SimTime::from_micros(50),
+            side: RestartSide::B,
+            dead_time: SimTime::from_micros(60),
+        });
+        let restarts = crate::engine::shared(Vec::new());
+        let seen = restarts.clone();
+        fab.on_restart(b.node, move |_, inc| seen.borrow_mut().push(inc));
+        let h = fab
+            .apply_fault_plan(&mut eng, a.node, b.node, &plan)
+            .unwrap();
+        assert_eq!(h.timer_count(), 1);
+        assert_eq!(fab.node_incarnation(b.node), 0);
+        eng.run();
+        assert_eq!(*restarts.borrow(), vec![1], "hook saw the new incarnation");
+        assert_eq!(fab.node_incarnation(b.node), 1);
+        assert!(fab.is_attached(b.node), "re-attached after the dead time");
+        let s = fab.link_stats(a.node, b.node).unwrap();
+        let port_drops = fab.restart_drops(b.node);
+        let landed = fab.node(b.node, |n| n.stats().writes_landed);
+        assert_eq!(s.sent, 40);
+        assert_eq!(s.dropped, 0, "the wire itself is healthy");
+        assert!(
+            port_drops > 0 && landed > 0,
+            "dead window splits the train: port {port_drops} landed {landed}"
+        );
+        assert_eq!(landed + port_drops, s.delivered);
+        assert!(
+            landed > 0 && landed < 40,
+            "head landed before the crash or tail after re-attach: {landed}"
+        );
+        assert_eq!(eng.pending_events(), 0, "restart plan is finite");
     }
 
     #[test]

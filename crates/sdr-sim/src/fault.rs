@@ -53,6 +53,22 @@ pub enum FaultEvent {
         /// Healed length per cycle.
         up: SimTime,
     },
+    /// Endpoint crash/restart: at `at`, the chosen endpoint of the pair
+    /// crashes — its incarnation is bumped, every packet in flight toward
+    /// it and all volatile NIC state at it (posted recvs, inboxes,
+    /// unpolled completions, in-progress receive reassembly) is dropped —
+    /// and the NIC re-attaches after `dead_time`. Packets arriving during
+    /// the dead window are dropped at the NIC port. Registered memory
+    /// survives (delivered bytes persist, as does anything the layer
+    /// above checkpointed).
+    PeerRestart {
+        /// Crash instant.
+        at: SimTime,
+        /// Which endpoint of the `(a, b)` pair restarts.
+        side: RestartSide,
+        /// How long the endpoint stays dead before re-attaching (> 0).
+        dead_time: SimTime,
+    },
     /// Diurnal loss drift: starting at `at`, the i.i.d. drop rate sweeps
     /// geometrically from `floor_p` up to `peak_p` and back over each
     /// `period`, stepped `steps` times per period, for `cycles` periods
@@ -76,6 +92,16 @@ pub enum FaultEvent {
     },
 }
 
+/// Which endpoint of the link pair a [`FaultEvent::PeerRestart`] hits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartSide {
+    /// The first node of the `(a, b)` pair handed to
+    /// [`Fabric::apply_fault_plan`](crate::Fabric::apply_fault_plan).
+    A,
+    /// The second node of the pair.
+    B,
+}
+
 impl FaultEvent {
     /// The instant the event first fires.
     pub fn start(&self) -> SimTime {
@@ -83,6 +109,7 @@ impl FaultEvent {
             FaultEvent::SetLoss { at, .. }
             | FaultEvent::Blackout { at, .. }
             | FaultEvent::Flap { at, .. }
+            | FaultEvent::PeerRestart { at, .. }
             | FaultEvent::Drift { at, .. } => at,
         }
     }
@@ -94,6 +121,13 @@ impl FaultEvent {
             FaultEvent::Blackout { duration, .. } => {
                 if *duration == SimTime::ZERO {
                     Err("blackout duration must be positive".into())
+                } else {
+                    Ok(())
+                }
+            }
+            FaultEvent::PeerRestart { dead_time, .. } => {
+                if *dead_time == SimTime::ZERO {
+                    Err("restart dead time must be positive".into())
                 } else {
                     Ok(())
                 }

@@ -37,6 +37,11 @@ use crate::time::{propagation_delay_km, tx_time, SimTime};
 /// Eth(18) + IPv4(20) + UDP(8) + BTH(12) + RETH(16) + ICRC(4) ≈ 78 bytes.
 pub const DEFAULT_HEADER_BYTES: usize = 78;
 
+/// Upper bound on [`LinkConfig::reorder_span`]: a displaced packet can be
+/// pushed back by at most this many serialization quanta, matching the
+/// depth of the arrival queue window the insertion sort walks.
+pub const MAX_REORDER_SPAN: u32 = 64;
+
 /// Static description of a unidirectional link.
 #[derive(Clone, Debug)]
 pub struct LinkConfig {
@@ -53,6 +58,17 @@ pub struct LinkConfig {
     /// If set, adds uniform random extra delay in `[0, jitter]` to each
     /// delivery, which can reorder packets in flight.
     pub reorder_jitter: Option<SimTime>,
+    /// Per-packet probability that the wire *duplicates* the packet: a
+    /// second copy is filed one serialization quantum behind the original
+    /// and draws its own delivery fate. Must be in `[0, 1)`.
+    pub duplicate_p: f64,
+    /// Per-packet probability that the packet is *displaced*: its arrival
+    /// is pushed back by `1..=reorder_span` of its own serialization
+    /// quanta, letting later sends overtake it. Must be in `[0, 1)`.
+    pub reorder_p: f64,
+    /// Maximum displacement, in serialization quanta, of a reordered
+    /// packet (`1..=`[`MAX_REORDER_SPAN`]; required when `reorder_p > 0`).
+    pub reorder_span: u32,
     /// Number of parallel equal-cost paths (ECMP / multi-plane fabrics,
     /// §3.4.1). Each path serializes independently at `bandwidth_bps /
     /// paths`; packets take the earliest-available path, which naturally
@@ -72,6 +88,9 @@ impl LinkConfig {
             mtu: 4096,
             header_bytes: DEFAULT_HEADER_BYTES,
             reorder_jitter: None,
+            duplicate_p: 0.0,
+            reorder_p: 0.0,
+            reorder_span: 0,
             paths: 1,
             seed: 0,
         }
@@ -87,6 +106,9 @@ impl LinkConfig {
             mtu: 4096,
             header_bytes: DEFAULT_HEADER_BYTES,
             reorder_jitter: None,
+            duplicate_p: 0.0,
+            reorder_p: 0.0,
+            reorder_span: 0,
             paths: 1,
             seed: 0,
         }
@@ -118,6 +140,22 @@ impl LinkConfig {
         self
     }
 
+    /// Enables wire duplication with probability `p` per packet
+    /// (builder style).
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Enables packet displacement: with probability `p`, a packet's
+    /// arrival is pushed back by up to `span` of its own serialization
+    /// quanta (builder style).
+    pub fn with_reordering(mut self, p: f64, span: u32) -> Self {
+        self.reorder_p = p;
+        self.reorder_span = span;
+        self
+    }
+
     /// Round-trip propagation time of a symmetric pair of such links.
     pub fn rtt(&self) -> SimTime {
         self.one_way_delay * 2
@@ -135,6 +173,10 @@ pub struct LinkStats {
     pub delivered: u64,
     /// Total payload+header bytes serialized.
     pub bytes: u64,
+    /// Wire-duplicated copies injected (each also counts in `sent`).
+    pub duplicated: u64,
+    /// Packets displaced behind their serialization slot.
+    pub reordered: u64,
 }
 
 /// Outcome of handing one packet to [`Link::enqueue`]: the wire schedule
@@ -178,6 +220,20 @@ impl Link {
             return Err("a link needs at least one path".to_string());
         }
         cfg.loss.validate()?;
+        for (name, p) in [
+            ("duplicate_p", cfg.duplicate_p),
+            ("reorder_p", cfg.reorder_p),
+        ] {
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("{name} = {p} must be a probability below 1"));
+            }
+        }
+        if cfg.reorder_p > 0.0 && !(1..=MAX_REORDER_SPAN).contains(&cfg.reorder_span) {
+            return Err(format!(
+                "reorder_span = {} must be in 1..={MAX_REORDER_SPAN} when reorder_p > 0",
+                cfg.reorder_span
+            ));
+        }
         let loss = LossProcess::new(cfg.loss.clone(), cfg.seed.wrapping_mul(0x9E37_79B9));
         let rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0xA5A5_5A5A));
         let next_free = vec![SimTime::ZERO; cfg.paths];
@@ -250,15 +306,34 @@ impl Link {
                 arrival += SimTime(self.rng.random_range(0..=jitter.as_picos()));
             }
         }
-        // Keep the queue arrival-ordered (stable for equal instants).
-        // Jitter and multipath can make a later send arrive earlier, but
-        // the common case appends at the back.
+        // Adversarial displacement: push the arrival back by a few of the
+        // packet's own serialization quanta so later sends overtake it.
+        if self.cfg.reorder_p > 0.0 && self.rng.random_bool(self.cfg.reorder_p) {
+            let span = self.rng.random_range(1..=self.cfg.reorder_span) as u64;
+            arrival += serialize * span;
+            self.stats.reordered += 1;
+        }
+        // Wire duplication: a second copy trails the original by one
+        // serialization quantum and draws its own delivery fate.
+        if self.cfg.duplicate_p > 0.0 && self.rng.random_bool(self.cfg.duplicate_p) {
+            let copy_at = arrival + serialize;
+            self.stats.sent += 1;
+            self.stats.duplicated += 1;
+            self.file_arrival(copy_at, pkt.clone());
+        }
+        self.file_arrival(arrival, pkt);
+        TxOutcome { at: arrival }
+    }
+
+    /// Files a packet into the arrival-ordered pending queue (stable for
+    /// equal instants). Jitter, displacement and multipath can make a
+    /// later send arrive earlier, but the common case appends at the back.
+    fn file_arrival(&mut self, arrival: SimTime, pkt: Packet) {
         let mut i = self.pending.len();
         while i > 0 && self.pending[i - 1].0 > arrival {
             i -= 1;
         }
         self.pending.insert(i, (arrival, pkt));
-        TxOutcome { at: arrival }
     }
 
     /// The earliest pending arrival, if any (where the drain pump arms).
@@ -287,6 +362,16 @@ impl Link {
     /// Packets currently in flight toward the receiver.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Drops every packet currently in flight (counted in
+    /// [`stats().dropped`](Self::stats)) — the far endpoint crashed and
+    /// nothing on the wire toward it survives. Returns how many died.
+    pub fn drop_in_flight(&mut self) -> usize {
+        let n = self.pending.len();
+        self.stats.dropped += n as u64;
+        self.pending.clear();
+        n
     }
 
     /// The armed drain pump, if any (fabric bookkeeping).
@@ -498,6 +583,63 @@ mod tests {
         no_paths.paths = 0;
         assert!(Link::try_new(no_paths).is_err());
         assert!(Link::try_new(LinkConfig::intra_dc(8e9)).is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_dup_reorder_knobs() {
+        // Probabilities >= 1 (duplication of every packet forever, or a
+        // certain displacement) are rejected, mirroring the loss models.
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_duplication(1.0)).is_err());
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_duplication(-0.1)).is_err());
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_reordering(1.0, 4)).is_err());
+        // A displacement probability needs a span inside the queue window.
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_reordering(0.1, 0)).is_err());
+        assert!(Link::try_new(
+            LinkConfig::intra_dc(8e9).with_reordering(0.1, MAX_REORDER_SPAN + 1)
+        )
+        .is_err());
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_reordering(0.1, 4)).is_ok());
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_duplication(0.5)).is_ok());
+        // Span is ignored (not validated) while reorder_p == 0.
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_reordering(0.0, 0)).is_ok());
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let cfg = LinkConfig::intra_dc(8e9)
+            .with_duplication(0.5)
+            .with_seed(21);
+        let mut link = Link::new(cfg);
+        for i in 0..200 {
+            link.enqueue(SimTime::ZERO, pkt(i, 100));
+        }
+        let delivered = drain_all(&mut link);
+        let s = link.stats();
+        assert!(s.duplicated > 50, "duplicated {}", s.duplicated);
+        assert_eq!(s.sent, 200 + s.duplicated);
+        assert_eq!(delivered as u64, s.delivered);
+        assert_eq!(s.dropped + s.delivered, s.sent, "every copy draws a fate");
+    }
+
+    #[test]
+    fn displacement_reorders_deliveries() {
+        let mut eng = Engine::new();
+        let cfg = LinkConfig::intra_dc(8e9)
+            .with_reordering(0.3, 8)
+            .with_seed(22);
+        let link = shared(Link::new(cfg));
+        let out = shared(Vec::new());
+        for tag in 0..64 {
+            link.borrow_mut().enqueue(SimTime::ZERO, pkt(tag, 1000));
+        }
+        pump(&mut eng, &link, &out);
+        eng.run();
+        let got: Vec<u32> = out.borrow().iter().map(|&(t, _)| t).collect();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>(), "nothing lost");
+        assert_ne!(got, sorted, "displaced packets are overtaken");
+        assert!(link.borrow().stats().reordered > 5);
     }
 
     #[test]

@@ -248,6 +248,23 @@ impl Node {
         self.qps[qp.0 as usize].peer = Some(peer);
     }
 
+    /// Drops every piece of volatile NIC state — posted receives, protocol
+    /// inboxes, unpolled completions, in-progress UC reassembly — the way
+    /// an endpoint crash would. Registered memory, key tables and QP/CQ
+    /// identities survive (host state the layer above may have
+    /// checkpointed, and the addressing the peer reconnects to); so do
+    /// send PSN counters, which continue across the simulated restart.
+    pub fn reset_volatile(&mut self) {
+        for qp in &mut self.qps {
+            qp.rq.clear();
+            qp.inbox.clear();
+            qp.recv_state = UcRecvState::Idle;
+        }
+        for cq in &mut self.cqs {
+            cq.entries.clear();
+        }
+    }
+
     /// The connected peer of a QP, if any.
     pub fn qp_peer(&self, qp: QpNum) -> Option<QpAddr> {
         self.qps[qp.0 as usize].peer
