@@ -487,10 +487,13 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let smoke = std::env::var_os("SDR_BENCH_SMOKE").is_some();
+    // 50 cases per density bound a survival-rate estimate to a ±7-point
+    // 95% binomial CI — enough to distinguish the densities' rates —
+    // where the old 20 (±11 points) could not.
     let cases: u64 = std::env::var("CHAOS_BENCH_CASES")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(if smoke { 5 } else { 20 });
+        .unwrap_or(if smoke { 5 } else { 50 });
     println!("# Chaos soak — survival rate and completion tail vs fault density");
     println!(
         "deployment: {} km ({:.2} ms RTT), {} Gbit/s, 4 MiB adaptive transfers, \

@@ -350,6 +350,22 @@ impl SdrQp {
         })
     }
 
+    /// Number of receive posts that would currently succeed back-to-back:
+    /// the run of free slots starting at the next receive sequence. A
+    /// multi-flow host sharding transfers over a QP table uses this for
+    /// admission control — admit a flow only when its posts (data, and
+    /// parity for EC) fit, park it otherwise.
+    pub fn recv_slots_free(&self) -> u64 {
+        let i = self.inner.borrow();
+        let slots = i.cfg.msg_slots as u64;
+        (0..slots)
+            .take_while(|k| {
+                let slot = ((i.recv_seq + k) % slots) as usize;
+                !i.recv_slots[slot].active
+            })
+            .count() as u64
+    }
+
     /// Re-sends the clear-to-send credit for a posted receive. CTS rides
     /// the unreliable control path and can drop; reliability layers call
     /// this when a posted buffer has seen no traffic for a while.

@@ -270,6 +270,48 @@ pub enum CtrlMsg {
         /// buffer.
         base: u64,
     },
+    /// Flow sender → receiver: open flow `xfer & !FLOW_XFER_BIT` (the flow
+    /// id rides in the control stamp, not the payload). Re-sent on the
+    /// sender's open-retry cadence until the matching
+    /// [`FlowAck`](CtrlMsg::FlowAck) arrives; duplicates are harmless — the
+    /// receiver answers every copy with its admission snapshot.
+    FlowOpen {
+        /// Message length in bytes.
+        bytes: u64,
+        /// Reliability scheme this flow runs under (fixed for the flow's
+        /// lifetime — per-flow adaptation is the estimator registry picking
+        /// a better scheme for the *next* flow, not mid-flow switching).
+        spec: SchemeSpec,
+    },
+    /// Flow receiver → sender: admission snapshot. Carries the
+    /// receiver-assigned receive sequence numbers so the sender can order
+    /// its stream opens correctly no matter how admissions from concurrent
+    /// flows interleaved on the receiver.
+    FlowAck {
+        /// Receive sequence the data message was posted under.
+        data_seq: u64,
+        /// Receive sequence of the parity message (`u64::MAX` when the
+        /// flow's scheme carries no parity).
+        parity_seq: u64,
+    },
+    /// Flow sender → receiver: the flow is fully acknowledged at the
+    /// sender; the receiver may cut its ACK linger short. Best-effort and
+    /// sent once — loss merely means the receiver lingers its full
+    /// countdown.
+    FlowFin,
+    /// Flow receiver → sender: the flow resolved (data fully present or
+    /// decoded). Doubles as the final acknowledgment *and* the receiver's
+    /// closing telemetry: the cumulative first-pass counters ride along so
+    /// the sender's per-peer estimator absorbs the full channel
+    /// observation even though per-poll [`Telemetry`](CtrlMsg::Telemetry)
+    /// stops at resolution. Linger-repeated until
+    /// [`FlowFin`](CtrlMsg::FlowFin) (or the countdown) retires the flow.
+    FlowDone {
+        /// Cumulative first-pass packets scanned (arrived + gaps).
+        seen: u64,
+        /// Cumulative first-pass gaps.
+        lost: u64,
+    },
 }
 
 const TAG_SR_ACK: u8 = 1;
@@ -284,6 +326,10 @@ const TAG_SEG_DONE: u8 = 9;
 const TAG_ABORT: u8 = 10;
 const TAG_RESUME_QUERY: u8 = 11;
 const TAG_RESUME_STATE: u8 = 12;
+const TAG_FLOW_OPEN: u8 = 13;
+const TAG_FLOW_ACK: u8 = 14;
+const TAG_FLOW_FIN: u8 = 15;
+const TAG_FLOW_DONE: u8 = 16;
 
 fn abort_reason_to_wire(r: AbortReason) -> u8 {
     match r {
@@ -381,6 +427,25 @@ impl CtrlMsg {
                 b.put_u8(TAG_RESUME_STATE);
                 b.put_u64_le(*base);
                 manifest.encode_into(&mut b);
+            }
+            CtrlMsg::FlowOpen { bytes, spec } => {
+                b.put_u8(TAG_FLOW_OPEN);
+                b.put_u64_le(*bytes);
+                spec.encode_into(&mut b);
+            }
+            CtrlMsg::FlowAck {
+                data_seq,
+                parity_seq,
+            } => {
+                b.put_u8(TAG_FLOW_ACK);
+                b.put_u64_le(*data_seq);
+                b.put_u64_le(*parity_seq);
+            }
+            CtrlMsg::FlowFin => b.put_u8(TAG_FLOW_FIN),
+            CtrlMsg::FlowDone { seen, lost } => {
+                b.put_u8(TAG_FLOW_DONE);
+                b.put_u64_le(*seen);
+                b.put_u64_le(*lost);
             }
         }
         b.freeze()
@@ -502,6 +567,34 @@ impl CtrlMsg {
                     manifest: DeliveryManifest::decode_from(&mut buf)?,
                     base,
                 })
+            }
+            TAG_FLOW_OPEN => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                let bytes = buf.get_u64_le();
+                let spec = SchemeSpec::decode_from(&mut buf)?;
+                Some(CtrlMsg::FlowOpen { bytes, spec })
+            }
+            TAG_FLOW_ACK => {
+                if buf.remaining() < 16 {
+                    return None;
+                }
+                let data_seq = buf.get_u64_le();
+                let parity_seq = buf.get_u64_le();
+                Some(CtrlMsg::FlowAck {
+                    data_seq,
+                    parity_seq,
+                })
+            }
+            TAG_FLOW_FIN => Some(CtrlMsg::FlowFin),
+            TAG_FLOW_DONE => {
+                if buf.remaining() < 16 {
+                    return None;
+                }
+                let seen = buf.get_u64_le();
+                let lost = buf.get_u64_le();
+                Some(CtrlMsg::FlowDone { seen, lost })
             }
             _ => None,
         }
@@ -660,6 +753,56 @@ mod tests {
         for msg in msgs {
             assert_eq!(CtrlMsg::decode(msg.encode()), Some(msg));
         }
+    }
+
+    #[test]
+    fn flow_messages_roundtrip() {
+        let msgs = [
+            CtrlMsg::FlowOpen {
+                bytes: 1 << 40,
+                spec: SchemeSpec::SrNack,
+            },
+            CtrlMsg::FlowOpen {
+                bytes: 65536,
+                spec: SchemeSpec::EcMds { k: 16, m: 4 },
+            },
+            CtrlMsg::FlowAck {
+                data_seq: 123_456,
+                parity_seq: u64::MAX,
+            },
+            CtrlMsg::FlowAck {
+                data_seq: 0,
+                parity_seq: 1,
+            },
+            CtrlMsg::FlowFin,
+            CtrlMsg::FlowDone {
+                seen: 1 << 33,
+                lost: 42,
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(CtrlMsg::decode(msg.encode()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn flow_open_truncation_rejected() {
+        let mut enc = CtrlMsg::FlowOpen {
+            bytes: 4096,
+            spec: SchemeSpec::SrRto,
+        }
+        .encode()
+        .to_vec();
+        enc.truncate(enc.len() - 1);
+        assert_eq!(CtrlMsg::decode(Bytes::from(enc)), None);
+        let mut ack = CtrlMsg::FlowAck {
+            data_seq: 9,
+            parity_seq: 10,
+        }
+        .encode()
+        .to_vec();
+        ack.truncate(12);
+        assert_eq!(CtrlMsg::decode(Bytes::from(ack)), None);
     }
 
     #[test]

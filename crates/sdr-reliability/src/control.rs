@@ -121,6 +121,18 @@ pub struct CtrlFilterStats {
 /// Handler invoked per received control message: `(engine, src, message)`.
 pub type CtrlHandler = Box<dyn FnMut(&mut Engine, QpAddr, CtrlMsg)>;
 
+/// Stamp-`xfer` bit marking a datagram as flow-manager traffic. Transfer
+/// ids with this bit set are demultiplexed to the endpoint's *flow*
+/// handler, which receives the flow id (`xfer & !FLOW_XFER_BIT`) alongside
+/// the message; everything else goes to the classic single-transfer
+/// handler. Legacy transfer ids never collide — they are small
+/// out-of-band-agreed integers, nowhere near bit 63.
+pub const FLOW_XFER_BIT: u64 = 1 << 63;
+
+/// Handler invoked per received *flow* control message:
+/// `(engine, src, flow_id, message)`.
+pub type FlowCtrlHandler = Box<dyn FnMut(&mut Engine, QpAddr, u64, CtrlMsg)>;
+
 /// A path reliability schemes send their control messages down and receive
 /// them from. [`ControlEndpoint`] is the direct implementation (messages go
 /// on the wire as-is); the adaptive layer interposes an epoch gate that
@@ -145,6 +157,8 @@ pub struct ControlEndpoint {
     #[allow(dead_code)]
     cq: CqId,
     handler: Rc<RefCell<Option<CtrlHandler>>>,
+    /// Demultiplexed handler for [`FLOW_XFER_BIT`]-stamped datagrams.
+    flow_handler: Rc<RefCell<Option<FlowCtrlHandler>>>,
     /// ACK datagrams sent (diagnostics).
     sent: Rc<RefCell<u64>>,
     /// First receive-buffer address (for re-posting after a restart).
@@ -167,6 +181,7 @@ impl ControlEndpoint {
     /// handler.
     pub fn new(fabric: &Fabric, node: NodeId) -> Self {
         let handler: Rc<RefCell<Option<CtrlHandler>>> = Rc::new(RefCell::new(None));
+        let flow_handler: Rc<RefCell<Option<FlowCtrlHandler>>> = Rc::new(RefCell::new(None));
         let filters: Rc<RefCell<HashMap<(QpAddr, u64), PeerFilter>>> =
             Rc::new(RefCell::new(HashMap::new()));
         let drops: Rc<Cell<CtrlFilterStats>> = Rc::new(Cell::new(CtrlFilterStats::default()));
@@ -191,6 +206,7 @@ impl ControlEndpoint {
         });
         let fab = fabric.clone();
         let h = handler.clone();
+        let fh = flow_handler.clone();
         let flt = filters.clone();
         let drp = drops.clone();
         let own_inc = inc.clone();
@@ -271,12 +287,26 @@ impl ControlEndpoint {
                         peers.borrow_mut().insert(src, stamp.inc);
                         // Take the handler out while calling so the handler
                         // itself may send control messages re-entrantly.
-                        let taken = h.borrow_mut().take();
-                        if let Some(mut f) = taken {
-                            f(eng, src, msg);
-                            let mut slot = h.borrow_mut();
-                            if slot.is_none() {
-                                *slot = Some(f);
+                        // Flow-stamped datagrams go to the flow handler
+                        // (which also learns which flow the stamp named);
+                        // everything else to the classic handler.
+                        if stamp.xfer & FLOW_XFER_BIT != 0 {
+                            let taken = fh.borrow_mut().take();
+                            if let Some(mut f) = taken {
+                                f(eng, src, stamp.xfer & !FLOW_XFER_BIT, msg);
+                                let mut slot = fh.borrow_mut();
+                                if slot.is_none() {
+                                    *slot = Some(f);
+                                }
+                            }
+                        } else {
+                            let taken = h.borrow_mut().take();
+                            if let Some(mut f) = taken {
+                                f(eng, src, msg);
+                                let mut slot = h.borrow_mut();
+                                if slot.is_none() {
+                                    *slot = Some(f);
+                                }
                             }
                         }
                     }
@@ -289,6 +319,7 @@ impl ControlEndpoint {
             qp,
             cq,
             handler,
+            flow_handler,
             sent: Rc::new(RefCell::new(0)),
             buf_base,
             xfer: Cell::new(0),
@@ -311,6 +342,24 @@ impl ControlEndpoint {
     /// Installs the receive handler.
     pub fn set_handler(&self, f: impl FnMut(&mut Engine, QpAddr, CtrlMsg) + 'static) {
         *self.handler.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Installs the flow receive handler: it gets every datagram whose
+    /// stamp carries [`FLOW_XFER_BIT`], along with the flow id the stamp
+    /// named. Coexists with the classic handler — a [`FlowManager`] and a
+    /// single-transfer protocol can share one endpoint.
+    ///
+    /// [`FlowManager`]: crate::flow::FlowManager
+    pub fn set_flow_handler(&self, f: impl FnMut(&mut Engine, QpAddr, u64, CtrlMsg) + 'static) {
+        *self.flow_handler.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Sends `msg` stamped as flow `flow_id` traffic (sets the outgoing
+    /// transfer id to `FLOW_XFER_BIT | flow_id` for this datagram and
+    /// leaves it there — flow senders stamp every datagram explicitly).
+    pub fn send_flow(&self, eng: &mut Engine, dst: QpAddr, flow_id: u64, msg: &CtrlMsg) {
+        self.set_transfer(FLOW_XFER_BIT | flow_id);
+        self.send(eng, dst, msg);
     }
 
     /// Sends a control message to `dst`, prefixed with this endpoint's
@@ -443,6 +492,59 @@ mod tests {
         assert_eq!(got[0].1, CtrlMsg::EcAck);
         assert_eq!(got[1].1, CtrlMsg::EcNack { failed: vec![3, 9] });
         assert_eq!(ep_a.sent_count(), 2);
+    }
+
+    #[test]
+    fn flow_traffic_demuxes_to_flow_handler() {
+        let mut eng = Engine::new();
+        let fabric = Fabric::new();
+        let a = fabric.add_node(1 << 20);
+        let b = fabric.add_node(1 << 20);
+        fabric.link_duplex(a, b, LinkConfig::intra_dc(8e9));
+        let ep_a = ControlEndpoint::new(&fabric, a);
+        let ep_b = ControlEndpoint::new(&fabric, b);
+
+        let plain = Rc::new(RefCell::new(Vec::new()));
+        let flows = Rc::new(RefCell::new(Vec::new()));
+        let (p, f) = (plain.clone(), flows.clone());
+        ep_b.set_handler(move |_eng, _src, msg| p.borrow_mut().push(msg));
+        ep_b.set_flow_handler(move |_eng, _src, id, msg| f.borrow_mut().push((id, msg)));
+
+        // Interleave legacy and flow-stamped traffic on the same endpoint:
+        // each stream reaches exactly its own handler.
+        ep_a.set_transfer(7);
+        ep_a.send(&mut eng, ep_b.addr(), &CtrlMsg::EcAck);
+        ep_a.send_flow(&mut eng, ep_b.addr(), 42, &CtrlMsg::FlowFin);
+        ep_a.set_transfer(7);
+        ep_a.send(&mut eng, ep_b.addr(), &CtrlMsg::SegDone { below: 1 });
+        ep_a.send_flow(
+            &mut eng,
+            ep_b.addr(),
+            1,
+            &CtrlMsg::FlowAck {
+                data_seq: 5,
+                parity_seq: u64::MAX,
+            },
+        );
+        eng.run();
+
+        assert_eq!(
+            *plain.borrow(),
+            vec![CtrlMsg::EcAck, CtrlMsg::SegDone { below: 1 }]
+        );
+        assert_eq!(
+            *flows.borrow(),
+            vec![
+                (42, CtrlMsg::FlowFin),
+                (
+                    1,
+                    CtrlMsg::FlowAck {
+                        data_seq: 5,
+                        parity_seq: u64::MAX,
+                    }
+                ),
+            ]
+        );
     }
 
     #[test]

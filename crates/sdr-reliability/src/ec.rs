@@ -193,7 +193,7 @@ fn codes_for(choice: EcCodeChoice, geoms: &[SubGeom]) -> Vec<Arc<dyn ErasureCode
 /// so a decode can rent buffers (via [`ErasureCode::reconstruct_into`])
 /// while the scratch's shard table is mutably borrowed.
 #[derive(Default)]
-struct BufPool {
+pub(crate) struct BufPool {
     /// Pooled chunk buffers, capped at [`Self::cap`] entries.
     free: Vec<Vec<u8>>,
     /// Upper bound on pooled buffers (the cap keeps the pool from growing
@@ -204,7 +204,7 @@ struct BufPool {
 impl BufPool {
     /// Rents a zeroed `len`-byte buffer, reusing a pooled one when
     /// available.
-    fn take(&mut self, len: usize) -> Vec<u8> {
+    pub(crate) fn take(&mut self, len: usize) -> Vec<u8> {
         match self.free.pop() {
             Some(mut b) => {
                 b.clear();
@@ -216,7 +216,7 @@ impl BufPool {
     }
 
     /// Returns a buffer to the pool (dropped when the pool is at cap).
-    fn put(&mut self, b: Vec<u8>) {
+    pub(crate) fn put(&mut self, b: Vec<u8>) {
         if self.free.len() < self.cap {
             self.free.push(b);
         }
@@ -233,13 +233,13 @@ impl BufPool {
 #[derive(Default)]
 pub struct EcScratch {
     /// The chunk-buffer pool decode rents from.
-    pool: BufPool,
+    pub(crate) pool: BufPool,
     /// Shard table reused across decodes.
-    shards: Vec<Option<Vec<u8>>>,
+    pub(crate) shards: Vec<Option<Vec<u8>>>,
     /// Per-chunk presence flags reused across polls.
-    data_present: Vec<bool>,
-    parity_present: Vec<bool>,
-    present: Vec<bool>,
+    pub(crate) data_present: Vec<bool>,
+    pub(crate) parity_present: Vec<bool>,
+    pub(crate) present: Vec<bool>,
 }
 
 impl EcScratch {
@@ -256,12 +256,12 @@ impl EcScratch {
 
     /// Rents a zeroed `len`-byte buffer, reusing a pooled one when
     /// available.
-    fn take(&mut self, len: usize) -> Vec<u8> {
+    pub(crate) fn take(&mut self, len: usize) -> Vec<u8> {
         self.pool.take(len)
     }
 
     /// Returns a buffer to the pool (dropped when the pool is at cap).
-    fn put(&mut self, b: Vec<u8>) {
+    pub(crate) fn put(&mut self, b: Vec<u8>) {
         self.pool.put(b);
     }
 
@@ -655,8 +655,11 @@ struct EcRxScheme {
     geoms: Vec<SubGeom>,
     /// One code instance per submessage, shared across identical shapes.
     codes: Vec<Arc<dyn ErasureCode>>,
-    /// Pooled shard staging for the decode hot path.
-    scratch: EcScratch,
+    /// Pooled shard staging for the decode hot path. Shared: a
+    /// [`FlowManager`](crate::flow::FlowManager) (or any other multi-flow
+    /// host) hands every receiver the *same* scratch so concurrent flows
+    /// rent from one warm pool instead of each growing their own.
+    scratch: Rc<RefCell<EcScratch>>,
     parity_addrs: Vec<u64>,
     resolved: Vec<bool>,
     fto_deadline: Option<SimTime>,
@@ -701,6 +704,7 @@ impl EcRxScheme {
         let mut any_packet = false;
         let chunk_len = self.chunk_bytes as usize;
         let l = self.geoms.len();
+        let scratch = &mut *self.scratch.borrow_mut();
         for s in 0..l {
             if self.resolved[s] {
                 continue;
@@ -724,69 +728,72 @@ impl EcRxScheme {
                 self.stats.complete_submessages += 1;
                 continue;
             }
-            self.scratch.data_present.clear();
-            self.scratch.data_present.resize(g.k_eff, true);
-            let flags = &mut self.scratch.data_present;
+            scratch.data_present.clear();
+            scratch.data_present.resize(g.k_eff, true);
+            let flags = &mut scratch.data_present;
             data_bm
                 .chunks()
                 .for_each_missing_in_first_n(g.k_eff, |c| flags[c] = false);
-            self.scratch.parity_present.clear();
-            self.scratch.parity_present.resize(g.m_eff, true);
-            let flags = &mut self.scratch.parity_present;
+            scratch.parity_present.clear();
+            scratch.parity_present.resize(g.m_eff, true);
+            let flags = &mut scratch.parity_present;
             parity_bm
                 .chunks()
                 .for_each_missing_in_first_n(g.m_eff, |c| flags[c] = false);
             // Try in-place decoding from data + parity chunks.
-            self.scratch.present.clear();
-            self.scratch
-                .present
-                .extend_from_slice(&self.scratch.data_present);
-            self.scratch
-                .present
-                .extend_from_slice(&self.scratch.parity_present);
-            if !self.codes[s].can_recover(&self.scratch.present) {
+            scratch.present.clear();
+            // `present` cannot borrow `data_present`/`parity_present`
+            // directly while being extended, so split the borrows.
+            let (present, dp, pp) = (
+                &mut scratch.present,
+                &scratch.data_present,
+                &scratch.parity_present,
+            );
+            present.extend_from_slice(dp);
+            present.extend_from_slice(pp);
+            if !self.codes[s].can_recover(&scratch.present) {
                 continue;
             }
             // Stage present shards into pooled buffers (rented, not
             // allocated, once the pool is warm).
-            debug_assert!(self.scratch.shards.is_empty());
+            debug_assert!(scratch.shards.is_empty());
             for c in 0..g.k_eff {
-                if self.scratch.data_present[c] {
-                    let mut b = self.scratch.take(chunk_len);
+                if scratch.data_present[c] {
+                    let mut b = scratch.take(chunk_len);
                     self.ctx.read_buffer_into(
                         self.buf_addr + (g.chunk_start + c as u64) * self.chunk_bytes,
                         &mut b,
                     );
-                    self.scratch.shards.push(Some(b));
+                    scratch.shards.push(Some(b));
                 } else {
-                    self.scratch.shards.push(None);
+                    scratch.shards.push(None);
                 }
             }
             for c in 0..g.m_eff {
-                if self.scratch.parity_present[c] {
-                    let mut b = self.scratch.take(chunk_len);
+                if scratch.parity_present[c] {
+                    let mut b = scratch.take(chunk_len);
                     self.ctx.read_buffer_into(
                         self.parity_addrs[s] + c as u64 * self.chunk_bytes,
                         &mut b,
                     );
-                    self.scratch.shards.push(Some(b));
+                    scratch.shards.push(Some(b));
                 } else {
-                    self.scratch.shards.push(None);
+                    scratch.shards.push(None);
                 }
             }
             {
                 // Missing shards are rebuilt into buffers rented from the
                 // same scratch pool (`reconstruct_into`), so the loss path
                 // allocates nothing once the pool is warm.
-                let EcScratch { pool, shards, .. } = &mut self.scratch;
+                let EcScratch { pool, shards, .. } = scratch;
                 self.codes[s]
                     .reconstruct_into(shards, &mut |len| pool.take(len))
                     .expect("can_recover checked");
             }
             // Write recovered data chunks back into the user buffer.
             for c in 0..g.k_eff {
-                if !self.scratch.data_present[c] {
-                    let shard = self.scratch.shards[c].as_ref().expect("reconstructed");
+                if !scratch.data_present[c] {
+                    let shard = scratch.shards[c].as_ref().expect("reconstructed");
                     self.ctx.write_buffer(
                         self.buf_addr + (g.chunk_start + c as u64) * self.chunk_bytes,
                         shard,
@@ -795,11 +802,11 @@ impl EcRxScheme {
             }
             // Return every staged buffer (including freshly reconstructed
             // ones) to the pool for the next decode.
-            let mut staged = std::mem::take(&mut self.scratch.shards);
+            let mut staged = std::mem::take(&mut scratch.shards);
             for b in staged.drain(..).flatten() {
-                self.scratch.put(b);
+                scratch.put(b);
             }
-            self.scratch.shards = staged; // retain capacity
+            scratch.shards = staged; // retain capacity
             self.resolved[s] = true;
             self.stats.decoded_submessages += 1;
         }
@@ -851,6 +858,31 @@ impl EcReceiver {
         telemetry: Option<Rc<RefCell<ChannelEstimator>>>,
         done: impl FnOnce(&mut Engine, SimTime, EcRecvStats) + 'static,
     ) -> EcReceiver {
+        let scratch = Rc::new(RefCell::new(EcScratch::new(cfg.k, cfg.m)));
+        Self::start_with_scratch(
+            eng, qp, ctx, ctrl, peer_ctrl, buf_addr, msg_bytes, cfg, scratch, telemetry, done,
+        )
+    }
+
+    /// [`start_with_telemetry`](Self::start_with_telemetry) decoding
+    /// through a caller-owned [`EcScratch`]. A host driving many receivers
+    /// (the flow manager, a multi-segment adaptive pipeline) passes the
+    /// same handle to all of them: decodes across transfers then rent from
+    /// one warm buffer pool instead of every transfer allocating its own.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_scratch(
+        eng: &mut Engine,
+        qp: &SdrQp,
+        ctx: &SdrContext,
+        ctrl: Rc<dyn CtrlPath>,
+        peer_ctrl: QpAddr,
+        buf_addr: u64,
+        msg_bytes: u64,
+        cfg: EcProtoConfig,
+        scratch: Rc<RefCell<EcScratch>>,
+        telemetry: Option<Rc<RefCell<ChannelEstimator>>>,
+        done: impl FnOnce(&mut Engine, SimTime, EcRecvStats) + 'static,
+    ) -> EcReceiver {
         let chunk_bytes = qp.config().chunk_bytes;
         assert!(msg_bytes.is_multiple_of(chunk_bytes));
         let total_chunks = msg_bytes / chunk_bytes;
@@ -884,7 +916,7 @@ impl EcReceiver {
             chunk_bytes,
             geoms,
             codes,
-            scratch: EcScratch::new(cfg.k, cfg.m),
+            scratch,
             parity_addrs,
             resolved: vec![false; l],
             fto_deadline: None,

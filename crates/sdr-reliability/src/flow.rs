@@ -1,0 +1,2272 @@
+//! The many-flow engine: one node driving thousands of concurrent
+//! transfers over a shared control plane, a shared tick, and a fair
+//! injection arbiter.
+//!
+//! Everything else in this crate runs *one* transfer per protocol object:
+//! one tick loop, one control endpoint binding, one estimator warmed from
+//! cold. That is the right shape for validating schemes against the
+//! models, and the wrong shape for the paper's planetary-scale pitch — a
+//! storage or inference front-end node serves **flows as a population**:
+//! thousands live at once, most are short, and they share one wire. The
+//! [`FlowManager`] is the population-scale runtime:
+//!
+//! * **Sharded slot/QP table** — flows hash over `shards` QP pairs per
+//!   peer (`flow_id % shards`, computed identically on both ends), so
+//!   admission pressure on one slot table never serializes the node and
+//!   the per-QP order-based CTS matching stays shallow.
+//! * **One control plane** — every flow's control traffic rides a single
+//!   [`ControlEndpoint`], demultiplexed by the
+//!   [`FLOW_XFER_BIT`](crate::control::FLOW_XFER_BIT)-tagged stamp `xfer`
+//!   (the flow id). The stamp's replay filter is already
+//!   keyed per `(peer, xfer)`, so each flow gets its own dedup window for
+//!   free.
+//! * **One shared tick** — a single recurring wheel timer serves *all*
+//!   flows through a [`DueIndex`] (a min-heap of per-flow deadlines with
+//!   lazy invalidation). A node with 10 000 parked flows wakes exactly
+//!   when the earliest deadline is due, not 10 000 times per RTO.
+//! * **Fair injection** — senders never write to the wire directly; they
+//!   enqueue chunk work items into a per-peer [`DrrArbiter`]
+//!   (deficit-round-robin with per-flow weights) and a pacing pump drains
+//!   it, keeping the link busy only a small horizon ahead of now
+//!   ([`Fabric::tx_busy_until`]). Scheduling stays late-bound: an
+//!   elephant's backlog waits in the arbiter where mice overtake it every
+//!   round, not in a deep device queue where nothing can.
+//! * **Warm starts** — a per-peer [`EstimatorRegistry`] outlives flows;
+//!   short flows open under the scheme the *aggregate* traffic to that
+//!   peer has justified (EC beyond the loss threshold, SR-NACK below),
+//!   instead of each flow re-learning the channel from cold.
+//!
+//! ## Flow lifecycle
+//!
+//! ```text
+//! sender                               receiver
+//! open_flow → FlowOpen ─────────────▶ admit (slots free?) or park
+//!             (retried, idempotent)    recv_post data [+ parity]
+//!           ◀───────────── FlowAck    (carries receiver's recv seqs)
+//! order stream starts by seq,
+//! start on CTS, enqueue chunks
+//! into the DRR arbiter
+//!   pump: inject while wire <
+//!   horizon ahead ───────────────▶    poll at ack cadence:
+//!   RTO/NACK repair loop       ◀──    SrAck+Telemetry / EcNack (FTO)
+//! complete on SrAck/EcAck:
+//!   FlowFin ─────────────────────▶    cut ACK linger short
+//! ```
+//!
+//! Both directions of the handshake are idempotent against loss: the
+//! sender re-sends `FlowOpen` on a backed-off retry deadline until the
+//! `FlowAck` arrives (duplicates get the admission snapshot again), and a
+//! lost CTS heals through the receiver's poll loop exactly as in the
+//! single-flow schemes.
+//!
+//! EC flows run one submessage per flow (`k` = data chunks) with the
+//! parity staged through the shared [`EncodePool`]; the receiver decodes
+//! in place through one manager-wide [`EcScratch`] — flows rent from a
+//! single warm pool instead of each growing their own. The EC fallback
+//! NACK carries *missing data chunk indices* (chunk-granular §4.1.2
+//! selective repeat).
+//!
+//! [`EncodePool`]: sdr_erasure::EncodePool
+//! [`Fabric::tx_busy_until`]: sdr_sim::Fabric::tx_busy_until
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use sdr_core::{RecvHandle, SdrConfig, SdrContext, SdrError, SdrQp, SendHandle};
+use sdr_erasure::{EncodePool, ErasureCode, ReedSolomon, XorCode};
+use sdr_sim::{Engine, Fabric, NodeId, QpAddr, SimTime, TimerHandle};
+
+use crate::ack::{build_sr_ack, CtrlMsg, SchemeSpec};
+use crate::control::ControlEndpoint;
+use crate::ec::EcScratch;
+use crate::runtime::{tick_loop, ChunkTimers, Tick};
+use crate::telemetry::{
+    ChannelEstimator, EstimatorRegistry, FirstPassCursor, TelemetryConfig, TelemetryCounters,
+};
+
+/// Work-item tag bit marking a parity-stream chunk (data chunks use the
+/// plain index).
+pub const PARITY_TAG: u32 = 1 << 31;
+
+/// Give up opening a flow after this many unanswered `FlowOpen` rounds.
+const OPEN_RETRY_CAP: u32 = 64;
+
+/// Exponent cap for the open-retry backoff (`open_retry << n`).
+const OPEN_BACKOFF_CAP: u32 = 6;
+
+/// Send a cumulative `Telemetry` report every n-th receiver poll.
+const TELEMETRY_EVERY: u32 = 4;
+
+/// Most data-chunk indices one flow-EC fallback NACK carries.
+const MAX_FLOW_NACKS: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Deficit-round-robin arbiter
+// ---------------------------------------------------------------------------
+
+/// One unit of injection work: a chunk of some flow's data or parity
+/// stream. `tag` is the chunk index, with [`PARITY_TAG`] set for parity
+/// chunks; `bytes` is the chunk's wire length (the last data chunk may be
+/// short).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Chunk index (data), or `PARITY_TAG | index` (parity).
+    pub tag: u32,
+    /// Chunk length in bytes.
+    pub bytes: u64,
+}
+
+struct FlowQueue {
+    q: VecDeque<WorkItem>,
+    backlog_bytes: u64,
+    deficit: u64,
+    weight: u64,
+    queued: bool,
+}
+
+/// Deficit-round-robin injection arbiter with per-flow weights and
+/// per-flow byte-accurate backlog accounting.
+///
+/// Flows [`register`](Self::register) once, [`enqueue`](Self::enqueue)
+/// chunk work items as they become sendable (initial injection, RTO
+/// expiry, NACK repair), and the pump [`poll`](Self::poll)s items out
+/// under DRR: the head-of-ring flow serves items while its deficit
+/// affords them; when it cannot afford its next item it earns
+/// `quantum × weight` and rotates to the back. An elephant's multi-
+/// megabyte backlog therefore advances at most one quantum per round past
+/// any backlogged mouse — no starvation, bounded per-round unfairness
+/// (the classic DRR bound: `quantum × weight + one item` per flow per
+/// round).
+///
+/// Steady-state polls and enqueues allocate nothing: per-flow queues are
+/// retained ring buffers, and the active ring reuses its capacity.
+pub struct DrrArbiter {
+    quantum: u64,
+    flows: HashMap<u64, FlowQueue>,
+    active: VecDeque<u64>,
+    total_backlog: u64,
+}
+
+impl DrrArbiter {
+    /// An empty arbiter granting `quantum` bytes per flow per round.
+    pub fn new(quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        DrrArbiter {
+            quantum,
+            flows: HashMap::new(),
+            active: VecDeque::new(),
+            total_backlog: 0,
+        }
+    }
+
+    /// Registers flow `key` with the given weight (≥ 1: a weight-2 flow
+    /// earns twice the quantum per round). Re-registering resets the
+    /// flow's queue.
+    pub fn register(&mut self, key: u64, weight: u64) {
+        assert!(weight >= 1, "weight must be at least 1");
+        let prev = self.flows.insert(
+            key,
+            FlowQueue {
+                q: VecDeque::new(),
+                backlog_bytes: 0,
+                deficit: 0,
+                weight,
+                queued: false,
+            },
+        );
+        if let Some(p) = prev {
+            self.total_backlog -= p.backlog_bytes;
+        }
+    }
+
+    /// Drops flow `key` and its backlog; returns the dropped byte count.
+    /// Any stale active-ring entry is skipped lazily by `poll`.
+    pub fn deregister(&mut self, key: u64) -> u64 {
+        match self.flows.remove(&key) {
+            Some(f) => {
+                self.total_backlog -= f.backlog_bytes;
+                f.backlog_bytes
+            }
+            None => 0,
+        }
+    }
+
+    /// Queues one work item for flow `key` (FIFO per flow) and activates
+    /// the flow in the service ring.
+    pub fn enqueue(&mut self, key: u64, item: WorkItem) {
+        let f = self.flows.get_mut(&key).expect("flow registered");
+        f.q.push_back(item);
+        f.backlog_bytes += item.bytes;
+        self.total_backlog += item.bytes;
+        if !f.queued {
+            f.queued = true;
+            self.active.push_back(key);
+        }
+    }
+
+    /// The next item to inject under DRR, with its flow key. `None` when
+    /// no flow has backlog.
+    pub fn poll(&mut self) -> Option<(u64, WorkItem)> {
+        loop {
+            let key = *self.active.front()?;
+            let Some(f) = self.flows.get_mut(&key) else {
+                // Deregistered while active: drop the stale ring entry.
+                self.active.pop_front();
+                continue;
+            };
+            let Some(&head) = f.q.front() else {
+                // Drained while at the head (emptied by a previous poll):
+                // retire from the ring with no deficit carry-over.
+                f.deficit = 0;
+                f.queued = false;
+                self.active.pop_front();
+                continue;
+            };
+            if f.deficit >= head.bytes {
+                f.deficit -= head.bytes;
+                f.q.pop_front();
+                f.backlog_bytes -= head.bytes;
+                self.total_backlog -= head.bytes;
+                if f.q.is_empty() {
+                    f.deficit = 0;
+                    f.queued = false;
+                    self.active.pop_front();
+                }
+                return Some((key, head));
+            }
+            // Cannot afford the head item: earn one round's quantum and
+            // rotate to the back of the ring.
+            f.deficit += self.quantum * f.weight;
+            self.active.pop_front();
+            self.active.push_back(key);
+        }
+    }
+
+    /// Bytes queued for flow `key`.
+    pub fn backlog_bytes(&self, key: u64) -> u64 {
+        self.flows.get(&key).map_or(0, |f| f.backlog_bytes)
+    }
+
+    /// Bytes queued across all flows.
+    pub fn total_backlog(&self) -> u64 {
+        self.total_backlog
+    }
+
+    /// True when any flow has queued work.
+    pub fn has_work(&self) -> bool {
+        self.total_backlog > 0
+    }
+
+    /// Registered flows (backlogged or not).
+    pub fn flows(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Due-deadline index
+// ---------------------------------------------------------------------------
+
+/// Identifies a flow in the due index: sender flows by id, receiver flows
+/// by `(peer, id)` (ids are only unique per *sender*).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlowKey {
+    /// A sender-side flow (locally assigned id).
+    Tx(u64),
+    /// A receiver-side flow (opened by `peer`).
+    Rx(NodeId, u64),
+}
+
+/// Min-heap of `(deadline, stamp, flow)` entries driving the shared tick:
+/// one recurring timer pops everything due and sleeps to the earliest
+/// remainder, so a node with thousands of parked flows wakes once per
+/// deadline, not once per flow per interval.
+///
+/// Entries are lazily invalidated: rescheduling a flow pushes a new entry
+/// with a fresh stamp and leaves the old one to be skipped at pop time
+/// (the flow records its live stamp). Pushes and pops reuse the heap's
+/// capacity — the steady state allocates nothing.
+#[derive(Default)]
+pub struct DueIndex {
+    heap: BinaryHeap<Reverse<(SimTime, u64, FlowKey)>>,
+}
+
+impl DueIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        DueIndex::default()
+    }
+
+    /// Queues `(at, stamp, key)`.
+    pub fn push(&mut self, at: SimTime, stamp: u64, key: FlowKey) {
+        self.heap.push(Reverse((at, stamp, key)));
+    }
+
+    /// The earliest entry, without removing it.
+    pub fn peek(&self) -> Option<(SimTime, u64, FlowKey)> {
+        self.heap.peek().map(|Reverse(e)| *e)
+    }
+
+    /// Removes and returns the earliest entry.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, FlowKey)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Entries queued (including stale ones awaiting lazy removal).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration and reports
+// ---------------------------------------------------------------------------
+
+/// Tuning for a [`FlowManager`].
+#[derive(Clone, Debug)]
+pub struct FlowCfg {
+    /// Per-shard SDR QP configuration (slot table depth, chunk size…).
+    pub qp: SdrConfig,
+    /// QP pairs per peer; flows hash over them by `flow_id % shards`.
+    pub shards: usize,
+    /// Link bandwidth toward peers (pacing and FTO computation).
+    pub bandwidth_bps: f64,
+    /// Nominal round-trip time (cadence defaults derive from it).
+    pub rtt: SimTime,
+    /// DRR quantum in bytes (defaults to one chunk).
+    pub quantum_bytes: u64,
+    /// How far ahead of now the pacer keeps the wire busy.
+    pub pace_horizon: SimTime,
+    /// Receiver poll / ACK cadence.
+    pub ack_interval: SimTime,
+    /// Sender per-chunk retransmission timeout (ARQ flows).
+    pub rto: SimTime,
+    /// `FlowOpen` retry base interval (backed off exponentially).
+    pub open_retry: SimTime,
+    /// Final-ACK linger repeats after a receive flow resolves.
+    pub linger_acks: u32,
+    /// Estimator tuning for the per-peer registry.
+    pub telemetry: TelemetryConfig,
+    /// Registry entries untouched this long are stale.
+    pub registry_max_age: SimTime,
+    /// Warm loss estimate above which new flows open under EC.
+    pub ec_loss_threshold: f64,
+    /// Parity overprovision factor:
+    /// `m ≈ ceil(chunks × chunk_loss × factor) + 1`.
+    pub ec_parity_factor: f64,
+}
+
+/// On-the-wire cost budgeted per control datagram, in bits: a couple
+/// hundred bytes of ack/telemetry payload plus the per-packet link
+/// header. Used to pace the control plane against the population size.
+const CTRL_WIRE_BITS: f64 = 2048.0;
+
+/// Fraction of link bandwidth the reverse control path may consume.
+/// Acks, telemetry, CTS credits and final acks all share that path with
+/// any reverse data traffic; letting per-flow polls run at a fixed
+/// cadence saturates it once enough flows poll at once.
+const CTRL_BUDGET_FRAC: f64 = 0.05;
+
+/// Minimum per-flow control cadence that keeps `live` flows' poll
+/// traffic within [`CTRL_BUDGET_FRAC`] of the link.
+fn ctrl_pacing(cfg: &FlowCfg, live: usize) -> SimTime {
+    SimTime::from_secs_f64(
+        live.max(1) as f64 * CTRL_WIRE_BITS / (CTRL_BUDGET_FRAC * cfg.bandwidth_bps),
+    )
+}
+
+impl FlowCfg {
+    /// Defaults derived from the link: quantum = chunk, horizon = 4
+    /// chunks of serialization, cadences from the RTT.
+    ///
+    /// The RTO is floored by the full sent-to-acked pipeline, not just the
+    /// RTT: a chunk stamped sent at *injection* still sits up to a pacing
+    /// horizon in the wire queue, then one way across, then up to an ack
+    /// interval at the receiver, then the ack's way back. On fat
+    /// short-RTT links the horizon dominates the RTT, and an RTT-only RTO
+    /// expires chunks that are merely queued — a retransmit storm that
+    /// feeds on its own queueing.
+    pub fn new(qp: SdrConfig, bandwidth_bps: f64, rtt: SimTime) -> Self {
+        let chunk = qp.chunk_bytes;
+        let chunk_serialize = SimTime::from_secs_f64(chunk as f64 * 8.0 / bandwidth_bps);
+        let pace_horizon = SimTime(chunk_serialize.0.saturating_mul(4).max(1));
+        let ack_interval = SimTime((rtt.0 / 4).max(1));
+        let pipeline = pace_horizon.0 + rtt.0 + ack_interval.0;
+        FlowCfg {
+            qp,
+            shards: 4,
+            bandwidth_bps,
+            rtt,
+            quantum_bytes: chunk,
+            pace_horizon,
+            ack_interval,
+            rto: SimTime(rtt.0.saturating_mul(3).max(pipeline.saturating_mul(2))),
+            open_retry: SimTime(rtt.0.saturating_mul(2)),
+            linger_acks: 8,
+            telemetry: TelemetryConfig::default(),
+            registry_max_age: SimTime(rtt.0.saturating_mul(1000)),
+            ec_loss_threshold: 2e-3,
+            ec_parity_factor: 3.0,
+        }
+    }
+}
+
+/// Sender-side completion report for one flow.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// The flow id.
+    pub id: u64,
+    /// Peer node the flow was sent to.
+    pub peer: NodeId,
+    /// Message bytes.
+    pub bytes: u64,
+    /// Scheme the flow ran under.
+    pub spec: SchemeSpec,
+    /// When `open_flow` was called.
+    pub opened_at: SimTime,
+    /// When the final acknowledgment arrived (or the open was abandoned).
+    pub done_at: SimTime,
+    /// Chunk retransmissions (RTO + NACK repairs).
+    pub retransmits: u64,
+    /// `FlowOpen` rounds beyond the first.
+    pub open_retries: u32,
+    /// True when the transfer fully completed; false when the open was
+    /// abandoned after [`OPEN_RETRY_CAP`] unanswered rounds.
+    pub delivered: bool,
+}
+
+/// Receiver-side completion notice for one flow.
+#[derive(Clone, Copy, Debug)]
+pub struct RxFlowDone {
+    /// The sender-assigned flow id.
+    pub id: u64,
+    /// The sending node.
+    pub peer: NodeId,
+    /// Destination buffer address (as allocated at admission).
+    pub addr: u64,
+    /// Message bytes.
+    pub bytes: u64,
+    /// When the message fully resolved.
+    pub at: SimTime,
+    /// True when the flow resolved by erasure decode (EC only).
+    pub decoded: bool,
+}
+
+/// Aggregate manager counters (diagnostics and benches).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowStats {
+    /// Flows opened on this node (sender side).
+    pub opened: u64,
+    /// Sender flows completed (delivered or abandoned).
+    pub tx_done: u64,
+    /// Receiver flows resolved.
+    pub rx_done: u64,
+    /// Chunk retransmissions across all sender flows.
+    pub retransmits: u64,
+    /// Receive flows resolved by erasure decode.
+    pub decoded: u64,
+    /// Admissions parked for lack of slots (then admitted later).
+    pub parked_opens: u64,
+    /// `FlowOpen` retry datagrams sent.
+    pub open_retries: u64,
+    /// Work items injected by the pump.
+    pub injected: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Flow state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TxPhase {
+    /// `FlowOpen` sent, awaiting `FlowAck`.
+    Opening,
+    /// Seqs assigned; stream starts queued behind CTS arrival.
+    Starting,
+    /// Streams open; chunks flow through the arbiter.
+    Streaming,
+}
+
+struct TxFlow {
+    peer: NodeId,
+    peer_ctrl: QpAddr,
+    shard: usize,
+    src_addr: u64,
+    bytes: u64,
+    chunks: usize,
+    spec: SchemeSpec,
+    phase: TxPhase,
+    data_hdl: Option<SendHandle>,
+    parity_hdl: Option<SendHandle>,
+    parity_addr: u64,
+    parity_chunks: usize,
+    /// Initial work items still awaiting first injection; the RTO clock
+    /// for a chunk starts at its first injection, so the flow enters the
+    /// due index only once this reaches zero.
+    uninjected: usize,
+    timers: ChunkTimers,
+    est: Rc<RefCell<ChannelEstimator>>,
+    last_telem: TelemetryCounters,
+    opened_at: SimTime,
+    open_retries: u32,
+    deadline: SimTime,
+    stamp: u64,
+    retransmits: u64,
+    done: Option<Box<dyn FnOnce(&mut Engine, FlowReport)>>,
+}
+
+struct RxFlow {
+    peer_ctrl: QpAddr,
+    shard: usize,
+    bytes: u64,
+    chunks: usize,
+    chunk_bytes: u64,
+    dst_addr: u64,
+    data_h: RecvHandle,
+    parity_h: Option<RecvHandle>,
+    parity_addr: u64,
+    parity_chunks: usize,
+    code: Option<Arc<dyn ErasureCode>>,
+    data_cursor: FirstPassCursor,
+    parity_cursor: FirstPassCursor,
+    counters: TelemetryCounters,
+    est: Rc<RefCell<ChannelEstimator>>,
+    polls: u32,
+    fto: SimTime,
+    fto_deadline: Option<SimTime>,
+    resolved: bool,
+    decoded: bool,
+    final_ack: Option<CtrlMsg>,
+    linger_left: u32,
+    stamp: u64,
+}
+
+struct StartEntry {
+    flow: u64,
+    parity: bool,
+}
+
+struct PendingOpen {
+    src: QpAddr,
+    peer_node: NodeId,
+    flow: u64,
+    bytes: u64,
+    spec: SchemeSpec,
+}
+
+struct Shard {
+    qp: SdrQp,
+    /// Stream starts pending CTS, keyed by the send seq each must consume
+    /// (`send_stream_start` consumes seqs strictly in order).
+    starts: BTreeMap<u64, StartEntry>,
+    /// Opens parked for lack of receive slots on this shard.
+    pending: VecDeque<PendingOpen>,
+}
+
+struct Port {
+    peer_ctrl: QpAddr,
+    shards: Vec<Shard>,
+    arbiter: DrrArbiter,
+    /// Retransmit fast-lane, drained ahead of the fair ring. Repairs are
+    /// latency-critical — they pin recv slots and hold back completions —
+    /// and queueing them behind a large population's fresh chunks lets
+    /// the receiver re-NACK (and the sender re-claim) the same hole many
+    /// times over before the first repair even reaches the wire. Volume
+    /// is loss-proportional, so the bypass cannot starve the ring.
+    urgent: VecDeque<(u64, WorkItem)>,
+    pump_armed: bool,
+}
+
+struct Inner {
+    ports: HashMap<NodeId, Port>,
+    tx_flows: HashMap<u64, TxFlow>,
+    rx_flows: HashMap<(NodeId, u64), RxFlow>,
+    /// `(peer, flow)` keys currently parked in some shard's pending queue.
+    parked: HashSet<(NodeId, u64)>,
+    due: DueIndex,
+    next_flow: u64,
+    next_stamp: u64,
+    tick: Option<TimerHandle>,
+    tick_next: SimTime,
+    registry: EstimatorRegistry,
+    /// One decode/staging scratch shared by every flow on this node.
+    scratch: Rc<RefCell<EcScratch>>,
+    codes: HashMap<(u16, u16, bool), Arc<dyn ErasureCode>>,
+    finished_tx: Vec<(Box<dyn FnOnce(&mut Engine, FlowReport)>, FlowReport)>,
+    finished_rx: Vec<RxFlowDone>,
+    on_rx_done: Option<Box<dyn FnMut(&mut Engine, RxFlowDone)>>,
+    rx_alloc: Option<Box<dyn FnMut(u64) -> u64>>,
+    stats: FlowStats,
+}
+
+struct ManagerCore {
+    fabric: Fabric,
+    ctx: SdrContext,
+    ep: Rc<ControlEndpoint>,
+    node: NodeId,
+    cfg: FlowCfg,
+    inner: RefCell<Inner>,
+}
+
+/// The many-flow engine (see the module docs for the architecture).
+pub struct FlowManager {
+    core: Rc<ManagerCore>,
+}
+
+impl FlowManager {
+    /// Creates a manager on `node`, taking over `ctrl`'s *flow* handler
+    /// (the classic handler slot stays free for single-transfer
+    /// protocols sharing the endpoint).
+    pub fn new(fabric: &Fabric, node: NodeId, ctrl: Rc<ControlEndpoint>, cfg: FlowCfg) -> Self {
+        assert!(cfg.shards >= 1, "at least one shard");
+        let registry = EstimatorRegistry::new(cfg.telemetry, cfg.registry_max_age);
+        // Scratch sized generously: flows of any supported geometry rent
+        // from the same capped pool.
+        let scratch = Rc::new(RefCell::new(EcScratch::new(64, 32)));
+        let core = Rc::new(ManagerCore {
+            fabric: fabric.clone(),
+            ctx: SdrContext::new(fabric, node),
+            ep: ctrl,
+            node,
+            cfg,
+            inner: RefCell::new(Inner {
+                ports: HashMap::new(),
+                tx_flows: HashMap::new(),
+                rx_flows: HashMap::new(),
+                parked: HashSet::new(),
+                due: DueIndex::new(),
+                next_flow: 1,
+                next_stamp: 0,
+                tick: None,
+                tick_next: SimTime::MAX,
+                registry,
+                scratch,
+                codes: HashMap::new(),
+                finished_tx: Vec::new(),
+                finished_rx: Vec::new(),
+                on_rx_done: None,
+                rx_alloc: None,
+                stats: FlowStats::default(),
+            }),
+        });
+        let c = core.clone();
+        core.ep
+            .set_flow_handler(move |eng, src, flow, msg| Self::on_ctrl(&c, eng, src, flow, msg));
+        FlowManager { core }
+    }
+
+    /// This manager's node.
+    pub fn node(&self) -> NodeId {
+        self.core.node
+    }
+
+    /// Connects two managers: creates `shards` QP pairs between them and
+    /// registers each as the other's port. Flows may then open in either
+    /// direction.
+    pub fn connect(a: &FlowManager, b: &FlowManager) {
+        assert_eq!(
+            a.core.cfg.shards, b.core.cfg.shards,
+            "both ends must agree on the shard count"
+        );
+        let shards = a.core.cfg.shards;
+        let mut qps_a = Vec::with_capacity(shards);
+        let mut qps_b = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let qa = a.core.ctx.qp_create(a.core.cfg.qp).expect("valid config");
+            let qb = b.core.ctx.qp_create(b.core.cfg.qp).expect("valid config");
+            qa.connect(qb.info()).expect("shape matches");
+            qb.connect(qa.info()).expect("shape matches");
+            qps_a.push(qa);
+            qps_b.push(qb);
+        }
+        a.add_port(b.core.node, b.core.ep.addr(), qps_a);
+        b.add_port(a.core.node, a.core.ep.addr(), qps_b);
+    }
+
+    fn add_port(&self, peer: NodeId, peer_ctrl: QpAddr, qps: Vec<SdrQp>) {
+        let core = &self.core;
+        for (i, qp) in qps.iter().enumerate() {
+            let c = core.clone();
+            // CTS arrival may unblock the head of this shard's start
+            // queue; each start can cascade into the next.
+            qp.set_cts_callback(move |eng, _seq, _len| {
+                {
+                    let mut inner = c.inner.borrow_mut();
+                    inner.try_starts(&c, eng, peer, i);
+                }
+                Self::pump_kick(&c, eng, peer);
+            });
+        }
+        let shards = qps
+            .into_iter()
+            .map(|qp| Shard {
+                qp,
+                starts: BTreeMap::new(),
+                pending: VecDeque::new(),
+            })
+            .collect();
+        self.core.inner.borrow_mut().ports.insert(
+            peer,
+            Port {
+                peer_ctrl,
+                shards,
+                arbiter: DrrArbiter::new(self.core.cfg.quantum_bytes),
+                urgent: VecDeque::new(),
+                pump_armed: false,
+            },
+        );
+    }
+
+    /// Replaces the receive-buffer allocator (default: fresh
+    /// [`SdrContext::alloc_buffer`] per admitted flow). A bench recycling
+    /// completed buffers installs its pool here.
+    pub fn set_rx_allocator(&self, f: impl FnMut(u64) -> u64 + 'static) {
+        self.core.inner.borrow_mut().rx_alloc = Some(Box::new(f));
+    }
+
+    /// Installs the receiver-side completion callback, fired once per
+    /// resolved incoming flow (before its ACK linger).
+    pub fn on_rx_done(&self, f: impl FnMut(&mut Engine, RxFlowDone) + 'static) {
+        self.core.inner.borrow_mut().on_rx_done = Some(Box::new(f));
+    }
+
+    /// Opens a flow of `bytes` from `src_addr` toward `peer`, choosing the
+    /// scheme from the peer's registry estimate (EC beyond the loss
+    /// threshold, SR-NACK otherwise). `done` fires exactly once with the
+    /// completion report. Returns the flow id.
+    pub fn open_flow(
+        &self,
+        eng: &mut Engine,
+        peer: NodeId,
+        src_addr: u64,
+        bytes: u64,
+        done: impl FnOnce(&mut Engine, FlowReport) + 'static,
+    ) -> u64 {
+        let spec = self.choose_spec(eng.now(), peer, bytes);
+        self.open_flow_with_spec(eng, peer, src_addr, bytes, spec, done)
+    }
+
+    /// [`open_flow`](Self::open_flow) with an explicit scheme (tests and
+    /// callers that know better than the registry).
+    pub fn open_flow_with_spec(
+        &self,
+        eng: &mut Engine,
+        peer: NodeId,
+        src_addr: u64,
+        bytes: u64,
+        spec: SchemeSpec,
+        done: impl FnOnce(&mut Engine, FlowReport) + 'static,
+    ) -> u64 {
+        assert!(bytes > 0, "empty flows are not a thing");
+        let core = &self.core;
+        let now = eng.now();
+        let (id, peer_ctrl, first_deadline) = {
+            let mut inner = core.inner.borrow_mut();
+            let id = inner.next_flow;
+            inner.next_flow += 1;
+            let port = inner.ports.get(&peer).expect("peer connected");
+            let peer_ctrl = port.peer_ctrl;
+            let shard = (id % core.cfg.shards as u64) as usize;
+            let chunk = core.cfg.qp.chunk_bytes;
+            let chunks = core.cfg.qp.chunks_for(bytes) as usize;
+            let (spec, parity_addr, parity_chunks) = match spec {
+                SchemeSpec::EcMds { m, .. } | SchemeSpec::EcXor { m, .. }
+                    if bytes.is_multiple_of(chunk) && chunks + m as usize <= 255 =>
+                {
+                    // Stage parity now through the shared encode pool so
+                    // the FlowAck handler only has to queue stream starts.
+                    let spec = match spec {
+                        SchemeSpec::EcXor { .. } => SchemeSpec::EcXor {
+                            k: chunks as u16,
+                            m,
+                        },
+                        _ => SchemeSpec::EcMds {
+                            k: chunks as u16,
+                            m,
+                        },
+                    };
+                    let addr = inner.stage_parity(core, src_addr, chunks, spec);
+                    (spec, addr, m as usize)
+                }
+                // Unaligned or oversized messages fall back to ARQ.
+                SchemeSpec::EcMds { .. } | SchemeSpec::EcXor { .. } => (SchemeSpec::SrNack, 0, 0),
+                s => (s, 0, 0),
+            };
+            let est = inner.registry.checkout(peer, now);
+            let flow = TxFlow {
+                peer,
+                peer_ctrl,
+                shard,
+                src_addr,
+                bytes,
+                chunks,
+                spec,
+                phase: TxPhase::Opening,
+                data_hdl: None,
+                parity_hdl: None,
+                parity_addr,
+                parity_chunks,
+                uninjected: 0,
+                timers: ChunkTimers::new(chunks),
+                est,
+                last_telem: TelemetryCounters::default(),
+                opened_at: now,
+                open_retries: 0,
+                deadline: SimTime::MAX,
+                stamp: 0,
+                retransmits: 0,
+                done: Some(Box::new(done)),
+            };
+            inner.tx_flows.insert(id, flow);
+            inner.stats.opened += 1;
+            let at = now.saturating_add(core.cfg.open_retry);
+            inner.schedule(FlowKey::Tx(id), at);
+            (id, peer_ctrl, at)
+        };
+        let spec = core.inner.borrow().tx_flows[&id].spec;
+        core.ep
+            .send_flow(eng, peer_ctrl, id, &CtrlMsg::FlowOpen { bytes, spec });
+        Self::ensure_tick(core, eng, first_deadline);
+        id
+    }
+
+    /// Scheme a fresh flow toward `peer` would open under right now.
+    ///
+    /// EC erasures are *chunks* (a chunk with any packet missing is an
+    /// erasure), so the packet-loss estimate is first amplified to a
+    /// chunk-loss probability before sizing parity.
+    pub fn choose_spec(&self, now: SimTime, peer: NodeId, bytes: u64) -> SchemeSpec {
+        let core = &self.core;
+        let chunk = core.cfg.qp.chunk_bytes;
+        let chunks = core.cfg.qp.chunks_for(bytes) as usize;
+        let inner = core.inner.borrow();
+        match inner.registry.estimate(peer, now) {
+            Some((loss, _rtt))
+                if loss > core.cfg.ec_loss_threshold
+                    && bytes.is_multiple_of(chunk)
+                    && chunks + 1 < 255 =>
+            {
+                let pkts_per_chunk = (chunk / core.cfg.qp.mtu_bytes).max(1) as f64;
+                let chunk_loss = 1.0 - (1.0 - loss.min(1.0)).powf(pkts_per_chunk);
+                let m = ((chunks as f64 * chunk_loss * core.cfg.ec_parity_factor).ceil() as usize
+                    + 1)
+                .clamp(1, 255 - chunks);
+                SchemeSpec::EcMds {
+                    k: chunks as u16,
+                    m: m as u16,
+                }
+            }
+            _ => SchemeSpec::SrNack,
+        }
+    }
+
+    /// Confident `(loss, rtt)` toward `peer`, if the registry has one.
+    pub fn registry_estimate(&self, now: SimTime, peer: NodeId) -> Option<(f64, SimTime)> {
+        self.core.inner.borrow().registry.estimate(peer, now)
+    }
+
+    /// Ages out stale registry entries; returns how many were evicted.
+    pub fn sweep_registry(&self, now: SimTime) -> usize {
+        self.core.inner.borrow_mut().registry.sweep(now)
+    }
+
+    /// Live flows `(sender-side, receiver-side)`.
+    pub fn live_flows(&self) -> (usize, usize) {
+        let inner = self.core.inner.borrow();
+        (inner.tx_flows.len(), inner.rx_flows.len())
+    }
+
+    /// Opens parked for admission right now.
+    pub fn parked_opens(&self) -> usize {
+        self.core.inner.borrow().parked.len()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> FlowStats {
+        self.core.inner.borrow().stats
+    }
+
+    // -- control dispatch ---------------------------------------------------
+
+    fn on_ctrl(core: &Rc<ManagerCore>, eng: &mut Engine, src: QpAddr, flow: u64, msg: CtrlMsg) {
+        {
+            let mut inner = core.inner.borrow_mut();
+            match msg {
+                // Sender → receiver.
+                CtrlMsg::FlowOpen { bytes, spec } => {
+                    inner.on_flow_open(core, eng, src, flow, bytes, spec);
+                }
+                CtrlMsg::FlowFin => inner.on_flow_fin(src, flow),
+                // Receiver → sender.
+                CtrlMsg::FlowAck {
+                    data_seq,
+                    parity_seq,
+                } => inner.on_flow_ack(core, eng, flow, data_seq, parity_seq),
+                CtrlMsg::SrAck {
+                    cumulative,
+                    window_start,
+                    sack_bits,
+                    sack_len,
+                    nacks,
+                } => inner.on_sr_ack(
+                    core,
+                    eng,
+                    flow,
+                    cumulative,
+                    window_start,
+                    &sack_bits,
+                    sack_len,
+                    &nacks,
+                ),
+                CtrlMsg::FlowDone { seen, lost } => inner.on_flow_done(core, eng, flow, seen, lost),
+                CtrlMsg::EcNack { failed } => inner.on_ec_nack(core, eng, flow, &failed),
+                CtrlMsg::Telemetry { seen, lost } => inner.on_telemetry(eng, flow, seen, lost),
+                // Anything else is not flow traffic; drop it.
+                _ => {}
+            }
+        }
+        Self::drain_finished(core, eng);
+        Self::pump_kick_all(core, eng);
+        Self::retick(core, eng);
+    }
+
+    // -- shared tick --------------------------------------------------------
+
+    /// Arms (or pulls forward) the shared tick so it fires by `at`.
+    fn ensure_tick(core: &Rc<ManagerCore>, eng: &mut Engine, at: SimTime) {
+        let mut inner = core.inner.borrow_mut();
+        match inner.tick {
+            Some(h) => {
+                if at < inner.tick_next {
+                    let _ = eng.reschedule(h, at);
+                    inner.tick_next = at;
+                }
+            }
+            None => {
+                let delay = SimTime(at.saturating_sub(eng.now()).0.max(1));
+                let c = core.clone();
+                let h = tick_loop(eng, delay, move |eng| Self::tick(&c, eng));
+                inner.tick = Some(h);
+                inner.tick_next = at;
+            }
+        }
+    }
+
+    fn tick(core: &Rc<ManagerCore>, eng: &mut Engine) -> Tick {
+        {
+            let mut inner = core.inner.borrow_mut();
+            inner.run_due(core, eng);
+        }
+        Self::drain_finished(core, eng);
+        Self::pump_kick_all(core, eng);
+        // Decide the next wake *after* the drains: completion callbacks may
+        // have opened new flows with earlier deadlines.
+        let mut inner = core.inner.borrow_mut();
+        match inner.due.peek() {
+            Some((at, _, _)) => {
+                let at = at.max(eng.now().saturating_add(SimTime(1)));
+                inner.tick_next = at;
+                Tick::Until(at)
+            }
+            None => {
+                inner.tick = None;
+                inner.tick_next = SimTime::MAX;
+                Tick::Stop
+            }
+        }
+    }
+
+    /// Invokes queued completion callbacks outside any `Inner` borrow (a
+    /// callback may re-enter the manager, e.g. to open the next flow).
+    fn drain_finished(core: &Rc<ManagerCore>, eng: &mut Engine) {
+        loop {
+            let mut tx = {
+                let mut inner = core.inner.borrow_mut();
+                if inner.finished_tx.is_empty() && inner.finished_rx.is_empty() {
+                    return;
+                }
+                std::mem::take(&mut inner.finished_tx)
+            };
+            for (cb, report) in tx.drain(..) {
+                cb(eng, report);
+            }
+            let rx = {
+                let mut inner = core.inner.borrow_mut();
+                if inner.finished_tx.is_empty() {
+                    // Hand the drained vec's capacity back for reuse.
+                    inner.finished_tx = tx;
+                }
+                std::mem::take(&mut inner.finished_rx)
+            };
+            if !rx.is_empty() {
+                let cb = core.inner.borrow_mut().on_rx_done.take();
+                if let Some(mut f) = cb {
+                    for d in rx {
+                        f(eng, d);
+                    }
+                    let mut inner = core.inner.borrow_mut();
+                    if inner.on_rx_done.is_none() {
+                        inner.on_rx_done = Some(f);
+                    }
+                }
+            }
+        }
+    }
+
+    // -- pacing pump --------------------------------------------------------
+
+    /// Ensures `peer`'s pump is armed when its arbiter has work.
+    fn pump_kick(core: &Rc<ManagerCore>, eng: &mut Engine, peer: NodeId) {
+        let arm = {
+            let mut inner = core.inner.borrow_mut();
+            match inner.ports.get_mut(&peer) {
+                Some(p) if (p.arbiter.has_work() || !p.urgent.is_empty()) && !p.pump_armed => {
+                    p.pump_armed = true;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if arm {
+            let c = core.clone();
+            eng.schedule_recurring_in(SimTime(1), move |eng| {
+                let next = Self::pump(&c, eng, peer);
+                // A pump round may have pushed the first RTO deadline for a
+                // freshly injected flow; make sure the shared tick covers it.
+                Self::retick(&c, eng);
+                next
+            });
+        }
+    }
+
+    fn pump_kick_all(core: &Rc<ManagerCore>, eng: &mut Engine) {
+        // Small fixed scratch: the overwhelmingly common case is 1 peer.
+        let peers: Vec<NodeId> = {
+            let inner = core.inner.borrow();
+            inner
+                .ports
+                .iter()
+                .filter(|(_, p)| (p.arbiter.has_work() || !p.urgent.is_empty()) && !p.pump_armed)
+                .map(|(n, _)| *n)
+                .collect()
+        };
+        for peer in peers {
+            Self::pump_kick(core, eng, peer);
+        }
+    }
+
+    /// One pump round: inject arbiter work until the wire is busy a full
+    /// horizon ahead, then sleep until it drains back under the horizon.
+    fn pump(core: &Rc<ManagerCore>, eng: &mut Engine, peer: NodeId) -> Option<SimTime> {
+        let mut inner = core.inner.borrow_mut();
+        let inner = &mut *inner;
+        let now = eng.now();
+        let horizon = core.cfg.pace_horizon;
+        let rto = inner.tx_rto(core);
+        let port = inner.ports.get_mut(&peer)?;
+        loop {
+            let busy = core
+                .fabric
+                .tx_busy_until(core.node, peer)
+                .unwrap_or(now)
+                .max(now);
+            if busy >= now.saturating_add(horizon) {
+                // Wire saturated a horizon ahead: resume when it drains.
+                return Some(
+                    busy.saturating_sub(horizon)
+                        .max(now.saturating_add(SimTime(1))),
+                );
+            }
+            // Repairs first, then the fair ring.
+            let Some((fid, item)) = port.urgent.pop_front().or_else(|| port.arbiter.poll()) else {
+                port.pump_armed = false;
+                return None;
+            };
+            let Some(flow) = inner.tx_flows.get_mut(&fid) else {
+                continue; // completed while queued
+            };
+            let hdl = if item.tag & PARITY_TAG != 0 {
+                flow.parity_hdl
+            } else {
+                flow.data_hdl
+            };
+            let Some(hdl) = hdl else { continue };
+            let c = (item.tag & !PARITY_TAG) as u64;
+            let off = c * core.cfg.qp.chunk_bytes;
+            let qp = &port.shards[flow.shard].qp;
+            match qp.send_stream_continue(eng, &hdl, off, item.bytes) {
+                Ok(()) => {
+                    inner.stats.injected += 1;
+                    if item.tag & PARITY_TAG == 0 {
+                        flow.timers.record_sent(c as usize, eng.now());
+                    }
+                    if flow.uninjected > 0 {
+                        flow.uninjected -= 1;
+                        if flow.uninjected == 0 && matches!(flow.spec, SchemeSpec::SrNack) {
+                            // Initial injection done: the RTO clock starts.
+                            // (`retick` after this pump round arms or pulls
+                            // forward the shared tick to cover it.)
+                            let at = eng.now().saturating_add(rto);
+                            inner.next_stamp += 1;
+                            let stamp = inner.next_stamp;
+                            flow.stamp = stamp;
+                            flow.deadline = at;
+                            inner.due.push(at, stamp, FlowKey::Tx(fid));
+                        }
+                    }
+                }
+                // The stream closed under us (completion raced the queue).
+                Err(SdrError::StreamEnded) | Err(SdrError::BadHandle) => continue,
+                Err(e) => panic!("stream injection failed: {e:?}"),
+            }
+        }
+    }
+}
+
+impl FlowManager {
+    /// Re-arms (or pulls forward) the shared tick from the due index.
+    /// `Inner` methods push deadlines while the manager borrow is held and
+    /// cannot touch the engine-side timer themselves; every entry point
+    /// that may have pushed one (control dispatch, pump rounds) calls this
+    /// after releasing the borrow.
+    fn retick(core: &Rc<ManagerCore>, eng: &mut Engine) {
+        let at = {
+            let inner = core.inner.borrow();
+            match inner.due.peek() {
+                Some((at, _, _)) if inner.tick.is_none() || at < inner.tick_next => Some(at),
+                _ => None,
+            }
+        };
+        if let Some(at) = at {
+            Self::ensure_tick(core, eng, at.max(eng.now().saturating_add(SimTime(1))));
+        }
+    }
+}
+
+impl Inner {
+    /// Receiver poll cadence: the configured interval, stretched so the
+    /// whole rx population stays inside the control budget. A flow can't
+    /// learn anything new faster than its chunks arrive, and every poll
+    /// round puts an ack on the reverse path that also carries CTS
+    /// credits and final acks — polling thousands of flows at `rtt/4`
+    /// buries the very messages that complete them.
+    fn rx_ack_interval(&self, core: &ManagerCore) -> SimTime {
+        core.cfg
+            .ack_interval
+            .max(ctrl_pacing(&core.cfg, self.rx_flows.len()))
+    }
+
+    /// Sender RTO widened by a round trip of control pacing: against a
+    /// large population the receiver legitimately acks this slowly, and
+    /// an unwidened RTO would expire chunks whose acks are merely
+    /// queued behind the rest of the population's.
+    fn tx_rto(&self, core: &ManagerCore) -> SimTime {
+        let pace = ctrl_pacing(&core.cfg, self.tx_flows.len());
+        core.cfg
+            .rto
+            .saturating_add(SimTime(pace.0.saturating_mul(2)))
+    }
+
+    /// Pushes a fresh due entry for `key` (lazy-invalidating any older
+    /// one) and records the stamp/deadline on the flow.
+    fn schedule(&mut self, key: FlowKey, at: SimTime) {
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        match key {
+            FlowKey::Tx(id) => {
+                let f = self.tx_flows.get_mut(&id).expect("live flow");
+                f.stamp = stamp;
+                f.deadline = at;
+            }
+            FlowKey::Rx(peer, id) => {
+                let f = self.rx_flows.get_mut(&(peer, id)).expect("live flow");
+                f.stamp = stamp;
+            }
+        }
+        self.due.push(at, stamp, key);
+    }
+
+    fn run_due(&mut self, core: &Rc<ManagerCore>, eng: &mut Engine) {
+        let now = eng.now();
+        while let Some((at, stamp, key)) = self.due.peek() {
+            if at > now {
+                break;
+            }
+            self.due.pop();
+            let live = match key {
+                FlowKey::Tx(id) => self.tx_flows.get(&id).is_some_and(|f| f.stamp == stamp),
+                FlowKey::Rx(p, id) => self
+                    .rx_flows
+                    .get(&(p, id))
+                    .is_some_and(|f| f.stamp == stamp),
+            };
+            if !live {
+                continue;
+            }
+            match key {
+                FlowKey::Tx(id) => self.service_tx(core, eng, id),
+                FlowKey::Rx(peer, id) => self.service_rx(core, eng, peer, id),
+            }
+        }
+    }
+
+    // -- sender side --------------------------------------------------------
+
+    fn service_tx(&mut self, core: &Rc<ManagerCore>, eng: &mut Engine, id: u64) {
+        let now = eng.now();
+        let rto = self.tx_rto(core);
+        let flow = self.tx_flows.get_mut(&id).expect("validated");
+        match flow.phase {
+            TxPhase::Opening => {
+                flow.open_retries += 1;
+                if flow.open_retries > OPEN_RETRY_CAP {
+                    self.fail_open(core, eng, id);
+                    return;
+                }
+                self.stats.open_retries += 1;
+                let (dst, bytes, spec) = (flow.peer_ctrl, flow.bytes, flow.spec);
+                let backoff = flow.open_retries.min(OPEN_BACKOFF_CAP);
+                let at =
+                    now.saturating_add(SimTime(core.cfg.open_retry.0.saturating_mul(1 << backoff)));
+                core.ep
+                    .send_flow(eng, dst, id, &CtrlMsg::FlowOpen { bytes, spec });
+                self.schedule(FlowKey::Tx(id), at);
+            }
+            // A lost CTS heals from the receiver side; nothing to do.
+            TxPhase::Starting => {}
+            TxPhase::Streaming => {
+                if !matches!(flow.spec, SchemeSpec::SrNack) {
+                    return; // EC repair is NACK-driven
+                }
+                let peer = flow.peer;
+                let mut expired = 0u64;
+                let chunk = core.cfg.qp.chunk_bytes;
+                let bytes = flow.bytes;
+                let port = self.ports.get_mut(&peer).expect("port");
+                let next = flow.timers.take_expired(now, rto, |c| {
+                    let off = c as u64 * chunk;
+                    let len = chunk.min(bytes - off);
+                    port.urgent.push_back((
+                        id,
+                        WorkItem {
+                            tag: c as u32,
+                            bytes: len,
+                        },
+                    ));
+                    expired += 1;
+                });
+                flow.retransmits += expired;
+                self.stats.retransmits += expired;
+                if let Some(at) = next {
+                    self.schedule(FlowKey::Tx(id), at.max(now.saturating_add(SimTime(1))));
+                }
+            }
+        }
+    }
+
+    fn on_flow_ack(
+        &mut self,
+        core: &Rc<ManagerCore>,
+        eng: &mut Engine,
+        id: u64,
+        data_seq: u64,
+        parity_seq: u64,
+    ) {
+        let Some(flow) = self.tx_flows.get_mut(&id) else {
+            return; // duplicate ack after completion
+        };
+        if flow.phase != TxPhase::Opening {
+            return; // duplicate ack (open retry crossed the first ack)
+        }
+        flow.phase = TxPhase::Starting;
+        // Park the deadline: open retries stop, CTS healing is the
+        // receiver's job from here.
+        flow.deadline = SimTime::MAX;
+        flow.stamp = u64::MAX;
+        let peer = flow.peer;
+        let shard_idx = flow.shard;
+        let has_parity = flow.parity_chunks > 0;
+        let port = self.ports.get_mut(&peer).expect("port");
+        port.arbiter.register(id, 1);
+        let shard = &mut port.shards[shard_idx];
+        shard.starts.insert(
+            data_seq,
+            StartEntry {
+                flow: id,
+                parity: false,
+            },
+        );
+        if has_parity {
+            debug_assert_ne!(parity_seq, u64::MAX, "EC ack must carry a parity seq");
+            shard.starts.insert(
+                parity_seq,
+                StartEntry {
+                    flow: id,
+                    parity: true,
+                },
+            );
+        }
+        self.try_starts(core, eng, peer, shard_idx);
+    }
+
+    /// Opens every start at the head of the shard's seq-ordered queue
+    /// whose CTS credit has arrived, and floods its chunks into the
+    /// arbiter. Starts strictly in seq order — `send_stream_start`
+    /// consumes send seqs sequentially.
+    fn try_starts(&mut self, core: &Rc<ManagerCore>, eng: &mut Engine, peer: NodeId, shard: usize) {
+        let chunk = core.cfg.qp.chunk_bytes;
+        let Some(port) = self.ports.get_mut(&peer) else {
+            return;
+        };
+        loop {
+            let sh = &mut port.shards[shard];
+            let seq = sh.qp.next_send_seq();
+            let Some(entry) = sh.starts.get(&seq) else {
+                break;
+            };
+            if !sh.qp.has_cts(seq) {
+                break;
+            }
+            let fid = entry.flow;
+            let parity = entry.parity;
+            let flow = self.tx_flows.get_mut(&fid).expect("started flow is live");
+            let (addr, len) = if parity {
+                (flow.parity_addr, flow.parity_chunks as u64 * chunk)
+            } else {
+                (flow.src_addr, flow.bytes)
+            };
+            let hdl = sh
+                .qp
+                .send_stream_start(eng, addr, len, None)
+                .expect("CTS credit checked");
+            sh.starts.remove(&seq);
+            if parity {
+                flow.parity_hdl = Some(hdl);
+                for c in 0..flow.parity_chunks {
+                    port.arbiter.enqueue(
+                        fid,
+                        WorkItem {
+                            tag: PARITY_TAG | c as u32,
+                            bytes: chunk,
+                        },
+                    );
+                    flow.uninjected += 1;
+                }
+            } else {
+                flow.data_hdl = Some(hdl);
+                for c in 0..flow.chunks {
+                    let off = c as u64 * chunk;
+                    port.arbiter.enqueue(
+                        fid,
+                        WorkItem {
+                            tag: c as u32,
+                            bytes: chunk.min(flow.bytes - off),
+                        },
+                    );
+                    flow.uninjected += 1;
+                }
+                // Streaming begins once the data stream is open (a parity
+                // stream may still be queued behind other flows' starts).
+                flow.phase = TxPhase::Streaming;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_sr_ack(
+        &mut self,
+        core: &Rc<ManagerCore>,
+        eng: &mut Engine,
+        id: u64,
+        cumulative: u32,
+        window_start: u32,
+        sack_bits: &[u64],
+        sack_len: u32,
+        nacks: &[u32],
+    ) {
+        let now = eng.now();
+        let rto = self.tx_rto(core);
+        let Some(flow) = self.tx_flows.get_mut(&id) else {
+            return; // late ack after completion
+        };
+        if flow.phase != TxPhase::Streaming {
+            return;
+        }
+        // At most one RTT sample per ACK, Karn-gated.
+        let mut rtt_sample = None;
+        if let Some(first) = flow.timers.first_unacked() {
+            if first < cumulative as usize {
+                rtt_sample = flow.timers.rtt_sample(first, now);
+            }
+        }
+        flow.timers.ack_prefix(cumulative as usize);
+        for b in 0..(sack_len as usize) {
+            if sack_bits
+                .get(b / 64)
+                .is_some_and(|w| w >> (b % 64) & 1 == 1)
+            {
+                let c = window_start as usize + b;
+                if flow.timers.mark_acked(c) && rtt_sample.is_none() {
+                    rtt_sample = flow.timers.rtt_sample(c, now);
+                }
+            }
+        }
+        if let Some(s) = rtt_sample {
+            flow.est.borrow_mut().observe_rtt(s);
+        }
+        flow.est.borrow_mut().note_progress(now);
+        if flow.timers.is_complete() {
+            self.finish_tx(core, eng, id, true);
+            return;
+        }
+        // NACK fast path: claim-and-requeue reported holes into the
+        // urgent lane. The claim guard covers the pacing horizon on top
+        // of half an RTO — a repair can legitimately sit that long in the
+        // wire queue before the receiver could have seen it.
+        if !nacks.is_empty() && flow.uninjected == 0 {
+            let guard = SimTime(rto.0 / 2 + core.cfg.pace_horizon.0);
+            let chunk = core.cfg.qp.chunk_bytes;
+            let bytes = flow.bytes;
+            let peer = flow.peer;
+            let mut claimed = 0u64;
+            let port = self.ports.get_mut(&peer).expect("port");
+            for &c in nacks {
+                if flow.timers.claim_for_resend(c as usize, now, guard) {
+                    let off = c as u64 * chunk;
+                    port.urgent.push_back((
+                        id,
+                        WorkItem {
+                            tag: c,
+                            bytes: chunk.min(bytes - off),
+                        },
+                    ));
+                    claimed += 1;
+                }
+            }
+            flow.retransmits += claimed;
+            self.stats.retransmits += claimed;
+        }
+    }
+
+    /// Final acknowledgment: absorb the receiver's closing first-pass
+    /// counters — per-poll telemetry stops at resolution, so this is the
+    /// only way the observation's tail reaches the shared estimator —
+    /// then complete the flow.
+    fn on_flow_done(
+        &mut self,
+        core: &Rc<ManagerCore>,
+        eng: &mut Engine,
+        id: u64,
+        seen: u64,
+        lost: u64,
+    ) {
+        let now = eng.now();
+        let Some(flow) = self.tx_flows.get_mut(&id) else {
+            return; // linger repeat after completion
+        };
+        if flow.phase != TxPhase::Streaming {
+            return;
+        }
+        let d_seen = seen.saturating_sub(flow.last_telem.seen);
+        let d_lost = lost.saturating_sub(flow.last_telem.lost).min(d_seen);
+        if d_seen > 0 {
+            flow.last_telem = TelemetryCounters { seen, lost };
+            let mut est = flow.est.borrow_mut();
+            est.observe_packets(d_seen, d_lost);
+            est.note_progress(now);
+        }
+        self.finish_tx(core, eng, id, true);
+    }
+
+    /// Flow-EC fallback: `failed` carries missing *data chunk* indices;
+    /// selective-repeat exactly those (claim-guarded against NACK storms).
+    fn on_ec_nack(&mut self, core: &Rc<ManagerCore>, eng: &mut Engine, id: u64, failed: &[u32]) {
+        let now = eng.now();
+        let rto = self.tx_rto(core);
+        let Some(flow) = self.tx_flows.get_mut(&id) else {
+            return;
+        };
+        if flow.phase != TxPhase::Streaming || flow.uninjected > 0 {
+            return;
+        }
+        let Some(port) = self.ports.get_mut(&flow.peer) else {
+            return;
+        };
+        let chunk = core.cfg.qp.chunk_bytes;
+        let guard = SimTime(rto.0 / 2 + core.cfg.pace_horizon.0);
+        let mut claimed = 0u64;
+        for &c in failed {
+            if flow.timers.claim_for_resend(c as usize, now, guard) {
+                let off = c as u64 * chunk;
+                port.urgent.push_back((
+                    id,
+                    WorkItem {
+                        tag: c,
+                        bytes: chunk.min(flow.bytes - off),
+                    },
+                ));
+                claimed += 1;
+            }
+        }
+        flow.retransmits += claimed;
+        self.stats.retransmits += claimed;
+        flow.est.borrow_mut().note_progress(now);
+    }
+
+    fn on_telemetry(&mut self, eng: &mut Engine, id: u64, seen: u64, lost: u64) {
+        let now = eng.now();
+        let Some(flow) = self.tx_flows.get_mut(&id) else {
+            return;
+        };
+        // Per-flow cumulative → delta, then into the *shared* per-peer
+        // estimator (its own absorb would conflate many flows' counters).
+        let d_seen = seen.saturating_sub(flow.last_telem.seen);
+        let d_lost = lost.saturating_sub(flow.last_telem.lost).min(d_seen);
+        if d_seen > 0 {
+            flow.last_telem = TelemetryCounters { seen, lost };
+            let mut est = flow.est.borrow_mut();
+            est.observe_packets(d_seen, d_lost);
+            est.note_progress(now);
+        }
+    }
+
+    fn finish_tx(&mut self, core: &Rc<ManagerCore>, eng: &mut Engine, id: u64, delivered: bool) {
+        let mut flow = self.tx_flows.remove(&id).expect("live flow");
+        if let Some(port) = self.ports.get_mut(&flow.peer) {
+            port.arbiter.deregister(id);
+            let qp = &port.shards[flow.shard].qp;
+            for hdl in [flow.data_hdl.take(), flow.parity_hdl.take()]
+                .into_iter()
+                .flatten()
+            {
+                let _ = qp.send_stream_end(&hdl);
+                qp.send_release(hdl);
+            }
+        }
+        if delivered {
+            // Cut the receiver's ACK linger short (best-effort, once).
+            core.ep
+                .send_flow(eng, flow.peer_ctrl, id, &CtrlMsg::FlowFin);
+        }
+        self.finished_tx.push((
+            flow.done.take().expect("reported once"),
+            FlowReport {
+                id,
+                peer: flow.peer,
+                bytes: flow.bytes,
+                spec: flow.spec,
+                opened_at: flow.opened_at,
+                done_at: eng.now(),
+                retransmits: flow.retransmits,
+                open_retries: flow.open_retries,
+                delivered,
+            },
+        ));
+        self.stats.tx_done += 1;
+    }
+
+    fn fail_open(&mut self, core: &Rc<ManagerCore>, eng: &mut Engine, id: u64) {
+        self.finish_tx(core, eng, id, false);
+    }
+
+    // -- receiver side ------------------------------------------------------
+
+    fn on_flow_open(
+        &mut self,
+        core: &Rc<ManagerCore>,
+        eng: &mut Engine,
+        src: QpAddr,
+        id: u64,
+        bytes: u64,
+        spec: SchemeSpec,
+    ) {
+        let peer_node = src.node;
+        if let Some(flow) = self.rx_flows.get(&(peer_node, id)) {
+            // Duplicate open (our FlowAck was lost): re-send the snapshot.
+            let ack = CtrlMsg::FlowAck {
+                data_seq: flow.data_h.seq(),
+                parity_seq: flow.parity_h.as_ref().map_or(u64::MAX, |h| h.seq()),
+            };
+            core.ep.send_flow(eng, src, id, &ack);
+            return;
+        }
+        if self.parked.contains(&(peer_node, id)) {
+            return; // already queued for admission
+        }
+        let open = PendingOpen {
+            src,
+            peer_node,
+            flow: id,
+            bytes,
+            spec,
+        };
+        if !self.try_admit(core, eng, &open) {
+            let shard = (id % core.cfg.shards as u64) as usize;
+            if let Some(port) = self.ports.get_mut(&peer_node) {
+                port.shards[shard].pending.push_back(open);
+                self.parked.insert((peer_node, id));
+                self.stats.parked_opens += 1;
+            }
+        }
+    }
+
+    /// Attempts to admit one open: posts the receive buffers, answers
+    /// with the admission snapshot, and schedules the flow's poll loop.
+    /// `false` when the shard's slot table cannot take the posts.
+    fn try_admit(&mut self, core: &Rc<ManagerCore>, eng: &mut Engine, open: &PendingOpen) -> bool {
+        let now = eng.now();
+        let chunk = core.cfg.qp.chunk_bytes;
+        let chunks = core.cfg.qp.chunks_for(open.bytes) as usize;
+        let shard_idx = (open.flow % core.cfg.shards as u64) as usize;
+        let (parity_chunks, code) = match open.spec {
+            SchemeSpec::EcMds { k, m }
+                if k as usize == chunks && m >= 1 && open.bytes.is_multiple_of(chunk) =>
+            {
+                (m as usize, Some(self.code_for(k, m, false)))
+            }
+            SchemeSpec::EcXor { k, m }
+                if k as usize == chunks && m >= 1 && open.bytes.is_multiple_of(chunk) =>
+            {
+                (m as usize, Some(self.code_for(k, m, true)))
+            }
+            _ => (0, None),
+        };
+        let needed = if code.is_some() { 2 } else { 1 };
+        let Some(port) = self.ports.get_mut(&open.peer_node) else {
+            return false; // no port to that peer (mis-addressed open)
+        };
+        let shard = &mut port.shards[shard_idx];
+        if shard.qp.recv_slots_free() < needed {
+            return false;
+        }
+        let dst_addr = match &mut self.rx_alloc {
+            Some(f) => f(open.bytes),
+            None => core.ctx.alloc_buffer(open.bytes),
+        };
+        let data_h = shard
+            .qp
+            .recv_post(eng, dst_addr, open.bytes)
+            .expect("slot availability checked");
+        let (parity_h, parity_addr) = if code.is_some() {
+            let len = parity_chunks as u64 * chunk;
+            let addr = core.ctx.alloc_buffer(len);
+            let h = shard
+                .qp
+                .recv_post(eng, addr, len)
+                .expect("slot availability checked");
+            (Some(h), addr)
+        } else {
+            (None, 0)
+        };
+        let est = self.registry.checkout(open.peer_node, now);
+        // FTO: worst-case injection of data+parity plus two RTTs.
+        let inj = SimTime::from_secs_f64(
+            (chunks + parity_chunks) as f64 * chunk as f64 * 8.0 / core.cfg.bandwidth_bps,
+        );
+        let fto = inj
+            .saturating_add(core.cfg.rtt)
+            .saturating_add(core.cfg.rtt);
+        let ack = CtrlMsg::FlowAck {
+            data_seq: data_h.seq(),
+            parity_seq: parity_h.as_ref().map_or(u64::MAX, |h| h.seq()),
+        };
+        let flow = RxFlow {
+            peer_ctrl: open.src,
+            shard: shard_idx,
+            bytes: open.bytes,
+            chunks,
+            chunk_bytes: chunk,
+            dst_addr,
+            data_h,
+            parity_h,
+            parity_addr,
+            parity_chunks,
+            code,
+            data_cursor: FirstPassCursor::default(),
+            parity_cursor: FirstPassCursor::default(),
+            counters: TelemetryCounters::default(),
+            est,
+            polls: 0,
+            fto,
+            fto_deadline: None,
+            resolved: false,
+            decoded: false,
+            final_ack: None,
+            linger_left: core.cfg.linger_acks,
+            stamp: 0,
+        };
+        self.rx_flows.insert((open.peer_node, open.flow), flow);
+        let iv = self.rx_ack_interval(core);
+        self.schedule(
+            FlowKey::Rx(open.peer_node, open.flow),
+            now.saturating_add(iv),
+        );
+        core.ep.send_flow(eng, open.src, open.flow, &ack);
+        true
+    }
+
+    /// Admits as many of the shard's parked opens as now fit (called when
+    /// a resolve frees slots).
+    fn admit_pending(
+        &mut self,
+        core: &Rc<ManagerCore>,
+        eng: &mut Engine,
+        peer: NodeId,
+        shard: usize,
+    ) {
+        loop {
+            let Some(open) = self
+                .ports
+                .get_mut(&peer)
+                .and_then(|p| p.shards[shard].pending.pop_front())
+            else {
+                return;
+            };
+            if self.try_admit(core, eng, &open) {
+                self.parked.remove(&(open.peer_node, open.flow));
+            } else {
+                // Still no room: park it back at the front and stop.
+                self.ports.get_mut(&peer).expect("port").shards[shard]
+                    .pending
+                    .push_front(open);
+                return;
+            }
+        }
+    }
+
+    fn service_rx(&mut self, core: &Rc<ManagerCore>, eng: &mut Engine, peer: NodeId, id: u64) {
+        let now = eng.now();
+        let key = (peer, id);
+        // Linger: repeat the final ACK so a lost one cannot wedge the
+        // sender; FlowFin (or the countdown) retires the flow.
+        let linger = {
+            let Some(flow) = self.rx_flows.get_mut(&key) else {
+                return;
+            };
+            if flow.resolved {
+                if flow.linger_left == 0 {
+                    self.rx_flows.remove(&key);
+                    return;
+                }
+                flow.linger_left -= 1;
+                Some((flow.peer_ctrl, flow.final_ack.clone().expect("resolved")))
+            } else {
+                None
+            }
+        };
+        if let Some((dst, ack)) = linger {
+            core.ep.send_flow(eng, dst, id, &ack);
+            let iv = self.rx_ack_interval(core);
+            self.schedule(FlowKey::Rx(peer, id), now.saturating_add(iv));
+            return;
+        }
+        // First-pass loss telemetry, CTS healing and the resolution check.
+        let (data_done, dst, is_ec) = {
+            let flow = self.rx_flows.get_mut(&key).expect("live");
+            flow.polls += 1;
+            let qp = &self.ports[&peer].shards[flow.shard].qp;
+            let mut seen = 0u64;
+            let mut lost = 0u64;
+            if let Ok(bm) = qp.recv_bitmap(&flow.data_h) {
+                let (s, l) = flow.data_cursor.scan(bm.packets());
+                seen += s;
+                lost += l;
+            }
+            if let Some(ph) = &flow.parity_h {
+                if let Ok(bm) = qp.recv_bitmap(ph) {
+                    let (s, l) = flow.parity_cursor.scan(bm.packets());
+                    seen += s;
+                    lost += l;
+                }
+            }
+            if seen > 0 {
+                flow.counters.seen += seen;
+                flow.counters.lost += lost;
+                let mut est = flow.est.borrow_mut();
+                est.observe_packets(seen, lost);
+                est.note_progress(now);
+                if flow.fto_deadline.is_none() && flow.code.is_some() {
+                    flow.fto_deadline = Some(now.saturating_add(flow.fto));
+                }
+            }
+            if flow.counters.seen == 0 {
+                // Nothing arrived at all: the CTS (or every first-pass
+                // packet) may have been lost — heal both credits.
+                let _ = qp.resend_cts(eng, &flow.data_h);
+                if let Some(ph) = &flow.parity_h {
+                    let _ = qp.resend_cts(eng, ph);
+                }
+            }
+            let data_done = qp
+                .recv_bitmap(&flow.data_h)
+                .map(|bm| bm.chunks().first_n_set(flow.chunks))
+                .unwrap_or(false);
+            (data_done, flow.peer_ctrl, flow.code.is_some())
+        };
+        let decoded = if !data_done && is_ec {
+            self.try_decode(core, peer, id)
+        } else {
+            false
+        };
+        if data_done || decoded {
+            self.rx_flows.get_mut(&key).expect("live").decoded = decoded;
+            self.resolve_rx(core, eng, peer, id);
+            return;
+        }
+        // Not resolved: scheme-specific repair nudge.
+        if !is_ec {
+            let ack = {
+                let flow = &self.rx_flows[&key];
+                let qp = &self.ports[&peer].shards[flow.shard].qp;
+                let bm = qp.recv_bitmap(&flow.data_h).expect("slot active");
+                build_sr_ack(bm.chunks(), flow.chunks, true)
+            };
+            core.ep.send_flow(eng, dst, id, &ack);
+        } else {
+            // FTO expiry: NACK the missing data chunks for §4.1.2
+            // chunk-granular selective repeat, then re-arm the FTO.
+            let nack = {
+                let flow = self.rx_flows.get_mut(&key).expect("live");
+                if flow.fto_deadline.is_some_and(|d| now >= d) {
+                    flow.fto_deadline = Some(now.saturating_add(flow.fto));
+                    let qp = &self.ports[&peer].shards[flow.shard].qp;
+                    let mut failed = Vec::new();
+                    if let Ok(bm) = qp.recv_bitmap(&flow.data_h) {
+                        bm.chunks().for_each_missing_in_first_n(flow.chunks, |c| {
+                            if failed.len() < MAX_FLOW_NACKS {
+                                failed.push(c as u32);
+                            }
+                        });
+                    }
+                    Some(CtrlMsg::EcNack { failed })
+                } else {
+                    None
+                }
+            };
+            if let Some(n) = nack {
+                core.ep.send_flow(eng, dst, id, &n);
+            }
+        }
+        let telem = {
+            let flow = &self.rx_flows[&key];
+            if flow.polls.is_multiple_of(TELEMETRY_EVERY) {
+                Some(CtrlMsg::Telemetry {
+                    seen: flow.counters.seen,
+                    lost: flow.counters.lost,
+                })
+            } else {
+                None
+            }
+        };
+        if let Some(t) = telem {
+            core.ep.send_flow(eng, dst, id, &t);
+        }
+        let iv = self.rx_ack_interval(core);
+        self.schedule(FlowKey::Rx(peer, id), now.saturating_add(iv));
+    }
+
+    /// Attempts an in-place erasure decode of the flow's single
+    /// submessage through the manager-shared scratch. `true` when the
+    /// message is now fully present in the destination buffer.
+    fn try_decode(&mut self, core: &Rc<ManagerCore>, peer: NodeId, id: u64) -> bool {
+        let key = (peer, id);
+        let flow = self.rx_flows.get(&key).expect("live");
+        let qp = &self.ports[&peer].shards[flow.shard].qp;
+        let Ok(data_bm) = qp.recv_bitmap(&flow.data_h) else {
+            return false;
+        };
+        let Ok(parity_bm) = qp.recv_bitmap(flow.parity_h.as_ref().expect("ec flow")) else {
+            return false;
+        };
+        let code = flow.code.as_ref().expect("ec flow").clone();
+        let k = flow.chunks;
+        let m = flow.parity_chunks;
+        let chunk_len = flow.chunk_bytes as usize;
+        let (dst_addr, parity_addr) = (flow.dst_addr, flow.parity_addr);
+        let scratch_rc = self.scratch.clone();
+        let mut scratch_guard = scratch_rc.borrow_mut();
+        let scratch = &mut *scratch_guard;
+        scratch.data_present.clear();
+        scratch.data_present.resize(k, true);
+        let flags = &mut scratch.data_present;
+        data_bm
+            .chunks()
+            .for_each_missing_in_first_n(k, |c| flags[c] = false);
+        scratch.parity_present.clear();
+        scratch.parity_present.resize(m, true);
+        let flags = &mut scratch.parity_present;
+        parity_bm
+            .chunks()
+            .for_each_missing_in_first_n(m, |c| flags[c] = false);
+        scratch.present.clear();
+        let (present, dp, pp) = (
+            &mut scratch.present,
+            &scratch.data_present,
+            &scratch.parity_present,
+        );
+        present.extend_from_slice(dp);
+        present.extend_from_slice(pp);
+        if !code.can_recover(&scratch.present) {
+            return false;
+        }
+        debug_assert!(scratch.shards.is_empty());
+        for c in 0..k {
+            if scratch.data_present[c] {
+                let mut b = scratch.take(chunk_len);
+                core.ctx
+                    .read_buffer_into(dst_addr + c as u64 * chunk_len as u64, &mut b);
+                scratch.shards.push(Some(b));
+            } else {
+                scratch.shards.push(None);
+            }
+        }
+        for c in 0..m {
+            if scratch.parity_present[c] {
+                let mut b = scratch.take(chunk_len);
+                core.ctx
+                    .read_buffer_into(parity_addr + c as u64 * chunk_len as u64, &mut b);
+                scratch.shards.push(Some(b));
+            } else {
+                scratch.shards.push(None);
+            }
+        }
+        {
+            let EcScratch { pool, shards, .. } = scratch;
+            code.reconstruct_into(shards, &mut |len| pool.take(len))
+                .expect("can_recover checked");
+        }
+        for c in 0..k {
+            if !scratch.data_present[c] {
+                let shard = scratch.shards[c].as_ref().expect("reconstructed");
+                core.ctx
+                    .write_buffer(dst_addr + c as u64 * chunk_len as u64, shard);
+            }
+        }
+        let mut staged = std::mem::take(&mut scratch.shards);
+        for b in staged.drain(..).flatten() {
+            scratch.put(b);
+        }
+        scratch.shards = staged;
+        self.stats.decoded += 1;
+        true
+    }
+
+    /// The flow's message is fully present: release the slots (freeing
+    /// admission capacity), snapshot the final ACK for the linger loop,
+    /// notify, and start lingering.
+    fn resolve_rx(&mut self, core: &Rc<ManagerCore>, eng: &mut Engine, peer: NodeId, id: u64) {
+        let now = eng.now();
+        let key = (peer, id);
+        let flow = self.rx_flows.get_mut(&key).expect("live");
+        let shard = flow.shard;
+        // Final ack + closing telemetry in one message (cheap to clone
+        // for linger repeats).
+        let final_ack = CtrlMsg::FlowDone {
+            seen: flow.counters.seen,
+            lost: flow.counters.lost,
+        };
+        {
+            let qp = &self.ports[&peer].shards[shard].qp;
+            qp.recv_complete(eng, &flow.data_h).expect("live slot");
+            if let Some(ph) = &flow.parity_h {
+                qp.recv_complete(eng, ph).expect("live slot");
+            }
+        }
+        flow.resolved = true;
+        flow.final_ack = Some(final_ack.clone());
+        let dst = flow.peer_ctrl;
+        let done = RxFlowDone {
+            id,
+            peer,
+            addr: flow.dst_addr,
+            bytes: flow.bytes,
+            at: now,
+            decoded: flow.decoded,
+        };
+        core.ep.send_flow(eng, dst, id, &final_ack);
+        let iv = self.rx_ack_interval(core);
+        self.schedule(FlowKey::Rx(peer, id), now.saturating_add(iv));
+        self.stats.rx_done += 1;
+        self.finished_rx.push(done);
+        // Freed slots: admit whoever was parked on this shard.
+        self.admit_pending(core, eng, peer, shard);
+    }
+
+    fn on_flow_fin(&mut self, src: QpAddr, id: u64) {
+        // The sender is satisfied: no more final-ACK repeats needed.
+        if let Some(f) = self.rx_flows.get(&(src.node, id)) {
+            if f.resolved {
+                self.rx_flows.remove(&(src.node, id));
+            }
+        }
+    }
+
+    // -- EC helpers ---------------------------------------------------------
+
+    fn code_for(&mut self, k: u16, m: u16, xor: bool) -> Arc<dyn ErasureCode> {
+        self.codes
+            .entry((k, m, xor))
+            .or_insert_with(|| {
+                if xor {
+                    Arc::new(XorCode::new(k as usize, m as usize))
+                } else {
+                    Arc::new(ReedSolomon::new(k as usize, m as usize))
+                }
+            })
+            .clone()
+    }
+
+    /// Stages the flow's parity into a fresh buffer via the shared encode
+    /// pool, renting every staging buffer from the manager scratch.
+    fn stage_parity(
+        &mut self,
+        core: &Rc<ManagerCore>,
+        src_addr: u64,
+        chunks: usize,
+        spec: SchemeSpec,
+    ) -> u64 {
+        let chunk = core.cfg.qp.chunk_bytes as usize;
+        let (m, xor) = match spec {
+            SchemeSpec::EcMds { m, .. } => (m as usize, false),
+            SchemeSpec::EcXor { m, .. } => (m as usize, true),
+            _ => unreachable!("parity staging is EC-only"),
+        };
+        let code = self.code_for(chunks as u16, m as u16, xor);
+        let parity_addr = core.ctx.alloc_buffer((m * chunk) as u64);
+        let scratch_rc = self.scratch.clone();
+        let mut scratch_guard = scratch_rc.borrow_mut();
+        let scratch = &mut *scratch_guard;
+        let mut data: Vec<Vec<u8>> = Vec::with_capacity(chunks);
+        for c in 0..chunks {
+            let mut b = scratch.take(chunk);
+            core.ctx
+                .read_buffer_into(src_addr + (c * chunk) as u64, &mut b);
+            data.push(b);
+        }
+        let mut parity: Vec<Vec<u8>> = (0..m).map(|_| scratch.take(chunk)).collect();
+        {
+            let data_refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+            let mut parity_refs: Vec<&mut [u8]> =
+                parity.iter_mut().map(|b| b.as_mut_slice()).collect();
+            EncodePool::global().encode_striped(code.as_ref(), &data_refs, &mut parity_refs, 1);
+        }
+        for (c, b) in parity.iter().enumerate() {
+            core.ctx.write_buffer(parity_addr + (c * chunk) as u64, b);
+        }
+        for b in data.into_iter().chain(parity) {
+            scratch.put(b);
+        }
+        parity_addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn item(tag: u32, bytes: u64) -> WorkItem {
+        WorkItem { tag, bytes }
+    }
+
+    #[test]
+    fn drr_is_fifo_per_flow_and_byte_exact() {
+        let mut arb = DrrArbiter::new(1024);
+        arb.register(1, 1);
+        arb.register(2, 1);
+        for c in 0..4 {
+            arb.enqueue(1, item(c, 1024));
+            arb.enqueue(2, item(c, 1024));
+        }
+        assert_eq!(arb.total_backlog(), 8 * 1024);
+        let mut got: HashMap<u64, Vec<u32>> = HashMap::new();
+        while let Some((k, it)) = arb.poll() {
+            got.entry(k).or_default().push(it.tag);
+        }
+        assert_eq!(got[&1], vec![0, 1, 2, 3]);
+        assert_eq!(got[&2], vec![0, 1, 2, 3]);
+        assert_eq!(arb.total_backlog(), 0);
+        assert!(!arb.has_work());
+    }
+
+    #[test]
+    fn drr_elephant_cannot_starve_mice() {
+        // One elephant with a deep backlog, nine mice with one item each:
+        // every mouse is served within the first rotation.
+        let mut arb = DrrArbiter::new(1024);
+        arb.register(0, 1);
+        for c in 0..1000 {
+            arb.enqueue(0, item(c, 1024));
+        }
+        for f in 1..10 {
+            arb.register(f, 1);
+            arb.enqueue(f, item(0, 1024));
+        }
+        let mut polls_to_serve: HashMap<u64, usize> = HashMap::new();
+        for n in 0..1009 {
+            let (k, _) = arb.poll().expect("work remains");
+            polls_to_serve.entry(k).or_insert(n);
+        }
+        for f in 1..10 {
+            assert!(
+                polls_to_serve[&f] < 20,
+                "mouse {f} first served at poll {}",
+                polls_to_serve[&f]
+            );
+        }
+    }
+
+    #[test]
+    fn drr_weight_doubles_share() {
+        // Quantum = item size: a weight-2 flow earns exactly two items per
+        // round against a weight-1 flow's one.
+        let mut arb = DrrArbiter::new(100);
+        arb.register(1, 1);
+        arb.register(2, 2);
+        for c in 0..300 {
+            arb.enqueue(1, item(c, 100));
+            arb.enqueue(2, item(c, 100));
+        }
+        let mut served = [0u64; 3];
+        for _ in 0..90 {
+            let (k, _) = arb.poll().expect("backlogged");
+            served[k as usize] += 1;
+        }
+        assert_eq!(served[1] * 2, served[2]);
+    }
+
+    #[test]
+    fn drr_deregister_drops_backlog_and_stale_ring_entries() {
+        let mut arb = DrrArbiter::new(64);
+        arb.register(1, 1);
+        arb.register(2, 1);
+        arb.enqueue(1, item(0, 64));
+        arb.enqueue(2, item(0, 64));
+        assert_eq!(arb.deregister(1), 64);
+        let (k, _) = arb.poll().expect("flow 2 remains");
+        assert_eq!(k, 2);
+        assert_eq!(arb.poll(), None);
+        assert_eq!(arb.deregister(1), 0);
+    }
+
+    #[test]
+    fn due_index_pops_in_deadline_order() {
+        let mut due = DueIndex::new();
+        due.push(SimTime(30), 3, FlowKey::Tx(3));
+        due.push(SimTime(10), 1, FlowKey::Tx(1));
+        due.push(SimTime(20), 2, FlowKey::Rx(NodeId(7), 2));
+        assert_eq!(due.peek(), Some((SimTime(10), 1, FlowKey::Tx(1))));
+        assert_eq!(due.pop(), Some((SimTime(10), 1, FlowKey::Tx(1))));
+        assert_eq!(due.pop(), Some((SimTime(20), 2, FlowKey::Rx(NodeId(7), 2))));
+        assert_eq!(due.pop(), Some((SimTime(30), 3, FlowKey::Tx(3))));
+        assert_eq!(due.pop(), None);
+    }
+
+    #[derive(Clone, Debug)]
+    struct FlowProgram {
+        weight: u64,
+        sizes: Vec<u64>,
+    }
+
+    fn flow_program() -> impl Strategy<Value = FlowProgram> {
+        (1u64..4, proptest::collection::vec(1u64..5000, 1..30))
+            .prop_map(|(weight, sizes)| FlowProgram { weight, sizes })
+    }
+
+    proptest! {
+        /// Randomized flow populations: every enqueued item is delivered
+        /// exactly once, in per-flow FIFO order, and no backlogged flow
+        /// waits longer than the DRR service bound for its first item.
+        #[test]
+        fn drr_delivery_is_byte_exact_and_starvation_free(
+            programs in proptest::collection::vec(flow_program(), 1..12)
+        ) {
+            let quantum = 1024u64;
+            let mut arb = DrrArbiter::new(quantum);
+            let mut expect: HashMap<u64, VecDeque<(u32, u64)>> = HashMap::new();
+            let mut total_items = 0usize;
+            for (f, p) in programs.iter().enumerate() {
+                let key = f as u64;
+                arb.register(key, p.weight);
+                let exp = expect.entry(key).or_default();
+                for (c, &s) in p.sizes.iter().enumerate() {
+                    arb.enqueue(key, item(c as u32, s));
+                    exp.push_back((c as u32, s));
+                    total_items += 1;
+                }
+            }
+            // Service bound: every poll either delivers an item (at most
+            // total_items times) or rotates the ring, and each full ring
+            // rotation grants every flow one quantum × weight — so a flow
+            // whose head item is `s` bytes is first served within
+            // total_items + n_flows × ceil(s / quantum) polls.
+            let n_flows = programs.len();
+            let mut first_served: HashMap<u64, usize> = HashMap::new();
+            let mut polls = 0usize;
+            while let Some((k, it)) = arb.poll() {
+                first_served.entry(k).or_insert(polls);
+                polls += 1;
+                let exp = expect.get_mut(&k).expect("registered");
+                let (tag, bytes) = exp.pop_front().expect("not over-delivered");
+                prop_assert_eq!(it.tag, tag, "per-flow FIFO order");
+                prop_assert_eq!(it.bytes, bytes);
+            }
+            for (key, exp) in &expect {
+                prop_assert!(exp.is_empty(), "flow {} shorted {} items", key, exp.len());
+            }
+            prop_assert_eq!(arb.total_backlog(), 0);
+            for (f, p) in programs.iter().enumerate() {
+                let head = p.sizes[0];
+                let bound = total_items + n_flows * (head.div_ceil(quantum) as usize + 1);
+                let served_at = first_served[&(f as u64)];
+                prop_assert!(
+                    served_at <= bound,
+                    "flow {} first served at poll {} > bound {}",
+                    f, served_at, bound
+                );
+            }
+        }
+
+        /// Interleaved arrivals: enqueue/poll in random order still
+        /// conserves bytes exactly.
+        #[test]
+        fn drr_interleaved_arrivals_conserve_bytes(
+            ops in proptest::collection::vec((0u64..6, 1u64..2000, any::<bool>()), 1..200)
+        ) {
+            let mut arb = DrrArbiter::new(512);
+            for f in 0..6 {
+                arb.register(f, 1);
+            }
+            let mut queued: u64 = 0;
+            let mut served: u64 = 0;
+            for (tag, (f, s, poll_now)) in ops.into_iter().enumerate() {
+                arb.enqueue(f, item(tag as u32, s));
+                queued += s;
+                if poll_now {
+                    if let Some((_, it)) = arb.poll() {
+                        served += it.bytes;
+                    }
+                }
+                prop_assert_eq!(arb.total_backlog(), queued - served);
+            }
+            while let Some((_, it)) = arb.poll() {
+                served += it.bytes;
+            }
+            prop_assert_eq!(queued, served);
+            prop_assert_eq!(arb.total_backlog(), 0);
+        }
+    }
+}

@@ -59,6 +59,52 @@
 //! protocol-vs-model differential and the adaptive switchover suite) and
 //! in the workspace `tests/` directory do.
 //!
+//! ## The flow manager ([`flow`])
+//!
+//! The scheme runtime drives *one* transfer well; a real node serves
+//! thousands at once. [`FlowManager`] is the many-flow engine layered on
+//! the same primitives:
+//!
+//! * **One control plane, one tick.** All flows to all peers multiplex
+//!   over a single [`ControlEndpoint`] (the flow id rides in the control
+//!   stamp) and a single engine timer driven by a [`DueIndex`] of
+//!   per-flow deadlines — service cost scales with *due* flows, not live
+//!   ones. Per-peer state is sharded over a small set of QPs
+//!   ([`FlowCfg::shards`](flow::FlowCfg::shards)); receive slots are the
+//!   admission currency, and opens that find no free slot park in a
+//!   per-shard FIFO that drains as resolving flows free slots, so a
+//!   population 10× deeper than the slot table completes instead of
+//!   thrashing.
+//! * **Fair injection.** Senders do not write to the wire directly: every
+//!   chunk passes through a per-peer deficit-round-robin arbiter
+//!   ([`DrrArbiter`], one quantum ≈ one chunk) pumped only while the
+//!   link's busy horizon is within
+//!   [`pace_horizon`](flow::FlowCfg::pace_horizon) — elephants cannot
+//!   starve mice, and fairness is measured where it is felt: a same-size
+//!   population opened together finishes nearly in lockstep
+//!   (completion-time Jain ≥ 0.95 at 1k flows). Repairs (NACK'd or
+//!   RTO-expired chunks) bypass the ring through an urgent lane: a lost
+//!   chunk pins a receive slot and a completion, so re-sending it beats
+//!   injecting new first-pass data that would queue *behind* the very
+//!   population that re-NACKs it.
+//! * **Population-scaled control cadence.** Every receiver poll puts an
+//!   ack on the reverse path that also carries CTS credits and final
+//!   acks, and each control datagram pays a link-header cost; polling n
+//!   flows at a fixed `rtt/4` cadence saturates the reverse link once n
+//!   is large. The manager stretches the per-flow poll interval so the
+//!   whole rx population stays inside a fixed fraction of link bandwidth,
+//!   and widens sender RTOs by the matching pacing term so slow (but
+//!   legitimate) acks don't read as losses.
+//! * **Warm-start estimation.** A long-lived per-peer
+//!   [`EstimatorRegistry`](telemetry::EstimatorRegistry) outlives the
+//!   flows that feed it (each flow's final ack carries its closing
+//!   first-pass loss counters), ages out stale peers, and steers *new*
+//!   flows: a confident loss estimate past
+//!   [`ec_loss_threshold`](flow::FlowCfg::ec_loss_threshold) opens the
+//!   next flow under EC with parity sized from the estimate
+//!   (chunk-loss-amplified — any lost packet erases its chunk), instead
+//!   of re-learning the channel from cold per flow.
+//!
 //! ## Failure semantics
 //!
 //! Channels do not just drop packets — they go dark, duplicate, reorder,
@@ -158,6 +204,7 @@ pub mod adapt;
 pub mod advisor;
 pub mod control;
 pub mod ec;
+pub mod flow;
 pub mod gbn;
 pub mod runtime;
 pub mod sr;
@@ -173,13 +220,17 @@ pub use adapt::{
 pub use advisor::{recommend, Candidate, Recommendation, Scheme};
 pub use control::{ControlEndpoint, CtrlFilterStats, CtrlPath};
 pub use ec::{EcCodeChoice, EcProtoConfig, EcReceiver, EcRecvStats, EcReport, EcSender, EcStaging};
+pub use flow::{
+    DrrArbiter, DueIndex, FlowCfg, FlowKey, FlowManager, FlowReport, FlowStats, RxFlowDone,
+    WorkItem,
+};
 pub use gbn::{GbnProtoConfig, GbnReceiver, GbnReport, GbnSender};
 pub use runtime::{
     AbortReason, ChunkTimers, Completion, DeliveryManifest, RxCommon, RxDriver, RxScheme, StreamTx,
     TransferOutcome, RTO_BACKOFF_CAP,
 };
 pub use sr::{SrProtoConfig, SrReceiver, SrReport, SrSender};
-pub use telemetry::{ChannelEstimator, TelemetryConfig, TelemetryCounters};
+pub use telemetry::{ChannelEstimator, EstimatorRegistry, TelemetryConfig, TelemetryCounters};
 
 #[cfg(test)]
 mod tests {

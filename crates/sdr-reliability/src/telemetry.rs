@@ -336,6 +336,99 @@ impl FirstPassCursor {
     }
 }
 
+/// A long-lived per-peer [`ChannelEstimator`] registry. One estimator per
+/// peer **outlives the transfers that feed it**, so a short flow opened
+/// against a peer the node has talked to before starts under the right
+/// scheme immediately instead of re-learning the channel from cold — the
+/// flow-manager half of the adaptive loop, where individual flows are too
+/// short to earn confidence on their own but the *aggregate* per-peer
+/// traffic is plenty.
+///
+/// Entries age out: a peer untouched for longer than `max_age` is dropped
+/// on the next sweep (or replaced on the next checkout), because a
+/// days-old loss estimate from Figure 2's drifting WAN is worse than
+/// admitting ignorance. Live flows keep their checked-out handle
+/// ([`Rc`]) regardless — eviction only forgets the *registry's* pointer.
+pub struct EstimatorRegistry {
+    cfg: TelemetryConfig,
+    max_age: SimTime,
+    entries: std::collections::HashMap<sdr_sim::NodeId, RegistryEntry>,
+}
+
+struct RegistryEntry {
+    est: std::rc::Rc<std::cell::RefCell<ChannelEstimator>>,
+    last_touch: SimTime,
+}
+
+impl EstimatorRegistry {
+    /// An empty registry whose entries go stale `max_age` after their last
+    /// checkout.
+    pub fn new(cfg: TelemetryConfig, max_age: SimTime) -> Self {
+        EstimatorRegistry {
+            cfg,
+            max_age,
+            entries: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The estimator for `peer`, creating a cold one (or replacing a stale
+    /// one) as needed, and touching the entry's age.
+    pub fn checkout(
+        &mut self,
+        peer: sdr_sim::NodeId,
+        now: SimTime,
+    ) -> std::rc::Rc<std::cell::RefCell<ChannelEstimator>> {
+        let cfg = self.cfg;
+        let max_age = self.max_age;
+        let e = self
+            .entries
+            .entry(peer)
+            .and_modify(|e| {
+                if now.saturating_sub(e.last_touch) > max_age {
+                    e.est = std::rc::Rc::new(std::cell::RefCell::new(ChannelEstimator::new(cfg)));
+                }
+                e.last_touch = now;
+            })
+            .or_insert_with(|| RegistryEntry {
+                est: std::rc::Rc::new(std::cell::RefCell::new(ChannelEstimator::new(cfg))),
+                last_touch: now,
+            });
+        e.est.clone()
+    }
+
+    /// Confident `(loss, rtt)` estimates for `peer`, or `None` when the
+    /// entry is missing, stale, or still cold. Read-only: does not touch
+    /// the entry's age or create one.
+    pub fn estimate(&self, peer: sdr_sim::NodeId, now: SimTime) -> Option<(f64, SimTime)> {
+        let e = self.entries.get(&peer)?;
+        if now.saturating_sub(e.last_touch) > self.max_age {
+            return None;
+        }
+        let est = e.est.borrow();
+        Some((est.loss_estimate()?, est.rtt_estimate()?))
+    }
+
+    /// Drops every entry untouched for longer than `max_age`; returns how
+    /// many were evicted.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let max_age = self.max_age;
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| now.saturating_sub(e.last_touch) <= max_age);
+        before - self.entries.len()
+    }
+
+    /// Peers currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no peer is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,5 +646,89 @@ mod tests {
         }
         let rtt = e.rtt_estimate().expect("many samples").as_secs_f64();
         assert!((rtt - 0.020).abs() < 1e-4, "rtt {rtt} converges");
+    }
+
+    #[test]
+    fn registry_ages_out_stale_entries() {
+        let mut reg = EstimatorRegistry::new(TelemetryConfig::default(), SimTime::from_secs(10));
+        let a = sdr_sim::NodeId(0);
+        let b = sdr_sim::NodeId(1);
+
+        // Warm up peer A with enough traffic to be confident.
+        let est = reg.checkout(a, SimTime::from_secs(1));
+        est.borrow_mut().observe_packets(4096, 41);
+        est.borrow_mut().observe_rtt(SimTime::from_millis(10));
+        est.borrow_mut().observe_rtt(SimTime::from_millis(10));
+        assert!(reg.estimate(a, SimTime::from_secs(2)).is_some());
+
+        // Peer B is cold: tracked, but no confident estimate yet.
+        let _ = reg.checkout(b, SimTime::from_secs(2));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.estimate(b, SimTime::from_secs(2)).is_none());
+
+        // Within max_age the warm estimate survives a sweep.
+        assert_eq!(reg.sweep(SimTime::from_secs(9)), 0);
+        assert!(reg.estimate(a, SimTime::from_secs(9)).is_some());
+
+        // Past max_age the stale entry stops reporting and sweeps away.
+        assert!(
+            reg.estimate(a, SimTime::from_secs(30)).is_none(),
+            "stale entry must not serve a days-old estimate"
+        );
+        assert_eq!(reg.sweep(SimTime::from_secs(30)), 2);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn registry_checkout_replaces_stale_entry_with_cold_one() {
+        let mut reg = EstimatorRegistry::new(TelemetryConfig::default(), SimTime::from_secs(10));
+        let a = sdr_sim::NodeId(7);
+        let est = reg.checkout(a, SimTime::from_secs(1));
+        est.borrow_mut().observe_packets(4096, 400);
+        est.borrow_mut().observe_rtt(SimTime::from_millis(5));
+        est.borrow_mut().observe_rtt(SimTime::from_millis(5));
+        assert!(est.borrow().loss_estimate().is_some());
+
+        // Checking the peer out again long past max_age yields a *fresh*
+        // estimator, not the stale one — but the old handle stays valid
+        // for whatever flow still holds it.
+        let est2 = reg.checkout(a, SimTime::from_secs(100));
+        assert!(!std::rc::Rc::ptr_eq(&est, &est2), "stale entry replaced");
+        assert!(
+            est2.borrow().loss_estimate().is_none(),
+            "replacement is cold"
+        );
+        assert!(
+            est.borrow().loss_estimate().is_some(),
+            "old handle unaffected"
+        );
+
+        // A fresh checkout within max_age returns the same entry.
+        let est3 = reg.checkout(a, SimTime::from_secs(101));
+        assert!(std::rc::Rc::ptr_eq(&est2, &est3), "fresh entry is shared");
+    }
+
+    #[test]
+    fn registry_warm_entry_seeds_scheme_choice() {
+        // The flow-manager decision path in miniature: a warm registry
+        // entry reports (loss, rtt) that an opener can feed straight into
+        // scheme selection; a cold or stale one forces the conservative
+        // default.
+        let mut reg = EstimatorRegistry::new(TelemetryConfig::default(), SimTime::from_secs(60));
+        let peer = sdr_sim::NodeId(3);
+        assert!(reg.estimate(peer, SimTime::ZERO).is_none(), "cold: no seed");
+
+        let est = reg.checkout(peer, SimTime::from_secs(1));
+        {
+            let mut e = est.borrow_mut();
+            e.observe_packets(8192, 82); // ~1% loss
+            e.observe_rtt(SimTime::from_millis(20));
+            e.observe_rtt(SimTime::from_millis(20));
+        }
+        let (loss, rtt) = reg
+            .estimate(peer, SimTime::from_secs(2))
+            .expect("warm entry seeds the next flow");
+        assert!(loss > 0.004 && loss < 0.02, "loss {loss}");
+        assert!((rtt.as_secs_f64() - 0.020).abs() < 1e-3, "rtt {rtt:?}");
     }
 }

@@ -18,10 +18,11 @@ use std::rc::Rc;
 use common::{capture, took, ProtoHarness};
 use sdr_core::SdrConfig;
 use sdr_reliability::{
-    AdaptConfig, AdaptRecvReport, AdaptReport, AdaptiveController, EcCodeChoice, EcProtoConfig,
-    EcReceiver, EcSender, SchemeSpec, SrProtoConfig, SrReceiver, SrSender, TelemetryConfig,
+    recommend, spec_from_scheme, AdaptConfig, AdaptRecvReport, AdaptReport, AdaptiveController,
+    EcCodeChoice, EcProtoConfig, EcReceiver, EcSender, EstimatorRegistry, SchemeSpec,
+    SrProtoConfig, SrReceiver, SrSender, TelemetryConfig,
 };
-use sdr_sim::{LinkConfig, LossModel, SimTime};
+use sdr_sim::{LinkConfig, LossModel, NodeId, SimTime};
 
 const BW: f64 = 8e9;
 const KM: f64 = 1000.0;
@@ -68,6 +69,10 @@ struct AdaptOutcome {
     recv: AdaptRecvReport,
     ok: bool,
     recv_done_at: SimTime,
+    /// Sender estimator state at the end of the run — what a per-peer
+    /// registry would keep alive for the next transfer.
+    est_loss: Option<f64>,
+    est_rtt: Option<SimTime>,
 }
 
 fn run_adaptive(sc: &Scenario) -> AdaptOutcome {
@@ -151,6 +156,8 @@ fn run_adaptive(sc: &Scenario) -> AdaptOutcome {
         recv,
         ok: h.delivered_ok(),
         recv_done_at,
+        est_loss: _tx.estimator(|e| e.loss_estimate()),
+        est_rtt: _tx.estimator(|e| e.rtt_estimate()),
     }
 }
 
@@ -385,6 +392,85 @@ fn cold_estimator_never_switches_before_n_samples() {
         warm.report.switches >= 1,
         "positive control: the warm estimator must switch: {:?}",
         warm.report
+    );
+}
+
+/// Cold-vs-warm-start A/B: the cold transfer opens blind under SR on a
+/// channel that is lossy from the first byte, pays the discovery period,
+/// and hands over to EC mid-flight. Between transfers the sender's
+/// estimator is parked in a per-peer [`EstimatorRegistry`] (what the flow
+/// manager keeps long-lived); the warm transfer's initial spec comes from
+/// the advisor fed with the registry estimate, so it opens under EC
+/// directly — no discovery, no handover — and must finish no later.
+#[test]
+fn warm_registry_start_beats_cold_start() {
+    let scenario = |initial: SchemeSpec| Scenario {
+        msg: 40 << 20,
+        seg: 2 << 20,
+        p_before: 3e-3,
+        p_after: 3e-3,
+        step_at: 0.001,
+        seed: 15,
+        min_packets: 512,
+        initial,
+        outage: None,
+    };
+    // A (cold): blind SR start, mid-transfer discovery and handover.
+    let cold = run_adaptive(&scenario(SchemeSpec::SrNack));
+    assert!(cold.ok, "cold run delivers intact");
+    assert!(
+        cold.report.switches >= 1,
+        "cold run must discover the loss mid-transfer: {:?}",
+        cold.report
+    );
+
+    // Park the estimator in a registry, as between two flows to one peer.
+    let peer = NodeId(1);
+    let mut registry = EstimatorRegistry::new(test_telemetry(512), SimTime::from_secs_f64(60.0));
+    registry
+        .checkout(peer, cold.recv_done_at)
+        .borrow_mut()
+        .seed(cold.est_loss, cold.est_rtt);
+    let (loss, rtt) = registry
+        .estimate(peer, cold.recv_done_at)
+        .expect("the cold transfer must leave a confident registry entry");
+    assert!(
+        loss > 1e-3,
+        "estimate must reflect the 3e-3 channel: {loss:e}"
+    );
+
+    // B (warm): initial spec from the advisor over the registry estimate.
+    let ch = sdr_model::Channel::new(BW, rtt.as_secs_f64(), loss);
+    let rec = recommend(&ch, 2 << 20, 2000, 7);
+    let warm_spec = spec_from_scheme(&rec.scheme);
+    assert!(
+        warm_spec.is_ec(),
+        "at {loss:e} the advisor must pick EC, got {warm_spec}"
+    );
+    let warm = run_adaptive(&scenario(warm_spec));
+    assert!(warm.ok, "warm run delivers intact");
+    assert_eq!(
+        warm.report.history[0].2, warm_spec,
+        "warm run opens under the seeded scheme"
+    );
+    assert!(
+        warm.report.switches <= cold.report.switches,
+        "a warm start must not need more handovers: warm {} vs cold {}",
+        warm.report.switches,
+        cold.report.switches
+    );
+    eprintln!(
+        "cold delivered {:.2} ms ({} switches), warm delivered {:.2} ms ({} switches)",
+        cold.recv_done_at.as_secs_f64() * 1e3,
+        cold.report.switches,
+        warm.recv_done_at.as_secs_f64() * 1e3,
+        warm.report.switches
+    );
+    assert!(
+        warm.recv_done_at <= cold.recv_done_at,
+        "a warm start must not be slower: warm {:?} vs cold {:?}",
+        warm.recv_done_at,
+        cold.recv_done_at
     );
 }
 

@@ -1,0 +1,204 @@
+//! Allocation accounting for the many-flow engine's hot paths.
+//!
+//! The steady-state primitives a 10k-flow node leans on every tick — the
+//! DRR arbiter, the due-deadline index, and the per-chunk RTO timers —
+//! must allocate **nothing** once warm: 10k flows × an alloc per tick is
+//! an allocator bench, not a flow engine. Control datagrams inherently
+//! allocate (each encodes into a fresh buffer), so the end-to-end check
+//! asserts *no growth*: a second identical flow window allocates no more
+//! than the first (which still pays one-time warm-up).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sdr_core::testkit::pattern;
+use sdr_core::{SdrConfig, SdrContext};
+use sdr_reliability::flow::{DueIndex, FlowKey, WorkItem, PARITY_TAG};
+use sdr_reliability::runtime::ChunkTimers;
+use sdr_reliability::{ControlEndpoint, DrrArbiter, FlowCfg, FlowManager};
+use sdr_sim::{Engine, Fabric, LinkConfig, SimTime};
+
+/// Counts allocations while `ENABLED`; forwards everything to the system
+/// allocator.
+struct CountingAlloc;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Tests in one binary run concurrently; the counter is process-global, so
+/// every measured section holds this lock.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    f();
+    ENABLED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warm_drr_arbiter_allocates_nothing() {
+    let _g = MEASURE.lock().unwrap();
+    let mut arb = DrrArbiter::new(1024);
+    // Warm-up: grow every per-flow queue and the active ring past the
+    // sizes the measured phase will need.
+    for f in 0..64 {
+        arb.register(f, 1 + f % 3);
+        for c in 0..32 {
+            arb.enqueue(
+                f,
+                WorkItem {
+                    tag: c,
+                    bytes: 512 + (c as u64) * 7,
+                },
+            );
+        }
+    }
+    while arb.poll().is_some() {}
+    let n = count_allocs(|| {
+        for round in 0..100u32 {
+            for f in 0..64 {
+                for c in 0..8 {
+                    arb.enqueue(
+                        f,
+                        WorkItem {
+                            tag: round * 8 + c,
+                            bytes: 1024,
+                        },
+                    );
+                }
+            }
+            while arb.poll().is_some() {}
+        }
+    });
+    assert_eq!(n, 0, "warm DRR enqueue/poll cycles must not allocate");
+}
+
+#[test]
+fn warm_due_index_allocates_nothing() {
+    let _g = MEASURE.lock().unwrap();
+    let mut due = DueIndex::new();
+    for i in 0..4096u64 {
+        due.push(SimTime(i * 17 % 1009), i, FlowKey::Tx(i));
+    }
+    while due.pop().is_some() {}
+    let n = count_allocs(|| {
+        for round in 0..100u64 {
+            for i in 0..1024 {
+                due.push(SimTime((i * 31 + round) % 997), i, FlowKey::Tx(i));
+            }
+            while due.pop().is_some() {}
+        }
+    });
+    assert_eq!(n, 0, "warm due-index push/pop cycles must not allocate");
+}
+
+#[test]
+fn chunk_timers_service_allocates_nothing() {
+    let _g = MEASURE.lock().unwrap();
+    let mut timers = ChunkTimers::new(256);
+    for c in 0..256 {
+        timers.record_sent(c, SimTime(1));
+    }
+    let n = count_allocs(|| {
+        let mut sink = 0u64;
+        for round in 1..200u64 {
+            let now = SimTime(round * 1_000_000);
+            let _ = timers.take_expired(now, SimTime(10), |c| sink += c as u64);
+            for c in (0..256).step_by(3) {
+                timers.record_sent(c, now);
+            }
+            let _ = timers.claim_for_resend(round as usize % 256, now, SimTime(1));
+        }
+        assert!(sink > 0, "expiries must actually fire");
+    });
+    assert_eq!(n, 0, "warm RTO service must not allocate");
+}
+
+#[test]
+fn parity_tag_roundtrips() {
+    // Guard the tag-bit convention the zero-alloc queues rely on.
+    let it = WorkItem {
+        tag: PARITY_TAG | 7,
+        bytes: 4096,
+    };
+    assert_eq!(it.tag & !PARITY_TAG, 7);
+    assert_ne!(it.tag & PARITY_TAG, 0);
+}
+
+#[test]
+fn second_flow_window_allocates_no_more_than_first() {
+    let _g = MEASURE.lock().unwrap();
+    let eng = Engine::new();
+    let fabric = Fabric::new();
+    let node_a = fabric.add_node(256 << 20);
+    let node_b = fabric.add_node(256 << 20);
+    fabric.link_duplex(node_a, node_b, LinkConfig::intra_dc(100e9));
+    let ctx_a = SdrContext::new(&fabric, node_a);
+    let cfg = FlowCfg::new(SdrConfig::default(), 100e9, SimTime::from_micros(4));
+    let ctrl_a = Rc::new(ControlEndpoint::new(&fabric, node_a));
+    let ctrl_b = Rc::new(ControlEndpoint::new(&fabric, node_b));
+    let mgr_a = FlowManager::new(&fabric, node_a, ctrl_a, cfg.clone());
+    let mgr_b = FlowManager::new(&fabric, node_b, ctrl_b, cfg);
+    FlowManager::connect(&mgr_a, &mgr_b);
+    let done: Rc<RefCell<HashMap<u64, bool>>> = Rc::new(RefCell::new(HashMap::new()));
+    let mut eng = eng;
+    let len = 256u64 * 1024;
+    let window = |eng: &mut Engine| {
+        let mut ids = Vec::new();
+        for i in 0..24 {
+            let src = ctx_a.alloc_buffer(len);
+            ctx_a.write_buffer(src, &pattern(len as usize, i));
+            let d = done.clone();
+            ids.push(mgr_a.open_flow(eng, node_b, src, len, move |_e, rep| {
+                d.borrow_mut().insert(rep.id, rep.delivered);
+            }));
+        }
+        eng.set_event_limit(eng.executed_events() + 20_000_000);
+        eng.run();
+        ids
+    };
+    // Window 1 pays every warm-up cost (hash maps, rings, buffer pools).
+    let mut ids = Vec::new();
+    let w1 = count_allocs(|| ids = window(&mut eng));
+    for id in ids.drain(..) {
+        assert!(done.borrow()[&id], "window-1 flow {id} must deliver");
+    }
+    // Window 2 must ride entirely on warm state.
+    let w2 = count_allocs(|| ids = window(&mut eng));
+    for id in ids.drain(..) {
+        assert!(done.borrow()[&id], "window-2 flow {id} must deliver");
+    }
+    assert!(
+        w2 <= w1,
+        "steady-state window allocated more than the cold one: {w2} > {w1}"
+    );
+}

@@ -1,0 +1,301 @@
+//! Many-flow engine integration: populations of concurrent transfers
+//! multiplexed over one control plane, one shared tick, and a fair
+//! injection arbiter.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sdr_core::testkit::pattern;
+use sdr_core::{SdrConfig, SdrContext};
+use sdr_reliability::ack::SchemeSpec;
+use sdr_reliability::{ControlEndpoint, FlowCfg, FlowManager, FlowReport, RxFlowDone};
+use sdr_sim::{Engine, Fabric, LinkConfig, NodeId, SimTime};
+
+const NODE_MEM: usize = 256 << 20;
+
+struct FlowWorld {
+    eng: Engine,
+    #[allow(dead_code)]
+    fabric: Fabric,
+    ctx_a: SdrContext,
+    ctx_b: SdrContext,
+    mgr_a: FlowManager,
+    mgr_b: FlowManager,
+    node_b: NodeId,
+}
+
+fn world(link: LinkConfig, cfg: FlowCfg) -> FlowWorld {
+    let eng = Engine::new();
+    let fabric = Fabric::new();
+    let node_a = fabric.add_node(NODE_MEM);
+    let node_b = fabric.add_node(NODE_MEM);
+    fabric.link_duplex(node_a, node_b, link);
+    let ctx_a = SdrContext::new(&fabric, node_a);
+    let ctx_b = SdrContext::new(&fabric, node_b);
+    let ctrl_a = Rc::new(ControlEndpoint::new(&fabric, node_a));
+    let ctrl_b = Rc::new(ControlEndpoint::new(&fabric, node_b));
+    let mgr_a = FlowManager::new(&fabric, node_a, ctrl_a, cfg.clone());
+    let mgr_b = FlowManager::new(&fabric, node_b, ctrl_b, cfg);
+    FlowManager::connect(&mgr_a, &mgr_b);
+    FlowWorld {
+        eng,
+        fabric,
+        ctx_a,
+        ctx_b,
+        mgr_a,
+        mgr_b,
+        node_b,
+    }
+}
+
+/// Shared capture for completion reports and receive notices.
+#[derive(Default)]
+struct Capture {
+    reports: RefCell<HashMap<u64, FlowReport>>,
+    rx: RefCell<HashMap<u64, RxFlowDone>>,
+}
+
+fn wire_capture(w: &FlowWorld) -> Rc<Capture> {
+    let cap = Rc::new(Capture::default());
+    let c = cap.clone();
+    w.mgr_b.on_rx_done(move |_eng, d| {
+        c.rx.borrow_mut().insert(d.id, d);
+    });
+    cap
+}
+
+/// Opens `sizes.len()` flows A→B (flow i carries `pattern(sizes[i], i)`),
+/// runs to quiescence, and asserts byte-exact delivery for every flow.
+fn run_flows(link: LinkConfig, cfg: FlowCfg, sizes: &[u64], event_limit: u64) -> FlowWorld {
+    let mut w = world(link, cfg);
+    let cap = wire_capture(&w);
+    let mut srcs = Vec::new();
+    for (i, &len) in sizes.iter().enumerate() {
+        let data = pattern(len as usize, i as u64);
+        let src = w.ctx_a.alloc_buffer(len);
+        w.ctx_a.write_buffer(src, &data);
+        srcs.push(src);
+    }
+    let c = cap.clone();
+    for (i, &len) in sizes.iter().enumerate() {
+        let cc = c.clone();
+        let id = w
+            .mgr_a
+            .open_flow(&mut w.eng, w.node_b, srcs[i], len, move |_eng, rep| {
+                cc.reports.borrow_mut().insert(rep.id, rep);
+            });
+        assert_eq!(id, i as u64 + 1, "flow ids are assigned sequentially");
+    }
+    w.eng.set_event_limit(event_limit);
+    w.eng.run();
+    let reports = cap.reports.borrow();
+    let rx = cap.rx.borrow();
+    assert_eq!(reports.len(), sizes.len(), "every flow must report");
+    assert_eq!(rx.len(), sizes.len(), "every flow must arrive");
+    for (i, &len) in sizes.iter().enumerate() {
+        let id = i as u64 + 1;
+        let rep = &reports[&id];
+        assert!(rep.delivered, "flow {id} not delivered");
+        assert_eq!(rep.bytes, len);
+        let done = &rx[&id];
+        assert_eq!(done.bytes, len);
+        let got = w.ctx_b.read_buffer(done.addr, len as usize);
+        assert_eq!(got, pattern(len as usize, i as u64), "flow {id} corrupt");
+    }
+    drop((reports, rx));
+    let (tx_live, rx_live) = w.mgr_a.live_flows();
+    assert_eq!((tx_live, rx_live), (0, 0), "sender must fully drain");
+    w
+}
+
+fn base_cfg(bandwidth_bps: f64, rtt: SimTime) -> FlowCfg {
+    FlowCfg::new(SdrConfig::default(), bandwidth_bps, rtt)
+}
+
+#[test]
+fn many_arq_flows_deliver_byte_exact() {
+    // Varied sizes, including chunk-unaligned tails and sub-chunk mice.
+    let link = LinkConfig::intra_dc(100e9);
+    let cfg = base_cfg(100e9, SimTime::from_micros(4));
+    let sizes: Vec<u64> = (0..40)
+        .map(|i| match i % 4 {
+            0 => 64 * 1024,
+            1 => 256 * 1024 + 3000, // unaligned tail
+            2 => 1000,              // sub-chunk mouse
+            _ => 1 << 20,
+        })
+        .collect();
+    run_flows(link, cfg, &sizes, 40_000_000);
+}
+
+#[test]
+fn lossy_link_flows_all_deliver_with_retransmits() {
+    let link = LinkConfig::wan(50.0, 10e9, 0.01);
+    let rtt = SimTime::from_secs_f64(2.0 * 50.0 * 5e-6); // ~0.5 ms
+    let cfg = base_cfg(10e9, rtt);
+    let sizes: Vec<u64> = (0..20).map(|_| 512 * 1024).collect();
+    let w = run_flows(link, cfg, &sizes, 40_000_000);
+    assert!(
+        w.mgr_a.stats().retransmits > 0,
+        "1% loss must force repairs"
+    );
+}
+
+#[test]
+fn ec_flows_decode_without_full_data() {
+    let link = LinkConfig::wan(50.0, 10e9, 0.02);
+    let rtt = SimTime::from_secs_f64(2.0 * 50.0 * 5e-6);
+    let cfg = base_cfg(10e9, rtt);
+    let mut w = world(link, cfg);
+    let cap = wire_capture(&w);
+    let n = 12usize;
+    let len = 1u64 << 20; // 16 chunks
+    let mut srcs = Vec::new();
+    for i in 0..n {
+        let data = pattern(len as usize, i as u64);
+        let src = w.ctx_a.alloc_buffer(len);
+        w.ctx_a.write_buffer(src, &data);
+        srcs.push(src);
+    }
+    for (i, &src) in srcs.iter().enumerate() {
+        let c = cap.clone();
+        w.mgr_a.open_flow_with_spec(
+            &mut w.eng,
+            w.node_b,
+            src,
+            len,
+            SchemeSpec::EcMds { k: 16, m: 4 },
+            move |_eng, rep| {
+                c.reports.borrow_mut().insert(rep.id, rep);
+            },
+        );
+        let _ = i;
+    }
+    w.eng.set_event_limit(60_000_000);
+    w.eng.run();
+    let reports = cap.reports.borrow();
+    let rx = cap.rx.borrow();
+    assert_eq!(reports.len(), n);
+    assert_eq!(rx.len(), n);
+    for (i, _) in srcs.iter().enumerate() {
+        let id = i as u64 + 1;
+        assert!(reports[&id].delivered);
+        assert!(matches!(
+            reports[&id].spec,
+            SchemeSpec::EcMds { k: 16, m: 4 }
+        ));
+        let got = w.ctx_b.read_buffer(rx[&id].addr, len as usize);
+        assert_eq!(got, pattern(len as usize, i as u64), "flow {id} corrupt");
+    }
+    // At 2% i.i.d. loss across 12 MiB-scale flows, at least one flow
+    // should have resolved by decode rather than waiting out retransmits.
+    assert!(
+        rx.values().any(|d| d.decoded) || w.mgr_a.stats().retransmits > 0,
+        "losses must be repaired by decode or fallback NACKs"
+    );
+}
+
+#[test]
+fn slot_recycling_admits_far_more_flows_than_slots() {
+    // 4 shards × 16 slots = 64 concurrent admissions; open 300 flows.
+    let link = LinkConfig::intra_dc(100e9);
+    let cfg = base_cfg(100e9, SimTime::from_micros(4));
+    let sizes: Vec<u64> = (0..300).map(|i| 32 * 1024 + (i % 7) * 1000).collect();
+    let w = run_flows(link, cfg, &sizes, 100_000_000);
+    assert!(
+        w.mgr_b.stats().parked_opens > 0,
+        "300 flows over 64 slots must exercise the admission queue"
+    );
+    assert_eq!(w.mgr_b.parked_opens(), 0, "the parking lot must drain");
+}
+
+#[test]
+fn elephant_does_not_starve_mice() {
+    let link = LinkConfig::intra_dc(10e9);
+    let cfg = base_cfg(10e9, SimTime::from_micros(4));
+    let mut w = world(link, cfg);
+    let _cap = wire_capture(&w);
+    let elephant_len = 12u64 << 20;
+    let mouse_len = 64u64 * 1024;
+    let done: Rc<RefCell<HashMap<u64, SimTime>>> = Rc::new(RefCell::new(HashMap::new()));
+    let src = w.ctx_a.alloc_buffer(elephant_len);
+    w.ctx_a
+        .write_buffer(src, &pattern(elephant_len as usize, 99));
+    let d = done.clone();
+    let elephant = w
+        .mgr_a
+        .open_flow(&mut w.eng, w.node_b, src, elephant_len, move |_e, rep| {
+            d.borrow_mut().insert(rep.id, rep.done_at);
+        });
+    let mut mice = Vec::new();
+    for i in 0..30 {
+        let src = w.ctx_a.alloc_buffer(mouse_len);
+        w.ctx_a.write_buffer(src, &pattern(mouse_len as usize, i));
+        let d = done.clone();
+        mice.push(
+            w.mgr_a
+                .open_flow(&mut w.eng, w.node_b, src, mouse_len, move |_e, rep| {
+                    d.borrow_mut().insert(rep.id, rep.done_at);
+                }),
+        );
+    }
+    w.eng.set_event_limit(60_000_000);
+    w.eng.run();
+    let done = done.borrow();
+    assert_eq!(done.len(), 31, "all flows complete");
+    let elephant_at = done[&elephant];
+    for m in &mice {
+        assert!(
+            done[m].0 < elephant_at.0 / 2,
+            "mouse {m} finished at {:?}, elephant at {:?} — starved",
+            done[m],
+            elephant_at
+        );
+    }
+}
+
+#[test]
+fn warm_registry_steers_new_flows_to_ec() {
+    // Lossy enough that the estimator's confident loss estimate clears the
+    // EC threshold after one population of ARQ flows has run.
+    let link = LinkConfig::wan(50.0, 10e9, 0.02);
+    let rtt = SimTime::from_secs_f64(2.0 * 50.0 * 5e-6);
+    let cfg = base_cfg(10e9, rtt);
+    let mut w = world(link, cfg);
+    let _cap = wire_capture(&w);
+    // Cold: no estimate yet → ARQ.
+    assert!(matches!(
+        w.mgr_a.choose_spec(w.eng.now(), w.node_b, 1 << 20),
+        SchemeSpec::SrNack
+    ));
+    let len = 1u64 << 20;
+    for i in 0..8 {
+        let src = w.ctx_a.alloc_buffer(len);
+        w.ctx_a.write_buffer(src, &pattern(len as usize, i));
+        w.mgr_a
+            .open_flow(&mut w.eng, w.node_b, src, len, |_e, _r| {});
+    }
+    w.eng.set_event_limit(40_000_000);
+    w.eng.run();
+    let (loss, _rtt) = w
+        .mgr_a
+        .registry_estimate(w.eng.now(), w.node_b)
+        .expect("aggregate traffic must warm the registry");
+    assert!(
+        loss > 2e-3,
+        "estimated loss {loss} should reflect ~2% drops"
+    );
+    // Warm: the same call now picks EC with sized parity.
+    match w.mgr_a.choose_spec(w.eng.now(), w.node_b, len) {
+        SchemeSpec::EcMds { k, m } => {
+            assert_eq!(k, 16);
+            assert!(m >= 1);
+        }
+        other => panic!("warm registry should pick EC, got {other:?}"),
+    }
+    // And stale entries age out.
+    let later = SimTime(w.eng.now().0 + u64::MAX / 2);
+    assert_eq!(w.mgr_a.sweep_registry(later), 1);
+    assert!(w.mgr_a.registry_estimate(later, w.node_b).is_none());
+}

@@ -254,6 +254,30 @@ impl Fabric {
         self.inner.borrow().links.get(&(a, b)).map(|l| l.stats())
     }
 
+    /// Instant at which every serialization path of the link `a → b` is idle
+    /// again — i.e. when everything already enqueued (data, control
+    /// datagrams, retransmissions alike) will have left the wire. Senders
+    /// that arbitrate a shared link use this cursor to pace injection: keep
+    /// the wire busy up to a small horizon ahead of now, no further, so
+    /// per-flow scheduling decisions stay late-bound instead of being baked
+    /// into a deep device queue.
+    pub fn tx_busy_until(&self, a: NodeId, b: NodeId) -> Option<SimTime> {
+        self.inner
+            .borrow()
+            .links
+            .get(&(a, b))
+            .map(|l| l.all_paths_free())
+    }
+
+    /// Number of packets currently queued or in flight on the link `a → b`.
+    pub fn tx_in_flight(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        self.inner
+            .borrow()
+            .links
+            .get(&(a, b))
+            .map(|l| l.in_flight())
+    }
+
     /// Replaces the loss model of the link `a → b` mid-simulation. Returns
     /// `false` when no such link exists. Schedule this from an engine event
     /// to model loss steps (a congestion episode starting or clearing).
