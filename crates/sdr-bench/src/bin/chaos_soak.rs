@@ -6,11 +6,18 @@
 //! fault events on the duplex link) it runs a matrix of seeded adaptive
 //! transfers under a fixed operational deadline and reports the survival
 //! rate (delivered byte-identical within the deadline) and the p50/p99
-//! completion time of the survivors.
+//! completion time of the survivors. Half the wires also duplicate and
+//! reorder packets (the soak test's unfaithful-wire ranges); each row
+//! reports what the stack filtered — stale/duplicate control datagrams
+//! dropped by the incarnation-stamp filter (`ctrl.*`) and wire-level
+//! duplicates/displacements (`link.*`) — straight from the same
+//! `sdr-trace` registry the engine exports, so the published survival
+//! numbers and the filter counters can never drift apart.
 //!
 //! Every case — survivor or not — must still satisfy the dichotomy:
 //! terminal reports on both ends, a fully drained engine, every receive
-//! slot released exactly once. A violation aborts the binary.
+//! slot released exactly once, zero malformed control datagrams. A
+//! violation aborts the binary.
 //!
 //! Emits machine-readable `BENCH_chaos.json`. `SDR_BENCH_SMOKE=1` runs a
 //! reduced matrix for CI; `CHAOS_BENCH_CASES=<n>` pins the per-bucket
@@ -130,9 +137,35 @@ enum CaseOutcome {
     Aborted,
 }
 
+/// What the stack's filters absorbed during one case, read from the
+/// fabric's `sdr-trace` registry (both nodes share the counters), plus a
+/// full snapshot for the JSON report.
+#[derive(Default)]
+struct CaseWire {
+    /// Control datagrams dropped as stale incarnations.
+    ctrl_stale: u64,
+    /// Control datagrams dropped as duplicates/replays.
+    ctrl_dupes: u64,
+    /// Wire-level packet duplications injected by the link.
+    link_dup: u64,
+    /// Wire-level packet displacements injected by the link.
+    link_reorder: u64,
+    /// `{"fabric": .., "engine": ..}` registry snapshot of this case.
+    snapshot: String,
+}
+
+impl CaseWire {
+    fn accumulate(&mut self, other: &CaseWire) {
+        self.ctrl_stale += other.ctrl_stale;
+        self.ctrl_dupes += other.ctrl_dupes;
+        self.link_dup += other.link_dup;
+        self.link_reorder += other.link_reorder;
+    }
+}
+
 /// Runs one seeded case at the given fault density; panics on any
 /// dichotomy violation (the bench is also a gate).
-fn run_case(key: u64, density: u32) -> CaseOutcome {
+fn run_case(key: u64, density: u32) -> (CaseOutcome, CaseWire) {
     let mut rng = CaseRng::for_case(key);
     let initial = [
         SchemeSpec::SrNack,
@@ -146,8 +179,27 @@ fn run_case(key: u64, density: u32) -> CaseOutcome {
     let p_base = 10f64.powf(-(3.0 + rng.next_f64() * 2.0));
     let plan = gen_plan(&mut rng, density);
     let link_seed = rng.next_u64();
+    // Half the wires are unfaithful (the soak test's ranges): the stamp
+    // filter must absorb duplicated and displaced control datagrams
+    // without double-applying a handshake, and the row reports how many.
+    let dup_p = if rng.below(2) == 0 {
+        0.0
+    } else {
+        0.002 + rng.next_f64() * 0.03
+    };
+    let reorder = if rng.below(2) == 0 {
+        None
+    } else {
+        Some((0.01 + rng.next_f64() * 0.06, 2 + rng.below(14) as u32))
+    };
 
-    let link = LinkConfig::wan(KM, BW, p_base).with_seed(link_seed);
+    let mut link = LinkConfig::wan(KM, BW, p_base).with_seed(link_seed);
+    if dup_p > 0.0 {
+        link = link.with_duplication(dup_p);
+    }
+    if let Some((rp, span)) = reorder {
+        link = link.with_reordering(rp, span);
+    }
     let mut p = sdr_pair(link, qp_cfg(), 64 << 20);
     let rtt = p.fabric.rtt(p.node_a, p.node_b).unwrap();
     let data = pattern(MSG as usize, link_seed ^ 0xC0DE);
@@ -234,7 +286,28 @@ fn run_case(key: u64, density: u32) -> CaseOutcome {
             .unwrap_or_else(|e| panic!("case {key}: slot {n} not released exactly once: {e:?}"));
     }
 
-    match (tx.outcome, rx.outcome) {
+    // What the filters absorbed, straight from the fabric registry (the
+    // same counters the control plane and links increment on their hot
+    // paths — not a parallel bookkeeping).
+    let reg = p.fabric.metrics();
+    assert_eq!(
+        reg.counter_value("ctrl.malformed"),
+        0,
+        "case {key}: the stamped control plane must stay parseable"
+    );
+    let wire = CaseWire {
+        ctrl_stale: reg.counter_value("ctrl.stale"),
+        ctrl_dupes: reg.counter_value("ctrl.duplicates"),
+        link_dup: reg.counter_value("link.duplicated"),
+        link_reorder: reg.counter_value("link.reordered"),
+        snapshot: format!(
+            "{{\"fabric\": {}, \"engine\": {}}}",
+            reg.snapshot().to_json(),
+            p.eng.metrics().snapshot().to_json()
+        ),
+    };
+
+    let outcome = match (tx.outcome, rx.outcome) {
         (TransferOutcome::Delivered, TransferOutcome::Delivered) => {
             assert_eq!(
                 p.ctx_b.read_buffer(dst, MSG as usize),
@@ -268,7 +341,8 @@ fn run_case(key: u64, density: u32) -> CaseOutcome {
             );
             CaseOutcome::Aborted
         }
-    }
+    };
+    (outcome, wire)
 }
 
 /// Segment size of the restart sweep (finer than the fault sweep's so the
@@ -507,7 +581,16 @@ fn main() {
     table_header(
         "survivability vs scripted fault events per transfer",
         &[
-            "faults", "cases", "survived", "rate", "p50 ms", "p99 ms", "worst ms",
+            "faults",
+            "cases",
+            "survived",
+            "rate",
+            "p50 ms",
+            "p99 ms",
+            "worst ms",
+            "ctrl drops",
+            "wire dup",
+            "wire reo",
         ],
     );
     let mut json = String::from("{\n  \"bench\": \"chaos_soak\",\n");
@@ -515,16 +598,23 @@ fn main() {
         "  \"deadline_ms\": {:.1}, \"cases_per_density\": {cases},\n  \"rows\": [\n",
         DEADLINE_S * 1e3
     ));
+    // Registry snapshot of the last (densest) case, embedded below so the
+    // JSON carries one full specimen of what the stack exports.
+    let mut last_snapshot = String::from("{}");
     for density in 0u32..=3 {
         let mut done_ms: Vec<f64> = Vec::new();
         let mut aborted = 0u64;
+        let mut bucket = CaseWire::default();
         for n in 0..cases {
             // Disjoint key ranges per bucket keep every case independent.
             let key = (u64::from(density) << 32) | n;
-            match run_case(key, density) {
+            let (outcome, wire) = run_case(key, density);
+            match outcome {
                 CaseOutcome::Survived(t) => done_ms.push(t * 1e3),
                 CaseOutcome::Aborted => aborted += 1,
             }
+            bucket.accumulate(&wire);
+            last_snapshot = wire.snapshot;
         }
         done_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let survived = done_ms.len() as u64;
@@ -546,11 +636,19 @@ fn main() {
             fmt(p50),
             fmt(p99),
             fmt(worst),
+            format!("{}+{}", bucket.ctrl_stale, bucket.ctrl_dupes),
+            bucket.link_dup.to_string(),
+            bucket.link_reorder.to_string(),
         ]);
         json.push_str(&format!(
             "    {{\"fault_density\": {density}, \"cases\": {cases}, \"survived\": {survived}, \
              \"survival_rate\": {rate:.3}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \
-             \"aborted\": {aborted}}}{}\n",
+             \"aborted\": {aborted}, \"ctrl_stale\": {}, \"ctrl_duplicates\": {}, \
+             \"link_duplicated\": {}, \"link_reordered\": {}}}{}\n",
+            bucket.ctrl_stale,
+            bucket.ctrl_dupes,
+            bucket.link_dup,
+            bucket.link_reorder,
             if density == 3 { "" } else { "," }
         ));
         // A fault-free channel at these loss rates never blows a 2.3x
@@ -640,6 +738,9 @@ fn main() {
         resumed as f64 / crashed as f64
     ));
 
+    // One full registry specimen (the last density-3 case): every
+    // counter, gauge and histogram the stack exported during that run.
+    json.push_str(&format!("  ,\"metrics\": {last_snapshot}\n"));
     json.push_str("}\n");
     println!(
         "\nExpected shape: survival starts at 100% on the fault-free bucket\n\

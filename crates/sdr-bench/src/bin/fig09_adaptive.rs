@@ -85,8 +85,12 @@ fn deploy(p_after: f64, max_msg: u64) -> Deployment {
     }
 }
 
-/// Runs the adaptive transfer; returns `(delivery instant, report)`.
-fn run_adaptive(p_after: f64) -> (f64, AdaptReport) {
+/// Runs the adaptive transfer; returns `(delivery instant, report,
+/// registry snapshot)` — the snapshot is the fabric + engine metrics of
+/// this row's deployment, embedded in the JSON artifact so the adaptive
+/// counters (`adapt.proposals`, `adapt.handovers`, `ctrl.*`) ship with
+/// the timing numbers they explain.
+fn run_adaptive(p_after: f64) -> (f64, AdaptReport, String) {
     let mut d = deploy(p_after, SEG * 2);
     let mut acfg = AdaptConfig::new(BW, d.rtt, SEG);
     acfg.telemetry = TelemetryConfig {
@@ -141,7 +145,12 @@ fn run_adaptive(p_after: f64) -> (f64, AdaptReport) {
         .borrow_mut()
         .take()
         .expect("adaptive receiver finished");
-    (t.as_secs_f64(), report)
+    let snapshot = format!(
+        "{{\"fabric\": {}, \"engine\": {}}}",
+        d.p.fabric.metrics().snapshot().to_json(),
+        d.p.eng.metrics().snapshot().to_json()
+    );
+    (t.as_secs_f64(), report, snapshot)
 }
 
 /// Runs one static full-message scheme; returns the delivery instant.
@@ -256,8 +265,10 @@ fn main() {
         ],
     );
     let mut json = String::from("{\n  \"fig\": \"09_adaptive\",\n  \"rows\": [\n");
+    let mut last_snapshot = String::from("{}");
     for (n, &p_after) in steps.iter().enumerate() {
-        let (adaptive, report) = run_adaptive(p_after);
+        let (adaptive, report, snapshot) = run_adaptive(p_after);
+        last_snapshot = snapshot;
         let sr = run_static(p_after, SchemeSpec::SrNack);
         let ec = run_static(p_after, SchemeSpec::EcMds { k: 32, m: 8 });
         let oracle = sr.min(ec);
@@ -325,7 +336,10 @@ fn main() {
             "adaptive must stay within {bound}x of the oracle at {p_after:e}: {ratio:.3}"
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // Registry specimen of the final (highest-step) adaptive row: the
+    // adapt.* / ctrl.* counters behind the table above.
+    json.push_str(&format!("  \"metrics\": {last_snapshot}\n}}\n"));
     println!(
         "\nExpected shape: steps at or past the fig09 boundary hand over to\n\
          EC and the adaptive run tracks the oracle within ~1.3x (estimator\n\

@@ -21,8 +21,19 @@
 //! row keeps Jain ≥ 0.9, and the 10k-flow row completes inside its event
 //! budget with the parking lot fully drained.
 //!
-//! Emits machine-readable `BENCH_flows.json`. `SDR_BENCH_SMOKE=1` runs a
-//! reduced matrix (50/200 flows) for CI.
+//! The fairness row also carries the **instrumentation overhead gate**:
+//! it reruns with the `sdr-trace` kill switch off and asserts sim-time
+//! goodput within 2 % of the metrics-on run. Instrumentation never
+//! changes the event order — counters and ring writes are side effects —
+//! so the two runs should be *identical* in sim time; the gate is thus
+//! really a non-perturbation check, and the wall-clock events/s of both
+//! runs quantify what tracing costs the simulator itself.
+//!
+//! Emits machine-readable `BENCH_flows.json` (rows + an `sdr-trace`
+//! registry snapshot of the fairness row). `SDR_BENCH_SMOKE=1` runs a
+//! reduced matrix (50/200 flows) for CI; `SDR_FLOW_GATE=1` runs the
+//! full-size 100/1000 rows without the 10k tail — the overhead gate at
+//! production scale, CI-affordable.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -32,7 +43,7 @@ use sdr_bench::{fmt, table_header, table_row};
 use sdr_core::testkit::pattern;
 use sdr_core::{SdrConfig, SdrContext};
 use sdr_reliability::{ControlEndpoint, FlowCfg, FlowManager, FlowReport, RxFlowDone};
-use sdr_sim::{Engine, Fabric, LinkConfig, SimTime};
+use sdr_sim::{set_trace_enabled, Engine, Fabric, LinkConfig, SimTime};
 
 const BW: f64 = 10e9;
 const KM: f64 = 10.0;
@@ -58,6 +69,8 @@ struct RowStats {
     events_per_sec: f64,
     retransmits: u64,
     parked_opens: u64,
+    /// `{"fabric": .., "engine": ..}` registry snapshot of the row.
+    snapshot: String,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -144,6 +157,16 @@ fn run_row(n: u64, bytes: u64, verify_stride: u64) -> RowStats {
     assert_eq!(mgr_b.parked_opens(), 0, "row n={n}: parking lot must drain");
     let (tx_live, rx_live) = mgr_a.live_flows();
     assert_eq!((tx_live, rx_live), (0, 0), "row n={n}: flows must drain");
+    // The aggregate bookkeeping must agree with the report walk — the
+    // same invariant `flow_many.rs` asserts, cross-checked here where the
+    // published numbers actually come from.
+    let st = mgr_a.stats();
+    assert_eq!(st.delivered, n, "row n={n}: FlowStats.delivered drifted");
+    assert_eq!(
+        st.bytes_delivered,
+        n * bytes,
+        "row n={n}: FlowStats.bytes_delivered drifted"
+    );
     durations_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
     RowStats {
         flows: n,
@@ -154,17 +177,31 @@ fn run_row(n: u64, bytes: u64, verify_stride: u64) -> RowStats {
         jain: jain(&durations_ms),
         events,
         events_per_sec: events as f64 / wall_s,
-        retransmits: mgr_a.stats().retransmits,
+        retransmits: st.retransmits,
         parked_opens: mgr_b.stats().parked_opens,
+        snapshot: format!(
+            "{{\"fabric\": {}, \"engine\": {}}}",
+            fabric.metrics().snapshot().to_json(),
+            eng.metrics().snapshot().to_json()
+        ),
     }
 }
 
 fn main() {
+    // The bench drives the kill switch itself (the overhead gate below
+    // needs both states), so any ambient `SDR_TRACE` is overridden.
+    set_trace_enabled(true);
     let smoke = std::env::var_os("SDR_BENCH_SMOKE").is_some();
+    let gate_only = std::env::var_os("SDR_FLOW_GATE").is_some();
     // (population, flow bytes); the first row carries the goodput gate,
-    // the second the fairness gate, the third the scale gate.
+    // the second the fairness + tracing-overhead gates, the third the
+    // scale gate. `SDR_FLOW_GATE=1` runs the full-size first two rows
+    // without the long 10k tail — the CI shape for gating the 1k-flow
+    // tracing overhead at production scale.
     let rows: &[(u64, u64)] = if smoke {
         &[(50, 256 << 10), (200, 256 << 10)]
+    } else if gate_only {
+        &[(100, 256 << 10), (1000, 256 << 10)]
     } else {
         &[(100, 256 << 10), (1000, 256 << 10), (10_000, 32 << 10)]
     };
@@ -186,6 +223,8 @@ fn main() {
     );
     let mut json = String::from("{\n  \"bench\": \"flow_sweep\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n  \"rows\": [\n"));
+    let mut gate_json = String::new();
+    let mut gate_snapshot = String::from("{}");
     for (idx, &(n, bytes)) in rows.iter().enumerate() {
         // Single-flow baseline at this size anchors the ideal.
         let single = run_row(1, bytes, 1);
@@ -237,11 +276,46 @@ fn main() {
                 "{n}-flow fairness collapsed: Jain {:.3}",
                 row.jain
             );
+            // Instrumentation overhead gate: the same row with the
+            // kill switch off. Counters and ring writes are pure side
+            // effects, so sim-time goodput must agree within 2 % (in
+            // practice: exactly — any drift means instrumentation
+            // perturbed the event order). Wall-clock events/s of the two
+            // runs is the honest cost of tracing.
+            set_trace_enabled(false);
+            let off = run_row(n, bytes, if n > 1000 { 37 } else { 1 });
+            set_trace_enabled(true);
+            let ratio = row.agg_gbps / off.agg_gbps;
+            println!(
+                "\noverhead gate ({n} flows): metrics-on {:.3} Gb/s vs off {:.3} Gb/s \
+                 (ratio {ratio:.4}); wall {:.2} vs {:.2} Mev/s",
+                row.agg_gbps,
+                off.agg_gbps,
+                row.events_per_sec / 1e6,
+                off.events_per_sec / 1e6,
+            );
+            assert!(
+                (ratio - 1.0).abs() <= 0.02,
+                "instrumentation perturbed the {n}-flow row: on {:.4} vs off {:.4} Gb/s",
+                row.agg_gbps,
+                off.agg_gbps
+            );
+            gate_json = format!(
+                "  \"overhead_gate\": {{\"flows\": {n}, \"on_gbps\": {:.4}, \
+                 \"off_gbps\": {:.4}, \"goodput_ratio\": {ratio:.6}, \
+                 \"on_events_per_sec\": {:.0}, \"off_events_per_sec\": {:.0}}},\n",
+                row.agg_gbps, off.agg_gbps, row.events_per_sec, off.events_per_sec
+            );
+            gate_snapshot = row.snapshot.clone();
         }
         let _ = row.flows;
         let _ = row.flow_bytes;
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&gate_json);
+    // Registry specimen of the fairness row (metrics-on run): the same
+    // counters the engine increments on its hot paths.
+    json.push_str(&format!("  \"metrics\": {gate_snapshot}\n}}\n"));
 
     println!(
         "\nExpected shape: the 100-flow row saturates the link (eff ≥ 0.8 of\n\

@@ -22,6 +22,12 @@
 //!    each backend. Reported: host wall-clock, executed events, events/s
 //!    and delivered packets/s.
 //!
+//! Every event count below is read off the engine's own `engine.events`
+//! registry counter (cross-checked against [`Engine::executed_events`]),
+//! so the A/B numbers and `BENCH_sim.json` come from the same `sdr-trace`
+//! instrumentation the rest of the stack exports — and the wheel rows
+//! carry the `engine.cascade_depth` histogram as a bonus.
+//!
 //! Emits `BENCH_sim.json`. `SDR_BENCH_SMOKE=1` shrinks the iteration
 //! counts for CI (the ≥ 5× assertion still runs).
 
@@ -33,7 +39,20 @@ use sdr_bench::{fmt, table_header, table_row};
 use sdr_core::testkit::{pattern, sdr_pair};
 use sdr_core::SdrConfig;
 use sdr_reliability::{ControlEndpoint, SrProtoConfig, SrReceiver, SrSender};
-use sdr_sim::{Engine, LinkConfig, QueueKind, SimTime};
+use sdr_sim::{set_trace_enabled, Engine, LinkConfig, QueueKind, SimTime};
+
+/// Event count per the engine's own registry, cross-checked against the
+/// engine's plain field — a drift means the dispatch loop skipped its
+/// instrumentation somewhere.
+fn counted_events(eng: &Engine) -> u64 {
+    let counted = eng.metrics().counter_value("engine.events");
+    assert_eq!(
+        counted,
+        eng.executed_events(),
+        "engine.events counter drifted from executed_events()"
+    );
+    counted
+}
 
 fn kind_label(kind: QueueKind) -> &'static str {
     match kind {
@@ -82,7 +101,7 @@ fn microbench_oneshot(kind: QueueKind, load: u64, churn_events: u64) -> f64 {
     let t0 = Instant::now();
     eng.run();
     let dt = t0.elapsed().as_secs_f64();
-    assert_eq!(eng.executed_events(), churn_events);
+    assert_eq!(counted_events(&eng), churn_events);
     churn_events as f64 / dt
 }
 
@@ -114,6 +133,7 @@ fn microbench_rearm(kind: QueueKind, load: u64, churn_events: u64) -> f64 {
     let t0 = Instant::now();
     eng.run();
     let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(counted_events(&eng), churn_events);
     churn_events as f64 / dt
 }
 
@@ -128,6 +148,9 @@ struct TransferOutcome {
     events: u64,
     delivered_pkts: u64,
     sim_s: f64,
+    /// Engine-registry snapshot of this run (`engine.events`, and on the
+    /// wheel backend the `engine.cascade_depth` histogram), as JSON.
+    engine_metrics: String,
 }
 
 /// A fig14-style 16 MiB transfer through the full SDR + SR-NACK stack on
@@ -188,13 +211,18 @@ fn transfer(kind: QueueKind, msg: u64) -> TransferOutcome {
         + p.fabric.link_stats(p.node_b, p.node_a).unwrap().delivered;
     TransferOutcome {
         wall_s,
-        events: p.eng.executed_events(),
+        events: counted_events(&p.eng),
         delivered_pkts: delivered,
         sim_s,
+        engine_metrics: p.eng.metrics().snapshot().to_json(),
     }
 }
 
 fn main() {
+    // Event counts are read off the engine registry, so the kill switch
+    // must be on regardless of any ambient SDR_TRACE. (This also makes
+    // the A/B honest: production runs trace, so the bench traces.)
+    set_trace_enabled(true);
     let smoke = std::env::var_os("SDR_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty());
     let env_kind = Engine::new().queue_kind();
     println!("# Simulator throughput — timing wheel vs binary heap");
@@ -289,13 +317,14 @@ fn main() {
     for (i, (kind, b)) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    \"{}\": {{\"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \
-             \"packets_per_sec\": {:.0}, \"sim_ms\": {:.3}}}{}\n",
+             \"packets_per_sec\": {:.0}, \"sim_ms\": {:.3}, \"engine_metrics\": {}}}{}\n",
             kind_label(*kind),
             b.wall_s * 1e3,
             b.events,
             b.events as f64 / b.wall_s,
             b.delivered_pkts as f64 / b.wall_s,
             b.sim_s * 1e3,
+            b.engine_metrics,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use sdr_core::imm::ImmLayout;
+use sdr_trace::{Counter, Histogram, Registry};
 
 use crate::ring::{CqeRing, DpaCqe};
 use crate::table::{DpaMsgTable, ProcessStats};
@@ -55,11 +56,22 @@ pub struct DpaEngine {
     stop: Arc<AtomicBool>,
     workers: Vec<JoinHandle<ProcessStats>>,
     rr: std::cell::Cell<usize>,
+    metrics: Registry,
 }
 
 impl DpaEngine {
-    /// Spawns the worker threads and returns the engine handle.
+    /// Spawns the worker threads and returns the engine handle, with a
+    /// private metrics registry.
     pub fn start(cfg: DpaConfig) -> Self {
+        Self::start_with_metrics(cfg, Registry::new())
+    }
+
+    /// [`start`](Self::start) recording into a caller-supplied registry —
+    /// `dpa.polls` (non-empty ring drains), `dpa.completions` (CQEs
+    /// processed; completions/poll is their ratio) and `dpa.batch` (CQEs
+    /// per drained batch, the §3.4.2 coalescing opportunity). The handles
+    /// are plain atomics, shared safely across the worker threads.
+    pub fn start_with_metrics(cfg: DpaConfig, metrics: Registry) -> Self {
         assert!(cfg.workers >= 1);
         assert!(cfg.batch_budget >= 1);
         let table = DpaMsgTable::new(cfg.msg_slots, cfg.layout);
@@ -67,6 +79,9 @@ impl DpaEngine {
             .map(|_| CqeRing::new(cfg.ring_capacity))
             .collect();
         let stop = Arc::new(AtomicBool::new(false));
+        let polls = metrics.counter("dpa.polls");
+        let completions = metrics.counter("dpa.completions");
+        let batch_hist = metrics.histogram("dpa.batch");
         let workers = rings
             .iter()
             .map(|ring| {
@@ -74,7 +89,12 @@ impl DpaEngine {
                 let table = table.clone();
                 let stop = stop.clone();
                 let budget = cfg.batch_budget;
-                std::thread::spawn(move || worker_loop(&table, &ring, &stop, budget))
+                let trace = WorkerTrace {
+                    polls: polls.clone(),
+                    completions: completions.clone(),
+                    batch: batch_hist.clone(),
+                };
+                std::thread::spawn(move || worker_loop(&table, &ring, &stop, budget, &trace))
             })
             .collect();
         DpaEngine {
@@ -83,12 +103,18 @@ impl DpaEngine {
             stop,
             workers,
             rr: std::cell::Cell::new(0),
+            metrics,
         }
     }
 
     /// The shared message table (host-frontend view).
     pub fn table(&self) -> &Arc<DpaMsgTable> {
         &self.table
+    }
+
+    /// The engine's metrics registry (`dpa.*` family).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Number of worker threads.
@@ -128,19 +154,31 @@ impl DpaEngine {
     }
 }
 
+/// Per-worker metric handles (cloned registry handles; all atomic).
+struct WorkerTrace {
+    polls: Counter,
+    completions: Counter,
+    batch: Histogram,
+}
+
 fn worker_loop(
     table: &DpaMsgTable,
     ring: &CqeRing,
     stop: &AtomicBool,
     budget: usize,
+    trace: &WorkerTrace,
 ) -> ProcessStats {
     let mut stats = ProcessStats::default();
     let mut batch: Vec<crate::ring::DpaCqe> = Vec::with_capacity(budget);
     let mut idle: u32 = 0;
     loop {
         batch.clear();
-        if ring.pop_batch(&mut batch, budget) > 0 {
+        let n = ring.pop_batch(&mut batch, budget);
+        if n > 0 {
             idle = 0;
+            trace.polls.inc();
+            trace.completions.add(n as u64);
+            trace.batch.record(n as u64);
             // One batched pass: bitmap-word updates and chunk publishes
             // coalesce per message instead of one RMW round per packet.
             table.process_batch(&batch, &mut stats);

@@ -64,7 +64,7 @@ use std::rc::Rc;
 
 use sdr_core::{SdrContext, SdrQp};
 use sdr_model::{fig09_boundary_p_packet, Channel, EcConfig};
-use sdr_sim::{Engine, QpAddr, SimTime, TimerHandle};
+use sdr_sim::{Engine, EventKind, Gauge, QpAddr, SimTime, TimerHandle};
 
 use crate::ack::{CtrlMsg, SchemeSpec};
 use crate::advisor::{self, Scheme};
@@ -197,6 +197,20 @@ pub fn spec_from_scheme(s: &Scheme) -> SchemeSpec {
             m: m as u16,
         },
         Scheme::Gbn { .. } => SchemeSpec::Gbn,
+    }
+}
+
+/// Encodes a [`SchemeSpec`] as the compact `u64` flight-recorder events
+/// carry in their `b` payload: `1`=SR-RTO, `2`=SR-NACK, `3`=GBN, and
+/// `4_000_000 + k·1000 + m` / `5_000_000 + k·1000 + m` for EC-MDS /
+/// EC-XOR splits — e.g. `4032004` reads as MDS(32,4).
+pub fn spec_code(spec: &SchemeSpec) -> u64 {
+    match *spec {
+        SchemeSpec::SrRto => 1,
+        SchemeSpec::SrNack => 2,
+        SchemeSpec::Gbn => 3,
+        SchemeSpec::EcMds { k, m } => 4_000_000 + k as u64 * 1000 + m as u64,
+        SchemeSpec::EcXor { k, m } => 5_000_000 + k as u64 * 1000 + m as u64,
     }
 }
 
@@ -441,6 +455,12 @@ struct TxInner {
     /// Blackout edge state: set on the silence threshold crossing (with a
     /// one-time confidence decay), cleared when traffic resumes.
     in_blackout: bool,
+    /// `adapt.loss_ppm`: the controller's live loss estimate in parts per
+    /// million, published each advisor run (the advisor's input, so a
+    /// snapshot explains the decision next to it in the timeline).
+    g_loss: Gauge,
+    /// `adapt.rtt_us`: the live RTT estimate in microseconds, ditto.
+    g_rtt: Gauge,
 }
 
 /// The adaptive sender: runs the transfer as a receiver-throttled pipeline
@@ -535,6 +555,8 @@ impl AdaptiveController {
         est.borrow_mut().seed(seed.0, seed.1);
         let decide = cfg.decide_interval;
         let first_seq = qp.next_send_seq();
+        let reg = ep.metrics();
+        let (g_loss, g_rtt) = (reg.gauge("adapt.loss_ppm"), reg.gauge("adapt.rtt_us"));
         let inner = Rc::new(RefCell::new(TxInner {
             qp: qp.clone(),
             ctx: ctx.clone(),
@@ -559,6 +581,8 @@ impl AdaptiveController {
             ctl_timer: None,
             deadline_timer: None,
             in_blackout: false,
+            g_loss,
+            g_rtt,
         }));
         inner.borrow_mut().completion.mark_started(eng.now());
         // The blackout detector measures silence from a defined instant.
@@ -606,12 +630,24 @@ impl AdaptiveController {
                     i.current_spec = p.spec;
                     i.switches += 1;
                     i.pending = None;
+                    i.ep.recorder().record(
+                        eng.now().as_picos(),
+                        EventKind::SchemeHandover,
+                        i.next_create as u64,
+                        spec_code(&i.current_spec),
+                    );
                 }
             }
             let gate = EpochGate::new(i.next_create, i.ep.clone());
             let (off, len) = i.segs[e];
             let entry = (eng.now(), i.next_create, i.current_spec);
             i.history.push(entry);
+            i.ep.recorder().record(
+                eng.now().as_picos(),
+                EventKind::SchemeStart,
+                i.next_create as u64,
+                spec_code(&i.current_spec),
+            );
             i.next_first_seq += sends_for(&i.current_spec, len, i.qp.config().chunk_bytes);
             i.next_create += 1;
             (gate, i.current_spec, off, len, i.next_create - 1)
@@ -685,6 +721,16 @@ impl AdaptiveController {
                 ))
             }
         };
+        // SR and GBN senders expose their RTO clock: bind the node's
+        // recorder so a chaos timeline shows which segment's timers fired.
+        {
+            let rec = inner.borrow().ep.recorder().clone();
+            match &sender {
+                SegSender::Sr(s) => s.bind_trace(rec, epoch as u64),
+                SegSender::Gbn(s) => s.bind_trace(rec, epoch as u64),
+                SegSender::Ec(_) => {}
+            }
+        }
         inner.borrow_mut().live.push(TxSeg {
             epoch,
             gate,
@@ -803,6 +849,12 @@ impl AdaptiveController {
             let cb = i.completion.finish().map(|cb| (cb, report));
             let live = std::mem::take(&mut i.live);
             let timers = [i.ctl_timer.take(), i.deadline_timer.take()];
+            i.ep.recorder().record(
+                eng.now().as_picos(),
+                EventKind::Abort,
+                reason as u64,
+                i.done_count as u64,
+            );
             (cb, live, timers)
         };
         for t in timers.into_iter().flatten() {
@@ -891,6 +943,7 @@ impl AdaptiveController {
                                           // RTT sample — after a re-proposal the ACK is ambiguous
                                           // between copies.
             let sample = (!p.resent).then(|| now.saturating_sub(p.first_sent));
+            let acked_epoch = p.epoch;
             if p.epoch >= segs {
                 // Proposed while the last segments were already in flight:
                 // the handover never applies.
@@ -899,6 +952,12 @@ impl AdaptiveController {
             if let Some(sample) = sample {
                 i.est.borrow_mut().observe_rtt(sample);
             }
+            i.ep.recorder().record(
+                now.as_picos(),
+                EventKind::SwitchAck,
+                acked_epoch as u64,
+                seq as u64,
+            );
         }
         // The ack may have been the drain barrier's blocker.
         Self::tx_pump_segments(inner, eng);
@@ -986,6 +1045,10 @@ impl AdaptiveController {
             .unwrap_or(i.cfg.rtt)
             .as_secs_f64();
         let remaining: u64 = i.segs[next_unstarted as usize..].iter().map(|s| s.1).sum();
+        // Publish the advisor's inputs: a metrics snapshot taken near a
+        // handover then explains the decision.
+        i.g_loss.set((loss * 1e6) as i64);
+        i.g_rtt.set((rtt * 1e6) as i64);
         let ch = Channel::new(i.cfg.bandwidth_bps, rtt, loss)
             .with_mtu_bytes(i.qp.config().mtu_bytes)
             .with_chunk_bytes(i.qp.config().chunk_bytes);
@@ -1089,6 +1152,12 @@ impl AdaptiveController {
             epoch: target_epoch,
             spec: target,
         };
+        i.ep.recorder().record(
+            now.as_picos(),
+            EventKind::SwitchPropose,
+            target_epoch as u64,
+            spec_code(&target),
+        );
         let (ep, peer) = (i.ep.clone(), i.peer);
         ep.send(eng, peer, &msg);
         Tick::Again
@@ -1339,6 +1408,12 @@ impl AdaptiveController {
             return;
         }
         let segs: Vec<(u64, u64)> = seg_ids.iter().map(|&id| manifest.segment(id)).collect();
+        ep.recorder().record(
+            eng.now().as_picos(),
+            EventKind::Resume,
+            segs.len() as u64,
+            base,
+        );
         // Realign the order-matched send sequence: the receiver's posts
         // for this plan start at `base`, ahead of where this sender's
         // opens stopped (credits the dead life never consumed are dropped
@@ -1704,6 +1779,12 @@ impl AdaptiveController {
             let cb = i.done_cb.take().map(|cb| (cb, report));
             let live = std::mem::take(&mut i.live);
             let timers = [i.hk_timer.take(), i.deadline_timer.take()];
+            i.ep.recorder().record(
+                eng.now().as_picos(),
+                EventKind::Abort,
+                reason as u64,
+                i.done_segments as u64,
+            );
             (cb, live, timers)
         };
         for t in timers.into_iter().flatten() {
@@ -1780,10 +1861,22 @@ impl AdaptiveController {
                     i.committed = Some((seq, pe, spec));
                     i.switches += 1;
                     i.pending = None;
+                    i.ep.recorder().record(
+                        eng.now().as_picos(),
+                        EventKind::SchemeHandover,
+                        pe as u64,
+                        spec_code(&spec),
+                    );
                 }
             }
             let gate = EpochGate::new(i.next_start, i.ep.clone());
             let (off, len) = i.segs[e];
+            i.ep.recorder().record(
+                eng.now().as_picos(),
+                EventKind::SchemeStart,
+                i.next_start as u64,
+                spec_code(&i.current_spec),
+            );
             i.next_start += 1;
             (gate, i.current_spec, off, len, i.next_start - 1)
         };
@@ -1971,6 +2064,12 @@ impl AdaptiveController {
                     e
                 }
             };
+            i.ep.recorder().record(
+                eng.now().as_picos(),
+                EventKind::SwitchAck,
+                effective as u64,
+                spec_code(&spec),
+            );
             CtrlMsg::SwitchAck {
                 seq,
                 epoch: effective,

@@ -26,7 +26,10 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
-use sdr_sim::{CqId, Engine, Fabric, NodeId, QpAddr, QpNum, QpType, RecvWqe, Waker};
+use sdr_sim::{
+    Counter, CqId, Engine, Fabric, FlightRecorder, NodeId, QpAddr, QpNum, QpType, RecvWqe,
+    Registry, Waker,
+};
 
 use crate::ack::{CtrlMsg, CtrlStamp};
 
@@ -173,6 +176,9 @@ pub struct ControlEndpoint {
     /// Replay state per `(peer, transfer)` stream.
     filters: Rc<RefCell<HashMap<(QpAddr, u64), PeerFilter>>>,
     drops: Rc<Cell<CtrlFilterStats>>,
+    /// This node's flight recorder (shared with every layer on the node);
+    /// exposed so the adaptive machinery above can record its decisions.
+    recorder: FlightRecorder,
 }
 
 impl ControlEndpoint {
@@ -211,6 +217,14 @@ impl ControlEndpoint {
         let drp = drops.clone();
         let own_inc = inc.clone();
         let peers = peer_inc.clone();
+        // Registry mirrors of the filter drop counters, summed across
+        // every endpoint of the fabric (satellite: these were collected
+        // but never surfaced).
+        let trace: [Counter; 3] = [
+            fabric.metrics().counter("ctrl.stale"),
+            fabric.metrics().counter("ctrl.duplicates"),
+            fabric.metrics().counter("ctrl.malformed"),
+        ];
         fabric.node_mut(node, |n| {
             n.set_cq_waker(
                 cq,
@@ -240,6 +254,7 @@ impl ControlEndpoint {
                         // duplicates die before the decoder even runs.
                         let Some(stamp) = CtrlStamp::decode_from(&mut payload) else {
                             d.malformed += 1;
+                            trace[2].inc();
                             drp.set(d);
                             continue;
                         };
@@ -260,17 +275,20 @@ impl ControlEndpoint {
                             Admit::Accept => {}
                             Admit::Stale => {
                                 d.stale += 1;
+                                trace[0].inc();
                                 drp.set(d);
                                 continue;
                             }
                             Admit::Duplicate => {
                                 d.duplicates += 1;
+                                trace[1].inc();
                                 drp.set(d);
                                 continue;
                             }
                         }
                         let Some(msg) = CtrlMsg::decode(payload) else {
                             d.malformed += 1;
+                            trace[2].inc();
                             drp.set(d);
                             continue;
                         };
@@ -281,6 +299,7 @@ impl ControlEndpoint {
                         // the peer learns the live incarnation).
                         if stamp.dst_inc != own_inc.get() && msg != CtrlMsg::ResumeQuery {
                             d.stale += 1;
+                            trace[0].inc();
                             drp.set(d);
                             continue;
                         }
@@ -328,7 +347,20 @@ impl ControlEndpoint {
             peer_inc,
             filters,
             drops,
+            recorder: fabric.recorder(node),
         }
+    }
+
+    /// This node's flight recorder — the shared ring every layer on the
+    /// node records into (see [`sdr_sim::Fabric::recorder`]).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The stack-wide metrics registry (owned by the fabric) — where the
+    /// layers above register their `ctrl.*`/`adapt.*`/`flow.*` families.
+    pub fn metrics(&self) -> Registry {
+        self.fabric.metrics().clone()
     }
 
     /// This endpoint's address (exchange out-of-band with the peer).

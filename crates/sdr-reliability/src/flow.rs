@@ -77,7 +77,10 @@ use std::sync::Arc;
 
 use sdr_core::{RecvHandle, SdrConfig, SdrContext, SdrError, SdrQp, SendHandle};
 use sdr_erasure::{EncodePool, ErasureCode, ReedSolomon, XorCode};
-use sdr_sim::{Engine, Fabric, NodeId, QpAddr, SimTime, TimerHandle};
+use sdr_sim::{
+    Counter, Engine, EventKind, Fabric, FlightRecorder, Histogram, NodeId, QpAddr, SimTime,
+    TimerHandle,
+};
 
 use crate::ack::{build_sr_ack, CtrlMsg, SchemeSpec};
 use crate::control::ControlEndpoint;
@@ -484,6 +487,13 @@ pub struct FlowStats {
     pub open_retries: u64,
     /// Work items injected by the pump.
     pub injected: u64,
+    /// Sender flows that fully delivered (`tx_done` minus abandoned
+    /// opens). Maintained here once so benches read the aggregate instead
+    /// of recomputing it by walking [`FlowReport`]s; `flow_many.rs`
+    /// asserts the two bookkeepings agree.
+    pub delivered: u64,
+    /// Message bytes across delivered sender flows, ditto.
+    pub bytes_delivered: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -590,6 +600,46 @@ struct Port {
     pump_armed: bool,
 }
 
+/// Registry handles for the manager's hot paths, bound once at
+/// construction (`flow.*` family in the fabric registry) plus the node's
+/// flight recorder. Increments are lock-free and allocation-free; the
+/// whole family is a no-op under the `sdr-trace` kill-switch.
+struct FlowTrace {
+    /// `flow.opened`: sender flows opened.
+    opened: Counter,
+    /// `flow.admitted`: receiver admissions granted (posts + FlowAck).
+    admitted: Counter,
+    /// `flow.parked`: opens parked for lack of receive slots.
+    parked: Counter,
+    /// `flow.drained`: parked opens later admitted.
+    drained: Counter,
+    /// `flow.injected`: work items injected by the DRR pump.
+    injected: Counter,
+    /// `flow.urgent`: repairs queued through the urgent fast lane.
+    urgent: Counter,
+    /// `flow.completion_us`: per-flow open→final-ACK time (delivered
+    /// flows only), microseconds.
+    completion_us: Histogram,
+    /// This node's flight recorder (slot park/drain events).
+    recorder: FlightRecorder,
+}
+
+impl FlowTrace {
+    fn new(fabric: &Fabric, node: NodeId) -> FlowTrace {
+        let reg = fabric.metrics();
+        FlowTrace {
+            opened: reg.counter("flow.opened"),
+            admitted: reg.counter("flow.admitted"),
+            parked: reg.counter("flow.parked"),
+            drained: reg.counter("flow.drained"),
+            injected: reg.counter("flow.injected"),
+            urgent: reg.counter("flow.urgent"),
+            completion_us: reg.histogram("flow.completion_us"),
+            recorder: fabric.recorder(node),
+        }
+    }
+}
+
 struct Inner {
     ports: HashMap<NodeId, Port>,
     tx_flows: HashMap<u64, TxFlow>,
@@ -610,6 +660,7 @@ struct Inner {
     on_rx_done: Option<Box<dyn FnMut(&mut Engine, RxFlowDone)>>,
     rx_alloc: Option<Box<dyn FnMut(u64) -> u64>>,
     stats: FlowStats,
+    trace: FlowTrace,
 }
 
 struct ManagerCore {
@@ -660,6 +711,7 @@ impl FlowManager {
                 on_rx_done: None,
                 rx_alloc: None,
                 stats: FlowStats::default(),
+                trace: FlowTrace::new(fabric, node),
             }),
         });
         let c = core.clone();
@@ -806,6 +858,8 @@ impl FlowManager {
                 s => (s, 0, 0),
             };
             let est = inner.registry.checkout(peer, now);
+            let mut timers = ChunkTimers::new(chunks);
+            timers.set_trace(inner.trace.recorder.clone(), id);
             let flow = TxFlow {
                 peer,
                 peer_ctrl,
@@ -820,7 +874,7 @@ impl FlowManager {
                 parity_addr,
                 parity_chunks,
                 uninjected: 0,
-                timers: ChunkTimers::new(chunks),
+                timers,
                 est,
                 last_telem: TelemetryCounters::default(),
                 opened_at: now,
@@ -832,6 +886,7 @@ impl FlowManager {
             };
             inner.tx_flows.insert(id, flow);
             inner.stats.opened += 1;
+            inner.trace.opened.inc();
             let at = now.saturating_add(core.cfg.open_retry);
             inner.schedule(FlowKey::Tx(id), at);
             (id, peer_ctrl, at)
@@ -1110,6 +1165,7 @@ impl FlowManager {
             match qp.send_stream_continue(eng, &hdl, off, item.bytes) {
                 Ok(()) => {
                     inner.stats.injected += 1;
+                    inner.trace.injected.inc();
                     if item.tag & PARITY_TAG == 0 {
                         flow.timers.record_sent(c as usize, eng.now());
                     }
@@ -1270,6 +1326,7 @@ impl Inner {
                 });
                 flow.retransmits += expired;
                 self.stats.retransmits += expired;
+                self.trace.urgent.add(expired);
                 if let Some(at) = next {
                     self.schedule(FlowKey::Tx(id), at.max(now.saturating_add(SimTime(1))));
                 }
@@ -1458,6 +1515,7 @@ impl Inner {
             }
             flow.retransmits += claimed;
             self.stats.retransmits += claimed;
+            self.trace.urgent.add(claimed);
         }
     }
 
@@ -1523,6 +1581,7 @@ impl Inner {
         }
         flow.retransmits += claimed;
         self.stats.retransmits += claimed;
+        self.trace.urgent.add(claimed);
         flow.est.borrow_mut().note_progress(now);
     }
 
@@ -1576,6 +1635,12 @@ impl Inner {
             },
         ));
         self.stats.tx_done += 1;
+        if delivered {
+            self.stats.delivered += 1;
+            self.stats.bytes_delivered += flow.bytes;
+            let us = eng.now().saturating_sub(flow.opened_at).as_picos() / 1_000_000;
+            self.trace.completion_us.record(us);
+        }
     }
 
     fn fail_open(&mut self, core: &Rc<ManagerCore>, eng: &mut Engine, id: u64) {
@@ -1619,6 +1684,13 @@ impl Inner {
                 port.shards[shard].pending.push_back(open);
                 self.parked.insert((peer_node, id));
                 self.stats.parked_opens += 1;
+                self.trace.parked.inc();
+                self.trace.recorder.record(
+                    eng.now().as_picos(),
+                    EventKind::SlotPark,
+                    id,
+                    shard as u64,
+                );
             }
         }
     }
@@ -1715,6 +1787,7 @@ impl Inner {
             now.saturating_add(iv),
         );
         core.ep.send_flow(eng, open.src, open.flow, &ack);
+        self.trace.admitted.inc();
         true
     }
 
@@ -1737,6 +1810,13 @@ impl Inner {
             };
             if self.try_admit(core, eng, &open) {
                 self.parked.remove(&(open.peer_node, open.flow));
+                self.trace.drained.inc();
+                self.trace.recorder.record(
+                    eng.now().as_picos(),
+                    EventKind::SlotDrain,
+                    open.flow,
+                    shard as u64,
+                );
             } else {
                 // Still no room: park it back at the front and stop.
                 self.ports.get_mut(&peer).expect("port").shards[shard]

@@ -25,7 +25,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use sdr_core::SdrQp;
-use sdr_sim::{Engine, QpAddr, SimTime, TimerHandle};
+use sdr_sim::{Engine, EventKind, FlightRecorder, QpAddr, SimTime, TimerHandle};
 
 use crate::ack::CtrlMsg;
 use crate::control::CtrlPath;
@@ -105,6 +105,10 @@ struct SenderInner {
     rewinds: u64,
     acks: u64,
     completion: Completion<GbnReport>,
+    /// Optional flight-recorder binding `(recorder, transfer id)`: window
+    /// rewinds record `rto-fire`/`rto-backoff` events like the SR sender's
+    /// [`ChunkTimers`] trace does.
+    trace: Option<(FlightRecorder, u64)>,
 }
 
 impl SenderInner {
@@ -146,6 +150,7 @@ impl GbnSender {
             rewinds: 0,
             acks: 0,
             completion: Completion::new(done),
+            trace: None,
         }));
 
         // Control-path handler: cumulative ACKs only.
@@ -161,6 +166,13 @@ impl GbnSender {
     /// True once the final ACK has been processed.
     pub fn is_done(&self) -> bool {
         self.inner.borrow().completion.is_done()
+    }
+
+    /// Binds a flight recorder: window rewinds record `rto-fire` (b =
+    /// chunks re-injected) and `rto-backoff` (b = new exponent) events
+    /// under transfer `id`.
+    pub fn bind_trace(&self, rec: FlightRecorder, id: u64) {
+        self.inner.borrow_mut().trace = Some((rec, id));
     }
 
     /// Tears the transfer down now: the base-timer loop is cancelled, the
@@ -243,6 +255,10 @@ impl GbnSender {
             i.backoff = (i.backoff + 1).min(RTO_BACKOFF_CAP);
             i.retransmitted += sent as u64;
             i.rewinds += 1;
+            if let Some((rec, id)) = &i.trace {
+                rec.record(now.as_picos(), EventKind::RtoFire, *id, sent as u64);
+                rec.record(now.as_picos(), EventKind::RtoBackoff, *id, i.backoff as u64);
+            }
         }
         Tick::Until(i.timer_armed_at.saturating_add(i.rto_effective()))
     }

@@ -42,7 +42,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use sdr_core::{RecvHandle, SdrQp, SendHandle, TwoLevelBitmap};
-use sdr_sim::{Engine, QpAddr, SimTime, TimerHandle};
+use sdr_sim::{Engine, EventKind, FlightRecorder, QpAddr, SimTime, TimerHandle};
 
 use crate::ack::CtrlMsg;
 use crate::control::CtrlPath;
@@ -374,6 +374,11 @@ pub struct ChunkTimers {
     cursor: usize,
     /// Current RTO backoff exponent (`0..=RTO_BACKOFF_CAP`).
     backoff: u32,
+    /// Optional flight-recorder binding `(recorder, transfer id)`: RTO
+    /// scans that fire record [`EventKind::RtoFire`]/[`EventKind::RtoBackoff`]
+    /// stamped with the transfer id, so chaos forensics can reconstruct
+    /// the retransmission clock of a failing transfer.
+    trace: Option<(FlightRecorder, u64)>,
 }
 
 impl ChunkTimers {
@@ -386,7 +391,15 @@ impl ChunkTimers {
             resent: vec![false; total],
             cursor: 0,
             backoff: 0,
+            trace: None,
         }
+    }
+
+    /// Binds a flight recorder: subsequent RTO scans that retransmit
+    /// anything record `rto-fire` (b = chunks expired) and `rto-backoff`
+    /// (b = new exponent) events under transfer `id`.
+    pub fn set_trace(&mut self, rec: FlightRecorder, id: u64) {
+        self.trace = Some((rec, id));
     }
 
     /// The current backoff exponent (zero while ACKs keep arriving).
@@ -493,6 +506,7 @@ impl ChunkTimers {
         self.advance_cursor();
         let eff = self.effective_timeout(timeout);
         let mut fired = false;
+        let mut expired = 0u64;
         let mut earliest_sent: Option<SimTime> = None;
         for c in self.cursor..self.acked.len() {
             if !self.acked[c] {
@@ -500,6 +514,7 @@ impl ChunkTimers {
                     self.last_sent[c] = now;
                     self.resent[c] = true;
                     fired = true;
+                    expired += 1;
                     f(c);
                 }
                 let sent = self.last_sent[c];
@@ -508,6 +523,15 @@ impl ChunkTimers {
         }
         if fired {
             self.backoff = (self.backoff + 1).min(RTO_BACKOFF_CAP);
+            if let Some((rec, id)) = &self.trace {
+                rec.record(now.as_picos(), EventKind::RtoFire, *id, expired);
+                rec.record(
+                    now.as_picos(),
+                    EventKind::RtoBackoff,
+                    *id,
+                    self.backoff as u64,
+                );
+            }
         }
         let eff_after = self.effective_timeout(timeout);
         earliest_sent.map(|s| s.saturating_add(eff_after))

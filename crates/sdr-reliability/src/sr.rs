@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use sdr_core::SdrQp;
-use sdr_sim::{Engine, QpAddr, SimTime, TimerHandle};
+use sdr_sim::{Engine, FlightRecorder, QpAddr, SimTime, TimerHandle};
 
 use crate::ack::{build_sr_ack, CtrlMsg};
 use crate::control::CtrlPath;
@@ -182,6 +182,13 @@ impl SrSender {
     /// True once the final ACK has been processed.
     pub fn is_done(&self) -> bool {
         self.inner.borrow().completion.is_done()
+    }
+
+    /// Binds a flight recorder to the retransmission timers: RTO scans
+    /// that fire record `rto-fire`/`rto-backoff` events under transfer
+    /// `id` (see [`ChunkTimers::set_trace`]).
+    pub fn bind_trace(&self, rec: FlightRecorder, id: u64) {
+        self.inner.borrow_mut().timers.set_trace(rec, id);
     }
 
     /// Tears the transfer down now: the retransmission scan is cancelled,

@@ -37,6 +37,40 @@
 //! transfer whose receiver restarts ~60 % delivered, resuming to a
 //! byte-identical finish while retransmitting none of the
 //! already-delivered bytes.
+//!
+//! # How to read a flight-recorder dump
+//!
+//! Every failure message ends with both nodes' flight-recorder timelines
+//! (node A = sender, node B = receiver), the last events each node's
+//! fixed-capacity ring retained, oldest first:
+//!
+//! ```text
+//!   [      8.000000 ms] fault-loss       a=0 b=0
+//!   [     10.251433 ms] switch-propose   a=1 b=4032008
+//!   [     15.320771 ms] scheme-handover  a=6 b=4032008
+//!   [     18.000000 ms] fault-blackout   a=1 b=100000000000
+//!   [     48.812004 ms] rto-fire         a=6 b=32
+//!   [     48.812004 ms] rto-backoff     a=6 b=1
+//! ```
+//!
+//! The bracketed stamp is sim time; each node's events are monotone in it
+//! (one engine records them in execution order). The label is the
+//! [`sdr_sim::EventKind`]; `a`/`b` are its two payload words, documented
+//! per kind — scheme events carry `a` = epoch and `b` = a scheme code
+//! (1 SR-RTO, 2 SR-NACK, 3 GBN, `4_000_000 + k·1000 + m` MDS(k, m),
+//! `5_000_000 + …` XOR), RTO events carry `a` = transfer/flow id with
+//! `b` = chunks expired or the new backoff exponent, and `fault-*`
+//! events mirror the injected [`FaultPlan`] (appearing on *both* nodes:
+//! a link fault is observable from either side). Reading a dump
+//! backwards from the failure instant usually answers "what was the
+//! stack doing": which scheme each end was under (last `scheme-start` /
+//! `scheme-handover`), whether the wire was dark (`fault-blackout`
+//! `a=1` without its healing `a=0`), and whether repair was still making
+//! progress (advancing `rto-fire` stamps with climbing `rto-backoff`
+//! exponents are a live backstop; a frozen tail means teardown already
+//! happened — look for `abort`/`incarnation`). Replay the exact case
+//! with the `CHAOS_CASE=<key>` one-liner in the same message, e.g. with
+//! `SDR_TRACE=0` to confirm forensics never perturb the run.
 
 mod common;
 
@@ -278,6 +312,23 @@ fn arm_restart_resume(
     fired
 }
 
+/// Events per node a failure dump retains — enough to cover the final
+/// scheme epoch plus the fault script around it without drowning the
+/// actual assertion message.
+const FORENSIC_WINDOW: usize = 48;
+
+/// Renders both nodes' flight-recorder timelines (see the module docs
+/// for how to read one). Appended to every soak failure message so a CI
+/// log carries the forensics next to the `CHAOS_CASE` replay key.
+fn forensics(h: &ProtoHarness) -> String {
+    format!(
+        "\n  --- node A flight recorder (last {FORENSIC_WINDOW}) ---\n{}\
+         \n  --- node B flight recorder (last {FORENSIC_WINDOW}) ---\n{}",
+        h.p.fabric.recorder(h.p.node_a).timeline(FORENSIC_WINDOW),
+        h.p.fabric.recorder(h.p.node_b).timeline(FORENSIC_WINDOW),
+    )
+}
+
 /// Runs one chaos case and checks every survivability invariant,
 /// returning a short outcome line on success.
 fn run_chaos(case_key: u64) -> Result<String, String> {
@@ -351,10 +402,11 @@ fn run_chaos(case_key: u64) -> Result<String, String> {
     h.run(LIMIT);
 
     let resumed = fired.as_ref().is_some_and(|f| f.get());
+    let dump = forensics(&h);
     let err = |msg: String| {
         Err(format!(
             "{msg} [msg={} MiB initial={} p_base={:.1e} faults={} deadline={:?} \
-             dup={:.3} reorder={:?} restart={:?} resumed={resumed}]",
+             dup={:.3} reorder={:?} restart={:?} resumed={resumed}]{dump}",
             sc.msg >> 20,
             sc.initial,
             sc.p_base,
@@ -674,6 +726,125 @@ fn forty_mib_transfer_survives_two_second_blackout() {
         "O(log) resend bound blown: {} retransmits",
         tx.retransmits
     );
+}
+
+/// The forensics acceptance check: a deployment whose fault script
+/// provably produces a scheme handover (a loss step past the fig09
+/// boundary), RTO fires (a blackout outliving the 3-RTT chunk timer) and
+/// fault events must leave both nodes' flight recorders telling exactly
+/// that story, stamped in monotone sim time. This is the dump a failing
+/// soak case appends to its error message (see the module docs for how
+/// to read one).
+#[test]
+fn flight_recorder_tells_the_two_node_story() {
+    let msg: u64 = 40 << 20;
+    let link = LinkConfig::wan(KM, BW, 1e-6).with_seed(9);
+    let demo_cfg = SdrConfig {
+        max_msg_bytes: 4 << 20,
+        msg_slots: 64,
+        ..cfg()
+    };
+    let mut h = ProtoHarness::new(link, demo_cfg, msg, 9 ^ 0xADA);
+    let rtt = h.rtt;
+    let mut acfg = AdaptConfig::new(BW, rtt, 2 << 20);
+    acfg.telemetry = TelemetryConfig {
+        loss_alpha: 1.0 / 1024.0,
+        min_packets: 768,
+        ..TelemetryConfig::default()
+    };
+    // The same shape as the switchover acceptance scenario, but injected
+    // through a FaultPlan so the fabric records the script: a loss step
+    // at 8 ms (forces the SR→EC handover) and a 100 ms blackout at 18 ms
+    // (outlives the 3-RTT ≈ 30 ms chunk timer, so the RTO backstop
+    // provably fires into the outage).
+    let plan = FaultPlan::new_duplex()
+        .with(FaultEvent::SetLoss {
+            at: SimTime::from_secs_f64(0.008),
+            model: LossModel::Iid { p: 3e-3 },
+        })
+        .with(FaultEvent::Blackout {
+            at: SimTime::from_secs_f64(0.018),
+            duration: SimTime::from_secs_f64(0.1),
+        });
+    h.p.fabric
+        .apply_fault_plan(&mut h.p.eng, h.p.node_a, h.p.node_b, &plan)
+        .unwrap();
+    let (tx_cell, tx_cb) = capture::<AdaptReport>();
+    let _tx = AdaptiveController::start_sender(
+        &mut h.p.eng,
+        &h.p.qp_a,
+        &h.p.ctx_a,
+        h.ctrl_a.clone(),
+        h.ctrl_b.addr(),
+        h.src,
+        msg,
+        SchemeSpec::SrNack,
+        acfg.clone(),
+        tx_cb,
+    );
+    let rx_cell: RxCell = Rc::new(RefCell::new(None));
+    let rc = rx_cell.clone();
+    let _rx = AdaptiveController::start_receiver(
+        &mut h.p.eng,
+        &h.p.qp_b,
+        &h.p.ctx_b,
+        h.ctrl_b.clone(),
+        h.ctrl_a.addr(),
+        h.dst,
+        msg,
+        SchemeSpec::SrNack,
+        acfg,
+        move |_eng, t, rep| *rc.borrow_mut() = Some((t, rep)),
+    );
+    h.run(120_000_000);
+    let tx = took(&tx_cell, "adaptive sender");
+    assert!(h.delivered_ok(), "byte-identical across step and blackout");
+    assert!(
+        tx.switches >= 1,
+        "the loss step must force a handover: {tx:?}"
+    );
+
+    // Both recorders must carry the story. RTO fires live on the sender
+    // (node A); the handover and the injected faults appear on both (a
+    // link fault is observable from either side).
+    for (name, node, want) in [
+        (
+            "A",
+            h.p.node_a,
+            &[
+                "scheme-handover",
+                "rto-fire",
+                "rto-backoff",
+                "fault-loss",
+                "fault-blackout",
+            ][..],
+        ),
+        (
+            "B",
+            h.p.node_b,
+            &["scheme-handover", "fault-loss", "fault-blackout"][..],
+        ),
+    ] {
+        let rec = h.p.fabric.recorder(node);
+        let events = rec.events();
+        assert!(!events.is_empty(), "node {name} recorded nothing");
+        for w in events.windows(2) {
+            assert!(
+                w[0].at_ps <= w[1].at_ps,
+                "node {name} stamps must be monotone: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        let tl = rec.timeline(usize::MAX);
+        for pat in want {
+            assert!(
+                tl.contains(pat),
+                "node {name} timeline is missing `{pat}`:\n{tl}"
+            );
+        }
+    }
+    eprintln!("forensics demo:{}", forensics(&h));
 }
 
 /// Acceptance demo 3: a 40 MiB transfer whose receiver crashes roughly
@@ -1002,10 +1173,11 @@ fn run_handshake(case_key: u64) -> Result<(String, u64), String> {
     const LIMIT: u64 = 120_000_000;
     h.run(LIMIT);
 
+    let dump = forensics(&h);
     let err = |msg: String| {
         Err(format!(
             "{msg} [dup={dup:.3} reorder=({rp:.3},{span}) crash_at={at:?} dead={dead:?} \
-             resumed={}]",
+             resumed={}]{dump}",
             fired.get()
         ))
     };

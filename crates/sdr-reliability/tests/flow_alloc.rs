@@ -1,18 +1,21 @@
 //! Allocation accounting for the many-flow engine's hot paths.
 //!
 //! The steady-state primitives a 10k-flow node leans on every tick — the
-//! DRR arbiter, the due-deadline index, and the per-chunk RTO timers —
-//! must allocate **nothing** once warm: 10k flows × an alloc per tick is
-//! an allocator bench, not a flow engine. Control datagrams inherently
-//! allocate (each encodes into a fresh buffer), so the end-to-end check
-//! asserts *no growth*: a second identical flow window allocates no more
-//! than the first (which still pays one-time warm-up).
+//! DRR arbiter, the due-deadline index, the per-chunk RTO timers, and the
+//! `sdr-trace` instrumentation riding on all of them — must allocate
+//! **nothing** once warm: 10k flows × an alloc per tick is an allocator
+//! bench, not a flow engine. Metric increments are relaxed atomic ops on
+//! pre-registered handles and flight-recorder events overwrite a
+//! pre-reserved ring, so tracing stays on throughout (the RTO suite runs
+//! with a bound recorder, as it does in production). Control datagrams
+//! inherently allocate (each encodes into a fresh buffer), so the
+//! end-to-end check asserts *no growth*: a second identical flow window
+//! allocates no more than the first (which still pays one-time warm-up).
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use sdr_core::testkit::pattern;
@@ -20,20 +23,34 @@ use sdr_core::{SdrConfig, SdrContext};
 use sdr_reliability::flow::{DueIndex, FlowKey, WorkItem, PARITY_TAG};
 use sdr_reliability::runtime::ChunkTimers;
 use sdr_reliability::{ControlEndpoint, DrrArbiter, FlowCfg, FlowManager};
-use sdr_sim::{Engine, Fabric, LinkConfig, SimTime};
+use sdr_sim::{
+    set_trace_enabled, Engine, EventKind, Fabric, FlightRecorder, LinkConfig, Registry, SimTime,
+};
 
-/// Counts allocations while `ENABLED`; forwards everything to the system
-/// allocator.
+/// Counts the *measuring thread's* allocations while enabled; forwards
+/// everything to the system allocator. Thread-local so concurrently
+/// running harness threads (test output capture, other tests) never bleed
+/// into a measured section.
 struct CountingAlloc;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    static T_ENABLED: Cell<bool> = const { Cell::new(false) };
+    static T_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// `try_with`: allocator calls can outlive this thread's TLS (teardown);
+/// those late allocations are simply not counted.
+fn tally() {
+    let _ = T_ENABLED.try_with(|e| {
+        if e.get() {
+            let _ = T_ALLOCS.try_with(|a| a.set(a.get() + 1));
+        }
+    });
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ENABLED.load(Ordering::Relaxed) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
+        tally();
         unsafe { System.alloc(layout) }
     }
 
@@ -42,9 +59,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if ENABLED.load(Ordering::Relaxed) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
+        tally();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -52,16 +67,15 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
 
-/// Tests in one binary run concurrently; the counter is process-global, so
-/// every measured section holds this lock.
+/// Serializes the heavyweight measured sections (they share one machine).
 static MEASURE: Mutex<()> = Mutex::new(());
 
 fn count_allocs(f: impl FnOnce()) -> u64 {
-    ALLOCS.store(0, Ordering::SeqCst);
-    ENABLED.store(true, Ordering::SeqCst);
+    T_ALLOCS.with(|a| a.set(0));
+    T_ENABLED.with(|e| e.set(true));
     f();
-    ENABLED.store(false, Ordering::SeqCst);
-    ALLOCS.load(Ordering::SeqCst)
+    T_ENABLED.with(|e| e.set(false));
+    T_ALLOCS.with(|a| a.get())
 }
 
 #[test]
@@ -124,7 +138,17 @@ fn warm_due_index_allocates_nothing() {
 #[test]
 fn chunk_timers_service_allocates_nothing() {
     let _g = MEASURE.lock().unwrap();
+    // Tracing on, with a recorder bound exactly as the flow manager binds
+    // one per flow: every RTO expiry below also records rto-fire /
+    // rto-backoff events, and those must be free too. Warm the ring past
+    // its wrap point so recording is pure in-place overwrite.
+    set_trace_enabled(true);
+    let rec = FlightRecorder::new(256);
+    for i in 0..300u64 {
+        rec.record(i, EventKind::RtoFire, 0, 0);
+    }
     let mut timers = ChunkTimers::new(256);
+    timers.set_trace(rec, 7);
     for c in 0..256 {
         timers.record_sent(c, SimTime(1));
     }
@@ -140,7 +164,37 @@ fn chunk_timers_service_allocates_nothing() {
         }
         assert!(sink > 0, "expiries must actually fire");
     });
-    assert_eq!(n, 0, "warm RTO service must not allocate");
+    assert_eq!(n, 0, "warm RTO service (tracing on) must not allocate");
+}
+
+#[test]
+fn warm_metric_increments_allocate_nothing() {
+    let _g = MEASURE.lock().unwrap();
+    // Registration allocates (it names slots in a shared map) and happens
+    // once at setup; the warm path below is what every tick pays.
+    set_trace_enabled(true);
+    let reg = Registry::new();
+    let c = reg.counter("t.counter");
+    let g = reg.gauge("t.gauge");
+    let h = reg.histogram("t.hist");
+    let rec = FlightRecorder::new(512);
+    // Past the wrap point: ring writes are in-place overwrites.
+    for i in 0..600u64 {
+        rec.record(i, EventKind::SchemeStart, i, 0);
+    }
+    let n = count_allocs(|| {
+        for i in 0..10_000u64 {
+            c.inc();
+            c.add(3);
+            g.set(i as i64);
+            h.record(i * 37 % 1_000_000);
+            rec.record(i, EventKind::RtoFire, i, 1);
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "warm counter/gauge/histogram/recorder cycles must not allocate"
+    );
 }
 
 #[test]

@@ -103,6 +103,36 @@ fn run_flows(link: LinkConfig, cfg: FlowCfg, sizes: &[u64], event_limit: u64) ->
         let got = w.ctx_b.read_buffer(done.addr, len as usize);
         assert_eq!(got, pattern(len as usize, i as u64), "flow {id} corrupt");
     }
+    // The manager's aggregate bookkeeping (`FlowStats`, maintained once
+    // at completion time) must agree with a walk of the per-flow
+    // `FlowReport`s — benches read the former, so any drift between the
+    // two would silently skew every published number.
+    let st = w.mgr_a.stats();
+    assert_eq!(st.tx_done as usize, reports.len(), "tx_done vs reports");
+    assert_eq!(
+        st.delivered,
+        reports.values().filter(|r| r.delivered).count() as u64,
+        "FlowStats.delivered vs FlowReport walk"
+    );
+    assert_eq!(
+        st.bytes_delivered,
+        reports
+            .values()
+            .filter(|r| r.delivered)
+            .map(|r| r.bytes)
+            .sum::<u64>(),
+        "FlowStats.bytes_delivered vs FlowReport walk"
+    );
+    assert_eq!(
+        st.retransmits,
+        reports.values().map(|r| r.retransmits).sum::<u64>(),
+        "FlowStats.retransmits vs FlowReport walk"
+    );
+    assert_eq!(
+        st.open_retries,
+        reports.values().map(|r| u64::from(r.open_retries)).sum(),
+        "FlowStats.open_retries vs FlowReport walk (all delivered)"
+    );
     drop((reports, rx));
     let (tx_live, rx_live) = w.mgr_a.live_flows();
     assert_eq!((tx_live, rx_live), (0, 0), "sender must fully drain");

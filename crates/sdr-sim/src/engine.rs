@@ -35,6 +35,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::OnceLock;
 
+use sdr_trace::{Counter, Registry};
+
 use crate::equeue::{Body, EventQueue, QueueKind, TimerHandle};
 use crate::time::SimTime;
 
@@ -78,6 +80,13 @@ pub struct Engine {
     /// tests. `u64::MAX` by default. Cancelled events are never charged.
     event_limit: u64,
     stopped: bool,
+    /// Substrate metrics (`engine.*`): every dispatch bumps
+    /// `engine.events`, and the wheel backend records each cascade's level
+    /// into the `engine.cascade_depth` histogram. Kill-switch gated like
+    /// all `sdr-trace` handles.
+    metrics: Registry,
+    /// Bound handle for `engine.events` (no registry lookup per dispatch).
+    ev_counter: Counter,
 }
 
 impl Default for Engine {
@@ -96,18 +105,30 @@ impl Engine {
     /// Creates an engine pinned to a specific queue backend (for
     /// differential tests and A/B benchmarks).
     pub fn with_queue(kind: QueueKind) -> Self {
+        let metrics = Registry::new();
+        let ev_counter = metrics.counter("engine.events");
+        let mut q = EventQueue::new(kind);
+        q.set_cascade_hist(metrics.histogram("engine.cascade_depth"));
         Engine {
             now: SimTime::ZERO,
-            q: EventQueue::new(kind),
+            q,
             executed: 0,
             event_limit: u64::MAX,
             stopped: false,
+            metrics,
+            ev_counter,
         }
     }
 
     /// The queue backend this engine runs on.
     pub fn queue_kind(&self) -> QueueKind {
         self.q.kind()
+    }
+
+    /// The engine's metrics registry (`engine.events` counter,
+    /// `engine.cascade_depth` histogram).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Current simulation time.
@@ -245,6 +266,7 @@ impl Engine {
         debug_assert!(at >= self.now.as_picos());
         self.now = SimTime(at);
         self.executed += 1;
+        self.ev_counter.inc();
         match body {
             // One-shots free their node *before* running so a self-cancel
             // from within the body sees a stale handle (and the slot is

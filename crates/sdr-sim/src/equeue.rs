@@ -74,6 +74,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
 
+use sdr_trace::Histogram;
+
 use crate::engine::Engine;
 use crate::time::SimTime;
 
@@ -245,6 +247,10 @@ pub(crate) struct EventQueue {
     live: usize,
     seq: u64,
     backend: Backend,
+    /// Level of each wheel cascade (`engine.cascade_depth`): how far up
+    /// the hierarchy the due-scan had to reach. Bound by the engine at
+    /// construction; recording is kill-switch gated inside `sdr-trace`.
+    cascade: Option<Histogram>,
 }
 
 impl EventQueue {
@@ -261,7 +267,14 @@ impl EventQueue {
                 QueueKind::Wheel => Backend::Wheel(Box::new(Wheel::new())),
                 QueueKind::Heap => Backend::Heap(BinaryHeap::new()),
             },
+            cascade: None,
         }
+    }
+
+    /// Binds the cascade-depth histogram (wheel backend only; the heap
+    /// never cascades and records nothing).
+    pub(crate) fn set_cascade_hist(&mut self, h: Histogram) {
+        self.cascade = Some(h);
     }
 
     pub(crate) fn kind(&self) -> QueueKind {
@@ -617,6 +630,9 @@ impl EventQueue {
                         }
                     }
                     cur = next;
+                }
+                if let Some(h) = &self.cascade {
+                    h.record(level as u64);
                 }
                 cascaded = true;
                 break;

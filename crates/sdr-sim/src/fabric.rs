@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
+use sdr_trace::{EventKind, FlightRecorder, Registry};
 
 use crate::engine::Engine;
 use crate::equeue::TimerHandle;
@@ -86,6 +87,12 @@ pub struct Fabric {
     /// Restart observers, outside `inner` so a hook can re-enter the
     /// fabric freely.
     restart_hooks: Rc<RefCell<HashMap<NodeId, RestartHook>>>,
+    /// Stack-wide metrics registry (`link.*` wire counters here; the
+    /// layers above register their own `ctrl.*`/`flow.*`/… families).
+    metrics: Registry,
+    /// One flight recorder per node, created in [`add_node`](Self::add_node);
+    /// every layer on that node records into the same ring.
+    recorders: Rc<RefCell<Vec<FlightRecorder>>>,
 }
 
 impl Default for Fabric {
@@ -101,6 +108,9 @@ enum PumpAct {
     Retarget(TimerHandle, SimTime),
 }
 
+/// Events each node's flight recorder retains (the forensic window).
+const RECORDER_CAPACITY: usize = 1024;
+
 impl Fabric {
     /// Creates an empty fabric.
     pub fn new() -> Self {
@@ -113,7 +123,22 @@ impl Fabric {
                 restart_drops: Vec::new(),
             })),
             restart_hooks: Rc::new(RefCell::new(HashMap::new())),
+            metrics: Registry::new(),
+            recorders: Rc::new(RefCell::new(Vec::new())),
         }
+    }
+
+    /// The fabric's metrics registry: `link.*` wire counters live here,
+    /// and the reliability layers register their own families into it so
+    /// one snapshot covers the whole stack.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The flight recorder of `id` (a cheap shared handle). Every layer
+    /// running on that node records into the same fixed-capacity ring.
+    pub fn recorder(&self, id: NodeId) -> FlightRecorder {
+        self.recorders.borrow()[id.0 as usize].clone()
     }
 
     /// Adds a node with `mem_capacity` bytes of memory.
@@ -124,6 +149,9 @@ impl Fabric {
         inner.incarnations.push(0);
         inner.attached.push(true);
         inner.restart_drops.push(0);
+        self.recorders
+            .borrow_mut()
+            .push(FlightRecorder::new(RECORDER_CAPACITY));
         id
     }
 
@@ -144,6 +172,15 @@ impl Fabric {
             inner.incarnations[idx] += 1;
             inner.attached[idx] = false;
             inner.nodes[idx].reset_volatile();
+            let rec = &self.recorders.borrow()[idx];
+            let now = eng.now().as_picos();
+            rec.record(now, EventKind::FaultRestart, id.0 as u64, dead_time.0);
+            rec.record(
+                now,
+                EventKind::Incarnation,
+                id.0 as u64,
+                inner.incarnations[idx] as u64,
+            );
         }
         let fab = self.clone();
         eng.schedule_in(dead_time, move |_| {
@@ -184,7 +221,8 @@ impl Fabric {
     /// installing nothing) when the configuration is invalid — a loss
     /// probability outside `[0, 1]`, or zero paths.
     pub fn try_link(&self, a: NodeId, b: NodeId, cfg: LinkConfig) -> Result<(), String> {
-        let link = Link::try_new(cfg)?;
+        let mut link = Link::try_new(cfg)?;
+        link.bind_metrics(&self.metrics);
         self.inner.borrow_mut().links.insert((a, b), link);
         Ok(())
     }
@@ -333,6 +371,18 @@ impl Fabric {
         }
     }
 
+    /// Records a fault-injection event into both endpoints' recorders —
+    /// a link fault is observable (and forensically relevant) from either
+    /// side.
+    fn record_fault(&self, at: SimTime, a: NodeId, b: NodeId, kind: EventKind, pa: u64, pb: u64) {
+        let recs = self.recorders.borrow();
+        for id in [a, b] {
+            if let Some(r) = recs.get(id.0 as usize) {
+                r.record(at.as_picos(), kind, pa, pb);
+            }
+        }
+    }
+
     /// Schedules a [`FaultPlan`] against the link `a → b` (both directions
     /// when the plan is duplex). Each event rides one cancellable engine
     /// timer — a multi-phase event (blackout heal, flap cycles, drift
@@ -355,7 +405,8 @@ impl Fabric {
         for ev in plan.events.iter().cloned() {
             let fab = self.clone();
             let h = match ev {
-                FaultEvent::SetLoss { at, model } => eng.schedule_recurring_at(at, move |_| {
+                FaultEvent::SetLoss { at, model } => eng.schedule_recurring_at(at, move |eng| {
+                    fab.record_fault(eng.now(), a, b, EventKind::FaultLoss, 0, 0);
                     fab.fault_set_loss(a, b, duplex, model.clone());
                     None
                 }),
@@ -363,10 +414,26 @@ impl Fabric {
                     let mut healed = false;
                     eng.schedule_recurring_at(at, move |eng| {
                         if healed {
+                            fab.record_fault(
+                                eng.now(),
+                                a,
+                                b,
+                                EventKind::FaultBlackout,
+                                0,
+                                duration.0,
+                            );
                             fab.fault_set_down(a, b, duplex, false);
                             None
                         } else {
                             healed = true;
+                            fab.record_fault(
+                                eng.now(),
+                                a,
+                                b,
+                                EventKind::FaultBlackout,
+                                1,
+                                duration.0,
+                            );
                             fab.fault_set_down(a, b, duplex, true);
                             Some(eng.now().saturating_add(duration))
                         }
@@ -382,6 +449,14 @@ impl Fabric {
                     let mut fired = 0u32;
                     eng.schedule_recurring_at(at, move |eng| {
                         let going_down = fired.is_multiple_of(2);
+                        fab.record_fault(
+                            eng.now(),
+                            a,
+                            b,
+                            EventKind::FaultFlap,
+                            going_down as u64,
+                            (total - fired) as u64 / 2,
+                        );
                         fab.fault_set_down(a, b, duplex, going_down);
                         fired += 1;
                         if fired >= total {
@@ -425,6 +500,14 @@ impl Fabric {
                         let phase = (fired % steps) as f64 / steps as f64;
                         let tri = 1.0 - (2.0 * phase - 1.0).abs();
                         let p = floor_p * (peak_p / floor_p).powf(tri);
+                        fab.record_fault(
+                            eng.now(),
+                            a,
+                            b,
+                            EventKind::FaultDrift,
+                            fired as u64,
+                            (p * 1e6) as u64,
+                        );
                         fired += 1;
                         if fired >= total {
                             fab.fault_set_loss(a, b, duplex, LossModel::Iid { p: floor_p });

@@ -65,6 +65,9 @@ pub mod rc;
 pub mod time;
 
 pub use engine::{shared, Engine, Shared};
+// The observability substrate: the engine owns an `engine.*` registry,
+// the fabric owns the stack-wide registry plus one flight recorder per
+// node. Re-exported so layers above need no direct `sdr-trace` import.
 pub use equeue::{QueueKind, TimerHandle};
 pub use fabric::{Fabric, PostError, WriteWr};
 pub use fault::{FaultEvent, FaultHandle, FaultPlan, RestartSide};
@@ -75,6 +78,10 @@ pub use nic::{Cq, Cqe, CqeOp, Mr, Node, NodeStats, QpType, RecvWqe, Waker};
 pub use packet::{CqId, MkeyId, NodeId, Packet, PacketKind, QpAddr, QpNum, WriteSeg};
 pub use queue::{BottleneckQueue, OnOffConfig, OnOffSource, QueueStats};
 pub use rc::{RcConfig, RcEndpoint, RcStats};
+pub use sdr_trace::{
+    enabled as trace_enabled, set_enabled as set_trace_enabled, Counter, Event, EventKind,
+    FlightRecorder, Gauge, Histogram, Registry, Snapshot,
+};
 pub use time::{
     propagation_delay_km, rtt_from_km, tx_time, SimTime, C_LIGHT_M_PER_S, PS_PER_MS, PS_PER_NS,
     PS_PER_S, PS_PER_US,

@@ -27,6 +27,7 @@ use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sdr_trace::{Counter, Registry};
 
 use crate::equeue::TimerHandle;
 use crate::loss::{LossModel, LossProcess};
@@ -179,6 +180,30 @@ pub struct LinkStats {
     pub reordered: u64,
 }
 
+/// Registry-bound aggregate wire counters (`link.*`): every link of a
+/// fabric shares the same handles, so they sum across links. Mirrors the
+/// per-link [`LinkStats`]; increments are kill-switch gated inside
+/// `sdr-trace` and never allocate.
+pub(crate) struct LinkTrace {
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    reordered: Counter,
+}
+
+impl LinkTrace {
+    pub(crate) fn new(reg: &Registry) -> LinkTrace {
+        LinkTrace {
+            sent: reg.counter("link.sent"),
+            delivered: reg.counter("link.delivered"),
+            dropped: reg.counter("link.dropped"),
+            duplicated: reg.counter("link.duplicated"),
+            reordered: reg.counter("link.reordered"),
+        }
+    }
+}
+
 /// Outcome of handing one packet to [`Link::enqueue`]: the wire schedule
 /// the packet was given. Whether it actually arrives is decided by the
 /// loss process at delivery time ([`Link::pop_due`]), so a mid-flight
@@ -209,6 +234,9 @@ pub struct Link {
     /// instant is dropped (without consuming the loss process's RNG
     /// stream, so the post-heal drop pattern is unperturbed).
     down: bool,
+    /// Fabric-wide registry counters, bound when the link is installed
+    /// into a [`Fabric`](crate::Fabric) (absent for standalone links).
+    trace: Option<LinkTrace>,
 }
 
 impl Link {
@@ -246,7 +274,13 @@ impl Link {
             pending: VecDeque::new(),
             drain: None,
             down: false,
+            trace: None,
         })
+    }
+
+    /// Binds the fabric-wide `link.*` registry counters (see [`LinkTrace`]).
+    pub(crate) fn bind_metrics(&mut self, reg: &Registry) {
+        self.trace = Some(LinkTrace::new(reg));
     }
 
     /// Builds a link from its configuration.
@@ -299,6 +333,9 @@ impl Link {
         self.next_free[path] = start + serialize;
         self.stats.sent += 1;
         self.stats.bytes += wire_bytes;
+        if let Some(t) = &self.trace {
+            t.sent.inc();
+        }
 
         let mut arrival = self.next_free[path] + self.cfg.one_way_delay;
         if let Some(jitter) = self.cfg.reorder_jitter {
@@ -312,6 +349,9 @@ impl Link {
             let span = self.rng.random_range(1..=self.cfg.reorder_span) as u64;
             arrival += serialize * span;
             self.stats.reordered += 1;
+            if let Some(t) = &self.trace {
+                t.reordered.inc();
+            }
         }
         // Wire duplication: a second copy trails the original by one
         // serialization quantum and draws its own delivery fate.
@@ -319,6 +359,10 @@ impl Link {
             let copy_at = arrival + serialize;
             self.stats.sent += 1;
             self.stats.duplicated += 1;
+            if let Some(t) = &self.trace {
+                t.sent.inc();
+                t.duplicated.inc();
+            }
             self.file_arrival(copy_at, pkt.clone());
         }
         self.file_arrival(arrival, pkt);
@@ -351,9 +395,15 @@ impl Link {
             let (_, pkt) = self.pending.pop_front().expect("front checked");
             if self.down || self.loss.drops_next() {
                 self.stats.dropped += 1;
+                if let Some(t) = &self.trace {
+                    t.dropped.inc();
+                }
                 continue;
             }
             self.stats.delivered += 1;
+            if let Some(t) = &self.trace {
+                t.delivered.inc();
+            }
             return Some(pkt);
         }
         None
@@ -370,6 +420,9 @@ impl Link {
     pub fn drop_in_flight(&mut self) -> usize {
         let n = self.pending.len();
         self.stats.dropped += n as u64;
+        if let Some(t) = &self.trace {
+            t.dropped.add(n as u64);
+        }
         self.pending.clear();
         n
     }
