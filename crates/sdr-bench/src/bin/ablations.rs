@@ -48,6 +48,7 @@ fn epsn_ablation(p_drop: f64, jitter_us: u64, per_packet: bool, seed: u64) -> (u
             remote_offset: 0,
             data: msg.clone(),
             imm: Some(1),
+            crc: None,
             wr_id: 0,
             signaled: false,
         };

@@ -14,10 +14,17 @@
 //! `sdr-trace` registry the engine exports, so the published survival
 //! numbers and the filter counters can never drift apart.
 //!
+//! A second sweep replaces the scripted faults with a bit-flipping wire
+//! (corruption density 0 → 1e-4 per bit) and reports what the integrity
+//! machinery absorbed: packets the link corrupted (`link.corrupted`),
+//! payloads the NIC refused to DMA (`crc_skipped`), control datagrams the
+//! CRC32C trailer dropped (`ctrl.corrupt`).
+//!
 //! Every case — survivor or not — must still satisfy the dichotomy:
 //! terminal reports on both ends, a fully drained engine, every receive
-//! slot released exactly once, zero malformed control datagrams. A
-//! violation aborts the binary.
+//! slot released exactly once, zero malformed control datagrams, and
+//! delivery (even a partial one cut by the deadline) always lands
+//! byte-identical — silent corruption aborts the binary.
 //!
 //! Emits machine-readable `BENCH_chaos.json`. `SDR_BENCH_SMOKE=1` runs a
 //! reduced matrix for CI; `CHAOS_BENCH_CASES=<n>` pins the per-bucket
@@ -146,10 +153,17 @@ struct CaseWire {
     ctrl_stale: u64,
     /// Control datagrams dropped as duplicates/replays.
     ctrl_dupes: u64,
+    /// Control datagrams dropped by the CRC32C trailer.
+    ctrl_corrupt: u64,
     /// Wire-level packet duplications injected by the link.
     link_dup: u64,
     /// Wire-level packet displacements injected by the link.
     link_reorder: u64,
+    /// Wire-level packets the link flipped bits in.
+    link_corrupt: u64,
+    /// Write payloads whose checksum failed at the NIC: the DMA was
+    /// suppressed, the packet became a loss (summed over both nodes).
+    nic_crc_skipped: u64,
     /// `{"fabric": .., "engine": ..}` registry snapshot of this case.
     snapshot: String,
 }
@@ -158,14 +172,17 @@ impl CaseWire {
     fn accumulate(&mut self, other: &CaseWire) {
         self.ctrl_stale += other.ctrl_stale;
         self.ctrl_dupes += other.ctrl_dupes;
+        self.ctrl_corrupt += other.ctrl_corrupt;
         self.link_dup += other.link_dup;
         self.link_reorder += other.link_reorder;
+        self.link_corrupt += other.link_corrupt;
+        self.nic_crc_skipped += other.nic_crc_skipped;
     }
 }
 
-/// Runs one seeded case at the given fault density; panics on any
-/// dichotomy violation (the bench is also a gate).
-fn run_case(key: u64, density: u32) -> (CaseOutcome, CaseWire) {
+/// Runs one seeded case at the given fault density and per-bit corruption
+/// rate; panics on any dichotomy violation (the bench is also a gate).
+fn run_case(key: u64, density: u32, corrupt_p: f64) -> (CaseOutcome, CaseWire) {
     let mut rng = CaseRng::for_case(key);
     let initial = [
         SchemeSpec::SrNack,
@@ -199,6 +216,9 @@ fn run_case(key: u64, density: u32) -> (CaseOutcome, CaseWire) {
     }
     if let Some((rp, span)) = reorder {
         link = link.with_reordering(rp, span);
+    }
+    if corrupt_p > 0.0 {
+        link = link.with_corruption(corrupt_p);
     }
     let mut p = sdr_pair(link, qp_cfg(), 64 << 20);
     let rtt = p.fabric.rtt(p.node_a, p.node_b).unwrap();
@@ -298,8 +318,12 @@ fn run_case(key: u64, density: u32) -> (CaseOutcome, CaseWire) {
     let wire = CaseWire {
         ctrl_stale: reg.counter_value("ctrl.stale"),
         ctrl_dupes: reg.counter_value("ctrl.duplicates"),
+        ctrl_corrupt: reg.counter_value("ctrl.corrupt"),
         link_dup: reg.counter_value("link.duplicated"),
         link_reorder: reg.counter_value("link.reordered"),
+        link_corrupt: reg.counter_value("link.corrupted"),
+        nic_crc_skipped: p.fabric.node(p.node_a, |n| n.stats().crc_skipped)
+            + p.fabric.node(p.node_b, |n| n.stats().crc_skipped),
         snapshot: format!(
             "{{\"fabric\": {}, \"engine\": {}}}",
             reg.snapshot().to_json(),
@@ -327,8 +351,24 @@ fn run_case(key: u64, density: u32) -> (CaseOutcome, CaseWire) {
             }
             CaseOutcome::Survived(rx_done.as_secs_f64())
         }
-        (TransferOutcome::Delivered, TransferOutcome::Aborted { .. }) => {
-            panic!("case {key}: sender delivered while receiver aborted")
+        (TransferOutcome::Delivered, TransferOutcome::Aborted { reason: r, .. }) => {
+            // The sender's Delivered rides the final scheme ACK; the
+            // receiver's waits on the whole-message digest round trip. A
+            // deadline expiring inside that window is a clean abort — but
+            // the sender's Delivered implies every bitmap completed over
+            // the checksummed wire, so the landed bytes must already be
+            // identical (the zero-silent-corruption gate).
+            assert_eq!(
+                r,
+                AbortReason::Deadline,
+                "case {key}: sender delivered while receiver aborted ({r})"
+            );
+            assert_eq!(
+                p.ctx_b.read_buffer(dst, MSG as usize),
+                data,
+                "case {key}: receiver aborted mid-verification with corrupt bytes"
+            );
+            CaseOutcome::Aborted
         }
         (TransferOutcome::Aborted { reason: r, .. }, _) => {
             assert_ne!(
@@ -608,7 +648,7 @@ fn main() {
         for n in 0..cases {
             // Disjoint key ranges per bucket keep every case independent.
             let key = (u64::from(density) << 32) | n;
-            let (outcome, wire) = run_case(key, density);
+            let (outcome, wire) = run_case(key, density, 0.0);
             match outcome {
                 CaseOutcome::Survived(t) => done_ms.push(t * 1e3),
                 CaseOutcome::Aborted => aborted += 1,
@@ -659,6 +699,110 @@ fn main() {
             assert!(
                 rate >= 0.5,
                 "density {density}: survival collapsed to {rate:.2}"
+            );
+        }
+    }
+    json.push_str("  ],\n");
+
+    // ------------------------------------------------------------------
+    // Corruption-density sweep: a bit-flipping wire instead of scripted
+    // faults. The integrity machinery (control CRC trailers, the NIC's
+    // pre-DMA payload check, EC shard audits, the whole-message delivery
+    // digest) must turn every flip into a loss: each case either delivers
+    // byte-identical or aborts cleanly — silent corruption is the one
+    // outcome that can never appear, and run_case panics if it does. The
+    // row reports what the wire flipped (`link.corrupted`), what the NIC
+    // refused to DMA (`crc_skipped`), and what the control plane's CRC
+    // trailer dropped (`ctrl.corrupt`).
+    // ------------------------------------------------------------------
+    let corrupt_densities = [0.0_f64, 1e-6, 1e-5, 1e-4];
+    table_header(
+        "integrity vs per-bit corruption density (no scripted faults)",
+        &[
+            "flip/bit",
+            "cases",
+            "survived",
+            "rate",
+            "p50 ms",
+            "p99 ms",
+            "wire flips",
+            "nic drops",
+            "ctrl crc",
+        ],
+    );
+    json.push_str("  \"corruption_rows\": [\n");
+    for (i, &cp) in corrupt_densities.iter().enumerate() {
+        let mut done_ms: Vec<f64> = Vec::new();
+        let mut aborted = 0u64;
+        let mut bucket = CaseWire::default();
+        for n in 0..cases {
+            // Key space disjoint from the fault buckets (0–3) and the
+            // restart sweep (4).
+            let key = (8u64 << 32) | ((i as u64) << 24) | n;
+            let (outcome, wire) = run_case(key, 0, cp);
+            match outcome {
+                CaseOutcome::Survived(t) => done_ms.push(t * 1e3),
+                CaseOutcome::Aborted => aborted += 1,
+            }
+            bucket.accumulate(&wire);
+        }
+        done_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let survived = done_ms.len() as u64;
+        let rate = survived as f64 / cases as f64;
+        let (p50, p99) = if done_ms.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            (percentile(&done_ms, 0.50), percentile(&done_ms, 0.99))
+        };
+        let jnum = |v: f64| {
+            if v.is_nan() {
+                String::from("null")
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        table_row(&[
+            format!("{cp:.0e}"),
+            cases.to_string(),
+            survived.to_string(),
+            format!("{:.0}%", rate * 100.0),
+            fmt(p50),
+            fmt(p99),
+            bucket.link_corrupt.to_string(),
+            bucket.nic_crc_skipped.to_string(),
+            bucket.ctrl_corrupt.to_string(),
+        ]);
+        json.push_str(&format!(
+            "    {{\"corrupt_per_bit\": {cp:e}, \"cases\": {cases}, \"survived\": {survived}, \
+             \"survival_rate\": {rate:.3}, \"p50_ms\": {}, \"p99_ms\": {}, \
+             \"aborted\": {aborted}, \"link_corrupted\": {}, \"nic_crc_skipped\": {}, \
+             \"ctrl_corrupt\": {}}}{}\n",
+            jnum(p50),
+            jnum(p99),
+            bucket.link_corrupt,
+            bucket.nic_crc_skipped,
+            bucket.ctrl_corrupt,
+            if i == corrupt_densities.len() - 1 {
+                ""
+            } else {
+                ","
+            }
+        ));
+        if cp == 0.0 {
+            assert_eq!(survived, cases, "clean-wire bucket must fully survive");
+        } else {
+            // The sweep must actually exercise the guards: the wire
+            // flipped packets and the NIC caught data-plane flips before
+            // they reached memory. (Survival itself may legitimately fall
+            // to zero at the densest setting — corruption behaves as loss
+            // and the deadline does the rest.)
+            assert!(
+                bucket.link_corrupt > 0,
+                "corruption {cp:e}: the wire never flipped a packet"
+            );
+            assert!(
+                bucket.nic_crc_skipped > 0,
+                "corruption {cp:e}: no corrupt payload reached the pre-DMA check"
             );
         }
     }
@@ -747,9 +891,12 @@ fn main() {
          and degrades gently with density; the completion tail (p99)\n\
          stretches as blackouts and RTO backoff ramps push survivors\n\
          toward the deadline. Non-survivors abort cleanly — the dichotomy\n\
-         is asserted per case, so this bench doubles as a gate. The resume\n\
-         sweep re-sends 0% of already-delivered bytes: the manifest plan\n\
-         covers exactly the undelivered tail."
+         is asserted per case, so this bench doubles as a gate. On the\n\
+         corrupting wire, survival tracks the flip density (corruption is\n\
+         reclassified as loss, so dense flips turn into deadline aborts)\n\
+         while every delivery stays byte-identical. The resume sweep\n\
+         re-sends 0% of already-delivered bytes: the manifest plan covers\n\
+         exactly the undelivered tail."
     );
     std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
     println!("\nwrote BENCH_chaos.json");

@@ -24,6 +24,15 @@ pub struct SdrConfig {
     pub channels: usize,
     /// Number of message-ID generations for late-packet protection (§3.3.2).
     pub generations: usize,
+    /// End-to-end payload integrity: when set, every injected packet
+    /// carries a CRC32C over its payload (modeled as transport-header
+    /// content) and the receiver verifies each landing by memory
+    /// read-back before recording the packet — a corrupted packet is
+    /// reclassified as a *loss* (its bitmap bit stays clear), so the
+    /// ordinary NACK/RTO repair machinery heals it. Per-hop link CRCs
+    /// cannot provide this across a multi-hop WAN path. Off buys nothing
+    /// but an A/B baseline for the overhead gate.
+    pub payload_checksums: bool,
     /// Layout of the 32-bit transport immediate.
     pub imm: ImmLayout,
 }
@@ -37,6 +46,7 @@ impl Default for SdrConfig {
             chunk_bytes: 64 * 1024,
             channels: 2,
             generations: 4,
+            payload_checksums: true,
             imm: ImmLayout::default(),
         }
     }

@@ -112,4 +112,10 @@ pub struct SdrStats {
     pub cts_sent: u64,
     /// CTS control messages received.
     pub cts_received: u64,
+    /// CTS datagrams dropped for a CRC32C trailer mismatch (wire
+    /// corruption on the control path; healed by CTS resend).
+    pub cts_corrupt: u64,
+    /// Data packets whose landed payload failed checksum verification
+    /// and were reclassified as losses (bitmap bit left clear).
+    pub payload_corrupt: u64,
 }

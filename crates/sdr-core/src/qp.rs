@@ -29,8 +29,21 @@ use crate::imm::UserImmAccumulator;
 
 /// Number of pre-posted control receive buffers (CTS credits on the wire).
 const CTRL_RQ_DEPTH: usize = 64;
-/// Control message size: seq (u64) + buffer length (u64).
-const CTS_BYTES: usize = 16;
+/// Control message size: seq (u64) + buffer length (u64) + CRC32C trailer.
+const CTS_BYTES: usize = 20;
+
+/// Builds a CTS datagram: seq, length, and a CRC32C trailer over both.
+/// The control path rides unreliable UD across the same corrupting wire
+/// as the data path; a CTS that fails its checksum is dropped exactly
+/// like a lost one and healed by the receiver's resend cadence.
+fn seal_cts(seq: u64, len: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(CTS_BYTES);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&len.to_le_bytes());
+    let crc = sdr_erasure::crc32c(&payload);
+    payload.extend_from_slice(&crc.to_le_bytes());
+    payload
+}
 
 /// Out-of-band connection blob (the paper's `qp_info_get`): everything the
 /// peer needs to address this QP.
@@ -51,6 +64,15 @@ struct RecvSlot {
     active: bool,
     bitmap: Option<Arc<TwoLevelBitmap>>,
     imm_acc: UserImmAccumulator,
+    /// Base address of the posted user buffer; payload verification
+    /// reads landed bytes back from here.
+    buf_addr: u64,
+    /// CRC32C of each packet's payload as it was verified on arrival,
+    /// indexed by packet offset. Empty when payload checksums are off.
+    /// Erasure-coded receivers re-check staged shards against these
+    /// before decoding, catching corrupted wire duplicates that landed
+    /// after the original clean packet was recorded.
+    arrival_crcs: Vec<Option<u32>>,
     /// Kept for diagnostics; the datapath resolves through the root key.
     #[allow(dead_code)]
     buf_len: u64,
@@ -65,6 +87,8 @@ impl RecvSlot {
             active: false,
             bitmap: None,
             imm_acc: UserImmAccumulator::new(),
+            buf_addr: 0,
+            arrival_crcs: Vec::new(),
             buf_len: 0,
             buf_mkey: MkeyId(u32::MAX),
         }
@@ -313,6 +337,12 @@ impl SdrQp {
             active: true,
             bitmap: Some(bitmap),
             imm_acc: UserImmAccumulator::new(),
+            buf_addr: addr,
+            arrival_crcs: if i.cfg.payload_checksums {
+                vec![None; total_packets]
+            } else {
+                Vec::new()
+            },
             buf_len: len,
             buf_mkey,
         };
@@ -320,9 +350,7 @@ impl SdrQp {
 
         // Clear-to-send: order-based matching means seq + length suffice.
         let remote_ctrl = i.remote.as_ref().expect("checked").ctrl;
-        let mut payload = Vec::with_capacity(CTS_BYTES);
-        payload.extend_from_slice(&seq.to_le_bytes());
-        payload.extend_from_slice(&len.to_le_bytes());
+        let payload = seal_cts(seq, len);
         let ctrl_src = QpAddr {
             node: i.node,
             qp: i.ctrl_qp,
@@ -376,9 +404,7 @@ impl SdrQp {
             return Err(SdrError::BadHandle);
         }
         let remote_ctrl = i.remote.as_ref().ok_or(SdrError::NotConnected)?.ctrl;
-        let mut payload = Vec::with_capacity(CTS_BYTES);
-        payload.extend_from_slice(&hdl.seq.to_le_bytes());
-        payload.extend_from_slice(&slot.buf_len.to_le_bytes());
+        let payload = seal_cts(hdl.seq, slot.buf_len);
         let ctrl_src = QpAddr {
             node: i.node,
             qp: i.ctrl_qp,
@@ -449,6 +475,41 @@ impl SdrQp {
     /// True when every chunk of the receive has arrived.
     pub fn recv_is_complete(&self, hdl: &RecvHandle) -> Result<bool, SdrError> {
         Ok(self.recv_bitmap(hdl)?.is_complete())
+    }
+
+    /// Verifies `data` against the arrival checksums recorded for this
+    /// receive: `data` is split into MTU-sized pieces and piece `k` is
+    /// compared against the CRC32C stored when packet `first_pkt + k`
+    /// was accepted. Returns `false` on any mismatch — the caller is
+    /// holding bytes that no longer match what the wire delivered (a
+    /// corrupted duplicate landed after the clean original was
+    /// recorded). Vacuously `true` when payload checksums are disabled
+    /// or a piece's packet has no recorded arrival. Erasure-coded
+    /// receivers run staged survivor shards through this before
+    /// feeding them to the decoder.
+    pub fn verify_packet_range(
+        &self,
+        hdl: &RecvHandle,
+        first_pkt: usize,
+        data: &[u8],
+    ) -> Result<bool, SdrError> {
+        let i = self.inner.borrow();
+        let slot = &i.recv_slots[hdl.slot];
+        if slot.seq != hdl.seq {
+            return Err(SdrError::BadHandle);
+        }
+        if slot.arrival_crcs.is_empty() {
+            return Ok(true);
+        }
+        let mtu = i.cfg.mtu_bytes as usize;
+        for (k, piece) in data.chunks(mtu).enumerate() {
+            if let Some(Some(crc)) = slot.arrival_crcs.get(first_pkt + k) {
+                if sdr_erasure::crc32c(piece) != *crc {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
     }
 
     /// Marks a receive complete (`recv_complete`), possibly early: the root
@@ -682,6 +743,14 @@ impl SdrQp {
             if last {
                 st.outstanding_sig += 1;
             }
+            // End-to-end integrity: the per-packet payload CRC rides the
+            // modeled transport header (alongside the immediate), so wire
+            // payload corruption cannot touch it and the receiver can
+            // compare it against what actually landed.
+            let crc = i
+                .cfg
+                .payload_checksums
+                .then(|| sdr_erasure::crc32c(&payload));
             i.fabric.post_uc_write(
                 eng,
                 QpAddr {
@@ -693,6 +762,7 @@ impl SdrQp {
                     remote_offset: st.msg_id as u64 * i.cfg.max_msg_bytes + lo,
                     data: payload,
                     imm: Some(imm),
+                    crc,
                     wr_id: hdl.id,
                     signaled: last,
                 },
@@ -795,17 +865,19 @@ impl QpInner {
         if cqe.byte_len as usize != CTS_BYTES {
             return None;
         }
-        let (seq, len, wqe_addr) = {
+        let (seq, len, intact, wqe_addr) = {
             let addr = cqe.wr_id; // wr_id carries the buffer address
             let fabric = self.fabric.clone();
-            let (seq, len) = fabric.node(self.node, |n| {
+            let (seq, len, intact) = fabric.node(self.node, |n| {
                 let b = n.mem().read(addr, CTS_BYTES);
+                let crc = u32::from_le_bytes(b[16..20].try_into().expect("length checked"));
                 (
                     u64::from_le_bytes(b[0..8].try_into().expect("length checked")),
                     u64::from_le_bytes(b[8..16].try_into().expect("length checked")),
+                    sdr_erasure::crc32c(&b[..16]) == crc,
                 )
             });
-            (seq, len, addr)
+            (seq, len, intact, addr)
         };
         // Repost the control buffer.
         let (node, ctrl_qp) = (self.node, self.ctrl_qp);
@@ -819,6 +891,14 @@ impl QpInner {
                 },
             )
         });
+        if !intact {
+            // A corrupted CTS is indistinguishable from a lost one: drop
+            // it here and let the receiver's resend cadence heal the
+            // credit. Acting on a flipped seq/len would poison the
+            // order-based matching state.
+            self.stats.cts_corrupt += 1;
+            return None;
+        }
         self.cts_credits.insert(seq, len);
         self.stats.cts_received += 1;
         Some((seq, len))
@@ -863,6 +943,25 @@ impl QpInner {
         if pkt_offset as usize >= bitmap.total_packets() {
             self.stats.bad_offset += 1;
             return;
+        }
+        // End-to-end integrity: read the landed bytes back and compare
+        // their CRC32C against the sender's (carried in the modeled
+        // transport header). A mismatch reclassifies corruption as a
+        // *loss* — the bitmap bit stays clear, so the ordinary NACK/RTO
+        // repair machinery resends the packet. No corrupted payload is
+        // ever recorded as received.
+        if self.cfg.payload_checksums {
+            let base = slot.buf_addr + pkt_offset as u64 * self.cfg.mtu_bytes;
+            let landed = self.fabric.node(self.node, |n| {
+                sdr_erasure::crc32c(n.mem().read(base, cqe.byte_len as usize))
+            });
+            if let Some(wire) = cqe.crc {
+                if wire != landed {
+                    self.stats.payload_corrupt += 1;
+                    return;
+                }
+            }
+            slot.arrival_crcs[pkt_offset as usize] = Some(landed);
         }
         slot.imm_acc.absorb(&self.cfg.imm, pkt_offset, user_frag);
         let before = bitmap.packets().get(pkt_offset as usize);

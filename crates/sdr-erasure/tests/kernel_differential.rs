@@ -191,6 +191,85 @@ fn full_rs_encode_agrees_across_kernels() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// CRC32C tiers: the same cross-tier differential discipline for the
+// integrity primitive — every tier on this host must agree with a
+// bit-at-a-time Castagnoli reference on arbitrary windows and splits.
+// ---------------------------------------------------------------------------
+
+/// Deliberately naive bit-at-a-time CRC32C (reflected 0x82F63B78).
+fn crc32c_bitwise(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random length (0..~9 KiB, straddling the MTU-sized payload grain) ×
+    /// random head misalignment × a random incremental split: every CRC32C
+    /// tier equals the bitwise reference, one-shot and streamed. The
+    /// hardware tier walks qwords with a byte tail, so misaligned heads
+    /// and odd tails are distinct code paths exactly as in the GF(256)
+    /// kernels above.
+    #[test]
+    fn all_crc32c_tiers_match_bitwise_reference(
+        len in 0usize..9000,
+        head in 0usize..9,
+        cut in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let buf = random_bytes(&mut rng, head + len);
+        let window = &buf[head..];
+        let want = crc32c_bitwise(window);
+        let split = (cut * window.len() as f64) as usize;
+        for tier in sdr_erasure::Crc32c::all() {
+            prop_assert_eq!(
+                tier.checksum(window), want,
+                "tier={} len={} head={}", tier.name(), len, head
+            );
+            let mut h = sdr_erasure::Crc32cHasher::with_kernel(tier);
+            h.update(&window[..split]);
+            h.update(&window[split..]);
+            prop_assert_eq!(
+                h.finalize(), want,
+                "tier={} incremental split={} len={}", tier.name(), split, len
+            );
+        }
+    }
+}
+
+/// x86_64 hosts with SSE4.2 must register the hardware CRC tier — CI on
+/// such hosts must never silently differential-test slice8 against itself.
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn sse42_crc_tier_registered_when_host_supports_it() {
+    let host_has = std::arch::is_x86_feature_detected!("sse4.2");
+    assert_eq!(
+        sdr_erasure::Crc32c::by_name("sse42").is_some(),
+        host_has,
+        "sse42 CRC tier registration must match host feature detection"
+    );
+    if host_has {
+        let names: Vec<_> = sdr_erasure::Crc32c::all()
+            .iter()
+            .map(|k| k.name())
+            .collect();
+        assert_eq!(*names.last().unwrap(), "sse42");
+    }
+}
+
 /// Hosts advertising GFNI + AVX-512 must actually register the `gfni` tier
 /// — otherwise CI would silently fall back to AVX2 and the differential
 /// coverage above would never exercise the affine kernels.

@@ -312,6 +312,23 @@ pub enum CtrlMsg {
         /// Cumulative first-pass gaps.
         lost: u64,
     },
+    /// Receiver → sender: every segment's data has landed — what is the
+    /// whole-message CRC32C? Paced on the receiver's tick cadence until
+    /// the matching [`DigestState`](CtrlMsg::DigestState) arrives (either
+    /// direction may drop); duplicates are harmless — the sender always
+    /// answers from its cached digest.
+    DigestQuery,
+    /// Sender → receiver: the CRC32C over the entire posted message. The
+    /// receiver compares it against the bytes that actually landed:
+    /// equality is the end-to-end delivery proof; a mismatch means wire
+    /// corruption survived the packet-level checks (a corrupted duplicate
+    /// overwrote an already-recorded packet after its bit was set) and
+    /// the transfer aborts as [`AbortReason::Corrupt`] instead of
+    /// delivering silently wrong bytes.
+    DigestState {
+        /// CRC32C over the sender's whole message.
+        crc: u32,
+    },
 }
 
 const TAG_SR_ACK: u8 = 1;
@@ -330,6 +347,8 @@ const TAG_FLOW_OPEN: u8 = 13;
 const TAG_FLOW_ACK: u8 = 14;
 const TAG_FLOW_FIN: u8 = 15;
 const TAG_FLOW_DONE: u8 = 16;
+const TAG_DIGEST_QUERY: u8 = 17;
+const TAG_DIGEST_STATE: u8 = 18;
 
 fn abort_reason_to_wire(r: AbortReason) -> u8 {
     match r {
@@ -337,6 +356,7 @@ fn abort_reason_to_wire(r: AbortReason) -> u8 {
         AbortReason::Requested => 1,
         AbortReason::Peer => 2,
         AbortReason::Restart => 3,
+        AbortReason::Corrupt => 4,
     }
 }
 
@@ -346,6 +366,7 @@ fn abort_reason_from_wire(b: u8) -> Option<AbortReason> {
         1 => Some(AbortReason::Requested),
         2 => Some(AbortReason::Peer),
         3 => Some(AbortReason::Restart),
+        4 => Some(AbortReason::Corrupt),
         _ => None,
     }
 }
@@ -446,6 +467,11 @@ impl CtrlMsg {
                 b.put_u8(TAG_FLOW_DONE);
                 b.put_u64_le(*seen);
                 b.put_u64_le(*lost);
+            }
+            CtrlMsg::DigestQuery => b.put_u8(TAG_DIGEST_QUERY),
+            CtrlMsg::DigestState { crc } => {
+                b.put_u8(TAG_DIGEST_STATE);
+                b.put_u32_le(*crc);
             }
         }
         b.freeze()
@@ -595,6 +621,15 @@ impl CtrlMsg {
                 let seen = buf.get_u64_le();
                 let lost = buf.get_u64_le();
                 Some(CtrlMsg::FlowDone { seen, lost })
+            }
+            TAG_DIGEST_QUERY => Some(CtrlMsg::DigestQuery),
+            TAG_DIGEST_STATE => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                Some(CtrlMsg::DigestState {
+                    crc: buf.get_u32_le(),
+                })
             }
             _ => None,
         }
@@ -749,10 +784,18 @@ mod tests {
             CtrlMsg::Abort {
                 reason: AbortReason::Restart,
             },
+            CtrlMsg::Abort {
+                reason: AbortReason::Corrupt,
+            },
+            CtrlMsg::DigestQuery,
+            CtrlMsg::DigestState { crc: 0xE306_9283 },
         ];
         for msg in msgs {
             assert_eq!(CtrlMsg::decode(msg.encode()), Some(msg));
         }
+        // Truncated digest state is malformed.
+        let enc = CtrlMsg::DigestState { crc: 7 }.encode();
+        assert_eq!(CtrlMsg::decode(enc.slice(0..enc.len() - 1)), None);
     }
 
     #[test]

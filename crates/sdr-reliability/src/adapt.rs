@@ -257,6 +257,29 @@ fn segments(msg_bytes: u64, segment_bytes: u64) -> Vec<(u64, u64)> {
     out
 }
 
+/// CRC32C over the *whole message* `[base, base+len)`, streamed in
+/// buffer-sized reads. Deliberately message-scoped, not plan-scoped: a
+/// resume's plan covers only the undelivered remainder, but bytes
+/// delivered in a previous life were journaled at bitmap completion —
+/// *before* any digest verdict — so they are exactly as suspect as this
+/// life's. Both ends hold the full buffer in every life (the sender its
+/// source, the receiver its destination), so the full-range digest is
+/// always computable and always comparable.
+fn message_digest(ctx: &SdrContext, base: u64, len: u64) -> u32 {
+    let mut h = sdr_erasure::Crc32cHasher::new();
+    let mut scratch = vec![0u8; 256 * 1024];
+    let mut addr = base;
+    let mut left = len;
+    while left > 0 {
+        let n = scratch.len().min(left as usize);
+        ctx.read_buffer_into(addr, &mut scratch[..n]);
+        h.update(&scratch[..n]);
+        addr += n as u64;
+        left -= n as u64;
+    }
+    h.finalize()
+}
+
 /// SDR sends a segment consumes: one streaming send for the ARQ schemes,
 /// `2L` (data + parity submessages) for EC. The sender uses this to know
 /// each segment's first send sequence — and therefore which CTS credit
@@ -427,6 +450,9 @@ struct TxInner {
     ep: Rc<ControlEndpoint>,
     peer: QpAddr,
     local_addr: u64,
+    /// Full message length — the digest scope, which outlives any one
+    /// life's plan (see [`message_digest`]).
+    msg_bytes: u64,
     segs: Vec<(u64, u64)>,
     cfg: AdaptConfig,
     est: Rc<RefCell<ChannelEstimator>>,
@@ -452,6 +478,11 @@ struct TxInner {
     /// The armed deadline (cancelled at natural completion so the engine
     /// does not idle until a far-future no-op firing).
     deadline_timer: Option<TimerHandle>,
+    /// Whole-plan CRC32C of the source buffer, computed lazily on the
+    /// first [`CtrlMsg::DigestQuery`] and cached: the source bytes never
+    /// change, so one computation answers every duplicate query the
+    /// receiver paces while waiting for [`CtrlMsg::DigestState`].
+    digest: Option<u32>,
     /// Blackout edge state: set on the silence threshold crossing (with a
     /// one-time confidence decay), cleared when traffic resumes.
     in_blackout: bool,
@@ -505,6 +536,7 @@ impl AdaptiveController {
             ep,
             peer,
             local_addr,
+            msg_bytes,
             segs,
             initial,
             cfg,
@@ -545,6 +577,7 @@ impl AdaptiveController {
         ep: Rc<ControlEndpoint>,
         peer: QpAddr,
         local_addr: u64,
+        msg_bytes: u64,
         segs: Vec<(u64, u64)>,
         initial: SchemeSpec,
         cfg: AdaptConfig,
@@ -563,6 +596,7 @@ impl AdaptiveController {
             ep: ep.clone(),
             peer,
             local_addr,
+            msg_bytes,
             segs,
             cfg,
             est,
@@ -580,6 +614,7 @@ impl AdaptiveController {
             completion: Completion::new(done),
             ctl_timer: None,
             deadline_timer: None,
+            digest: None,
             in_blackout: false,
             g_loss,
             g_rtt,
@@ -921,8 +956,31 @@ impl AdaptiveController {
                 // ends report the same cause (and do not notify back).
                 Self::tx_abort(inner, eng, reason, false);
             }
+            CtrlMsg::DigestQuery => Self::tx_on_digest_query(inner, eng),
             _ => {}
         }
+    }
+
+    /// Answers the receiver's end-of-transfer digest probe from the
+    /// source buffer. The sender's own completion fires on the final ACK,
+    /// which races the query on an independent control path — the master
+    /// handler stays installed precisely so a late query is still
+    /// answered. Duplicates are free: the digest is computed once and
+    /// every re-query gets the cached value.
+    fn tx_on_digest_query(inner: &Rc<RefCell<TxInner>>, eng: &mut Engine) {
+        let (ep, peer, crc) = {
+            let mut i = inner.borrow_mut();
+            let crc = match i.digest {
+                Some(c) => c,
+                None => {
+                    let c = message_digest(&i.ctx, i.local_addr, i.msg_bytes);
+                    i.digest = Some(c);
+                    c
+                }
+            };
+            (i.ep.clone(), i.peer, crc)
+        };
+        ep.send(eng, peer, &CtrlMsg::DigestState { crc });
     }
 
     fn tx_on_switch_ack(inner: &Rc<RefCell<TxInner>>, eng: &mut Engine, seq: u32, epoch: u32) {
@@ -1391,7 +1449,24 @@ impl AdaptiveController {
         }
         let seg_ids = manifest.undelivered();
         if seg_ids.is_empty() {
-            // Everything already landed in a previous life.
+            // Everything already landed in a previous life — which can
+            // include a crash inside the *verification window* (every
+            // bitmap complete, digest verdict still pending). The resumed
+            // receiver re-verifies, so this sender must keep answering
+            // digest probes from the source buffer even though it has
+            // nothing to send. The answering handler replaces the resume
+            // handshake handler; late `ResumeState` duplicates fall
+            // through its catch-all.
+            let ctx = p.ctx.clone();
+            let (addr, len) = (p.local_addr, p.msg_bytes);
+            let answer_ep = ep.clone();
+            let mut cached: Option<u32> = None;
+            ep.set_handler(move |eng, src, msg| {
+                if let CtrlMsg::DigestQuery = msg {
+                    let crc = *cached.get_or_insert_with(|| message_digest(&ctx, addr, len));
+                    answer_ep.send(eng, src, &CtrlMsg::DigestState { crc });
+                }
+            });
             (p.done)(
                 eng,
                 AdaptReport {
@@ -1427,6 +1502,7 @@ impl AdaptiveController {
             ep,
             peer,
             p.local_addr,
+            p.msg_bytes,
             segs,
             p.initial,
             p.cfg,
@@ -1512,6 +1588,9 @@ struct RxInner {
     ep: Rc<ControlEndpoint>,
     peer: QpAddr,
     buf_addr: u64,
+    /// Full message length — the digest scope, which outlives any one
+    /// life's plan (see [`message_digest`]).
+    msg_bytes: u64,
     segs: Vec<(u64, u64)>,
     /// Plan-index (wire epoch) → original segment id in the manifest's
     /// full-message geometry. Identity on a fresh start; the undelivered
@@ -1546,6 +1625,18 @@ struct RxInner {
     /// Last applied handover (for idempotent re-acks of its proposal).
     committed: Option<(u32, u32, SchemeSpec)>,
     switches: u64,
+    /// End-of-transfer verification state: the CRC32C of the landed plan
+    /// bytes, computed when the last segment's bitmap completes. Delivered
+    /// is *not* declared at that point — a bitmap-complete buffer can
+    /// still hold corrupt bytes (a corrupted duplicate of an
+    /// already-recorded packet overwrites clean memory while its bit
+    /// stays set), so the receiver paces [`CtrlMsg::DigestQuery`] at the
+    /// housekeeping cadence until the sender's [`CtrlMsg::DigestState`]
+    /// arrives and compares. Match → Delivered; mismatch → both ends
+    /// abort with [`AbortReason::Corrupt`]. Stays `None` forever when
+    /// `payload_checksums` is off: the unverified baseline declares
+    /// Delivered straight from bitmap completion.
+    verifying: Option<u32>,
     done_at: Option<SimTime>,
     done_cb: Option<Box<dyn FnOnce(&mut Engine, SimTime, AdaptRecvReport)>>,
     /// The housekeeping loop's timer (cancelled on abort).
@@ -1672,12 +1763,14 @@ impl AdaptiveController {
         // sequence `resume_seq_base + k`, and the peer's k-th stream must
         // meet it.
         let resume_seq_base = qp.next_recv_seq();
+        let msg_bytes = manifest.msg_bytes();
         let inner = Rc::new(RefCell::new(RxInner {
             qp: qp.clone(),
             ctx: ctx.clone(),
             ep: ep.clone(),
             peer,
             buf_addr,
+            msg_bytes,
             segs,
             seg_ids,
             manifest,
@@ -1692,6 +1785,7 @@ impl AdaptiveController {
             pending: None,
             committed: None,
             switches: 0,
+            verifying: None,
             done_at: None,
             done_cb: Some(done),
             hk_timer: None,
@@ -1704,27 +1798,24 @@ impl AdaptiveController {
         ep.set_handler(move |eng, src, msg| Self::rx_on_ctrl(&me, eng, src, msg));
 
         // An already-complete plan (resume of a fully-delivered manifest):
-        // finish immediately. The master handler stays installed so the
-        // peer's ResumeQuery keeps getting its idempotent answer.
+        // nothing to receive, but the previous life journaled those
+        // deliveries at bitmap completion — possibly *before* any digest
+        // verdict, when the crash landed inside the verification window —
+        // so under payload checksums this life still verifies the landed
+        // bytes end-to-end before declaring Delivered (the housekeeping
+        // loop below paces the digest probes). Without checksums it
+        // finishes immediately. Either way the master handler stays
+        // installed so the peer's ResumeQuery keeps getting its
+        // idempotent answer.
         if inner.borrow().segs.is_empty() {
-            let cb = {
-                let mut i = inner.borrow_mut();
-                i.done_at = Some(eng.now());
-                i.done_cb.take()
-            };
-            if let Some(cb) = cb {
-                let report = AdaptRecvReport {
-                    segments: 0,
-                    switches: 0,
-                    outcome: TransferOutcome::Delivered,
-                };
-                cb(eng, eng.now(), report);
+            Self::rx_finish_or_verify(&inner, eng);
+            if inner.borrow().done_at.is_some() {
+                return AdaptiveReceiver { inner };
             }
-            return AdaptiveReceiver { inner };
+        } else {
+            // Fill the initial pipeline window.
+            Self::rx_fill_pipeline(&inner, eng);
         }
-
-        // Fill the initial pipeline window.
-        Self::rx_fill_pipeline(&inner, eng);
 
         // Housekeeping loop: telemetry reports, pipeline refills, quiescing
         // of drained predecessors.
@@ -1968,28 +2059,72 @@ impl AdaptiveController {
             i.done_segments as usize == i.segs.len()
         };
         if finished {
-            let (cb, timer) = {
-                let mut i = inner.borrow_mut();
-                i.done_at = Some(eng.now());
-                let report = AdaptRecvReport {
-                    segments: i.segs.len() as u32,
-                    switches: i.switches,
-                    outcome: TransferOutcome::Delivered,
-                };
-                (
-                    i.done_cb.take().map(|cb| (cb, report)),
-                    i.deadline_timer.take(),
-                )
-            };
-            if let Some(t) = timer {
-                eng.cancel(t);
-            }
-            if let Some((cb, report)) = cb {
-                cb(eng, eng.now(), report);
-            }
+            Self::rx_finish_or_verify(inner, eng);
         } else {
             // Completion freed pipeline budget.
             Self::rx_fill_pipeline(inner, eng);
+        }
+    }
+
+    /// Every segment's bitmap is complete — but under `payload_checksums`
+    /// that is a *claim*, not delivery: chunk-granular retransmits can
+    /// land a corrupted duplicate over an already-recorded packet, so the
+    /// landed bytes must be digest-checked against the source before
+    /// Delivered is declared. Computes the local digest, stores it as the
+    /// verifying state, and sends the first [`CtrlMsg::DigestQuery`] (the
+    /// housekeeping tick re-sends it until the answer lands — query and
+    /// answer cross the same corrupting wire as everything else). With
+    /// checksums off, delivery is declared straight away.
+    fn rx_finish_or_verify(inner: &Rc<RefCell<RxInner>>, eng: &mut Engine) {
+        let verify = {
+            let mut i = inner.borrow_mut();
+            if i.done_at.is_some() || i.verifying.is_some() {
+                return;
+            }
+            if i.qp.config().payload_checksums {
+                let crc = message_digest(&i.ctx, i.buf_addr, i.msg_bytes);
+                i.verifying = Some(crc);
+                true
+            } else {
+                false
+            }
+        };
+        if !verify {
+            Self::rx_deliver(inner, eng);
+            return;
+        }
+        let (ep, peer) = {
+            let i = inner.borrow();
+            (i.ep.clone(), i.peer)
+        };
+        ep.send(eng, peer, &CtrlMsg::DigestQuery);
+    }
+
+    /// Declares the transfer Delivered: fires the completion callback
+    /// exactly once and cancels the deadline. (The housekeeping timer
+    /// observes `done_at` on its next tick and stops itself.)
+    fn rx_deliver(inner: &Rc<RefCell<RxInner>>, eng: &mut Engine) {
+        let (cb, timer) = {
+            let mut i = inner.borrow_mut();
+            if i.done_at.is_some() {
+                return;
+            }
+            i.done_at = Some(eng.now());
+            let report = AdaptRecvReport {
+                segments: i.segs.len() as u32,
+                switches: i.switches,
+                outcome: TransferOutcome::Delivered,
+            };
+            (
+                i.done_cb.take().map(|cb| (cb, report)),
+                i.deadline_timer.take(),
+            )
+        };
+        if let Some(t) = timer {
+            eng.cancel(t);
+        }
+        if let Some((cb, report)) = cb {
+            cb(eng, eng.now(), report);
         }
     }
 
@@ -2044,6 +2179,31 @@ impl AdaptiveController {
             };
             for r in &quiesce {
                 r.quiesce(eng);
+            }
+            return;
+        }
+        if let CtrlMsg::DigestState { crc } = msg {
+            // The sender's whole-plan digest of its source buffer. The
+            // message itself crossed the checksummed control plane, so a
+            // corrupted copy was already dropped — what arrives here is
+            // trustworthy. Compare against the landed bytes: equal means
+            // end-to-end byte-identical delivery; different means
+            // corruption survived every packet-level check, and the only
+            // honest outcome is a clean abort on both ends.
+            let local = {
+                let i = inner.borrow();
+                if i.done_at.is_some() {
+                    return; // duplicate answer after the verdict
+                }
+                i.verifying
+            };
+            let Some(local) = local else {
+                return; // stray answer before verification started
+            };
+            if local == crc {
+                Self::rx_deliver(inner, eng);
+            } else {
+                Self::rx_abort(inner, eng, AbortReason::Corrupt, true);
             }
             return;
         }
@@ -2106,10 +2266,19 @@ impl AdaptiveController {
         if done {
             return Tick::Stop;
         }
-        let (ep, peer) = {
+        let (ep, peer, verifying) = {
             let i = inner.borrow();
-            (i.ep.clone(), i.peer)
+            (i.ep.clone(), i.peer, i.verifying.is_some())
         };
+        if verifying {
+            // Heal the digest handshake: query and answer are single
+            // datagrams over a lossy, corrupting wire, so re-ask at the
+            // housekeeping cadence until the verdict lands. Telemetry
+            // stops — every bitmap is complete, there is nothing left to
+            // estimate for.
+            ep.send(eng, peer, &CtrlMsg::DigestQuery);
+            return Tick::Again;
+        }
         ep.send(
             eng,
             peer,

@@ -44,6 +44,18 @@ const CTRL_BUF_BYTES: u64 = 2048;
 /// has long been superseded.
 const REPLAY_WINDOW: u32 = 128;
 
+/// Size of the CRC32C trailer sealing every control datagram.
+const CTRL_CRC_BYTES: usize = 4;
+
+/// Seals a stamped control frame with its CRC32C trailer (computed over
+/// stamp + body, appended little-endian). [`ControlEndpoint::send`] calls
+/// this on every outgoing datagram; it is public within the crate so
+/// tests injecting hand-built wire frames produce valid ones.
+pub(crate) fn seal_ctrl_frame(frame: &mut BytesMut) {
+    let crc = sdr_erasure::crc32c(frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+}
+
 /// Replay state for one `(peer, transfer)` stream.
 #[derive(Clone, Copy, Debug)]
 struct PeerFilter {
@@ -119,6 +131,11 @@ pub struct CtrlFilterStats {
     pub duplicates: u64,
     /// Datagrams that failed to parse (truncated stamp or body).
     pub malformed: u64,
+    /// Datagrams whose CRC32C trailer failed verification (wire
+    /// corruption). Dropped before the replay filter — a frame that
+    /// fails its checksum carries no trustworthy bits at all, not even
+    /// the stamp.
+    pub corrupt: u64,
 }
 
 /// Handler invoked per received control message: `(engine, src, message)`.
@@ -220,10 +237,11 @@ impl ControlEndpoint {
         // Registry mirrors of the filter drop counters, summed across
         // every endpoint of the fabric (satellite: these were collected
         // but never surfaced).
-        let trace: [Counter; 3] = [
+        let trace: [Counter; 4] = [
             fabric.metrics().counter("ctrl.stale"),
             fabric.metrics().counter("ctrl.duplicates"),
             fabric.metrics().counter("ctrl.malformed"),
+            fabric.metrics().counter("ctrl.corrupt"),
         ];
         fabric.node_mut(node, |n| {
             n.set_cq_waker(
@@ -234,7 +252,7 @@ impl ControlEndpoint {
                             continue;
                         }
                         let addr = cqe.wr_id;
-                        let mut payload = fab.node_mut(node, |n| {
+                        let payload = fab.node_mut(node, |n| {
                             let data =
                                 Bytes::copy_from_slice(n.mem().read(addr, cqe.byte_len as usize));
                             // Recycle the buffer immediately.
@@ -250,7 +268,27 @@ impl ControlEndpoint {
                         });
                         let src = cqe.src.expect("UD receive has a source");
                         let mut d = drp.get();
-                        // Stamp filter first: stale-incarnation traffic and
+                        // CRC32C trailer first: control rides the same
+                        // corrupting wire as data, and a frame that fails
+                        // its checksum carries no trustworthy bits at all
+                        // — not even the stamp — so it dies before the
+                        // replay filter and never reaches a handler.
+                        let n = payload.len();
+                        if n < CTRL_CRC_BYTES
+                            || sdr_erasure::crc32c(&payload[..n - CTRL_CRC_BYTES])
+                                != u32::from_le_bytes(
+                                    payload[n - CTRL_CRC_BYTES..]
+                                        .try_into()
+                                        .expect("length checked"),
+                                )
+                        {
+                            d.corrupt += 1;
+                            trace[3].inc();
+                            drp.set(d);
+                            continue;
+                        }
+                        let mut payload = payload.slice(0..n - CTRL_CRC_BYTES);
+                        // Stamp filter next: stale-incarnation traffic and
                         // duplicates die before the decoder even runs.
                         let Some(stamp) = CtrlStamp::decode_from(&mut payload) else {
                             d.malformed += 1;
@@ -407,9 +445,10 @@ impl ControlEndpoint {
             dst_inc: self.peer_inc.borrow().get(&dst).copied().unwrap_or(0),
             seq,
         };
-        let mut b = BytesMut::with_capacity(80);
+        let mut b = BytesMut::with_capacity(84);
         stamp.encode_into(&mut b);
         b.extend_from_slice(&msg.encode());
+        seal_ctrl_frame(&mut b);
         // Drop errors deliberately: an unroutable ACK behaves like a lost one.
         let _ = self
             .fabric
@@ -679,6 +718,70 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_datagrams_die_before_the_filter_and_handler() {
+        // A corrupting wire flips bits in control frames; every flipped
+        // frame must land in the `corrupt` class (the CRC trailer leaves
+        // no trustworthy bits, not even the stamp) and intact frames
+        // must keep flowing. No corrupted frame may reach a handler.
+        let mut eng = Engine::new();
+        let fabric = Fabric::new();
+        let a = fabric.add_node(1 << 20);
+        let b = fabric.add_node(1 << 20);
+        fabric.link(
+            a,
+            b,
+            // ~30 bytes/frame = 240 bits; at 2e-3/bit roughly 38% of
+            // frames take at least one flip.
+            LinkConfig::intra_dc(8e9)
+                .with_seed(17)
+                .with_corruption(2e-3),
+        );
+        fabric.link(b, a, LinkConfig::intra_dc(8e9));
+        let ep_a = ControlEndpoint::new(&fabric, a);
+        let ep_b = ControlEndpoint::new(&fabric, b);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        ep_b.set_handler(move |_eng, _src, msg| g.borrow_mut().push(msg));
+        const N: u64 = 400;
+        for i in 0..N {
+            ep_a.send(
+                &mut eng,
+                ep_b.addr(),
+                &CtrlMsg::GbnAck {
+                    cumulative: i as u32,
+                },
+            );
+        }
+        eng.run();
+        let stats = ep_b.filter_stats();
+        assert!(
+            stats.corrupt > 50,
+            "flipped frames must be classified corrupt: {stats:?}"
+        );
+        assert_eq!(stats.malformed, 0, "corruption never reads as malformed");
+        assert_eq!(
+            got.borrow().len() as u64 + stats.corrupt,
+            N,
+            "every frame is either delivered intact or dropped corrupt"
+        );
+        // Delivered frames are bit-exact: the cumulative values form a
+        // subsequence of what was sent.
+        let mut expect = 0u32;
+        for msg in got.borrow().iter() {
+            let CtrlMsg::GbnAck { cumulative } = msg else {
+                panic!("corrupted frame decoded as a different message");
+            };
+            assert!(*cumulative >= expect && *cumulative < N as u32);
+            expect = *cumulative + 1;
+        }
+        assert_eq!(
+            fabric.metrics().counter_value("ctrl.corrupt"),
+            stats.corrupt,
+            "registry mirror tracks the endpoint counter"
+        );
+    }
+
+    #[test]
     fn incarnation_bump_retires_the_old_life() {
         let mut eng = Engine::new();
         let fabric = Fabric::new();
@@ -710,9 +813,146 @@ mod tests {
         }
         .encode_into(&mut wire);
         wire.extend_from_slice(&CtrlMsg::GbnAck { cumulative: 3 }.encode());
+        seal_ctrl_frame(&mut wire);
         let _ = fabric.post_ud_send(&mut eng, ep_a.addr(), ep_b.addr(), wire.freeze(), None);
         eng.run();
         assert_eq!(got.borrow().len(), 2, "stale-incarnation datagram dropped");
         assert_eq!(ep_b.filter_stats().stale, 1);
+    }
+
+    mod mutation {
+        use super::*;
+        use crate::ack::SchemeSpec;
+        use crate::runtime::AbortReason;
+        use proptest::prelude::*;
+
+        /// A representative message for every codec shape: fixed-width,
+        /// variable-length vectors, nesting, and enum payloads.
+        fn sample_msg(sel: u64, x: u32) -> CtrlMsg {
+            match sel {
+                0 => CtrlMsg::SrAck {
+                    cumulative: x,
+                    window_start: x / 2,
+                    sack_bits: vec![x as u64, !(x as u64), 0x5555_AAAA],
+                    sack_len: 192,
+                    nacks: vec![x, x + 7, x + 13],
+                },
+                1 => CtrlMsg::EcAck,
+                2 => CtrlMsg::EcNack {
+                    failed: vec![x % 97, x % 89, x % 83],
+                },
+                3 => CtrlMsg::GbnAck { cumulative: x },
+                4 => CtrlMsg::Seg {
+                    epoch: x % 1024,
+                    inner: Box::new(CtrlMsg::GbnAck { cumulative: x }),
+                },
+                5 => CtrlMsg::SwitchPropose {
+                    seq: x % 64,
+                    epoch: x % 1024,
+                    spec: SchemeSpec::EcMds { k: 32, m: 8 },
+                },
+                6 => CtrlMsg::SwitchAck {
+                    seq: x % 64,
+                    epoch: x % 1024,
+                },
+                7 => CtrlMsg::Telemetry {
+                    seen: x as u64 * 3,
+                    lost: x as u64,
+                },
+                8 => CtrlMsg::Abort {
+                    reason: AbortReason::Deadline,
+                },
+                _ => CtrlMsg::DigestState { crc: x },
+            }
+        }
+
+        /// Deterministic bit-position source for the flips.
+        struct XorShift(u64);
+        impl XorShift {
+            fn next(&mut self) -> u64 {
+                self.0 ^= self.0 << 13;
+                self.0 ^= self.0 >> 7;
+                self.0 ^= self.0 << 17;
+                self.0
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+            /// Codec mutation soak. A sealed control frame with up to five
+            /// flipped bits (within CRC32C's guaranteed Hamming distance
+            /// at these frame sizes) must die at the CRC gate — counted
+            /// `corrupt`, never delivered, never `malformed` (a flipped
+            /// frame carries no trustworthy bits, so it must not reach the
+            /// decoder at all). The same mutant *re-sealed* (a valid
+            /// trailer over garbage — what a buggy peer would produce)
+            /// must never panic the parser: it is either dropped by the
+            /// stamp/replay/echo filters, rejected by the decoder as
+            /// `malformed`, or decodes to some well-formed message — and
+            /// exactly one of those happens.
+            #[test]
+            fn flipped_frames_die_at_the_crc_gate_and_resealed_mutants_never_panic(
+                sel in 0u64..10,
+                x in any::<u32>(),
+                seed in 1u64..u64::MAX,
+                nflips in 1usize..=5,
+            ) {
+                let mut eng = Engine::new();
+                let fabric = Fabric::new();
+                let a = fabric.add_node(1 << 20);
+                let b = fabric.add_node(1 << 20);
+                fabric.link_duplex(a, b, LinkConfig::intra_dc(8e9));
+                let ep_a = ControlEndpoint::new(&fabric, a);
+                let ep_b = ControlEndpoint::new(&fabric, b);
+                let got = Rc::new(RefCell::new(0u64));
+                let g = got.clone();
+                ep_b.set_handler(move |_eng, _src, _msg| *g.borrow_mut() += 1);
+
+                let mut frame = BytesMut::new();
+                CtrlStamp { xfer: 0, inc: 0, dst_inc: 0, seq: 0 }.encode_into(&mut frame);
+                frame.extend_from_slice(&sample_msg(sel, x).encode());
+                seal_ctrl_frame(&mut frame);
+
+                // Flip `nflips` distinct bits anywhere in the sealed frame
+                // (stamp, body, or trailer — the gate must hold for all).
+                let mut rng = XorShift(seed);
+                let bits = frame.len() * 8;
+                let mut flipped = frame.to_vec();
+                let mut picked = Vec::new();
+                while picked.len() < nflips {
+                    let pos = (rng.next() % bits as u64) as usize;
+                    if !picked.contains(&pos) {
+                        picked.push(pos);
+                        flipped[pos / 8] ^= 1 << (pos % 8);
+                    }
+                }
+                let _ = fabric.post_ud_send(
+                    &mut eng, ep_a.addr(), ep_b.addr(), Bytes::from(flipped.clone()), None,
+                );
+                eng.run();
+                let st = ep_b.filter_stats();
+                prop_assert_eq!(*got.borrow(), 0, "flipped frame reached a handler");
+                prop_assert_eq!(st.corrupt, 1, "flipped frame not classed corrupt");
+                prop_assert_eq!(st.malformed, 0, "flipped frame reached the decoder");
+
+                // Re-seal the mutant: the CRC gate passes by construction,
+                // and every later stage must cope without panicking.
+                flipped.truncate(flipped.len() - CTRL_CRC_BYTES);
+                let mut resealed = BytesMut::new();
+                resealed.extend_from_slice(&flipped);
+                seal_ctrl_frame(&mut resealed);
+                let _ = fabric.post_ud_send(
+                    &mut eng, ep_a.addr(), ep_b.addr(), resealed.freeze(), None,
+                );
+                eng.run();
+                let st = ep_b.filter_stats();
+                prop_assert_eq!(st.corrupt, 1, "a valid trailer must pass the gate");
+                prop_assert_eq!(
+                    *got.borrow() + st.malformed + st.stale + st.duplicates,
+                    1,
+                    "resealed mutant neither delivered nor classified"
+                );
+            }
+        }
     }
 }

@@ -641,6 +641,13 @@ pub struct EcRecvStats {
     pub decoded_submessages: u64,
     /// Fallback NACK rounds sent.
     pub fallback_nacks: u64,
+    /// Staged chunks rejected by the arrival-CRC audit: a corrupted
+    /// duplicate overwrote recorded memory after the chunk's bits were
+    /// set, so the staged bytes no longer match what the NIC verified on
+    /// arrival. The chunk is treated as absent — decoded around or
+    /// re-delivered via the fallback NACK (clean re-arrivals heal the
+    /// memory and the recorded CRCs in place).
+    pub stale_chunks: u64,
 }
 
 /// The EC receive policy: per poll, resolve submessages (directly or by
@@ -723,7 +730,12 @@ impl EcRxScheme {
             // Word-level scans (one atomic load per 64 chunks, like the SR
             // ACK path) and retained scratch vectors: the no-loss steady
             // state allocates nothing and touches no per-chunk atomics.
-            if data_bm.chunks().first_n_set(g.k_eff) {
+            // Under payload checksums the shortcut is not sound — a set
+            // bit only proves a clean packet landed *once*; a corrupted
+            // duplicate may have overwritten it since — so every present
+            // chunk goes through the arrival-CRC audit below instead.
+            let audit = rx.payload_checksums();
+            if !audit && data_bm.chunks().first_n_set(g.k_eff) {
                 self.resolved[s] = true;
                 self.stats.complete_submessages += 1;
                 continue;
@@ -740,6 +752,48 @@ impl EcRxScheme {
             parity_bm
                 .chunks()
                 .for_each_missing_in_first_n(g.m_eff, |c| flags[c] = false);
+            // Arrival-CRC audit: read each present chunk back and compare
+            // against the CRCs recorded when its packets landed. A
+            // mismatch means a corrupted duplicate overwrote the chunk
+            // after its bits were set — demote it to absent *before* any
+            // decision reads the presence flags, so stale bytes never
+            // feed a decode and never silently resolve a submessage.
+            if audit {
+                let mut b = scratch.take(chunk_len);
+                for c in 0..g.k_eff {
+                    if scratch.data_present[c] {
+                        self.ctx.read_buffer_into(
+                            self.buf_addr + (g.chunk_start + c as u64) * self.chunk_bytes,
+                            &mut b,
+                        );
+                        if !rx.verify_chunk(s, c, &b) {
+                            scratch.data_present[c] = false;
+                            self.stats.stale_chunks += 1;
+                        }
+                    }
+                }
+                for c in 0..g.m_eff {
+                    if scratch.parity_present[c] {
+                        self.ctx.read_buffer_into(
+                            self.parity_addrs[s] + c as u64 * self.chunk_bytes,
+                            &mut b,
+                        );
+                        if !rx.verify_chunk(l + s, c, &b) {
+                            scratch.parity_present[c] = false;
+                            self.stats.stale_chunks += 1;
+                        }
+                    }
+                }
+                scratch.put(b);
+                // The audited equivalent of the `first_n_set` shortcut:
+                // every data chunk landed and still matches its arrival
+                // CRCs — no decode needed.
+                if scratch.data_present.iter().all(|&p| p) {
+                    self.resolved[s] = true;
+                    self.stats.complete_submessages += 1;
+                    continue;
+                }
+            }
             // Try in-place decoding from data + parity chunks.
             scratch.present.clear();
             // `present` cannot borrow `data_present`/`parity_present`

@@ -186,12 +186,59 @@
 //!   once (a pre-outage loss estimate says nothing about the healed
 //!   channel) and no handovers are proposed until post-heal traffic
 //!   re-earns confidence.
+//! * **End-to-end integrity: corruption is reclassified as loss.** A wire
+//!   can flip bits, not just drop packets (`LinkConfig::with_corruption`
+//!   scripts it), and nothing in this crate ever trusts a payload it
+//!   cannot verify. The checksums sit at four layers, outermost first:
+//!
+//!   1. **Control datagrams** carry a CRC32C trailer
+//!      (`control::seal_ctrl_frame`), verified *before* the incarnation
+//!      filter — a flipped handshake dies at the gate (`ctrl.corrupt`
+//!      counts it) and its sender's pacing loop simply re-sends, so the
+//!      control plane parses only clean frames (`ctrl.malformed` stays
+//!      zero even on a corrupting wire).
+//!   2. **Data packets** carry a per-payload CRC32C attached at send
+//!      (`SdrConfig::payload_checksums`, on by default). The simulated
+//!      NIC verifies it *before* the DMA commits, exactly like a real
+//!      NIC's ICRC check: a corrupt payload never reaches memory (the
+//!      `crc_skipped` NIC stat), its bitmap bit stays clear, and the
+//!      scheme machinery — SR NACK/RTO, GBN rewind, EC parity — repairs
+//!      it as an ordinary loss. The [`ChannelEstimator`] consequently
+//!      *sees* corruption as loss, so the adaptive controller reacts to a
+//!      corrupting channel the same way it reacts to a lossy one: by
+//!      handing over to a stronger scheme.
+//!   3. **EC receivers audit shard checksums before decode** — a decoder
+//!      fed a stale chunk would launder corruption into k clean-looking
+//!      outputs — demoting stale chunks to absent, decoding around them
+//!      when parity allows, and re-NACKing through the fallback path when
+//!      it does not (`EcRecvStats::stale_chunks`).
+//!   4. **Delivery is digest-verified.** After all bitmaps complete, the
+//!      receiver runs a whole-message CRC32C handshake
+//!      ([`CtrlMsg::DigestQuery`](ack::CtrlMsg::DigestQuery) /
+//!      [`CtrlMsg::DigestState`](ack::CtrlMsg::DigestState)) against the
+//!      sender's source buffer: match → `Delivered`, mismatch →
+//!      [`AbortReason::Corrupt`] — which also catches a *source* buffer
+//!      mutated mid-transfer, something no wire checksum can see. One
+//!      consequence: the sender's `Delivered` rides the final scheme ACK
+//!      while the receiver's waits on the digest round trip, so a
+//!      deadline expiring inside that window can legitimately leave a
+//!      delivered sender beside a cleanly-aborted receiver — the bytes
+//!      are still byte-identical, and the chaos suites assert exactly
+//!      that.
+//!
+//!   All four funnel through the one runtime-dispatched
+//!   `sdr_erasure::crc32c` primitive (hardware `sse42` / portable
+//!   `slice8`, differentially tested tier-against-tier), and the whole
+//!   stack holds under `SDR_CRC32C_KERNEL=slice8`. The contract the
+//!   corruption soak enforces: **byte-identical delivery or a clean
+//!   abort — never silent corruption.**
 //! * **Chaos conformance.** The `chaos_soak` suite drives random transfers
 //!   under proptest-generated fault plans (loss steps, blackouts, flaps,
-//!   duplication, reordering) and asserts the trichotomy: every run
-//!   delivers byte-identical data within its deadline, aborts cleanly on
-//!   both ends (manifest in hand, no leaked slots, timers or pending
-//!   events), or resumes across a scripted restart and completes.
+//!   duplication, reordering — and, on half the wires, persistent bit
+//!   corruption) and asserts the trichotomy: every run delivers
+//!   byte-identical data within its deadline, aborts cleanly on both ends
+//!   (manifest in hand, no leaked slots, timers or pending events), or
+//!   resumes across a scripted restart and completes.
 //!
 //! [`RxDriver`]: runtime::RxDriver
 //! [`CtrlMsg::SwitchPropose`]: ack::CtrlMsg::SwitchPropose

@@ -72,6 +72,11 @@ pub enum AbortReason {
     /// is gone, but registered memory — and the receiver's
     /// [`DeliveryManifest`] checkpoint — survives for a resume.
     Restart,
+    /// The end-to-end digest check failed: wire corruption survived the
+    /// packet-level checksums (a corrupted duplicate overwrote memory
+    /// whose bitmap bit was already set) and the delivered bytes would
+    /// have been wrong. A clean abort — never a silent corruption.
+    Corrupt,
 }
 
 impl std::fmt::Display for AbortReason {
@@ -81,6 +86,7 @@ impl std::fmt::Display for AbortReason {
             AbortReason::Requested => write!(f, "requested"),
             AbortReason::Peer => write!(f, "peer"),
             AbortReason::Restart => write!(f, "restart"),
+            AbortReason::Corrupt => write!(f, "corrupt"),
         }
     }
 }
@@ -870,6 +876,29 @@ impl RxCommon {
         } else {
             true
         }
+    }
+
+    /// Whether the QP records per-packet arrival CRCs (see
+    /// [`SdrConfig::payload_checksums`](sdr_core::SdrConfig)). Schemes
+    /// gate their staged-data audits on this to skip the read-back cost
+    /// when there is nothing to compare against.
+    pub fn payload_checksums(&self) -> bool {
+        self.qp.config().payload_checksums
+    }
+
+    /// Re-checks `data` — the staged bytes of slot `i`'s chunk `chunk` —
+    /// against the arrival CRCs the QP recorded as the packets landed.
+    /// `false` means some packet was overwritten by a corrupted duplicate
+    /// *after* its bit was recorded: the staged bytes are stale and must
+    /// not feed a decode (a later clean duplicate heals the memory and
+    /// the recorded CRCs in place, so a NACK-driven resend converges).
+    /// Vacuously `true` when payload checksums are off.
+    pub fn verify_chunk(&self, i: usize, chunk: usize, data: &[u8]) -> bool {
+        let cfg = self.qp.config();
+        let ppc = (cfg.chunk_bytes / cfg.mtu_bytes) as usize;
+        self.qp
+            .verify_packet_range(&self.hdls[i], chunk * ppc, data)
+            .unwrap_or(true)
     }
 
     /// Sends a control message to the peer.

@@ -220,9 +220,14 @@ fn abort_with_linger_acks_in_flight() {
 /// deadline to measure the sender's completion time `T`, then replay the
 /// identical deployment with `deadline = T` (the timer and the completing
 /// event collide on the same tick) and with `deadline = T + 1 ns` (the
-/// completion strictly wins). The tie may go either way; the contract is
-/// that both replays are clean, the receiver's delivery is intact, and
-/// the one-tick-later deadline never fires.
+/// sender's completion strictly wins). The tie may go either way; the
+/// contract is that both replays are clean, the landed bytes are intact,
+/// and the one-tick-later deadline never fires on the sender. The
+/// *receiver's* delivery includes the end-to-end digest round trip, which
+/// lands after the sender's final ACK — so with the deadline pinned at
+/// `T` the receiver legitimately aborts mid-verification; its buffer is
+/// nonetheless byte-identical (the wire here loses packets but never
+/// corrupts them).
 #[test]
 fn deadline_expiring_exactly_at_completion() {
     let natural = {
@@ -240,10 +245,14 @@ fn deadline_expiring_exactly_at_completion() {
         d.h.run(120_000_000);
         let tx_rep = took(&d.tx_cell, "tie sender");
         let (_, rx_rep) = d.rx_cell.borrow_mut().take().expect("tie receiver");
-        // The receiver finished strictly earlier (its deadline was
-        // cancelled at delivery): its data must be intact regardless of
-        // which way the sender's tie resolved.
-        assert_eq!(rx_rep.outcome, TransferOutcome::Delivered);
+        // Every bitmap completed before `T`, but the receiver's Delivered
+        // now waits on the digest verdict — a round trip the tie deadline
+        // cuts off. Either verdict-in-time or a deadline abort is legal;
+        // the bytes must be intact regardless (loss-only wire).
+        match rx_rep.outcome {
+            TransferOutcome::Delivered => {}
+            TransferOutcome::Aborted { reason: r, .. } => assert_eq!(r, AbortReason::Deadline),
+        }
         assert!(d.h.delivered_ok(), "delivery intact under the tie");
         match tx_rep.outcome {
             TransferOutcome::Delivered => assert!(tx_rep.duration <= natural),

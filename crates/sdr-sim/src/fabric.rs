@@ -54,6 +54,10 @@ pub struct WriteWr {
     pub data: Bytes,
     /// Immediate data delivered with the last packet.
     pub imm: Option<u32>,
+    /// Payload checksum (CRC32C over `data`), delivered with the
+    /// completing packet's CQE exactly like `imm`. Modeled as transport-
+    /// header content: wire payload corruption does not perturb it.
+    pub crc: Option<u32>,
     /// User cookie echoed in the send completion.
     pub wr_id: u64,
     /// Whether to generate a send completion.
@@ -333,6 +337,28 @@ impl Fabric {
     pub fn set_loss_duplex(&self, a: NodeId, b: NodeId, model: LossModel) -> bool {
         let ab = self.set_link_loss(a, b, model.clone());
         let ba = self.set_link_loss(b, a, model);
+        ab && ba
+    }
+
+    /// Replaces the corruption parameters of the link `a → b`
+    /// mid-simulation (see [`Link::set_corruption`]). Fate is drawn at
+    /// delivery time, so the new rate also claims packets already in
+    /// flight. Returns `false` when no such link exists.
+    pub fn set_link_corruption(&self, a: NodeId, b: NodeId, p: f64, max_run: u32) -> bool {
+        match self.inner.borrow_mut().links.get_mut(&(a, b)) {
+            Some(link) => {
+                link.set_corruption(p, max_run);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces the corruption parameters in both directions between `a`
+    /// and `b`.
+    pub fn set_corruption_duplex(&self, a: NodeId, b: NodeId, p: f64, max_run: u32) -> bool {
+        let ab = self.set_link_corruption(a, b, p, max_run);
+        let ba = self.set_link_corruption(b, a, p, max_run);
         ab && ba
     }
 
@@ -661,15 +687,19 @@ impl Fabric {
                 } else {
                     WriteSeg::Middle
                 };
-                let (mkey, offset, imm) = match seg {
-                    WriteSeg::Only => (
-                        wr.remote_mkey,
-                        wr.remote_offset + lo as u64,
-                        if i == n_pkts - 1 { wr.imm } else { None },
-                    ),
-                    WriteSeg::First => (wr.remote_mkey, wr.remote_offset, None),
-                    WriteSeg::Middle => (wr.remote_mkey, 0, None),
-                    WriteSeg::Last => (wr.remote_mkey, 0, wr.imm),
+                let (mkey, offset, imm, crc) = match seg {
+                    WriteSeg::Only => {
+                        let last = i == n_pkts - 1;
+                        (
+                            wr.remote_mkey,
+                            wr.remote_offset + lo as u64,
+                            if last { wr.imm } else { None },
+                            if last { wr.crc } else { None },
+                        )
+                    }
+                    WriteSeg::First => (wr.remote_mkey, wr.remote_offset, None, None),
+                    WriteSeg::Middle => (wr.remote_mkey, 0, None, None),
+                    WriteSeg::Last => (wr.remote_mkey, 0, wr.imm, wr.crc),
                 };
                 let pkt = Packet {
                     src,
@@ -680,6 +710,7 @@ impl Fabric {
                         mkey,
                         offset,
                         imm,
+                        crc,
                     },
                     payload,
                 };
@@ -704,6 +735,7 @@ impl Fabric {
                                 qp,
                                 op: CqeOp::SendComplete,
                                 imm: None,
+                                crc: None,
                                 byte_len,
                                 src: None,
                                 wr_id,
@@ -822,6 +854,7 @@ mod tests {
                 remote_offset: 64,
                 data: Bytes::from_static(b"planetary"),
                 imm: Some(11),
+                crc: None,
                 wr_id: 5,
                 signaled: true,
             },
@@ -854,6 +887,7 @@ mod tests {
                 remote_offset: 0,
                 data: Bytes::from(data.clone()),
                 imm: Some(1),
+                crc: None,
                 wr_id: 0,
                 signaled: false,
             },
@@ -879,6 +913,7 @@ mod tests {
                 remote_offset: 0,
                 data: Bytes::from(vec![9u8; 160_000]),
                 imm: Some(1),
+                crc: None,
                 wr_id: 0,
                 signaled: false,
             },
@@ -902,6 +937,7 @@ mod tests {
                 remote_offset: 0,
                 data: Bytes::from(vec![9u8; 160_000]),
                 imm: None,
+                crc: None,
                 wr_id: 0,
                 signaled: false,
             },
@@ -969,6 +1005,7 @@ mod tests {
                 remote_offset: 0,
                 data: Bytes::from(vec![7u8; 10 * 4096]),
                 imm: None,
+                crc: None,
                 wr_id: 0,
                 signaled: false,
             },
@@ -1006,6 +1043,7 @@ mod tests {
                 remote_offset: 0,
                 data: Bytes::from(vec![3u8; n * 4096]),
                 imm: None,
+                crc: None,
                 wr_id: 0,
                 signaled: false,
             },
@@ -1178,6 +1216,7 @@ mod tests {
             remote_offset: 0,
             data: Bytes::new(),
             imm: None,
+            crc: None,
             wr_id: 0,
             signaled: false,
         };

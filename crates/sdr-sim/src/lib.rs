@@ -71,7 +71,10 @@ pub use engine::{shared, Engine, Shared};
 pub use equeue::{QueueKind, TimerHandle};
 pub use fabric::{Fabric, PostError, WriteWr};
 pub use fault::{FaultEvent, FaultHandle, FaultPlan, RestartSide};
-pub use link::{Link, LinkConfig, LinkStats, TxOutcome, DEFAULT_HEADER_BYTES, MAX_REORDER_SPAN};
+pub use link::{
+    Link, LinkConfig, LinkStats, TxOutcome, DEFAULT_HEADER_BYTES, MAX_CORRUPT_BURST,
+    MAX_REORDER_SPAN,
+};
 pub use loss::{LossModel, LossProcess};
 pub use memory::{AccessError, Memory, MkeyTable, MkeyTarget, Resolved};
 pub use nic::{Cq, Cqe, CqeOp, Mr, Node, NodeStats, QpType, RecvWqe, Waker};

@@ -25,6 +25,7 @@
 
 use std::collections::VecDeque;
 
+use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sdr_trace::{Counter, Registry};
@@ -42,6 +43,10 @@ pub const DEFAULT_HEADER_BYTES: usize = 78;
 /// pushed back by at most this many serialization quanta, matching the
 /// depth of the arrival queue window the insertion sort walks.
 pub const MAX_REORDER_SPAN: u32 = 64;
+
+/// Upper bound on [`LinkConfig::corrupt_burst`]: one corruption event can
+/// flip at most this many contiguous payload bits.
+pub const MAX_CORRUPT_BURST: u32 = 64;
 
 /// Static description of a unidirectional link.
 #[derive(Clone, Debug)]
@@ -70,6 +75,16 @@ pub struct LinkConfig {
     /// Maximum displacement, in serialization quanta, of a reordered
     /// packet (`1..=`[`MAX_REORDER_SPAN`]; required when `reorder_p > 0`).
     pub reorder_span: u32,
+    /// Per-**bit** probability that a delivered payload bit arrives
+    /// flipped. Applies to payload bytes only: header corruption is
+    /// already absorbed by the per-hop link ICRC (part of the modelled
+    /// 78-byte header) and manifests as loss, while *payload* integrity
+    /// is exactly what end-to-end checksums must defend — per-hop CRCs
+    /// cannot vouch for bytes across switch memory. Must be in `[0, 1)`.
+    pub corrupt_p: f64,
+    /// Maximum contiguous bit-run flipped per corruption event
+    /// (`1..=`[`MAX_CORRUPT_BURST`]; `1` = independent single-bit flips).
+    pub corrupt_burst: u32,
     /// Number of parallel equal-cost paths (ECMP / multi-plane fabrics,
     /// §3.4.1). Each path serializes independently at `bandwidth_bps /
     /// paths`; packets take the earliest-available path, which naturally
@@ -92,6 +107,8 @@ impl LinkConfig {
             duplicate_p: 0.0,
             reorder_p: 0.0,
             reorder_span: 0,
+            corrupt_p: 0.0,
+            corrupt_burst: 1,
             paths: 1,
             seed: 0,
         }
@@ -110,6 +127,8 @@ impl LinkConfig {
             duplicate_p: 0.0,
             reorder_p: 0.0,
             reorder_span: 0,
+            corrupt_p: 0.0,
+            corrupt_burst: 1,
             paths: 1,
             seed: 0,
         }
@@ -157,6 +176,23 @@ impl LinkConfig {
         self
     }
 
+    /// Enables payload corruption: each delivered payload bit flips
+    /// independently with probability `p` (builder style).
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        self.corrupt_p = p;
+        self.corrupt_burst = 1;
+        self
+    }
+
+    /// Enables bursty payload corruption: corruption events strike at
+    /// per-bit rate `p` and each flips a contiguous run of `1..=max_run`
+    /// bits (builder style).
+    pub fn with_corruption_burst(mut self, p: f64, max_run: u32) -> Self {
+        self.corrupt_p = p;
+        self.corrupt_burst = max_run;
+        self
+    }
+
     /// Round-trip propagation time of a symmetric pair of such links.
     pub fn rtt(&self) -> SimTime {
         self.one_way_delay * 2
@@ -178,6 +214,9 @@ pub struct LinkStats {
     pub duplicated: u64,
     /// Packets displaced behind their serialization slot.
     pub reordered: u64,
+    /// Packets delivered with at least one flipped payload bit (each also
+    /// counts in `delivered`: corruption is a *content* fault, not loss).
+    pub corrupted: u64,
 }
 
 /// Registry-bound aggregate wire counters (`link.*`): every link of a
@@ -190,6 +229,7 @@ pub(crate) struct LinkTrace {
     dropped: Counter,
     duplicated: Counter,
     reordered: Counter,
+    corrupted: Counter,
 }
 
 impl LinkTrace {
@@ -200,6 +240,7 @@ impl LinkTrace {
             dropped: reg.counter("link.dropped"),
             duplicated: reg.counter("link.duplicated"),
             reordered: reg.counter("link.reordered"),
+            corrupted: reg.counter("link.corrupted"),
         }
     }
 }
@@ -213,6 +254,19 @@ pub struct TxOutcome {
     /// Scheduled arrival instant at the receiver (serialization +
     /// propagation + jitter).
     pub at: SimTime,
+}
+
+/// Number of clean bits before the next flip under an i.i.d. per-bit
+/// flip rate `p`: exact inverse-CDF (geometric) sampling,
+/// `⌊ln U / ln(1−p)⌋` for `U ∈ (0, 1]`. Requires `0 < p < 1`.
+fn corruption_skip(rng: &mut SmallRng, p: f64) -> u64 {
+    let u: f64 = 1.0 - rng.random::<f64>();
+    let skip = u.ln() / (1.0 - p).ln();
+    if skip >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        skip as u64
+    }
 }
 
 /// A unidirectional lossy link (possibly striped over parallel paths).
@@ -260,6 +314,18 @@ impl Link {
             return Err(format!(
                 "reorder_span = {} must be in 1..={MAX_REORDER_SPAN} when reorder_p > 0",
                 cfg.reorder_span
+            ));
+        }
+        if !(0.0..1.0).contains(&cfg.corrupt_p) {
+            return Err(format!(
+                "corrupt_p = {} must be a probability below 1",
+                cfg.corrupt_p
+            ));
+        }
+        if cfg.corrupt_p > 0.0 && !(1..=MAX_CORRUPT_BURST).contains(&cfg.corrupt_burst) {
+            return Err(format!(
+                "corrupt_burst = {} must be in 1..={MAX_CORRUPT_BURST} when corrupt_p > 0",
+                cfg.corrupt_burst
             ));
         }
         let loss = LossProcess::new(cfg.loss.clone(), cfg.seed.wrapping_mul(0x9E37_79B9));
@@ -392,7 +458,7 @@ impl Link {
     /// [`stats().dropped`](Self::stats).
     pub fn pop_due(&mut self, now: SimTime) -> Option<Packet> {
         while self.pending.front().is_some_and(|(at, _)| *at <= now) {
-            let (_, pkt) = self.pending.pop_front().expect("front checked");
+            let (_, mut pkt) = self.pending.pop_front().expect("front checked");
             if self.down || self.loss.drops_next() {
                 self.stats.dropped += 1;
                 if let Some(t) = &self.trace {
@@ -404,9 +470,51 @@ impl Link {
             if let Some(t) = &self.trace {
                 t.delivered.inc();
             }
+            // Corruption is drawn at delivery time like loss, so a
+            // corruption step applied mid-flight strikes the pipeline.
+            if self.cfg.corrupt_p > 0.0 && self.corrupt_payload(&mut pkt) {
+                self.stats.corrupted += 1;
+                if let Some(t) = &self.trace {
+                    t.corrupted.inc();
+                }
+            }
             return Some(pkt);
         }
         None
+    }
+
+    /// Flips payload bits of `pkt` under the configured per-bit rate.
+    /// Returns whether anything flipped. Exact i.i.d. sampling via
+    /// geometric skips: a 4 KiB packet costs one RNG draw per *actual*
+    /// flip, not one per bit. Empty payloads (pure acks) are
+    /// uncorruptable by construction — their content lives entirely in
+    /// the modelled header, whose corruption the per-hop ICRC turns into
+    /// loss.
+    fn corrupt_payload(&mut self, pkt: &mut Packet) -> bool {
+        let bits = pkt.payload.len() as u64 * 8;
+        if bits == 0 {
+            return false;
+        }
+        let p = self.cfg.corrupt_p;
+        let mut pos = corruption_skip(&mut self.rng, p);
+        if pos >= bits {
+            return false;
+        }
+        let mut buf = pkt.payload.to_vec();
+        while pos < bits {
+            let run = if self.cfg.corrupt_burst > 1 {
+                self.rng.random_range(1..=self.cfg.corrupt_burst as u64)
+            } else {
+                1
+            };
+            let end = (pos + run).min(bits);
+            for b in pos..end {
+                buf[(b / 8) as usize] ^= 1 << (b % 8);
+            }
+            pos = end + corruption_skip(&mut self.rng, p);
+        }
+        pkt.payload = Bytes::from(buf);
+        true
     }
 
     /// Packets currently in flight toward the receiver.
@@ -467,6 +575,20 @@ impl Link {
             .wrapping_add(self.stats.sent);
         self.cfg.loss = model.clone();
         self.loss = LossProcess::new(model, seed);
+    }
+
+    /// Steps the payload-corruption process mid-simulation. Like
+    /// [`set_loss`](Self::set_loss), corruption fates are drawn at
+    /// delivery time, so the new rate applies to packets already in
+    /// flight. `max_run` is ignored while `p == 0`.
+    pub fn set_corruption(&mut self, p: f64, max_run: u32) {
+        assert!((0.0..1.0).contains(&p), "invalid corruption rate {p}");
+        assert!(
+            p == 0.0 || (1..=MAX_CORRUPT_BURST).contains(&max_run),
+            "invalid corruption burst {max_run}"
+        );
+        self.cfg.corrupt_p = p;
+        self.cfg.corrupt_burst = max_run;
     }
 
     /// Raises or clears the hard-blackout flag. While down, every packet
@@ -693,6 +815,129 @@ mod tests {
         assert_eq!(sorted, (0..64).collect::<Vec<_>>(), "nothing lost");
         assert_ne!(got, sorted, "displaced packets are overtaken");
         assert!(link.borrow().stats().reordered > 5);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_corruption_knobs() {
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_corruption(1.0)).is_err());
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_corruption(-0.1)).is_err());
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_corruption_burst(1e-4, 0)).is_err());
+        assert!(Link::try_new(
+            LinkConfig::intra_dc(8e9).with_corruption_burst(1e-4, MAX_CORRUPT_BURST + 1)
+        )
+        .is_err());
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_corruption(1e-4)).is_ok());
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_corruption_burst(1e-4, 8)).is_ok());
+        // Burst run is ignored (not validated) while corrupt_p == 0.
+        assert!(Link::try_new(LinkConfig::intra_dc(8e9).with_corruption(0.0)).is_ok());
+    }
+
+    /// Drains all pending packets, returning the delivered payloads.
+    fn drain_payloads(link: &mut Link) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Some(p) = link.pop_due(SimTime(u64::MAX)) {
+            out.push(p.payload);
+        }
+        out
+    }
+
+    #[test]
+    fn corruption_flips_bits_at_the_configured_rate() {
+        // 500 packets × 1000 bytes at p = 1e-3 per bit: ≈ 4000 flipped
+        // bits, essentially every packet corrupted at least once.
+        let cfg = LinkConfig::intra_dc(8e9)
+            .with_corruption(1e-3)
+            .with_seed(31);
+        let mut link = Link::new(cfg);
+        for i in 0..500 {
+            link.enqueue(SimTime::ZERO, pkt(i, 1000));
+        }
+        let payloads = drain_payloads(&mut link);
+        let s = link.stats();
+        assert_eq!(s.delivered, 500, "corruption is not loss");
+        assert!(
+            (400..=500).contains(&s.corrupted),
+            "corrupted {}",
+            s.corrupted
+        );
+        let flipped_bits: u64 = payloads
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|b| b.count_ones() as u64)
+            .sum();
+        // Mean 4000, σ ≈ 63; a 10σ band still pins the rate to ±16%.
+        assert!(
+            (3400..=4600).contains(&flipped_bits),
+            "flipped {flipped_bits} bits"
+        );
+    }
+
+    #[test]
+    fn corruption_rate_zero_delivers_bytes_untouched() {
+        let cfg = LinkConfig::intra_dc(8e9).with_seed(32);
+        let mut link = Link::new(cfg);
+        for i in 0..100 {
+            link.enqueue(SimTime::ZERO, pkt(i, 1000));
+        }
+        let payloads = drain_payloads(&mut link);
+        assert!(payloads.iter().all(|p| p.iter().all(|&b| b == 0)));
+        assert_eq!(link.stats().corrupted, 0);
+    }
+
+    #[test]
+    fn burst_corruption_flips_contiguous_runs() {
+        // Same event rate, burst runs up to 32 bits: far more total
+        // flipped bits than single-flip mode at the same p, and flips
+        // cluster (consecutive-bit pairs exist).
+        let cfg = LinkConfig::intra_dc(8e9)
+            .with_corruption_burst(1e-4, 32)
+            .with_seed(33);
+        let mut link = Link::new(cfg);
+        for i in 0..500 {
+            link.enqueue(SimTime::ZERO, pkt(i, 1000));
+        }
+        let payloads = drain_payloads(&mut link);
+        let flipped: u64 = payloads
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|b| b.count_ones() as u64)
+            .sum();
+        // ≈ 400 events × mean run 16.5 ≈ 6600 bits; single-flip mode at
+        // this p would flip ≈ 400.
+        assert!(flipped > 2000, "burst flips {flipped} bits");
+        let runs = payloads
+            .iter()
+            .flat_map(|p| p.iter())
+            .filter(|b| b.count_ones() >= 2)
+            .count();
+        assert!(runs > 50, "clustered flips in {runs} bytes");
+    }
+
+    #[test]
+    fn empty_payloads_are_uncorruptable() {
+        let cfg = LinkConfig::intra_dc(8e9).with_corruption(0.5).with_seed(34);
+        let mut link = Link::new(cfg);
+        for i in 0..50 {
+            link.enqueue(SimTime::ZERO, pkt(i, 0));
+        }
+        assert_eq!(drain_all(&mut link), 50);
+        assert_eq!(link.stats().corrupted, 0);
+    }
+
+    #[test]
+    fn corruption_step_strikes_packets_already_in_flight() {
+        // Delivery-time semantics: raising corrupt_p after enqueue still
+        // corrupts the in-flight pipeline.
+        let cfg = LinkConfig::wan(100.0, 8e9, 0.0).with_seed(35);
+        let mut link = Link::new(cfg);
+        for i in 0..100 {
+            link.enqueue(SimTime::ZERO, pkt(i, 1000));
+        }
+        link.set_corruption(0.01, 1);
+        drain_payloads(&mut link);
+        let s = link.stats();
+        assert_eq!(s.delivered, 100);
+        assert!(s.corrupted > 90, "in-flight corrupted {}", s.corrupted);
     }
 
     #[test]

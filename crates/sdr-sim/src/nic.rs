@@ -65,6 +65,9 @@ pub struct Cqe {
     pub op: CqeOp,
     /// Immediate data carried by the packet, if any.
     pub imm: Option<u32>,
+    /// Sender-computed payload checksum carried by the packet, if any
+    /// (transport-header content; see [`WriteWr::crc`](crate::WriteWr)).
+    pub crc: Option<u32>,
     /// Bytes written/received.
     pub byte_len: u32,
     /// Source QP (receive completions).
@@ -172,6 +175,11 @@ pub struct NodeStats {
     pub writes_landed: u64,
     /// Write packets discarded by the NULL key (still completed).
     pub null_writes: u64,
+    /// Write packets whose carried payload checksum failed verification:
+    /// the DMA is suppressed — like an ICRC failure, the corrupt bytes
+    /// never reach memory — but the CQE still flows so the verbs layer
+    /// observes the mismatch and treats the packet as lost.
+    pub crc_skipped: u64,
     /// Packets dropped due to memory-key faults.
     pub access_faults: u64,
     /// UD sends dropped because no receive was posted.
@@ -415,6 +423,7 @@ impl Node {
                 qp,
                 op: CqeOp::RecvSend,
                 imm,
+                crc: None,
                 byte_len: n as u32,
                 src: Some(pkt.src),
                 wr_id: wqe.wr_id,
@@ -430,6 +439,7 @@ impl Node {
             mkey,
             offset,
             imm,
+            crc,
         } = pkt.kind
         else {
             self.stats.access_faults += 1;
@@ -442,13 +452,26 @@ impl Node {
                 self.qps[qp_idx].recv_state = UcRecvState::Idle;
                 match self.mkeys.resolve(mkey, offset, len) {
                     Ok(Resolved::Addr(addr)) => {
-                        self.mem.write(addr, &pkt.payload);
-                        self.stats.writes_landed += 1;
-                        self.complete_write(eng, pkt.dst.qp, imm, len as u32, pkt.src, false);
+                        // A carried payload checksum is verified *before*
+                        // the DMA commits — like ICRC, a packet that
+                        // fails the check never reaches memory (a corrupt
+                        // duplicate must not overwrite clean bytes whose
+                        // bitmap bit is already set). The CQE still flows
+                        // carrying the claimed checksum: the verbs layer
+                        // compares it against what memory actually holds,
+                        // sees the mismatch, and leaves the packet's bit
+                        // clear — corruption becomes loss.
+                        if crc.is_none_or(|c| sdr_erasure::crc32c(&pkt.payload) == c) {
+                            self.mem.write(addr, &pkt.payload);
+                            self.stats.writes_landed += 1;
+                        } else {
+                            self.stats.crc_skipped += 1;
+                        }
+                        self.complete_write(eng, pkt.dst.qp, imm, crc, len as u32, pkt.src, false);
                     }
                     Ok(Resolved::Null) => {
                         self.stats.null_writes += 1;
-                        self.complete_write(eng, pkt.dst.qp, imm, len as u32, pkt.src, true);
+                        self.complete_write(eng, pkt.dst.qp, imm, crc, len as u32, pkt.src, true);
                     }
                     Err(_) => self.fault(),
                 }
@@ -505,6 +528,7 @@ impl Node {
                                 eng,
                                 pkt.dst.qp,
                                 imm,
+                                crc,
                                 total,
                                 pkt.src,
                                 cursor.is_none(),
@@ -534,6 +558,7 @@ impl Node {
         eng: &mut Engine,
         qp: QpNum,
         imm: Option<u32>,
+        crc: Option<u32>,
         byte_len: u32,
         src: QpAddr,
         null_write: bool,
@@ -549,6 +574,7 @@ impl Node {
                     qp,
                     op: CqeOp::RecvWriteImm,
                     imm: Some(imm),
+                    crc,
                     byte_len,
                     src: Some(src),
                     wr_id: 0,
@@ -576,11 +602,11 @@ impl Node {
             Ok(Resolved::Addr(addr)) => {
                 self.mem.write(addr, payload);
                 self.stats.writes_landed += 1;
-                self.complete_write(eng, qp, imm, payload.len() as u32, src, false);
+                self.complete_write(eng, qp, imm, None, payload.len() as u32, src, false);
             }
             Ok(Resolved::Null) => {
                 self.stats.null_writes += 1;
-                self.complete_write(eng, qp, imm, payload.len() as u32, src, true);
+                self.complete_write(eng, qp, imm, None, payload.len() as u32, src, true);
             }
             Err(_) => self.fault(),
         }
@@ -629,6 +655,7 @@ mod tests {
                 mkey,
                 offset,
                 imm,
+                crc: None,
             },
             payload: Bytes::copy_from_slice(data),
         }

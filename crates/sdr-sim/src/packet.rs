@@ -59,6 +59,12 @@ pub enum PacketKind {
         offset: u64,
         /// Immediate data, delivered as a receive CQE on `Only`/`Last`.
         imm: Option<u32>,
+        /// Sender-computed payload checksum (CRC32C over the posted
+        /// message), delivered alongside `imm` in the receive CQE. The
+        /// fabric carries it opaquely — it models integrity bits in the
+        /// transport header, so wire *payload* corruption does not touch
+        /// it and the receiver can compare it against what landed.
+        crc: Option<u32>,
     },
     /// Two-sided send (UD datagram or connected send).
     Send {

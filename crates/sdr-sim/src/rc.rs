@@ -237,6 +237,7 @@ impl RcEndpoint {
                 kind: PacketKind::Write {
                     seg,
                     mkey: msg.remote_mkey,
+                    crc: None,
                     // GBN retransmits from an arbitrary packet, so every
                     // packet carries its absolute target offset.
                     offset: msg.remote_offset + lo as u64,
@@ -298,6 +299,7 @@ impl RcEndpoint {
                 mkey,
                 offset,
                 imm,
+                ..
             } => self.on_data(eng, pkt.psn, seg, mkey, offset, imm, pkt.payload),
             PacketKind::Send { .. } => {}
         }

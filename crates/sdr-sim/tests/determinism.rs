@@ -34,6 +34,7 @@ fn run_once(seed: u64) -> (NodeStats, u64) {
                 remote_offset: 0,
                 data: Bytes::from(vec![i as u8; 32 * 1024]),
                 imm: None,
+                crc: None,
                 wr_id: i,
                 signaled: false,
             },
